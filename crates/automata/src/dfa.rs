@@ -1,0 +1,473 @@
+//! Deterministic finite automata: product, complement, emptiness,
+//! minimisation and language equivalence.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::Symbol;
+
+/// A deterministic finite automaton over an explicit alphabet.
+///
+/// The transition function is *total over the alphabet*: symbols with no
+/// explicit transition go to an implicit non-final sink, and symbols
+/// outside the alphabet are rejected outright. This matches how the
+/// analyses use DFAs (policy automata determinised over the ground events
+/// of a system).
+#[derive(Debug, Clone)]
+pub struct Dfa<S> {
+    alphabet: BTreeSet<S>,
+    num_states: usize,
+    start: Option<usize>,
+    finals: BTreeSet<usize>,
+    trans: HashMap<(usize, S), usize>,
+}
+
+impl<S: Symbol> Dfa<S> {
+    /// Creates an automaton with the given alphabet and no states.
+    pub fn new<I>(alphabet: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+    {
+        Dfa {
+            alphabet: alphabet.into_iter().collect(),
+            num_states: 0,
+            start: None,
+            finals: BTreeSet::new(),
+            trans: HashMap::new(),
+        }
+    }
+
+    /// Adds a fresh state, final iff `is_final`, returning its index.
+    pub fn add_state(&mut self, is_final: bool) -> usize {
+        let id = self.num_states;
+        self.num_states += 1;
+        if is_final {
+            self.finals.insert(id);
+        }
+        id
+    }
+
+    /// Sets the start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_start(&mut self, q: usize) {
+        assert!(q < self.num_states, "state {q} out of range");
+        self.start = Some(q);
+    }
+
+    /// Adds (or overwrites) the transition `from ──sym──▸ to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range or `sym` is not in the alphabet.
+    pub fn add_transition(&mut self, from: usize, sym: S, to: usize) {
+        assert!(from < self.num_states, "state {from} out of range");
+        assert!(to < self.num_states, "state {to} out of range");
+        assert!(self.alphabet.contains(&sym), "symbol not in alphabet");
+        self.trans.insert((from, sym), to);
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &BTreeSet<S> {
+        &self.alphabet
+    }
+
+    /// The number of states (not counting the implicit sink).
+    pub fn len(&self) -> usize {
+        self.num_states
+    }
+
+    /// Returns `true` if the automaton has no states.
+    pub fn is_empty(&self) -> bool {
+        self.num_states == 0
+    }
+
+    /// The start state, if set.
+    pub fn start(&self) -> Option<usize> {
+        self.start
+    }
+
+    /// Returns `true` if `q` is final.
+    pub fn is_final(&self, q: usize) -> bool {
+        self.finals.contains(&q)
+    }
+
+    /// One step; `None` means the implicit sink (or an unknown symbol).
+    pub fn step(&self, from: usize, sym: &S) -> Option<usize> {
+        self.trans.get(&(from, sym.clone())).copied()
+    }
+
+    /// Runs the automaton from the start state; `None` means the run fell
+    /// into the sink or no start state is set.
+    pub fn run<I>(&self, word: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = S>,
+    {
+        let mut q = self.start?;
+        for sym in word {
+            q = self.step(q, &sym)?;
+        }
+        Some(q)
+    }
+
+    /// Returns `true` if the automaton accepts the word.
+    pub fn accepts<I>(&self, word: I) -> bool
+    where
+        I: IntoIterator<Item = S>,
+    {
+        self.run(word).is_some_and(|q| self.is_final(q))
+    }
+
+    /// Completes the transition function by materialising the sink state,
+    /// so every state has a transition on every alphabet symbol.
+    /// Needed before [`Dfa::complement`].
+    pub fn complete(&self) -> Dfa<S> {
+        let mut out = self.clone();
+        let needs_sink = out.num_states == 0
+            || (0..out.num_states).any(|q| {
+                out.alphabet
+                    .iter()
+                    .any(|s| !out.trans.contains_key(&(q, s.clone())))
+            });
+        if !needs_sink {
+            return out;
+        }
+        let sink = out.add_state(false);
+        let alphabet: Vec<S> = out.alphabet.iter().cloned().collect();
+        for q in 0..out.num_states {
+            for s in &alphabet {
+                out.trans.entry((q, s.clone())).or_insert(sink);
+            }
+        }
+        if out.start.is_none() {
+            out.start = Some(sink);
+        }
+        out
+    }
+
+    /// The complement automaton (over the same alphabet).
+    pub fn complement(&self) -> Dfa<S> {
+        let mut c = self.complete();
+        let all: BTreeSet<usize> = (0..c.num_states).collect();
+        c.finals = all.difference(&c.finals).copied().collect();
+        c
+    }
+
+    /// The product automaton with finals chosen by `combine` from the two
+    /// component acceptance bits. `combine = &|a, b| a && b` gives the
+    /// intersection, `&|a, b| a != b` the symmetric difference.
+    ///
+    /// Both automata are completed first; the product alphabet is the
+    /// union of the two alphabets.
+    pub fn product(&self, other: &Dfa<S>, combine: &dyn Fn(bool, bool) -> bool) -> Dfa<S> {
+        let alphabet: BTreeSet<S> = self.alphabet.union(&other.alphabet).cloned().collect();
+        let mut a = self.clone();
+        a.alphabet = alphabet.clone();
+        let mut b = other.clone();
+        b.alphabet = alphabet.clone();
+        let a = a.complete();
+        let b = b.complete();
+
+        let mut out = Dfa::new(alphabet.iter().cloned());
+        let (sa, sb) = match (a.start, b.start) {
+            (Some(sa), Some(sb)) => (sa, sb),
+            _ => return out,
+        };
+        let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        let s0 = out.add_state(combine(a.is_final(sa), b.is_final(sb)));
+        out.set_start(s0);
+        index.insert((sa, sb), s0);
+        queue.push_back((sa, sb));
+        while let Some((qa, qb)) = queue.pop_front() {
+            let from = index[&(qa, qb)];
+            for sym in &alphabet {
+                let (na, nb) = match (a.step(qa, sym), b.step(qb, sym)) {
+                    (Some(na), Some(nb)) => (na, nb),
+                    _ => continue, // both complete: unreachable
+                };
+                let to = match index.get(&(na, nb)) {
+                    Some(&id) => id,
+                    None => {
+                        let id = out.add_state(combine(a.is_final(na), b.is_final(nb)));
+                        index.insert((na, nb), id);
+                        queue.push_back((na, nb));
+                        id
+                    }
+                };
+                out.add_transition(from, sym.clone(), to);
+            }
+        }
+        out
+    }
+
+    /// The intersection `L(self) ∩ L(other)`.
+    pub fn intersect(&self, other: &Dfa<S>) -> Dfa<S> {
+        self.product(other, &|a, b| a && b)
+    }
+
+    /// Emptiness check with witness: a shortest accepted word, or `None`
+    /// if the language is empty.
+    pub fn shortest_accepted(&self) -> Option<Vec<S>> {
+        let start = self.start?;
+        let mut seen = vec![false; self.num_states];
+        let mut queue: VecDeque<(usize, Vec<S>)> = VecDeque::new();
+        seen[start] = true;
+        queue.push_back((start, Vec::new()));
+        while let Some((q, word)) = queue.pop_front() {
+            if self.is_final(q) {
+                return Some(word);
+            }
+            for sym in &self.alphabet {
+                if let Some(n) = self.step(q, sym) {
+                    if !seen[n] {
+                        seen[n] = true;
+                        let mut w = word.clone();
+                        w.push(sym.clone());
+                        queue.push_back((n, w));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if the language is empty.
+    pub fn language_is_empty(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// Returns `true` if the two automata accept the same language,
+    /// decided via the symmetric-difference product.
+    pub fn equivalent(&self, other: &Dfa<S>) -> bool {
+        self.product(other, &|a, b| a != b).language_is_empty()
+    }
+
+    /// Moore/Hopcroft-style minimisation: removes unreachable states and
+    /// merges language-equivalent ones. The result is complete.
+    pub fn minimize(&self) -> Dfa<S> {
+        let c = self.complete();
+        let start = match c.start {
+            Some(s) => s,
+            None => return c,
+        };
+        // 1. Keep only reachable states.
+        let mut reach = vec![false; c.num_states];
+        let mut queue = VecDeque::from([start]);
+        reach[start] = true;
+        while let Some(q) = queue.pop_front() {
+            for sym in &c.alphabet {
+                if let Some(n) = c.step(q, sym) {
+                    if !reach[n] {
+                        reach[n] = true;
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        let reachable: Vec<usize> = (0..c.num_states).filter(|q| reach[*q]).collect();
+        // 2. Partition refinement.
+        let mut class: Vec<usize> = (0..c.num_states)
+            .map(|q| usize::from(c.is_final(q)))
+            .collect();
+        loop {
+            // signature: (class, [class of successor per symbol])
+            let mut sig_index: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+            let mut next_class = vec![0usize; c.num_states];
+            for &q in &reachable {
+                let sig: Vec<usize> = c
+                    .alphabet
+                    .iter()
+                    .map(|s| class[c.step(q, s).expect("complete")])
+                    .collect();
+                let key = (class[q], sig);
+                let n = sig_index.len();
+                let id = *sig_index.entry(key).or_insert(n);
+                next_class[q] = id;
+            }
+            if reachable.iter().all(|&q| next_class[q] == class[q])
+                && sig_index.len()
+                    == reachable
+                        .iter()
+                        .map(|&q| class[q])
+                        .collect::<BTreeSet<_>>()
+                        .len()
+            {
+                break;
+            }
+            class = next_class;
+        }
+        // 3. Build the quotient.
+        let classes: BTreeSet<usize> = reachable.iter().map(|&q| class[q]).collect();
+        let remap: HashMap<usize, usize> =
+            classes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut out = Dfa::new(c.alphabet.iter().cloned());
+        // representative per class
+        let mut rep: HashMap<usize, usize> = HashMap::new();
+        for &q in &reachable {
+            rep.entry(class[q]).or_insert(q);
+        }
+        for _ in 0..classes.len() {
+            out.add_state(false);
+        }
+        for (&cls, &r) in &rep {
+            if c.is_final(r) {
+                out.finals.insert(remap[&cls]);
+            }
+        }
+        out.start = Some(remap[&class[start]]);
+        for (&cls, &r) in &rep {
+            for sym in &c.alphabet {
+                let n = c.step(r, sym).expect("complete");
+                out.add_transition(remap[&cls], sym.clone(), remap[&class[n]]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA over {a,b} accepting words with an even number of 'a'.
+    fn even_a() -> Dfa<char> {
+        let mut d = Dfa::new(['a', 'b']);
+        let e = d.add_state(true);
+        let o = d.add_state(false);
+        d.set_start(e);
+        d.add_transition(e, 'a', o);
+        d.add_transition(o, 'a', e);
+        d.add_transition(e, 'b', e);
+        d.add_transition(o, 'b', o);
+        d
+    }
+
+    /// DFA accepting words ending in 'b'.
+    fn ends_b() -> Dfa<char> {
+        let mut d = Dfa::new(['a', 'b']);
+        let q0 = d.add_state(false);
+        let q1 = d.add_state(true);
+        d.set_start(q0);
+        d.add_transition(q0, 'a', q0);
+        d.add_transition(q0, 'b', q1);
+        d.add_transition(q1, 'a', q0);
+        d.add_transition(q1, 'b', q1);
+        d
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let d = even_a();
+        assert!(d.accepts("".chars()));
+        assert!(d.accepts("aab".chars()));
+        assert!(d.accepts("aba".chars()));
+        assert!(!d.accepts("ab".chars()));
+    }
+
+    #[test]
+    fn missing_transition_rejects() {
+        let mut d = Dfa::new(['a', 'b']);
+        let q0 = d.add_state(false);
+        let q1 = d.add_state(true);
+        d.set_start(q0);
+        d.add_transition(q0, 'a', q1);
+        assert!(d.accepts("a".chars()));
+        assert!(!d.accepts("ab".chars())); // q1 has no 'b': sink
+        assert!(!d.accepts("c".chars())); // not in alphabet
+    }
+
+    #[test]
+    fn complete_adds_sink() {
+        let mut d = Dfa::new(['a']);
+        let q0 = d.add_state(true);
+        d.set_start(q0);
+        let c = d.complete();
+        assert_eq!(c.len(), 2);
+        assert!(c.accepts("".chars()));
+        assert!(!c.accepts("a".chars()));
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let d = even_a();
+        let c = d.complement();
+        for w in ["", "a", "aa", "ab", "ba", "bab"] {
+            assert_eq!(d.accepts(w.chars()), !c.accepts(w.chars()), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let d = even_a().intersect(&ends_b());
+        assert!(d.accepts("b".chars()));
+        assert!(d.accepts("aab".chars()));
+        assert!(!d.accepts("ab".chars())); // odd a
+        assert!(!d.accepts("aa".chars())); // not ending in b
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let d = even_a().intersect(&even_a().complement());
+        assert!(d.language_is_empty());
+        let w = ends_b().shortest_accepted().unwrap();
+        assert_eq!(w, vec!['b']);
+    }
+
+    #[test]
+    fn equivalence() {
+        let d1 = even_a();
+        let d2 = even_a().minimize();
+        assert!(d1.equivalent(&d2));
+        assert!(!d1.equivalent(&ends_b()));
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        // Build even_a with redundant duplicated states.
+        let mut d = Dfa::new(['a', 'b']);
+        let e1 = d.add_state(true);
+        let o1 = d.add_state(false);
+        let e2 = d.add_state(true);
+        let o2 = d.add_state(false);
+        d.set_start(e1);
+        d.add_transition(e1, 'a', o1);
+        d.add_transition(o1, 'a', e2);
+        d.add_transition(e2, 'a', o2);
+        d.add_transition(o2, 'a', e1);
+        for (q, _) in [(e1, 0), (o1, 0), (e2, 0), (o2, 0)] {
+            d.add_transition(q, 'b', q);
+        }
+        let m = d.minimize();
+        assert_eq!(m.len(), 2);
+        assert!(m.equivalent(&even_a()));
+    }
+
+    #[test]
+    fn minimize_drops_unreachable_states() {
+        let mut d = even_a();
+        let junk = d.add_state(true);
+        d.add_transition(junk, 'a', junk);
+        let m = d.minimize();
+        assert_eq!(m.len(), 2);
+        assert!(m.equivalent(&even_a()));
+    }
+
+    #[test]
+    fn product_with_different_alphabets() {
+        let mut d1 = Dfa::new(['a']);
+        let p = d1.add_state(false);
+        let q = d1.add_state(true);
+        d1.set_start(p);
+        d1.add_transition(p, 'a', q);
+        let mut d2 = Dfa::new(['b']);
+        let r = d2.add_state(true);
+        d2.set_start(r);
+        d2.add_transition(r, 'b', r);
+        // L1 = {a}, L2 = {b}* — intersection over union alphabet = ∅
+        // (any 'a' kills d2, any 'b' kills d1 except staying non-final).
+        let i = d1.intersect(&d2);
+        assert!(i.language_is_empty());
+    }
+}

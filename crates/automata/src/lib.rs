@@ -1,0 +1,57 @@
+//! Generic finite automata and transition-system substrate.
+//!
+//! The static analyses of *Secure and Unfailing Services* reduce both
+//! security (§3.1) and compliance (§4, Theorem 1) to reachability/emptiness
+//! questions on finite automata. This crate provides the shared machinery:
+//!
+//! * [`nfa::Nfa`] — nondeterministic finite automata over an arbitrary
+//!   symbol type, with subset construction;
+//! * [`dfa::Dfa`] — deterministic automata with product, complement,
+//!   emptiness (with witness words), Hopcroft minimisation and language
+//!   equivalence;
+//! * [`lts::Explorer`] — a bounded breadth-first state-space explorer used
+//!   to build the transition systems of contracts, sessions and networks
+//!   from a successor function;
+//! * [`dot`] — Graphviz rendering for debugging and documentation.
+//!
+//! # Example
+//!
+//! ```
+//! use sufs_automata::nfa::Nfa;
+//!
+//! // An NFA accepting words containing "ab".
+//! let mut n = Nfa::new();
+//! let q0 = n.add_state();
+//! let q1 = n.add_state();
+//! let q2 = n.add_state();
+//! n.set_start(q0);
+//! n.set_final(q2);
+//! n.add_transition(q0, 'a', q0);
+//! n.add_transition(q0, 'b', q0);
+//! n.add_transition(q0, 'a', q1);
+//! n.add_transition(q1, 'b', q2);
+//! n.add_transition(q2, 'a', q2);
+//! n.add_transition(q2, 'b', q2);
+//! assert!(n.accepts("xaby".chars().filter(|c| *c == 'a' || *c == 'b')));
+//! let d = n.determinize();
+//! assert!(d.accepts("aab".chars()));
+//! assert!(!d.accepts("ba".chars()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod dot;
+pub mod lts;
+pub mod nfa;
+
+pub use dfa::Dfa;
+pub use lts::Explorer;
+pub use nfa::Nfa;
+
+/// The trait bound every automaton symbol must satisfy.
+///
+/// This is a blanket-implemented alias; never implement it manually.
+pub trait Symbol: Clone + Eq + std::hash::Hash + Ord {}
+
+impl<T: Clone + Eq + std::hash::Hash + Ord> Symbol for T {}

@@ -1,0 +1,276 @@
+//! A generic bounded breadth-first state-space explorer.
+//!
+//! Contracts, sessions and whole network configurations all induce
+//! labelled transition systems given by a *successor function*. The
+//! [`Explorer`] materialises the reachable fragment with hash-consed
+//! states, and offers reachability queries with path witnesses.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// The reachable fragment of a transition system, built by [`Explorer`].
+#[derive(Debug, Clone)]
+pub struct Lts<K, L> {
+    states: Vec<K>,
+    edges: Vec<Vec<(L, usize)>>,
+}
+
+/// An error signalling that exploration hit the state bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundExceeded {
+    /// The configured bound.
+    pub bound: usize,
+}
+
+impl std::fmt::Display for BoundExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exploration exceeded the bound of {} states", self.bound)
+    }
+}
+
+impl std::error::Error for BoundExceeded {}
+
+/// A bounded breadth-first explorer over states of type `K` with edge
+/// labels of type `L`.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_automata::Explorer;
+///
+/// // Collatz-style toy system, bounded.
+/// let lts = Explorer::new(10_000)
+///     .explore(6u64, |&n| {
+///         if n == 1 { vec![] }
+///         else if n % 2 == 0 { vec![("half", n / 2)] }
+///         else { vec![("triple", 3 * n + 1)] }
+///     })
+///     .unwrap();
+/// assert!(lts.len() >= 8);
+/// assert!(lts.find_state(&1).is_some());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    bound: usize,
+}
+
+impl Explorer {
+    /// Creates an explorer that fails beyond `bound` states.
+    pub fn new(bound: usize) -> Self {
+        Explorer { bound }
+    }
+
+    /// Explores from `initial` using `succ`, breadth first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundExceeded`] if more than `bound` distinct states are
+    /// reachable.
+    pub fn explore<K, L, F>(&self, initial: K, mut succ: F) -> Result<Lts<K, L>, BoundExceeded>
+    where
+        K: Clone + Eq + Hash,
+        F: FnMut(&K) -> Vec<(L, K)>,
+    {
+        let mut states = vec![initial.clone()];
+        let mut index: HashMap<K, usize> = HashMap::from([(initial, 0)]);
+        let mut edges: Vec<Vec<(L, usize)>> = Vec::new();
+        let mut next = 0usize;
+        while next < states.len() {
+            let state = states[next].clone();
+            let mut out = Vec::new();
+            for (label, s2) in succ(&state) {
+                let id = match index.get(&s2) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len();
+                        if id >= self.bound {
+                            return Err(BoundExceeded { bound: self.bound });
+                        }
+                        index.insert(s2.clone(), id);
+                        states.push(s2);
+                        id
+                    }
+                };
+                out.push((label, id));
+            }
+            edges.push(out);
+            next += 1;
+        }
+        Ok(Lts { states, edges })
+    }
+}
+
+impl Default for Explorer {
+    /// An explorer with a generous default bound of 2²⁰ states.
+    fn default() -> Self {
+        Explorer::new(1 << 20)
+    }
+}
+
+impl<K: Eq, L> Lts<K, L> {
+    /// The number of reachable states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if there are no states (cannot happen: the initial state is
+    /// always present).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The initial state id (always `0`).
+    pub fn initial(&self) -> usize {
+        0
+    }
+
+    /// The state value at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: usize) -> &K {
+        &self.states[id]
+    }
+
+    /// Outgoing edges of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edges(&self, id: usize) -> &[(L, usize)] {
+        &self.edges[id]
+    }
+
+    /// Finds the id of a state equal to `k`.
+    pub fn find_state(&self, k: &K) -> Option<usize> {
+        self.states.iter().position(|s| s == k)
+    }
+
+    /// Iterates over `(source, label, target)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, &L, usize)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .flat_map(|(s, out)| out.iter().map(move |(l, t)| (s, l, *t)))
+    }
+
+    /// Ids of states with no outgoing edges.
+    pub fn sink_states(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, out)| out.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Breadth-first shortest path (as labels) from the initial state to
+    /// the first state satisfying `pred`, together with that state's id.
+    pub fn find_path<P>(&self, mut pred: P) -> Option<(Vec<&L>, usize)>
+    where
+        P: FnMut(&K) -> bool,
+    {
+        let mut prev: Vec<Option<(usize, &L)>> = vec![None; self.states.len()];
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(q) = queue.pop_front() {
+            if pred(&self.states[q]) {
+                let mut path = Vec::new();
+                let mut cur = q;
+                while let Some((p, l)) = prev[cur] {
+                    path.push(l);
+                    cur = p;
+                }
+                path.reverse();
+                return Some((path, q));
+            }
+            for (l, t) in &self.edges[q] {
+                if !seen[*t] {
+                    seen[*t] = true;
+                    prev[*t] = Some((q, l));
+                    queue.push_back(*t);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_lts(max: u32) -> Lts<u32, char> {
+        Explorer::new(1000)
+            .explore(
+                0u32,
+                |&n| {
+                    if n >= max {
+                        vec![]
+                    } else {
+                        vec![('i', n + 1)]
+                    }
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn explores_all_reachable_states() {
+        let lts = counter_lts(5);
+        assert_eq!(lts.len(), 6);
+        assert_eq!(lts.sink_states(), vec![5]);
+        assert!(!lts.is_empty());
+    }
+
+    #[test]
+    fn bound_is_respected() {
+        let err = Explorer::new(3)
+            .explore(0u32, |&n| vec![('i', n + 1)])
+            .unwrap_err();
+        assert_eq!(err, BoundExceeded { bound: 3 });
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn find_path_returns_shortest() {
+        // Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3, plus a long detour 0 -> 4 -> ... -> 3
+        let lts = Explorer::default()
+            .explore(0u8, |&n| match n {
+                0 => vec![('a', 1), ('b', 2), ('c', 4)],
+                1 | 2 => vec![('d', 3)],
+                4 => vec![('e', 5)],
+                5 => vec![('f', 3)],
+                _ => vec![],
+            })
+            .unwrap();
+        let (path, id) = lts.find_path(|&k| k == 3).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(*lts.state(id), 3);
+    }
+
+    #[test]
+    fn find_path_none_when_unreachable() {
+        let lts = counter_lts(2);
+        assert!(lts.find_path(|&k| k == 42).is_none());
+    }
+
+    #[test]
+    fn merges_confluent_states() {
+        // 0 -> 1 and 0 -> 1 via two labels: one state, two edges.
+        let lts = Explorer::default()
+            .explore(0u8, |&n| {
+                if n == 0 {
+                    vec![('x', 1), ('y', 1)]
+                } else {
+                    vec![]
+                }
+            })
+            .unwrap();
+        assert_eq!(lts.len(), 2);
+        assert_eq!(lts.edges(0).len(), 2);
+        assert_eq!(lts.iter_edges().count(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Nondeterministic finite automata over arbitrary symbol types.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::dfa::Dfa;
+use crate::Symbol;
+
+/// A nondeterministic finite automaton.
+///
+/// States are dense `usize` indices. There are no ε-transitions: the
+/// analyses of this workspace never need them, and their absence keeps
+/// subset construction and stepping simple and fast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa<S> {
+    num_states: usize,
+    starts: BTreeSet<usize>,
+    finals: BTreeSet<usize>,
+    trans: HashMap<usize, Vec<(S, usize)>>,
+}
+
+impl<S: Symbol> Nfa<S> {
+    /// Creates an empty automaton with no states.
+    pub fn new() -> Self {
+        Nfa {
+            num_states: 0,
+            starts: BTreeSet::new(),
+            finals: BTreeSet::new(),
+            trans: HashMap::new(),
+        }
+    }
+
+    /// Adds a fresh state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        let id = self.num_states;
+        self.num_states += 1;
+        id
+    }
+
+    /// Marks `q` as a start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a state of the automaton.
+    pub fn set_start(&mut self, q: usize) {
+        assert!(q < self.num_states, "state {q} out of range");
+        self.starts.insert(q);
+    }
+
+    /// Marks `q` as a final (accepting) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a state of the automaton.
+    pub fn set_final(&mut self, q: usize) {
+        assert!(q < self.num_states, "state {q} out of range");
+        self.finals.insert(q);
+    }
+
+    /// Adds the transition `from ──sym──▸ to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn add_transition(&mut self, from: usize, sym: S, to: usize) {
+        assert!(from < self.num_states, "state {from} out of range");
+        assert!(to < self.num_states, "state {to} out of range");
+        self.trans.entry(from).or_default().push((sym, to));
+    }
+
+    /// The number of states.
+    pub fn len(&self) -> usize {
+        self.num_states
+    }
+
+    /// Returns `true` if the automaton has no states.
+    pub fn is_empty(&self) -> bool {
+        self.num_states == 0
+    }
+
+    /// The start states.
+    pub fn starts(&self) -> &BTreeSet<usize> {
+        &self.starts
+    }
+
+    /// The final states.
+    pub fn finals(&self) -> &BTreeSet<usize> {
+        &self.finals
+    }
+
+    /// Returns `true` if `q` is final.
+    pub fn is_final(&self, q: usize) -> bool {
+        self.finals.contains(&q)
+    }
+
+    /// The outgoing transitions of `q`.
+    pub fn transitions_from(&self, q: usize) -> &[(S, usize)] {
+        self.trans.get(&q).map_or(&[], Vec::as_slice)
+    }
+
+    /// All distinct symbols appearing on transitions.
+    pub fn alphabet(&self) -> BTreeSet<S> {
+        self.trans
+            .values()
+            .flat_map(|v| v.iter().map(|(s, _)| s.clone()))
+            .collect()
+    }
+
+    /// One simultaneous step of the state set `from` on `sym`.
+    pub fn step(&self, from: &BTreeSet<usize>, sym: &S) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for q in from {
+            for (s, to) in self.transitions_from(*q) {
+                if s == sym {
+                    out.insert(*to);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the automaton on a word, returning the final state set.
+    pub fn run<I>(&self, word: I) -> BTreeSet<usize>
+    where
+        I: IntoIterator<Item = S>,
+    {
+        let mut set = self.starts.clone();
+        for sym in word {
+            set = self.step(&set, &sym);
+        }
+        set
+    }
+
+    /// Returns `true` if the automaton accepts the word.
+    pub fn accepts<I>(&self, word: I) -> bool
+    where
+        I: IntoIterator<Item = S>,
+    {
+        self.run(word).iter().any(|q| self.is_final(*q))
+    }
+
+    /// Subset construction: the equivalent deterministic automaton over
+    /// the alphabet of this automaton. Symbols outside the alphabet lead
+    /// to the (implicit) empty state set, which the resulting [`Dfa`]
+    /// models with a non-final sink.
+    pub fn determinize(&self) -> Dfa<S> {
+        let alphabet: Vec<S> = self.alphabet().into_iter().collect();
+        let mut dfa = Dfa::new(alphabet.iter().cloned());
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut queue: Vec<BTreeSet<usize>> = Vec::new();
+
+        let start_set = self.starts.clone();
+        let d0 = dfa.add_state(start_set.iter().any(|q| self.is_final(*q)));
+        dfa.set_start(d0);
+        index.insert(start_set.clone(), d0);
+        queue.push(start_set);
+
+        while let Some(set) = queue.pop() {
+            let from = index[&set];
+            for sym in &alphabet {
+                let next = self.step(&set, sym);
+                let to = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = dfa.add_state(next.iter().any(|q| self.is_final(*q)));
+                        index.insert(next.clone(), id);
+                        queue.push(next.clone());
+                        id
+                    }
+                };
+                dfa.add_transition(from, sym.clone(), to);
+            }
+        }
+        dfa
+    }
+
+    /// Breadth-first search for a shortest accepted word.
+    ///
+    /// Returns `None` if the language is empty.
+    pub fn shortest_accepted(&self) -> Option<Vec<S>> {
+        use std::collections::VecDeque;
+        let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        let mut queue: VecDeque<(BTreeSet<usize>, Vec<S>)> = VecDeque::new();
+        queue.push_back((self.starts.clone(), Vec::new()));
+        seen.insert(self.starts.clone());
+        let alphabet = self.alphabet();
+        while let Some((set, word)) = queue.pop_front() {
+            if set.iter().any(|q| self.is_final(*q)) {
+                return Some(word);
+            }
+            for sym in &alphabet {
+                let next = self.step(&set, sym);
+                if next.is_empty() || seen.contains(&next) {
+                    continue;
+                }
+                seen.insert(next.clone());
+                let mut w = word.clone();
+                w.push(sym.clone());
+                queue.push_back((next, w));
+            }
+        }
+        None
+    }
+}
+
+impl<S: Symbol> Default for Nfa<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA for "words over {a,b} ending in ab".
+    fn ends_in_ab() -> Nfa<char> {
+        let mut n = Nfa::new();
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.set_start(q0);
+        n.set_final(q2);
+        n.add_transition(q0, 'a', q0);
+        n.add_transition(q0, 'b', q0);
+        n.add_transition(q0, 'a', q1);
+        n.add_transition(q1, 'b', q2);
+        n
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let n = ends_in_ab();
+        assert!(n.accepts("ab".chars()));
+        assert!(n.accepts("babab".chars()));
+        assert!(!n.accepts("ba".chars()));
+        assert!(!n.accepts("".chars()));
+    }
+
+    #[test]
+    fn step_is_simultaneous() {
+        let n = ends_in_ab();
+        let after_a = n.step(&n.starts().clone(), &'a');
+        assert_eq!(after_a, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = ends_in_ab();
+        let d = n.determinize();
+        for w in ["", "a", "b", "ab", "ba", "aab", "abab", "abba", "bbab"] {
+            assert_eq!(
+                n.accepts(w.chars()),
+                d.accepts(w.chars()),
+                "disagreement on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shortest_accepted_finds_minimum() {
+        let n = ends_in_ab();
+        assert_eq!(n.shortest_accepted(), Some(vec!['a', 'b']));
+    }
+
+    #[test]
+    fn empty_language_has_no_witness() {
+        let mut n: Nfa<char> = Nfa::new();
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.set_start(q0);
+        n.set_final(q1); // unreachable: no transitions
+        assert_eq!(n.shortest_accepted(), None);
+    }
+
+    #[test]
+    fn alphabet_collects_symbols() {
+        let n = ends_in_ab();
+        assert_eq!(n.alphabet(), BTreeSet::from(['a', 'b']));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn transition_to_unknown_state_panics() {
+        let mut n: Nfa<char> = Nfa::new();
+        let q0 = n.add_state();
+        n.add_transition(q0, 'a', 5);
+    }
+
+    #[test]
+    fn works_with_string_symbols() {
+        let mut n: Nfa<String> = Nfa::new();
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.set_start(q0);
+        n.set_final(q1);
+        n.add_transition(q0, "hello".to_owned(), q1);
+        assert!(n.accepts(["hello".to_owned()]));
+        assert!(!n.accepts(["world".to_owned()]));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the automata substrate: determinisation,
+//! minimisation and boolean operations preserve/transform languages as
+//! specified.
+
+use proptest::prelude::*;
+use sufs_automata::{Dfa, Nfa};
+
+/// Strategy: a random NFA over the alphabet {0, 1} with up to 6 states.
+fn arb_nfa() -> impl Strategy<Value = Nfa<u8>> {
+    (2usize..=6).prop_flat_map(|n| {
+        let trans = proptest::collection::vec((0..n, 0u8..2, 0..n), 0..20);
+        let finals = proptest::collection::btree_set(0..n, 0..=n);
+        (Just(n), trans, finals).prop_map(|(n, trans, finals)| {
+            let mut nfa = Nfa::new();
+            for _ in 0..n {
+                nfa.add_state();
+            }
+            nfa.set_start(0);
+            for f in finals {
+                nfa.set_final(f);
+            }
+            for (from, sym, to) in trans {
+                nfa.add_transition(from, sym, to);
+            }
+            nfa
+        })
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..2, 0..10)
+}
+
+proptest! {
+    #[test]
+    fn determinize_preserves_language(nfa in arb_nfa(), word in arb_word()) {
+        let dfa = nfa.determinize();
+        prop_assert_eq!(
+            nfa.accepts(word.iter().copied()),
+            dfa.accepts(word.iter().copied())
+        );
+    }
+
+    #[test]
+    fn minimize_preserves_language(nfa in arb_nfa(), word in arb_word()) {
+        let dfa = nfa.determinize();
+        let min = dfa.minimize();
+        prop_assert_eq!(
+            dfa.accepts(word.iter().copied()),
+            min.accepts(word.iter().copied())
+        );
+    }
+
+    #[test]
+    fn minimize_is_idempotent_in_size(nfa in arb_nfa()) {
+        let min = nfa.determinize().minimize();
+        let min2 = min.minimize();
+        prop_assert_eq!(min.len(), min2.len());
+        prop_assert!(min.equivalent(&min2));
+    }
+
+    #[test]
+    fn complement_flips_membership(nfa in arb_nfa(), word in arb_word()) {
+        let dfa = nfa.determinize();
+        let comp = dfa.complement();
+        // Words over the automaton's own alphabet flip membership; words
+        // using symbols outside the alphabet are rejected by both.
+        let in_alphabet = word.iter().all(|s| dfa.alphabet().contains(s));
+        if in_alphabet && dfa.start().is_some() {
+            prop_assert_eq!(
+                dfa.accepts(word.iter().copied()),
+                !comp.accepts(word.iter().copied())
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_is_conjunction(a in arb_nfa(), b in arb_nfa(), word in arb_word()) {
+        let da = a.determinize();
+        let db = b.determinize();
+        let i = da.intersect(&db);
+        prop_assert_eq!(
+            i.accepts(word.iter().copied()),
+            da.accepts(word.iter().copied()) && db.accepts(word.iter().copied())
+        );
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_after_transformations(nfa in arb_nfa()) {
+        let dfa = nfa.determinize();
+        prop_assert!(dfa.equivalent(&dfa.minimize()));
+        prop_assert!(dfa.equivalent(&dfa.complete()));
+        prop_assert!(dfa.equivalent(&dfa.complement().complement()));
+    }
+
+    #[test]
+    fn shortest_accepted_is_accepted_and_shortest(nfa in arb_nfa()) {
+        let dfa = nfa.determinize();
+        if let Some(w) = dfa.shortest_accepted() {
+            prop_assert!(dfa.accepts(w.iter().copied()));
+            // No strictly shorter accepted word: check all words up to len-1.
+            if w.len() <= 6 && !w.is_empty() {
+                for len in 0..w.len() {
+                    for mask in 0..(1u32 << len) {
+                        let cand: Vec<u8> =
+                            (0..len).map(|i| ((mask >> i) & 1) as u8).collect();
+                        prop_assert!(!dfa.accepts(cand.iter().copied()));
+                    }
+                }
+            }
+        } else {
+            // Empty language: spot-check a few words.
+            for w in [vec![], vec![0], vec![1], vec![0, 1], vec![1, 1, 0]] {
+                prop_assert!(!dfa.accepts(w.iter().copied()));
+            }
+        }
+    }
+}
+
+#[test]
+fn dfa_from_scratch_equivalence_regression() {
+    // Two syntactically different DFAs for "odd length" words.
+    let mut d1: Dfa<u8> = Dfa::new([0, 1]);
+    let e = d1.add_state(false);
+    let o = d1.add_state(true);
+    d1.set_start(e);
+    for s in [0u8, 1] {
+        d1.add_transition(e, s, o);
+        d1.add_transition(o, s, e);
+    }
+    let mut d2: Dfa<u8> = Dfa::new([0, 1]);
+    let a = d2.add_state(false);
+    let b = d2.add_state(true);
+    let c = d2.add_state(false);
+    d2.set_start(a);
+    for s in [0u8, 1] {
+        d2.add_transition(a, s, b);
+        d2.add_transition(b, s, c);
+        d2.add_transition(c, s, b);
+    }
+    assert!(d1.equivalent(&d2));
+    assert_eq!(d2.minimize().len(), 2);
+}

@@ -1,0 +1,73 @@
+//! B5 — the automata substrate: subset construction, product, emptiness
+//! and minimisation on random automata families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+use sufs_automata::{Dfa, Nfa};
+use sufs_bench::rng;
+
+fn random_nfa(states: usize, density: usize, seed: u64) -> Nfa<u8> {
+    let mut r = rng(seed);
+    let mut n = Nfa::new();
+    for _ in 0..states {
+        n.add_state();
+    }
+    n.set_start(0);
+    n.set_final(states - 1);
+    for _ in 0..states * density {
+        let from = r.gen_range(0..states);
+        let to = r.gen_range(0..states);
+        let sym = r.gen_range(0..2u8);
+        n.add_transition(from, sym, to);
+    }
+    n
+}
+
+fn subset_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata_determinize");
+    for states in [8usize, 16, 32] {
+        let nfa = random_nfa(states, 3, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(states), &nfa, |b, nfa| {
+            b.iter(|| nfa.determinize().len())
+        });
+    }
+    group.finish();
+}
+
+fn product_and_emptiness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata_product");
+    for states in [8usize, 16, 32] {
+        let d1: Dfa<u8> = random_nfa(states, 3, 2).determinize();
+        let d2: Dfa<u8> = random_nfa(states, 3, 3).determinize();
+        group.bench_with_input(
+            BenchmarkId::new("intersect", states),
+            &(d1.clone(), d2.clone()),
+            |b, (d1, d2)| b.iter(|| d1.intersect(d2).len()),
+        );
+        let prod = d1.intersect(&d2);
+        group.bench_with_input(BenchmarkId::new("emptiness", states), &prod, |b, p| {
+            b.iter(|| p.language_is_empty())
+        });
+    }
+    group.finish();
+}
+
+fn minimisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata_minimize");
+    for states in [8usize, 16, 32] {
+        let d: Dfa<u8> = random_nfa(states, 3, 4).determinize();
+        group.bench_with_input(BenchmarkId::from_parameter(states), &d, |b, d| {
+            b.iter(|| d.minimize().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    subset_construction,
+    product_and_emptiness,
+    minimisation
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E2 / B1 — compliance checking: the paper's broker-vs-hotel pairs and
+//! scaling over contract depth and width, for both decision procedures
+//! (Theorem 1's product automaton and the coinductive Definition 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sufs::paper;
+use sufs_bench::{broken_pair, compliant_pair};
+use sufs_contract::{compliant, compliant_coinductive, Contract};
+use sufs_hexpr::Location;
+
+fn paper_pairs(c: &mut Criterion) {
+    let repo = paper::repository();
+    let broker_body = sufs_hexpr::requests::requests(&paper::broker())[0]
+        .body
+        .clone();
+    let broker_side = Contract::from_service(&broker_body).unwrap();
+    let mut group = c.benchmark_group("compliance_paper");
+    for loc in ["s1", "s2", "s3", "s4"] {
+        let hotel = Contract::from_service(repo.get(&Location::new(loc)).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::new("product", loc), &hotel, |b, hotel| {
+            b.iter(|| compliant(&broker_side, hotel).holds())
+        });
+        group.bench_with_input(BenchmarkId::new("coinductive", loc), &hotel, |b, hotel| {
+            b.iter(|| compliant_coinductive(&broker_side, hotel))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compliance_scaling_depth");
+    for depth in [2usize, 4, 6, 8] {
+        let (client, server) = compliant_pair(depth, 3, 42);
+        group.bench_with_input(
+            BenchmarkId::new("compliant/product", depth),
+            &depth,
+            |b, _| b.iter(|| compliant(&client, &server).holds()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compliant/coinductive", depth),
+            &depth,
+            |b, _| b.iter(|| compliant_coinductive(&client, &server)),
+        );
+        let (bclient, bserver) = broken_pair(depth, 3, 42);
+        group.bench_with_input(BenchmarkId::new("broken/product", depth), &depth, |b, _| {
+            b.iter(|| compliant(&bclient, &bserver).holds())
+        });
+    }
+    group.finish();
+}
+
+fn scaling_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compliance_scaling_width");
+    for width in [2usize, 4, 6, 8] {
+        let (client, server) = compliant_pair(4, width, 7);
+        group.bench_with_input(BenchmarkId::new("product", width), &width, |b, _| {
+            b.iter(|| compliant(&client, &server).holds())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_pairs, scaling_depth, scaling_width);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! B6 — the λ-calculus front end: type-and-effect inference throughput
+//! on generated programs, and the paper's Fig. 2 services written as
+//! programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sufs_bench::lambda_chain;
+use sufs_lang::{eval, infer, parse_expr};
+
+fn inference_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effect_inference_chain");
+    for n in [10usize, 100, 1000] {
+        let e = lambda_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &e, |b, e| {
+            b.iter(|| infer(e).unwrap().effect.size())
+        });
+    }
+    group.finish();
+}
+
+fn paper_service_programs(c: &mut Criterion) {
+    let hotel_src = "#sgn(1); #p(45); #ta(80); offer[idc -> choose[bok -> () | una -> ()]]";
+    let pump_src =
+        "rec pump(x: unit) -> unit { offer[item -> send fetch; pump(x) | end -> ()] }(())";
+    c.bench_function("lang_parse/hotel", |b| {
+        b.iter(|| parse_expr(hotel_src).unwrap())
+    });
+    let hotel = parse_expr(hotel_src).unwrap();
+    c.bench_function("effect_inference/hotel", |b| {
+        b.iter(|| infer(&hotel).unwrap())
+    });
+    let pump = parse_expr(pump_src).unwrap();
+    c.bench_function("effect_inference/recursive_pump", |b| {
+        b.iter(|| infer(&pump).unwrap())
+    });
+}
+
+fn evaluation(c: &mut Criterion) {
+    let e = lambda_chain(100);
+    c.bench_function("lang_eval/chain_100", |b| {
+        b.iter(|| {
+            let mut rng = sufs_bench::rng(1);
+            eval(&e, &mut rng, 1 << 20).unwrap().trace.len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    inference_scaling,
+    paper_service_programs,
+    evaluation
+);
+criterion_main!(benches);

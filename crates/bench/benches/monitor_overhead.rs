@@ -1,0 +1,96 @@
+//! E8 / B4 — the cost of the run-time monitor that §5 makes
+//! unnecessary: the same ping-pong workload executed with the validity
+//! monitor enforcing vs switched off, as sessions grow longer and as
+//! more policies are active.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_bench::{ping_pong_client, ping_pong_server};
+use sufs_hexpr::{Hist, PolicyRef};
+use sufs_net::{ChoiceMode, MonitorMode, Network, Plan, Repository, Scheduler};
+use sufs_policy::{catalog, PolicyRegistry};
+
+fn repo() -> Repository {
+    let mut repo = Repository::new();
+    repo.publish("srv", ping_pong_server());
+    repo
+}
+
+fn run_once(
+    client: &Hist,
+    repo: &Repository,
+    reg: &PolicyRegistry,
+    mode: MonitorMode,
+    seed: u64,
+) -> bool {
+    let scheduler = Scheduler::new(repo, reg, mode, ChoiceMode::Angelic);
+    let mut network = Network::new();
+    network.add_client("c", client.clone(), Plan::new().with(1u32, "srv"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    scheduler
+        .run(network, &mut rng, 1 << 20)
+        .expect("run succeeds")
+        .outcome
+        .is_success()
+}
+
+fn monitor_on_vs_off(c: &mut Criterion) {
+    let repo = repo();
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::at_most("round", 500));
+    let phi = PolicyRef::nullary("at_most_500_round");
+
+    let mut group = c.benchmark_group("monitor_overhead_rounds");
+    group.sample_size(10);
+    for rounds in [8usize, 32, 128] {
+        let client = Hist::framed(phi.clone(), ping_pong_client(rounds));
+        group.bench_with_input(
+            BenchmarkId::new("enforcing", rounds),
+            &client,
+            |b, client| {
+                b.iter(|| assert!(run_once(client, &repo, &reg, MonitorMode::Enforcing, 1)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("audit", rounds), &client, |b, client| {
+            b.iter(|| assert!(run_once(client, &repo, &reg, MonitorMode::Audit, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("off", rounds), &client, |b, client| {
+            b.iter(|| assert!(run_once(client, &repo, &reg, MonitorMode::Off, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn monitor_vs_policy_count(c: &mut Criterion) {
+    let repo = repo();
+    let mut group = c.benchmark_group("monitor_overhead_policies");
+    group.sample_size(10);
+    for npol in [1usize, 4, 16] {
+        let mut reg = PolicyRegistry::new();
+        let mut client = ping_pong_client(32);
+        for i in 0..npol {
+            reg.register(catalog::at_most(&format!("evt{i}"), 1));
+            client = Hist::framed(PolicyRef::nullary(format!("at_most_1_evt{i}")), client);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("enforcing", npol),
+            &(client.clone(), reg.clone()),
+            |b, (client, reg)| {
+                b.iter(|| assert!(run_once(client, &repo, reg, MonitorMode::Enforcing, 2)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("off", npol),
+            &(client, reg),
+            |b, (client, reg)| {
+                b.iter(|| assert!(run_once(client, &repo, reg, MonitorMode::Off, 2)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, monitor_on_vs_off, monitor_vs_policy_count);
+criterion_main!(benches);

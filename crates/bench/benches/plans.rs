@@ -1,0 +1,78 @@
+//! E4 / B3 — plan synthesis: verifying the paper's clients against the
+//! Fig. 2 repository, and the combinatorial scaling of enumeration +
+//! verification in the number of requests `r` and repository size `s`
+//! (the candidate space is `sʳ`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sufs::paper;
+use sufs_bench::{multi_request_client, responder_repo, scaled_hotel_repo};
+use sufs_core::{enumerate_plans, verify, verify_plan};
+use sufs_policy::PolicyRegistry;
+
+fn paper_plan_synthesis(c: &mut Criterion) {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    c.bench_function("plan_synthesis_paper/c1_all_plans", |b| {
+        b.iter(|| verify(&paper::client_c1(), &repo, &reg).unwrap())
+    });
+    c.bench_function("plan_synthesis_paper/c2_all_plans", |b| {
+        b.iter(|| verify(&paper::client_c2(), &repo, &reg).unwrap())
+    });
+    c.bench_function("plan_synthesis_paper/pi1_single", |b| {
+        b.iter(|| verify_plan(&paper::client_c1(), &paper::plan_pi1(), &repo, &reg).unwrap())
+    });
+}
+
+fn hotel_repo_scaling(c: &mut Criterion) {
+    let reg = paper::registry();
+    let mut group = c.benchmark_group("plan_synthesis_hotels");
+    group.sample_size(10);
+    for hotels in [4usize, 8, 16] {
+        let repo = scaled_hotel_repo(hotels);
+        group.bench_with_input(BenchmarkId::from_parameter(hotels), &repo, |b, repo| {
+            b.iter(|| verify(&paper::client_c1(), repo, &reg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn enumeration_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_enumeration");
+    group.sample_size(10);
+    for (r, s) in [(2usize, 4usize), (3, 4), (4, 4), (3, 8)] {
+        let client = multi_request_client(r);
+        let repo = responder_repo(s);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{r}_s{s}")),
+            &(client, repo),
+            |b, (client, repo)| b.iter(|| enumerate_plans(client, repo, 1 << 20).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn full_verification_scaling(c: &mut Criterion) {
+    let reg = PolicyRegistry::new();
+    let mut group = c.benchmark_group("plan_verification");
+    group.sample_size(10);
+    for (r, s) in [(2usize, 2usize), (2, 4), (3, 3)] {
+        let client = multi_request_client(r);
+        let repo = responder_repo(s);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{r}_s{s}")),
+            &(client, repo),
+            |b, (client, repo)| b.iter(|| verify(client, repo, &reg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    paper_plan_synthesis,
+    hotel_repo_scaling,
+    enumeration_scaling,
+    full_verification_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E9 ablation — the quantitative (§5 / \[14\]) extension: static
+//! cost-bound checking as the charged chain grows and as the budget
+//! (and hence the tracked cost configurations) grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sufs_hexpr::{Hist, PolicyRef};
+use sufs_policy::cost::{check_cost_bound, CostBound, CostModel};
+
+fn budget(bound: u64) -> CostBound {
+    CostBound {
+        policy: PolicyRef::nullary("wallet"),
+        model: CostModel::new().flat("spend", 1),
+        bound,
+    }
+}
+
+fn charged_chain(n: usize) -> Hist {
+    Hist::framed(
+        PolicyRef::nullary("wallet"),
+        Hist::seq_all((0..n).map(|i| Hist::ev(sufs_hexpr::Event::new("spend", [i as i64])))),
+    )
+}
+
+fn chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_bound_chain");
+    for n in [10usize, 100, 400] {
+        let h = charged_chain(n);
+        let cb = budget(n as u64 + 1); // within budget: full exploration
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| check_cost_bound(h, &cb, 1 << 20).unwrap().is_within())
+        });
+    }
+    group.finish();
+}
+
+fn budget_scaling(c: &mut Criterion) {
+    // A charging loop: phase 1 proves unboundedness via the SCC pass,
+    // so the cost is flat in the budget.
+    let loop_h = Hist::framed(
+        PolicyRef::nullary("wallet"),
+        Hist::mu(
+            "h",
+            Hist::int_([
+                (
+                    sufs_hexpr::Channel::new("go"),
+                    Hist::seq(
+                        Hist::ev(sufs_hexpr::Event::nullary("spend")),
+                        Hist::var("h"),
+                    ),
+                ),
+                (sufs_hexpr::Channel::new("stop"), Hist::Eps),
+            ]),
+        ),
+    );
+    let mut group = c.benchmark_group("cost_bound_unbounded_loop");
+    for bound in [10u64, 10_000, 10_000_000] {
+        let cb = budget(bound);
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &loop_h, |b, h| {
+            b.iter(|| !check_cost_bound(h, &cb, 1 << 20).unwrap().is_within())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chain_scaling, budget_scaling);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! E1 / B2 — security machinery: instantiating and running the Fig. 1
+//! policy automaton, batch history validity `⊨ η`, and the static
+//! validity model checker as the history grows and framings nest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sufs::paper;
+use sufs_bench::framed_event_chain;
+use sufs_hexpr::semantics::successors;
+use sufs_hexpr::{Event, Hist, PolicyRef};
+use sufs_policy::{catalog, check_validity, History, HistoryItem, PolicyRegistry};
+
+fn policy_instantiation(c: &mut Criterion) {
+    let reg = paper::registry();
+    c.bench_function("policy_instantiation/fig1", |b| {
+        b.iter(|| reg.instantiate(&paper::phi1()).unwrap())
+    });
+    let inst = reg.instantiate(&paper::phi1()).unwrap();
+    let trace: Vec<Event> = vec![
+        Event::new("sgn", [3i64]),
+        Event::new("p", [90i64]),
+        Event::new("ta", [100i64]),
+    ];
+    c.bench_function("policy_run/fig1_trace", |b| {
+        b.iter(|| inst.respects(trace.iter()))
+    });
+}
+
+fn batch_validity(c: &mut Criterion) {
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::at_most("op", 2000));
+    let phi = PolicyRef::nullary("at_most_2000_op");
+    let mut group = c.benchmark_group("history_validity");
+    for n in [10usize, 100, 1000] {
+        let mut h = History::new();
+        h.push_open(phi.clone());
+        for i in 0..n {
+            h.push_event(Event::new("op", [i as i64]));
+        }
+        h.push_close(phi.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| h.is_valid(&reg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn static_model_checking(c: &mut Criterion) {
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::at_most("op", 2000));
+    let phi = PolicyRef::nullary("at_most_2000_op");
+    let mut group = c.benchmark_group("validity_model_checking");
+    for n in [10usize, 50, 200] {
+        let h = framed_event_chain(n, phi.clone());
+        group.bench_with_input(BenchmarkId::new("chain", n), &h, |b, h| {
+            b.iter(|| check_validity(h.clone(), |x: &Hist| successors(x), &reg, 1 << 20).unwrap())
+        });
+    }
+    // Nesting depth: φ⟦φ⟦…⟦α⟧…⟧⟧.
+    for depth in [2usize, 8, 32] {
+        let mut h = Hist::ev(Event::nullary("op"));
+        for _ in 0..depth {
+            h = Hist::framed(phi.clone(), h);
+        }
+        group.bench_with_input(BenchmarkId::new("nesting", depth), &h, |b, h| {
+            b.iter(|| check_validity(h.clone(), |x: &Hist| successors(x), &reg, 1 << 20).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn incremental_monitor(c: &mut Criterion) {
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::at_most("op", 2000));
+    let phi = PolicyRef::nullary("at_most_2000_op");
+    let mut group = c.benchmark_group("incremental_monitor");
+    for n in [100usize, 1000] {
+        let mut items = vec![HistoryItem::Open(phi.clone())];
+        items.extend((0..n).map(|i| HistoryItem::Ev(Event::new("op", [i as i64]))));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| {
+                let mut m = sufs_net::ValidityMonitor::new();
+                for item in items {
+                    m.observe(item, &reg).unwrap();
+                }
+                m.is_valid()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn regularisation_ablation(c: &mut Criterion) {
+    use sufs_policy::regularize::regularize;
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::at_most("op", 2000));
+    let phi = PolicyRef::nullary("at_most_2000_op");
+    let mut group = c.benchmark_group("regularisation_ablation");
+    for depth in [4usize, 16, 64] {
+        // Deeply nested same-policy framings around a small body.
+        let mut h = Hist::seq(
+            Hist::ev(Event::new("op", [1i64])),
+            Hist::ev(Event::new("op", [2i64])),
+        );
+        for _ in 0..depth {
+            h = Hist::framed(phi.clone(), h);
+        }
+        group.bench_with_input(BenchmarkId::new("raw", depth), &h, |b, h| {
+            b.iter(|| check_validity(h.clone(), |x: &Hist| successors(x), &reg, 1 << 20).unwrap())
+        });
+        let r = regularize(&h);
+        group.bench_with_input(BenchmarkId::new("regularized", depth), &r, |b, r| {
+            b.iter(|| check_validity(r.clone(), |x: &Hist| successors(x), &reg, 1 << 20).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    policy_instantiation,
+    batch_validity,
+    static_model_checking,
+    incremental_monitor,
+    regularisation_ablation
+);
+criterion_main!(benches);

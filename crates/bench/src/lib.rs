@@ -1,0 +1,253 @@
+//! Workload generators shared by the `sufs` benchmark suite.
+//!
+//! Each generator is deterministic in its parameters (no wall-clock
+//! randomness), so benchmark series are reproducible. The `benches/`
+//! directory regenerates every experiment of `EXPERIMENTS.md`:
+//!
+//! | bench target          | experiment |
+//! |-----------------------|------------|
+//! | `compliance`          | E2, B1     |
+//! | `validity`            | E1, B2     |
+//! | `plans`               | E4, B3     |
+//! | `monitor_overhead`    | E8, B4     |
+//! | `automata_ops`        | B5         |
+//! | `effects`             | B6         |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sufs_contract::{dual, Contract};
+use sufs_hexpr::builder::*;
+use sufs_hexpr::{Channel, Hist};
+use sufs_lang::Expr;
+use sufs_net::{Plan, Repository};
+
+/// A deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random communication-only behaviour of the given `depth`, with
+/// choices of width up to `width`. Deterministic in `(depth, width,
+/// seed)`.
+pub fn random_contract(depth: usize, width: usize, seed: u64) -> Contract {
+    let mut r = rng(seed);
+    let h = gen_hist(depth, width, &mut r);
+    Contract::new(h).expect("generated contracts are well-formed")
+}
+
+fn gen_hist(depth: usize, width: usize, r: &mut StdRng) -> Hist {
+    if depth == 0 {
+        return Hist::Eps;
+    }
+    let w = r.gen_range(1..=width.max(1));
+    let chans: Vec<Channel> = (0..w).map(|i| Channel::new(format!("c{i}"))).collect();
+    let branches: Vec<(Channel, Hist)> = chans
+        .into_iter()
+        .map(|c| (c, gen_hist(depth - 1, width, r)))
+        .collect();
+    if r.gen_bool(0.5) {
+        Hist::Int(branches)
+    } else {
+        Hist::Ext(branches)
+    }
+}
+
+/// A compliant pair: a random contract and its dual.
+pub fn compliant_pair(depth: usize, width: usize, seed: u64) -> (Contract, Contract) {
+    let c = random_contract(depth, width, seed);
+    let d = dual(&c);
+    (c, d)
+}
+
+/// A (usually) non-compliant pair: the dual with one extra internal
+/// branch grafted on a fresh channel, which the client cannot receive.
+pub fn broken_pair(depth: usize, width: usize, seed: u64) -> (Contract, Contract) {
+    let c = random_contract(depth, width, seed);
+    let d = dual(&c);
+    let poisoned = poison(d.hist());
+    (
+        c,
+        Contract::new(poisoned).expect("poisoned contract is well-formed"),
+    )
+}
+
+fn poison(h: &Hist) -> Hist {
+    match h {
+        Hist::Int(bs) => {
+            let mut bs = bs.clone();
+            bs.push((Channel::new("zz_unexpected"), Hist::Eps));
+            Hist::Int(bs)
+        }
+        Hist::Ext(bs) if !bs.is_empty() => {
+            let mut bs = bs.clone();
+            let (c, cont) = bs.remove(0);
+            bs.insert(0, (c, poison(&cont)));
+            Hist::Ext(bs)
+        }
+        Hist::Seq(a, b) => Hist::seq(poison(a), (**b).clone()),
+        other => {
+            // Terminal position: append an unexpected send.
+            Hist::seq(
+                other.clone(),
+                Hist::int_([(Channel::new("zz_unexpected"), Hist::Eps)]),
+            )
+        }
+    }
+}
+
+/// A client firing a chain of `n` events inside a framing — the
+/// validity-scaling workload (B2).
+pub fn framed_event_chain(n: usize, policy: sufs_hexpr::PolicyRef) -> Hist {
+    framed(policy, Hist::seq_all((0..n).map(|i| ev("op", [i as i64]))))
+}
+
+/// The hotel repository of the paper scaled to `h` hotels (`s1`…`sh`,
+/// prices and ratings cycling through the paper's values) plus the
+/// broker at `br`.
+pub fn scaled_hotel_repo(h: usize) -> Repository {
+    let mut repo = Repository::new();
+    repo.publish("br", sufs::paper::broker());
+    let prices = [45i64, 70, 90, 50, 30, 120];
+    let ratings = [80i64, 100, 100, 90, 60, 95];
+    for i in 1..=h {
+        repo.publish(
+            format!("s{i}"),
+            sufs::paper::hotel(
+                i as i64,
+                prices[i % prices.len()],
+                ratings[i % ratings.len()],
+            ),
+        );
+    }
+    repo
+}
+
+/// A client issuing `r` independent requests, each a one-round
+/// request/response — the plan-enumeration workload (B3): the plan
+/// space over a repository of `s` services has `sʳ` candidates.
+pub fn multi_request_client(r: usize) -> Hist {
+    Hist::seq_all((0..r).map(|i| {
+        request(
+            i as u32 + 1,
+            None,
+            seq([send("q", eps()), offer([("a", eps())])]),
+        )
+    }))
+}
+
+/// A repository of `s` interchangeable responder services for
+/// [`multi_request_client`].
+pub fn responder_repo(s: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..s {
+        repo.publish(format!("srv{i}"), recv("q", choose([("a", eps())])));
+    }
+    repo
+}
+
+/// A plan binding every request of [`multi_request_client`] to the
+/// first responder.
+pub fn first_responder_plan(r: usize) -> Plan {
+    let mut plan = Plan::new();
+    for i in 0..r {
+        plan.bind(i as u32 + 1, "srv0");
+    }
+    plan
+}
+
+/// A ping-pong client of `k` rounds, each logging an event — the
+/// monitor-overhead workload (B4).
+pub fn ping_pong_client(k: usize) -> Hist {
+    let mut body = eps();
+    for i in (0..k).rev() {
+        body = seq([ev("round", [i as i64]), send("ping", recv("pong", body))]);
+    }
+    request(1, None, body)
+}
+
+/// The ping-pong server: answers any number of rounds.
+pub fn ping_pong_server() -> Hist {
+    sufs_hexpr::parse_hist("mu h. ext[ping -> int[pong -> h]]").expect("static source parses")
+}
+
+/// A λ-term of `n` chained event-emitting lets — the effect-inference
+/// workload (B6).
+pub fn lambda_chain(n: usize) -> Expr {
+    let mut body = Expr::Unit;
+    for i in (0..n).rev() {
+        body = Expr::let_(format!("x{i}"), Expr::event("step", [i as i64]), body);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_contract::compliant;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_contract(3, 2, 7), random_contract(3, 2, 7));
+        assert_ne!(random_contract(3, 2, 7), random_contract(3, 2, 8));
+    }
+
+    #[test]
+    fn compliant_pairs_comply_and_broken_pairs_do_not() {
+        for seed in 0..20 {
+            let (c, d) = compliant_pair(4, 3, seed);
+            assert!(compliant(&c, &d).holds(), "seed {seed}");
+        }
+        let mut broken_count = 0;
+        for seed in 0..20 {
+            let (c, d) = broken_pair(4, 3, seed);
+            if !compliant(&c, &d).holds() {
+                broken_count += 1;
+            }
+        }
+        assert!(broken_count >= 15, "poisoning rarely broke compliance");
+    }
+
+    #[test]
+    fn scaled_repo_has_expected_size() {
+        let repo = scaled_hotel_repo(10);
+        assert_eq!(repo.len(), 11); // broker + 10 hotels
+    }
+
+    #[test]
+    fn multi_request_fixture_is_coherent() {
+        let client = multi_request_client(3);
+        assert!(sufs_hexpr::wf::check(&client).is_ok());
+        let repo = responder_repo(2);
+        let plans = sufs_core::enumerate_plans(&client, &repo, 1000).unwrap();
+        assert_eq!(plans.len(), 8); // 2³
+        let plan = first_responder_plan(3);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn ping_pong_fixture_runs() {
+        use rand::SeedableRng;
+        let mut repo = Repository::new();
+        repo.publish("srv", ping_pong_server());
+        let reg = sufs_policy::PolicyRegistry::new();
+        let mut net = sufs_net::Network::new();
+        net.add_client("c", ping_pong_client(5), Plan::new().with(1u32, "srv"));
+        let r = sufs_net::Scheduler::new(
+            &repo,
+            &reg,
+            sufs_net::MonitorMode::Off,
+            sufs_net::ChoiceMode::Angelic,
+        )
+        .run(net, &mut rand::rngs::StdRng::seed_from_u64(1), 10_000)
+        .unwrap();
+        assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn lambda_chain_infers() {
+        let e = lambda_chain(10);
+        let te = sufs_lang::infer(&e).unwrap();
+        assert_eq!(te.effect.size(), 19); // 10 events + 9 seqs
+    }
+}

@@ -1,0 +1,202 @@
+//! Compliance of contracts (Definition 4) and its two decision
+//! procedures: the product-automaton emptiness check of Theorem 1, and a
+//! direct greatest-fixpoint computation of Definition 4 used to
+//! cross-validate the theorem (experiment E6).
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+use crate::contract::Contract;
+use crate::product::{ProductAutomaton, StuckWitness};
+use sufs_hexpr::ready::has_handshake;
+
+/// The outcome of a compliance check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplianceResult {
+    witness: Option<StuckWitness>,
+    product_states: usize,
+}
+
+impl ComplianceResult {
+    /// Returns `true` if the contracts are compliant (`H₁ ⊢ H₂`).
+    pub fn holds(&self) -> bool {
+        self.witness.is_none()
+    }
+
+    /// The counterexample path to a stuck configuration, if any.
+    pub fn witness(&self) -> Option<&StuckWitness> {
+        self.witness.as_ref()
+    }
+
+    /// The number of reachable product states explored by the check.
+    pub fn product_states(&self) -> usize {
+        self.product_states
+    }
+}
+
+impl fmt::Display for ComplianceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.witness {
+            None => write!(f, "compliant"),
+            Some(w) => write!(f, "NOT compliant: {w}"),
+        }
+    }
+}
+
+/// Decides `client ⊢ server` via the product automaton (Theorem 1):
+/// the contracts are compliant iff `L(client ⊗ server) = ∅`.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_contract::compliance::compliant;
+/// use sufs_contract::contract::Contract;
+/// use sufs_hexpr::parse_hist;
+///
+/// // The broker accepts bok/una; hotel S1 sends one of those: compliant.
+/// let broker = Contract::new(parse_hist("ext[bok -> eps | una -> eps]").unwrap()).unwrap();
+/// let s1 = Contract::new(parse_hist("int[bok -> eps | una -> eps]").unwrap()).unwrap();
+/// assert!(compliant(&broker, &s1).holds());
+///
+/// // Hotel S2 may also send `del`, which the broker cannot handle.
+/// let s2 = Contract::new(
+///     parse_hist("int[bok -> eps | una -> eps | del -> eps]").unwrap(),
+/// ).unwrap();
+/// let r = compliant(&broker, &s2);
+/// assert!(!r.holds());
+/// ```
+pub fn compliant(client: &Contract, server: &Contract) -> ComplianceResult {
+    let product = ProductAutomaton::build(client, server);
+    ComplianceResult {
+        witness: product.stuck_witness(),
+        product_states: product.len(),
+    }
+}
+
+/// Decides compliance directly from Definition 4, as the greatest
+/// relation `R` such that for every `(H₁, H₂) ∈ R`:
+///
+/// 1. `H₁ ⇓ C` and `H₂ ⇓ S` imply `C = ∅` or `C ∩ S̄ ≠ ∅`, and
+/// 2. every synchronised step leads to a pair again in `R`.
+///
+/// Since the reachable pair space is finite, the largest such relation
+/// contains `(client, server)` iff every reachable pair satisfies (1) —
+/// which is what this function checks. It is deliberately *independent*
+/// of [`ProductAutomaton`] so the two can be compared (Theorem 1).
+pub fn compliant_coinductive(client: &Contract, server: &Contract) -> bool {
+    let mut seen: HashSet<(Contract, Contract)> = HashSet::new();
+    let mut queue = VecDeque::from([(client.clone(), server.clone())]);
+    seen.insert((client.clone(), server.clone()));
+    while let Some((c1, c2)) = queue.pop_front() {
+        if !ready_condition(&c1, &c2) {
+            return false;
+        }
+        for ((chan1, dir1), n1) in c1.steps() {
+            for ((chan2, dir2), n2) in c2.steps() {
+                if chan1 == chan2 && dir1 == dir2.co() {
+                    let pair = (n1.clone(), n2.clone());
+                    if seen.insert(pair.clone()) {
+                        queue.push_back(pair);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Condition (1) of Definition 4 on a single pair of contract states:
+/// for all ready sets `C` of the client and `S` of the server,
+/// `C = ∅` or `C ∩ S̄ ≠ ∅`.
+pub fn ready_condition(client: &Contract, server: &Contract) -> bool {
+    let cs = client.ready_sets();
+    let ss = server.ready_sets();
+    for c in &cs {
+        if c.is_empty() {
+            continue;
+        }
+        for s in &ss {
+            if !has_handshake(c, s) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::parse_hist;
+
+    fn c(src: &str) -> Contract {
+        Contract::new(parse_hist(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn product_and_coinductive_agree_on_paper_examples() {
+        let broker = c("ext[bok -> eps | una -> eps]");
+        let s1 = c("int[bok -> eps | una -> eps]");
+        let s2 = c("int[bok -> eps | una -> eps | del -> eps]");
+        assert!(compliant(&broker, &s1).holds());
+        assert!(compliant_coinductive(&broker, &s1));
+        assert!(!compliant(&broker, &s2).holds());
+        assert!(!compliant_coinductive(&broker, &s2));
+    }
+
+    #[test]
+    fn ready_condition_examples() {
+        // client a+b vs server b̄: handshake on b.
+        assert!(ready_condition(
+            &c("ext[a -> eps | b -> eps]"),
+            &c("int[b -> eps]")
+        ));
+        // client ā vs server b: no handshake.
+        assert!(!ready_condition(&c("int[a -> eps]"), &c("ext[b -> eps]")));
+        // client ε: C = ∅, fine whatever the server.
+        assert!(ready_condition(&Contract::eps(), &c("int[x -> eps]")));
+        // server ε while the client waits: stuck.
+        assert!(!ready_condition(&c("ext[a -> eps]"), &Contract::eps()));
+    }
+
+    #[test]
+    fn compliance_result_reports() {
+        let r = compliant(&c("ext[a -> eps]"), &c("ext[b -> eps]"));
+        assert!(!r.holds());
+        assert!(r.witness().is_some());
+        assert!(r.product_states() >= 1);
+        assert!(r.to_string().contains("NOT compliant"));
+        let ok = compliant(&c("int[a -> eps]"), &c("ext[a -> eps]"));
+        assert_eq!(ok.to_string(), "compliant");
+    }
+
+    #[test]
+    fn recursion_agreement() {
+        let client = c("mu h. int[ping -> ext[pong -> h]]");
+        let server = c("mu k. ext[ping -> int[pong -> k]]");
+        assert!(compliant(&client, &server).holds());
+        assert!(compliant_coinductive(&client, &server));
+        // Break the loop: the server eventually sends `bye` instead.
+        let server2 = c("ext[ping -> int[bye -> eps]]");
+        assert!(!compliant(&client, &server2).holds());
+        assert!(!compliant_coinductive(&client, &server2));
+    }
+
+    #[test]
+    fn compliance_is_order_sensitive() {
+        // Client termination is allowed, server termination is not: the
+        // relation is not symmetric.
+        let finisher = c("int[msg -> eps]");
+        let waiter = c("ext[msg -> ext[more -> eps]]");
+        assert!(compliant(&finisher, &waiter).holds());
+        assert!(!compliant(&waiter, &finisher).holds());
+    }
+
+    #[test]
+    fn sequenced_contracts() {
+        let client = c("int[a -> eps]; ext[r -> eps]");
+        let server = c("ext[a -> eps]; int[r -> eps]");
+        assert!(compliant(&client, &server).holds());
+        assert!(compliant_coinductive(&client, &server));
+    }
+}

@@ -1,0 +1,224 @@
+//! Behavioural contracts: the image of the projection `H!`.
+//!
+//! A [`Contract`] is a history expression containing only communication
+//! structure — `ε`, guarded choices, sequencing and guarded tail
+//! recursion. The projection function of §4 produces exactly this subset
+//! of the contracts of Castagna–Gesbert–Padovani \[12\]: internal choices
+//! are output-guarded, external choices input-guarded, and recursion is
+//! guarded tail recursion, which makes every contract finite state.
+
+use std::fmt;
+
+use sufs_hexpr::projection::{is_comm_only, project};
+use sufs_hexpr::ready::{ready_sets, ReadySet};
+use sufs_hexpr::semantics::successors;
+use sufs_hexpr::wf::{self, WfError};
+use sufs_hexpr::{Channel, Dir, Hist, Label};
+
+use std::collections::BTreeSet;
+
+/// An error raised when a history expression is not a valid contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// The expression contains events, requests or framings.
+    NotCommOnly,
+    /// The expression violates the well-formedness discipline.
+    IllFormed(WfError),
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::NotCommOnly => {
+                write!(f, "expression contains non-communication constructs")
+            }
+            ContractError::IllFormed(e) => write!(f, "ill-formed contract: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+impl From<WfError> for ContractError {
+    fn from(e: WfError) -> Self {
+        ContractError::IllFormed(e)
+    }
+}
+
+/// A behavioural contract (C-NEWTYPE over comm-only [`Hist`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Contract(Hist);
+
+impl Contract {
+    /// Wraps a communication-only, well-formed history expression.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::NotCommOnly`] if the expression mentions events,
+    /// requests or framings; [`ContractError::IllFormed`] if it violates
+    /// well-formedness (e.g. unguarded or non-tail recursion).
+    pub fn new(h: Hist) -> Result<Contract, ContractError> {
+        if !is_comm_only(&h) {
+            return Err(ContractError::NotCommOnly);
+        }
+        wf::check(&h)?;
+        Ok(Contract(h))
+    }
+
+    /// Projects a full service behaviour onto its contract: `H!` (§4).
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::IllFormed`] if the projection is ill-formed,
+    /// which can only happen if `service` itself was (e.g. a loop with no
+    /// communication guard).
+    pub fn from_service(service: &Hist) -> Result<Contract, ContractError> {
+        Contract::new(project(service))
+    }
+
+    /// The empty contract `ε`.
+    pub fn eps() -> Contract {
+        Contract(Hist::Eps)
+    }
+
+    /// Wraps without validating; for states produced by stepping a
+    /// validated contract (the fragment is closed under transitions).
+    pub(crate) fn new_unchecked(h: Hist) -> Contract {
+        Contract(h)
+    }
+
+    /// A view of the underlying history expression.
+    pub fn hist(&self) -> &Hist {
+        &self.0
+    }
+
+    /// Consumes the contract, returning the underlying expression.
+    pub fn into_hist(self) -> Hist {
+        self.0
+    }
+
+    /// Returns `true` for the terminated contract `ε`.
+    pub fn is_eps(&self) -> bool {
+        self.0.is_eps()
+    }
+
+    /// The communication transitions of the contract: pairs of a directed
+    /// channel action and the successor contract.
+    ///
+    /// Contract states reached by stepping stay within the contract
+    /// fragment, so the wrapper is rebuilt without re-validation.
+    pub fn steps(&self) -> Vec<((Channel, Dir), Contract)> {
+        successors(&self.0)
+            .into_iter()
+            .filter_map(|(l, h)| match l {
+                Label::Chan(c, d) => Some(((c, d), Contract(h))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The observable ready sets `{S | self ⇓ S}` (Definition 3).
+    pub fn ready_sets(&self) -> BTreeSet<ReadySet> {
+        ready_sets(&self.0)
+    }
+
+    /// The number of distinct states reachable from this contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state space exceeds the default bound, which cannot
+    /// happen for validated contracts (guarded tail recursion).
+    pub fn state_count(&self) -> usize {
+        sufs_hexpr::HistLts::build(&self.0)
+            .expect("validated contracts are finite state")
+            .len()
+    }
+}
+
+impl fmt::Display for Contract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<Hist> for Contract {
+    type Error = ContractError;
+
+    fn try_from(h: Hist) -> Result<Self, Self::Error> {
+        Contract::new(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::builder::*;
+    use sufs_hexpr::parse_hist;
+
+    #[test]
+    fn accepts_comm_only_expressions() {
+        let c = Contract::new(parse_hist("ext[a -> int[b -> eps]]").unwrap()).unwrap();
+        assert_eq!(c.steps().len(), 1);
+        assert!(!c.is_eps());
+        assert_eq!(c.to_string(), "ext[a -> int[b -> eps]]");
+    }
+
+    #[test]
+    fn rejects_events_and_frames() {
+        assert_eq!(
+            Contract::new(parse_hist("#a").unwrap()),
+            Err(ContractError::NotCommOnly)
+        );
+        assert_eq!(
+            Contract::new(parse_hist("frame p [ ext[a -> eps] ]").unwrap()),
+            Err(ContractError::NotCommOnly)
+        );
+        assert_eq!(
+            Contract::new(parse_hist("open 1 { eps }").unwrap()),
+            Err(ContractError::NotCommOnly)
+        );
+    }
+
+    #[test]
+    fn rejects_ill_formed() {
+        let err = Contract::new(parse_hist("mu h. h").unwrap()).unwrap_err();
+        assert!(matches!(err, ContractError::IllFormed(_)));
+        assert!(err.to_string().contains("ill-formed"));
+    }
+
+    #[test]
+    fn from_service_projects() {
+        let s1 = seq([
+            ev("sgn", [1]),
+            ev("p", [45]),
+            recv("idc", choose([("bok", eps()), ("una", eps())])),
+        ]);
+        let c = Contract::from_service(&s1).unwrap();
+        assert_eq!(
+            c.hist(),
+            &recv("idc", choose([("bok", eps()), ("una", eps())]))
+        );
+    }
+
+    #[test]
+    fn steps_follow_semantics() {
+        let c = Contract::new(parse_hist("int[a -> eps | b -> ext[c -> eps]]").unwrap()).unwrap();
+        let steps = c.steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].0, (Channel::new("a"), Dir::Out));
+        assert!(steps[0].1.is_eps());
+        assert_eq!(steps[1].0, (Channel::new("b"), Dir::Out));
+    }
+
+    #[test]
+    fn state_count_of_recursion() {
+        let c = Contract::new(parse_hist("mu h. int[a -> h | stop -> eps]").unwrap()).unwrap();
+        assert_eq!(c.state_count(), 2);
+    }
+
+    #[test]
+    fn try_from_works() {
+        let c: Contract = parse_hist("ext[a -> eps]").unwrap().try_into().unwrap();
+        assert_eq!(c.ready_sets().len(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Contract duality: the canonical compliant partner.
+//!
+//! The dual of a contract swaps inputs and outputs (external choices
+//! become internal ones and vice versa). A contract is always compliant
+//! with its dual — a useful sanity theorem and workload generator.
+
+use crate::contract::Contract;
+use sufs_hexpr::Hist;
+
+/// The dual of a contract: every `Σᵢ aᵢ.Hᵢ` becomes `⊕ᵢ āᵢ.H̃ᵢ` and vice
+/// versa.
+pub fn dual(c: &Contract) -> Contract {
+    Contract::new(dual_hist(c.hist())).expect("dual of a contract is a contract")
+}
+
+fn dual_hist(h: &Hist) -> Hist {
+    match h {
+        Hist::Eps | Hist::Var(_) => h.clone(),
+        Hist::Mu(v, body) => Hist::Mu(v.clone(), Box::new(dual_hist(body))),
+        Hist::Ext(bs) => Hist::Int(bs.iter().map(|(c, k)| (c.clone(), dual_hist(k))).collect()),
+        Hist::Int(bs) => Hist::Ext(bs.iter().map(|(c, k)| (c.clone(), dual_hist(k))).collect()),
+        Hist::Seq(a, b) => Hist::seq(dual_hist(a), dual_hist(b)),
+        // Unreachable in validated contracts (comm-only):
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compliance::{compliant, compliant_coinductive};
+    use sufs_hexpr::parse_hist;
+
+    fn c(src: &str) -> Contract {
+        Contract::new(parse_hist(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dual_swaps_choices() {
+        let orig = c("int[a -> ext[b -> eps]]");
+        let d = dual(&orig);
+        assert_eq!(d, c("ext[a -> int[b -> eps]]"));
+    }
+
+    #[test]
+    fn dual_is_involutive() {
+        for src in [
+            "eps",
+            "int[a -> eps | b -> eps]",
+            "mu h. int[go -> ext[ack -> h] | quit -> eps]",
+            "ext[x -> eps]; int[y -> eps]",
+        ] {
+            let orig = c(src);
+            assert_eq!(dual(&dual(&orig)), orig, "involution failed on {src}");
+        }
+    }
+
+    #[test]
+    fn contract_complies_with_its_dual() {
+        for src in [
+            "eps",
+            "int[a -> eps | b -> eps]",
+            "ext[a -> eps | b -> eps]",
+            "mu h. int[go -> ext[ack -> h] | quit -> eps]",
+            "int[req -> ext[ok -> int[pay -> eps] | no -> eps]]",
+        ] {
+            let client = c(src);
+            let server = dual(&client);
+            assert!(
+                compliant(&client, &server).holds(),
+                "dual compliance failed for {src}"
+            );
+            assert!(compliant_coinductive(&client, &server));
+        }
+    }
+}

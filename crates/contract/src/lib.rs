@@ -1,0 +1,63 @@
+//! Behavioural contracts and service compliance (§4 of *Secure and
+//! Unfailing Services*).
+//!
+//! A *contract* is the projection `H!` of a service's history expression
+//! on its communication actions. Two contracts are *compliant*
+//! (`H₁ ⊢ H₂`, Definition 4) when every internal choice of one party can
+//! be received by the other, so their conversation never gets stuck; the
+//! client (left component) is additionally allowed to terminate early.
+//!
+//! The crate provides:
+//!
+//! * [`contract::Contract`] — validated communication-only expressions;
+//! * [`product::ProductAutomaton`] — Definition 5's product `H₁! ⊗ H₂!`,
+//!   whose **final states are the stuck configurations**;
+//! * [`compliance::compliant`] — Theorem 1: compliance iff the product's
+//!   language is empty, with shortest-path counterexamples;
+//! * [`compliance::compliant_coinductive`] — an independent decision
+//!   procedure computing the largest relation of Definition 4 directly,
+//!   used to cross-validate Theorem 1;
+//! * [`duality::dual`] — the canonical compliant partner.
+//!
+//! Compliance is an *invariant* property (Theorem 2): the final-state
+//! conditions of Definition 5 inspect one product state at a time, never
+//! the past — hence a safety property (Corollary 1), model-checkable by
+//! plain reachability.
+//!
+//! # Example: the paper's broker and hotels
+//!
+//! ```
+//! use sufs_contract::{compliance::compliant, contract::Contract};
+//! use sufs_hexpr::parse_hist;
+//!
+//! // Broker-side conversation with a hotel: send the client data, then
+//! // wait for either a booking or an unavailability message.
+//! let broker = Contract::new(
+//!     parse_hist("int[idc -> ext[bok -> eps | una -> eps]]").unwrap(),
+//! ).unwrap();
+//! // S3 receives the data and internally decides bok or una: compliant.
+//! let s3 = Contract::new(
+//!     parse_hist("ext[idc -> int[bok -> eps | una -> eps]]").unwrap(),
+//! ).unwrap();
+//! assert!(compliant(&broker, &s3).holds());
+//!
+//! // S2 may send `del`, which the broker cannot handle: not compliant.
+//! let s2 = Contract::new(
+//!     parse_hist("ext[idc -> int[bok -> eps | una -> eps | del -> eps]]").unwrap(),
+//! ).unwrap();
+//! let verdict = compliant(&broker, &s2);
+//! assert!(!verdict.holds());
+//! println!("{}", verdict.witness().unwrap()); // …unmatched output(s): del!
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compliance;
+pub mod contract;
+pub mod duality;
+pub mod product;
+
+pub use compliance::{compliant, compliant_coinductive, ComplianceResult};
+pub use contract::{Contract, ContractError};
+pub use duality::dual;
+pub use product::{ProductAutomaton, StuckReason, StuckWitness};

@@ -1,0 +1,173 @@
+//! Call-by-contract service discovery.
+//!
+//! The methodology the paper builds on (\[5\]: *call-by-contract for
+//! service discovery, orchestration and recovery*) lets a client specify
+//! the conversation it needs and asks the orchestrator to find services
+//! whose contracts can carry it out. Discovery is compliance-driven:
+//! a published service matches a request body `H₁` iff `H₁! ⊢ H₂!`.
+
+use sufs_contract::{compliant, Contract, ContractError, StuckWitness};
+use sufs_hexpr::{Hist, Location};
+use sufs_net::Repository;
+
+/// One discovery result: a matching service, or why a candidate was
+/// rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryCandidate {
+    /// The candidate's location.
+    pub location: Location,
+    /// `None` if compliant (a match); otherwise the counterexample.
+    pub rejection: Option<StuckWitness>,
+}
+
+impl DiscoveryCandidate {
+    /// Returns `true` if the candidate matches.
+    pub fn matches(&self) -> bool {
+        self.rejection.is_none()
+    }
+}
+
+/// Finds every published service whose contract is compliant with the
+/// given client-side conversation (e.g. a request body).
+///
+/// Results preserve the repository's location order; rejected candidates
+/// carry their Theorem 1 counterexamples, which makes discovery
+/// diagnosable ("why did nothing match?").
+///
+/// # Errors
+///
+/// Returns a [`ContractError`] if the conversation or a published
+/// service does not project to a contract (ill-formed input).
+///
+/// # Examples
+///
+/// ```
+/// use sufs_core::discover::discover;
+/// use sufs_hexpr::builder::*;
+/// use sufs_net::Repository;
+///
+/// let conversation = seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]);
+/// let mut repo = Repository::new();
+/// repo.publish("good", recv("req", choose([("ok", eps())])));
+/// repo.publish("bad", recv("req", choose([("later", eps())])));
+///
+/// let results = discover(&conversation, &repo).unwrap();
+/// let matches: Vec<_> = results.iter().filter(|c| c.matches()).collect();
+/// assert_eq!(matches.len(), 1);
+/// assert_eq!(matches[0].location.as_str(), "good");
+/// ```
+pub fn discover(
+    conversation: &Hist,
+    repo: &Repository,
+) -> Result<Vec<DiscoveryCandidate>, ContractError> {
+    let client_side = Contract::from_service(conversation)?;
+    let mut out = Vec::with_capacity(repo.len());
+    for (loc, service) in repo.iter() {
+        let server_side = Contract::from_service(service)?;
+        let result = compliant(&client_side, &server_side);
+        out.push(DiscoveryCandidate {
+            location: loc.clone(),
+            rejection: result.witness().cloned(),
+        });
+    }
+    Ok(out)
+}
+
+/// Only the matching locations, in repository order.
+///
+/// # Errors
+///
+/// As [`discover`].
+pub fn discover_matches(
+    conversation: &Hist,
+    repo: &Repository,
+) -> Result<Vec<Location>, ContractError> {
+    Ok(discover(conversation, repo)?
+        .into_iter()
+        .filter(|c| c.matches())
+        .map(|c| c.location)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::builder::*;
+    use sufs_hexpr::parse_hist;
+
+    // The facade crate `sufs` is not a dependency of sufs-core, so the
+    // Fig. 2 repository is rebuilt locally.
+    fn fig2_repo() -> Repository {
+        let mut repo = Repository::new();
+        repo.publish(
+            "br",
+            parse_hist(
+                "ext[req -> eps]; open 3 { int[idc -> eps]; ext[bok -> eps | una -> eps] }; \
+                 int[cobo -> ext[pay -> eps] | noav -> eps]",
+            )
+            .unwrap(),
+        );
+        for (loc, id, p, ta, del) in [
+            ("s1", 1, 45, 80, false),
+            ("s2", 2, 70, 100, true),
+            ("s3", 3, 90, 100, false),
+            ("s4", 4, 50, 90, false),
+        ] {
+            let mut branches = vec![("bok", eps()), ("una", eps())];
+            if del {
+                branches.push(("del", eps()));
+            }
+            repo.publish(
+                loc,
+                seq([
+                    ev("sgn", [id]),
+                    ev("p", [p]),
+                    ev("ta", [ta]),
+                    recv("idc", choose(branches)),
+                ]),
+            );
+        }
+        repo
+    }
+
+    #[test]
+    fn broker_discovery_finds_the_compliant_hotels() {
+        let repo = fig2_repo();
+        // The broker's request-3 conversation.
+        let conv = seq([send("idc", eps()), offer([("bok", eps()), ("una", eps())])]);
+        let matches = discover_matches(&conv, &repo).unwrap();
+        let names: Vec<&str> = matches.iter().map(|l| l.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["s1", "s3", "s4"],
+            "S2 and the broker itself fail"
+        );
+        // S2's rejection carries the del witness.
+        let all = discover(&conv, &repo).unwrap();
+        let s2 = all.iter().find(|c| c.location.as_str() == "s2").unwrap();
+        assert!(!s2.matches());
+        assert!(s2.rejection.as_ref().unwrap().to_string().contains("del"));
+    }
+
+    #[test]
+    fn empty_repository_discovers_nothing() {
+        let conv = send("x", eps());
+        assert!(discover_matches(&conv, &Repository::new())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn trivial_conversation_matches_everything() {
+        // ε is compliant with every service (the client may stop).
+        let repo = fig2_repo();
+        let matches = discover_matches(&Hist::Eps, &repo).unwrap();
+        assert_eq!(matches.len(), repo.len());
+    }
+
+    #[test]
+    fn ill_formed_conversation_is_an_error() {
+        let conv = Hist::mu("h", Hist::var("h"));
+        assert!(discover(&conv, &fig2_repo()).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Plan enumeration: all ways of binding the requests of a composed
+//! service to repository locations.
+//!
+//! Serving a client request may expose further requests (the selected
+//! service opens its own sessions, as the broker does in §2), so
+//! enumeration closes over newly exposed requests: a plan is *complete*
+//! when every request reachable through its own bindings is bound.
+
+use std::fmt;
+
+use sufs_hexpr::requests::requests;
+use sufs_hexpr::{Hist, RequestId};
+use sufs_net::{Plan, Repository};
+
+/// An error raised when the plan space is too large to enumerate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpaceExceeded {
+    /// The configured cap.
+    pub cap: usize,
+}
+
+impl fmt::Display for PlanSpaceExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "more than {} candidate plans", self.cap)
+    }
+}
+
+impl std::error::Error for PlanSpaceExceeded {}
+
+/// The default cap on enumerated plans.
+pub const DEFAULT_PLAN_CAP: usize = 100_000;
+
+/// Enumerates every complete plan for `client` over `repo`, up to `cap`
+/// plans.
+///
+/// Requests exposed by selected services are bound too; a request
+/// identifier is bound at most once (identifiers are globally unique per
+/// the paper's assumption), so enumeration always terminates.
+///
+/// # Errors
+///
+/// Returns [`PlanSpaceExceeded`] if more than `cap` plans exist.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_core::plans::enumerate_plans;
+/// use sufs_hexpr::builder::*;
+/// use sufs_net::Repository;
+///
+/// let client = request(1, None, send("q", eps()));
+/// let mut repo = Repository::new();
+/// repo.publish("s1", recv("q", eps()));
+/// repo.publish("s2", recv("q", eps()));
+/// let plans = enumerate_plans(&client, &repo, 100).unwrap();
+/// assert_eq!(plans.len(), 2); // r1 ↦ s1 or r1 ↦ s2
+/// ```
+pub fn enumerate_plans(
+    client: &Hist,
+    repo: &Repository,
+    cap: usize,
+) -> Result<Vec<Plan>, PlanSpaceExceeded> {
+    let pending: Vec<RequestId> = requests(client).into_iter().map(|r| r.id).collect();
+    let mut out = Vec::new();
+    extend(Plan::new(), pending, repo, cap, &mut out)?;
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn extend(
+    plan: Plan,
+    mut pending: Vec<RequestId>,
+    repo: &Repository,
+    cap: usize,
+    out: &mut Vec<Plan>,
+) -> Result<(), PlanSpaceExceeded> {
+    // Drop requests already bound (shared identifiers bind once).
+    while let Some(&r) = pending.first() {
+        if plan.service_for(r).is_some() {
+            pending.remove(0);
+        } else {
+            break;
+        }
+    }
+    let Some(&r) = pending.first() else {
+        if out.len() >= cap {
+            return Err(PlanSpaceExceeded { cap });
+        }
+        out.push(plan);
+        return Ok(());
+    };
+    let rest: Vec<RequestId> = pending[1..].to_vec();
+    for (loc, service) in repo.iter() {
+        let mut next_plan = plan.clone();
+        next_plan.bind(r, loc.clone());
+        let mut next_pending = rest.clone();
+        for exposed in requests(service) {
+            if next_plan.service_for(exposed.id).is_none() && !next_pending.contains(&exposed.id) {
+                next_pending.push(exposed.id);
+            }
+        }
+        extend(next_plan, next_pending, repo, cap, out)?;
+    }
+    Ok(())
+}
+
+/// The requests of the whole composed service under a plan: the client's
+/// requests plus those exposed by every service the plan selects,
+/// paired with the location bound to each (or `None` if unbound).
+pub fn composed_requests(
+    client: &Hist,
+    plan: &Plan,
+    repo: &Repository,
+) -> Vec<(
+    sufs_hexpr::requests::RequestInfo,
+    Option<sufs_hexpr::Location>,
+)> {
+    let mut seen: Vec<RequestId> = Vec::new();
+    let mut out = Vec::new();
+    let mut frontier: Vec<Hist> = vec![client.clone()];
+    while let Some(h) = frontier.pop() {
+        for info in requests(&h) {
+            if seen.contains(&info.id) {
+                continue;
+            }
+            seen.push(info.id);
+            let bound = plan.service_for(info.id).cloned();
+            if let Some(loc) = &bound {
+                if let Some(service) = repo.get(loc) {
+                    frontier.push(service.clone());
+                }
+            }
+            out.push((info, bound));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::builder::*;
+    use sufs_hexpr::Location;
+
+    fn repo(pairs: &[(&str, Hist)]) -> Repository {
+        let mut r = Repository::new();
+        for (loc, h) in pairs {
+            r.publish(*loc, h.clone());
+        }
+        r
+    }
+
+    #[test]
+    fn no_requests_yields_empty_plan() {
+        let plans = enumerate_plans(&ev0("a"), &Repository::new(), 10).unwrap();
+        assert_eq!(plans, vec![Plan::new()]);
+    }
+
+    #[test]
+    fn cartesian_product_over_independent_requests() {
+        let client = Hist::seq(
+            request(1, None, send("a", eps())),
+            request(2, None, send("b", eps())),
+        );
+        let repo = repo(&[
+            ("s1", recv("a", eps())),
+            ("s2", recv("b", eps())),
+            ("s3", recv("a", eps())),
+        ]);
+        let plans = enumerate_plans(&client, &repo, 100).unwrap();
+        // 3 choices for r1 × 3 for r2.
+        assert_eq!(plans.len(), 9);
+        for p in &plans {
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn nested_requests_are_closed_over() {
+        // Client asks r1; the broker (a candidate for r1) asks r3.
+        let client = request(1, None, send("q", eps()));
+        let broker = Hist::seq(recv("q", eps()), request(3, None, send("w", eps())));
+        let leafsrv = recv("w", eps());
+        let repo = repo(&[("br", broker), ("leaf", leafsrv)]);
+        let plans = enumerate_plans(&client, &repo, 100).unwrap();
+        // r1↦br exposes r3 (2 choices); r1↦leaf leaves nothing exposed.
+        // Total: 2 (r1↦br, r3↦{br,leaf}) + 1 (r1↦leaf) = 3.
+        assert_eq!(plans.len(), 3);
+        let with_broker: Vec<&Plan> = plans
+            .iter()
+            .filter(|p| p.service_for(sufs_hexpr::RequestId::new(1)) == Some(&Location::new("br")))
+            .collect();
+        assert_eq!(with_broker.len(), 2);
+        for p in with_broker {
+            assert!(p.service_for(sufs_hexpr::RequestId::new(3)).is_some());
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let client = Hist::seq(
+            request(1, None, send("a", eps())),
+            request(2, None, send("a", eps())),
+        );
+        let repo = repo(&[
+            ("s1", recv("a", eps())),
+            ("s2", recv("a", eps())),
+            ("s3", recv("a", eps())),
+        ]);
+        let err = enumerate_plans(&client, &repo, 4).unwrap_err();
+        assert_eq!(err, PlanSpaceExceeded { cap: 4 });
+        assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn composed_requests_follow_bindings() {
+        let client = request(1, None, send("q", eps()));
+        let broker = Hist::seq(recv("q", eps()), request(3, None, send("w", eps())));
+        let repo = repo(&[("br", broker), ("leaf", recv("w", eps()))]);
+        let plan = Plan::new().with(1u32, "br").with(3u32, "leaf");
+        let rs = composed_requests(&client, &plan, &repo);
+        assert_eq!(rs.len(), 2);
+        // An unbound nested request is reported with None.
+        let partial = Plan::new().with(1u32, "br");
+        let rs = composed_requests(&client, &partial, &repo);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().any(|(i, b)| i.id.index() == 3 && b.is_none()));
+    }
+
+    #[test]
+    fn empty_repository_binds_nothing() {
+        let client = request(1, None, send("q", eps()));
+        let plans = enumerate_plans(&client, &Repository::new(), 10).unwrap();
+        assert!(plans.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Verification reports: valid plans and per-plan diagnoses.
+
+use std::fmt;
+
+use crate::verify::PlanVerdict;
+use sufs_net::Plan;
+
+/// The outcome of verifying every candidate plan of a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    verdicts: Vec<PlanVerdict>,
+}
+
+impl VerifyReport {
+    /// Wraps the per-plan verdicts.
+    pub fn new(verdicts: Vec<PlanVerdict>) -> Self {
+        VerifyReport { verdicts }
+    }
+
+    /// All verdicts, one per candidate plan.
+    pub fn verdicts(&self) -> &[PlanVerdict] {
+        &self.verdicts
+    }
+
+    /// The valid plans: executions under any of these need no run-time
+    /// monitor (§5).
+    pub fn valid_plans(&self) -> impl Iterator<Item = &Plan> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.is_valid())
+            .map(|v| &v.plan)
+    }
+
+    /// The rejected verdicts, each carrying its violations.
+    pub fn rejected(&self) -> impl Iterator<Item = &PlanVerdict> {
+        self.verdicts.iter().filter(|v| !v.is_valid())
+    }
+
+    /// The number of candidate plans examined.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Returns `true` if no candidate plan exists at all.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Returns `true` if at least one plan is valid.
+    pub fn has_valid_plan(&self) -> bool {
+        self.verdicts.iter().any(PlanVerdict::is_valid)
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let valid = self.valid_plans().count();
+        writeln!(
+            f,
+            "examined {} candidate plan(s): {} valid, {} rejected",
+            self.len(),
+            valid,
+            self.len() - valid
+        )?;
+        for v in &self.verdicts {
+            if v.is_valid() {
+                writeln!(f, "  ✓ {}", v.plan)?;
+            } else {
+                writeln!(f, "  ✗ {}", v.plan)?;
+                for violation in &v.violations {
+                    writeln!(f, "      - {violation}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::Violation;
+    use sufs_hexpr::RequestId;
+
+    fn verdict(plan: Plan, valid: bool) -> PlanVerdict {
+        PlanVerdict {
+            plan,
+            violations: if valid {
+                vec![]
+            } else {
+                vec![Violation::UnboundRequest {
+                    request: RequestId::new(1),
+                }]
+            },
+        }
+    }
+
+    #[test]
+    fn partitions_valid_and_rejected() {
+        let report = VerifyReport::new(vec![
+            verdict(Plan::new().with(1u32, "a"), true),
+            verdict(Plan::new().with(1u32, "b"), false),
+        ]);
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        assert!(report.has_valid_plan());
+        assert_eq!(report.valid_plans().count(), 1);
+        assert_eq!(report.rejected().count(), 1);
+        assert_eq!(report.verdicts().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_reasons() {
+        let report = VerifyReport::new(vec![
+            verdict(Plan::new().with(1u32, "a"), true),
+            verdict(Plan::new().with(1u32, "b"), false),
+        ]);
+        let s = report.to_string();
+        assert!(s.contains("1 valid, 1 rejected"));
+        assert!(s.contains("✓ {r1↦a}"));
+        assert!(s.contains("✗ {r1↦b}"));
+        assert!(s.contains("not bound"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = VerifyReport::new(vec![]);
+        assert!(report.is_empty());
+        assert!(!report.has_valid_plan());
+    }
+}

@@ -1,0 +1,425 @@
+//! The verification pipeline (§4–§5): from a client and a repository to
+//! the set of **valid plans**.
+//!
+//! For each candidate plan the verifier checks:
+//!
+//! 1. **Compliance** (§4): for every request `open_{r,φ} H₁ close_{r,φ}`
+//!    of the composed service, `H₁! ⊢ H₂!` where `H₂` is the service the
+//!    plan selects for `r` — decided by Theorem 1's product automaton;
+//! 2. **Security** (§3.1): the symbolic state space of the client under
+//!    the plan is model-checked against every policy it activates;
+//! 3. **Progress**: no stuck configuration is reachable (this subsumes
+//!    per-request compliance but also covers unbound requests and
+//!    cross-session blocking, and produces scheduler-level witnesses).
+//!
+//! A plan passing all three is *valid*: "switch off any run-time
+//! monitor, and live happily: nothing bad will happen" (§5).
+
+use std::fmt;
+
+use crate::plans::{composed_requests, enumerate_plans, PlanSpaceExceeded, DEFAULT_PLAN_CAP};
+use crate::report::VerifyReport;
+use sufs_contract::{compliant, Contract, ContractError, StuckWitness};
+use sufs_hexpr::wf::{self, WfError};
+use sufs_hexpr::{Hist, Location, RequestId};
+use sufs_net::symbolic::{find_stuck, symbolic_successors, StuckState, SymState};
+use sufs_net::{Plan, Repository};
+use sufs_policy::validity::{check_validity, SecurityViolation, ValidityError, Verdict};
+use sufs_policy::PolicyRegistry;
+
+/// The default bound on symbolic states explored per plan.
+pub const DEFAULT_STATE_BOUND: usize = 1 << 18;
+
+/// One reason a plan is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A request has no binding in the plan (the composition is not even
+    /// executable).
+    UnboundRequest {
+        /// The unbound request.
+        request: RequestId,
+    },
+    /// The client side of a request and the selected service are not
+    /// compliant (Definition 4 fails, with a Theorem 1 witness).
+    NonCompliant {
+        /// The request whose session may get stuck.
+        request: RequestId,
+        /// The selected service.
+        service: Location,
+        /// The product-automaton counterexample.
+        witness: StuckWitness,
+    },
+    /// A reachable history violates an active security policy.
+    Security(SecurityViolation),
+    /// A stuck configuration is reachable in the composed execution.
+    Stuck(StuckState),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnboundRequest { request } => {
+                write!(f, "request {request} is not bound by the plan")
+            }
+            Violation::NonCompliant {
+                request,
+                service,
+                witness,
+            } => write!(f, "request {request} vs {service}: {witness}"),
+            Violation::Security(v) => write!(f, "{v}"),
+            Violation::Stuck(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The verdict for one candidate plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanVerdict {
+    /// The plan.
+    pub plan: Plan,
+    /// Every violation found (empty ⟺ the plan is valid).
+    pub violations: Vec<Violation>,
+}
+
+impl PlanVerdict {
+    /// Returns `true` if the plan is valid.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// An error preventing verification from running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The client is not a well-formed history expression.
+    IllFormedClient(WfError),
+    /// A projection failed to yield a contract (ill-formed service).
+    Contract(ContractError),
+    /// Validity checking failed (unknown policy or state explosion).
+    Validity(ValidityError),
+    /// Too many candidate plans.
+    PlanSpace(PlanSpaceExceeded),
+    /// Symbolic exploration exceeded the state bound.
+    BoundExceeded(usize),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::IllFormedClient(e) => write!(f, "ill-formed client: {e}"),
+            VerifyError::Contract(e) => write!(f, "{e}"),
+            VerifyError::Validity(e) => write!(f, "{e}"),
+            VerifyError::PlanSpace(e) => write!(f, "{e}"),
+            VerifyError::BoundExceeded(b) => {
+                write!(f, "symbolic exploration exceeded {b} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<ContractError> for VerifyError {
+    fn from(e: ContractError) -> Self {
+        VerifyError::Contract(e)
+    }
+}
+
+impl From<ValidityError> for VerifyError {
+    fn from(e: ValidityError) -> Self {
+        VerifyError::Validity(e)
+    }
+}
+
+impl From<PlanSpaceExceeded> for VerifyError {
+    fn from(e: PlanSpaceExceeded) -> Self {
+        VerifyError::PlanSpace(e)
+    }
+}
+
+/// Verifies one candidate plan for `client` (at the implicit location
+/// `client`); see the module docs for the three checks performed.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if the inputs are ill-formed or a policy
+/// cannot be resolved — as opposed to the plan merely being invalid,
+/// which is reported in the verdict.
+pub fn verify_plan(
+    client: &Hist,
+    plan: &Plan,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+) -> Result<PlanVerdict, VerifyError> {
+    wf::check(client).map_err(VerifyError::IllFormedClient)?;
+    let mut violations = Vec::new();
+
+    // 1. Per-request compliance (client request bodies and the requests
+    //    exposed by selected services alike).
+    for (info, bound) in composed_requests(client, plan, repo) {
+        let Some(service_loc) = bound else {
+            violations.push(Violation::UnboundRequest { request: info.id });
+            continue;
+        };
+        let Some(service) = repo.get(&service_loc) else {
+            violations.push(Violation::UnboundRequest { request: info.id });
+            continue;
+        };
+        let client_side = Contract::from_service(&info.body)?;
+        let server_side = Contract::from_service(service)?;
+        let result = compliant(&client_side, &server_side);
+        if let Some(witness) = result.witness() {
+            violations.push(Violation::NonCompliant {
+                request: info.id,
+                service: service_loc,
+                witness: witness.clone(),
+            });
+        }
+    }
+
+    // 2. Security: model-check the symbolic state space.
+    let initial = SymState::initial("client", client.clone());
+    let verdict = check_validity(
+        initial.clone(),
+        |s| symbolic_successors(s, plan, repo),
+        registry,
+        DEFAULT_STATE_BOUND,
+    )?;
+    if let Verdict::Violation(v) = verdict {
+        violations.push(Violation::Security(v));
+    }
+
+    // 3. Progress: no reachable stuck configuration.
+    match find_stuck("client", client.clone(), plan, repo, DEFAULT_STATE_BOUND) {
+        Ok(Some(stuck)) => {
+            // Unbound requests already reported more precisely.
+            let already = violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnboundRequest { .. }));
+            if !already {
+                violations.push(Violation::Stuck(stuck));
+            }
+        }
+        Ok(None) => {}
+        Err(bound) => return Err(VerifyError::BoundExceeded(bound)),
+    }
+
+    Ok(PlanVerdict {
+        plan: plan.clone(),
+        violations,
+    })
+}
+
+/// Verifies every candidate plan for `client` over `repo`: the paper's
+/// §5 procedure. The resulting report lists the valid plans and, for
+/// each rejected plan, why it was rejected.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] on ill-formed inputs, unresolvable
+/// policies, or state/plan-space explosion.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_core::verify::verify;
+/// use sufs_hexpr::builder::*;
+/// use sufs_net::Repository;
+/// use sufs_policy::PolicyRegistry;
+///
+/// let client = request(1, None, seq([
+///     send("req", eps()),
+///     offer([("ok", eps()), ("no", eps())]),
+/// ]));
+/// let mut repo = Repository::new();
+/// repo.publish("good", recv("req", choose([("ok", eps()), ("no", eps())])));
+/// repo.publish("bad", recv("req", choose([("later", eps())])));
+///
+/// let report = verify(&client, &repo, &PolicyRegistry::new()).unwrap();
+/// let valid: Vec<_> = report.valid_plans().collect();
+/// assert_eq!(valid.len(), 1);
+/// ```
+pub fn verify(
+    client: &Hist,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+) -> Result<VerifyReport, VerifyError> {
+    verify_with_cap(client, repo, registry, DEFAULT_PLAN_CAP)
+}
+
+/// [`verify`] with an explicit cap on the number of candidate plans.
+///
+/// # Errors
+///
+/// As [`verify`], plus [`VerifyError::PlanSpace`] past the cap.
+pub fn verify_with_cap(
+    client: &Hist,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    plan_cap: usize,
+) -> Result<VerifyReport, VerifyError> {
+    wf::check(client).map_err(VerifyError::IllFormedClient)?;
+    let plans = enumerate_plans(client, repo, plan_cap)?;
+    let mut verdicts = Vec::with_capacity(plans.len());
+    for plan in plans {
+        verdicts.push(verify_plan(client, &plan, repo, registry)?);
+    }
+    Ok(VerifyReport::new(verdicts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::builder::*;
+    use sufs_hexpr::ParamValue;
+    use sufs_hexpr::PolicyRef;
+    use sufs_policy::catalog;
+
+    fn booking_client(policy: Option<PolicyRef>) -> Hist {
+        request(
+            1,
+            policy,
+            seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+        )
+    }
+
+    #[test]
+    fn valid_and_invalid_plans_separated() {
+        let mut repo = Repository::new();
+        repo.publish("good", recv("req", choose([("ok", eps()), ("no", eps())])));
+        repo.publish(
+            "bad",
+            recv("req", choose([("ok", eps()), ("later", eps())])),
+        );
+        let report = verify(&booking_client(None), &repo, &PolicyRegistry::new()).unwrap();
+        assert_eq!(report.len(), 2);
+        let valid: Vec<&Plan> = report.valid_plans().collect();
+        assert_eq!(valid.len(), 1);
+        assert_eq!(
+            valid[0].service_for(RequestId::new(1)),
+            Some(&Location::new("good"))
+        );
+        let rejected: Vec<&PlanVerdict> = report.rejected().collect();
+        assert_eq!(rejected.len(), 1);
+        assert!(matches!(
+            rejected[0].violations[0],
+            Violation::NonCompliant { .. }
+        ));
+        // The angelic symbolic exploration alone would *not* catch this
+        // (the bad `later` send is simply never scheduled): the product
+        // automaton is the decisive check, exactly the paper's point
+        // about its semantics being angelic.
+        assert!(!rejected[0]
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Stuck(_))));
+    }
+
+    #[test]
+    fn security_violation_rejects_plan() {
+        let mut registry = PolicyRegistry::new();
+        registry.register(catalog::blacklist("access"));
+        let phi = PolicyRef::new("blacklist_access", [ParamValue::set(["evil"])]);
+        let client = booking_client(Some(phi));
+        let mut repo = Repository::new();
+        // This service touches the black-listed resource before replying.
+        repo.publish(
+            "shady",
+            recv(
+                "req",
+                seq([
+                    ev("access", ["evil"]),
+                    choose([("ok", eps()), ("no", eps())]),
+                ]),
+            ),
+        );
+        repo.publish(
+            "clean",
+            recv(
+                "req",
+                seq([
+                    ev("access", ["fine"]),
+                    choose([("ok", eps()), ("no", eps())]),
+                ]),
+            ),
+        );
+        let report = verify(&client, &repo, &registry).unwrap();
+        let valid: Vec<&Plan> = report.valid_plans().collect();
+        assert_eq!(valid.len(), 1);
+        assert_eq!(
+            valid[0].service_for(RequestId::new(1)),
+            Some(&Location::new("clean"))
+        );
+        let shady_verdict = report
+            .verdicts()
+            .iter()
+            .find(|v| v.plan.service_for(RequestId::new(1)) == Some(&Location::new("shady")))
+            .unwrap();
+        assert!(shady_verdict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Security(_))));
+    }
+
+    #[test]
+    fn unbound_request_reported() {
+        let client = booking_client(None);
+        let verdict = verify_plan(
+            &client,
+            &Plan::new(),
+            &Repository::new(),
+            &PolicyRegistry::new(),
+        )
+        .unwrap();
+        assert!(!verdict.is_valid());
+        assert_eq!(
+            verdict.violations,
+            vec![Violation::UnboundRequest {
+                request: RequestId::new(1)
+            }]
+        );
+        assert!(verdict.violations[0].to_string().contains("r1"));
+    }
+
+    #[test]
+    fn nested_request_compliance_checked() {
+        // client → broker → leaf; the broker's own conversation with the
+        // leaf must be compliant too.
+        let client = request(1, None, seq([send("q", eps()), offer([("a", eps())])]));
+        let broker = recv(
+            "q",
+            seq([request(3, None, send("w", eps())), choose([("a", eps())])]),
+        );
+        let mut repo = Repository::new();
+        repo.publish("br", broker);
+        repo.publish("goodleaf", recv("w", eps()));
+        repo.publish("badleaf", recv("zzz", eps()));
+        let report = verify(&client, &repo, &PolicyRegistry::new()).unwrap();
+        let valid: Vec<&Plan> = report.valid_plans().collect();
+        assert_eq!(valid.len(), 1);
+        assert_eq!(
+            valid[0].service_for(RequestId::new(3)),
+            Some(&Location::new("goodleaf"))
+        );
+    }
+
+    #[test]
+    fn ill_formed_client_is_an_error() {
+        let err = verify(
+            &Hist::mu("h", Hist::var("h")),
+            &Repository::new(),
+            &PolicyRegistry::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::IllFormedClient(_)));
+        assert!(err.to_string().contains("ill-formed client"));
+    }
+
+    #[test]
+    fn verdict_display() {
+        let v = Violation::UnboundRequest {
+            request: RequestId::new(7),
+        };
+        assert_eq!(v.to_string(), "request r7 is not bound by the plan");
+    }
+}

@@ -1,0 +1,329 @@
+//! Rendering history expressions as BPA processes (§3.1).
+//!
+//! The paper model-checks validity by rendering a history expression as
+//! a **Basic Process Algebra** process whose finite-state automata are
+//! checked against the policies \[5,4\]. This module implements the
+//! rendering: a BPA system of guarded process definitions
+//!
+//! ```text
+//! p ::= 0 | a | p·p | p + p | X          X := p (one per μh.H)
+//! ```
+//!
+//! together with the standard Greibach-style operational semantics, and
+//! is proven (by tests and a workspace property test) trace-equivalent
+//! to the direct LTS of [`crate::lts::HistLts`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::hist::Hist;
+use crate::ident::RecVar;
+use crate::label::Label;
+
+/// A BPA process variable `X`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BpaVar(String);
+
+impl BpaVar {
+    /// Creates a process variable.
+    pub fn new(name: impl Into<String>) -> Self {
+        BpaVar(name.into())
+    }
+}
+
+impl fmt::Display for BpaVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A BPA term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BpaTerm {
+    /// The terminated process `0`.
+    Nil,
+    /// An atomic action.
+    Atom(Label),
+    /// Sequential composition `p·q`.
+    Seq(Box<BpaTerm>, Box<BpaTerm>),
+    /// Alternative composition `p + q`.
+    Alt(Box<BpaTerm>, Box<BpaTerm>),
+    /// A process variable, resolved in the enclosing [`BpaSystem`].
+    Var(BpaVar),
+}
+
+impl BpaTerm {
+    /// Canonicalising sequential composition (`0·p ≡ p ≡ p·0`,
+    /// right-associated).
+    pub fn seq(a: BpaTerm, b: BpaTerm) -> BpaTerm {
+        match (a, b) {
+            (BpaTerm::Nil, q) => q,
+            (p, BpaTerm::Nil) => p,
+            (BpaTerm::Seq(p1, p2), q) => BpaTerm::seq(*p1, BpaTerm::seq(*p2, q)),
+            (p, q) => BpaTerm::Seq(Box::new(p), Box::new(q)),
+        }
+    }
+
+    /// Alternative composition of any number of terms; the empty
+    /// alternative is `0`.
+    pub fn alt_all<I: IntoIterator<Item = BpaTerm>>(items: I) -> BpaTerm {
+        let mut items: Vec<BpaTerm> = items.into_iter().collect();
+        let Some(mut acc) = items.pop() else {
+            return BpaTerm::Nil;
+        };
+        while let Some(p) = items.pop() {
+            acc = BpaTerm::Alt(Box::new(p), Box::new(acc));
+        }
+        acc
+    }
+}
+
+impl fmt::Display for BpaTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpaTerm::Nil => write!(f, "0"),
+            BpaTerm::Atom(l) => write!(f, "{l}"),
+            BpaTerm::Seq(a, b) => write!(f, "({a}·{b})"),
+            BpaTerm::Alt(a, b) => write!(f, "({a} + {b})"),
+            BpaTerm::Var(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A BPA system: a root term and guarded definitions `X := p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpaSystem {
+    root: BpaTerm,
+    defs: BTreeMap<BpaVar, BpaTerm>,
+}
+
+impl BpaSystem {
+    /// Renders a (closed) history expression as a BPA system: one
+    /// definition per `μ` binder, actions for events, communications,
+    /// session brackets and framing brackets.
+    pub fn from_hist(h: &Hist) -> BpaSystem {
+        let mut defs = BTreeMap::new();
+        let mut counter = 0u32;
+        let root = translate(h, &mut BTreeMap::new(), &mut defs, &mut counter);
+        BpaSystem { root, defs }
+    }
+
+    /// The root term.
+    pub fn root(&self) -> &BpaTerm {
+        &self.root
+    }
+
+    /// The process definitions.
+    pub fn defs(&self) -> &BTreeMap<BpaVar, BpaTerm> {
+        &self.defs
+    }
+
+    /// Single-step transitions of a term under this system's
+    /// definitions.
+    pub fn successors(&self, p: &BpaTerm) -> Vec<(Label, BpaTerm)> {
+        let mut out = Vec::new();
+        self.step(p, &mut out);
+        out
+    }
+
+    fn step(&self, p: &BpaTerm, out: &mut Vec<(Label, BpaTerm)>) {
+        match p {
+            BpaTerm::Nil => {}
+            BpaTerm::Atom(l) => out.push((l.clone(), BpaTerm::Nil)),
+            BpaTerm::Seq(a, b) => {
+                let mut inner = Vec::new();
+                self.step(a, &mut inner);
+                for (l, a2) in inner {
+                    out.push((l, BpaTerm::seq(a2, (**b).clone())));
+                }
+            }
+            BpaTerm::Alt(a, b) => {
+                self.step(a, out);
+                self.step(b, out);
+            }
+            BpaTerm::Var(x) => {
+                if let Some(def) = self.defs.get(x) {
+                    self.step(def, out);
+                }
+            }
+        }
+    }
+
+    /// All label traces of bounded length from the root, sorted and
+    /// deduplicated (for equivalence testing against the direct LTS).
+    pub fn traces(&self, max_len: usize) -> Vec<Vec<Label>> {
+        let mut done = Vec::new();
+        let mut frontier = vec![(self.root.clone(), Vec::new())];
+        while let Some((p, trace)) = frontier.pop() {
+            if trace.len() >= max_len {
+                done.push(trace);
+                continue;
+            }
+            let succ = self.successors(&p);
+            if succ.is_empty() {
+                done.push(trace);
+                continue;
+            }
+            for (l, p2) in succ {
+                let mut t2 = trace.clone();
+                t2.push(l);
+                frontier.push((p2, t2));
+            }
+        }
+        done.sort();
+        done.dedup();
+        done
+    }
+}
+
+impl fmt::Display for BpaSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "root: {}", self.root)?;
+        for (x, p) in &self.defs {
+            writeln!(f, "{x} := {p}")?;
+        }
+        Ok(())
+    }
+}
+
+fn translate(
+    h: &Hist,
+    env: &mut BTreeMap<RecVar, BpaVar>,
+    defs: &mut BTreeMap<BpaVar, BpaTerm>,
+    counter: &mut u32,
+) -> BpaTerm {
+    match h {
+        Hist::Eps => BpaTerm::Nil,
+        Hist::Ev(e) => BpaTerm::Atom(Label::Ev(e.clone())),
+        Hist::Var(v) => match env.get(v) {
+            Some(x) => BpaTerm::Var(x.clone()),
+            None => BpaTerm::Nil, // free variable: deadlocked, like ε
+        },
+        Hist::Mu(v, body) => {
+            *counter += 1;
+            let x = BpaVar::new(format!("X{counter}_{v}"));
+            let shadowed = env.insert(v.clone(), x.clone());
+            let def = translate(body, env, defs, counter);
+            match shadowed {
+                Some(old) => {
+                    env.insert(v.clone(), old);
+                }
+                None => {
+                    env.remove(v);
+                }
+            }
+            defs.insert(x.clone(), def);
+            BpaTerm::Var(x)
+        }
+        Hist::Ext(bs) => BpaTerm::alt_all(bs.iter().map(|(c, k)| {
+            BpaTerm::seq(
+                BpaTerm::Atom(Label::input(c.clone())),
+                translate(k, env, defs, counter),
+            )
+        })),
+        Hist::Int(bs) => BpaTerm::alt_all(bs.iter().map(|(c, k)| {
+            BpaTerm::seq(
+                BpaTerm::Atom(Label::output(c.clone())),
+                translate(k, env, defs, counter),
+            )
+        })),
+        Hist::Seq(a, b) => BpaTerm::seq(
+            translate(a, env, defs, counter),
+            translate(b, env, defs, counter),
+        ),
+        Hist::Req { id, policy, body } => BpaTerm::seq(
+            BpaTerm::Atom(Label::Open(*id, policy.clone())),
+            BpaTerm::seq(
+                translate(body, env, defs, counter),
+                BpaTerm::Atom(Label::Close(*id, policy.clone())),
+            ),
+        ),
+        Hist::Framed(p, body) => BpaTerm::seq(
+            BpaTerm::Atom(Label::FrameOpen(p.clone())),
+            BpaTerm::seq(
+                translate(body, env, defs, counter),
+                BpaTerm::Atom(Label::FrameClose(p.clone())),
+            ),
+        ),
+        Hist::CloseTok(r, p) => BpaTerm::Atom(Label::Close(*r, p.clone())),
+        Hist::FrameCloseTok(p) => BpaTerm::Atom(Label::FrameClose(p.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_hist;
+    use crate::semantics::traces as hist_traces;
+
+    fn equivalent_up_to(src: &str, depth: usize) {
+        let h = parse_hist(src).unwrap();
+        let bpa = BpaSystem::from_hist(&h);
+        assert_eq!(
+            bpa.traces(depth),
+            hist_traces(&h, depth),
+            "trace sets differ for {src}"
+        );
+    }
+
+    #[test]
+    fn straight_line_traces_agree() {
+        equivalent_up_to("#a; #b; #c", 10);
+        equivalent_up_to("eps", 10);
+    }
+
+    #[test]
+    fn choice_traces_agree() {
+        equivalent_up_to("ext[a -> #x | b -> #y]", 10);
+        equivalent_up_to("int[a -> eps | b -> ext[c -> eps]]", 10);
+    }
+
+    #[test]
+    fn framing_and_request_traces_agree() {
+        equivalent_up_to("frame p [ #a; #b ]", 10);
+        equivalent_up_to("open 1 phi p { int[q -> eps] }", 10);
+        equivalent_up_to("frame p [ open 1 { int[q -> eps] }; #a ]", 12);
+    }
+
+    #[test]
+    fn recursion_traces_agree_boundedly() {
+        equivalent_up_to("mu h. int[go -> #w; h | stop -> eps]", 7);
+        equivalent_up_to(
+            "mu h. int[a -> mu k. int[b -> k | up -> h] | stop -> eps]",
+            6,
+        );
+    }
+
+    #[test]
+    fn one_definition_per_mu() {
+        let h = parse_hist("mu h. int[a -> h | b -> mu k. int[c -> k | d -> eps]]").unwrap();
+        let bpa = BpaSystem::from_hist(&h);
+        assert_eq!(bpa.defs().len(), 2);
+        assert!(matches!(bpa.root(), BpaTerm::Var(_)));
+    }
+
+    #[test]
+    fn shadowed_variables_resolve_innermost() {
+        // μh. a!.μh. (b!.h ⊕ stop): the inner h loops on the inner μ.
+        let h = parse_hist("mu h. int[a -> mu h. int[b -> h | stop -> eps]]").unwrap();
+        equivalent_up_to("mu h. int[a -> mu h. int[b -> h | stop -> eps]]", 6);
+        let bpa = BpaSystem::from_hist(&h);
+        assert_eq!(bpa.defs().len(), 2);
+    }
+
+    #[test]
+    fn display_shows_definitions() {
+        let h = parse_hist("mu h. int[a -> h | stop -> eps]").unwrap();
+        let bpa = BpaSystem::from_hist(&h);
+        let s = bpa.to_string();
+        assert!(s.contains("root: X1_h"));
+        assert!(s.contains("X1_h :="));
+        assert!(s.contains("a!"));
+    }
+
+    #[test]
+    fn nil_has_no_transitions() {
+        let bpa = BpaSystem::from_hist(&Hist::Eps);
+        assert!(bpa.successors(bpa.root()).is_empty());
+    }
+}

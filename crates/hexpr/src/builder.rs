@@ -1,0 +1,143 @@
+//! Ergonomic builders for history expressions.
+//!
+//! These free functions mirror how the paper writes services: `send`/`recv`
+//! for singleton prefixes, `choose` (`⊕`) and `offer` (`Σ`) for proper
+//! choices, `then` chains and `loop_`/`jump` for tail recursion.
+//!
+//! # Examples
+//!
+//! ```
+//! use sufs_hexpr::builder::*;
+//!
+//! // S1 = α_sgn(1)·α_p(45)·α_ta(80) · idc.(b̄ok ⊕ ūna)
+//! let s1 = seq([
+//!     ev("sgn", [1]),
+//!     ev("p", [45]),
+//!     ev("ta", [80]),
+//!     recv("idc", choose([("bok", eps()), ("una", eps())])),
+//! ]);
+//! assert!(sufs_hexpr::wf::check(&s1).is_ok());
+//! ```
+
+use crate::event::{Event, PolicyRef};
+use crate::hist::Hist;
+use crate::ident::Channel;
+use crate::value::Value;
+
+/// The empty expression `ε`.
+pub fn eps() -> Hist {
+    Hist::Eps
+}
+
+/// An access event `α` with integer-or-string arguments.
+pub fn ev<I, V>(name: &str, args: I) -> Hist
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Value>,
+{
+    Hist::Ev(Event::new(name, args))
+}
+
+/// An access event with no arguments.
+pub fn ev0(name: &str) -> Hist {
+    Hist::Ev(Event::nullary(name))
+}
+
+/// Output `ā` then continue: the singleton internal choice `ā.H`.
+pub fn send(chan: &str, cont: Hist) -> Hist {
+    Hist::int_([(Channel::new(chan), cont)])
+}
+
+/// Input `a` then continue: the singleton external choice `a.H`.
+pub fn recv(chan: &str, cont: Hist) -> Hist {
+    Hist::ext([(Channel::new(chan), cont)])
+}
+
+/// Internal choice `⊕ᵢ āᵢ.Hᵢ`: the service decides which output to send.
+pub fn choose<I>(branches: I) -> Hist
+where
+    I: IntoIterator<Item = (&'static str, Hist)>,
+{
+    Hist::int_(branches.into_iter().map(|(c, h)| (Channel::new(c), h)))
+}
+
+/// External choice `Σᵢ aᵢ.Hᵢ`: the branch is driven by the received message.
+pub fn offer<I>(branches: I) -> Hist
+where
+    I: IntoIterator<Item = (&'static str, Hist)>,
+{
+    Hist::ext(branches.into_iter().map(|(c, h)| (Channel::new(c), h)))
+}
+
+/// Sequential composition of any number of expressions.
+pub fn seq<I>(items: I) -> Hist
+where
+    I: IntoIterator<Item = Hist>,
+{
+    Hist::seq_all(items)
+}
+
+/// Tail recursion `μh.H`.
+pub fn loop_(var: &str, body: Hist) -> Hist {
+    Hist::mu(var, body)
+}
+
+/// A jump back to the enclosing loop, i.e. the recursion variable `h`.
+pub fn jump(var: &str) -> Hist {
+    Hist::var(var)
+}
+
+/// A service request `open_{r,φ} H close_{r,φ}`.
+pub fn request(id: u32, policy: Option<PolicyRef>, body: Hist) -> Hist {
+    Hist::req(id, policy, body)
+}
+
+/// A security framing `φ⟦H⟧`.
+pub fn framed(policy: PolicyRef, body: Hist) -> Hist {
+    Hist::framed(policy, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{Dir, Label};
+    use crate::semantics::successors;
+
+    #[test]
+    fn send_is_singleton_internal() {
+        let h = send("a", eps());
+        match &h {
+            Hist::Int(bs) => assert_eq!(bs.len(), 1),
+            other => panic!("expected Int, got {other:?}"),
+        }
+        assert_eq!(
+            successors(&h)[0].0,
+            Label::Chan(Channel::new("a"), Dir::Out)
+        );
+    }
+
+    #[test]
+    fn recv_is_singleton_external() {
+        let h = recv("a", eps());
+        assert_eq!(successors(&h)[0].0, Label::Chan(Channel::new("a"), Dir::In));
+    }
+
+    #[test]
+    fn builders_compose_with_parser() {
+        let built = seq([
+            ev("sgn", [1]),
+            recv("idc", choose([("bok", eps()), ("una", eps())])),
+        ]);
+        let parsed =
+            crate::parse_hist("#sgn(1); ext[idc -> int[bok -> eps | una -> eps]]").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn loop_and_jump() {
+        let h = loop_("h", choose([("more", jump("h")), ("done", eps())]));
+        assert!(crate::wf::check(&h).is_ok());
+        let lts = crate::lts::HistLts::build(&h).unwrap();
+        assert_eq!(lts.len(), 2); // loop head + terminated
+    }
+}

@@ -1,0 +1,129 @@
+//! Pretty printing of history expressions in the concrete syntax accepted
+//! by [`crate::parser::parse_hist`], so `parse ∘ display = id`.
+
+use std::fmt;
+
+use crate::hist::Hist;
+
+impl fmt::Display for Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_hist(self, f)
+    }
+}
+
+fn write_hist(h: &Hist, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match h {
+        Hist::Eps => write!(f, "eps"),
+        Hist::Var(v) => write!(f, "{v}"),
+        Hist::Mu(v, body) => write!(f, "mu {v}. {body}"),
+        Hist::Ev(e) => write!(f, "{e}"),
+        Hist::Ext(bs) => write_choice(f, "ext", bs),
+        Hist::Int(bs) => write_choice(f, "int", bs),
+        Hist::Seq(a, b) => {
+            // `μ` extends as far right as possible, so only a recursion on
+            // the *left* of `;` needs brackets.
+            write_seq_operand(a, f)?;
+            write!(f, "; ")?;
+            write_hist(b, f)
+        }
+        Hist::Req { id, policy, body } => {
+            write!(f, "open {}", id.index())?;
+            if let Some(p) = policy {
+                write!(f, " phi {p}")?;
+            }
+            write!(f, " {{ {body} }}")
+        }
+        Hist::Framed(p, body) => write!(f, "frame {p} [ {body} ]"),
+        Hist::CloseTok(r, Some(p)) => write!(f, "<close {} {p}>", r.index()),
+        Hist::CloseTok(r, None) => write!(f, "<close {}>", r.index()),
+        Hist::FrameCloseTok(p) => write!(f, "<endframe {p}>"),
+    }
+}
+
+/// `μ` binds loosely, so a recursion on the left of a `;` needs brackets.
+fn write_seq_operand(h: &Hist, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match h {
+        Hist::Mu(..) => write!(f, "({h})"),
+        _ => write_hist(h, f),
+    }
+}
+
+fn write_choice(
+    f: &mut fmt::Formatter<'_>,
+    kw: &str,
+    bs: &[(crate::ident::Channel, Hist)],
+) -> fmt::Result {
+    write!(f, "{kw}[")?;
+    for (i, (c, cont)) in bs.iter().enumerate() {
+        if i > 0 {
+            write!(f, " | ")?;
+        }
+        write!(f, "{c} -> {cont}")?;
+    }
+    write!(f, "]")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::{Event, PolicyRef};
+    use crate::hist::Hist;
+    use crate::ident::Channel;
+    use crate::value::ParamValue;
+
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+
+    #[test]
+    fn displays_eps_and_events() {
+        assert_eq!(Hist::Eps.to_string(), "eps");
+        assert_eq!(Hist::ev(Event::new("sgn", [1i64])).to_string(), "#sgn(1)");
+    }
+
+    #[test]
+    fn displays_sequence() {
+        let h = Hist::seq(Hist::ev(Event::nullary("a")), Hist::ev(Event::nullary("b")));
+        assert_eq!(h.to_string(), "#a; #b");
+    }
+
+    #[test]
+    fn displays_choices() {
+        let h = Hist::ext([(ch("a"), Hist::Eps), (ch("b"), Hist::Eps)]);
+        assert_eq!(h.to_string(), "ext[a -> eps | b -> eps]");
+        let h = Hist::int_([(ch("a"), Hist::Eps)]);
+        assert_eq!(h.to_string(), "int[a -> eps]");
+    }
+
+    #[test]
+    fn displays_mu_with_brackets_in_seq() {
+        let m = Hist::mu("h", Hist::int_([(ch("a"), Hist::var("h"))]));
+        let h = Hist::seq(Hist::ev(Event::nullary("x")), m.clone());
+        assert_eq!(h.to_string(), "#x; mu h. int[a -> h]");
+        let h2 = Hist::Seq(Box::new(m), Box::new(Hist::ev(Event::nullary("x"))));
+        assert_eq!(h2.to_string(), "(mu h. int[a -> h]); #x");
+    }
+
+    #[test]
+    fn displays_request_and_frame() {
+        let phi = PolicyRef::new("phi", [ParamValue::int(45)]);
+        let h = Hist::req(3u32, Some(phi.clone()), Hist::Eps);
+        assert_eq!(h.to_string(), "open 3 phi phi(45) { eps }");
+        let h = Hist::req(3u32, None, Hist::Eps);
+        assert_eq!(h.to_string(), "open 3 { eps }");
+        let h = Hist::framed(phi, Hist::Eps);
+        assert_eq!(h.to_string(), "frame phi(45) [ eps ]");
+    }
+
+    #[test]
+    fn displays_residuals() {
+        use crate::ident::RequestId;
+        assert_eq!(
+            Hist::CloseTok(RequestId::new(1), None).to_string(),
+            "<close 1>"
+        );
+        assert_eq!(
+            Hist::FrameCloseTok(PolicyRef::nullary("p")).to_string(),
+            "<endframe p>"
+        );
+    }
+}

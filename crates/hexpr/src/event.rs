@@ -1,0 +1,167 @@
+//! Security-relevant events `α ∈ Ev` and policy references `φ ∈ Pol`.
+
+use std::fmt;
+
+use crate::ident::EventName;
+use crate::value::{ParamValue, Value};
+
+/// A security-relevant event `α`, e.g. `α_sgn(1)` or `α_price(45)`.
+///
+/// Events are *access events*: they record security-relevant operations on
+/// resources and are logged into execution histories. An event has a name
+/// and a (possibly empty) list of ground arguments.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    name: EventName,
+    args: Vec<Value>,
+}
+
+impl Event {
+    /// Creates an event with the given name and arguments.
+    pub fn new<I, V>(name: impl Into<EventName>, args: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Event {
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Creates an event with no arguments.
+    pub fn nullary(name: impl Into<EventName>) -> Self {
+        Event {
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// The event name.
+    pub fn name(&self) -> &EventName {
+        &self.name
+    }
+
+    /// The ground arguments of the event.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.name)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A reference to an *instantiated* policy `φ(v̄)`.
+///
+/// Policies are parametric usage automata (defined in the `sufs-policy`
+/// crate); a [`PolicyRef`] names one and fixes its actual parameters, e.g.
+/// `φ({s1}, 45, 100)` in the paper's motivating example. Framing events
+/// `⌞φ`/`⌟φ` and session openings `open_{r,φ}` carry policy references.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolicyRef {
+    name: String,
+    args: Vec<ParamValue>,
+}
+
+impl PolicyRef {
+    /// Creates a policy reference with the given actual parameters.
+    pub fn new<I>(name: impl Into<String>, args: I) -> Self
+    where
+        I: IntoIterator<Item = ParamValue>,
+    {
+        PolicyRef {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Creates a reference to a parameterless policy.
+    pub fn nullary(name: impl Into<String>) -> Self {
+        PolicyRef {
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// The policy (automaton) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The actual parameters of the instantiation.
+    pub fn args(&self) -> &[ParamValue] {
+        &self.args
+    }
+}
+
+impl fmt::Display for PolicyRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_display() {
+        let e = Event::new("sgn", [Value::Int(1)]);
+        assert_eq!(e.to_string(), "#sgn(1)");
+        assert_eq!(Event::nullary("tick").to_string(), "#tick");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::new("price", [45i64]);
+        assert_eq!(e.name().as_str(), "price");
+        assert_eq!(e.args(), &[Value::Int(45)]);
+    }
+
+    #[test]
+    fn policy_ref_display() {
+        let p = PolicyRef::new(
+            "phi",
+            [
+                ParamValue::set(["s1"]),
+                ParamValue::int(45),
+                ParamValue::int(100),
+            ],
+        );
+        assert_eq!(p.to_string(), "phi({s1},45,100)");
+        assert_eq!(PolicyRef::nullary("top").to_string(), "top");
+    }
+
+    #[test]
+    fn policy_ref_identity_includes_args() {
+        let a = PolicyRef::new("phi", [ParamValue::int(1)]);
+        let b = PolicyRef::new("phi", [ParamValue::int(2)]);
+        assert_ne!(a, b);
+        assert_eq!(a.name(), b.name());
+    }
+}

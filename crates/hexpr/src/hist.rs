@@ -1,0 +1,446 @@
+//! Abstract syntax of history expressions (Definition 1) and structural
+//! operations: canonicalisation, substitution, free variables.
+
+use std::collections::BTreeSet;
+
+use crate::event::{Event, PolicyRef};
+use crate::ident::{Channel, RecVar, RequestId};
+
+/// A history expression `H` (Definition 1 of the paper).
+///
+/// ```text
+/// H ::= ε | h | μh.H | Σᵢ aᵢ.Hᵢ | ⊕ᵢ āᵢ.Hᵢ | α | H·H
+///     | open_{r,φ} H close_{r,φ} | φ⟦H⟧
+/// ```
+///
+/// Two extra *run-time residuals* appear while an expression executes and
+/// are therefore part of the state syntax, exactly as in the paper's
+/// operational rules:
+///
+/// * [`Hist::CloseTok`] — the pending `close_{r,φ}` left behind by rule
+///   *S-Open*: `open_{r,φ}.H.close_{r,φ} ──open──▸ H · close_{r,φ}`;
+/// * [`Hist::FrameCloseTok`] — the pending `⌟φ` left behind by rule
+///   *P-Open*: `φ⟦H⟧ ──⌞φ──▸ H · ⌟φ`.
+///
+/// The structural equivalence `ε·H ≡ H ≡ H·ε` is baked into the smart
+/// constructor [`Hist::seq`], which also re-associates sequences to the
+/// right so that structurally equivalent states compare equal — this is
+/// what keeps the transition system of a well-formed expression finite.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Hist {
+    /// The empty history expression `ε`: it cannot do anything.
+    #[default]
+    Eps,
+    /// A recursion variable `h`.
+    Var(RecVar),
+    /// Tail recursion `μh.H`, guarded by communication actions.
+    Mu(RecVar, Box<Hist>),
+    /// A security-relevant access event `α`.
+    Ev(Event),
+    /// External choice `Σᵢ aᵢ.Hᵢ`: the branch is driven by the message
+    /// *received*; every guard is an input.
+    Ext(Vec<(Channel, Hist)>),
+    /// Internal choice `⊕ᵢ āᵢ.Hᵢ`: the sender alone decides which output
+    /// to fire; every guard is an output.
+    Int(Vec<(Channel, Hist)>),
+    /// Sequential composition `H·H'`. Build with [`Hist::seq`] to keep
+    /// expressions canonical.
+    Seq(Box<Hist>, Box<Hist>),
+    /// A service request `open_{r,φ} H close_{r,φ}`: open a session with
+    /// the service a plan selects for `r`, run `H` as the client side of
+    /// the conversation, then close. `policy = None` encodes the trivial
+    /// policy `∅` (no constraint imposed on the callee).
+    Req {
+        /// The unique request identifier `r`.
+        id: RequestId,
+        /// The policy imposed on the whole session, if any.
+        policy: Option<PolicyRef>,
+        /// The client's communication behaviour during the session.
+        body: Box<Hist>,
+    },
+    /// A security framing `φ⟦H⟧`: while `H` runs, `φ` is enforced
+    /// (history-dependently: the *whole* past history must satisfy `φ`).
+    Framed(PolicyRef, Box<Hist>),
+    /// Run-time residual: a pending `close_{r,φ}`.
+    CloseTok(RequestId, Option<PolicyRef>),
+    /// Run-time residual: a pending closing frame `⌟φ`.
+    FrameCloseTok(PolicyRef),
+}
+
+impl Hist {
+    /// The empty expression `ε`.
+    pub fn eps() -> Hist {
+        Hist::Eps
+    }
+
+    /// An access event `α`.
+    pub fn ev(e: Event) -> Hist {
+        Hist::Ev(e)
+    }
+
+    /// A recursion variable `h`.
+    pub fn var(v: impl Into<RecVar>) -> Hist {
+        Hist::Var(v.into())
+    }
+
+    /// Tail recursion `μh.H`.
+    pub fn mu(v: impl Into<RecVar>, body: Hist) -> Hist {
+        Hist::Mu(v.into(), Box::new(body))
+    }
+
+    /// External choice over input-guarded branches.
+    pub fn ext<I>(branches: I) -> Hist
+    where
+        I: IntoIterator<Item = (Channel, Hist)>,
+    {
+        Hist::Ext(branches.into_iter().collect())
+    }
+
+    /// Internal choice over output-guarded branches.
+    pub fn int_<I>(branches: I) -> Hist
+    where
+        I: IntoIterator<Item = (Channel, Hist)>,
+    {
+        Hist::Int(branches.into_iter().collect())
+    }
+
+    /// Canonicalising sequential composition: applies `ε·H ≡ H ≡ H·ε` and
+    /// re-associates to the right, so `((a·b)·c)` and `(a·(b·c))` build
+    /// the same value.
+    pub fn seq(first: Hist, second: Hist) -> Hist {
+        match (first, second) {
+            (Hist::Eps, h) => h,
+            (h, Hist::Eps) => h,
+            (Hist::Seq(a, b), c) => Hist::seq(*a, Hist::seq(*b, c)),
+            (a, b) => Hist::Seq(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Sequences a whole iterator of expressions.
+    pub fn seq_all<I>(items: I) -> Hist
+    where
+        I: IntoIterator<Item = Hist>,
+    {
+        let mut items: Vec<Hist> = items.into_iter().collect();
+        let mut acc = Hist::Eps;
+        while let Some(h) = items.pop() {
+            acc = Hist::seq(h, acc);
+        }
+        acc
+    }
+
+    /// A service request `open_{r,φ} H close_{r,φ}`.
+    pub fn req(id: impl Into<RequestId>, policy: Option<PolicyRef>, body: Hist) -> Hist {
+        Hist::Req {
+            id: id.into(),
+            policy,
+            body: Box::new(body),
+        }
+    }
+
+    /// A security framing `φ⟦H⟧`.
+    pub fn framed(policy: PolicyRef, body: Hist) -> Hist {
+        Hist::Framed(policy, Box::new(body))
+    }
+
+    /// Returns `true` for the terminated expression `ε`.
+    pub fn is_eps(&self) -> bool {
+        matches!(self, Hist::Eps)
+    }
+
+    /// The set of free recursion variables.
+    pub fn free_vars(&self) -> BTreeSet<RecVar> {
+        let mut acc = BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut acc);
+        acc
+    }
+
+    fn collect_free(&self, bound: &mut Vec<RecVar>, acc: &mut BTreeSet<RecVar>) {
+        match self {
+            Hist::Eps | Hist::Ev(_) | Hist::CloseTok(..) | Hist::FrameCloseTok(_) => {}
+            Hist::Var(v) => {
+                if !bound.contains(v) {
+                    acc.insert(v.clone());
+                }
+            }
+            Hist::Mu(v, body) => {
+                bound.push(v.clone());
+                body.collect_free(bound, acc);
+                bound.pop();
+            }
+            Hist::Ext(bs) | Hist::Int(bs) => {
+                for (_, h) in bs {
+                    h.collect_free(bound, acc);
+                }
+            }
+            Hist::Seq(a, b) => {
+                a.collect_free(bound, acc);
+                b.collect_free(bound, acc);
+            }
+            Hist::Req { body, .. } | Hist::Framed(_, body) => body.collect_free(bound, acc),
+        }
+    }
+
+    /// Returns `true` if the expression has no free recursion variables.
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Capture-avoiding substitution `self{replacement/var}` used by the
+    /// recursion rule: an inner `μ` binding the same variable shadows it.
+    pub fn subst(&self, var: &RecVar, replacement: &Hist) -> Hist {
+        match self {
+            Hist::Eps | Hist::Ev(_) | Hist::CloseTok(..) | Hist::FrameCloseTok(_) => self.clone(),
+            Hist::Var(v) => {
+                if v == var {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Hist::Mu(v, body) => {
+                if v == var {
+                    self.clone() // shadowed
+                } else {
+                    Hist::Mu(v.clone(), Box::new(body.subst(var, replacement)))
+                }
+            }
+            Hist::Ext(bs) => Hist::Ext(
+                bs.iter()
+                    .map(|(c, h)| (c.clone(), h.subst(var, replacement)))
+                    .collect(),
+            ),
+            Hist::Int(bs) => Hist::Int(
+                bs.iter()
+                    .map(|(c, h)| (c.clone(), h.subst(var, replacement)))
+                    .collect(),
+            ),
+            Hist::Seq(a, b) => Hist::seq(a.subst(var, replacement), b.subst(var, replacement)),
+            Hist::Req { id, policy, body } => Hist::Req {
+                id: *id,
+                policy: policy.clone(),
+                body: Box::new(body.subst(var, replacement)),
+            },
+            Hist::Framed(p, body) => {
+                Hist::Framed(p.clone(), Box::new(body.subst(var, replacement)))
+            }
+        }
+    }
+
+    /// The number of syntax nodes, a rough size metric used by benches.
+    pub fn size(&self) -> usize {
+        match self {
+            Hist::Eps
+            | Hist::Var(_)
+            | Hist::Ev(_)
+            | Hist::CloseTok(..)
+            | Hist::FrameCloseTok(_) => 1,
+            Hist::Mu(_, body) | Hist::Req { body, .. } | Hist::Framed(_, body) => 1 + body.size(),
+            Hist::Ext(bs) | Hist::Int(bs) => 1 + bs.iter().map(|(_, h)| h.size()).sum::<usize>(),
+            Hist::Seq(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Every ground event syntactically occurring in the expression —
+    /// the event alphabet of the system it describes.
+    pub fn events(&self) -> BTreeSet<Event> {
+        let mut acc = BTreeSet::new();
+        self.collect_events(&mut acc);
+        acc
+    }
+
+    fn collect_events(&self, acc: &mut BTreeSet<Event>) {
+        match self {
+            Hist::Eps | Hist::Var(_) | Hist::CloseTok(..) | Hist::FrameCloseTok(_) => {}
+            Hist::Ev(e) => {
+                acc.insert(e.clone());
+            }
+            Hist::Mu(_, body) | Hist::Req { body, .. } | Hist::Framed(_, body) => {
+                body.collect_events(acc)
+            }
+            Hist::Ext(bs) | Hist::Int(bs) => {
+                for (_, h) in bs {
+                    h.collect_events(acc);
+                }
+            }
+            Hist::Seq(a, b) => {
+                a.collect_events(acc);
+                b.collect_events(acc);
+            }
+        }
+    }
+
+    /// Every channel syntactically occurring in the expression.
+    pub fn channels(&self) -> BTreeSet<Channel> {
+        let mut acc = BTreeSet::new();
+        self.collect_channels(&mut acc);
+        acc
+    }
+
+    fn collect_channels(&self, acc: &mut BTreeSet<Channel>) {
+        match self {
+            Hist::Eps
+            | Hist::Var(_)
+            | Hist::Ev(_)
+            | Hist::CloseTok(..)
+            | Hist::FrameCloseTok(_) => {}
+            Hist::Mu(_, body) | Hist::Req { body, .. } | Hist::Framed(_, body) => {
+                body.collect_channels(acc)
+            }
+            Hist::Ext(bs) | Hist::Int(bs) => {
+                for (c, h) in bs {
+                    acc.insert(c.clone());
+                    h.collect_channels(acc);
+                }
+            }
+            Hist::Seq(a, b) => {
+                a.collect_channels(acc);
+                b.collect_channels(acc);
+            }
+        }
+    }
+
+    /// Applies the canonicalisation of [`Hist::seq`] recursively to an
+    /// arbitrarily built expression. Parsed and hand-built expressions are
+    /// already canonical; this is useful after generic tree surgery.
+    pub fn canonicalize(&self) -> Hist {
+        match self {
+            Hist::Eps
+            | Hist::Var(_)
+            | Hist::Ev(_)
+            | Hist::CloseTok(..)
+            | Hist::FrameCloseTok(_) => self.clone(),
+            Hist::Mu(v, body) => Hist::Mu(v.clone(), Box::new(body.canonicalize())),
+            Hist::Ext(bs) => Hist::Ext(
+                bs.iter()
+                    .map(|(c, h)| (c.clone(), h.canonicalize()))
+                    .collect(),
+            ),
+            Hist::Int(bs) => Hist::Int(
+                bs.iter()
+                    .map(|(c, h)| (c.clone(), h.canonicalize()))
+                    .collect(),
+            ),
+            Hist::Seq(a, b) => Hist::seq(a.canonicalize(), b.canonicalize()),
+            Hist::Req { id, policy, body } => Hist::Req {
+                id: *id,
+                policy: policy.clone(),
+                body: Box::new(body.canonicalize()),
+            },
+            Hist::Framed(p, body) => Hist::Framed(p.clone(), Box::new(body.canonicalize())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(name: &str) -> Hist {
+        Hist::ev(Event::nullary(name))
+    }
+
+    #[test]
+    fn seq_unit_laws() {
+        let a = ev("a");
+        assert_eq!(Hist::seq(Hist::Eps, a.clone()), a);
+        assert_eq!(Hist::seq(a.clone(), Hist::Eps), a);
+        assert_eq!(Hist::seq(Hist::Eps, Hist::Eps), Hist::Eps);
+    }
+
+    #[test]
+    fn seq_right_associates() {
+        let (a, b, c) = (ev("a"), ev("b"), ev("c"));
+        let left = Hist::seq(Hist::seq(a.clone(), b.clone()), c.clone());
+        let right = Hist::seq(a, Hist::seq(b, c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn seq_all_matches_fold() {
+        let items = vec![ev("a"), ev("b"), ev("c")];
+        let h = Hist::seq_all(items.clone());
+        let folded = items
+            .into_iter()
+            .rev()
+            .fold(Hist::Eps, |acc, x| Hist::seq(x, acc));
+        assert_eq!(h, folded);
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let h = Hist::mu("h", Hist::seq(ev("a"), Hist::var("h")));
+        assert!(h.is_closed());
+        let open = Hist::seq(ev("a"), Hist::var("k"));
+        assert_eq!(
+            open.free_vars().into_iter().collect::<Vec<_>>(),
+            vec![RecVar::new("k")]
+        );
+    }
+
+    #[test]
+    fn subst_shadowing() {
+        // (μh. h) {X/h} must not touch the bound h.
+        let inner = Hist::mu("h", Hist::var("h"));
+        let r = inner.subst(&RecVar::new("h"), &ev("x"));
+        assert_eq!(r, inner);
+        // A free h is replaced.
+        let free = Hist::seq(Hist::var("h"), ev("b"));
+        let r = free.subst(&RecVar::new("h"), &ev("x"));
+        assert_eq!(r, Hist::seq(ev("x"), ev("b")));
+    }
+
+    #[test]
+    fn subst_preserves_canonical_form() {
+        // Substituting ε into a sequence must collapse it.
+        let h = Hist::Seq(Box::new(Hist::Var(RecVar::new("h"))), Box::new(ev("b")));
+        let r = h.subst(&RecVar::new("h"), &Hist::Eps);
+        assert_eq!(r, ev("b"));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let h = Hist::seq(ev("a"), Hist::mu("h", Hist::seq(ev("b"), Hist::var("h"))));
+        // seq + a + mu + seq + b + var = 6
+        assert_eq!(h.size(), 6);
+    }
+
+    #[test]
+    fn canonicalize_collapses_eps() {
+        let raw = Hist::Seq(
+            Box::new(Hist::Seq(Box::new(Hist::Eps), Box::new(ev("a")))),
+            Box::new(Hist::Eps),
+        );
+        assert_eq!(raw.canonicalize(), ev("a"));
+    }
+
+    #[test]
+    fn default_is_eps() {
+        assert!(Hist::default().is_eps());
+    }
+
+    #[test]
+    fn events_and_channels_are_collected() {
+        let h = Hist::seq(
+            Hist::ev(Event::new("sgn", [1i64])),
+            Hist::mu(
+                "h",
+                Hist::ext([
+                    (
+                        Channel::new("go"),
+                        Hist::seq(Hist::ev(Event::new("sgn", [1i64])), Hist::var("h")),
+                    ),
+                    (
+                        Channel::new("stop"),
+                        Hist::req(1u32, None, Hist::int_([(Channel::new("bye"), Hist::Eps)])),
+                    ),
+                ]),
+            ),
+        );
+        let events: Vec<String> = h.events().iter().map(|e| e.to_string()).collect();
+        assert_eq!(events, vec!["#sgn(1)"]); // deduplicated
+        let chans: Vec<String> = h.channels().iter().map(|c| c.as_str().to_owned()).collect();
+        assert_eq!(chans, vec!["bye", "go", "stop"]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Identifier newtypes: channels, event names, recursion variables,
+//! request identifiers and locations.
+//!
+//! Each identifier is a thin wrapper around a string (or integer for
+//! [`RequestId`]) providing a static distinction between the different
+//! name spaces of the calculus (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! string_ident {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates a new identifier from anything string-like.
+            pub fn new(s: impl Into<String>) -> Self {
+                Self(s.into())
+            }
+
+            /// Returns the identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+string_ident! {
+    /// A communication channel name `a`; outputs on `a` are written `ā`.
+    Channel
+}
+
+string_ident! {
+    /// The name of a security-relevant event `α` (its parameters live in
+    /// [`crate::Event`]).
+    EventName
+}
+
+string_ident! {
+    /// A recursion variable `h` bound by `μh.H`.
+    RecVar
+}
+
+string_ident! {
+    /// A location `ℓ ∈ Loc` hosting a client or a service.
+    Location
+}
+
+/// A request identifier `r ∈ Req` labelling `open_{r,φ} … close_{r,φ}`.
+///
+/// The paper requires request identifiers to be unique within a composed
+/// service; [`crate::wf::check`] enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// Creates a request identifier from its numeric label.
+    pub fn new(n: u32) -> Self {
+        Self(n)
+    }
+
+    /// Returns the numeric label of the request.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for RequestId {
+    fn from(n: u32) -> Self {
+        Self(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip() {
+        let c = Channel::new("req");
+        assert_eq!(c.as_str(), "req");
+        assert_eq!(c.to_string(), "req");
+        assert_eq!(Channel::from("req"), c);
+    }
+
+    #[test]
+    fn identifiers_are_distinct_namespaces() {
+        // These must be different types: this is a compile-time guarantee,
+        // here we just exercise the constructors.
+        let _: Channel = "a".into();
+        let _: EventName = "a".into();
+        let _: RecVar = "a".into();
+        let _: Location = "a".into();
+    }
+
+    #[test]
+    fn request_id_display() {
+        assert_eq!(RequestId::new(3).to_string(), "r3");
+        assert_eq!(RequestId::from(3).index(), 3);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Channel::new("a") < Channel::new("b"));
+        assert!(RequestId::new(1) < RequestId::new(2));
+    }
+}

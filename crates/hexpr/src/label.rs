@@ -1,0 +1,146 @@
+//! Transition labels `λ ∈ Comm ∪ Ev ∪ Frm` of the operational semantics.
+
+use std::fmt;
+
+use crate::event::{Event, PolicyRef};
+use crate::ident::{Channel, RequestId};
+
+/// The direction of a communication action on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// An input `a`.
+    In,
+    /// An output `ā`.
+    Out,
+}
+
+impl Dir {
+    /// The complementary direction: `co(a) = ā` and `co(ā) = a`.
+    pub fn co(self) -> Dir {
+        match self {
+            Dir::In => Dir::Out,
+            Dir::Out => Dir::In,
+        }
+    }
+}
+
+/// A transition label of the stand-alone semantics of history expressions:
+/// a communication action, an access event, or a framing action.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    /// An access event `α ∈ Ev`.
+    Ev(Event),
+    /// A channel action `a` (input) or `ā` (output).
+    Chan(Channel, Dir),
+    /// The silent action `τ` produced by a synchronisation.
+    Tau,
+    /// Opening a session, `open_{r,φ}`.
+    Open(RequestId, Option<PolicyRef>),
+    /// Closing a session, `close_{r,φ}`.
+    Close(RequestId, Option<PolicyRef>),
+    /// An opening framing action `⌞φ ∈ Frm`.
+    FrameOpen(PolicyRef),
+    /// A closing framing action `⌟φ ∈ Frm`.
+    FrameClose(PolicyRef),
+}
+
+impl Label {
+    /// Builds an input label on `chan`.
+    pub fn input(chan: impl Into<Channel>) -> Label {
+        Label::Chan(chan.into(), Dir::In)
+    }
+
+    /// Builds an output label on `chan`.
+    pub fn output(chan: impl Into<Channel>) -> Label {
+        Label::Chan(chan.into(), Dir::Out)
+    }
+
+    /// Returns `true` if this is a communication action (`Comm` in the
+    /// paper): a channel action, `τ`, or an open/close.
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self,
+            Label::Chan(..) | Label::Tau | Label::Open(..) | Label::Close(..)
+        )
+    }
+
+    /// Returns `true` for access events.
+    pub fn is_event(&self) -> bool {
+        matches!(self, Label::Ev(_))
+    }
+
+    /// Returns `true` for framing actions `⌞φ`/`⌟φ`.
+    pub fn is_framing(&self) -> bool {
+        matches!(self, Label::FrameOpen(_) | Label::FrameClose(_))
+    }
+
+    /// The complementary channel action (`co(a)`), if this is one.
+    pub fn co_action(&self) -> Option<Label> {
+        match self {
+            Label::Chan(c, d) => Some(Label::Chan(c.clone(), d.co())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Ev(e) => write!(f, "{e}"),
+            Label::Chan(c, Dir::In) => write!(f, "{c}?"),
+            Label::Chan(c, Dir::Out) => write!(f, "{c}!"),
+            Label::Tau => write!(f, "τ"),
+            Label::Open(r, Some(p)) => write!(f, "open_{r},{p}"),
+            Label::Open(r, None) => write!(f, "open_{r},∅"),
+            Label::Close(r, Some(p)) => write!(f, "close_{r},{p}"),
+            Label::Close(r, None) => write!(f, "close_{r},∅"),
+            Label::FrameOpen(p) => write!(f, "⌞{p}"),
+            Label::FrameClose(p) => write!(f, "⌟{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn co_involution() {
+        assert_eq!(Dir::In.co(), Dir::Out);
+        assert_eq!(Dir::Out.co(), Dir::In);
+        assert_eq!(Dir::In.co().co(), Dir::In);
+    }
+
+    #[test]
+    fn co_action_on_channels_only() {
+        let a = Label::input("a");
+        assert_eq!(a.co_action(), Some(Label::output("a")));
+        assert_eq!(Label::Tau.co_action(), None);
+        assert_eq!(Label::Ev(Event::nullary("x")).co_action(), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Label::input("a").is_comm());
+        assert!(Label::Tau.is_comm());
+        assert!(Label::Open(RequestId::new(1), None).is_comm());
+        assert!(Label::Ev(Event::nullary("x")).is_event());
+        assert!(!Label::Ev(Event::nullary("x")).is_comm());
+        assert!(Label::FrameOpen(PolicyRef::nullary("phi")).is_framing());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Label::input("a").to_string(), "a?");
+        assert_eq!(Label::output("a").to_string(), "a!");
+        assert_eq!(Label::Tau.to_string(), "τ");
+        assert_eq!(
+            Label::Open(RequestId::new(3), None).to_string(),
+            "open_r3,∅"
+        );
+        assert_eq!(
+            Label::FrameClose(PolicyRef::nullary("phi")).to_string(),
+            "⌟phi"
+        );
+    }
+}

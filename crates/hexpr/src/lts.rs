@@ -1,0 +1,255 @@
+//! Finite labelled transition systems of history expressions.
+//!
+//! Because Definition 1 only admits guarded tail recursion, the set of
+//! expressions reachable from a well-formed `H` through the operational
+//! semantics is finite; [`HistLts::build`] explores it with breadth-first
+//! search over canonical states.
+
+use std::collections::HashMap;
+
+use crate::hist::Hist;
+use crate::label::Label;
+use crate::semantics::successors;
+
+/// An exploration error: the state space exceeded the configured bound.
+///
+/// This only happens for ill-formed expressions (e.g. non-tail recursion
+/// introduced by hand); [`crate::wf::check`] rejects those statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpaceExceeded {
+    /// The bound that was exceeded.
+    pub bound: usize,
+}
+
+impl std::fmt::Display for StateSpaceExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "state space exceeded the bound of {} states", self.bound)
+    }
+}
+
+impl std::error::Error for StateSpaceExceeded {}
+
+/// The finite LTS of a history expression.
+///
+/// States are canonical history expressions; state `0` is the initial
+/// expression. Edges carry the labels of the stand-alone semantics.
+#[derive(Debug, Clone)]
+pub struct HistLts {
+    states: Vec<Hist>,
+    edges: Vec<Vec<(Label, usize)>>,
+}
+
+/// The default bound on explored states.
+pub const DEFAULT_STATE_BOUND: usize = 1 << 20;
+
+impl HistLts {
+    /// Explores the reachable state space of `h` with the default bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceExceeded`] if more than
+    /// [`DEFAULT_STATE_BOUND`] states are reachable, which cannot happen
+    /// for expressions accepted by [`crate::wf::check`].
+    pub fn build(h: &Hist) -> Result<HistLts, StateSpaceExceeded> {
+        Self::build_bounded(h, DEFAULT_STATE_BOUND)
+    }
+
+    /// Explores the reachable state space of `h`, failing beyond `bound`
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceExceeded`] if more than `bound` states are
+    /// reachable.
+    pub fn build_bounded(h: &Hist, bound: usize) -> Result<HistLts, StateSpaceExceeded> {
+        let mut states: Vec<Hist> = vec![h.clone()];
+        let mut index: HashMap<Hist, usize> = HashMap::new();
+        index.insert(h.clone(), 0);
+        let mut edges: Vec<Vec<(Label, usize)>> = Vec::new();
+        let mut next = 0usize;
+        while next < states.len() {
+            let state = states[next].clone();
+            let mut out = Vec::new();
+            for (label, succ) in successors(&state) {
+                let id = match index.get(&succ) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len();
+                        if id >= bound {
+                            return Err(StateSpaceExceeded { bound });
+                        }
+                        index.insert(succ.clone(), id);
+                        states.push(succ);
+                        id
+                    }
+                };
+                out.push((label, id));
+            }
+            edges.push(out);
+            next += 1;
+        }
+        Ok(HistLts { states, edges })
+    }
+
+    /// The number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the LTS has no states (never happens: the initial
+    /// state always exists).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The initial state id (always `0`).
+    pub fn initial(&self) -> usize {
+        0
+    }
+
+    /// The expression at state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: usize) -> &Hist {
+        &self.states[id]
+    }
+
+    /// Outgoing edges of state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edges(&self, id: usize) -> &[(Label, usize)] {
+        &self.edges[id]
+    }
+
+    /// Iterates over all `(source, label, target)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, &Label, usize)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .flat_map(|(s, out)| out.iter().map(move |(l, t)| (s, l, *t)))
+    }
+
+    /// State ids whose expression is terminated (`ε`): successful final
+    /// states.
+    pub fn terminated_states(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_eps())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// States with no outgoing edges that are *not* `ε`: these are stuck.
+    ///
+    /// For a closed stand-alone expression this is always empty; stuckness
+    /// arises from composition (compliance failures), checked elsewhere.
+    pub fn stuck_states(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(i, out)| out.is_empty() && !self.states[*i].is_eps())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the LTS in Graphviz DOT format (for debugging and docs).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph hist {\n  rankdir=LR;\n");
+        for (i, st) in self.states.iter().enumerate() {
+            let shape = if st.is_eps() {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(s, "  q{i} [shape={shape},label=\"q{i}\"];");
+        }
+        for (src, label, tgt) in self.iter_edges() {
+            let _ = writeln!(s, "  q{src} -> q{tgt} [label=\"{label}\"];");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::ident::Channel;
+
+    fn ev(name: &str) -> Hist {
+        Hist::ev(Event::nullary(name))
+    }
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+
+    #[test]
+    fn straight_line_lts() {
+        let h = Hist::seq(ev("a"), ev("b"));
+        let lts = HistLts::build(&h).unwrap();
+        assert_eq!(lts.len(), 3);
+        assert_eq!(lts.terminated_states().len(), 1);
+        assert!(lts.stuck_states().is_empty());
+    }
+
+    #[test]
+    fn recursion_is_finite_state() {
+        // μh. (ā ⊕ b̄)·c̄·h : 3 states (head, after a/b, eps is unreachable).
+        let body = Hist::seq(
+            Hist::int_([(ch("a"), Hist::Eps), (ch("b"), Hist::Eps)]),
+            Hist::seq(Hist::int_([(ch("c"), Hist::Eps)]), Hist::var("h")),
+        );
+        let h = Hist::mu("h", body);
+        let lts = HistLts::build(&h).unwrap();
+        assert_eq!(lts.len(), 2);
+        assert!(lts.terminated_states().is_empty());
+        // Every state has outgoing edges (the loop never terminates).
+        for i in 0..lts.len() {
+            assert!(!lts.edges(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn choice_lts_shape() {
+        let h = Hist::ext([(ch("a"), ev("x")), (ch("b"), ev("y"))]);
+        let lts = HistLts::build(&h).unwrap();
+        // initial, x, y, eps = 4 states
+        assert_eq!(lts.len(), 4);
+        assert_eq!(lts.edges(0).len(), 2);
+        assert_eq!(lts.iter_edges().count(), 4);
+    }
+
+    #[test]
+    fn bound_is_enforced() {
+        let h = Hist::seq_all((0..10).map(|i| ev(&format!("e{i}"))));
+        let err = HistLts::build_bounded(&h, 4).unwrap_err();
+        assert_eq!(err.bound, 4);
+        assert!(err.to_string().contains("4"));
+    }
+
+    #[test]
+    fn dot_output_mentions_labels() {
+        let h = ev("a");
+        let dot = HistLts::build(&h).unwrap().to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("#a"));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn shared_continuations_are_merged() {
+        // a.(c) + b.(c): the continuation after a and after b is the same
+        // state.
+        let cont = ev("c");
+        let h = Hist::ext([(ch("a"), cont.clone()), (ch("b"), cont)]);
+        let lts = HistLts::build(&h).unwrap();
+        assert_eq!(lts.len(), 3); // initial, c, eps
+    }
+}

@@ -1,0 +1,633 @@
+//! A parser for the concrete textual syntax of history expressions.
+//!
+//! ```text
+//! H      := P (';' P)*                      sequential composition
+//! P      := 'mu' ident '.' H                tail recursion
+//!         | A
+//! A      := 'eps'                           the empty expression
+//!         | '#' ident ['(' value,* ')']     access event
+//!         | 'ext' '[' b ('|' b)* ']'        external choice (inputs)
+//!         | 'int' '[' b ('|' b)* ']'        internal choice (outputs)
+//!         | 'open' nat ['phi' polref] '{' H '}'   service request
+//!         | 'frame' polref '[' H ']'        security framing
+//!         | '(' H ')'
+//!         | ident                           recursion variable
+//! b      := ident '->' H                    a choice branch
+//! polref := ident ['(' param,* ')']
+//! param  := value | '{' value,* '}'         scalar or set parameter
+//! value  := int | ident
+//! ```
+//!
+//! The pretty printer ([`std::fmt::Display`] on [`Hist`]) emits exactly
+//! this syntax, and a round-trip property test in the workspace checks
+//! `parse(display(h)) == h`.
+
+use std::fmt;
+
+use crate::event::{Event, PolicyRef};
+use crate::hist::Hist;
+use crate::ident::Channel;
+use crate::value::{ParamValue, Value};
+
+/// A parse error, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a history expression from its textual syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first offending token.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::parse_hist;
+///
+/// let h = parse_hist("mu h. int[work -> #step(1); h | quit -> eps]")?;
+/// assert!(h.is_closed());
+/// # Ok::<(), sufs_hexpr::ParseError>(())
+/// ```
+pub fn parse_hist(input: &str) -> Result<Hist, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let h = p.seq()?;
+    p.expect_eof()?;
+    Ok(h)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Hash,
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Pipe,
+    Arrow,
+    Dot,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::Hash => write!(f, "`#`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrack => write!(f, "`[`"),
+            Tok::RBrack => write!(f, "`]`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                out.push((Tok::Hash, i));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBrack, i));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBrack, i));
+                i += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, i));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, i));
+                i += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '|' => {
+                out.push((Tok::Pipe, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Arrow, i));
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: i64 = input[start..i].parse().map_err(|_| ParseError {
+                        offset: start,
+                        message: "integer literal out of range".into(),
+                    })?;
+                    out.push((Tok::Int(n), start));
+                } else {
+                    return Err(ParseError {
+                        offset: i,
+                        message: "expected `->` or a negative integer after `-`".into(),
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i].parse().map_err(|_| ParseError {
+                    offset: start,
+                    message: "integer literal out of range".into(),
+                })?;
+                out.push((Tok::Int(n), start));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(input[start..i].to_owned()), start));
+            }
+            _ => {
+                return Err(ParseError {
+                    offset: i,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, bytes.len()));
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("expected end of input, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Hist, ParseError> {
+        let first = self.prefix()?;
+        if matches!(self.peek(), Tok::Semi) {
+            self.bump();
+            let rest = self.seq()?;
+            Ok(Hist::seq(first, rest))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn prefix(&mut self) -> Result<Hist, ParseError> {
+        if let Tok::Ident(kw) = self.peek() {
+            if kw == "mu" {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(Tok::Dot)?;
+                let body = self.seq()?;
+                return Ok(Hist::mu(var, body));
+            }
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Hist, ParseError> {
+        match self.peek().clone() {
+            Tok::Hash => {
+                self.bump();
+                let name = self.ident()?;
+                let args = if matches!(self.peek(), Tok::LParen) {
+                    self.value_list()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Hist::Ev(Event::new(name, args)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let h = self.seq()?;
+                self.expect(Tok::RParen)?;
+                Ok(h)
+            }
+            Tok::Ident(kw) => match kw.as_str() {
+                "eps" => {
+                    self.bump();
+                    Ok(Hist::Eps)
+                }
+                "ext" => {
+                    self.bump();
+                    Ok(Hist::Ext(self.branches()?))
+                }
+                "int" => {
+                    self.bump();
+                    Ok(Hist::Int(self.branches()?))
+                }
+                "open" => {
+                    self.bump();
+                    let id = match self.peek().clone() {
+                        Tok::Int(n) if n >= 0 => {
+                            self.bump();
+                            n as u32
+                        }
+                        other => {
+                            return self.err(format!(
+                                "expected a non-negative request number, found {other}"
+                            ))
+                        }
+                    };
+                    let policy = if self.peek() == &Tok::Ident("phi".into()) {
+                        self.bump();
+                        Some(self.policy_ref()?)
+                    } else {
+                        None
+                    };
+                    self.expect(Tok::LBrace)?;
+                    let body = self.seq()?;
+                    self.expect(Tok::RBrace)?;
+                    Ok(Hist::req(id, policy, body))
+                }
+                "frame" => {
+                    self.bump();
+                    let p = self.policy_ref()?;
+                    self.expect(Tok::LBrack)?;
+                    let body = self.seq()?;
+                    self.expect(Tok::RBrack)?;
+                    Ok(Hist::framed(p, body))
+                }
+                "mu" => self.err("`mu` must be followed by a variable and `.`"),
+                _ => {
+                    self.bump();
+                    Ok(Hist::var(kw))
+                }
+            },
+            other => self.err(format!("expected a history expression, found {other}")),
+        }
+    }
+
+    fn branches(&mut self) -> Result<Vec<(Channel, Hist)>, ParseError> {
+        self.expect(Tok::LBrack)?;
+        let mut out = Vec::new();
+        loop {
+            let chan = self.ident()?;
+            self.expect(Tok::Arrow)?;
+            let cont = self.seq()?;
+            out.push((Channel::new(chan), cont));
+            match self.peek() {
+                Tok::Pipe => {
+                    self.bump();
+                }
+                Tok::RBrack => {
+                    self.bump();
+                    break;
+                }
+                other => return self.err(format!("expected `|` or `]`, found {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn policy_ref(&mut self) -> Result<PolicyRef, ParseError> {
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if matches!(self.peek(), Tok::LParen) {
+            self.bump();
+            if !matches!(self.peek(), Tok::RParen) {
+                loop {
+                    args.push(self.param()?);
+                    if matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        Ok(PolicyRef::new(name, args))
+    }
+
+    fn param(&mut self) -> Result<ParamValue, ParseError> {
+        if matches!(self.peek(), Tok::LBrace) {
+            self.bump();
+            let mut vals = Vec::new();
+            if !matches!(self.peek(), Tok::RBrace) {
+                loop {
+                    vals.push(self.value()?);
+                    if matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RBrace)?;
+            Ok(ParamValue::Set(vals.into_iter().collect()))
+        } else {
+            Ok(ParamValue::Scalar(self.value()?))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Value::Int(n))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            other => self.err(format!("expected a value, found {other}")),
+        }
+    }
+
+    fn value_list(&mut self) -> Result<Vec<Value>, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut out = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                out.push(self.value()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_eps_and_events() {
+        assert_eq!(parse_hist("eps").unwrap(), Hist::Eps);
+        assert_eq!(
+            parse_hist("#sgn(1)").unwrap(),
+            Hist::Ev(Event::new("sgn", [1i64]))
+        );
+        assert_eq!(
+            parse_hist("#tick").unwrap(),
+            Hist::Ev(Event::nullary("tick"))
+        );
+        assert_eq!(
+            parse_hist("#mix(1, foo, -3)").unwrap(),
+            Hist::Ev(Event::new(
+                "mix",
+                [Value::Int(1), Value::str("foo"), Value::Int(-3)]
+            ))
+        );
+    }
+
+    #[test]
+    fn parses_sequences_right_associated() {
+        let h = parse_hist("#a; #b; #c").unwrap();
+        assert_eq!(
+            h,
+            Hist::seq(
+                Hist::Ev(Event::nullary("a")),
+                Hist::seq(Hist::Ev(Event::nullary("b")), Hist::Ev(Event::nullary("c")))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_choices() {
+        let h = parse_hist("ext[a -> eps | b -> #x]").unwrap();
+        assert_eq!(
+            h,
+            Hist::ext([
+                (Channel::new("a"), Hist::Eps),
+                (Channel::new("b"), Hist::Ev(Event::nullary("x")))
+            ])
+        );
+        let h = parse_hist("int[a -> eps]").unwrap();
+        assert_eq!(h, Hist::int_([(Channel::new("a"), Hist::Eps)]));
+    }
+
+    #[test]
+    fn parses_mu_extends_right() {
+        let h = parse_hist("mu h. int[a -> #x; h]").unwrap();
+        assert_eq!(
+            h,
+            Hist::mu(
+                "h",
+                Hist::int_([(
+                    Channel::new("a"),
+                    Hist::seq(Hist::Ev(Event::nullary("x")), Hist::var("h"))
+                )])
+            )
+        );
+    }
+
+    #[test]
+    fn parses_request_with_and_without_policy() {
+        let h = parse_hist("open 3 { eps }").unwrap();
+        assert_eq!(h, Hist::req(3u32, None, Hist::Eps));
+        let h = parse_hist("open 1 phi guard({s1}, 45, 100) { eps }").unwrap();
+        let expected = Hist::req(
+            1u32,
+            Some(PolicyRef::new(
+                "guard",
+                [
+                    ParamValue::set(["s1"]),
+                    ParamValue::int(45),
+                    ParamValue::int(100),
+                ],
+            )),
+            Hist::Eps,
+        );
+        assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn parses_frame() {
+        let h = parse_hist("frame noRW [ #read; #write ]").unwrap();
+        assert_eq!(
+            h,
+            Hist::framed(
+                PolicyRef::nullary("noRW"),
+                Hist::seq(
+                    Hist::Ev(Event::nullary("read")),
+                    Hist::Ev(Event::nullary("write"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn parses_parenthesised_seq_in_branch() {
+        let h = parse_hist("ext[a -> (#x; #y) | b -> eps]").unwrap();
+        match h {
+            Hist::Ext(bs) => {
+                assert_eq!(bs.len(), 2);
+                assert_eq!(
+                    bs[0].1,
+                    Hist::seq(Hist::Ev(Event::nullary("x")), Hist::Ev(Event::nullary("y")))
+                );
+            }
+            other => panic!("expected Ext, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let h = parse_hist("// leading comment\n#a; // trailing\n#b").unwrap();
+        assert_eq!(
+            h,
+            Hist::seq(Hist::Ev(Event::nullary("a")), Hist::Ev(Event::nullary("b")))
+        );
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_hist("#a; ?").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let err = parse_hist("eps eps").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn error_on_bad_branch_separator() {
+        let err = parse_hist("ext[a -> eps , b -> eps]").unwrap_err();
+        assert!(err.message.contains("`|` or `]`"));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let sources = [
+            "eps",
+            "#sgn(1); #price(45); #rating(80)",
+            "ext[idc -> int[bok -> eps | una -> eps]]",
+            "mu h. int[work -> #step(1); h | quit -> eps]",
+            "open 1 phi guard({s1},45,100) { int[req -> eps]; ext[cobo -> int[pay -> eps] | noav -> eps] }",
+            "frame noRW [ #read; #write ]",
+        ];
+        for src in sources {
+            let h = parse_hist(src).unwrap();
+            let printed = h.to_string();
+            let reparsed = parse_hist(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(reparsed, h, "round trip failed for `{src}`");
+        }
+    }
+}

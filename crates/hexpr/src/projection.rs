@@ -1,0 +1,167 @@
+//! Projection on communication actions, `H!` (§4 of the paper).
+//!
+//! The projection removes from a history expression all the access events
+//! `α`, the policy framings `φ⟦·⟧` and the *inner* service requests
+//! `open_{r,φ} … close_{r,φ}`, keeping only channel communications. Its
+//! result is a *behavioural contract* in the sense of Castagna–Gesbert–
+//! Padovani \[12\]; contracts are packaged in the `sufs-contract` crate.
+//!
+//! ```text
+//! (H·H')! = H!·H'!          h! = h           φ⟦H⟧! = H!
+//! (μh.H)! = μh.(H!)         (Σᵢ aᵢ.Hᵢ)! = Σᵢ aᵢ.(Hᵢ!)
+//! (⊕ᵢ āᵢ.Hᵢ)! = ⊕ᵢ āᵢ.(Hᵢ!) (open_{r,φ}.H.close_{r,φ})! = ε! = α! = ε
+//! ```
+
+use crate::hist::Hist;
+
+/// Computes the projection `H!` of a history expression on its
+/// communication actions.
+///
+/// The projection of a closed expression is closed. Choice branches are
+/// preserved even when their continuations project to `ε` — the branch
+/// structure *is* the contract.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::{parse_hist, projection::project};
+///
+/// let h = parse_hist("#sgn(1); ext[idc -> int[bok -> eps | una -> eps]]").unwrap();
+/// let p = project(&h);
+/// assert_eq!(p, parse_hist("ext[idc -> int[bok -> eps | una -> eps]]").unwrap());
+/// ```
+pub fn project(h: &Hist) -> Hist {
+    match h {
+        Hist::Eps | Hist::Ev(_) => Hist::Eps,
+        // Inner requests disappear entirely, together with their bodies.
+        Hist::Req { .. } | Hist::CloseTok(..) => Hist::Eps,
+        Hist::FrameCloseTok(_) => Hist::Eps,
+        Hist::Var(v) => Hist::Var(v.clone()),
+        Hist::Mu(v, body) => {
+            let pb = project(body);
+            // μh.ε would be a degenerate (unguarded) loop; by the paper's
+            // well-formedness recursion is guarded by communications, so a
+            // body projecting to ε means the loop performs no
+            // communication at all and its contract is ε.
+            if pb.is_eps() {
+                Hist::Eps
+            } else {
+                Hist::Mu(v.clone(), Box::new(pb))
+            }
+        }
+        Hist::Ext(bs) => Hist::Ext(bs.iter().map(|(c, h)| (c.clone(), project(h))).collect()),
+        Hist::Int(bs) => Hist::Int(bs.iter().map(|(c, h)| (c.clone(), project(h))).collect()),
+        Hist::Seq(a, b) => Hist::seq(project(a), project(b)),
+        Hist::Framed(_, body) => project(body),
+    }
+}
+
+/// Returns `true` if `h` lies in the image of [`project`]: it contains
+/// only `ε`, variables, recursion, choices and sequencing — no events,
+/// requests or framings.
+pub fn is_comm_only(h: &Hist) -> bool {
+    match h {
+        Hist::Eps | Hist::Var(_) => true,
+        Hist::Mu(_, body) => is_comm_only(body),
+        Hist::Ext(bs) | Hist::Int(bs) => bs.iter().all(|(_, h)| is_comm_only(h)),
+        Hist::Seq(a, b) => is_comm_only(a) && is_comm_only(b),
+        Hist::Ev(_)
+        | Hist::Req { .. }
+        | Hist::Framed(..)
+        | Hist::CloseTok(..)
+        | Hist::FrameCloseTok(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, PolicyRef};
+    use crate::ident::Channel;
+
+    fn ev(name: &str) -> Hist {
+        Hist::ev(Event::nullary(name))
+    }
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+
+    #[test]
+    fn events_vanish() {
+        assert_eq!(project(&ev("a")), Hist::Eps);
+        assert_eq!(project(&Hist::seq(ev("a"), ev("b"))), Hist::Eps);
+    }
+
+    #[test]
+    fn framings_are_transparent() {
+        let h = Hist::framed(PolicyRef::nullary("phi"), Hist::ext([(ch("a"), Hist::Eps)]));
+        assert_eq!(project(&h), Hist::ext([(ch("a"), Hist::Eps)]));
+    }
+
+    #[test]
+    fn inner_requests_vanish_with_their_bodies() {
+        let h = Hist::seq(
+            Hist::req(3u32, None, Hist::ext([(ch("x"), Hist::Eps)])),
+            Hist::int_([(ch("a"), Hist::Eps)]),
+        );
+        assert_eq!(project(&h), Hist::int_([(ch("a"), Hist::Eps)]));
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let h = Hist::seq(
+            ev("a"),
+            Hist::mu(
+                "h",
+                Hist::int_([(ch("x"), Hist::seq(ev("b"), Hist::var("h")))]),
+            ),
+        );
+        let once = project(&h);
+        assert_eq!(project(&once), once);
+        assert!(is_comm_only(&once));
+    }
+
+    #[test]
+    fn projection_of_closed_is_closed() {
+        let h = Hist::mu(
+            "h",
+            Hist::int_([(ch("a"), Hist::seq(ev("b"), Hist::var("h")))]),
+        );
+        let p = project(&h);
+        assert!(p.is_closed());
+    }
+
+    #[test]
+    fn mu_with_silent_body_projects_to_eps() {
+        // A loop that only fires events has the empty contract. (Such a
+        // loop is rejected by wf — recursion must be comm-guarded — but
+        // projection must still be total.)
+        let h = Hist::mu("h", Hist::seq(ev("a"), Hist::var("h")));
+        // body projects to h alone, which is not ε, so the μ survives
+        // as μh.h; this is the degenerate case handled by wf. Here we only
+        // check projection is total and structural.
+        let p = project(&h);
+        assert_eq!(p, Hist::mu("h", Hist::var("h")));
+    }
+
+    #[test]
+    fn paper_broker_projection() {
+        // Br = Req̄? … actually the broker receives req, then opens a
+        // session; projecting its top level keeps only the communications.
+        let br = Hist::seq(
+            Hist::ext([(ch("req"), Hist::Eps)]),
+            Hist::seq(
+                Hist::req(3u32, None, Hist::int_([(ch("idc"), Hist::Eps)])),
+                Hist::int_([(ch("cobo"), Hist::Eps), (ch("noav"), Hist::Eps)]),
+            ),
+        );
+        let p = project(&br);
+        assert_eq!(
+            p,
+            Hist::seq(
+                Hist::ext([(ch("req"), Hist::Eps)]),
+                Hist::int_([(ch("cobo"), Hist::Eps), (ch("noav"), Hist::Eps)]),
+            )
+        );
+    }
+}

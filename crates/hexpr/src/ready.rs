@@ -1,0 +1,219 @@
+//! Observable ready sets (Definition 3 of the paper).
+//!
+//! A ready set `S ⊆ Comm` collects the communication actions a contract
+//! is ready to execute: an internal choice offers **one output at a
+//! time** (each branch is a distinct ready set), while an external choice
+//! offers **all its inputs at once** (a single ready set).
+
+use std::collections::BTreeSet;
+
+use crate::hist::Hist;
+use crate::ident::Channel;
+use crate::label::Dir;
+
+/// One observable ready set: a set of directed channel actions.
+pub type ReadySet = BTreeSet<(Channel, Dir)>;
+
+/// All observable ready sets of `h`: the finite set `{S | h ⇓ S}`.
+///
+/// Defined on arbitrary history expressions by looking through the
+/// non-communication constructs exactly as the projection `H!` does, so
+/// `ready_sets(h) == ready_sets(project(h))`.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::{parse_hist, ready::ready_sets};
+///
+/// // (a̅ ⊕ b̅) has two ready sets {a̅} and {b̅};
+/// let internal = parse_hist("int[a -> eps | b -> eps]").unwrap();
+/// assert_eq!(ready_sets(&internal).len(), 2);
+///
+/// // (a + b) has the single ready set {a, b}.
+/// let external = parse_hist("ext[a -> eps | b -> eps]").unwrap();
+/// assert_eq!(ready_sets(&external).len(), 1);
+/// ```
+pub fn ready_sets(h: &Hist) -> BTreeSet<ReadySet> {
+    match h {
+        // ε ⇓ ∅ and h ⇓ ∅; the silent constructs behave like their
+        // (empty) projection.
+        Hist::Eps
+        | Hist::Var(_)
+        | Hist::Ev(_)
+        | Hist::Req { .. }
+        | Hist::CloseTok(..)
+        | Hist::FrameCloseTok(_) => singleton_empty(),
+        Hist::Framed(_, body) => ready_sets(body),
+        Hist::Mu(_, body) => ready_sets(body),
+        Hist::Int(bs) => {
+            if bs.is_empty() {
+                singleton_empty()
+            } else {
+                bs.iter()
+                    .map(|(c, _)| {
+                        let mut s = ReadySet::new();
+                        s.insert((c.clone(), Dir::Out));
+                        s
+                    })
+                    .collect()
+            }
+        }
+        Hist::Ext(bs) => {
+            if bs.is_empty() {
+                singleton_empty()
+            } else {
+                let s: ReadySet = bs.iter().map(|(c, _)| (c.clone(), Dir::In)).collect();
+                BTreeSet::from([s])
+            }
+        }
+        Hist::Seq(a, b) => {
+            let mut out = BTreeSet::new();
+            let sets_a = ready_sets(a);
+            let mut need_b = false;
+            for s in sets_a {
+                if s.is_empty() {
+                    need_b = true;
+                } else {
+                    out.insert(s);
+                }
+            }
+            if need_b {
+                out.extend(ready_sets(b));
+            }
+            out
+        }
+    }
+}
+
+/// The complement of a ready set: every action with its direction flipped
+/// (`S̄ = {ā | a ∈ S}` in the paper's notation).
+pub fn co_set(s: &ReadySet) -> ReadySet {
+    s.iter().map(|(c, d)| (c.clone(), d.co())).collect()
+}
+
+/// Returns `true` if the two ready sets share a complementary pair:
+/// `C ∩ S̄ ≠ ∅`.
+pub fn has_handshake(c: &ReadySet, s: &ReadySet) -> bool {
+    c.iter()
+        .any(|(chan, dir)| s.contains(&(chan.clone(), dir.co())))
+}
+
+fn singleton_empty() -> BTreeSet<ReadySet> {
+    BTreeSet::from([ReadySet::new()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+    fn ev(name: &str) -> Hist {
+        Hist::ev(Event::nullary(name))
+    }
+
+    fn rs(items: &[(&str, Dir)]) -> ReadySet {
+        items.iter().map(|(c, d)| (ch(c), *d)).collect()
+    }
+
+    #[test]
+    fn eps_has_empty_ready_set() {
+        let sets = ready_sets(&Hist::Eps);
+        assert_eq!(sets, BTreeSet::from([ReadySet::new()]));
+    }
+
+    #[test]
+    fn internal_choice_one_output_at_a_time() {
+        // (ā₁ ⊕ ā₂) ⇓ {ā₁} and ⇓ {ā₂}  — the paper's first example.
+        let h = Hist::int_([(ch("a1"), Hist::Eps), (ch("a2"), Hist::Eps)]);
+        let sets = ready_sets(&h);
+        assert_eq!(
+            sets,
+            BTreeSet::from([rs(&[("a1", Dir::Out)]), rs(&[("a2", Dir::Out)])])
+        );
+    }
+
+    #[test]
+    fn external_choice_all_inputs_at_once() {
+        // (a₁ + a₂) ⇓ {a₁, a₂}.
+        let h = Hist::ext([(ch("a1"), Hist::Eps), (ch("a2"), Hist::Eps)]);
+        let sets = ready_sets(&h);
+        assert_eq!(
+            sets,
+            BTreeSet::from([rs(&[("a1", Dir::In), ("a2", Dir::In)])])
+        );
+    }
+
+    #[test]
+    fn recursion_example_from_paper() {
+        // H = μh.(ā₁ ⊕ ā₂)·b·h, then H ⇓ {ā₁} and H ⇓ {ā₂}.
+        let h = Hist::mu(
+            "h",
+            Hist::seq(
+                Hist::int_([(ch("a1"), Hist::Eps), (ch("a2"), Hist::Eps)]),
+                Hist::seq(Hist::ext([(ch("b"), Hist::Eps)]), Hist::var("h")),
+            ),
+        );
+        let sets = ready_sets(&h);
+        assert_eq!(
+            sets,
+            BTreeSet::from([rs(&[("a1", Dir::Out)]), rs(&[("a2", Dir::Out)])])
+        );
+    }
+
+    #[test]
+    fn seq_skips_empty_prefix() {
+        // ε·(a + b)·(d ⊕ e) ⇓ {a, b}  — the paper's last example.
+        let h = Hist::seq(
+            Hist::Eps,
+            Hist::seq(
+                Hist::ext([(ch("a"), Hist::Eps), (ch("b"), Hist::Eps)]),
+                Hist::int_([(ch("d"), Hist::Eps), (ch("e"), Hist::Eps)]),
+            ),
+        );
+        let sets = ready_sets(&h);
+        assert_eq!(
+            sets,
+            BTreeSet::from([rs(&[("a", Dir::In), ("b", Dir::In)])])
+        );
+    }
+
+    #[test]
+    fn events_are_transparent() {
+        let h = Hist::seq(ev("x"), Hist::ext([(ch("a"), Hist::Eps)]));
+        assert_eq!(ready_sets(&h), BTreeSet::from([rs(&[("a", Dir::In)])]));
+    }
+
+    #[test]
+    fn co_set_flips_directions() {
+        let s = rs(&[("a", Dir::In), ("b", Dir::Out)]);
+        assert_eq!(co_set(&s), rs(&[("a", Dir::Out), ("b", Dir::In)]));
+    }
+
+    #[test]
+    fn handshake_detection() {
+        let c = rs(&[("bok", Dir::Out)]);
+        let s = rs(&[("bok", Dir::In), ("una", Dir::In)]);
+        assert!(has_handshake(&c, &s));
+        let del = rs(&[("del", Dir::Out)]);
+        assert!(!has_handshake(&del, &s));
+    }
+
+    #[test]
+    fn ready_sets_commute_with_projection() {
+        use crate::projection::project;
+        let h = Hist::seq(
+            ev("sgn"),
+            Hist::framed(
+                crate::event::PolicyRef::nullary("phi"),
+                Hist::ext([(
+                    ch("idc"),
+                    Hist::int_([(ch("bok"), Hist::Eps), (ch("una"), Hist::Eps)]),
+                )]),
+            ),
+        );
+        assert_eq!(ready_sets(&h), ready_sets(&project(&h)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Extraction of service requests `open_{r,φ} H close_{r,φ}` from a
+//! history expression (§4, first paragraph: "we manipulate the syntactic
+//! structure of a service in order to identify and pick up all the
+//! requests").
+
+use crate::event::PolicyRef;
+use crate::hist::Hist;
+use crate::ident::RequestId;
+
+/// One service request occurring (possibly nested) in an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestInfo {
+    /// The request identifier `r`.
+    pub id: RequestId,
+    /// The policy `φ` the client imposes on the session (`None` = `∅`).
+    pub policy: Option<PolicyRef>,
+    /// The client-side conversation `H₁` of `open_{r,φ} H₁ close_{r,φ}`.
+    pub body: Hist,
+    /// Nesting depth: `0` for top-level requests of the expression,
+    /// `n+1` for requests syntactically inside the body of a depth-`n`
+    /// request.
+    pub depth: usize,
+}
+
+/// Collects every request in `h`, outermost first (pre-order).
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::{parse_hist, requests::requests};
+///
+/// let h = parse_hist("open 1 { ext[a -> eps] }; open 2 { ext[b -> eps] }").unwrap();
+/// let rs = requests(&h);
+/// assert_eq!(rs.len(), 2);
+/// assert_eq!(rs[0].id.index(), 1);
+/// assert_eq!(rs[1].id.index(), 2);
+/// ```
+pub fn requests(h: &Hist) -> Vec<RequestInfo> {
+    let mut out = Vec::new();
+    walk(h, 0, &mut out);
+    out
+}
+
+/// Collects the request identifiers of `h`, outermost first.
+pub fn request_ids(h: &Hist) -> Vec<RequestId> {
+    requests(h).into_iter().map(|r| r.id).collect()
+}
+
+/// Returns `true` if any two requests in `h` share an identifier.
+///
+/// The paper requires request identifiers to be unique; duplicate ids
+/// would make a plan ambiguous.
+pub fn has_duplicate_ids(h: &Hist) -> bool {
+    let mut ids = request_ids(h);
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len() != before
+}
+
+fn walk(h: &Hist, depth: usize, out: &mut Vec<RequestInfo>) {
+    match h {
+        Hist::Eps | Hist::Var(_) | Hist::Ev(_) | Hist::CloseTok(..) | Hist::FrameCloseTok(_) => {}
+        Hist::Mu(_, body) | Hist::Framed(_, body) => walk(body, depth, out),
+        Hist::Ext(bs) | Hist::Int(bs) => {
+            for (_, cont) in bs {
+                walk(cont, depth, out);
+            }
+        }
+        Hist::Seq(a, b) => {
+            walk(a, depth, out);
+            walk(b, depth, out);
+        }
+        Hist::Req { id, policy, body } => {
+            out.push(RequestInfo {
+                id: *id,
+                policy: policy.clone(),
+                body: (**body).clone(),
+                depth,
+            });
+            walk(body, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::ident::Channel;
+
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+
+    #[test]
+    fn finds_top_level_requests() {
+        let h = Hist::seq(
+            Hist::req(1u32, None, Hist::ext([(ch("a"), Hist::Eps)])),
+            Hist::req(2u32, None, Hist::ext([(ch("b"), Hist::Eps)])),
+        );
+        let rs = requests(&h);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].id, RequestId::new(1));
+        assert_eq!(rs[0].depth, 0);
+        assert_eq!(rs[1].id, RequestId::new(2));
+    }
+
+    #[test]
+    fn finds_nested_requests_with_depth() {
+        let inner = Hist::req(3u32, None, Hist::ext([(ch("x"), Hist::Eps)]));
+        let h = Hist::req(1u32, None, Hist::seq(inner, Hist::Eps));
+        let rs = requests(&h);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].id, RequestId::new(1));
+        assert_eq!(rs[0].depth, 0);
+        assert_eq!(rs[1].id, RequestId::new(3));
+        assert_eq!(rs[1].depth, 1);
+    }
+
+    #[test]
+    fn finds_requests_under_choices_and_recursion() {
+        let h = Hist::mu(
+            "h",
+            Hist::ext([
+                (ch("go"), Hist::req(7u32, None, Hist::Eps)),
+                (ch("stop"), Hist::Eps),
+            ]),
+        );
+        let rs = requests(&h);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].id, RequestId::new(7));
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let dup = Hist::seq(
+            Hist::req(1u32, None, Hist::Eps),
+            Hist::req(1u32, None, Hist::Eps),
+        );
+        assert!(has_duplicate_ids(&dup));
+        let ok = Hist::seq(
+            Hist::req(1u32, None, Hist::Eps),
+            Hist::req(2u32, None, Hist::Eps),
+        );
+        assert!(!ok.is_eps());
+        assert!(!has_duplicate_ids(&ok));
+    }
+
+    #[test]
+    fn no_requests_in_plain_expression() {
+        let h = Hist::seq(Hist::ev(Event::nullary("a")), Hist::Eps);
+        assert!(requests(&h).is_empty());
+        assert!(request_ids(&h).is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! The stand-alone operational semantics of history expressions.
+//!
+//! Implements the rules of §3 of the paper:
+//!
+//! ```text
+//! (I-Choice)  ⊕ᵢ āᵢ.Hᵢ ──āᵢ──▸ Hᵢ
+//! (E-Choice)  Σᵢ aᵢ.Hᵢ ──aᵢ──▸ Hᵢ
+//! (α Acc)     α ──α──▸ ε
+//! (S-Open)    open_{r,φ}.H.close_{r,φ} ──open_{r,φ}──▸ H·close_{r,φ}
+//! (P-Open)    φ⟦H⟧ ──⌞φ──▸ H·⌟φ
+//! (Conc)      H ──λ──▸ H'  ⟹  H·H″ ──λ──▸ H'·H″
+//! (Rec)       H{μh.H/h} ──λ──▸ H'  ⟹  μh.H ──λ──▸ H'
+//! ```
+//!
+//! plus the two rules for the run-time residuals (a pending
+//! `close_{r,φ}` fires `close_{r,φ}` and a pending `⌟φ` fires `⌟φ`),
+//! which the paper leaves implicit in `H·close_{r,φ}` and `H·⌟φ`.
+
+use crate::hist::Hist;
+use crate::label::{Dir, Label};
+
+/// All single-step transitions `H ──λ──▸ H'` of a history expression.
+///
+/// The resulting expressions are canonical (see [`Hist::seq`]), so
+/// repeated expansion reaches finitely many states for well-formed
+/// expressions.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::{parse_hist, semantics::successors, Label};
+///
+/// let h = parse_hist("int[a -> eps | b -> eps]").unwrap();
+/// let succ = successors(&h);
+/// assert_eq!(succ.len(), 2);
+/// assert!(succ.iter().all(|(l, _)| matches!(l, Label::Chan(..))));
+/// ```
+pub fn successors(h: &Hist) -> Vec<(Label, Hist)> {
+    let mut out = Vec::new();
+    step_into(h, &mut out);
+    out
+}
+
+/// Returns `true` if `h` has no transitions at all.
+///
+/// For well-formed expressions this coincides with `h` being `ε` or a
+/// bare recursion variable (which cannot occur in closed expressions).
+pub fn is_stuck(h: &Hist) -> bool {
+    successors(h).is_empty()
+}
+
+fn step_into(h: &Hist, out: &mut Vec<(Label, Hist)>) {
+    match h {
+        Hist::Eps | Hist::Var(_) => {}
+        Hist::Ev(e) => out.push((Label::Ev(e.clone()), Hist::Eps)),
+        Hist::Ext(branches) => {
+            for (chan, cont) in branches {
+                out.push((Label::Chan(chan.clone(), Dir::In), cont.clone()));
+            }
+        }
+        Hist::Int(branches) => {
+            for (chan, cont) in branches {
+                out.push((Label::Chan(chan.clone(), Dir::Out), cont.clone()));
+            }
+        }
+        Hist::Seq(a, b) => {
+            // (Conc): only the left component moves.
+            let mut inner = Vec::new();
+            step_into(a, &mut inner);
+            for (l, a2) in inner {
+                out.push((l, Hist::seq(a2, (**b).clone())));
+            }
+        }
+        Hist::Mu(v, body) => {
+            // (Rec): unfold once; canonical `seq` keeps the state space finite.
+            let unfolded = body.subst(v, h);
+            step_into(&unfolded, out);
+        }
+        Hist::Req { id, policy, body } => {
+            // (S-Open)
+            let cont = Hist::seq((**body).clone(), Hist::CloseTok(*id, policy.clone()));
+            out.push((Label::Open(*id, policy.clone()), cont));
+        }
+        Hist::Framed(p, body) => {
+            // (P-Open)
+            let cont = Hist::seq((**body).clone(), Hist::FrameCloseTok(p.clone()));
+            out.push((Label::FrameOpen(p.clone()), cont));
+        }
+        Hist::CloseTok(r, p) => out.push((Label::Close(*r, p.clone()), Hist::Eps)),
+        Hist::FrameCloseTok(p) => out.push((Label::FrameClose(p.clone()), Hist::Eps)),
+    }
+}
+
+/// The trace semantics of an expression up to `max_len` steps: every
+/// sequence of labels along maximal paths of length ≤ `max_len`.
+///
+/// Intended for tests and small examples; the LTS in [`crate::lts`] is the
+/// scalable representation.
+pub fn traces(h: &Hist, max_len: usize) -> Vec<Vec<Label>> {
+    let mut done = Vec::new();
+    let mut frontier = vec![(h.clone(), Vec::new())];
+    while let Some((state, trace)) = frontier.pop() {
+        if trace.len() >= max_len {
+            done.push(trace);
+            continue;
+        }
+        let succ = successors(&state);
+        if succ.is_empty() {
+            done.push(trace);
+            continue;
+        }
+        for (l, s2) in succ {
+            let mut t2 = trace.clone();
+            t2.push(l);
+            frontier.push((s2, t2));
+        }
+    }
+    done.sort();
+    done.dedup();
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, PolicyRef};
+    use crate::ident::{Channel, RequestId};
+
+    fn ev(name: &str) -> Hist {
+        Hist::ev(Event::nullary(name))
+    }
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+
+    #[test]
+    fn event_fires_once() {
+        let h = ev("a");
+        let succ = successors(&h);
+        assert_eq!(succ, vec![(Label::Ev(Event::nullary("a")), Hist::Eps)]);
+        assert!(is_stuck(&Hist::Eps));
+    }
+
+    #[test]
+    fn internal_choice_offers_each_output() {
+        let h = Hist::int_([(ch("a"), Hist::Eps), (ch("b"), ev("x"))]);
+        let succ = successors(&h);
+        assert_eq!(succ.len(), 2);
+        assert_eq!(succ[0].0, Label::output("a"));
+        assert_eq!(succ[1].0, Label::output("b"));
+        assert_eq!(succ[1].1, ev("x"));
+    }
+
+    #[test]
+    fn external_choice_offers_each_input() {
+        let h = Hist::ext([(ch("a"), Hist::Eps), (ch("b"), Hist::Eps)]);
+        let labels: Vec<_> = successors(&h).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec![Label::input("a"), Label::input("b")]);
+    }
+
+    #[test]
+    fn seq_only_left_moves() {
+        let h = Hist::seq(ev("a"), ev("b"));
+        let succ = successors(&h);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0, Label::Ev(Event::nullary("a")));
+        assert_eq!(succ[0].1, ev("b"));
+    }
+
+    #[test]
+    fn s_open_leaves_close_pending() {
+        let h = Hist::req(1u32, None, ev("a"));
+        let succ = successors(&h);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0, Label::Open(RequestId::new(1), None));
+        // continuation: a · close_tok
+        let (l2, h2) = &successors(&succ[0].1)[0];
+        assert_eq!(*l2, Label::Ev(Event::nullary("a")));
+        let (l3, h3) = &successors(h2)[0];
+        assert_eq!(*l3, Label::Close(RequestId::new(1), None));
+        assert!(h3.is_eps());
+    }
+
+    #[test]
+    fn p_open_leaves_frame_close_pending() {
+        let phi = PolicyRef::nullary("phi");
+        let h = Hist::framed(phi.clone(), ev("a"));
+        let succ = successors(&h);
+        assert_eq!(succ[0].0, Label::FrameOpen(phi.clone()));
+        let trace: Vec<_> = traces(&h, 10);
+        assert_eq!(
+            trace,
+            vec![vec![
+                Label::FrameOpen(phi.clone()),
+                Label::Ev(Event::nullary("a")),
+                Label::FrameClose(phi),
+            ]]
+        );
+    }
+
+    #[test]
+    fn rec_unfolds_tail_recursion() {
+        // μh. ā.h  — infinite loop of outputs.
+        let h = Hist::mu("h", Hist::int_([(ch("a"), Hist::var("h"))]));
+        let succ = successors(&h);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0, Label::output("a"));
+        // The successor is the recursion itself (canonical form).
+        assert_eq!(succ[0].1, h);
+    }
+
+    #[test]
+    fn rec_with_prefix_returns_to_loop_head() {
+        // μh. (ā ⊕ b̄)·c̄·h
+        let body = Hist::seq(
+            Hist::int_([(ch("a"), Hist::Eps), (ch("b"), Hist::Eps)]),
+            Hist::seq(Hist::int_([(ch("c"), Hist::Eps)]), Hist::var("h")),
+        );
+        let h = Hist::mu("h", body);
+        let succ = successors(&h);
+        assert_eq!(succ.len(), 2);
+        // after ā then c̄ we are back at the loop head
+        let after_a = &succ[0].1;
+        let after_c = &successors(after_a)[0].1;
+        assert_eq!(*after_c, h);
+    }
+
+    #[test]
+    fn traces_of_paper_hotel_service() {
+        // S1 = α_sgn(1)·α_p(45)·α_ta(80) · idc.(bok ⊕ una)
+        let s1 = Hist::seq_all([
+            Hist::ev(Event::new("sgn", [1i64])),
+            Hist::ev(Event::new("p", [45i64])),
+            Hist::ev(Event::new("ta", [80i64])),
+            Hist::ext([(
+                ch("idc"),
+                Hist::int_([(ch("bok"), Hist::Eps), (ch("una"), Hist::Eps)]),
+            )]),
+        ]);
+        let ts = traces(&s1, 10);
+        assert_eq!(ts.len(), 2); // bok or una
+        for t in &ts {
+            assert_eq!(t.len(), 5);
+            assert_eq!(t[3], Label::input("idc"));
+        }
+    }
+}

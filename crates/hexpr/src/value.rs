@@ -1,0 +1,181 @@
+//! Ground values carried by events and policy parameters.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A ground value: an event argument or a scalar policy parameter.
+///
+/// Events such as `α_sgn(1)` or `α_price(45)` carry values; usage-automata
+/// guards compare them against policy parameters.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer, e.g. a price or a rating.
+    Int(i64),
+    /// A symbolic name, e.g. a principal or resource identifier.
+    Str(String),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+/// An actual parameter of a policy instantiation.
+///
+/// The policy `φ(bl, p, t)` of the paper's Fig. 1 takes a *set* parameter
+/// (the black list `bl`) and two scalar parameters (the thresholds `p`
+/// and `t`), so parameters are either scalars or finite sets of scalars.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ParamValue {
+    /// A scalar parameter, e.g. a threshold.
+    Scalar(Value),
+    /// A finite set parameter, e.g. a black list.
+    Set(BTreeSet<Value>),
+}
+
+impl ParamValue {
+    /// Creates an integer scalar parameter.
+    pub fn int(n: i64) -> Self {
+        ParamValue::Scalar(Value::Int(n))
+    }
+
+    /// Creates a string scalar parameter.
+    pub fn str(s: impl Into<String>) -> Self {
+        ParamValue::Scalar(Value::str(s))
+    }
+
+    /// Creates a set parameter from any iterator of values.
+    pub fn set<I, V>(vals: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        ParamValue::Set(vals.into_iter().map(Into::into).collect())
+    }
+
+    /// Returns the scalar payload, if this is a [`ParamValue::Scalar`].
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            ParamValue::Scalar(v) => Some(v),
+            ParamValue::Set(_) => None,
+        }
+    }
+
+    /// Returns the set payload, if this is a [`ParamValue::Set`].
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            ParamValue::Scalar(_) => None,
+            ParamValue::Set(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Scalar(v) => write!(f, "{v}"),
+            ParamValue::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<Value> for ParamValue {
+    fn from(v: Value) -> Self {
+        ParamValue::Scalar(v)
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(n: i64) -> Self {
+        ParamValue::int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn param_set_display() {
+        let p = ParamValue::set([1i64, 3, 2]);
+        // BTreeSet orders the elements.
+        assert_eq!(p.to_string(), "{1,2,3}");
+        assert_eq!(p.as_set().unwrap().len(), 3);
+        assert!(p.as_scalar().is_none());
+    }
+
+    #[test]
+    fn param_scalar_display() {
+        assert_eq!(ParamValue::int(45).to_string(), "45");
+        assert_eq!(ParamValue::str("s1").to_string(), "s1");
+        assert_eq!(
+            ParamValue::from(Value::Int(9)).as_scalar(),
+            Some(&Value::Int(9))
+        );
+    }
+
+    #[test]
+    fn values_order() {
+        assert!(Value::Int(1) < Value::Int(2));
+        // Int sorts before Str by enum-variant order; just assert totality.
+        let mut v = [Value::str("b"), Value::Int(5), Value::str("a")];
+        v.sort();
+        assert_eq!(v.len(), 3);
+    }
+}

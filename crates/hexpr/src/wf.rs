@@ -1,0 +1,406 @@
+//! Well-formedness of history expressions.
+//!
+//! Definition 1 restricts the shape of expressions so that their
+//! transition systems are finite state (a fact both the validity model
+//! checking of §3.1 and the product construction of §4 rely on):
+//!
+//! * recursion `μh.H` is **tail** recursion **guarded** by communication
+//!   actions `ā` or `a`;
+//! * internal choices are guarded by outputs and external choices by
+//!   inputs (our AST encodes this by construction, but choices must be
+//!   non-empty and free of duplicate guards);
+//! * expressions are closed;
+//! * request identifiers are unique (a plan maps each `r` to one service);
+//! * the run-time residuals `close_{r,φ}` / `⌟φ` do not appear in source
+//!   programs.
+
+use std::fmt;
+
+use crate::hist::Hist;
+use crate::ident::{Channel, RecVar, RequestId};
+use crate::requests::has_duplicate_ids;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WfError {
+    /// The expression has a free recursion variable.
+    FreeVariable(RecVar),
+    /// A recursion variable occurs in non-tail position: something is
+    /// sequenced after it, or it sits inside a request or framing body
+    /// (whose implicit `close`/`⌟φ` would follow it).
+    NonTailRecursion(RecVar),
+    /// A recursion variable occurs unguarded: no communication prefix
+    /// separates it from its binder (e.g. `μh.h`).
+    UnguardedRecursion(RecVar),
+    /// A choice has no branches.
+    EmptyChoice,
+    /// A choice has two branches guarded by the same channel.
+    DuplicateGuard(Channel),
+    /// Two requests share an identifier.
+    DuplicateRequestId,
+    /// A pending `close_{r,φ}` residual appears in a source expression.
+    ResidualClose(RequestId),
+    /// A pending `⌟φ` residual appears in a source expression.
+    ResidualFrameClose,
+}
+
+impl fmt::Display for WfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfError::FreeVariable(v) => write!(f, "free recursion variable {v}"),
+            WfError::NonTailRecursion(v) => {
+                write!(f, "recursion variable {v} occurs in non-tail position")
+            }
+            WfError::UnguardedRecursion(v) => {
+                write!(
+                    f,
+                    "recursion variable {v} is not guarded by a communication"
+                )
+            }
+            WfError::EmptyChoice => write!(f, "choice with no branches"),
+            WfError::DuplicateGuard(c) => {
+                write!(f, "two branches of a choice are guarded by channel {c}")
+            }
+            WfError::DuplicateRequestId => write!(f, "duplicate request identifier"),
+            WfError::ResidualClose(r) => {
+                write!(
+                    f,
+                    "run-time residual close token for {r} in source expression"
+                )
+            }
+            WfError::ResidualFrameClose => {
+                write!(f, "run-time residual closing frame in source expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WfError {}
+
+/// Checks that `h` is a well-formed source history expression.
+///
+/// # Errors
+///
+/// Returns the first [`WfError`] found, if any.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::{parse_hist, wf};
+///
+/// let good = parse_hist("mu h. int[a -> h | stop -> eps]").unwrap();
+/// assert!(wf::check(&good).is_ok());
+///
+/// let bad = parse_hist("mu h. h").unwrap(); // unguarded
+/// assert!(wf::check(&bad).is_err());
+/// ```
+pub fn check(h: &Hist) -> Result<(), WfError> {
+    let errors = check_all(h);
+    match errors.into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Collects **all** well-formedness violations of `h`.
+pub fn check_all(h: &Hist) -> Vec<WfError> {
+    let mut errors = Vec::new();
+    if let Some(v) = h.free_vars().into_iter().next() {
+        errors.push(WfError::FreeVariable(v));
+    }
+    if has_duplicate_ids(h) {
+        errors.push(WfError::DuplicateRequestId);
+    }
+    walk(h, &mut Vec::new(), &mut errors);
+    errors
+}
+
+/// Tracking for one enclosing `μ` binder while walking the body.
+///
+/// `tail` is *relative to this binder*: a recursion variable may only
+/// occur where nothing of its own loop body follows it. Entering a
+/// request or framing body (whose implicit `close`/`⌟φ` would follow)
+/// or the left of a `·` clears the flag for every *enclosing* binder —
+/// but a `μ` opened afterwards starts with a fresh tail, so a loop
+/// wholly inside a request body is perfectly fine.
+struct MuFrame {
+    var: RecVar,
+    guarded: bool,
+    tail: bool,
+}
+
+/// Runs `f` with the `tail` flag of every currently open binder cleared,
+/// restoring the flags afterwards.
+fn with_tails_cleared<F: FnOnce(&mut Vec<MuFrame>)>(mus: &mut Vec<MuFrame>, f: F) {
+    let saved: Vec<bool> = mus.iter().map(|m| m.tail).collect();
+    for m in mus.iter_mut() {
+        m.tail = false;
+    }
+    f(mus);
+    for (m, s) in mus.iter_mut().zip(saved) {
+        m.tail = s;
+    }
+}
+
+fn walk(h: &Hist, mus: &mut Vec<MuFrame>, errors: &mut Vec<WfError>) {
+    match h {
+        Hist::Eps | Hist::Ev(_) => {}
+        Hist::CloseTok(r, _) => errors.push(WfError::ResidualClose(*r)),
+        Hist::FrameCloseTok(_) => errors.push(WfError::ResidualFrameClose),
+        Hist::Var(v) => {
+            // Find the innermost binder for v (if none, FreeVariable was
+            // already reported at the top level).
+            if let Some(frame) = mus.iter().rev().find(|f| &f.var == v) {
+                if !frame.tail {
+                    errors.push(WfError::NonTailRecursion(v.clone()));
+                }
+                if !frame.guarded {
+                    errors.push(WfError::UnguardedRecursion(v.clone()));
+                }
+            }
+        }
+        Hist::Mu(v, body) => {
+            mus.push(MuFrame {
+                var: v.clone(),
+                guarded: false,
+                tail: true,
+            });
+            walk(body, mus, errors);
+            mus.pop();
+        }
+        Hist::Ext(bs) | Hist::Int(bs) => {
+            if bs.is_empty() {
+                errors.push(WfError::EmptyChoice);
+            }
+            let mut seen: Vec<&Channel> = Vec::new();
+            for (c, _) in bs {
+                if seen.contains(&c) {
+                    errors.push(WfError::DuplicateGuard(c.clone()));
+                }
+                seen.push(c);
+            }
+            // The channel prefix guards every enclosing recursion.
+            let saved: Vec<bool> = mus.iter().map(|f| f.guarded).collect();
+            for f in mus.iter_mut() {
+                f.guarded = true;
+            }
+            for (_, cont) in bs {
+                walk(cont, mus, errors);
+            }
+            for (f, s) in mus.iter_mut().zip(saved) {
+                f.guarded = s;
+            }
+        }
+        Hist::Seq(a, b) => {
+            with_tails_cleared(mus, |mus| walk(a, mus, errors));
+            walk(b, mus, errors);
+        }
+        Hist::Req { body, .. } | Hist::Framed(_, body) => {
+            // The implicit close/⌟φ follows the body: occurrences of
+            // *enclosing* recursion variables inside are non-tail.
+            with_tails_cleared(mus, |mus| walk(body, mus, errors));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, PolicyRef};
+
+    fn ch(name: &str) -> Channel {
+        Channel::new(name)
+    }
+    fn ev(name: &str) -> Hist {
+        Hist::ev(Event::nullary(name))
+    }
+
+    #[test]
+    fn straight_line_is_wf() {
+        let h = Hist::seq(ev("a"), ev("b"));
+        assert_eq!(check(&h), Ok(()));
+    }
+
+    #[test]
+    fn guarded_tail_recursion_is_wf() {
+        // μh. (ā.h ⊕ stop.ε)
+        let h = Hist::mu(
+            "h",
+            Hist::int_([(ch("a"), Hist::var("h")), (ch("stop"), Hist::Eps)]),
+        );
+        assert_eq!(check(&h), Ok(()));
+    }
+
+    #[test]
+    fn unguarded_recursion_rejected() {
+        let h = Hist::mu("h", Hist::var("h"));
+        assert_eq!(
+            check(&h),
+            Err(WfError::UnguardedRecursion(RecVar::new("h")))
+        );
+    }
+
+    #[test]
+    fn event_guard_is_not_a_communication_guard() {
+        // μh. α·h — guarded only by an event: rejected.
+        let h = Hist::mu("h", Hist::seq(ev("a"), Hist::var("h")));
+        // The variable is in tail position but not comm-guarded.
+        assert_eq!(
+            check(&h),
+            Err(WfError::UnguardedRecursion(RecVar::new("h")))
+        );
+    }
+
+    #[test]
+    fn non_tail_recursion_rejected() {
+        // μh. ā.(h·α) — something after h.
+        let h = Hist::mu(
+            "h",
+            Hist::int_([(ch("a"), Hist::seq(Hist::var("h"), ev("x")))]),
+        );
+        assert_eq!(check(&h), Err(WfError::NonTailRecursion(RecVar::new("h"))));
+    }
+
+    #[test]
+    fn recursion_inside_request_body_rejected() {
+        // μh. ā.open_r { b̄.h } — h is followed by the implicit close.
+        let h = Hist::mu(
+            "h",
+            Hist::int_([(
+                ch("a"),
+                Hist::req(1u32, None, Hist::int_([(ch("b"), Hist::var("h"))])),
+            )]),
+        );
+        assert_eq!(check(&h), Err(WfError::NonTailRecursion(RecVar::new("h"))));
+    }
+
+    #[test]
+    fn recursion_inside_framing_rejected() {
+        let h = Hist::mu(
+            "h",
+            Hist::int_([(
+                ch("a"),
+                Hist::framed(PolicyRef::nullary("phi"), Hist::var("h")),
+            )]),
+        );
+        assert_eq!(check(&h), Err(WfError::NonTailRecursion(RecVar::new("h"))));
+    }
+
+    #[test]
+    fn free_variable_rejected() {
+        let h = Hist::var("k");
+        assert_eq!(check(&h), Err(WfError::FreeVariable(RecVar::new("k"))));
+    }
+
+    #[test]
+    fn empty_choice_rejected() {
+        let h = Hist::Ext(vec![]);
+        assert_eq!(check(&h), Err(WfError::EmptyChoice));
+    }
+
+    #[test]
+    fn duplicate_guard_rejected() {
+        let h = Hist::int_([(ch("a"), Hist::Eps), (ch("a"), ev("x"))]);
+        assert_eq!(check(&h), Err(WfError::DuplicateGuard(ch("a"))));
+    }
+
+    #[test]
+    fn duplicate_request_ids_rejected() {
+        let h = Hist::seq(
+            Hist::req(1u32, None, Hist::Eps),
+            Hist::req(1u32, None, Hist::Eps),
+        );
+        assert_eq!(check(&h), Err(WfError::DuplicateRequestId));
+    }
+
+    #[test]
+    fn residual_tokens_rejected() {
+        assert_eq!(
+            check(&Hist::CloseTok(RequestId::new(1), None)),
+            Err(WfError::ResidualClose(RequestId::new(1)))
+        );
+        assert_eq!(
+            check(&Hist::FrameCloseTok(PolicyRef::nullary("phi"))),
+            Err(WfError::ResidualFrameClose)
+        );
+    }
+
+    #[test]
+    fn nested_mu_with_outer_tail_jump_is_wf() {
+        // μh. ā. μk. (b̄.k ⊕ c̄.h): both jumps are tail and comm-guarded.
+        let h = Hist::mu(
+            "h",
+            Hist::int_([(
+                ch("a"),
+                Hist::mu(
+                    "k",
+                    Hist::int_([(ch("b"), Hist::var("k")), (ch("c"), Hist::var("h"))]),
+                ),
+            )]),
+        );
+        assert_eq!(check(&h), Ok(()));
+        // And its LTS really is finite.
+        let lts = crate::lts::HistLts::build(&h).unwrap();
+        assert!(lts.len() <= 4);
+    }
+
+    #[test]
+    fn loop_wholly_inside_request_body_is_wf() {
+        // open_r { μh. (ā.h ⊕ stop.ε) }: the loop is self-contained; the
+        // implicit close follows the *whole loop*, not the jump.
+        let h = Hist::req(
+            1u32,
+            None,
+            Hist::mu(
+                "h",
+                Hist::int_([(ch("a"), Hist::var("h")), (ch("stop"), Hist::Eps)]),
+            ),
+        );
+        assert_eq!(check(&h), Ok(()));
+        // And its LTS stays finite.
+        let lts = crate::lts::HistLts::build(&h).unwrap();
+        assert!(lts.len() <= 5);
+
+        // Same for a framing.
+        let h = Hist::framed(
+            PolicyRef::nullary("phi"),
+            Hist::mu(
+                "h",
+                Hist::int_([(ch("a"), Hist::var("h")), (ch("stop"), Hist::Eps)]),
+            ),
+        );
+        assert_eq!(check(&h), Ok(()));
+    }
+
+    #[test]
+    fn check_all_collects_multiple_errors() {
+        let h = Hist::seq(
+            Hist::Ext(vec![]),
+            Hist::seq(
+                Hist::req(1u32, None, Hist::Eps),
+                Hist::req(1u32, None, Hist::Eps),
+            ),
+        );
+        let errs = check_all(&h);
+        assert!(errs.contains(&WfError::EmptyChoice));
+        assert!(errs.contains(&WfError::DuplicateRequestId));
+    }
+
+    #[test]
+    fn paper_fig2_services_are_wf() {
+        // C1 = open_{1,φ1} (Req̄ · (cobo.pay + noav)) close_{1,φ1}
+        let phi1 = PolicyRef::nullary("phi1");
+        let c1 = Hist::req(
+            1u32,
+            Some(phi1),
+            Hist::seq(
+                Hist::int_([(ch("req"), Hist::Eps)]),
+                Hist::ext([
+                    (ch("cobo"), Hist::ext([(ch("pay"), Hist::Eps)])),
+                    (ch("noav"), Hist::Eps),
+                ]),
+            ),
+        );
+        assert_eq!(check(&c1), Ok(()));
+    }
+}

@@ -1,0 +1,284 @@
+//! Abstract syntax of the service λ-calculus.
+//!
+//! The paper represents services as λ-expressions whose abstract
+//! behaviour a type-and-effect system extracts as a history expression
+//! (§3, following Bartoletti–Degano–Ferrari \[5,4\]). This calculus is the
+//! workspace's executable source language: a call-by-value λ-calculus
+//! with access events, security framings, service requests and the
+//! communication primitives that the effects abstract.
+
+use std::fmt;
+
+use crate::ty::Ty;
+use sufs_hexpr::{Channel, Event, PolicyRef, RequestId};
+
+/// An expression of the service λ-calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The unit value `()`.
+    Unit,
+    /// A variable.
+    Var(String),
+    /// An annotated abstraction `λx:τ. e`.
+    Lam {
+        /// The parameter name.
+        param: String,
+        /// The parameter type annotation.
+        param_ty: Ty,
+        /// The body.
+        body: Box<Expr>,
+    },
+    /// A recursive function `rec f(x:τ) -> τ' { e }`; its latent effect
+    /// is `μh.H` with `h` standing for the recursive calls.
+    Fun {
+        /// The function's own name, bound in the body.
+        name: String,
+        /// The parameter name.
+        param: String,
+        /// The parameter type annotation.
+        param_ty: Ty,
+        /// The declared return type.
+        ret_ty: Ty,
+        /// The body.
+        body: Box<Expr>,
+    },
+    /// Application `e₁ e₂`.
+    App(Box<Expr>, Box<Expr>),
+    /// `let x = e₁; e₂`.
+    Let(String, Box<Expr>, Box<Expr>),
+    /// Sequencing `e₁; e₂` (a `let` with an unused binder).
+    Seq(Box<Expr>, Box<Expr>),
+    /// An access event `α(v̄)`; evaluates to `()`.
+    Event(Event),
+    /// A security framing `φ[e]`.
+    Frame(PolicyRef, Box<Expr>),
+    /// A service request `open_{r,φ} e close_{r,φ}`.
+    Request {
+        /// The request identifier.
+        id: RequestId,
+        /// The policy imposed on the session, if any.
+        policy: Option<PolicyRef>,
+        /// The client-side conversation.
+        body: Box<Expr>,
+    },
+    /// Send on a channel: the output `ā`; evaluates to `()`.
+    Send(Channel),
+    /// External choice: offer every listed input, continue with the
+    /// branch the partner selects.
+    Offer(Vec<(Channel, Expr)>),
+    /// Internal choice: autonomously pick a branch, send its output and
+    /// continue.
+    Choose(Vec<(Channel, Expr)>),
+}
+
+impl Expr {
+    /// `λx:τ. e`.
+    pub fn lam(param: impl Into<String>, param_ty: Ty, body: Expr) -> Expr {
+        Expr::Lam {
+            param: param.into(),
+            param_ty,
+            body: Box::new(body),
+        }
+    }
+
+    /// `rec f(x:τ) -> τ' { e }`.
+    pub fn fun(
+        name: impl Into<String>,
+        param: impl Into<String>,
+        param_ty: Ty,
+        ret_ty: Ty,
+        body: Expr,
+    ) -> Expr {
+        Expr::Fun {
+            name: name.into(),
+            param: param.into(),
+            param_ty,
+            ret_ty,
+            body: Box::new(body),
+        }
+    }
+
+    /// Application.
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(a))
+    }
+
+    /// `let x = e₁; e₂`.
+    pub fn let_(x: impl Into<String>, bound: Expr, body: Expr) -> Expr {
+        Expr::Let(x.into(), Box::new(bound), Box::new(body))
+    }
+
+    /// `e₁; e₂`.
+    pub fn seq(e1: Expr, e2: Expr) -> Expr {
+        Expr::Seq(Box::new(e1), Box::new(e2))
+    }
+
+    /// Sequences a whole iterator of expressions (unit-valued prefix).
+    pub fn seq_all<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        let mut items: Vec<Expr> = items.into_iter().collect();
+        let Some(mut acc) = items.pop() else {
+            return Expr::Unit;
+        };
+        while let Some(e) = items.pop() {
+            acc = Expr::seq(e, acc);
+        }
+        acc
+    }
+
+    /// An access event.
+    pub fn event<I, V>(name: &str, args: I) -> Expr
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<sufs_hexpr::Value>,
+    {
+        Expr::Event(Event::new(name, args))
+    }
+
+    /// A security framing.
+    pub fn frame(policy: PolicyRef, body: Expr) -> Expr {
+        Expr::Frame(policy, Box::new(body))
+    }
+
+    /// A service request.
+    pub fn request(id: u32, policy: Option<PolicyRef>, body: Expr) -> Expr {
+        Expr::Request {
+            id: RequestId::new(id),
+            policy,
+            body: Box::new(body),
+        }
+    }
+
+    /// A send.
+    pub fn send(chan: &str) -> Expr {
+        Expr::Send(Channel::new(chan))
+    }
+
+    /// An external choice.
+    pub fn offer<I: IntoIterator<Item = (&'static str, Expr)>>(branches: I) -> Expr {
+        Expr::Offer(
+            branches
+                .into_iter()
+                .map(|(c, e)| (Channel::new(c), e))
+                .collect(),
+        )
+    }
+
+    /// An internal choice.
+    pub fn choose<I: IntoIterator<Item = (&'static str, Expr)>>(branches: I) -> Expr {
+        Expr::Choose(
+            branches
+                .into_iter()
+                .map(|(c, e)| (Channel::new(c), e))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Unit => write!(f, "()"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Lam {
+                param,
+                param_ty,
+                body,
+            } => write!(f, "fun({param}: {param_ty}) {{ {body} }}"),
+            Expr::Fun {
+                name,
+                param,
+                param_ty,
+                ret_ty,
+                body,
+            } => write!(
+                f,
+                "rec {name}({param}: {param_ty}) -> {ret_ty} {{ {body} }}"
+            ),
+            Expr::App(a, b) => write!(f, "{a}({b})"),
+            Expr::Let(x, e1, e2) => {
+                // The bound expression parses at call level: a `let`
+                // or `;` inside it needs brackets.
+                if matches!(**e1, Expr::Let(..) | Expr::Seq(..)) {
+                    write!(f, "let {x} = ({e1}); {e2}")
+                } else {
+                    write!(f, "let {x} = {e1}; {e2}")
+                }
+            }
+            Expr::Seq(e1, e2) => {
+                // `;` parses right-associated and `let` extends to the
+                // end, so either on the left needs brackets.
+                if matches!(**e1, Expr::Let(..) | Expr::Seq(..)) {
+                    write!(f, "({e1}); {e2}")
+                } else {
+                    write!(f, "{e1}; {e2}")
+                }
+            }
+            Expr::Event(e) => write!(f, "{e}"),
+            Expr::Frame(p, e) => write!(f, "frame {p} [ {e} ]"),
+            Expr::Request { id, policy, body } => {
+                write!(f, "open {}", id.index())?;
+                if let Some(p) = policy {
+                    write!(f, " phi {p}")?;
+                }
+                write!(f, " {{ {body} }}")
+            }
+            Expr::Send(c) => write!(f, "send {c}"),
+            Expr::Offer(bs) => {
+                write!(f, "offer[")?;
+                for (i, (c, e)) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c} -> {e}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::Choose(bs) => {
+                write!(f, "choose[")?;
+                for (i, (c, e)) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c} -> {e}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Ty;
+
+    #[test]
+    fn builders_construct_expected_shapes() {
+        let e = Expr::seq_all([
+            Expr::event("sgn", [1i64]),
+            Expr::send("req"),
+            Expr::offer([("ok", Expr::Unit), ("no", Expr::Unit)]),
+        ]);
+        match &e {
+            Expr::Seq(first, _) => assert!(matches!(**first, Expr::Event(_))),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        assert_eq!(Expr::seq_all([]), Expr::Unit);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let e = Expr::let_(
+            "x",
+            Expr::app(Expr::lam("y", Ty::Unit, Expr::Var("y".into())), Expr::Unit),
+            Expr::send("done"),
+        );
+        assert_eq!(e.to_string(), "let x = fun(y: unit) { y }(()); send done");
+    }
+
+    #[test]
+    fn request_display() {
+        let e = Expr::request(3, None, Expr::send("w"));
+        assert_eq!(e.to_string(), "open 3 { send w }");
+    }
+}

@@ -1,0 +1,385 @@
+//! A call-by-value interpreter for the service λ-calculus.
+//!
+//! Evaluation emits the *run-time trace* of labels (events, framings,
+//! communications, session openings) so that effect soundness can be
+//! checked: every trace of a well-typed program is a path in the LTS of
+//! its inferred effect ([`trace_conforms`]), as the type-and-effect
+//! discipline of \[5,4\] promises.
+//!
+//! The interpreter runs a program *standalone*: external choices are
+//! resolved by the random "environment", internal choices by the program
+//! (also randomly). For full two-party execution the program's effect is
+//! published to a `sufs-net` repository instead.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::ast::Expr;
+use sufs_hexpr::semantics::successors;
+use sufs_hexpr::{Dir, Hist, Label};
+
+/// A run-time value.
+///
+/// Closures carry their whole environment inline; the size skew against
+/// `Unit` is intentional (values are moved, not stored in bulk).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A closure (recursive if `name` is set).
+    Closure {
+        /// The captured environment.
+        env: Vec<(String, Value)>,
+        /// The function's own name, for recursion.
+        name: Option<String>,
+        /// The parameter.
+        param: String,
+        /// The body.
+        body: Expr,
+    },
+}
+
+impl Value {
+    /// Returns `true` for [`Value::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+}
+
+/// An evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An unbound variable (cannot happen for well-typed programs).
+    Unbound(String),
+    /// Application of a non-function (cannot happen for well-typed
+    /// programs).
+    NotAFunction,
+    /// The step budget ran out.
+    OutOfFuel,
+    /// A choice with no branches.
+    EmptyChoice,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(x) => write!(f, "unbound variable {x}"),
+            EvalError::NotAFunction => write!(f, "applied a non-function"),
+            EvalError::OutOfFuel => write!(f, "out of fuel"),
+            EvalError::EmptyChoice => write!(f, "choice with no branches"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The result of a run: the value and the emitted trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    /// The resulting value.
+    pub value: Value,
+    /// The labels emitted, in order.
+    pub trace: Vec<Label>,
+}
+
+/// Evaluates a closed expression with the given fuel, resolving choices
+/// with `rng`.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] on unbound variables, non-function
+/// application, empty choices, or fuel exhaustion.
+pub fn eval<R: Rng>(e: &Expr, rng: &mut R, fuel: u64) -> Result<RunTrace, EvalError> {
+    let mut st = State {
+        rng,
+        fuel,
+        trace: Vec::new(),
+    };
+    let value = st.eval(&mut Vec::new(), e)?;
+    Ok(RunTrace {
+        value,
+        trace: st.trace,
+    })
+}
+
+struct State<'r, R: Rng> {
+    rng: &'r mut R,
+    fuel: u64,
+    trace: Vec<Label>,
+}
+
+impl<R: Rng> State<'_, R> {
+    fn tick(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, env: &mut Vec<(String, Value)>, e: &Expr) -> Result<Value, EvalError> {
+        self.tick()?;
+        match e {
+            Expr::Unit => Ok(Value::Unit),
+            Expr::Var(x) => env
+                .iter()
+                .rev()
+                .find(|(n, _)| n == x)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| EvalError::Unbound(x.clone())),
+            Expr::Lam { param, body, .. } => Ok(Value::Closure {
+                env: env.clone(),
+                name: None,
+                param: param.clone(),
+                body: (**body).clone(),
+            }),
+            Expr::Fun {
+                name, param, body, ..
+            } => Ok(Value::Closure {
+                env: env.clone(),
+                name: Some(name.clone()),
+                param: param.clone(),
+                body: (**body).clone(),
+            }),
+            Expr::App(e1, e2) => {
+                let f = self.eval(env, e1)?;
+                let a = self.eval(env, e2)?;
+                let Value::Closure {
+                    env: cenv,
+                    name,
+                    param,
+                    body,
+                } = f.clone()
+                else {
+                    return Err(EvalError::NotAFunction);
+                };
+                let mut call_env = cenv;
+                if let Some(n) = name {
+                    call_env.push((n, f));
+                }
+                call_env.push((param, a));
+                self.eval(&mut call_env, &body)
+            }
+            Expr::Let(x, e1, e2) => {
+                let v = self.eval(env, e1)?;
+                env.push((x.clone(), v));
+                let r = self.eval(env, e2);
+                env.pop();
+                r
+            }
+            Expr::Seq(e1, e2) => {
+                self.eval(env, e1)?;
+                self.eval(env, e2)
+            }
+            Expr::Event(ev) => {
+                self.trace.push(Label::Ev(ev.clone()));
+                Ok(Value::Unit)
+            }
+            Expr::Frame(p, body) => {
+                self.trace.push(Label::FrameOpen(p.clone()));
+                let v = self.eval(env, body)?;
+                self.trace.push(Label::FrameClose(p.clone()));
+                Ok(v)
+            }
+            Expr::Request { id, policy, body } => {
+                self.trace.push(Label::Open(*id, policy.clone()));
+                let v = self.eval(env, body)?;
+                self.trace.push(Label::Close(*id, policy.clone()));
+                Ok(v)
+            }
+            Expr::Send(c) => {
+                self.trace.push(Label::Chan(c.clone(), Dir::Out));
+                Ok(Value::Unit)
+            }
+            Expr::Offer(branches) => {
+                if branches.is_empty() {
+                    return Err(EvalError::EmptyChoice);
+                }
+                let i = self.rng.gen_range(0..branches.len());
+                let (c, cont) = &branches[i];
+                self.trace.push(Label::Chan(c.clone(), Dir::In));
+                self.eval(env, cont)
+            }
+            Expr::Choose(branches) => {
+                if branches.is_empty() {
+                    return Err(EvalError::EmptyChoice);
+                }
+                let i = self.rng.gen_range(0..branches.len());
+                let (c, cont) = &branches[i];
+                self.trace.push(Label::Chan(c.clone(), Dir::Out));
+                self.eval(env, cont)
+            }
+        }
+    }
+}
+
+/// Effect soundness checking: `trace` is a path of the LTS of `effect`.
+///
+/// The LTS may be nondeterministic (two branches guarded by the same
+/// action after recursion unfolding), so a *set* of candidate states is
+/// tracked; the trace conforms iff the set never empties.
+pub fn trace_conforms(effect: &Hist, trace: &[Label]) -> bool {
+    let mut states = vec![effect.clone()];
+    for label in trace {
+        let mut next = Vec::new();
+        for s in &states {
+            for (l, s2) in successors(s) {
+                if &l == label && !next.contains(&s2) {
+                    next.push(s2);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        states = next;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer;
+    use crate::ty::Ty;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn straight_line_trace() {
+        let e = Expr::seq_all([
+            Expr::event("a", [] as [i64; 0]),
+            Expr::send("x"),
+            Expr::event("b", [] as [i64; 0]),
+        ]);
+        let r = eval(&e, &mut rng(), 1000).unwrap();
+        assert!(r.value.is_unit());
+        assert_eq!(r.trace.len(), 3);
+        assert_eq!(r.trace[1], Label::output("x"));
+    }
+
+    #[test]
+    fn frame_and_request_emit_brackets() {
+        let p = sufs_hexpr::PolicyRef::nullary("phi");
+        let e = Expr::request(1, Some(p.clone()), Expr::frame(p.clone(), Expr::send("q")));
+        let r = eval(&e, &mut rng(), 1000).unwrap();
+        assert_eq!(
+            r.trace,
+            vec![
+                Label::Open(sufs_hexpr::RequestId::new(1), Some(p.clone())),
+                Label::FrameOpen(p.clone()),
+                Label::output("q"),
+                Label::FrameClose(p.clone()),
+                Label::Close(sufs_hexpr::RequestId::new(1), Some(p)),
+            ]
+        );
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        // let x-bound closure sees the binding at definition time.
+        let e = Expr::let_(
+            "mk",
+            Expr::lam("y", Ty::Unit, Expr::send("inner")),
+            Expr::app(Expr::Var("mk".into()), Expr::event("arg", [] as [i64; 0])),
+        );
+        let r = eval(&e, &mut rng(), 1000).unwrap();
+        // CBV: the argument's event fires before the body's send.
+        assert_eq!(
+            r.trace,
+            vec![
+                Label::Ev(sufs_hexpr::Event::nullary("arg")),
+                Label::output("inner"),
+            ]
+        );
+    }
+
+    #[test]
+    fn recursion_terminates_by_choice() {
+        let body = Expr::choose([
+            (
+                "more",
+                Expr::seq(
+                    Expr::event("w", [] as [i64; 0]),
+                    Expr::app(Expr::Var("f".into()), Expr::Var("x".into())),
+                ),
+            ),
+            ("stop", Expr::Unit),
+        ]);
+        let call = Expr::app(Expr::fun("f", "x", Ty::Unit, Ty::Unit, body), Expr::Unit);
+        let r = eval(&call, &mut rng(), 100_000).unwrap();
+        assert!(r.value.is_unit());
+        // Trace ends with the stop output.
+        assert_eq!(r.trace.last().unwrap(), &Label::output("stop"));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let body = Expr::app(Expr::Var("f".into()), Expr::Var("x".into()));
+        let call = Expr::app(Expr::fun("f", "x", Ty::Unit, Ty::Unit, body), Expr::Unit);
+        assert_eq!(
+            eval(&call, &mut rng(), 50).unwrap_err(),
+            EvalError::OutOfFuel
+        );
+    }
+
+    #[test]
+    fn effect_soundness_on_samples() {
+        let programs = vec![
+            Expr::seq_all([
+                Expr::event("a", [1i64]),
+                Expr::offer([("x", Expr::send("y")), ("z", Expr::Unit)]),
+            ]),
+            Expr::request(
+                1,
+                None,
+                Expr::seq(
+                    Expr::send("q"),
+                    Expr::offer([("ok", Expr::Unit), ("no", Expr::Unit)]),
+                ),
+            ),
+            Expr::app(
+                Expr::fun(
+                    "f",
+                    "x",
+                    Ty::Unit,
+                    Ty::Unit,
+                    Expr::choose([
+                        (
+                            "more",
+                            Expr::app(Expr::Var("f".into()), Expr::Var("x".into())),
+                        ),
+                        ("stop", Expr::Unit),
+                    ]),
+                ),
+                Expr::Unit,
+            ),
+        ];
+        let mut r = rng();
+        for p in programs {
+            let effect = infer(&p).unwrap().effect;
+            for _ in 0..20 {
+                let run = eval(&p, &mut r, 100_000).unwrap();
+                assert!(
+                    trace_conforms(&effect, &run.trace),
+                    "trace {:?} not a path of {effect}",
+                    run.trace
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_conforms_rejects_bad_traces() {
+        let effect = infer(&Expr::send("a")).unwrap().effect;
+        assert!(!trace_conforms(&effect, &[Label::output("b")]));
+        assert!(trace_conforms(&effect, &[Label::output("a")]));
+        assert!(trace_conforms(&effect, &[])); // prefixes conform
+    }
+}

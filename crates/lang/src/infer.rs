@@ -1,0 +1,457 @@
+//! The type-and-effect system: `Γ ⊢ e : τ ▷ H`.
+//!
+//! Typing follows the call-by-value discipline of \[5,4\]: the effect of
+//! an application is `H₁·H₂·H` (function, argument, then the latent
+//! effect of the arrow type); abstractions are pure and store their
+//! body's effect in the arrow; recursive functions get the latent effect
+//! `μh.H` with `h` standing for recursive calls, which the calculus
+//! restricts to guarded tail positions so extracted effects satisfy
+//! Definition 1's well-formedness.
+
+use std::fmt;
+
+use crate::ast::Expr;
+use crate::ty::Ty;
+use sufs_hexpr::wf::{self, WfError};
+use sufs_hexpr::{Channel, Hist, RecVar};
+
+/// The result of typing: a type and an effect (history expression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeEffect {
+    /// The type `τ`.
+    pub ty: Ty,
+    /// The effect `H`.
+    pub effect: Hist,
+}
+
+/// A typing error.
+///
+/// Variants embed the offending types verbatim for good messages; the
+/// enum is therefore larger than a thin error code, which is fine for
+/// a compile-time (not per-event) path.
+#[allow(clippy::result_large_err)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// An unbound variable.
+    Unbound(String),
+    /// Application of a non-function.
+    NotAFunction(Ty),
+    /// An argument or return type mismatch.
+    Mismatch {
+        /// The expected type.
+        expected: Ty,
+        /// The type found.
+        found: Ty,
+    },
+    /// Branches of a choice disagree on their type.
+    BranchMismatch {
+        /// The first branch's type.
+        first: Ty,
+        /// The offending branch's type.
+        other: Ty,
+    },
+    /// A choice with no branches.
+    EmptyChoice,
+    /// Two branches guarded by the same channel.
+    DuplicateGuard(Channel),
+    /// The extracted effect violates Definition 1's well-formedness
+    /// (e.g. a recursive call in non-tail or unguarded position).
+    IllFormedEffect(WfError),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unbound(x) => write!(f, "unbound variable {x}"),
+            TypeError::NotAFunction(t) => write!(f, "cannot apply a value of type {t}"),
+            TypeError::Mismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TypeError::BranchMismatch { first, other } => {
+                write!(f, "choice branches disagree: {first} vs {other}")
+            }
+            TypeError::EmptyChoice => write!(f, "choice with no branches"),
+            TypeError::DuplicateGuard(c) => write!(f, "duplicate choice guard {c}"),
+            TypeError::IllFormedEffect(e) => write!(f, "ill-formed effect: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<WfError> for TypeError {
+    fn from(e: WfError) -> Self {
+        TypeError::IllFormedEffect(e)
+    }
+}
+
+/// Types a closed expression and extracts its effect.
+///
+/// The returned effect is additionally checked against Definition 1's
+/// well-formedness, so it can be published to a repository or verified
+/// directly.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the expression is ill-typed or its effect
+/// ill-formed.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_lang::{ast::Expr, infer::infer};
+///
+/// let service = Expr::seq_all([
+///     Expr::event("sgn", [1i64]),
+///     Expr::offer([("idc", Expr::choose([
+///         ("bok", Expr::Unit),
+///         ("una", Expr::Unit),
+///     ]))]),
+/// ]);
+/// let te = infer(&service).unwrap();
+/// assert_eq!(
+///     te.effect,
+///     sufs_hexpr::parse_hist("#sgn(1); ext[idc -> int[bok -> eps | una -> eps]]").unwrap(),
+/// );
+/// ```
+pub fn infer(e: &Expr) -> Result<TypeEffect, TypeError> {
+    let mut fresh = 0u32;
+    let te = infer_in(&mut Vec::new(), e, &mut fresh)?;
+    wf::check(&te.effect)?;
+    Ok(te)
+}
+
+type Env = Vec<(String, Ty)>;
+
+fn lookup(env: &Env, x: &str) -> Option<Ty> {
+    env.iter()
+        .rev()
+        .find(|(n, _)| n == x)
+        .map(|(_, t)| t.clone())
+}
+
+fn infer_in(env: &mut Env, e: &Expr, fresh: &mut u32) -> Result<TypeEffect, TypeError> {
+    match e {
+        Expr::Unit => Ok(TypeEffect {
+            ty: Ty::Unit,
+            effect: Hist::Eps,
+        }),
+        Expr::Var(x) => {
+            let ty = lookup(env, x).ok_or_else(|| TypeError::Unbound(x.clone()))?;
+            Ok(TypeEffect {
+                ty,
+                effect: Hist::Eps,
+            })
+        }
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => {
+            env.push((param.clone(), param_ty.clone()));
+            let body_te = infer_in(env, body, fresh)?;
+            env.pop();
+            Ok(TypeEffect {
+                ty: Ty::arrow(param_ty.clone(), body_te.effect, body_te.ty),
+                effect: Hist::Eps,
+            })
+        }
+        Expr::Fun {
+            name,
+            param,
+            param_ty,
+            ret_ty,
+            body,
+        } => {
+            *fresh += 1;
+            let hvar = RecVar::new(format!("h{fresh}_{name}"));
+            let self_ty = Ty::arrow(param_ty.clone(), Hist::var(hvar.clone()), ret_ty.clone());
+            env.push((name.clone(), self_ty));
+            env.push((param.clone(), param_ty.clone()));
+            let body_te = infer_in(env, body, fresh)?;
+            env.pop();
+            env.pop();
+            if &body_te.ty != ret_ty {
+                return Err(TypeError::Mismatch {
+                    expected: ret_ty.clone(),
+                    found: body_te.ty,
+                });
+            }
+            let latent = if body_te.effect.free_vars().contains(&hvar) {
+                Hist::mu(hvar, body_te.effect)
+            } else {
+                body_te.effect
+            };
+            Ok(TypeEffect {
+                ty: Ty::arrow(param_ty.clone(), latent, ret_ty.clone()),
+                effect: Hist::Eps,
+            })
+        }
+        Expr::App(e1, e2) => {
+            let f = infer_in(env, e1, fresh)?;
+            let a = infer_in(env, e2, fresh)?;
+            let Ty::Arrow(from, latent, to) = f.ty else {
+                return Err(TypeError::NotAFunction(f.ty));
+            };
+            if a.ty != *from {
+                return Err(TypeError::Mismatch {
+                    expected: *from,
+                    found: a.ty,
+                });
+            }
+            Ok(TypeEffect {
+                ty: *to,
+                effect: Hist::seq(f.effect, Hist::seq(a.effect, latent)),
+            })
+        }
+        Expr::Let(x, e1, e2) => {
+            let b = infer_in(env, e1, fresh)?;
+            env.push((x.clone(), b.ty));
+            let body = infer_in(env, e2, fresh)?;
+            env.pop();
+            Ok(TypeEffect {
+                ty: body.ty,
+                effect: Hist::seq(b.effect, body.effect),
+            })
+        }
+        Expr::Seq(e1, e2) => {
+            let a = infer_in(env, e1, fresh)?;
+            let b = infer_in(env, e2, fresh)?;
+            Ok(TypeEffect {
+                ty: b.ty,
+                effect: Hist::seq(a.effect, b.effect),
+            })
+        }
+        Expr::Event(ev) => Ok(TypeEffect {
+            ty: Ty::Unit,
+            effect: Hist::Ev(ev.clone()),
+        }),
+        Expr::Frame(p, body) => {
+            let te = infer_in(env, body, fresh)?;
+            Ok(TypeEffect {
+                ty: te.ty,
+                effect: Hist::framed(p.clone(), te.effect),
+            })
+        }
+        Expr::Request { id, policy, body } => {
+            let te = infer_in(env, body, fresh)?;
+            Ok(TypeEffect {
+                ty: te.ty,
+                effect: Hist::req(*id, policy.clone(), te.effect),
+            })
+        }
+        Expr::Send(c) => Ok(TypeEffect {
+            ty: Ty::Unit,
+            effect: Hist::int_([(c.clone(), Hist::Eps)]),
+        }),
+        Expr::Offer(branches) => infer_choice(env, branches, false, fresh),
+        Expr::Choose(branches) => infer_choice(env, branches, true, fresh),
+    }
+}
+
+fn infer_choice(
+    env: &mut Env,
+    branches: &[(Channel, Expr)],
+    internal: bool,
+    fresh: &mut u32,
+) -> Result<TypeEffect, TypeError> {
+    if branches.is_empty() {
+        return Err(TypeError::EmptyChoice);
+    }
+    let mut seen: Vec<&Channel> = Vec::new();
+    let mut typed = Vec::with_capacity(branches.len());
+    let mut common: Option<Ty> = None;
+    for (c, e) in branches {
+        if seen.contains(&c) {
+            return Err(TypeError::DuplicateGuard(c.clone()));
+        }
+        seen.push(c);
+        let te = infer_in(env, e, fresh)?;
+        match &common {
+            None => common = Some(te.ty.clone()),
+            Some(t) if *t == te.ty => {}
+            Some(t) => {
+                return Err(TypeError::BranchMismatch {
+                    first: t.clone(),
+                    other: te.ty,
+                })
+            }
+        }
+        typed.push((c.clone(), te.effect));
+    }
+    let effect = if internal {
+        Hist::Int(typed)
+    } else {
+        Hist::Ext(typed)
+    };
+    Ok(TypeEffect {
+        ty: common.expect("at least one branch"),
+        effect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::parse_hist;
+
+    #[test]
+    fn unit_and_events() {
+        assert_eq!(infer(&Expr::Unit).unwrap().effect, Hist::Eps);
+        let te = infer(&Expr::event("a", [] as [i64; 0])).unwrap();
+        assert_eq!(te.ty, Ty::Unit);
+        assert_eq!(te.effect, parse_hist("#a").unwrap());
+    }
+
+    #[test]
+    fn application_sequences_effects() {
+        // (λx. #b)(#a) ▷ #a · #b  (CBV: argument first, then the body).
+        let f = Expr::lam("x", Ty::Unit, Expr::event("b", [] as [i64; 0]));
+        let e = Expr::app(f, Expr::event("a", [] as [i64; 0]));
+        let te = infer(&e).unwrap();
+        assert_eq!(te.effect, parse_hist("#a; #b").unwrap());
+    }
+
+    #[test]
+    fn let_and_seq() {
+        let e = Expr::let_(
+            "x",
+            Expr::event("a", [] as [i64; 0]),
+            Expr::seq(Expr::Var("x".into()), Expr::event("b", [] as [i64; 0])),
+        );
+        let te = infer(&e).unwrap();
+        assert_eq!(te.effect, parse_hist("#a; #b").unwrap());
+        assert_eq!(te.ty, Ty::Unit);
+    }
+
+    #[test]
+    fn recursive_function_gets_mu_effect() {
+        // rec f(x) { choose[more -> #w; f x | stop -> ()] }
+        let body = Expr::choose([
+            (
+                "more",
+                Expr::seq(
+                    Expr::event("w", [] as [i64; 0]),
+                    Expr::app(Expr::Var("f".into()), Expr::Var("x".into())),
+                ),
+            ),
+            ("stop", Expr::Unit),
+        ]);
+        let f = Expr::fun("f", "x", Ty::Unit, Ty::Unit, body);
+        let te = infer(&f).unwrap();
+        assert!(te.effect.is_eps(), "defining is pure");
+        // Applying it unleashes the loop.
+        let call = Expr::app(f, Expr::Unit);
+        let te = infer(&call).unwrap();
+        let expected = parse_hist("mu h1_f. int[more -> #w; h1_f | stop -> eps]").unwrap();
+        assert_eq!(te.effect, expected);
+        assert!(wf::check(&te.effect).is_ok());
+    }
+
+    #[test]
+    fn non_tail_recursion_rejected() {
+        // rec f(x) { choose[go -> f x; #after | stop -> ()] } — the
+        // recursive call is not in tail position.
+        let body = Expr::choose([
+            (
+                "go",
+                Expr::seq(
+                    Expr::app(Expr::Var("f".into()), Expr::Var("x".into())),
+                    Expr::event("after", [] as [i64; 0]),
+                ),
+            ),
+            ("stop", Expr::Unit),
+        ]);
+        let call = Expr::app(Expr::fun("f", "x", Ty::Unit, Ty::Unit, body), Expr::Unit);
+        let err = infer(&call).unwrap_err();
+        assert!(matches!(err, TypeError::IllFormedEffect(_)));
+    }
+
+    #[test]
+    fn unguarded_recursion_rejected() {
+        // rec f(x) { f x } — no communication guard.
+        let body = Expr::app(Expr::Var("f".into()), Expr::Var("x".into()));
+        let call = Expr::app(Expr::fun("f", "x", Ty::Unit, Ty::Unit, body), Expr::Unit);
+        let err = infer(&call).unwrap_err();
+        assert!(matches!(err, TypeError::IllFormedEffect(_)));
+    }
+
+    #[test]
+    fn request_and_frame_effects() {
+        let e = Expr::request(
+            1,
+            None,
+            Expr::seq(Expr::send("q"), Expr::offer([("a", Expr::Unit)])),
+        );
+        let te = infer(&e).unwrap();
+        assert_eq!(
+            te.effect,
+            parse_hist("open 1 { int[q -> eps]; ext[a -> eps] }").unwrap()
+        );
+        let framed = Expr::frame(
+            sufs_hexpr::PolicyRef::nullary("p"),
+            Expr::event("x", [] as [i64; 0]),
+        );
+        assert_eq!(
+            infer(&framed).unwrap().effect,
+            parse_hist("frame p [ #x ]").unwrap()
+        );
+    }
+
+    #[test]
+    fn type_errors() {
+        assert_eq!(
+            infer(&Expr::Var("x".into())).unwrap_err(),
+            TypeError::Unbound("x".into())
+        );
+        let e = Expr::app(Expr::Unit, Expr::Unit);
+        assert!(matches!(infer(&e).unwrap_err(), TypeError::NotAFunction(_)));
+        let f = Expr::lam(
+            "g",
+            Ty::pure_arrow(Ty::Unit, Ty::Unit),
+            Expr::app(Expr::Var("g".into()), Expr::Unit),
+        );
+        let bad = Expr::app(f, Expr::Unit);
+        assert!(matches!(
+            infer(&bad).unwrap_err(),
+            TypeError::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn branch_type_mismatch_rejected() {
+        let e = Expr::offer([
+            ("a", Expr::Unit),
+            ("b", Expr::lam("x", Ty::Unit, Expr::Unit)),
+        ]);
+        assert!(matches!(
+            infer(&e).unwrap_err(),
+            TypeError::BranchMismatch { .. }
+        ));
+        assert_eq!(
+            infer(&Expr::Offer(vec![])).unwrap_err(),
+            TypeError::EmptyChoice
+        );
+    }
+
+    #[test]
+    fn higher_order_latent_effects() {
+        // apply = λg:(unit -[#x]-> unit). g () — the latent effect of the
+        // parameter shows up at the call site of `apply g`.
+        let gty = Ty::arrow(Ty::Unit, parse_hist("#x").unwrap(), Ty::Unit);
+        let apply = Expr::lam("g", gty, Expr::app(Expr::Var("g".into()), Expr::Unit));
+        let g = Expr::lam("y", Ty::Unit, Expr::event("x", [] as [i64; 0]));
+        let e = Expr::app(apply, g);
+        let te = infer(&e).unwrap();
+        assert_eq!(te.effect, parse_hist("#x").unwrap());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            TypeError::Unbound("z".into()).to_string(),
+            "unbound variable z"
+        );
+        assert!(TypeError::EmptyChoice.to_string().contains("no branches"));
+    }
+}

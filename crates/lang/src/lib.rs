@@ -1,0 +1,47 @@
+//! A service λ-calculus with a type-and-effect system extracting
+//! history expressions.
+//!
+//! The paper's programming model (§3) represents services as
+//! λ-expressions whose abstract behaviour "a type and effect system
+//! extracts … in the form of history expressions", following
+//! Bartoletti–Degano–Ferrari \[5,4\]. This crate implements that
+//! substrate, closing the pipeline from *programs* to *verified plans*:
+//!
+//! * [`ast`] — a call-by-value λ-calculus with access events, security
+//!   framings, service requests and communication primitives;
+//! * [`ty`] — types with latent effects on arrows;
+//! * [`mod@infer`] — the type-and-effect system `Γ ⊢ e : τ ▷ H`; extracted
+//!   effects are guaranteed well-formed per Definition 1 (guarded tail
+//!   recursion), so they can be published to a repository and verified;
+//! * [`mod@eval`] — a CBV interpreter emitting run-time traces, plus
+//!   [`eval::trace_conforms`] checking *effect soundness*: every
+//!   run-time trace is a path of the inferred effect's LTS;
+//! * [`parser`] — a concrete syntax for writing services as programs.
+//!
+//! # Example: from program to effect
+//!
+//! ```
+//! use sufs_lang::{infer::infer, parser::parse_expr};
+//!
+//! // Hotel S1 as a program.
+//! let src = "#sgn(1); #p(45); #ta(80); offer[idc -> choose[bok -> () | una -> ()]]";
+//! let service = parse_expr(src).unwrap();
+//! let effect = infer(&service).unwrap().effect;
+//! // … publish `effect` to a sufs_net::Repository and verify plans.
+//! assert!(sufs_hexpr::wf::check(&effect).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::result_large_err)]
+
+pub mod ast;
+pub mod eval;
+pub mod infer;
+pub mod parser;
+pub mod ty;
+
+pub use ast::Expr;
+pub use eval::{eval, trace_conforms, EvalError, RunTrace, Value};
+pub use infer::{infer, TypeEffect, TypeError};
+pub use parser::{parse_expr, LangParseError};
+pub use ty::Ty;

@@ -1,0 +1,499 @@
+//! A parser for the concrete syntax of the service λ-calculus.
+//!
+//! ```text
+//! e    := p (';' e)?                       sequencing
+//! p    := 'let' x '=' c ';' e              let (binds to the end)
+//!       | c
+//! c    := atom ('(' e ')')*                application by juxtaposed calls
+//! atom := '()' | ident
+//!       | 'fun' '(' x ':' ty ')' '{' e '}'
+//!       | 'rec' f '(' x ':' ty ')' '->' ty '{' e '}'
+//!       | '#' name ['(' value,* ')']       access event
+//!       | 'frame' polref '[' e ']'
+//!       | 'open' nat ['phi' polref] '{' e '}'
+//!       | 'send' chan
+//!       | 'offer' '[' b ('|' b)* ']'
+//!       | 'choose' '[' b ('|' b)* ']'
+//!       | '(' e ')'
+//! b    := chan '->' e
+//! ty   := 'unit' | 'fun' '(' ty ')' '->' ty    (pure arrows)
+//! ```
+//!
+//! Effect-annotated arrow types are available through the builder API
+//! ([`crate::ty::Ty::arrow`]); the concrete syntax deliberately sticks
+//! to pure arrows.
+
+use std::fmt;
+
+use crate::ast::Expr;
+use crate::ty::Ty;
+use sufs_hexpr::{Channel, Event, ParamValue, PolicyRef, Value};
+
+/// A parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LangParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LangParseError {}
+
+/// Parses an expression of the service λ-calculus.
+///
+/// # Errors
+///
+/// Returns a [`LangParseError`] pointing at the first offending token.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_lang::parser::parse_expr;
+///
+/// let e = parse_expr(
+///     "#sgn(1); offer[idc -> choose[bok -> () | una -> ()]]",
+/// ).unwrap();
+/// let te = sufs_lang::infer::infer(&e).unwrap();
+/// assert!(!te.effect.is_eps());
+/// ```
+pub fn parse_expr(input: &str) -> Result<Expr, LangParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let e = p.seq()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.err("expected end of input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> LangParseError {
+        LangParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.input.as_bytes();
+        loop {
+            while self.pos < bytes.len() && (bytes[self.pos] as char).is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.input[self.pos..].starts_with("//") {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(tok) {
+            // Keywords must not glue onto a following identifier char.
+            if tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                let after = self.input[self.pos + tok.len()..].chars().next();
+                if after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return false;
+                }
+            }
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), LangParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if self.pos < bytes.len()
+            && ((bytes[self.pos] as char).is_ascii_alphabetic() || bytes[self.pos] == b'_')
+        {
+            while self.pos < bytes.len()
+                && ((bytes[self.pos] as char).is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            Ok(self.input[start..self.pos].to_owned())
+        } else {
+            Err(self.err("expected identifier"))
+        }
+    }
+
+    fn nat(&mut self) -> Result<u32, LangParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("number out of range"))
+    }
+
+    fn int(&mut self) -> Result<i64, LangParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if self.pos < bytes.len() && bytes[self.pos] == b'-' {
+            self.pos += 1;
+        }
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos || (self.pos - start == 1 && bytes[start] == b'-') {
+            return Err(self.err("expected an integer"));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn seq(&mut self) -> Result<Expr, LangParseError> {
+        let first = self.prefix()?;
+        self.skip_ws();
+        if self.eat(";") {
+            let rest = self.seq()?;
+            Ok(Expr::seq(first, rest))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn prefix(&mut self) -> Result<Expr, LangParseError> {
+        if self.eat("let") {
+            let x = self.ident()?;
+            self.expect("=")?;
+            let bound = self.call()?;
+            self.expect(";")?;
+            let body = self.seq()?;
+            return Ok(Expr::let_(x, bound, body));
+        }
+        self.call()
+    }
+
+    fn call(&mut self) -> Result<Expr, LangParseError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            if self.peek_char() == Some('(') && !matches!(e, Expr::Unit) {
+                // a call: f(arg)
+                self.expect("(")?;
+                if self.eat(")") {
+                    e = Expr::app(e, Expr::Unit);
+                } else {
+                    let arg = self.seq()?;
+                    self.expect(")")?;
+                    e = Expr::app(e, arg);
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangParseError> {
+        self.skip_ws();
+        if self.eat("()") {
+            return Ok(Expr::Unit);
+        }
+        if self.eat("#") {
+            let name = self.ident()?;
+            let mut args = Vec::new();
+            self.skip_ws();
+            if self.eat("(") && !self.eat(")") {
+                loop {
+                    args.push(self.value()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect(")")?;
+            }
+            return Ok(Expr::Event(Event::new(name, args)));
+        }
+        if self.eat("fun") {
+            self.expect("(")?;
+            let x = self.ident()?;
+            self.expect(":")?;
+            let ty = self.ty()?;
+            self.expect(")")?;
+            self.expect("{")?;
+            let body = self.seq()?;
+            self.expect("}")?;
+            return Ok(Expr::lam(x, ty, body));
+        }
+        if self.eat("rec") {
+            let f = self.ident()?;
+            self.expect("(")?;
+            let x = self.ident()?;
+            self.expect(":")?;
+            let pty = self.ty()?;
+            self.expect(")")?;
+            self.expect("->")?;
+            let rty = self.ty()?;
+            self.expect("{")?;
+            let body = self.seq()?;
+            self.expect("}")?;
+            return Ok(Expr::fun(f, x, pty, rty, body));
+        }
+        if self.eat("frame") {
+            let p = self.policy_ref()?;
+            self.expect("[")?;
+            let body = self.seq()?;
+            self.expect("]")?;
+            return Ok(Expr::frame(p, body));
+        }
+        if self.eat("open") {
+            let id = self.nat()?;
+            let policy = if self.eat("phi") {
+                Some(self.policy_ref()?)
+            } else {
+                None
+            };
+            self.expect("{")?;
+            let body = self.seq()?;
+            self.expect("}")?;
+            return Ok(Expr::request(id, policy, body));
+        }
+        if self.eat("send") {
+            let c = self.ident()?;
+            return Ok(Expr::Send(Channel::new(c)));
+        }
+        if self.eat("offer") {
+            return Ok(Expr::Offer(self.branches()?));
+        }
+        if self.eat("choose") {
+            return Ok(Expr::Choose(self.branches()?));
+        }
+        if self.eat("(") {
+            let e = self.seq()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        // Bare identifier (variable).
+        let x = self
+            .ident()
+            .map_err(|_| self.err("expected an expression"))?;
+        if [
+            "let", "fun", "rec", "open", "frame", "send", "offer", "choose",
+        ]
+        .contains(&x.as_str())
+        {
+            return Err(self.err(format!("unexpected keyword `{x}`")));
+        }
+        Ok(Expr::Var(x))
+    }
+
+    fn branches(&mut self) -> Result<Vec<(Channel, Expr)>, LangParseError> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        loop {
+            let c = self.ident()?;
+            self.expect("->")?;
+            let e = self.seq()?;
+            out.push((Channel::new(c), e));
+            if self.eat("|") {
+                continue;
+            }
+            self.expect("]")?;
+            break;
+        }
+        Ok(out)
+    }
+
+    fn ty(&mut self) -> Result<Ty, LangParseError> {
+        if self.eat("unit") {
+            return Ok(Ty::Unit);
+        }
+        if self.eat("fun") {
+            self.expect("(")?;
+            let from = self.ty()?;
+            self.expect(")")?;
+            self.expect("->")?;
+            let to = self.ty()?;
+            return Ok(Ty::pure_arrow(from, to));
+        }
+        Err(self.err("expected a type"))
+    }
+
+    fn policy_ref(&mut self) -> Result<PolicyRef, LangParseError> {
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        self.skip_ws();
+        if self.peek_char() == Some('(') {
+            self.expect("(")?;
+            if !self.eat(")") {
+                loop {
+                    args.push(self.param()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect(")")?;
+            }
+        }
+        Ok(PolicyRef::new(name, args))
+    }
+
+    fn param(&mut self) -> Result<ParamValue, LangParseError> {
+        self.skip_ws();
+        if self.eat("{") {
+            let mut vals = Vec::new();
+            if !self.eat("}") {
+                loop {
+                    vals.push(self.value()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("}")?;
+            }
+            return Ok(ParamValue::Set(vals.into_iter().collect()));
+        }
+        Ok(ParamValue::Scalar(self.value()?))
+    }
+
+    fn value(&mut self) -> Result<Value, LangParseError> {
+        self.skip_ws();
+        match self.peek_char() {
+            Some(c) if c.is_ascii_digit() || c == '-' => Ok(Value::Int(self.int()?)),
+            _ => Ok(Value::Str(self.ident()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer;
+
+    #[test]
+    fn parses_unit_and_events() {
+        assert_eq!(parse_expr("()").unwrap(), Expr::Unit);
+        assert_eq!(
+            parse_expr("#sgn(1)").unwrap(),
+            Expr::Event(Event::new("sgn", [1i64]))
+        );
+    }
+
+    #[test]
+    fn parses_sequences_and_let() {
+        let e = parse_expr("let x = #a; send q; ()").unwrap();
+        match e {
+            Expr::Let(x, bound, body) => {
+                assert_eq!(x, "x");
+                assert!(matches!(*bound, Expr::Event(_)));
+                assert!(matches!(*body, Expr::Seq(..)));
+            }
+            other => panic!("expected Let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_functions_and_calls() {
+        let e = parse_expr("fun(x: unit) { x }(())").unwrap();
+        assert!(matches!(e, Expr::App(..)));
+        let e =
+            parse_expr("rec f(x: unit) -> unit { choose[go -> f(x) | stop -> ()] }(())").unwrap();
+        let te = infer(&e).unwrap();
+        assert!(sufs_hexpr::wf::check(&te.effect).is_ok());
+    }
+
+    #[test]
+    fn parses_services_like_the_paper() {
+        let hotel =
+            parse_expr("#sgn(1); #p(45); #ta(80); offer[idc -> choose[bok -> () | una -> ()]]")
+                .unwrap();
+        let te = infer(&hotel).unwrap();
+        assert_eq!(
+            te.effect,
+            sufs_hexpr::parse_hist(
+                "#sgn(1); #p(45); #ta(80); ext[idc -> int[bok -> eps | una -> eps]]"
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_request_with_policy() {
+        let e =
+            parse_expr("open 1 phi hotel({s1}, 45, 100) { send req; offer[ok -> ()] }").unwrap();
+        match &e {
+            Expr::Request { id, policy, .. } => {
+                assert_eq!(id.index(), 1);
+                assert_eq!(policy.as_ref().unwrap().name(), "hotel");
+                assert_eq!(policy.as_ref().unwrap().args().len(), 3);
+            }
+            other => panic!("expected Request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_higher_order_types() {
+        let e = parse_expr("fun(g: fun(unit) -> unit) { g(()) }").unwrap();
+        match &e {
+            Expr::Lam { param_ty, .. } => {
+                assert_eq!(*param_ty, Ty::pure_arrow(Ty::Unit, Ty::Unit));
+            }
+            other => panic!("expected Lam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let e = parse_expr("// greet\n#hello; // done\n()").unwrap();
+        assert!(matches!(e, Expr::Seq(..)));
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        let err = parse_expr("#a; ???").unwrap_err();
+        assert!(err.offset >= 4);
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_expr("send").is_err());
+        assert!(parse_expr("offer[]").is_err());
+        assert!(parse_expr("fun(x: bogus) { x }").is_err());
+        assert!(parse_expr("() ()").is_err());
+    }
+
+    #[test]
+    fn keyword_cannot_be_variable() {
+        let err = parse_expr("send(x)").unwrap_err();
+        let _ = err; // `send` needs a channel ident, not a call
+    }
+}

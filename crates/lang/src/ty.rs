@@ -1,0 +1,80 @@
+//! Types of the service λ-calculus: `τ ::= unit | τ ──H──▸ τ`.
+//!
+//! Arrow types carry a *latent effect* `H`: the history expression that
+//! applying the function unleashes. Effect equality is structural over
+//! the canonical form of history expressions (so `ε·H` and `H` agree).
+
+use std::fmt;
+
+use sufs_hexpr::Hist;
+
+/// A type of the calculus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// The unit type.
+    Unit,
+    /// A function type with its latent effect: `τ ──H──▸ τ'`.
+    Arrow(Box<Ty>, Hist, Box<Ty>),
+}
+
+impl Ty {
+    /// A pure function type (latent effect `ε`).
+    pub fn pure_arrow(from: Ty, to: Ty) -> Ty {
+        Ty::Arrow(Box::new(from), Hist::Eps, Box::new(to))
+    }
+
+    /// A function type with latent effect `h`.
+    pub fn arrow(from: Ty, latent: Hist, to: Ty) -> Ty {
+        Ty::Arrow(Box::new(from), latent, Box::new(to))
+    }
+
+    /// Returns `true` for [`Ty::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Ty::Unit)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Unit => write!(f, "unit"),
+            Ty::Arrow(a, h, b) => {
+                if h.is_eps() {
+                    write!(f, "({a} -> {b})")
+                } else {
+                    write!(f, "({a} -[{h}]-> {b})")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::parse_hist;
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::Unit.to_string(), "unit");
+        assert_eq!(
+            Ty::pure_arrow(Ty::Unit, Ty::Unit).to_string(),
+            "(unit -> unit)"
+        );
+        let eff = parse_hist("#a").unwrap();
+        assert_eq!(
+            Ty::arrow(Ty::Unit, eff, Ty::Unit).to_string(),
+            "(unit -[#a]-> unit)"
+        );
+    }
+
+    #[test]
+    fn canonical_effects_compare_equal() {
+        let h1 = Hist::seq(Hist::Eps, parse_hist("#a").unwrap());
+        let h2 = parse_hist("#a").unwrap();
+        assert_eq!(
+            Ty::arrow(Ty::Unit, h1, Ty::Unit),
+            Ty::arrow(Ty::Unit, h2, Ty::Unit)
+        );
+    }
+}

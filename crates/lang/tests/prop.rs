@@ -1,0 +1,93 @@
+//! Property tests for the λ-calculus front end: every run-time trace of
+//! a randomly generated well-typed program is a path of its inferred
+//! effect (effect soundness), and inference is deterministic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_lang::{eval, infer, trace_conforms, Expr, Ty};
+
+/// Random unit-typed programs: events, sends, choices, sequencing,
+/// lets, framings, requests and immediately applied λ-abstractions.
+fn arb_program() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Unit),
+        (0i64..10).prop_map(|n| Expr::event("ev", [n])),
+        proptest::sample::select(vec!["a", "b", "c"]).prop_map(Expr::send),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::seq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::let_("x", a, b)),
+            // offer / choose with distinct guards
+            (
+                any::<bool>(),
+                proptest::sample::subsequence(vec!["p", "q", "r"], 1..=3),
+                proptest::collection::vec(inner.clone(), 3),
+            )
+                .prop_map(|(internal, chans, conts)| {
+                    let branches: Vec<(&'static str, Expr)> =
+                        chans.into_iter().zip(conts).collect();
+                    if internal {
+                        Expr::choose(branches)
+                    } else {
+                        Expr::offer(branches)
+                    }
+                }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::frame(sufs_hexpr::PolicyRef::nullary("phi"), e)),
+            (0u32..4, inner.clone()).prop_map(|(r, e)| Expr::request(r, None, e)),
+            // (λx:unit. body)(arg)
+            (inner.clone(), inner)
+                .prop_map(|(body, arg)| { Expr::app(Expr::lam("x", Ty::Unit, body), arg) }),
+        ]
+    })
+}
+
+proptest! {
+    /// Effect soundness: every run-time trace is a path of the effect.
+    #[test]
+    fn traces_conform_to_effects(e in arb_program(), seed in 0u64..1000) {
+        // Duplicate request ids make the effect ill-formed; skip those.
+        let Ok(te) = infer(&e) else { return Ok(()); };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = eval(&e, &mut rng, 1 << 20).unwrap();
+        prop_assert!(
+            trace_conforms(&te.effect, &run.trace),
+            "trace {:?} is not a path of {}",
+            run.trace,
+            te.effect
+        );
+    }
+
+    /// Inference is deterministic and the effect is well-formed.
+    #[test]
+    fn inference_deterministic_and_wf(e in arb_program()) {
+        let r1 = infer(&e);
+        let r2 = infer(&e);
+        prop_assert_eq!(r1.clone().map(|t| t.effect.clone()), r2.map(|t| t.effect));
+        if let Ok(te) = r1 {
+            prop_assert!(sufs_hexpr::wf::check(&te.effect).is_ok());
+        }
+    }
+
+    /// Programs type at unit (the generator only builds unit-typed
+    /// expressions).
+    #[test]
+    fn programs_are_unit_typed(e in arb_program()) {
+        if let Ok(te) = infer(&e) {
+            prop_assert!(te.ty.is_unit());
+        }
+    }
+
+    /// The pretty printer emits parseable syntax: `parse ∘ display = id`.
+    #[test]
+    fn display_parse_roundtrip(e in arb_program()) {
+        let printed = e.to_string();
+        let reparsed = sufs_lang::parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+}

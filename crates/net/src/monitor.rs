@@ -1,0 +1,257 @@
+//! The run-time resource monitor: the incremental implementation of the
+//! validity premise `⊨ η` of the network rules.
+//!
+//! The monitor observes the history items a component appends and
+//! maintains, per policy instance, the automaton state set (fed every
+//! event since the beginning — history dependence) and the activation
+//! depth. It answers in O(|instances|) per item instead of re-running
+//! `⊨ η` from scratch, and is cross-validated against
+//! [`sufs_policy::History::first_violation`] in tests.
+//!
+//! The paper's point (§5) is that a **statically verified plan makes this
+//! monitor unnecessary**; the benchmark `monitor_overhead` quantifies
+//! what switching it off saves.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sufs_hexpr::{Event, PolicyRef};
+use sufs_policy::{HistoryItem, PolicyError, PolicyInstance, PolicyRegistry};
+
+/// Whether executions enforce the validity premise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorMode {
+    /// Rules only fire when the extended history stays valid (the
+    /// semantics of the paper): per-step checking, violating transitions
+    /// are pruned.
+    Enforcing,
+    /// No enforcement, but violations are *detected* after the run (one
+    /// pass over the final history) and reported in the run result —
+    /// the observation mode used by the experiments.
+    Audit,
+    /// Nothing is observed and nothing is checked: the execution §5
+    /// promises is safe for statically verified plans.
+    Off,
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    instance: PolicyInstance,
+    states: BTreeSet<usize>,
+    depth: usize,
+}
+
+/// The incremental validity monitor for one component's history.
+#[derive(Debug, Clone, Default)]
+pub struct ValidityMonitor {
+    events: Vec<Event>,
+    tracks: BTreeMap<PolicyRef, Track>,
+}
+
+impl ValidityMonitor {
+    /// A monitor for an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one appended history item, returning the violated policy
+    /// if the history just became invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if a newly opened policy cannot be
+    /// resolved in `registry`.
+    pub fn observe(
+        &mut self,
+        item: &HistoryItem,
+        registry: &PolicyRegistry,
+    ) -> Result<Option<PolicyRef>, PolicyError> {
+        match item {
+            HistoryItem::Ev(e) => {
+                self.events.push(e.clone());
+                for track in self.tracks.values_mut() {
+                    track.states = track.instance.step(&track.states, e);
+                }
+            }
+            HistoryItem::Open(p) => {
+                if !self.tracks.contains_key(p) {
+                    // History dependence: a newly activated policy reads
+                    // the whole past, so replay the flattened history.
+                    let instance = registry.instantiate(p)?;
+                    let states = instance.run(self.events.iter());
+                    self.tracks.insert(
+                        p.clone(),
+                        Track {
+                            instance,
+                            states,
+                            depth: 0,
+                        },
+                    );
+                }
+                let track = self.tracks.get_mut(p).expect("just inserted");
+                track.depth += 1;
+            }
+            HistoryItem::Close(p) => {
+                if let Some(track) = self.tracks.get_mut(p) {
+                    track.depth = track.depth.saturating_sub(1);
+                }
+            }
+        }
+        Ok(self.violated())
+    }
+
+    /// Observes a whole delta of items; the first violation wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if a policy cannot be resolved.
+    pub fn observe_all(
+        &mut self,
+        items: &[HistoryItem],
+        registry: &PolicyRegistry,
+    ) -> Result<Option<PolicyRef>, PolicyError> {
+        let mut first = None;
+        for item in items {
+            let v = self.observe(item, registry)?;
+            if first.is_none() {
+                first = v;
+            }
+        }
+        Ok(first.or_else(|| self.violated()))
+    }
+
+    /// The currently violated *active* policy, if any.
+    pub fn violated(&self) -> Option<PolicyRef> {
+        self.tracks
+            .iter()
+            .find(|(_, t)| t.depth > 0 && t.instance.offends(&t.states))
+            .map(|(p, _)| p.clone())
+    }
+
+    /// Returns `true` if the observed history is still valid.
+    pub fn is_valid(&self) -> bool {
+        self.violated().is_none()
+    }
+
+    /// The number of events observed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_policy::{catalog, History};
+
+    fn reg() -> PolicyRegistry {
+        let mut r = PolicyRegistry::new();
+        r.register(catalog::no_after("read", "write"));
+        r.register(catalog::at_most("tick", 1));
+        r
+    }
+
+    fn phi() -> PolicyRef {
+        PolicyRef::nullary("no_write_after_read")
+    }
+
+    fn ev(name: &str) -> HistoryItem {
+        HistoryItem::Ev(Event::nullary(name))
+    }
+
+    #[test]
+    fn detects_active_violation() {
+        let reg = reg();
+        let mut m = ValidityMonitor::new();
+        assert!(m
+            .observe(&HistoryItem::Open(phi()), &reg)
+            .unwrap()
+            .is_none());
+        assert!(m.observe(&ev("read"), &reg).unwrap().is_none());
+        let v = m.observe(&ev("write"), &reg).unwrap();
+        assert_eq!(v, Some(phi()));
+        assert!(!m.is_valid());
+    }
+
+    #[test]
+    fn inactive_policy_does_not_fire() {
+        let reg = reg();
+        let mut m = ValidityMonitor::new();
+        m.observe(&HistoryItem::Open(phi()), &reg).unwrap();
+        m.observe(&HistoryItem::Close(phi()), &reg).unwrap();
+        assert!(m.observe(&ev("read"), &reg).unwrap().is_none());
+        assert!(m.observe(&ev("write"), &reg).unwrap().is_none());
+        assert!(m.is_valid());
+        assert_eq!(m.events_seen(), 2);
+    }
+
+    #[test]
+    fn history_dependence_replay() {
+        // Events fired *before* the policy opens still count.
+        let reg = reg();
+        let mut m = ValidityMonitor::new();
+        m.observe(&ev("read"), &reg).unwrap();
+        m.observe(&ev("write"), &reg).unwrap();
+        let v = m.observe(&HistoryItem::Open(phi()), &reg).unwrap();
+        assert_eq!(v, Some(phi()));
+    }
+
+    #[test]
+    fn agrees_with_batch_validity_check() {
+        // Cross-validate the incremental monitor against the reference
+        // History::first_violation on assorted histories.
+        let reg = reg();
+        let histories: Vec<Vec<HistoryItem>> = vec![
+            vec![HistoryItem::Open(phi()), ev("read"), ev("write")],
+            vec![ev("read"), HistoryItem::Open(phi()), ev("write")],
+            vec![HistoryItem::Open(phi()), ev("write"), ev("read")],
+            vec![
+                HistoryItem::Open(phi()),
+                ev("read"),
+                HistoryItem::Close(phi()),
+                ev("write"),
+            ],
+            vec![
+                HistoryItem::Open(phi()),
+                HistoryItem::Open(phi()),
+                HistoryItem::Close(phi()),
+                ev("read"),
+                ev("write"),
+            ],
+        ];
+        for items in histories {
+            let mut m = ValidityMonitor::new();
+            let mut incremental_violation = None;
+            for item in &items {
+                if let Some(p) = m.observe(item, &reg).unwrap() {
+                    incremental_violation = Some(p);
+                    break;
+                }
+            }
+            let h: History = items.iter().cloned().collect();
+            let batch = h.first_violation(&reg).unwrap().map(|(_, p)| p);
+            assert_eq!(
+                incremental_violation, batch,
+                "monitor disagrees with batch check on {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_all_reports_first_violation() {
+        let reg = reg();
+        let mut m = ValidityMonitor::new();
+        let v = m
+            .observe_all(&[HistoryItem::Open(phi()), ev("read"), ev("write")], &reg)
+            .unwrap();
+        assert_eq!(v, Some(phi()));
+    }
+
+    #[test]
+    fn unknown_policy_is_error() {
+        let mut m = ValidityMonitor::new();
+        let err = m
+            .observe(&HistoryItem::Open(PolicyRef::nullary("ghost")), &reg())
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Network configurations: parallel components, each with its own
+//! execution history.
+
+use std::fmt;
+
+use crate::plan::Plan;
+use crate::session::Sess;
+use sufs_hexpr::{Hist, Location};
+use sufs_policy::History;
+
+/// One top-level component of a network: a client (or the session tree
+/// it evolved into) together with its execution history `η`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Component {
+    /// The execution history `η` of this component.
+    pub history: History,
+    /// The session tree.
+    pub sess: Sess,
+    /// The plan `π` orchestrating this component's requests.
+    pub plan: Plan,
+}
+
+impl Component {
+    /// A fresh component: empty history, a located client behaviour and
+    /// its plan.
+    pub fn new(loc: impl Into<Location>, client: Hist, plan: Plan) -> Self {
+        Component {
+            history: History::new(),
+            sess: Sess::leaf(loc, client),
+            plan,
+        }
+    }
+
+    /// Returns `true` if the component terminated successfully.
+    pub fn is_terminated(&self) -> bool {
+        self.sess.is_terminated()
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}", self.history, self.sess)
+    }
+}
+
+/// A network `N`: the parallel composition of components, evaluated in an
+/// interleaving fashion (rule *Net*).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Network {
+    components: Vec<Component>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a client with its plan; returns the component index.
+    pub fn add_client(&mut self, loc: impl Into<Location>, client: Hist, plan: Plan) -> usize {
+        self.components.push(Component::new(loc, client, plan));
+        self.components.len() - 1
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Mutable access to one component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn component_mut(&mut self, idx: usize) -> &mut Component {
+        &mut self.components[idx]
+    }
+
+    /// The number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the network has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns `true` if every component terminated successfully.
+    pub fn is_terminated(&self) -> bool {
+        self.components.iter().all(Component::is_terminated)
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∥ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Component> for Network {
+    fn from_iter<T: IntoIterator<Item = Component>>(iter: T) -> Self {
+        Network {
+            components: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::parse_hist;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut net = Network::new();
+        assert!(net.is_empty());
+        let i = net.add_client("c1", parse_hist("#a").unwrap(), Plan::new());
+        assert_eq!(i, 0);
+        assert_eq!(net.len(), 1);
+        assert!(!net.is_terminated());
+        assert!(!net.components()[0].is_terminated());
+    }
+
+    #[test]
+    fn termination() {
+        let mut net = Network::new();
+        net.add_client("c1", Hist::Eps, Plan::new());
+        net.add_client("c2", Hist::Eps, Plan::new());
+        assert!(net.is_terminated());
+    }
+
+    #[test]
+    fn display_parallel() {
+        let mut net = Network::new();
+        net.add_client("c1", Hist::Eps, Plan::new());
+        net.add_client("c2", parse_hist("#x").unwrap(), Plan::new());
+        let s = net.to_string();
+        assert!(s.contains("∥"));
+        assert!(s.contains("c1: ε"));
+        assert!(s.contains("c2: #x"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let net: Network = [Component::new("c", Hist::Eps, Plan::new())]
+            .into_iter()
+            .collect();
+        assert_eq!(net.len(), 1);
+        assert!(net.components()[0].history.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Plans `π` (Definition 2): mappings from service requests to the
+//! locations that serve them.
+//!
+//! A plan orchestrates an execution by binding every request identifier
+//! `r` occurring in a client (and, transitively, in the services the
+//! plan selects) to a published service location. A *vector of plans*
+//! `~π` assigns one plan per client of a network.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sufs_hexpr::{Location, RequestId};
+
+/// A plan `π`: a finite map from request identifiers to locations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Plan {
+    bindings: BTreeMap<RequestId, Location>,
+}
+
+impl Plan {
+    /// The empty plan `∅`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds request `r` to location `loc` (the paper's `r[ℓ]`),
+    /// returning the previous binding if any.
+    pub fn bind(&mut self, r: impl Into<RequestId>, loc: impl Into<Location>) -> Option<Location> {
+        self.bindings.insert(r.into(), loc.into())
+    }
+
+    /// Builder-style binding (`π ∪ r[ℓ]`).
+    pub fn with(mut self, r: impl Into<RequestId>, loc: impl Into<Location>) -> Self {
+        self.bind(r, loc);
+        self
+    }
+
+    /// The location serving request `r`, if bound.
+    pub fn service_for(&self, r: RequestId) -> Option<&Location> {
+        self.bindings.get(&r)
+    }
+
+    /// The requests bound by this plan.
+    pub fn requests(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.bindings.keys().copied()
+    }
+
+    /// Iterates over `(request, location)` bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (RequestId, &Location)> {
+        self.bindings.iter().map(|(r, l)| (*r, l))
+    }
+
+    /// The union `π ∪ π'`; right-hand bindings win on conflicts.
+    pub fn union(&self, other: &Plan) -> Plan {
+        let mut out = self.clone();
+        for (r, l) in other.iter() {
+            out.bind(r, l.clone());
+        }
+        out
+    }
+
+    /// The number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Returns `true` for the empty plan.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return write!(f, "∅");
+        }
+        write!(f, "{{")?;
+        for (i, (r, l)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}↦{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(RequestId, Location)> for Plan {
+    fn from_iter<T: IntoIterator<Item = (RequestId, Location)>>(iter: T) -> Self {
+        Plan {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut p = Plan::new();
+        assert!(p.is_empty());
+        assert!(p.bind(1u32, "br").is_none());
+        assert_eq!(p.bind(1u32, "br2"), Some(Location::new("br")));
+        assert_eq!(
+            p.service_for(RequestId::new(1)),
+            Some(&Location::new("br2"))
+        );
+        assert_eq!(p.service_for(RequestId::new(9)), None);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn builder_style() {
+        let p = Plan::new().with(1u32, "br").with(3u32, "s3");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.requests().count(), 2);
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn union_right_biased() {
+        let p1 = Plan::new().with(1u32, "a").with(2u32, "b");
+        let p2 = Plan::new().with(2u32, "c").with(3u32, "d");
+        let u = p1.union(&p2);
+        assert_eq!(u.service_for(RequestId::new(1)), Some(&Location::new("a")));
+        assert_eq!(u.service_for(RequestId::new(2)), Some(&Location::new("c")));
+        assert_eq!(u.service_for(RequestId::new(3)), Some(&Location::new("d")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Plan::new().to_string(), "∅");
+        let p = Plan::new().with(1u32, "br").with(3u32, "s3");
+        assert_eq!(p.to_string(), "{r1↦br, r3↦s3}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Plan = [(RequestId::new(1), Location::new("x"))]
+            .into_iter()
+            .collect();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The global trusted repository `R = {ℓⱼ : Hⱼ | j ∈ J}` of published
+//! services.
+//!
+//! Services in the repository are always available for joining sessions
+//! and may replicate at will: every session opening instantiates a fresh
+//! copy of the published behaviour.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sufs_hexpr::wf::{self, WfError};
+use sufs_hexpr::{Hist, Location};
+
+/// An error raised when publishing an ill-formed service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishError {
+    /// The location the service was being published at.
+    pub location: Location,
+    /// The underlying well-formedness violation.
+    pub error: WfError,
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot publish at {}: {}", self.location, self.error)
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// One published service: its behaviour and its replication capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Published {
+    service: Hist,
+    capacity: Option<usize>,
+}
+
+/// The repository of published services.
+///
+/// By default services "replicate their code at will" (§2): every
+/// session opening gets a fresh copy. The paper's §5 lists *bounded
+/// availability* as an extension; [`Repository::publish_bounded`]
+/// implements it — a service with capacity `n` joins at most `n`
+/// concurrent sessions, and further openings wait until one closes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Repository {
+    services: BTreeMap<Location, Published>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a service at a location, replacing any previous one.
+    /// The service may replicate without bound.
+    ///
+    /// The service is checked for well-formedness first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is ill-formed; use
+    /// [`Repository::try_publish`] to handle the error.
+    pub fn publish(&mut self, loc: impl Into<Location>, service: Hist) -> &mut Self {
+        let loc = loc.into();
+        self.try_publish(loc, service)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Publishes a service with a replication bound: at most `capacity`
+    /// concurrent sessions (§5's bounded-availability extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is ill-formed.
+    pub fn publish_bounded(
+        &mut self,
+        loc: impl Into<Location>,
+        service: Hist,
+        capacity: usize,
+    ) -> &mut Self {
+        let location = loc.into();
+        wf::check(&service)
+            .map_err(|error| PublishError {
+                location: location.clone(),
+                error,
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.services.insert(
+            location,
+            Published {
+                service,
+                capacity: Some(capacity),
+            },
+        );
+        self
+    }
+
+    /// Publishes a service, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PublishError`] if the service is not well-formed.
+    pub fn try_publish(
+        &mut self,
+        loc: impl Into<Location>,
+        service: Hist,
+    ) -> Result<(), PublishError> {
+        let location = loc.into();
+        wf::check(&service).map_err(|error| PublishError {
+            location: location.clone(),
+            error,
+        })?;
+        self.services.insert(
+            location,
+            Published {
+                service,
+                capacity: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up the service published at `loc`.
+    pub fn get(&self, loc: &Location) -> Option<&Hist> {
+        self.services.get(loc).map(|p| &p.service)
+    }
+
+    /// The replication capacity of the service at `loc`: `Some(None)`
+    /// for an unbounded published service, `Some(Some(n))` for a bounded
+    /// one, `None` if nothing is published there.
+    pub fn capacity(&self, loc: &Location) -> Option<Option<usize>> {
+        self.services.get(loc).map(|p| p.capacity)
+    }
+
+    /// The published locations, in order.
+    pub fn locations(&self) -> impl Iterator<Item = &Location> {
+        self.services.keys()
+    }
+
+    /// Iterates over `(location, service)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Location, &Hist)> {
+        self.services.iter().map(|(l, p)| (l, &p.service))
+    }
+
+    /// The number of published services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Returns `true` if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+impl fmt::Display for Repository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "repository ({} services):", self.len())?;
+        for (loc, p) in &self.services {
+            match p.capacity {
+                Some(cap) => writeln!(f, "  {loc} (×{cap}): {}", p.service)?,
+                None => writeln!(f, "  {loc}: {}", p.service)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(Location, Hist)> for Repository {
+    fn from_iter<T: IntoIterator<Item = (Location, Hist)>>(iter: T) -> Self {
+        let mut repo = Repository::new();
+        for (loc, h) in iter {
+            repo.publish(loc, h);
+        }
+        repo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::parse_hist;
+
+    #[test]
+    fn publish_and_get() {
+        let mut repo = Repository::new();
+        assert!(repo.is_empty());
+        repo.publish("s1", parse_hist("ext[a -> eps]").unwrap());
+        assert_eq!(repo.len(), 1);
+        assert!(repo.get(&Location::new("s1")).is_some());
+        assert!(repo.get(&Location::new("nope")).is_none());
+        assert_eq!(repo.locations().count(), 1);
+    }
+
+    #[test]
+    fn ill_formed_service_rejected() {
+        let mut repo = Repository::new();
+        let err = repo
+            .try_publish("bad", parse_hist("mu h. h").unwrap())
+            .unwrap_err();
+        assert_eq!(err.location, Location::new("bad"));
+        assert!(err.to_string().contains("bad"));
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot publish")]
+    fn publish_panics_on_ill_formed() {
+        Repository::new().publish("bad", parse_hist("mu h. h").unwrap());
+    }
+
+    #[test]
+    fn from_iterator_and_display() {
+        let repo: Repository = [
+            (Location::new("a"), parse_hist("eps").unwrap()),
+            (Location::new("b"), parse_hist("ext[x -> eps]").unwrap()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(repo.len(), 2);
+        let s = repo.to_string();
+        assert!(s.contains("a: eps"));
+        assert!(s.contains("b: ext[x -> eps]"));
+        assert_eq!(repo.iter().count(), 2);
+    }
+}

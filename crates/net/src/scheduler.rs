@@ -1,0 +1,789 @@
+//! Schedulers executing networks of services.
+//!
+//! Two orthogonal switches reproduce the paper's discussion:
+//!
+//! * [`MonitorMode`] — whether the validity premise `⊨ η` is *enforced*
+//!   at run time (the paper's semantics), merely *audited* after the run
+//!   (the observation mode of the experiments), or fully *off* (§5:
+//!   verified plans make any monitoring unnecessary);
+//! * [`ChoiceMode`] — *angelic* (the paper's operational semantics: a
+//!   transition exists only if both parties agree, so an unreceivable
+//!   output is silently avoided) or *committed* (the realistic reading
+//!   the paper appeals to when it calls plan `π₂` invalid: "the service
+//!   can decide what to send on its own"; a committed unreceivable send
+//!   deadlocks the session).
+//!
+//! The unfailing-services experiment (E8) runs verified plans with the
+//! monitor off and committed choices, and checks that no run aborts or
+//! deadlocks.
+
+use rand::Rng;
+
+use crate::monitor::{MonitorMode, ValidityMonitor};
+use crate::network::Network;
+use crate::plan::Plan;
+use crate::repository::Repository;
+use crate::semantics::{active_services, sess_steps_with_load, SessStep, StepAction};
+use crate::session::Sess;
+use sufs_hexpr::semantics::successors;
+use sufs_hexpr::{Channel, Dir, Label, Location, PolicyRef};
+use sufs_policy::{PolicyError, PolicyRegistry};
+
+/// How internal choices are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceMode {
+    /// The paper's angelic semantics: only mutually agreeable
+    /// communications are enabled.
+    Angelic,
+    /// Senders commit to an output regardless of the partner's ability
+    /// to receive it; an unreceivable committed send deadlocks.
+    Committed,
+}
+
+/// Why a component could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadlockReason {
+    /// No rule applies: typically two parties waiting on each other.
+    NoTransitions,
+    /// A committed send found no receiver (non-compliance made visible).
+    UnmatchedSend {
+        /// The channel the sender committed to.
+        chan: Channel,
+        /// The committed sender.
+        sender: Location,
+    },
+}
+
+/// The terminal status of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every component terminated successfully.
+    Completed,
+    /// The enforcing monitor blocked every transition of a component:
+    /// the execution aborts on a security violation.
+    SecurityAbort {
+        /// The blocked component.
+        component: usize,
+        /// The policy whose violation blocked it.
+        policy: PolicyRef,
+    },
+    /// A component is stuck with no applicable transition.
+    Deadlock {
+        /// The stuck component.
+        component: usize,
+        /// Why it is stuck.
+        reason: DeadlockReason,
+    },
+    /// The step budget ran out (e.g. a compliant infinite conversation).
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// Returns `true` for [`Outcome::Completed`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+}
+
+/// One scheduled step, for traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The component that moved.
+    pub component: usize,
+    /// What it did.
+    pub action: StepAction,
+}
+
+/// The result of running a network.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// The scheduled steps, in order.
+    pub trace: Vec<TraceStep>,
+    /// The final network configuration.
+    pub network: Network,
+    /// With the monitor off: policies whose violation the run *would*
+    /// have incurred, detected post hoc per component.
+    pub violations: Vec<(usize, PolicyRef)>,
+}
+
+/// A scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler<'a> {
+    repo: &'a Repository,
+    registry: &'a PolicyRegistry,
+    monitor: MonitorMode,
+    choice: ChoiceMode,
+}
+
+enum Candidate {
+    Step {
+        component: usize,
+        step: SessStep,
+        /// The advanced monitor; `None` when the monitor is off (nothing
+        /// is tracked at all — the §5 point).
+        monitor: Option<ValidityMonitor>,
+    },
+    /// Committed choice: a sender inside a session commits to one of its
+    /// outputs "regardless of the environment"; the leaf is rewritten to
+    /// the single chosen branch. The rewrite is silent (no trace entry)
+    /// and may subsequently deadlock the session.
+    Commit { component: usize, next_sess: Sess },
+}
+
+impl<'a> Scheduler<'a> {
+    /// A scheduler over the given repository and policy registry.
+    pub fn new(
+        repo: &'a Repository,
+        registry: &'a PolicyRegistry,
+        monitor: MonitorMode,
+        choice: ChoiceMode,
+    ) -> Self {
+        Scheduler {
+            repo,
+            registry,
+            monitor,
+            choice,
+        }
+    }
+
+    /// Runs the network under a uniformly random scheduler for at most
+    /// `fuel` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if a policy mentioned by the network
+    /// cannot be resolved.
+    pub fn run<R: Rng>(
+        &self,
+        mut network: Network,
+        rng: &mut R,
+        fuel: usize,
+    ) -> Result<RunResult, PolicyError> {
+        let mut monitors: Vec<ValidityMonitor> = vec![ValidityMonitor::new(); network.len()];
+        let mut trace = Vec::new();
+        for _ in 0..fuel {
+            if network.is_terminated() {
+                return self.finish(Outcome::Completed, trace, network);
+            }
+            let mut candidates = Vec::new();
+            let mut aborted: Option<(usize, PolicyRef)> = None;
+            // Network-wide per-service load: capacities of bounded
+            // services are shared across components.
+            let mut total_load = std::collections::BTreeMap::new();
+            for comp in network.components() {
+                for (loc, n) in active_services(&comp.sess, self.repo) {
+                    *total_load.entry(loc).or_insert(0) += n;
+                }
+            }
+            for (i, comp) in network.components().iter().enumerate() {
+                if comp.is_terminated() {
+                    continue;
+                }
+                let raw = sess_steps_with_load(&comp.sess, &comp.plan, self.repo, &total_load);
+                for step in raw {
+                    match self.monitor {
+                        MonitorMode::Enforcing => {
+                            let mut m = monitors[i].clone();
+                            let violation = m.observe_all(&step.delta, self.registry)?;
+                            if let Some(p) = violation {
+                                // Pruned by the monitor; remember the
+                                // policy for the abort diagnosis.
+                                if aborted.is_none() {
+                                    aborted = Some((i, p));
+                                }
+                            } else {
+                                candidates.push(Candidate::Step {
+                                    component: i,
+                                    step,
+                                    monitor: Some(m),
+                                });
+                            }
+                        }
+                        MonitorMode::Audit | MonitorMode::Off => {
+                            // §5: nothing is observed, nothing is checked
+                            // during the run.
+                            candidates.push(Candidate::Step {
+                                component: i,
+                                step,
+                                monitor: None,
+                            });
+                        }
+                    }
+                }
+                if self.choice == ChoiceMode::Committed {
+                    for next_sess in commitments(&comp.sess) {
+                        candidates.push(Candidate::Commit {
+                            component: i,
+                            next_sess,
+                        });
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                let outcome = match aborted {
+                    Some((component, policy)) => Outcome::SecurityAbort { component, policy },
+                    None => {
+                        let component = network
+                            .components()
+                            .iter()
+                            .position(|c| !c.is_terminated())
+                            .unwrap_or(0);
+                        let reason = diagnose_deadlock(&network.components()[component].sess);
+                        Outcome::Deadlock { component, reason }
+                    }
+                };
+                return self.finish(outcome, trace, network);
+            }
+            let pick = rng.gen_range(0..candidates.len());
+            match candidates.swap_remove(pick) {
+                Candidate::Step {
+                    component,
+                    step,
+                    monitor,
+                } => {
+                    trace.push(TraceStep {
+                        component,
+                        action: step.action.clone(),
+                    });
+                    let comp = network.component_mut(component);
+                    comp.history.extend(step.delta);
+                    comp.sess = step.next;
+                    if let Some(m) = monitor {
+                        monitors[component] = m;
+                    }
+                }
+                Candidate::Commit {
+                    component,
+                    next_sess,
+                } => {
+                    network.component_mut(component).sess = next_sess;
+                }
+            }
+        }
+        self.finish(Outcome::OutOfFuel, trace, network)
+    }
+
+    fn finish(
+        &self,
+        outcome: Outcome,
+        trace: Vec<TraceStep>,
+        network: Network,
+    ) -> Result<RunResult, PolicyError> {
+        let mut violations = Vec::new();
+        if self.monitor == MonitorMode::Audit {
+            for (i, comp) in network.components().iter().enumerate() {
+                if let Some((_, p)) = comp.history.first_violation(self.registry)? {
+                    violations.push((i, p));
+                }
+            }
+        }
+        Ok(RunResult {
+            outcome,
+            trace,
+            network,
+            violations,
+        })
+    }
+}
+
+/// Aggregate statistics over repeated runs of the same network: the
+/// empirical counterpart of the §5 guarantee ("how often did anything
+/// bad happen?").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Number of runs performed.
+    pub runs: usize,
+    /// Runs in which every component terminated.
+    pub completed: usize,
+    /// Runs ending in a deadlock.
+    pub deadlocks: usize,
+    /// Runs aborted by the enforcing monitor.
+    pub aborts: usize,
+    /// Runs that exhausted their step budget.
+    pub out_of_fuel: usize,
+    /// Runs that (with the monitor off) incurred at least one policy
+    /// violation.
+    pub violating_runs: usize,
+    /// Total scheduled steps across all runs.
+    pub total_steps: usize,
+}
+
+impl BatchSummary {
+    /// Returns `true` if no run failed in any way: the §5 prediction for
+    /// a verified plan.
+    pub fn is_unfailing(&self) -> bool {
+        self.deadlocks == 0 && self.aborts == 0 && self.violating_runs == 0
+    }
+}
+
+impl std::fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs: {} completed, {} deadlocked, {} aborted, {} out of fuel, {} violating ({} steps total)",
+            self.runs,
+            self.completed,
+            self.deadlocks,
+            self.aborts,
+            self.out_of_fuel,
+            self.violating_runs,
+            self.total_steps
+        )
+    }
+}
+
+impl<'a> Scheduler<'a> {
+    /// Runs fresh copies of `network` `runs` times and aggregates the
+    /// outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if a policy cannot be resolved.
+    pub fn run_batch<R: Rng>(
+        &self,
+        network: &Network,
+        runs: usize,
+        rng: &mut R,
+        fuel: usize,
+    ) -> Result<BatchSummary, PolicyError> {
+        let mut summary = BatchSummary {
+            runs,
+            ..BatchSummary::default()
+        };
+        for _ in 0..runs {
+            let result = self.run(network.clone(), rng, fuel)?;
+            match result.outcome {
+                Outcome::Completed => summary.completed += 1,
+                Outcome::Deadlock { .. } => summary.deadlocks += 1,
+                Outcome::SecurityAbort { .. } => summary.aborts += 1,
+                Outcome::OutOfFuel => summary.out_of_fuel += 1,
+            }
+            if !result.violations.is_empty() {
+                summary.violating_runs += 1;
+            }
+            summary.total_steps += result.trace.len();
+        }
+        Ok(summary)
+    }
+}
+
+/// All single-branch commitments available in a session tree: for every
+/// leaf *inside a session* whose enabled actions are two or more
+/// outputs, one rewritten tree per output the sender could commit to.
+fn commitments(sess: &Sess) -> Vec<Sess> {
+    let mut out = Vec::new();
+    collect_commitments(sess, false, &mut out);
+    out
+}
+
+fn collect_commitments(sess: &Sess, in_session: bool, out: &mut Vec<Sess>) {
+    match sess {
+        Sess::Leaf(loc, h) => {
+            if !in_session {
+                return; // a top-level leaf has no partner to send to
+            }
+            let outputs: Vec<(Channel, sufs_hexpr::Hist)> = successors(h)
+                .into_iter()
+                .filter_map(|(l, cont)| match l {
+                    Label::Chan(c, Dir::Out) => Some((c, cont)),
+                    _ => None,
+                })
+                .collect();
+            if outputs.len() < 2 {
+                return; // nothing to decide
+            }
+            for (c, cont) in outputs {
+                let committed = sufs_hexpr::Hist::int_([(c, cont)]);
+                out.push(Sess::leaf(loc.clone(), committed));
+            }
+        }
+        Sess::Pair(s1, s2) => {
+            let mut left = Vec::new();
+            collect_commitments(s1, true, &mut left);
+            for l in left {
+                out.push(Sess::pair(l, (**s2).clone()));
+            }
+            let mut right = Vec::new();
+            collect_commitments(s2, true, &mut right);
+            for r in right {
+                out.push(Sess::pair((**s1).clone(), r));
+            }
+        }
+    }
+}
+
+/// Classifies a deadlocked session tree: if some innermost pair has a
+/// sender whose enabled output the partner can never receive (no
+/// matching input anywhere in the partner's own reachable behaviour),
+/// the deadlock is an unmatched send; otherwise it is a generic
+/// circular/missing-transition deadlock.
+fn diagnose_deadlock(sess: &Sess) -> DeadlockReason {
+    if let Some((chan, sender)) = find_unmatched_send(sess) {
+        DeadlockReason::UnmatchedSend { chan, sender }
+    } else {
+        DeadlockReason::NoTransitions
+    }
+}
+
+fn find_unmatched_send(sess: &Sess) -> Option<(Channel, Location)> {
+    let Sess::Pair(s1, s2) = sess else {
+        return None;
+    };
+    if let Some(found) = find_unmatched_send(s1) {
+        return Some(found);
+    }
+    if let Some(found) = find_unmatched_send(s2) {
+        return Some(found);
+    }
+    let (Sess::Leaf(l1, h1), Sess::Leaf(l2, h2)) = (&**s1, &**s2) else {
+        return None;
+    };
+    for (loc, h, partner) in [(l1, h1, h2), (l2, h2, h1)] {
+        for (label, _) in successors(h) {
+            if let Label::Chan(c, Dir::Out) = &label {
+                if !can_ever_receive(partner, c) {
+                    return Some((c.clone(), loc.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Breadth-first search of the partner's stand-alone behaviour for a
+/// state offering the input `chan`.
+fn can_ever_receive(h: &sufs_hexpr::Hist, chan: &Channel) -> bool {
+    use std::collections::{HashSet, VecDeque};
+    let mut seen: HashSet<sufs_hexpr::Hist> = HashSet::from([h.clone()]);
+    let mut queue = VecDeque::from([h.clone()]);
+    while let Some(state) = queue.pop_front() {
+        for (label, next) in successors(&state) {
+            if matches!(&label, Label::Chan(c, Dir::In) if c == chan) {
+                return true;
+            }
+            if seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+/// Convenience: builds a single-client network and runs it.
+///
+/// # Errors
+///
+/// Returns a [`PolicyError`] if a policy cannot be resolved.
+#[allow(clippy::too_many_arguments)]
+pub fn run_client<R: Rng>(
+    loc: impl Into<Location>,
+    client: sufs_hexpr::Hist,
+    plan: Plan,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    monitor: MonitorMode,
+    choice: ChoiceMode,
+    rng: &mut R,
+) -> Result<RunResult, PolicyError> {
+    let mut network = Network::new();
+    network.add_client(loc, client, plan);
+    Scheduler::new(repo, registry, monitor, choice).run(network, rng, 10_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sufs_hexpr::builder::*;
+    use sufs_hexpr::parse_hist;
+    use sufs_policy::catalog;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn simple_repo() -> Repository {
+        let mut repo = Repository::new();
+        repo.publish(
+            "ok_srv",
+            parse_hist("ext[req -> int[ok -> eps | no -> eps]]").unwrap(),
+        );
+        repo.publish(
+            "flaky_srv",
+            parse_hist("ext[req -> int[ok -> eps | no -> eps | del -> eps]]").unwrap(),
+        );
+        repo
+    }
+
+    fn simple_client() -> sufs_hexpr::Hist {
+        request(
+            1,
+            None,
+            seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+        )
+    }
+
+    #[test]
+    fn compliant_plan_completes() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let r = run_client(
+            "c1",
+            simple_client(),
+            Plan::new().with(1u32, "ok_srv"),
+            &repo,
+            &reg,
+            MonitorMode::Off,
+            ChoiceMode::Committed,
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.violations.is_empty());
+        assert!(r.network.is_terminated());
+        // open, synch req, synch answer, close = 4 steps
+        assert_eq!(r.trace.len(), 4);
+    }
+
+    #[test]
+    fn non_compliant_plan_deadlocks_under_committed_choice() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        // Run many times: the flaky service eventually commits to `del`.
+        let mut saw_unmatched = false;
+        let mut r = rng();
+        for _ in 0..50 {
+            let res = run_client(
+                "c1",
+                simple_client(),
+                Plan::new().with(1u32, "flaky_srv"),
+                &repo,
+                &reg,
+                MonitorMode::Off,
+                ChoiceMode::Committed,
+                &mut r,
+            )
+            .unwrap();
+            if let Outcome::Deadlock {
+                reason: DeadlockReason::UnmatchedSend { chan, .. },
+                ..
+            } = &res.outcome
+            {
+                assert_eq!(chan, &Channel::new("del"));
+                saw_unmatched = true;
+            }
+        }
+        assert!(saw_unmatched, "the committed del-send never materialised");
+    }
+
+    #[test]
+    fn angelic_mode_avoids_the_bad_send() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut r = rng();
+        for _ in 0..20 {
+            let res = run_client(
+                "c1",
+                simple_client(),
+                Plan::new().with(1u32, "flaky_srv"),
+                &repo,
+                &reg,
+                MonitorMode::Off,
+                ChoiceMode::Angelic,
+                &mut r,
+            )
+            .unwrap();
+            assert_eq!(res.outcome, Outcome::Completed);
+        }
+    }
+
+    #[test]
+    fn enforcing_monitor_aborts_on_violation() {
+        let mut reg = PolicyRegistry::new();
+        reg.register(catalog::no_after("read", "write"));
+        let phi = sufs_hexpr::PolicyRef::nullary("no_write_after_read");
+        let client = framed(phi.clone(), seq([ev0("read"), ev0("write")]));
+        let r = run_client(
+            "c1",
+            client,
+            Plan::new(),
+            &Repository::new(),
+            &reg,
+            MonitorMode::Enforcing,
+            ChoiceMode::Angelic,
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(
+            r.outcome,
+            Outcome::SecurityAbort {
+                component: 0,
+                policy: phi
+            }
+        );
+    }
+
+    #[test]
+    fn monitor_off_records_violation_post_hoc() {
+        let mut reg = PolicyRegistry::new();
+        reg.register(catalog::no_after("read", "write"));
+        let phi = sufs_hexpr::PolicyRef::nullary("no_write_after_read");
+        let client = framed(phi.clone(), seq([ev0("read"), ev0("write")]));
+        let r = run_client(
+            "c1",
+            client,
+            Plan::new(),
+            &Repository::new(),
+            &reg,
+            MonitorMode::Audit,
+            ChoiceMode::Angelic,
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.violations, vec![(0, phi)]);
+    }
+
+    #[test]
+    fn angelic_monitor_picks_safe_branch() {
+        // One branch violates, the other does not: angelic
+        // non-determinism proceeds through the safe one.
+        let mut reg = PolicyRegistry::new();
+        reg.register(catalog::no_after("read", "write"));
+        let phi = sufs_hexpr::PolicyRef::nullary("no_write_after_read");
+        let client = framed(
+            phi,
+            seq([
+                ev0("read"),
+                offer([("risky", ev0("write")), ("safe", ev0("noop"))]),
+            ]),
+        );
+        // The client waits on an external choice served by a service that
+        // could send either; pair it with a service sending both options.
+        let client = request(1, None, client);
+        let mut repo = Repository::new();
+        repo.publish(
+            "srv",
+            parse_hist("int[risky -> eps | safe -> eps]").unwrap(),
+        );
+        let mut completed = 0;
+        let mut aborted = 0;
+        let mut r = rng();
+        for _ in 0..40 {
+            let res = run_client(
+                "c1",
+                client.clone(),
+                Plan::new().with(1u32, "srv"),
+                &Repository::clone(&repo),
+                &reg,
+                MonitorMode::Enforcing,
+                ChoiceMode::Angelic,
+                &mut r,
+            )
+            .unwrap();
+            match res.outcome {
+                Outcome::Completed => completed += 1,
+                Outcome::SecurityAbort { .. } => aborted += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        // The synchronisation itself appends no history, so the monitor
+        // cannot steer the choice: runs through the safe branch complete,
+        // runs through the risky branch abort at the blocked #write.
+        assert!(completed > 0, "safe branch never scheduled");
+        assert!(aborted > 0, "risky branch never scheduled");
+        assert_eq!(completed + aborted, 40);
+    }
+
+    #[test]
+    fn out_of_fuel_on_infinite_conversation() {
+        let client = request(
+            1,
+            None,
+            loop_("h", choose([("ping", recv("pong", jump("h")))])),
+        );
+        let mut repo = Repository::new();
+        repo.publish(
+            "srv",
+            parse_hist("mu k. ext[ping -> int[pong -> k]]").unwrap(),
+        );
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        network.add_client("c1", client, Plan::new().with(1u32, "srv"));
+        let res = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run(network, &mut rng(), 500)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::OutOfFuel);
+        assert_eq!(res.trace.len(), 500);
+    }
+
+    #[test]
+    fn two_clients_interleave() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        network.add_client("c1", simple_client(), Plan::new().with(1u32, "ok_srv"));
+        network.add_client("c2", simple_client(), Plan::new().with(1u32, "ok_srv"));
+        let res = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run(network, &mut rng(), 1000)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Completed);
+        let movers: std::collections::BTreeSet<usize> =
+            res.trace.iter().map(|t| t.component).collect();
+        assert_eq!(movers.len(), 2);
+    }
+
+    #[test]
+    fn batch_summary_aggregates() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        network.add_client("c1", simple_client(), Plan::new().with(1u32, "ok_srv"));
+        let summary = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run_batch(&network, 25, &mut rng(), 1000)
+            .unwrap();
+        assert_eq!(summary.runs, 25);
+        assert_eq!(summary.completed, 25);
+        assert!(summary.is_unfailing());
+        assert_eq!(summary.total_steps, 25 * 4);
+        assert!(summary.to_string().contains("25 runs"));
+
+        // Against the flaky service, committed choices must show some
+        // deadlocks.
+        let mut network = Network::new();
+        network.add_client("c1", simple_client(), Plan::new().with(1u32, "flaky_srv"));
+        let summary = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Committed)
+            .run_batch(&network, 100, &mut rng(), 1000)
+            .unwrap();
+        assert!(summary.deadlocks > 0);
+        assert!(!summary.is_unfailing());
+        assert_eq!(summary.completed + summary.deadlocks, 100);
+    }
+
+    #[test]
+    fn missing_plan_binding_deadlocks() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let res = run_client(
+            "c1",
+            simple_client(),
+            Plan::new(), // request 1 unbound
+            &repo,
+            &reg,
+            MonitorMode::Off,
+            ChoiceMode::Angelic,
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(
+            res.outcome,
+            Outcome::Deadlock {
+                component: 0,
+                reason: DeadlockReason::NoTransitions
+            }
+        );
+    }
+}

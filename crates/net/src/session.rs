@@ -1,0 +1,168 @@
+//! Session trees `S ::= ℓ:H | [S, S]` (Definition 2) and the auxiliary
+//! function `Φ` of rule *Close*.
+
+use std::fmt;
+
+use sufs_hexpr::{Hist, Location, PolicyRef};
+
+/// A session tree: a located behaviour, or a (possibly nested) session
+/// pairing a client side with a server side.
+///
+/// The paper stipulates `[S, S'] ≡ [S', S]`; the semantics honours the
+/// equivalence by checking both orientations of every pair rule rather
+/// than normalising the tree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sess {
+    /// A located behaviour `ℓ : H`.
+    Leaf(Location, Hist),
+    /// A session `[S, S']` between two parties.
+    Pair(Box<Sess>, Box<Sess>),
+}
+
+impl Sess {
+    /// A located behaviour.
+    pub fn leaf(loc: impl Into<Location>, h: Hist) -> Sess {
+        Sess::Leaf(loc.into(), h)
+    }
+
+    /// A session pairing two trees.
+    pub fn pair(a: Sess, b: Sess) -> Sess {
+        Sess::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Returns `true` if the component finished successfully: a single
+    /// located `ε` with every session closed.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, Sess::Leaf(_, h) if h.is_eps())
+    }
+
+    /// The number of open (nested) sessions in the tree.
+    pub fn open_sessions(&self) -> usize {
+        match self {
+            Sess::Leaf(..) => 0,
+            Sess::Pair(a, b) => 1 + a.open_sessions() + b.open_sessions(),
+        }
+    }
+
+    /// Iterates over the located behaviours in the tree, left to right.
+    pub fn leaves(&self) -> Vec<(&Location, &Hist)> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<(&'a Location, &'a Hist)>) {
+        match self {
+            Sess::Leaf(l, h) => out.push((l, h)),
+            Sess::Pair(a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sess::Leaf(l, h) => {
+                if h.is_eps() {
+                    write!(f, "{l}: ε")
+                } else {
+                    write!(f, "{l}: {h}")
+                }
+            }
+            Sess::Pair(a, b) => write!(f, "[{a}, {b}]"),
+        }
+    }
+}
+
+/// The auxiliary function `Φ` of rule *Close*: the pending closing
+/// frames of a terminated server's residual behaviour.
+///
+/// ```text
+/// Φ(H₁·H₂) = Φ(H₁)·Φ(H₂)    Φ(⌟φ) = ⌟φ    Φ(H) = ε otherwise
+/// ```
+///
+/// When a session is closed, the server `H″` is discarded; the policies
+/// it had opened but not yet closed would otherwise stay active forever
+/// in the client's history, so their closing frames are appended.
+pub fn pending_frame_closes(h: &Hist) -> Vec<PolicyRef> {
+    match h {
+        Hist::FrameCloseTok(p) => vec![p.clone()],
+        Hist::Seq(a, b) => {
+            let mut out = pending_frame_closes(a);
+            out.extend(pending_frame_closes(b));
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::parse_hist;
+
+    #[test]
+    fn termination_detection() {
+        let done = Sess::leaf("c", Hist::Eps);
+        assert!(done.is_terminated());
+        let busy = Sess::leaf("c", parse_hist("#a").unwrap());
+        assert!(!busy.is_terminated());
+        let in_session = Sess::pair(done.clone(), busy);
+        assert!(!in_session.is_terminated());
+    }
+
+    #[test]
+    fn open_sessions_count() {
+        let l = |n: &str| Sess::leaf(n, Hist::Eps);
+        assert_eq!(l("a").open_sessions(), 0);
+        let nested = Sess::pair(l("c"), Sess::pair(l("br"), l("s3")));
+        assert_eq!(nested.open_sessions(), 2);
+    }
+
+    #[test]
+    fn leaves_in_order() {
+        let nested = Sess::pair(
+            Sess::leaf("c", Hist::Eps),
+            Sess::pair(Sess::leaf("br", Hist::Eps), Sess::leaf("s3", Hist::Eps)),
+        );
+        let names: Vec<&str> = nested.leaves().iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(names, vec!["c", "br", "s3"]);
+    }
+
+    #[test]
+    fn phi_collects_pending_closes() {
+        // H = ext[x -> eps] · ⌟φ1 · ⌟φ2 : Φ(H) = ⌟φ1 ⌟φ2
+        let h = Hist::seq(
+            parse_hist("ext[x -> eps]").unwrap(),
+            Hist::seq(
+                Hist::FrameCloseTok(PolicyRef::nullary("phi1")),
+                Hist::FrameCloseTok(PolicyRef::nullary("phi2")),
+            ),
+        );
+        let ps = pending_frame_closes(&h);
+        assert_eq!(
+            ps,
+            vec![PolicyRef::nullary("phi1"), PolicyRef::nullary("phi2")]
+        );
+    }
+
+    #[test]
+    fn phi_of_plain_behaviour_is_empty() {
+        assert!(pending_frame_closes(&parse_hist("#a; ext[x -> eps]").unwrap()).is_empty());
+        assert!(pending_frame_closes(&Hist::Eps).is_empty());
+        // A framing not yet entered contributes nothing.
+        assert!(pending_frame_closes(&parse_hist("frame p [ #a ]").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Sess::pair(
+            Sess::leaf("c", Hist::Eps),
+            Sess::leaf("s", parse_hist("#a").unwrap()),
+        );
+        assert_eq!(s.to_string(), "[c: ε, s: #a]");
+    }
+}

@@ -1,0 +1,165 @@
+//! Rendering executions in the style of the paper's Fig. 3: a sequence
+//! of configurations `η, S ∥ …` separated by labelled transitions.
+
+use std::fmt::Write as _;
+
+use crate::network::Network;
+use crate::repository::Repository;
+use crate::scheduler::TraceStep;
+use crate::semantics::component_steps;
+
+/// Replays a trace from an initial network and renders every
+/// intermediate configuration, Fig. 3 style.
+///
+/// Returns `None` if the trace does not replay (a step's action does not
+/// match any transition of the current configuration) — which indicates
+/// the trace and network do not belong together.
+pub fn render_trace(initial: &Network, trace: &[TraceStep], repo: &Repository) -> Option<String> {
+    let mut out = String::new();
+    let mut net = initial.clone();
+    let _ = writeln!(out, "{net}");
+    for step in trace {
+        let comp = &net.components()[step.component];
+        let (action, next) = component_steps(comp, repo)
+            .into_iter()
+            .find(|(a, _)| a == &step.action)?;
+        let _ = writeln!(out, "  ──{action}──▸");
+        *net.component_mut(step.component) = next;
+        let _ = writeln!(out, "{net}");
+    }
+    Some(out)
+}
+
+/// Renders a trace as a Mermaid sequence diagram (`sequenceDiagram`),
+/// ready to paste into any Mermaid renderer: communications become
+/// arrows between locations, session openings dashed arrows, and
+/// events/framings notes over their location.
+pub fn render_mermaid(trace: &[TraceStep]) -> String {
+    use crate::semantics::StepAction;
+    let mut out = String::from("sequenceDiagram\n");
+    for step in trace {
+        match &step.action {
+            StepAction::Synch {
+                chan,
+                sender,
+                receiver,
+            } => {
+                let _ = writeln!(out, "  {sender}->>{receiver}: {chan}");
+            }
+            StepAction::Open {
+                request,
+                policy,
+                client,
+                server,
+            } => {
+                let ann = match policy {
+                    Some(p) => format!("open {request} [{p}]"),
+                    None => format!("open {request}"),
+                };
+                let _ = writeln!(out, "  {client}-->>{server}: {ann}");
+            }
+            StepAction::Close {
+                request, client, ..
+            } => {
+                let _ = writeln!(out, "  Note over {client}: close {request}");
+            }
+            StepAction::Event { loc, event } => {
+                let _ = writeln!(out, "  Note over {loc}: {event}");
+            }
+            StepAction::FrameOpen { loc, policy } => {
+                let _ = writeln!(out, "  Note over {loc}: enter {policy}");
+            }
+            StepAction::FrameClose { loc, policy } => {
+                let _ = writeln!(out, "  Note over {loc}: leave {policy}");
+            }
+        }
+    }
+    out
+}
+
+/// A compact one-line-per-step rendering of a trace.
+pub fn render_actions(trace: &[TraceStep]) -> String {
+    let mut out = String::new();
+    for (i, step) in trace.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:3}. [component {}] {}",
+            i + 1,
+            step.component,
+            step.action
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorMode;
+    use crate::plan::Plan;
+    use crate::scheduler::{ChoiceMode, Scheduler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sufs_hexpr::builder::*;
+    use sufs_hexpr::parse_hist;
+    use sufs_policy::PolicyRegistry;
+
+    #[test]
+    fn replay_matches_run() {
+        let mut repo = Repository::new();
+        repo.publish("srv", parse_hist("ext[req -> int[ok -> eps]]").unwrap());
+        let client = request(1, None, seq([send("req", eps()), offer([("ok", eps())])]));
+        let mut net = Network::new();
+        net.add_client("c1", client, Plan::new().with(1u32, "srv"));
+        let reg = PolicyRegistry::new();
+        let result = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run(net.clone(), &mut StdRng::seed_from_u64(7), 100)
+            .unwrap();
+        let rendered = render_trace(&net, &result.trace, &repo).expect("trace must replay");
+        assert!(rendered.contains("open r1"));
+        assert!(rendered.contains("τ"));
+        assert!(rendered.contains("close r1"));
+        // Final line shows the terminated client.
+        assert!(rendered.trim_end().ends_with("c1: ε"));
+        let compact = render_actions(&result.trace);
+        assert_eq!(compact.lines().count(), result.trace.len());
+    }
+
+    #[test]
+    fn mermaid_rendering() {
+        let mut repo = Repository::new();
+        repo.publish(
+            "srv",
+            parse_hist("ext[req -> #log(1); int[ok -> eps]]").unwrap(),
+        );
+        let client = request(1, None, seq([send("req", eps()), offer([("ok", eps())])]));
+        let mut net = Network::new();
+        net.add_client("c1", client, Plan::new().with(1u32, "srv"));
+        let reg = PolicyRegistry::new();
+        let result = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run(net, &mut StdRng::seed_from_u64(7), 100)
+            .unwrap();
+        let msc = render_mermaid(&result.trace);
+        assert!(msc.starts_with("sequenceDiagram"));
+        assert!(msc.contains("c1-->>srv: open r1"));
+        assert!(msc.contains("c1->>srv: req"));
+        assert!(msc.contains("Note over srv: #log(1)"));
+        assert!(msc.contains("srv->>c1: ok"));
+        assert!(msc.contains("Note over c1: close r1"));
+    }
+
+    #[test]
+    fn mismatched_trace_returns_none() {
+        let repo = Repository::new();
+        let mut net = Network::new();
+        net.add_client("c1", ev0("a"), Plan::new());
+        let bogus = TraceStep {
+            component: 0,
+            action: crate::semantics::StepAction::Event {
+                loc: "c1".into(),
+                event: sufs_hexpr::Event::nullary("zzz"),
+            },
+        };
+        assert!(render_trace(&net, &[bogus], &repo).is_none());
+    }
+}

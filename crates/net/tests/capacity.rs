@@ -1,0 +1,154 @@
+//! The §5 bounded-availability extension: capacity-limited services.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_hexpr::builder::*;
+use sufs_hexpr::Location;
+use sufs_net::semantics::{active_services, sess_steps};
+use sufs_net::{
+    ChoiceMode, MonitorMode, Network, Outcome, Plan, Repository, Scheduler, Sess, StepAction,
+};
+use sufs_policy::PolicyRegistry;
+
+fn client() -> sufs_hexpr::Hist {
+    request(1, None, seq([send("q", eps()), offer([("a", eps())])]))
+}
+
+fn service() -> sufs_hexpr::Hist {
+    recv("q", choose([("a", eps())]))
+}
+
+#[test]
+fn capacity_metadata() {
+    let mut repo = Repository::new();
+    repo.publish("free", service());
+    repo.publish_bounded("scarce", service(), 1);
+    assert_eq!(repo.capacity(&Location::new("free")), Some(None));
+    assert_eq!(repo.capacity(&Location::new("scarce")), Some(Some(1)));
+    assert_eq!(repo.capacity(&Location::new("ghost")), None);
+    let shown = repo.to_string();
+    assert!(shown.contains("scarce (×1)"));
+}
+
+#[test]
+fn active_instances_are_counted() {
+    let mut repo = Repository::new();
+    repo.publish("srv", service());
+    // A client in session with srv, which is itself in session with srv
+    // again (hypothetically): two active instances.
+    let tree = Sess::pair(
+        Sess::leaf("c", eps()),
+        Sess::pair(Sess::leaf("srv", eps()), Sess::leaf("srv", eps())),
+    );
+    let counts = active_services(&tree, &repo);
+    assert_eq!(counts[&Location::new("srv")], 2);
+    // A top-level client leaf counts for nothing.
+    let counts = active_services(&Sess::leaf("srv", eps()), &repo);
+    assert!(counts.is_empty());
+}
+
+#[test]
+fn saturated_service_disables_open() {
+    let mut repo = Repository::new();
+    repo.publish_bounded("srv", service(), 1);
+    let plan = Plan::new().with(1u32, "srv");
+    // A tree where srv is already busy and the client wants to open a
+    // second session with it (nested).
+    let busy = Sess::pair(Sess::leaf("c", client()), Sess::leaf("srv", service()));
+    let steps = sess_steps(&busy, &plan, &repo);
+    assert!(
+        !steps
+            .iter()
+            .any(|s| matches!(s.action, StepAction::Open { .. })),
+        "open must be disabled while the service is saturated"
+    );
+}
+
+#[test]
+fn two_clients_share_one_replica() {
+    // With capacity 1, both clients still finish (one waits), and the
+    // service never serves two sessions at once.
+    let mut repo = Repository::new();
+    repo.publish_bounded("srv", service(), 1);
+    let reg = PolicyRegistry::new();
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        let mut network = Network::new();
+        network.add_client("c1", client(), Plan::new().with(1u32, "srv"));
+        network.add_client("c2", client(), Plan::new().with(1u32, "srv"));
+        let r = scheduler.run(network, &mut rng, 10_000).unwrap();
+        assert_eq!(r.outcome, Outcome::Completed);
+        // Replay and assert the load invariant after every step.
+        let mut net = Network::new();
+        net.add_client("c1", client(), Plan::new().with(1u32, "srv"));
+        net.add_client("c2", client(), Plan::new().with(1u32, "srv"));
+        for step in &r.trace {
+            let comp = &net.components()[step.component];
+            let (_, next) = sufs_net::component_steps(comp, &repo)
+                .into_iter()
+                .find(|(a, _)| a == &step.action)
+                .expect("trace replays");
+            *net.component_mut(step.component) = next;
+            let total: usize = net
+                .components()
+                .iter()
+                .map(|c| {
+                    active_services(&c.sess, &repo)
+                        .get(&Location::new("srv"))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .sum();
+            assert!(total <= 1, "capacity exceeded: {total}");
+        }
+    }
+}
+
+#[test]
+fn with_capacity_two_both_clients_may_overlap() {
+    let mut repo = Repository::new();
+    repo.publish_bounded("srv", service(), 2);
+    let reg = PolicyRegistry::new();
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut overlapped = false;
+    for _ in 0..50 {
+        let mut network = Network::new();
+        network.add_client("c1", client(), Plan::new().with(1u32, "srv"));
+        network.add_client("c2", client(), Plan::new().with(1u32, "srv"));
+        let r = scheduler.run(network, &mut rng, 10_000).unwrap();
+        assert_eq!(r.outcome, Outcome::Completed);
+        // Overlap = both components opened before either closed.
+        let mut open_before_close = 0;
+        let mut active = 0;
+        for step in &r.trace {
+            match step.action {
+                StepAction::Open { .. } => {
+                    active += 1;
+                    open_before_close = open_before_close.max(active);
+                }
+                StepAction::Close { .. } => active -= 1,
+                _ => {}
+            }
+        }
+        if open_before_close == 2 {
+            overlapped = true;
+        }
+    }
+    assert!(overlapped, "capacity 2 never produced concurrent sessions");
+}
+
+#[test]
+fn zero_capacity_service_deadlocks_clients() {
+    let mut repo = Repository::new();
+    repo.publish_bounded("srv", service(), 0);
+    let reg = PolicyRegistry::new();
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut network = Network::new();
+    network.add_client("c1", client(), Plan::new().with(1u32, "srv"));
+    let r = scheduler.run(network, &mut rng, 1000).unwrap();
+    assert!(matches!(r.outcome, Outcome::Deadlock { .. }));
+}

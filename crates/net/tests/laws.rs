@@ -1,0 +1,89 @@
+//! Semantic laws of the network semantics: session commutativity
+//! (`[S, S'] ≡ [S', S]`), and the balanced-prefix invariant of histories
+//! ("we shall only deal with histories that are prefixes of a balanced
+//! history, because such are those that show up when executing a
+//! network", §3.1).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_hexpr::builder::*;
+use sufs_hexpr::{Channel, Hist, PolicyRef};
+use sufs_net::semantics::sess_steps;
+use sufs_net::{ChoiceMode, MonitorMode, Network, Plan, Repository, Scheduler, Sess, StepAction};
+use sufs_policy::PolicyRegistry;
+
+/// Random communication behaviours over a tiny channel pool.
+fn arb_behaviour() -> impl Strategy<Value = Hist> {
+    let leaf = Just(Hist::Eps);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (
+                any::<bool>(),
+                proptest::sample::subsequence(vec!["x", "y"], 1..=2),
+                proptest::collection::vec(inner.clone(), 2),
+            )
+                .prop_map(|(int, chans, conts)| {
+                    let bs: Vec<(Channel, Hist)> =
+                        chans.into_iter().map(Channel::new).zip(conts).collect();
+                    if int {
+                        Hist::Int(bs)
+                    } else {
+                        Hist::Ext(bs)
+                    }
+                }),
+            inner
+                .clone()
+                .prop_map(|h| Hist::framed(PolicyRef::nullary("p"), h)),
+            (inner.clone(), inner).prop_map(|(a, b)| Hist::seq(Hist::seq(ev0("e"), a), b)),
+        ]
+    })
+}
+
+/// Erases the structural successor, keeping the observable action and
+/// history delta, for comparing mirrored sessions.
+fn observations(
+    steps: Vec<sufs_net::SessStep>,
+) -> BTreeSet<(StepAction, Vec<sufs_policy::HistoryItem>)> {
+    steps.into_iter().map(|s| (s.action, s.delta)).collect()
+}
+
+proptest! {
+    /// `[S, S'] ≡ [S', S]`: mirrored sessions offer the same actions with
+    /// the same history deltas.
+    #[test]
+    fn session_pairs_commute(a in arb_behaviour(), b in arb_behaviour()) {
+        let plan = Plan::new();
+        let repo = Repository::new();
+        let left = Sess::pair(Sess::leaf("l", a.clone()), Sess::leaf("r", b.clone()));
+        let right = Sess::pair(Sess::leaf("r", b), Sess::leaf("l", a));
+        prop_assert_eq!(
+            observations(sess_steps(&left, &plan, &repo)),
+            observations(sess_steps(&right, &plan, &repo))
+        );
+    }
+}
+
+#[test]
+fn close_always_flushes_server_frames() {
+    // A server that never leaves its framing: whatever the schedule, the
+    // client's history balances at close (Φ at work).
+    let phi = PolicyRef::nullary("srv_pol");
+    let mut repo = Repository::new();
+    repo.publish("srv", Hist::framed(phi, recv("q", choose([("a", eps())]))));
+    let client = request(1, None, seq([send("q", eps()), offer([("a", eps())])]));
+    let reg = PolicyRegistry::new();
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..50 {
+        let mut net = Network::new();
+        net.add_client("c", client.clone(), Plan::new().with(1u32, "srv"));
+        let r = scheduler.run(net, &mut rng, 10_000).unwrap();
+        assert!(r.outcome.is_success());
+        let h = &r.network.components()[0].history;
+        assert!(h.is_balanced(), "history {h} not balanced");
+    }
+}

@@ -1,0 +1,238 @@
+//! A catalogue of ready-made usage automata: the paper's Fig. 1 policy
+//! and a few classics from the usage-automata literature.
+
+use crate::guard::{CmpOp, Guard, Operand};
+use crate::usage::{UsageAutomaton, UsageBuilder};
+
+/// The parametric policy `φ(bl, p, t)` of Fig. 1.
+///
+/// Its parameters are a black list of hotels `bl`, a price threshold `p`
+/// and a Trip Advisor rating threshold `t`. The automaton accepts the
+/// **forbidden** traces (default-accept):
+///
+/// * a black-listed hotel signs the contract (`α_sgn(x), x ∈ bl`), or
+/// * the hotel is over price (`α_p(y), y > p`) **and** under rating
+///   (`α_ta(z), z < t`).
+///
+/// ```text
+/// q1 ──sgn(x), x∉bl──▸ q2 ──p(y), y≤p──▸ q3 (*)
+///  │                    └──p(y), y>p──▸ q4 ──ta(z), z≥t──▸ q5 (*)
+///  └──sgn(x), x∈bl──▸ q6 (*)            └──ta(z), z<t──▸ q6
+/// ```
+pub fn hotel_policy() -> UsageAutomaton {
+    let mut b = UsageBuilder::new("hotel", ["bl", "p", "t"]);
+    let q1 = b.state();
+    let q2 = b.state();
+    let q3 = b.state();
+    let q4 = b.state();
+    let q5 = b.state();
+    let q6 = b.state();
+    b.start(q1)
+        .on(q1, "sgn", Guard::NotInSet(0, "bl".into()), q2)
+        .on(q1, "sgn", Guard::InSet(0, "bl".into()), q6)
+        .on(q2, "p", Guard::Cmp(0, CmpOp::Le, Operand::param("p")), q3)
+        .on(q2, "p", Guard::Cmp(0, CmpOp::Gt, Operand::param("p")), q4)
+        .on(q4, "ta", Guard::Cmp(0, CmpOp::Ge, Operand::param("t")), q5)
+        .on(q4, "ta", Guard::Cmp(0, CmpOp::Lt, Operand::param("t")), q6)
+        .offending(q6);
+    b.build().expect("hotel policy is well-formed")
+}
+
+/// "Never `second` after `first`" — the paper's §3 example is
+/// `no_after("read", "write")`: no write may follow a read.
+pub fn no_after(first: &str, second: &str) -> UsageAutomaton {
+    let mut b = UsageBuilder::new(format!("no_{second}_after_{first}"), Vec::<String>::new());
+    let q0 = b.state();
+    let q1 = b.state();
+    let bad = b.state();
+    b.on(q0, first, Guard::True, q1)
+        .on(q1, second, Guard::True, bad)
+        .offending(bad);
+    b.build().expect("no_after policy is well-formed")
+}
+
+/// "The event `event` happens at most `n` times."
+pub fn at_most(event: &str, n: usize) -> UsageAutomaton {
+    let mut b = UsageBuilder::new(format!("at_most_{n}_{event}"), Vec::<String>::new());
+    let mut prev = b.state();
+    for _ in 0..n {
+        let next = b.state();
+        b.on(prev, event, Guard::True, next);
+        prev = next;
+    }
+    let bad = b.state();
+    b.on(prev, event, Guard::True, bad).offending(bad);
+    b.build().expect("at_most policy is well-formed")
+}
+
+/// "The first argument of `event` is never in the black list `bl`."
+///
+/// One formal parameter: the forbidden set `bl`.
+pub fn blacklist(event: &str) -> UsageAutomaton {
+    let mut b = UsageBuilder::new(format!("blacklist_{event}"), ["bl"]);
+    let q0 = b.state();
+    let bad = b.state();
+    b.on(q0, event, Guard::InSet(0, "bl".into()), bad)
+        .offending(bad);
+    b.build().expect("blacklist policy is well-formed")
+}
+
+/// "`action` requires a prior `prerequisite`": firing `action` before
+/// any `prerequisite` is forbidden (e.g. `must_precede("auth", "pay")`).
+pub fn must_precede(prerequisite: &str, action: &str) -> UsageAutomaton {
+    let mut b = UsageBuilder::new(
+        format!("{prerequisite}_before_{action}"),
+        Vec::<String>::new(),
+    );
+    let q0 = b.state();
+    let ready = b.state();
+    let bad = b.state();
+    b.on(q0, prerequisite, Guard::True, ready)
+        .on(q0, action, Guard::True, bad)
+        .offending(bad);
+    b.build().expect("must_precede policy is well-formed")
+}
+
+/// The Chinese Wall on one event name: once the first argument of
+/// `event` belongs to `side_a`, values from `side_b` are forbidden, and
+/// vice versa (conflict-of-interest classes as set parameters).
+pub fn chinese_wall(event: &str) -> UsageAutomaton {
+    let mut b = UsageBuilder::new(format!("wall_{event}"), ["side_a", "side_b"]);
+    let q0 = b.state();
+    let in_a = b.state();
+    let in_b = b.state();
+    let bad = b.state();
+    b.on(q0, event, Guard::InSet(0, "side_a".into()), in_a)
+        .on(q0, event, Guard::InSet(0, "side_b".into()), in_b)
+        .on(in_a, event, Guard::InSet(0, "side_b".into()), bad)
+        .on(in_b, event, Guard::InSet(0, "side_a".into()), bad)
+        .offending(bad);
+    b.build().expect("chinese_wall policy is well-formed")
+}
+
+/// Separation of duty: `e1` and `e2` must never both occur in the same
+/// history, in either order.
+pub fn separation_of_duty(e1: &str, e2: &str) -> UsageAutomaton {
+    let mut b = UsageBuilder::new(format!("sod_{e1}_{e2}"), Vec::<String>::new());
+    let q0 = b.state();
+    let saw1 = b.state();
+    let saw2 = b.state();
+    let bad = b.state();
+    b.on(q0, e1, Guard::True, saw1)
+        .on(q0, e2, Guard::True, saw2)
+        .on(saw1, e2, Guard::True, bad)
+        .on(saw2, e1, Guard::True, bad)
+        .offending(bad);
+    b.build().expect("sod policy is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::PolicyInstance;
+    use sufs_hexpr::{Event, ParamValue, PolicyRef};
+
+    fn inst0(ua: UsageAutomaton) -> PolicyInstance {
+        let name = ua.name().to_owned();
+        PolicyInstance::new(ua, PolicyRef::nullary(name)).unwrap()
+    }
+
+    #[test]
+    fn hotel_policy_shape() {
+        let ua = hotel_policy();
+        assert_eq!(ua.name(), "hotel");
+        assert_eq!(ua.len(), 6);
+        assert_eq!(ua.params(), &["bl", "p", "t"]);
+        assert_eq!(ua.transitions().len(), 6);
+    }
+
+    #[test]
+    fn no_write_after_read() {
+        let inst = inst0(no_after("read", "write"));
+        let bad = [Event::nullary("read"), Event::nullary("write")];
+        assert!(inst.forbids(bad.iter()));
+        let fine = [Event::nullary("write"), Event::nullary("read")];
+        assert!(inst.respects(fine.iter()));
+    }
+
+    #[test]
+    fn at_most_counts() {
+        let inst = inst0(at_most("tick", 2));
+        let two = [Event::nullary("tick"), Event::nullary("tick")];
+        assert!(inst.respects(two.iter()));
+        let three = [
+            Event::nullary("tick"),
+            Event::nullary("other"),
+            Event::nullary("tick"),
+            Event::nullary("tick"),
+        ];
+        assert!(inst.forbids(three.iter()));
+    }
+
+    #[test]
+    fn at_most_zero_forbids_single_use() {
+        let inst = inst0(at_most("tick", 0));
+        assert!(inst.respects([].iter()));
+        assert!(inst.forbids([Event::nullary("tick")].iter()));
+    }
+
+    #[test]
+    fn blacklist_checks_first_argument() {
+        let ua = blacklist("access");
+        let inst = PolicyInstance::new(
+            ua,
+            PolicyRef::new("blacklist_access", [ParamValue::set(["secret"])]),
+        )
+        .unwrap();
+        assert!(inst.forbids([Event::new("access", [sufs_hexpr::Value::str("secret")])].iter()));
+        assert!(inst.respects([Event::new("access", [sufs_hexpr::Value::str("public")])].iter()));
+    }
+
+    #[test]
+    fn must_precede_orders_actions() {
+        let inst = inst0(must_precede("auth", "pay"));
+        assert!(inst.respects([Event::nullary("auth"), Event::nullary("pay")].iter()));
+        assert!(inst.forbids([Event::nullary("pay")].iter()));
+        assert!(inst.forbids([Event::nullary("pay"), Event::nullary("auth")].iter()));
+        // Repeated pays after one auth are fine (no re-arming required).
+        assert!(inst.respects(
+            [
+                Event::nullary("auth"),
+                Event::nullary("pay"),
+                Event::nullary("pay")
+            ]
+            .iter()
+        ));
+    }
+
+    #[test]
+    fn chinese_wall_separates_sides() {
+        let ua = chinese_wall("access");
+        let inst = PolicyInstance::new(
+            ua,
+            PolicyRef::new(
+                "wall_access",
+                [ParamValue::set(["bankA"]), ParamValue::set(["bankB"])],
+            ),
+        )
+        .unwrap();
+        let a = |v: &str| Event::new("access", [sufs_hexpr::Value::str(v)]);
+        assert!(inst.respects([a("bankA"), a("bankA")].iter()));
+        assert!(inst.respects([a("bankB"), a("bankB")].iter()));
+        assert!(inst.forbids([a("bankA"), a("bankB")].iter()));
+        assert!(inst.forbids([a("bankB"), a("bankA")].iter()));
+        // Neutral values are outside both classes.
+        assert!(inst.respects([a("neutral"), a("bankA"), a("bankA")].iter()));
+    }
+
+    #[test]
+    fn separation_of_duty_both_orders() {
+        let inst = inst0(separation_of_duty("approve", "submit"));
+        let order1 = [Event::nullary("approve"), Event::nullary("submit")];
+        let order2 = [Event::nullary("submit"), Event::nullary("approve")];
+        let solo = [Event::nullary("approve"), Event::nullary("approve")];
+        assert!(inst.forbids(order1.iter()));
+        assert!(inst.forbids(order2.iter()));
+        assert!(inst.respects(solo.iter()));
+    }
+}

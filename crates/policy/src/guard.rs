@@ -1,0 +1,303 @@
+//! Guards on usage-automaton transitions.
+//!
+//! A transition of a parametric usage automaton fires on an event whose
+//! name matches and whose arguments satisfy the guard. Guards compare an
+//! event argument against a *formal parameter* of the policy (bound to an
+//! actual value at instantiation time, e.g. the black list `bl` or the
+//! thresholds `p`, `t` of Fig. 1) or against a literal constant.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sufs_hexpr::{Event, ParamValue, Value};
+
+/// The right-hand side of a comparison: a formal parameter (resolved at
+/// instantiation) or a literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A formal parameter of the policy, by name.
+    Param(String),
+    /// A literal scalar.
+    Lit(Value),
+}
+
+impl Operand {
+    /// A formal parameter operand.
+    pub fn param(name: impl Into<String>) -> Self {
+        Operand::Param(name.into())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Param(p) => write!(f, "{p}"),
+            Operand::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A comparison operator on scalar values.
+///
+/// Integers compare numerically; strings compare only for (in)equality —
+/// an ordered comparison between a string and anything is simply false,
+/// keeping guard evaluation total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A guard over the arguments of an event.
+///
+/// `ArgIdx`-style references select event arguments positionally:
+/// `Cmp(0, Le, Param("p"))` reads "the first argument is at most `p`",
+/// matching the paper's `α_p(y), y ≤ p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Guard {
+    /// Always true (a bare event-name match).
+    True,
+    /// The `idx`-th argument is a member of the set parameter.
+    InSet(usize, String),
+    /// The `idx`-th argument is *not* a member of the set parameter.
+    NotInSet(usize, String),
+    /// Compare the `idx`-th argument with an operand.
+    Cmp(usize, CmpOp, Operand),
+    /// Conjunction.
+    And(Box<Guard>, Box<Guard>),
+    /// Disjunction.
+    Or(Box<Guard>, Box<Guard>),
+    /// Negation.
+    Not(Box<Guard>),
+}
+
+impl Guard {
+    /// Conjunction helper.
+    pub fn and(self, other: Guard) -> Guard {
+        Guard::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Guard) -> Guard {
+        Guard::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Guard {
+        Guard::Not(Box::new(self))
+    }
+
+    /// The formal parameters mentioned by the guard.
+    pub fn params(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Guard::True => {}
+            Guard::InSet(_, p) | Guard::NotInSet(_, p) => out.push(p),
+            Guard::Cmp(_, _, Operand::Param(p)) => out.push(p),
+            Guard::Cmp(_, _, Operand::Lit(_)) => {}
+            Guard::And(a, b) | Guard::Or(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Guard::Not(a) => a.collect_params(out),
+        }
+    }
+
+    /// Evaluates the guard on a ground event under a parameter
+    /// environment. Missing arguments, missing parameters and
+    /// kind mismatches make the guard false (evaluation is total).
+    pub fn eval(&self, event: &Event, env: &BTreeMap<String, ParamValue>) -> bool {
+        match self {
+            Guard::True => true,
+            Guard::InSet(idx, p) => match (event.args().get(*idx), env.get(p)) {
+                (Some(v), Some(ParamValue::Set(s))) => s.contains(v),
+                _ => false,
+            },
+            Guard::NotInSet(idx, p) => match (event.args().get(*idx), env.get(p)) {
+                (Some(v), Some(ParamValue::Set(s))) => !s.contains(v),
+                _ => false,
+            },
+            Guard::Cmp(idx, op, operand) => {
+                let Some(lhs) = event.args().get(*idx) else {
+                    return false;
+                };
+                let rhs = match operand {
+                    Operand::Lit(v) => v.clone(),
+                    Operand::Param(p) => match env.get(p) {
+                        Some(ParamValue::Scalar(v)) => v.clone(),
+                        _ => return false,
+                    },
+                };
+                compare(lhs, *op, &rhs)
+            }
+            Guard::And(a, b) => a.eval(event, env) && b.eval(event, env),
+            Guard::Or(a, b) => a.eval(event, env) || b.eval(event, env),
+            Guard::Not(a) => !a.eval(event, env),
+        }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guard::True => write!(f, "true"),
+            Guard::InSet(i, p) => write!(f, "x{i} ∈ {p}"),
+            Guard::NotInSet(i, p) => write!(f, "x{i} ∉ {p}"),
+            Guard::Cmp(i, op, o) => write!(f, "x{i} {op} {o}"),
+            Guard::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Guard::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Guard::Not(a) => write!(f, "¬({a})"),
+        }
+    }
+}
+
+fn compare(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
+    match op {
+        CmpOp::Eq => lhs == rhs,
+        CmpOp::Ne => lhs != rhs,
+        _ => match (lhs, rhs) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            },
+            // Ordered comparisons involving strings are false: guards
+            // stay total without inventing a string ordering.
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, ParamValue)]) -> BTreeMap<String, ParamValue> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn true_guard() {
+        let e = Event::nullary("a");
+        assert!(Guard::True.eval(&e, &BTreeMap::new()));
+    }
+
+    #[test]
+    fn set_membership() {
+        let env = env(&[("bl", ParamValue::set([1i64, 2]))]);
+        let in_bl = Guard::InSet(0, "bl".into());
+        let not_in_bl = Guard::NotInSet(0, "bl".into());
+        assert!(in_bl.eval(&Event::new("sgn", [1i64]), &env));
+        assert!(!in_bl.eval(&Event::new("sgn", [3i64]), &env));
+        assert!(not_in_bl.eval(&Event::new("sgn", [3i64]), &env));
+        assert!(!not_in_bl.eval(&Event::new("sgn", [2i64]), &env));
+    }
+
+    #[test]
+    fn comparisons_against_params() {
+        let env = env(&[("p", ParamValue::int(45))]);
+        let le = Guard::Cmp(0, CmpOp::Le, Operand::param("p"));
+        let gt = Guard::Cmp(0, CmpOp::Gt, Operand::param("p"));
+        assert!(le.eval(&Event::new("price", [45i64]), &env));
+        assert!(le.eval(&Event::new("price", [10i64]), &env));
+        assert!(!le.eval(&Event::new("price", [46i64]), &env));
+        assert!(gt.eval(&Event::new("price", [46i64]), &env));
+    }
+
+    #[test]
+    fn comparisons_against_literals() {
+        let g = Guard::Cmp(0, CmpOp::Eq, Operand::Lit(Value::str("admin")));
+        assert!(g.eval(
+            &Event::new("login", [Value::str("admin")]),
+            &BTreeMap::new()
+        ));
+        assert!(!g.eval(
+            &Event::new("login", [Value::str("guest")]),
+            &BTreeMap::new()
+        ));
+    }
+
+    #[test]
+    fn missing_argument_is_false() {
+        let g = Guard::Cmp(2, CmpOp::Eq, Operand::Lit(Value::Int(1)));
+        assert!(!g.eval(&Event::new("e", [1i64]), &BTreeMap::new()));
+    }
+
+    #[test]
+    fn missing_parameter_is_false() {
+        let g = Guard::Cmp(0, CmpOp::Le, Operand::param("nope"));
+        assert!(!g.eval(&Event::new("e", [1i64]), &BTreeMap::new()));
+        let g = Guard::InSet(0, "nope".into());
+        assert!(!g.eval(&Event::new("e", [1i64]), &BTreeMap::new()));
+    }
+
+    #[test]
+    fn kind_mismatch_is_false() {
+        // Scalar param used as set.
+        let env = env(&[("p", ParamValue::int(1))]);
+        assert!(!Guard::InSet(0, "p".into()).eval(&Event::new("e", [1i64]), &env));
+        // Ordered comparison against a string.
+        let g = Guard::Cmp(0, CmpOp::Lt, Operand::Lit(Value::str("zzz")));
+        assert!(!g.eval(&Event::new("e", [1i64]), &env));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let env = env(&[("p", ParamValue::int(10))]);
+        let lt = Guard::Cmp(0, CmpOp::Lt, Operand::param("p"));
+        let ge = Guard::Cmp(0, CmpOp::Ge, Operand::param("p"));
+        let e5 = Event::new("e", [5i64]);
+        assert!(lt.clone().or(ge.clone()).eval(&e5, &env));
+        assert!(!lt.clone().and(ge.clone()).eval(&e5, &env));
+        assert!(ge.not().eval(&e5, &env));
+    }
+
+    #[test]
+    fn params_are_collected() {
+        let g = Guard::InSet(0, "bl".into()).and(Guard::Cmp(1, CmpOp::Le, Operand::param("p")));
+        let mut ps = g.params();
+        ps.sort_unstable();
+        assert_eq!(ps, vec!["bl", "p"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = Guard::InSet(0, "bl".into()).and(Guard::Cmp(1, CmpOp::Gt, Operand::param("p")));
+        assert_eq!(g.to_string(), "(x0 ∈ bl ∧ x1 > p)");
+    }
+}

@@ -1,0 +1,412 @@
+//! Execution histories `η ∈ (Ev ∪ Frm)*` and their validity (§3.1).
+//!
+//! A history interleaves access events with framing actions `⌞φ` / `⌟φ`.
+//! The paper's notions implemented here:
+//!
+//! * `η♭` — the *flattening*, erasing all framing actions;
+//! * `AP(η)` — the **multiset** of active policies;
+//! * *balance* — framings are well nested; executions only ever produce
+//!   prefixes of balanced histories;
+//! * *validity* `⊨ η` — for every split `η = η₀η₁` and every
+//!   `φ ∈ AP(η₀)`, the flattened prefix `η₀♭` respects `φ`
+//!   (history-dependence: the automaton reads the history from the very
+//!   beginning, not from the framing opening).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::registry::{PolicyError, PolicyRegistry};
+use sufs_hexpr::{Event, PolicyRef};
+
+/// One element of a history: an access event or a framing action.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HistoryItem {
+    /// An access event `α`.
+    Ev(Event),
+    /// An opening framing `⌞φ`.
+    Open(PolicyRef),
+    /// A closing framing `⌟φ`.
+    Close(PolicyRef),
+}
+
+impl fmt::Display for HistoryItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryItem::Ev(e) => write!(f, "{e}"),
+            HistoryItem::Open(p) => write!(f, "⌞{p}"),
+            HistoryItem::Close(p) => write!(f, "⌟{p}"),
+        }
+    }
+}
+
+/// An execution history: a sequence of events and framing actions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct History(Vec<HistoryItem>);
+
+impl History {
+    /// The empty history `ε`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an access event.
+    pub fn push_event(&mut self, e: Event) {
+        self.0.push(HistoryItem::Ev(e));
+    }
+
+    /// Appends an opening framing `⌞φ`.
+    pub fn push_open(&mut self, p: PolicyRef) {
+        self.0.push(HistoryItem::Open(p));
+    }
+
+    /// Appends a closing framing `⌟φ`.
+    pub fn push_close(&mut self, p: PolicyRef) {
+        self.0.push(HistoryItem::Close(p));
+    }
+
+    /// Appends any item.
+    pub fn push(&mut self, item: HistoryItem) {
+        self.0.push(item);
+    }
+
+    /// The items, in order.
+    pub fn items(&self) -> &[HistoryItem] {
+        &self.0
+    }
+
+    /// The number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the empty history.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The flattening `η♭`: the events with all framings erased.
+    pub fn flatten(&self) -> Vec<&Event> {
+        self.0
+            .iter()
+            .filter_map(|i| match i {
+                HistoryItem::Ev(e) => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The multiset `AP(η)` of active policies, as a map from policy
+    /// reference to activation count.
+    ///
+    /// Closings without a matching opening are ignored, matching the
+    /// paper's `AP(⌟φ η) = AP(η) \ {φ}` on multisets.
+    pub fn active_policies(&self) -> BTreeMap<PolicyRef, usize> {
+        let mut ap: BTreeMap<PolicyRef, usize> = BTreeMap::new();
+        for item in &self.0 {
+            match item {
+                HistoryItem::Ev(_) => {}
+                HistoryItem::Open(p) => *ap.entry(p.clone()).or_insert(0) += 1,
+                HistoryItem::Close(p) => {
+                    if let Some(n) = ap.get_mut(p) {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            ap.remove(p);
+                        }
+                    }
+                }
+            }
+        }
+        ap
+    }
+
+    /// Returns `true` if the history is *balanced*: framings are well
+    /// nested and all closed.
+    pub fn is_balanced(&self) -> bool {
+        let mut stack: Vec<&PolicyRef> = Vec::new();
+        for item in &self.0 {
+            match item {
+                HistoryItem::Ev(_) => {}
+                HistoryItem::Open(p) => stack.push(p),
+                HistoryItem::Close(p) => match stack.pop() {
+                    Some(open) if open == p => {}
+                    _ => return false,
+                },
+            }
+        }
+        stack.is_empty()
+    }
+
+    /// Returns `true` if the history is a prefix of some balanced
+    /// history: closings match openings in a well-nested way, but
+    /// openings may still be pending. Executions only produce such
+    /// histories.
+    pub fn is_balanced_prefix(&self) -> bool {
+        let mut stack: Vec<&PolicyRef> = Vec::new();
+        for item in &self.0 {
+            match item {
+                HistoryItem::Ev(_) => {}
+                HistoryItem::Open(p) => stack.push(p),
+                HistoryItem::Close(p) => match stack.pop() {
+                    Some(open) if open == p => {}
+                    _ => return false,
+                },
+            }
+        }
+        true
+    }
+
+    /// Validity `⊨ η` (§3.1): every prefix `η₀` must satisfy every policy
+    /// in `AP(η₀)` on the flattened prefix `η₀♭`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if a referenced policy cannot be
+    /// resolved in `registry`.
+    pub fn is_valid(&self, registry: &PolicyRegistry) -> Result<bool, PolicyError> {
+        Ok(self.first_violation(registry)?.is_none())
+    }
+
+    /// Like [`History::is_valid`], but returns the earliest offending
+    /// prefix: `Some((prefix_len, φ))` means the prefix of that length is
+    /// the first invalid one, with `φ` the violated active policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] if a referenced policy cannot be
+    /// resolved in `registry`.
+    pub fn first_violation(
+        &self,
+        registry: &PolicyRegistry,
+    ) -> Result<Option<(usize, PolicyRef)>, PolicyError> {
+        // History dependence: each instance reads every event from the
+        // very beginning of the history, so all instances are created up
+        // front and fed the full event stream; activation depth only
+        // gates *when violations matter*.
+        let mut instances = BTreeMap::new();
+        for item in &self.0 {
+            if let HistoryItem::Open(p) | HistoryItem::Close(p) = item {
+                if !instances.contains_key(p) {
+                    let inst = registry.instantiate(p)?;
+                    let init = inst.initial();
+                    instances.insert(p.clone(), (inst, init, 0usize));
+                }
+            }
+        }
+        for (len, item) in self.0.iter().enumerate() {
+            match item {
+                HistoryItem::Ev(e) => {
+                    for (_, (inst, states, _)) in instances.iter_mut() {
+                        *states = inst.step(states, e);
+                    }
+                }
+                HistoryItem::Open(p) => {
+                    if let Some((_, _, depth)) = instances.get_mut(p) {
+                        *depth += 1;
+                    }
+                }
+                HistoryItem::Close(p) => {
+                    if let Some((_, _, depth)) = instances.get_mut(p) {
+                        *depth = depth.saturating_sub(1);
+                    }
+                }
+            }
+            for (pref, (inst, states, depth)) in instances.iter() {
+                if *depth > 0 && inst.offends(states) {
+                    return Ok(Some((len + 1, pref.clone())));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl FromIterator<HistoryItem> for History {
+    fn from_iter<T: IntoIterator<Item = HistoryItem>>(iter: T) -> Self {
+        History(iter.into_iter().collect())
+    }
+}
+
+impl Extend<HistoryItem> for History {
+    fn extend<T: IntoIterator<Item = HistoryItem>>(&mut self, iter: T) {
+        self.0.extend(iter);
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, item) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn reg() -> PolicyRegistry {
+        let mut r = PolicyRegistry::new();
+        r.register(catalog::no_after("read", "write"));
+        r
+    }
+
+    fn phi() -> PolicyRef {
+        PolicyRef::nullary("no_write_after_read")
+    }
+
+    fn ev(name: &str) -> HistoryItem {
+        HistoryItem::Ev(Event::nullary(name))
+    }
+
+    #[test]
+    fn flatten_erases_framings() {
+        let h: History = [
+            ev("a"),
+            HistoryItem::Open(phi()),
+            ev("b"),
+            HistoryItem::Close(phi()),
+        ]
+        .into_iter()
+        .collect();
+        let flat: Vec<String> = h.flatten().iter().map(|e| e.to_string()).collect();
+        assert_eq!(flat, vec!["#a", "#b"]);
+    }
+
+    #[test]
+    fn active_policies_multiset() {
+        let mut h = History::new();
+        h.push_open(phi());
+        h.push_open(phi());
+        assert_eq!(h.active_policies()[&phi()], 2);
+        h.push_close(phi());
+        assert_eq!(h.active_policies()[&phi()], 1);
+        h.push_close(phi());
+        assert!(h.active_policies().is_empty());
+    }
+
+    #[test]
+    fn balance_detection() {
+        let mut h = History::new();
+        assert!(h.is_balanced());
+        h.push_open(phi());
+        assert!(!h.is_balanced());
+        assert!(h.is_balanced_prefix());
+        h.push_close(phi());
+        assert!(h.is_balanced());
+
+        let bad: History = [HistoryItem::Close(phi())].into_iter().collect();
+        assert!(!bad.is_balanced_prefix());
+    }
+
+    #[test]
+    fn crossing_framings_are_not_balanced() {
+        let psi = PolicyRef::nullary("psi");
+        let h: History = [
+            HistoryItem::Open(phi()),
+            HistoryItem::Open(psi.clone()),
+            HistoryItem::Close(phi()),
+            HistoryItem::Close(psi),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!h.is_balanced());
+    }
+
+    #[test]
+    fn validity_active_violation_detected() {
+        // ⌞φ read write … : the write occurs while φ is active.
+        let h: History = [HistoryItem::Open(phi()), ev("read"), ev("write")]
+            .into_iter()
+            .collect();
+        let reg = reg();
+        assert!(!h.is_valid(&reg).unwrap());
+        let (len, p) = h.first_violation(&reg).unwrap().unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(p, phi());
+    }
+
+    #[test]
+    fn validity_outside_framing_is_fine() {
+        // read write ⌞φ … : the violation happened *before* φ activates
+        // — but history dependence means opening φ *after* read·write is
+        // itself a violation (the whole past must respect φ).
+        let h: History = [ev("read"), ev("write"), HistoryItem::Open(phi())]
+            .into_iter()
+            .collect();
+        let reg = reg();
+        assert!(!h.is_valid(&reg).unwrap());
+
+        // Whereas with the framing closed before the write, all is well:
+        // ⌞φ read ⌟φ write (the paper's Lϕ γ Mϕ α β example).
+        let h: History = [
+            HistoryItem::Open(phi()),
+            ev("read"),
+            HistoryItem::Close(phi()),
+            ev("write"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(h.is_valid(&reg).unwrap());
+    }
+
+    #[test]
+    fn history_dependence_on_opening() {
+        // read ⌞φ write: read precedes the framing but still counts.
+        let h: History = [ev("read"), HistoryItem::Open(phi()), ev("write")]
+            .into_iter()
+            .collect();
+        assert!(!h.is_valid(&reg()).unwrap());
+    }
+
+    #[test]
+    fn nested_same_policy_stays_active() {
+        // ⌞φ ⌞φ ⌟φ read write: after one close the policy is still active
+        // (multiset semantics), so the violation is caught.
+        let h: History = [
+            HistoryItem::Open(phi()),
+            HistoryItem::Open(phi()),
+            HistoryItem::Close(phi()),
+            ev("read"),
+            ev("write"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!h.is_valid(&reg()).unwrap());
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error() {
+        let ghost = PolicyRef::nullary("ghost");
+        let h: History = [HistoryItem::Open(ghost)].into_iter().collect();
+        assert!(h.is_valid(&PolicyRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn empty_history_is_valid() {
+        assert!(History::new().is_valid(&reg()).unwrap());
+        assert_eq!(History::new().to_string(), "ε");
+    }
+
+    #[test]
+    fn display_shows_frames() {
+        let h: History = [
+            HistoryItem::Open(phi()),
+            ev("read"),
+            HistoryItem::Close(phi()),
+        ]
+        .into_iter()
+        .collect();
+        let s = h.to_string();
+        assert!(s.contains("⌞no_write_after_read"));
+        assert!(s.contains("#read"));
+        assert!(s.contains("⌟no_write_after_read"));
+    }
+}

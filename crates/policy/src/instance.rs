@@ -1,0 +1,310 @@
+//! Instantiated policies: a usage automaton with its formal parameters
+//! bound to actual values, runnable on ground events.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::usage::{StateId, UsageAutomaton};
+use sufs_hexpr::{Event, ParamValue, PolicyRef};
+
+/// An error raised when instantiating a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstantiationError {
+    /// The reference supplies a different number of actuals than the
+    /// automaton declares formals.
+    ArityMismatch {
+        /// The policy name.
+        name: String,
+        /// Number of declared formal parameters.
+        expected: usize,
+        /// Number of supplied actual parameters.
+        found: usize,
+    },
+}
+
+impl fmt::Display for InstantiationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiationError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "policy {name} takes {expected} parameter(s), {found} supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstantiationError {}
+
+/// A policy instance: the automaton plus an environment binding each
+/// formal parameter to an actual value.
+///
+/// Instances run over ground events with *nondeterministic* semantics: a
+/// state-set is tracked and an event moves each state along every
+/// matching transition; a state with no matching transition stays put
+/// (the implicit self-loops of usage automata). The instance *offends* as
+/// soon as the state set touches an offending state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyInstance {
+    automaton: UsageAutomaton,
+    env: BTreeMap<String, ParamValue>,
+    reference: PolicyRef,
+    /// Transition indices grouped by source state, so stepping is
+    /// proportional to the out-degree rather than the automaton size.
+    by_state: Vec<Vec<usize>>,
+}
+
+impl PolicyInstance {
+    /// Instantiates `automaton` with the actual parameters of `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstantiationError::ArityMismatch`] if the number of
+    /// actuals differs from the number of formals.
+    pub fn new(
+        automaton: UsageAutomaton,
+        reference: PolicyRef,
+    ) -> Result<PolicyInstance, InstantiationError> {
+        if automaton.params().len() != reference.args().len() {
+            return Err(InstantiationError::ArityMismatch {
+                name: automaton.name().to_owned(),
+                expected: automaton.params().len(),
+                found: reference.args().len(),
+            });
+        }
+        let env = automaton
+            .params()
+            .iter()
+            .cloned()
+            .zip(reference.args().iter().cloned())
+            .collect();
+        let mut by_state = vec![Vec::new(); automaton.len()];
+        for (i, t) in automaton.transitions().iter().enumerate() {
+            by_state[t.from].push(i);
+        }
+        Ok(PolicyInstance {
+            automaton,
+            env,
+            reference,
+            by_state,
+        })
+    }
+
+    /// The policy reference this instance was built from.
+    pub fn reference(&self) -> &PolicyRef {
+        &self.reference
+    }
+
+    /// The initial state set: the singleton start state.
+    pub fn initial(&self) -> BTreeSet<StateId> {
+        BTreeSet::from([self.automaton.start_state()])
+    }
+
+    /// Steps a state set on a ground event.
+    pub fn step(&self, states: &BTreeSet<StateId>, event: &Event) -> BTreeSet<StateId> {
+        let mut out = BTreeSet::new();
+        for &q in states {
+            let mut moved = false;
+            for &i in &self.by_state[q] {
+                let t = &self.automaton.transitions()[i];
+                if let Some(name) = &t.event {
+                    if name != event.name() {
+                        continue;
+                    }
+                }
+                if t.guard.eval(event, &self.env) {
+                    out.insert(t.to);
+                    moved = true;
+                }
+            }
+            if !moved {
+                out.insert(q); // implicit self-loop
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the state set includes an offending state.
+    pub fn offends(&self, states: &BTreeSet<StateId>) -> bool {
+        states.iter().any(|&q| self.automaton.is_offending(q))
+    }
+
+    /// Runs the instance over a whole event trace, returning the final
+    /// state set.
+    pub fn run<'a, I>(&self, trace: I) -> BTreeSet<StateId>
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        let mut s = self.initial();
+        for e in trace {
+            s = self.step(&s, e);
+        }
+        s
+    }
+
+    /// Returns `true` if the trace is **forbidden** by the policy, i.e.
+    /// some prefix drives the automaton into an offending state.
+    ///
+    /// Offending states are checked prefix-wise (not only at the end):
+    /// once a violation occurs it cannot be unwound by later events, per
+    /// the safety reading of policies.
+    pub fn forbids<'a, I>(&self, trace: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        let mut s = self.initial();
+        if self.offends(&s) {
+            return true;
+        }
+        for e in trace {
+            s = self.step(&s, e);
+            if self.offends(&s) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the trace *respects* the policy (`η♭ ⊨ φ`).
+    pub fn respects<'a, I>(&self, trace: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        !self.forbids(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::hotel_policy;
+    use crate::guard::Guard;
+    use crate::usage::UsageBuilder;
+
+    fn simple_ref() -> PolicyRef {
+        PolicyRef::nullary("one_shot")
+    }
+
+    /// "the event `fire` may happen at most once"
+    fn one_shot() -> UsageAutomaton {
+        let mut b = UsageBuilder::new("one_shot", Vec::<String>::new());
+        let q0 = b.state();
+        let q1 = b.state();
+        let q2 = b.state();
+        b.on(q0, "fire", Guard::True, q1);
+        b.on(q1, "fire", Guard::True, q2);
+        b.offending(q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err = PolicyInstance::new(one_shot(), PolicyRef::new("one_shot", [ParamValue::int(1)]))
+            .unwrap_err();
+        assert!(matches!(err, InstantiationError::ArityMismatch { .. }));
+        assert!(err.to_string().contains("one_shot"));
+    }
+
+    #[test]
+    fn default_self_loop_on_unmatched_events() {
+        let inst = PolicyInstance::new(one_shot(), simple_ref()).unwrap();
+        let trace = [Event::nullary("other"), Event::nullary("fire")];
+        assert!(inst.respects(trace.iter()));
+        let s = inst.run(trace.iter());
+        assert_eq!(s, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn offending_prefix_detected() {
+        let inst = PolicyInstance::new(one_shot(), simple_ref()).unwrap();
+        let bad = [
+            Event::nullary("fire"),
+            Event::nullary("fire"),
+            Event::nullary("calm"),
+        ];
+        assert!(inst.forbids(bad.iter()));
+        // ...even though the final state set also matters, the middle
+        // prefix alone is already enough:
+        assert!(inst.forbids(bad[..2].iter()));
+        assert!(inst.respects(bad[..1].iter()));
+    }
+
+    #[test]
+    fn hotel_policy_fig1_semantics() {
+        // φ(bl = {1}, p = 45, t = 100): exactly C1's instantiation.
+        let phi = PolicyRef::new(
+            "hotel",
+            [
+                ParamValue::set([1i64]),
+                ParamValue::int(45),
+                ParamValue::int(100),
+            ],
+        );
+        let inst = PolicyInstance::new(hotel_policy(), phi).unwrap();
+
+        let s1 = [
+            Event::new("sgn", [1i64]),
+            Event::new("p", [45i64]),
+            Event::new("ta", [80i64]),
+        ];
+        assert!(inst.forbids(s1.iter()), "S1 is black-listed for C1");
+
+        let s3 = [
+            Event::new("sgn", [3i64]),
+            Event::new("p", [90i64]),
+            Event::new("ta", [100i64]),
+        ];
+        assert!(
+            inst.respects(s3.iter()),
+            "S3: price 90 > 45 but rating 100 ≥ 100 is acceptable"
+        );
+
+        let s4 = [
+            Event::new("sgn", [4i64]),
+            Event::new("p", [50i64]),
+            Event::new("ta", [90i64]),
+        ];
+        assert!(
+            inst.forbids(s4.iter()),
+            "S4 violates both thresholds: 50 > 45 and 90 < 100"
+        );
+    }
+
+    #[test]
+    fn hotel_policy_second_client() {
+        // φ(bl = {1,3}, p = 40, t = 70): C2's instantiation.
+        let phi = PolicyRef::new(
+            "hotel",
+            [
+                ParamValue::set([1i64, 3]),
+                ParamValue::int(40),
+                ParamValue::int(70),
+            ],
+        );
+        let inst = PolicyInstance::new(hotel_policy(), phi).unwrap();
+        let s3 = [
+            Event::new("sgn", [3i64]),
+            Event::new("p", [90i64]),
+            Event::new("ta", [100i64]),
+        ];
+        assert!(inst.forbids(s3.iter()), "S3 is black-listed for C2");
+        let s4 = [
+            Event::new("sgn", [4i64]),
+            Event::new("p", [50i64]),
+            Event::new("ta", [90i64]),
+        ];
+        assert!(
+            inst.respects(s4.iter()),
+            "S4: price 50 > 40 but rating 90 ≥ 70 is acceptable for C2"
+        );
+        let s2 = [
+            Event::new("sgn", [2i64]),
+            Event::new("p", [70i64]),
+            Event::new("ta", [100i64]),
+        ];
+        assert!(inst.respects(s2.iter()), "S2 satisfies C2's thresholds");
+    }
+}

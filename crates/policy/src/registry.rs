@@ -1,0 +1,159 @@
+//! The policy registry: resolves policy references `φ(v̄)` to runnable
+//! instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::instance::{InstantiationError, PolicyInstance};
+use crate::usage::UsageAutomaton;
+use sufs_hexpr::PolicyRef;
+
+/// An error raised when resolving a [`PolicyRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// No automaton registered under the referenced name.
+    Unknown(String),
+    /// The automaton exists but the actual parameters do not fit.
+    Instantiation(InstantiationError),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Unknown(name) => write!(f, "unknown policy {name}"),
+            PolicyError::Instantiation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<InstantiationError> for PolicyError {
+    fn from(e: InstantiationError) -> Self {
+        PolicyError::Instantiation(e)
+    }
+}
+
+/// A registry of named parametric usage automata.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_policy::{catalog, registry::PolicyRegistry};
+/// use sufs_hexpr::{ParamValue, PolicyRef};
+///
+/// let mut reg = PolicyRegistry::new();
+/// reg.register(catalog::hotel_policy());
+/// let phi = PolicyRef::new("hotel", [
+///     ParamValue::set([1i64]), ParamValue::int(45), ParamValue::int(100),
+/// ]);
+/// let inst = reg.instantiate(&phi)?;
+/// assert_eq!(inst.reference(), &phi);
+/// # Ok::<(), sufs_policy::registry::PolicyError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PolicyRegistry {
+    automata: BTreeMap<String, UsageAutomaton>,
+}
+
+impl PolicyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry preloaded with every [`crate::catalog`] policy
+    /// (the hotel policy plus `no_after("read","write")` under their
+    /// catalogue names).
+    pub fn with_catalog() -> Self {
+        let mut reg = Self::new();
+        reg.register(crate::catalog::hotel_policy());
+        reg.register(crate::catalog::no_after("read", "write"));
+        reg
+    }
+
+    /// Registers an automaton under its own name, replacing any previous
+    /// automaton with that name (the old one is returned).
+    pub fn register(&mut self, automaton: UsageAutomaton) -> Option<UsageAutomaton> {
+        self.automata.insert(automaton.name().to_owned(), automaton)
+    }
+
+    /// Looks up an automaton by name.
+    pub fn get(&self, name: &str) -> Option<&UsageAutomaton> {
+        self.automata.get(name)
+    }
+
+    /// The number of registered automata.
+    pub fn len(&self) -> usize {
+        self.automata.len()
+    }
+
+    /// Returns `true` if no automata are registered.
+    pub fn is_empty(&self) -> bool {
+        self.automata.is_empty()
+    }
+
+    /// Resolves a policy reference to a runnable instance.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Unknown`] if the name is unregistered,
+    /// [`PolicyError::Instantiation`] on arity mismatch.
+    pub fn instantiate(&self, reference: &PolicyRef) -> Result<PolicyInstance, PolicyError> {
+        let ua = self
+            .automata
+            .get(reference.name())
+            .ok_or_else(|| PolicyError::Unknown(reference.name().to_owned()))?;
+        Ok(PolicyInstance::new(ua.clone(), reference.clone())?)
+    }
+
+    /// Iterates over the registered automata in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &UsageAutomaton> {
+        self.automata.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use sufs_hexpr::ParamValue;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = PolicyRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.register(catalog::hotel_policy()).is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("hotel").is_some());
+        assert!(reg.get("nope").is_none());
+        // Re-registering returns the old automaton.
+        assert!(reg.register(catalog::hotel_policy()).is_some());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.iter().count(), 1);
+    }
+
+    #[test]
+    fn unknown_policy_error() {
+        let reg = PolicyRegistry::new();
+        let err = reg.instantiate(&PolicyRef::nullary("ghost")).unwrap_err();
+        assert_eq!(err, PolicyError::Unknown("ghost".into()));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn arity_error_is_propagated() {
+        let mut reg = PolicyRegistry::new();
+        reg.register(catalog::hotel_policy());
+        let bad = PolicyRef::new("hotel", [ParamValue::int(45)]);
+        let err = reg.instantiate(&bad).unwrap_err();
+        assert!(matches!(err, PolicyError::Instantiation(_)));
+    }
+
+    #[test]
+    fn with_catalog_is_preloaded() {
+        let reg = PolicyRegistry::with_catalog();
+        assert!(reg.get("hotel").is_some());
+        assert!(reg.get("no_write_after_read").is_some());
+    }
+}

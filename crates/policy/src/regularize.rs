@@ -1,0 +1,244 @@
+//! The framing regularisation of \[5,4\] (§3.1 of the paper).
+//!
+//! Validity of history expressions is *non-regular* because security
+//! framings nest: `φ⟦ … φ⟦ … ⟧ … ⟧` generates context-free bracket
+//! structure. The paper recalls the semantic-preserving transformation
+//! of Bartoletti–Degano–Ferrari that removes the context-free aspects:
+//! "it suffices recording the opening of policies, and removing those
+//! already opened and their corresponding closures, in a stack-like
+//! fashion" — once `φ` is active, re-opening it neither strengthens nor
+//! weakens the constraint (the multiset `AP` only needs its *support*),
+//! so inner same-policy framings are redundant.
+//!
+//! [`regularize`] rewrites an expression so that no framing for `φ`
+//! occurs inside another framing for the same `φ`. After the rewrite,
+//! along any single path, at most one opening per policy is pending —
+//! the bracket structure is flat per policy, i.e. regular — while
+//! validity is preserved (checked by the `validity_preserved` tests and
+//! the `regularisation` ablation bench).
+
+use sufs_hexpr::{Hist, PolicyRef};
+
+/// Removes framings for policies that are already active at that point
+/// of the expression.
+///
+/// The result is semantically equivalent for validity purposes: a
+/// history of the original expression is valid iff the corresponding
+/// history of the regularised one is.
+///
+/// # Examples
+///
+/// ```
+/// use sufs_hexpr::parse_hist;
+/// use sufs_policy::regularize::regularize;
+///
+/// let h = parse_hist("frame p [ #a; frame p [ #b ]; #c ]").unwrap();
+/// let r = regularize(&h);
+/// assert_eq!(r, parse_hist("frame p [ #a; #b; #c ]").unwrap());
+/// ```
+pub fn regularize(h: &Hist) -> Hist {
+    rewrite(h, &mut Vec::new())
+}
+
+fn rewrite(h: &Hist, active: &mut Vec<PolicyRef>) -> Hist {
+    match h {
+        Hist::Eps | Hist::Var(_) | Hist::Ev(_) | Hist::CloseTok(..) | Hist::FrameCloseTok(_) => {
+            h.clone()
+        }
+        Hist::Mu(v, body) => Hist::Mu(v.clone(), Box::new(rewrite(body, active))),
+        Hist::Ext(bs) => Hist::Ext(
+            bs.iter()
+                .map(|(c, k)| (c.clone(), rewrite(k, active)))
+                .collect(),
+        ),
+        Hist::Int(bs) => Hist::Int(
+            bs.iter()
+                .map(|(c, k)| (c.clone(), rewrite(k, active)))
+                .collect(),
+        ),
+        Hist::Seq(a, b) => Hist::seq(rewrite(a, active), rewrite(b, active)),
+        Hist::Req { id, policy, body } => {
+            let pushed = match policy {
+                Some(p) if !active.contains(p) => {
+                    active.push(p.clone());
+                    true
+                }
+                _ => false,
+            };
+            let body = rewrite(body, active);
+            if pushed {
+                active.pop();
+            }
+            // A session policy already active could in principle be
+            // dropped too, but `open_{r,φ}` also *names* the session;
+            // only the redundant φ is elided by keeping the request and
+            // clearing its (redundant) policy.
+            let policy = match policy {
+                Some(p) if pushed => Some(p.clone()),
+                Some(_) => None,
+                None => None,
+            };
+            Hist::Req {
+                id: *id,
+                policy,
+                body: Box::new(body),
+            }
+        }
+        Hist::Framed(p, body) => {
+            if active.contains(p) {
+                // Redundant: φ is already being enforced here.
+                rewrite(body, active)
+            } else {
+                active.push(p.clone());
+                let body = rewrite(body, active);
+                active.pop();
+                Hist::framed(p.clone(), body)
+            }
+        }
+    }
+}
+
+/// The maximum same-policy framing nesting depth of an expression: `0`
+/// for no framings, and `1` for a fully regularised expression that has
+/// any. (Different policies may still nest — that is regular.)
+pub fn same_policy_nesting(h: &Hist) -> usize {
+    fn walk(h: &Hist, active: &mut Vec<PolicyRef>, worst: &mut usize) {
+        match h {
+            Hist::Eps
+            | Hist::Var(_)
+            | Hist::Ev(_)
+            | Hist::CloseTok(..)
+            | Hist::FrameCloseTok(_) => {}
+            Hist::Mu(_, body) => walk(body, active, worst),
+            Hist::Ext(bs) | Hist::Int(bs) => {
+                for (_, k) in bs {
+                    walk(k, active, worst);
+                }
+            }
+            Hist::Seq(a, b) => {
+                walk(a, active, worst);
+                walk(b, active, worst);
+            }
+            Hist::Req { policy, body, .. } => {
+                if let Some(p) = policy {
+                    active.push(p.clone());
+                    let depth = active.iter().filter(|q| *q == p).count();
+                    *worst = (*worst).max(depth);
+                    walk(body, active, worst);
+                    active.pop();
+                } else {
+                    walk(body, active, worst);
+                }
+            }
+            Hist::Framed(p, body) => {
+                active.push(p.clone());
+                let depth = active.iter().filter(|q| *q == p).count();
+                *worst = (*worst).max(depth);
+                walk(body, active, worst);
+                active.pop();
+            }
+        }
+    }
+    let mut worst = 0;
+    walk(h, &mut Vec::new(), &mut worst);
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::registry::PolicyRegistry;
+    use crate::validity::check_validity;
+    use sufs_hexpr::parse_hist;
+    use sufs_hexpr::semantics::successors;
+
+    fn reg() -> PolicyRegistry {
+        let mut r = PolicyRegistry::new();
+        r.register(catalog::no_after("read", "write"));
+        r.register(catalog::at_most("tick", 1));
+        r
+    }
+
+    fn check(h: &Hist) -> bool {
+        check_validity(h.clone(), |x: &Hist| successors(x), &reg(), 1 << 20)
+            .unwrap()
+            .is_valid()
+    }
+
+    #[test]
+    fn removes_directly_nested_duplicate() {
+        let h = parse_hist("frame p [ frame p [ #a ] ]").unwrap();
+        assert_eq!(regularize(&h), parse_hist("frame p [ #a ]").unwrap());
+    }
+
+    #[test]
+    fn keeps_distinct_policies() {
+        let h = parse_hist("frame p [ frame q [ #a ] ]").unwrap();
+        assert_eq!(regularize(&h), h);
+    }
+
+    #[test]
+    fn keeps_sequential_reopenings() {
+        // Closing then reopening is NOT redundant (φ is inactive between).
+        let h = parse_hist("frame p [ #a ]; frame p [ #b ]").unwrap();
+        assert_eq!(regularize(&h), h);
+    }
+
+    #[test]
+    fn removes_duplicates_through_requests() {
+        let h = parse_hist("open 1 phi p { ext[x -> frame p [ #a ]] }").unwrap();
+        let r = regularize(&h);
+        assert_eq!(r, parse_hist("open 1 phi p { ext[x -> #a] }").unwrap());
+    }
+
+    #[test]
+    fn nesting_measure() {
+        let nested = parse_hist("frame p [ frame p [ frame p [ #a ] ] ]").unwrap();
+        assert_eq!(same_policy_nesting(&nested), 3);
+        assert_eq!(same_policy_nesting(&regularize(&nested)), 1);
+        assert_eq!(same_policy_nesting(&parse_hist("#a").unwrap()), 0);
+    }
+
+    #[test]
+    fn validity_preserved_on_samples() {
+        let sources = [
+            // invalid: read-write inside the policy
+            "frame no_write_after_read [ #read; frame no_write_after_read [ #write ] ]",
+            // valid: the violation-shaped events never co-occur actively
+            "frame no_write_after_read [ #write; frame no_write_after_read [ #read ] ]",
+            // invalid through the inner frame only
+            "frame at_most_1_tick [ #tick; frame at_most_1_tick [ #tick ] ]",
+            // valid single tick, deeply framed
+            "frame at_most_1_tick [ frame at_most_1_tick [ #tick ] ]",
+            // mixed policies
+            "frame no_write_after_read [ frame at_most_1_tick [ #read; #tick ]; #noop ]",
+        ];
+        for src in sources {
+            let h = parse_hist(src).unwrap();
+            let r = regularize(&h);
+            assert_eq!(check(&h), check(&r), "validity changed for {src}");
+            assert!(same_policy_nesting(&r) <= 1, "not flat for {src}");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let h = parse_hist("frame p [ #a; frame p [ #b; frame q [ frame p [ #c ] ] ] ]").unwrap();
+        let once = regularize(&h);
+        assert_eq!(regularize(&once), once);
+    }
+
+    #[test]
+    fn state_space_shrinks() {
+        // Each redundant framing adds ⌞/⌟ states; regularisation trims
+        // them.
+        let mut h = parse_hist("#a").unwrap();
+        for _ in 0..6 {
+            h = Hist::framed(sufs_hexpr::PolicyRef::nullary("p"), h);
+        }
+        let before = sufs_hexpr::HistLts::build(&h).unwrap().len();
+        let after = sufs_hexpr::HistLts::build(&regularize(&h)).unwrap().len();
+        assert!(after < before, "expected shrink: {after} < {before}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the quantitative extension: on deterministic
+//! (choice-free) expressions the static worst-case accumulated cost
+//! equals what the run-time cost monitor observes along the unique
+//! trace; on branching expressions the monitor is bounded by the static
+//! worst case.
+
+use proptest::prelude::*;
+
+use sufs_hexpr::semantics::successors;
+use sufs_hexpr::{Channel, Event, Hist, Label, PolicyRef};
+use sufs_policy::cost::{check_cost_bound, CostBound, CostModel, CostMonitor, CostVerdict};
+
+fn wallet() -> PolicyRef {
+    PolicyRef::nullary("wallet")
+}
+
+fn bound(b: u64) -> CostBound {
+    CostBound {
+        policy: wallet(),
+        model: CostModel::new().by_arg("spend", 0),
+        bound: b,
+    }
+}
+
+/// Choice-free expressions: events and framings in sequence.
+fn arb_straightline() -> impl Strategy<Value = Hist> {
+    let leaf = (0i64..20).prop_map(|n| Hist::ev(Event::new("spend", [n])));
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Hist::seq(a, b)),
+            inner.prop_map(|h| Hist::framed(PolicyRef::nullary("wallet"), h)),
+        ]
+    })
+}
+
+/// Expressions with external choices added on top.
+fn arb_branching() -> impl Strategy<Value = Hist> {
+    arb_straightline().prop_recursive(3, 12, 2, |inner| {
+        (
+            proptest::sample::subsequence(vec!["x", "y"], 1..=2),
+            proptest::collection::vec(inner, 2),
+        )
+            .prop_map(|(chans, conts)| {
+                let bs: Vec<(Channel, Hist)> =
+                    chans.into_iter().map(Channel::new).zip(conts).collect();
+                Hist::Ext(bs)
+            })
+    })
+}
+
+/// Follows one maximal path of `h`, feeding every label to the monitor,
+/// and returns the maximal accumulated cost observed. Branches are
+/// resolved by always taking the `pick`-th successor (mod arity).
+fn monitor_max_on_path(h: &Hist, cb: &CostBound, pick: usize) -> u64 {
+    let mut monitor = CostMonitor::new(cb.clone());
+    let mut state = h.clone();
+    let mut max = 0;
+    for _ in 0..10_000 {
+        let succ = successors(&state);
+        if succ.is_empty() {
+            break;
+        }
+        let (label, next): (Label, Hist) = succ[pick % succ.len()].clone();
+        monitor.observe(&label);
+        max = max.max(monitor.accumulated());
+        state = next;
+    }
+    max
+}
+
+proptest! {
+    /// Deterministic expressions: static worst == dynamic max.
+    #[test]
+    fn static_equals_dynamic_on_straightline(h in arb_straightline()) {
+        let cb = bound(u64::MAX / 2);
+        let CostVerdict::Within { worst } =
+            check_cost_bound(&h, &cb, 1 << 18).unwrap()
+        else {
+            panic!("huge budget cannot be exceeded");
+        };
+        let observed = monitor_max_on_path(&h, &cb, 0);
+        prop_assert_eq!(worst, observed);
+    }
+
+    /// Branching expressions: every path's dynamic max is bounded by the
+    /// static worst case, and some path attains a positive cost whenever
+    /// the worst case is positive on a fair sample of paths.
+    #[test]
+    fn dynamic_bounded_by_static_on_branching(h in arb_branching(), picks in 0usize..8) {
+        let cb = bound(u64::MAX / 2);
+        let CostVerdict::Within { worst } =
+            check_cost_bound(&h, &cb, 1 << 18).unwrap()
+        else {
+            panic!("huge budget cannot be exceeded");
+        };
+        let observed = monitor_max_on_path(&h, &cb, picks);
+        prop_assert!(
+            observed <= worst,
+            "path cost {observed} exceeds static worst {worst}"
+        );
+    }
+
+    /// The static verdict's threshold behaviour is exact: with the bound
+    /// set to `worst`, the expression is within budget; any smaller
+    /// bound (when `worst > 0`) is exceeded.
+    #[test]
+    fn threshold_exactness(h in arb_straightline()) {
+        let probe = bound(u64::MAX / 2);
+        let CostVerdict::Within { worst } =
+            check_cost_bound(&h, &probe, 1 << 18).unwrap()
+        else {
+            panic!("huge budget cannot be exceeded");
+        };
+        let at = check_cost_bound(&h, &bound(worst), 1 << 18).unwrap();
+        prop_assert!(at.is_within());
+        if worst > 0 {
+            let below = check_cost_bound(&h, &bound(worst - 1), 1 << 18).unwrap();
+            prop_assert!(!below.is_within());
+        }
+    }
+}

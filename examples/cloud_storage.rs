@@ -1,0 +1,108 @@
+//! Cloud storage with an information-flow flavoured policy: *never
+//! write after read* (§3's example policy), checked history-dependently.
+//!
+//! A client syncs a folder through a storage façade that may delegate to
+//! caching backends. Because validity is **history dependent**, a
+//! backend that reads before the policy's framing even opens still
+//! poisons the session — this example shows a plan rejected for exactly
+//! that reason, and contrasts monitor-on and monitor-off executions.
+//!
+//! ```sh
+//! cargo run --example cloud_storage
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs::prelude::*;
+use sufs_net::{ChoiceMode, MonitorMode, Network, Outcome, Scheduler};
+use sufs_policy::catalog;
+
+fn main() {
+    let mut registry = PolicyRegistry::new();
+    registry.register(catalog::no_after("read", "write"));
+    let no_rw = PolicyRef::nullary("no_write_after_read");
+
+    // The client uploads under the no-write-after-read policy.
+    let client = request(
+        1,
+        Some(no_rw.clone()),
+        seq([
+            send("put", eps()),
+            offer([("stored", eps()), ("full", eps())]),
+        ]),
+    );
+
+    // A write-only store: fine.
+    let write_only = recv(
+        "put",
+        seq([ev0("write"), choose([("stored", eps()), ("full", eps())])]),
+    );
+    // A read-cache store: reads the cache, then writes — forbidden while
+    // the policy is active.
+    let read_cache = recv(
+        "put",
+        seq([
+            ev0("read"),
+            ev0("write"),
+            choose([("stored", eps()), ("full", eps())]),
+        ]),
+    );
+    // A verify-after-write store: writes, then reads back — harmless.
+    let write_verify = recv(
+        "put",
+        seq([
+            ev0("write"),
+            ev0("read"),
+            choose([("stored", eps()), ("full", eps())]),
+        ]),
+    );
+
+    let mut repo = Repository::new();
+    repo.publish("write_only", write_only);
+    repo.publish("read_cache", read_cache);
+    repo.publish("write_verify", write_verify);
+
+    let report = verify(&client, &repo, &registry).expect("verification runs");
+    println!("{report}");
+    assert_eq!(report.valid_plans().count(), 2);
+
+    // Take the rejected plan and watch both failure modes.
+    let rejected = report.rejected().next().expect("one rejected plan");
+    println!("executing the rejected plan {} …", rejected.plan);
+
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Monitor ON: the execution aborts at the blocked write.
+    let enforcing = Scheduler::new(
+        &repo,
+        &registry,
+        MonitorMode::Enforcing,
+        ChoiceMode::Angelic,
+    );
+    let mut network = Network::new();
+    network.add_client("sync", client.clone(), rejected.plan.clone());
+    let r = enforcing.run(network, &mut rng, 1000).expect("run");
+    println!("  monitor on : {:?}", r.outcome);
+    assert!(matches!(r.outcome, Outcome::SecurityAbort { .. }));
+
+    // Monitor OFF: the run "completes" but the violation is incurred.
+    let off = Scheduler::new(&repo, &registry, MonitorMode::Audit, ChoiceMode::Angelic);
+    let mut network = Network::new();
+    network.add_client("sync", client.clone(), rejected.plan.clone());
+    let r = off.run(network, &mut rng, 1000).expect("run");
+    println!(
+        "  monitor off: {:?}, violations incurred: {}",
+        r.outcome,
+        r.violations.len()
+    );
+    assert!(!r.violations.is_empty());
+
+    // Whereas a *valid* plan needs no monitor at all.
+    let valid = report.valid_plans().next().unwrap().clone();
+    let mut network = Network::new();
+    network.add_client("sync", client, valid.clone());
+    let r = off.run(network, &mut rng, 1000).expect("run");
+    println!("valid plan {valid} with monitor off: {:?}", r.outcome);
+    assert!(r.outcome.is_success() && r.violations.is_empty());
+}

@@ -1,0 +1,128 @@
+//! Services written as λ-calculus **programs**: the type-and-effect
+//! system extracts their history expressions, which are then published,
+//! verified and executed — the full §3 programming model.
+//!
+//! ```sh
+//! cargo run --example lambda_services
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs::prelude::*;
+use sufs_lang::{eval, infer, parse_expr, trace_conforms};
+use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};
+use sufs_policy::catalog;
+
+fn main() {
+    // A news-feed client: subscribe, then loop fetching items until the
+    // server closes the stream. Written as a program.
+    let client_src = "
+        open 1 phi at_most_3_fetch {
+            send subscribe;
+            rec pump(x: unit) -> unit {
+                offer[item -> send fetch; pump(x) | end -> ()]
+            }(())
+        }";
+    let client_prog = parse_expr(client_src).expect("client parses");
+    let client = infer(&client_prog).expect("client type-checks").effect;
+    println!("client effect:\n  {client}\n");
+
+    // Two feed servers as programs: one serves two items, one serves
+    // four (fetching more than three times violates the quota policy).
+    let short_feed_src = "
+        offer[subscribe ->
+            choose[item -> offer[fetch ->
+            choose[item -> offer[fetch ->
+            choose[end -> ()]]]]]]";
+    let long_feed_src = "
+        offer[subscribe ->
+            choose[item -> offer[fetch ->
+            choose[item -> offer[fetch ->
+            choose[item -> offer[fetch ->
+            choose[item -> offer[fetch ->
+            choose[end -> ()]]]]]]]]]]";
+    let mut repo = Repository::new();
+    for (loc, src) in [("short_feed", short_feed_src), ("long_feed", long_feed_src)] {
+        let prog = parse_expr(src).expect("server parses");
+        let te = infer(&prog).expect("server type-checks");
+        println!("{loc} effect:\n  {}\n", te.effect);
+        repo.publish(loc, te.effect);
+    }
+
+    // Quota policy: at most 3 fetches per session. The client program
+    // counts nothing — the *verifier* decides which feed stays in budget.
+    let mut registry = PolicyRegistry::new();
+    registry.register(catalog::at_most("fetch", 3));
+
+    // `fetch` must be an *event* to be policed; instrument the repo
+    // services by pairing each fetch message with an access event. In
+    // this calculus communications are not access events, so the feeds
+    // log one explicitly:
+    let mut repo2 = Repository::new();
+    for (loc, h) in repo.iter() {
+        repo2.publish(loc.clone(), instrument_fetch(h));
+    }
+
+    let report = verify(&client, &repo2, &registry).expect("verification runs");
+    println!("{report}");
+    let valid: Vec<&Plan> = report.valid_plans().collect();
+    assert_eq!(valid.len(), 1);
+    assert_eq!(
+        valid[0].service_for(RequestId::new(1)).unwrap().as_str(),
+        "short_feed"
+    );
+
+    // Effect soundness, live: run the client program standalone and
+    // check its traces against its inferred effect.
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..50 {
+        let run = eval(&client_prog, &mut rng, 100_000).expect("evaluation");
+        assert!(trace_conforms(&client, &run.trace), "effect soundness");
+    }
+    println!("50/50 standalone traces conform to the inferred effect.");
+
+    // And execute the verified orchestration.
+    let scheduler = Scheduler::new(&repo2, &registry, MonitorMode::Audit, ChoiceMode::Committed);
+    let mut network = Network::new();
+    network.add_client("reader", client, valid[0].clone());
+    let r = scheduler.run(network, &mut rng, 10_000).expect("run");
+    println!("verified orchestration: {:?}", r.outcome);
+    assert!(r.outcome.is_success() && r.violations.is_empty());
+}
+
+/// Pairs every `fetch` input a service offers with a logged
+/// `#fetch` access event, so the quota policy can see it.
+fn instrument_fetch(h: &Hist) -> Hist {
+    match h {
+        Hist::Ext(bs) => Hist::Ext(
+            bs.iter()
+                .map(|(c, cont)| {
+                    let cont = instrument_fetch(cont);
+                    if c.as_str() == "fetch" {
+                        (
+                            c.clone(),
+                            Hist::seq(sufs_hexpr::builder::ev0("fetch"), cont),
+                        )
+                    } else {
+                        (c.clone(), cont)
+                    }
+                })
+                .collect(),
+        ),
+        Hist::Int(bs) => Hist::Int(
+            bs.iter()
+                .map(|(c, cont)| (c.clone(), instrument_fetch(cont)))
+                .collect(),
+        ),
+        Hist::Seq(a, b) => Hist::seq(instrument_fetch(a), instrument_fetch(b)),
+        Hist::Mu(v, body) => Hist::Mu(v.clone(), Box::new(instrument_fetch(body))),
+        Hist::Framed(p, body) => Hist::framed(p.clone(), instrument_fetch(body)),
+        Hist::Req { id, policy, body } => Hist::Req {
+            id: *id,
+            policy: policy.clone(),
+            body: Box::new(instrument_fetch(body)),
+        },
+        other => other.clone(),
+    }
+}

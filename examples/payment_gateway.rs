@@ -1,0 +1,100 @@
+//! An e-commerce checkout with nested sessions: shop → gateway → bank.
+//!
+//! The client imposes two policies on the checkout session:
+//! * `at_most_1_charge` — the card is charged at most once;
+//! * `sod_audit_charge` — separation of duty: the same session must not
+//!   both self-audit and charge (audits are a third party's job).
+//!
+//! The repository offers two gateways (one double-charges on retry) and
+//! two banks (one audits itself before charging). Only the honest
+//! gateway paired with the external-audit bank yields a valid plan.
+//!
+//! ```sh
+//! cargo run --example payment_gateway
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs::prelude::*;
+use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};
+use sufs_policy::catalog;
+
+fn main() {
+    // Policies.
+    let mut registry = PolicyRegistry::new();
+    registry.register(catalog::at_most("charge", 1));
+    registry.register(catalog::separation_of_duty("audit", "charge"));
+    let once = PolicyRef::nullary("at_most_1_charge");
+    let sod = PolicyRef::nullary("sod_audit_charge");
+
+    // The shop (client): checkout under both policies.
+    let client = request(
+        1,
+        Some(once),
+        framed(
+            sod,
+            seq([
+                send("checkout", eps()),
+                offer([("receipt", eps()), ("declined", eps())]),
+            ]),
+        ),
+    );
+
+    // Gateways: both forward to a bank (request 2); the sloppy one may
+    // charge a second time after a retry.
+    let honest_gateway = recv(
+        "checkout",
+        seq([
+            request(
+                2,
+                None,
+                seq([send("debit", eps()), offer([("done", eps())])]),
+            ),
+            ev0("charge"),
+            choose([("receipt", eps()), ("declined", eps())]),
+        ]),
+    );
+    let sloppy_gateway = recv(
+        "checkout",
+        seq([
+            request(
+                2,
+                None,
+                seq([send("debit", eps()), offer([("done", eps())])]),
+            ),
+            ev0("charge"),
+            ev0("charge"), // double charge!
+            choose([("receipt", eps()), ("declined", eps())]),
+        ]),
+    );
+
+    // Banks: the self-auditing one violates separation of duty.
+    let external_audit_bank = recv("debit", seq([ev0("ledger"), choose([("done", eps())])]));
+    let self_audit_bank = recv("debit", seq([ev0("audit"), choose([("done", eps())])]));
+
+    let mut repo = Repository::new();
+    repo.publish("gw_honest", honest_gateway);
+    repo.publish("gw_sloppy", sloppy_gateway);
+    repo.publish("bank_ext", external_audit_bank);
+    repo.publish("bank_self", self_audit_bank);
+
+    let report = verify(&client, &repo, &registry).expect("verification runs");
+    println!("{report}");
+
+    let valid: Vec<&Plan> = report.valid_plans().collect();
+    assert_eq!(valid.len(), 1, "exactly one safe orchestration");
+    let plan = valid[0].clone();
+    println!("running the valid plan {plan} monitor-free, committed choices…");
+
+    let scheduler = Scheduler::new(&repo, &registry, MonitorMode::Audit, ChoiceMode::Committed);
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..200 {
+        let mut network = Network::new();
+        network.add_client("shop", client.clone(), plan.clone());
+        let r = scheduler.run(network, &mut rng, 10_000).expect("run");
+        assert!(r.outcome.is_success(), "run {i} failed: {:?}", r.outcome);
+        assert!(r.violations.is_empty(), "run {i} violated a policy");
+    }
+    println!("200/200 runs completed with zero violations.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: verify a tiny client against two candidate services,
+//! print the report, and execute the valid plan monitor-free.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs::prelude::*;
+use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};
+
+fn main() {
+    // A client: open a session, send a request, await `ok` or `no`.
+    let client = request(
+        1,
+        None,
+        seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+    );
+
+    // Two published services: one answers ok/no, the other may answer
+    // `later`, which the client cannot handle.
+    let mut repo = Repository::new();
+    repo.publish(
+        "reliable",
+        recv("req", choose([("ok", eps()), ("no", eps())])),
+    );
+    repo.publish(
+        "flaky",
+        recv("req", choose([("ok", eps()), ("later", eps())])),
+    );
+
+    // Statically verify every candidate plan.
+    let registry = PolicyRegistry::new();
+    let report = verify(&client, &repo, &registry).expect("verification runs");
+    println!("{report}");
+
+    // Execute the valid plan with the run-time monitor OFF: §5's point
+    // is that nothing bad can happen.
+    let plan = report
+        .valid_plans()
+        .next()
+        .expect("a valid plan exists")
+        .clone();
+    let scheduler = Scheduler::new(&repo, &registry, MonitorMode::Audit, ChoiceMode::Committed);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut network = Network::new();
+    network.add_client("client", client, plan);
+    let result = scheduler
+        .run(network, &mut rng, 1000)
+        .expect("run succeeds");
+    println!("execution: {:?}", result.outcome);
+    println!("{}", sufs_net::trace::render_actions(&result.trace));
+    assert!(result.outcome.is_success());
+    assert!(result.violations.is_empty());
+}

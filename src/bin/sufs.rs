@@ -1,0 +1,358 @@
+//! The `sufs` command-line tool: verify and execute scenario files.
+//!
+//! ```text
+//! sufs verify <file> [--client NAME]
+//! sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor]
+//!                 [--committed] [--seed N] [--runs N] [--fuel N] [--trace]
+//! sufs compliance <file> <client-service> <server-service>
+//! sufs lts <file> <service> [--dot]
+//! sufs bpa <file> <service>
+//! ```
+//!
+//! See `docs/SCENARIOS.md` for the scenario-file format; ready scenarios
+//! (including the paper's §2 example, `scenarios/hotel.sufs`) live in
+//! `scenarios/`.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_contract::{compliant, Contract};
+use sufs_core::scenario::{parse_scenario, Scenario};
+use sufs_core::verify::verify;
+use sufs_hexpr::{Hist, HistLts, Location, RequestId};
+use sufs_net::{ChoiceMode, MonitorMode, Network, Plan, Scheduler};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sufs: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "verify" => cmd_verify(&args[1..]),
+        "verify-net" => cmd_verify_net(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "compliance" => cmd_compliance(&args[1..]),
+        "discover" => cmd_discover(&args[1..]),
+        "lts" => cmd_lts(&args[1..]),
+        "bpa" => cmd_bpa(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     sufs verify <file> [--client NAME]\n  \
+     sufs verify-net <file>\n  \
+     sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor] \
+     [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid]\n  \
+     sufs compliance <file> <client-service> <server-service>\n  \
+     sufs discover <file> <client> [--request N]\n  \
+     sufs lts <file> <service> [--dot]\n  \
+     sufs bpa <file> <service>"
+        .to_owned()
+}
+
+fn load(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_scenario(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn pick_client<'a>(sc: &'a Scenario, name: Option<&'a str>) -> Result<(&'a str, &'a Hist), String> {
+    match name {
+        Some(n) => sc
+            .client(n)
+            .map(|h| (n, h))
+            .ok_or_else(|| format!("no client named `{n}`")),
+        None => sc
+            .clients
+            .first()
+            .map(|(n, h)| (n.as_str(), h))
+            .ok_or_else(|| "the scenario declares no clients".to_owned()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let sc = load(path)?;
+    let names: Vec<&str> = match flag_value(args, "--client") {
+        Some(n) => vec![n],
+        None => sc.clients.iter().map(|(n, _)| n.as_str()).collect(),
+    };
+    if names.is_empty() {
+        return Err("the scenario declares no clients".into());
+    }
+    for name in names {
+        let client = sc
+            .client(name)
+            .ok_or_else(|| format!("no client named `{name}`"))?;
+        println!("== {name} ==");
+        let report = verify(client, &sc.repository, &sc.registry).map_err(|e| e.to_string())?;
+        print!("{report}");
+        // Quantitative budgets: check each valid plan against each budget.
+        for plan in report.valid_plans() {
+            for budget in &sc.budgets {
+                let verdict = sufs_policy::cost::check_cost_bound_lts(
+                    sufs_net::symbolic::SymState::initial("client", client.clone()),
+                    |s| sufs_net::symbolic::symbolic_successors(s, plan, &sc.repository),
+                    budget,
+                    1 << 20,
+                )
+                .map_err(|b| format!("cost analysis exceeded {b} states"))?;
+                println!(
+                    "  budget {} (≤{}) under {plan}: {verdict}",
+                    budget.policy, budget.bound
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Joint verification of every client at once: pick each client's first
+/// individually valid plan, then search the joint state space for
+/// capacity deadlocks.
+fn cmd_verify_net(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let sc = load(path)?;
+    if sc.clients.is_empty() {
+        return Err("the scenario declares no clients".into());
+    }
+    let mut specs = Vec::new();
+    for (name, client) in &sc.clients {
+        let report = verify(client, &sc.repository, &sc.registry).map_err(|e| e.to_string())?;
+        let plan = report
+            .valid_plans()
+            .next()
+            .cloned()
+            .ok_or_else(|| format!("client `{name}` has no valid plan"))?;
+        println!("{name}: using {plan}");
+        specs.push(sufs_core::ClientSpec::new(
+            Location::new(name.clone()),
+            client.clone(),
+            plan,
+        ));
+    }
+    let report = sufs_core::verify_network(&specs, &sc.repository, &sc.registry, 1 << 20)
+        .map_err(|e| e.to_string())?;
+    match &report.joint_deadlock {
+        Some(dl) => println!("joint analysis: {dl}"),
+        None => println!("joint analysis: no reachable deadlock"),
+    }
+    if report.is_valid() {
+        println!("the network is secure and unfailing: run it monitor-free.");
+    }
+    Ok(())
+}
+
+fn parse_plan(spec: &str) -> Result<Plan, String> {
+    let mut plan = Plan::new();
+    for binding in spec.split(',').filter(|s| !s.is_empty()) {
+        let (r, loc) = binding
+            .split_once('=')
+            .ok_or_else(|| format!("bad plan binding `{binding}` (want r=loc)"))?;
+        let r: u32 = r
+            .trim_start_matches('r')
+            .parse()
+            .map_err(|_| format!("bad request id `{r}`"))?;
+        plan.bind(r, loc);
+    }
+    Ok(plan)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let sc = load(path)?;
+    let (name, client) = pick_client(&sc, flag_value(args, "--client"))?;
+
+    let plan = match flag_value(args, "--plan") {
+        Some(spec) => parse_plan(spec)?,
+        None => {
+            let report = verify(client, &sc.repository, &sc.registry).map_err(|e| e.to_string())?;
+            let plan = report
+                .valid_plans()
+                .next()
+                .cloned()
+                .ok_or_else(|| "no valid plan exists; pass --plan to force one".to_owned())?;
+            println!("using the verified plan {plan}");
+            plan
+        }
+    };
+
+    let monitor = if has_flag(args, "--monitor") {
+        MonitorMode::Enforcing
+    } else {
+        MonitorMode::Audit
+    };
+    let choice = if has_flag(args, "--committed") {
+        ChoiceMode::Committed
+    } else {
+        ChoiceMode::Angelic
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let runs: usize = flag_value(args, "--runs")
+        .map(|s| s.parse().map_err(|_| format!("bad runs `{s}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let fuel: usize = flag_value(args, "--fuel")
+        .map(|s| s.parse().map_err(|_| format!("bad fuel `{s}`")))
+        .transpose()?
+        .unwrap_or(100_000);
+
+    let scheduler = Scheduler::new(&sc.repository, &sc.registry, monitor, choice);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut network = Network::new();
+    network.add_client(Location::new(name), client.clone(), plan);
+
+    if runs == 1 {
+        let result = scheduler
+            .run(network.clone(), &mut rng, fuel)
+            .map_err(|e| e.to_string())?;
+        if has_flag(args, "--mermaid") {
+            println!("{}", sufs_net::trace::render_mermaid(&result.trace));
+        } else if has_flag(args, "--trace") {
+            match sufs_net::trace::render_trace(&network, &result.trace, &sc.repository) {
+                Some(rendered) => println!("{rendered}"),
+                None => println!("{}", sufs_net::trace::render_actions(&result.trace)),
+            }
+        } else {
+            println!("{}", sufs_net::trace::render_actions(&result.trace));
+        }
+        println!("outcome: {:?}", result.outcome);
+        for (i, p) in &result.violations {
+            println!("component {i} violated {p}");
+        }
+    } else {
+        let summary = scheduler
+            .run_batch(&network, runs, &mut rng, fuel)
+            .map_err(|e| e.to_string())?;
+        println!("{summary}");
+        if summary.is_unfailing() {
+            println!("unfailing: no deadlocks, no aborts, no violations.");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compliance(args: &[String]) -> Result<(), String> {
+    let [path, a, b] = args else {
+        return Err(usage());
+    };
+    let sc = load(path)?;
+    let ha = service_or_client(&sc, a)?;
+    let hb = service_or_client(&sc, b)?;
+    let ca = Contract::from_service(&ha).map_err(|e| e.to_string())?;
+    let cb = Contract::from_service(&hb).map_err(|e| e.to_string())?;
+    println!("{a}! = {ca}");
+    println!("{b}! = {cb}");
+    let result = compliant(&ca, &cb);
+    println!("{a} ⊢ {b}: {result}");
+    Ok(())
+}
+
+fn service_or_client(sc: &Scenario, name: &str) -> Result<Hist, String> {
+    if let Some(h) = sc.repository.get(&Location::new(name)) {
+        return Ok(h.clone());
+    }
+    if let Some(h) = sc.client(name) {
+        // For a client, the interesting side is its first request body.
+        let reqs = sufs_hexpr::requests::requests(h);
+        if let Some(r) = reqs.first() {
+            return Ok(r.body.clone());
+        }
+        return Ok(h.clone());
+    }
+    Err(format!("no service or client named `{name}`"))
+}
+
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let name = args.get(1).ok_or_else(usage)?;
+    let sc = load(path)?;
+    let client = sc
+        .client(name)
+        .ok_or_else(|| format!("no client named `{name}`"))?;
+    let requests = sufs_hexpr::requests::requests(client);
+    if requests.is_empty() {
+        return Err(format!("client `{name}` makes no requests"));
+    }
+    let wanted: Option<u32> = flag_value(args, "--request")
+        .map(|s| s.parse().map_err(|_| format!("bad request id `{s}`")))
+        .transpose()?;
+    for info in &requests {
+        if wanted.is_some_and(|w| w != info.id.index()) {
+            continue;
+        }
+        println!("request {} (conversation: {}):", info.id, info.body);
+        let results = sufs_core::discover(&info.body, &sc.repository).map_err(|e| e.to_string())?;
+        for c in results {
+            if c.matches() {
+                println!("  ✓ {}", c.location);
+            } else {
+                println!("  ✗ {}: {}", c.location, c.rejection.unwrap());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_lts(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let name = args.get(1).ok_or_else(usage)?;
+    let sc = load(path)?;
+    let h = service_or_client(&sc, name)?;
+    let lts = HistLts::build(&h).map_err(|e| e.to_string())?;
+    if has_flag(args, "--dot") {
+        println!("{}", lts.to_dot());
+    } else {
+        println!("{} states, {} edges", lts.len(), lts.iter_edges().count());
+        for (s, l, t) in lts.iter_edges() {
+            println!("  q{s} ──{l}──▸ q{t}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bpa(args: &[String]) -> Result<(), String> {
+    let [path, name] = args else {
+        return Err(usage());
+    };
+    let sc = load(path)?;
+    let h = service_or_client(&sc, name)?;
+    let bpa = sufs_hexpr::bpa::BpaSystem::from_hist(&h);
+    print!("{bpa}");
+    Ok(())
+}
+
+// Silence the unused warning for RequestId, kept for plan parsing docs.
+#[allow(dead_code)]
+fn _types(_: RequestId) {}

@@ -1,0 +1,71 @@
+//! # sufs — Secure and Unfailing Services
+//!
+//! A complete implementation of Basile, Degano and Ferrari's *Secure and
+//! Unfailing Services*: history expressions with communication, parametric
+//! usage-automata security policies, behavioural contracts with compliance
+//! checking via product automata, networks of services with nested
+//! sessions, and static synthesis of **valid plans** — orchestrations under
+//! which a network of services never violates a security policy and never
+//! gets stuck on a missing communication, so that *no run-time monitor is
+//! needed*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`hexpr`] — history expressions (syntax, semantics, LTS, projection,
+//!   ready sets, parser);
+//! * [`automata`] — the generic NFA/DFA substrate;
+//! * [`policy`] — usage automata, histories and validity;
+//! * [`contract`] — behavioural contracts and compliance (Theorem 1);
+//! * [`net`] — networks, plans, the run-time monitor and schedulers;
+//! * [`lang`] — a service λ-calculus whose type-and-effect system extracts
+//!   history expressions;
+//! * [`core`] — the verification pipeline computing valid plans.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sufs::prelude::*;
+//!
+//! // A client that opens a session, sends a request and expects either a
+//! // confirmation or a rejection; and one matching / one broken service.
+//! let client = request(1, None, seq([
+//!     send("req", eps()),
+//!     offer([("ok", eps()), ("no", eps())]),
+//! ]));
+//! let good = recv("req", choose([("ok", eps()), ("no", eps())]));
+//! let bad = recv("req", choose([("later", eps())]));
+//!
+//! let mut repo = Repository::new();
+//! repo.publish("good", good);
+//! repo.publish("bad", bad);
+//!
+//! let report = verify(&client, &repo, &PolicyRegistry::new()).unwrap();
+//! let valid: Vec<_> = report.valid_plans().collect();
+//! assert_eq!(valid.len(), 1);
+//! assert_eq!(valid[0].service_for(RequestId::new(1)).unwrap().as_str(), "good");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod paper;
+
+pub use sufs_automata as automata;
+pub use sufs_contract as contract;
+pub use sufs_core as core;
+pub use sufs_hexpr as hexpr;
+pub use sufs_lang as lang;
+pub use sufs_net as net;
+pub use sufs_policy as policy;
+
+/// A convenient single import for the common API surface.
+pub mod prelude {
+    pub use sufs_contract::compliance::{compliant, ComplianceResult};
+    pub use sufs_contract::contract::Contract;
+    pub use sufs_core::report::VerifyReport;
+    pub use sufs_core::verify::verify;
+    pub use sufs_hexpr::builder::*;
+    pub use sufs_hexpr::{parse_hist, Hist, Label, Location, PolicyRef, RequestId};
+    pub use sufs_net::plan::Plan;
+    pub use sufs_net::repository::Repository;
+    pub use sufs_policy::registry::PolicyRegistry;
+}

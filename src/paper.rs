@@ -1,0 +1,170 @@
+//! The paper's running example (§2, Figs. 1–3): two clients, a broker
+//! and four hotels, ready to verify and execute.
+//!
+//! * The policy `φ(bl, p, t)` of **Fig. 1** is
+//!   [`sufs_policy::catalog::hotel_policy`]; [`registry`] preloads it.
+//! * The services of **Fig. 2** are [`client_c1`], [`client_c2`],
+//!   [`broker`] and [`hotel`]/[`hotel_s2`]; [`repository`] publishes the
+//!   broker at `br` and the hotels at `s1`–`s4`.
+//! * The valid plan `π₁ = {r1↦br, r3↦s3}` of **Fig. 3** is [`plan_pi1`].
+//!
+//! ```
+//! use sufs::paper;
+//! use sufs_core::verify::verify;
+//!
+//! let report = verify(&paper::client_c1(), &paper::repository(), &paper::registry()).unwrap();
+//! let valid: Vec<_> = report.valid_plans().collect();
+//! assert_eq!(valid, vec![&paper::plan_pi1()]);
+//! ```
+
+use sufs_hexpr::builder::*;
+use sufs_hexpr::{Hist, ParamValue, PolicyRef};
+use sufs_net::{Plan, Repository};
+use sufs_policy::{catalog, PolicyRegistry};
+
+/// `φ₁ = φ({s1}, 45, 100)`: client C1's instantiation of the Fig. 1
+/// policy — black list `{1}`, price at most 45 or rating at least 100.
+pub fn phi1() -> PolicyRef {
+    PolicyRef::new(
+        "hotel",
+        [
+            ParamValue::set([1i64]),
+            ParamValue::int(45),
+            ParamValue::int(100),
+        ],
+    )
+}
+
+/// `φ₂ = φ({s1,s3}, 40, 70)`: client C2's instantiation — black list
+/// `{1, 3}`, price at most 40 or rating at least 70.
+pub fn phi2() -> PolicyRef {
+    PolicyRef::new(
+        "hotel",
+        [
+            ParamValue::set([1i64, 3]),
+            ParamValue::int(40),
+            ParamValue::int(70),
+        ],
+    )
+}
+
+/// The policy registry: the Fig. 1 automaton under its name `hotel`.
+pub fn registry() -> PolicyRegistry {
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::hotel_policy());
+    reg
+}
+
+fn client_body() -> Hist {
+    // Req · (CoBo.Pay + NoAv): send the request, then either receive the
+    // booking confirmation and pay, or receive the unavailability notice.
+    seq([
+        send("req", eps()),
+        offer([("cobo", send("pay", eps())), ("noav", eps())]),
+    ])
+}
+
+/// `C1 = open_{1,φ₁} Req·(CoBo.P̄ay + NoAv) close_{1,φ₁}`.
+pub fn client_c1() -> Hist {
+    request(1, Some(phi1()), client_body())
+}
+
+/// `C2 = open_{2,φ₂} Req·(CoBo.P̄ay + NoAv) close_{2,φ₂}`.
+pub fn client_c2() -> Hist {
+    request(2, Some(phi2()), client_body())
+}
+
+/// `Br = Req · open_{3,∅} ĪdC·(Bok + UnA) close_{3,∅} · (C̄oBo.Pay ⊕ N̄oAv)`.
+pub fn broker() -> Hist {
+    seq([
+        recv("req", eps()),
+        request(
+            3,
+            None,
+            seq([send("idc", eps()), offer([("bok", eps()), ("una", eps())])]),
+        ),
+        choose([("cobo", recv("pay", eps())), ("noav", eps())]),
+    ])
+}
+
+/// `Sᵢ = α_sgn(i)·α_p(price)·α_ta(rating) · IdC·(B̄ok ⊕ ŪnA)`: the shape
+/// shared by hotels S1, S3 and S4 (Fig. 2).
+pub fn hotel(id: i64, price: i64, rating: i64) -> Hist {
+    seq([
+        ev("sgn", [id]),
+        ev("p", [price]),
+        ev("ta", [rating]),
+        recv("idc", choose([("bok", eps()), ("una", eps())])),
+    ])
+}
+
+/// `S2`: like the others but may also answer `Del` ("rooms available
+/// later in the week"), which the broker cannot handle — the
+/// non-compliant hotel of §2.
+pub fn hotel_s2() -> Hist {
+    seq([
+        ev("sgn", [2]),
+        ev("p", [70]),
+        ev("ta", [100]),
+        recv(
+            "idc",
+            choose([("bok", eps()), ("una", eps()), ("del", eps())]),
+        ),
+    ])
+}
+
+/// The repository `R`: the broker at `br` and the four hotels at
+/// `s1`–`s4` with the prices/ratings of Fig. 2.
+pub fn repository() -> Repository {
+    let mut repo = Repository::new();
+    repo.publish("br", broker());
+    repo.publish("s1", hotel(1, 45, 80));
+    repo.publish("s2", hotel_s2());
+    repo.publish("s3", hotel(3, 90, 100));
+    repo.publish("s4", hotel(4, 50, 90));
+    repo
+}
+
+/// The valid plan `π₁` for C1: request 1 to the broker, the broker's
+/// request 3 to hotel S3.
+pub fn plan_pi1() -> Plan {
+    Plan::new().with(1u32, "br").with(3u32, "s3")
+}
+
+/// The invalid plan for C2 that §2 calls `π₂`: request 3 goes to the
+/// non-compliant hotel S2.
+pub fn plan_pi2() -> Plan {
+    Plan::new().with(2u32, "br").with(3u32, "s2")
+}
+
+/// The other invalid plan for C2 discussed in §2: S3 is compliant with
+/// the broker but black-listed by C2's policy.
+pub fn plan_c2_s3() -> Plan {
+    Plan::new().with(2u32, "br").with(3u32, "s3")
+}
+
+/// The only valid plan for C2: request 3 to hotel S4.
+pub fn plan_c2_s4() -> Plan {
+    Plan::new().with(2u32, "br").with(3u32, "s4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::wf;
+
+    #[test]
+    fn all_fixture_services_are_well_formed() {
+        for h in [client_c1(), client_c2(), broker(), hotel_s2()] {
+            assert!(wf::check(&h).is_ok());
+        }
+        assert_eq!(repository().len(), 5);
+    }
+
+    #[test]
+    fn plans_bind_the_expected_requests() {
+        assert_eq!(plan_pi1().len(), 2);
+        assert_eq!(plan_pi1().to_string(), "{r1↦br, r3↦s3}");
+        assert_eq!(plan_pi2().to_string(), "{r2↦br, r3↦s2}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Smoke tests for the `sufs` command-line tool against the bundled
+//! hotel scenario.
+
+use std::process::Command;
+
+fn sufs(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sufs"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn verify_reports_the_paper_plans() {
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/hotel.sufs"]);
+    assert!(ok);
+    assert!(stdout.contains("== c1 =="));
+    assert!(stdout.contains("✓ {r1↦br, r3↦s3}"));
+    assert!(stdout.contains("== c2 =="));
+    assert!(stdout.contains("✓ {r2↦br, r3↦s4}"));
+    assert!(stdout.contains("del!"), "S2's witness is shown");
+}
+
+#[test]
+fn run_uses_the_verified_plan() {
+    let (stdout, _, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--runs",
+        "20",
+        "--committed",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("using the verified plan {r1↦br, r3↦s3}"));
+    assert!(stdout.contains("20 completed"));
+    assert!(stdout.contains("unfailing"));
+}
+
+#[test]
+fn run_with_forced_bad_plan_fails_observably() {
+    let (stdout, _, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c2",
+        "--plan",
+        "r2=br,r3=s2",
+        "--runs",
+        "100",
+        "--committed",
+        "--seed",
+        "1",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout.contains("deadlocked") && !stdout.contains(" 0 deadlocked"),
+        "the forced π₂ must deadlock sometimes:\n{stdout}"
+    );
+}
+
+#[test]
+fn single_run_prints_a_trace() {
+    let (stdout, _, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--trace",
+        "--seed",
+        "4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("outcome: Completed"));
+    assert!(stdout.contains("open r1"));
+}
+
+#[test]
+fn compliance_command() {
+    let (stdout, _, ok) = sufs(&["compliance", "scenarios/hotel.sufs", "s3", "s3"]);
+    assert!(ok);
+    assert!(stdout.contains("⊢"));
+    let (stdout, _, ok) = sufs(&["lts", "scenarios/hotel.sufs", "s3"]);
+    assert!(ok);
+    assert!(stdout.contains("states"));
+    let (stdout, _, ok) = sufs(&["bpa", "scenarios/hotel.sufs", "s1"]);
+    assert!(ok);
+    assert!(stdout.contains("root:"));
+}
+
+#[test]
+fn verify_net_runs_the_joint_analysis() {
+    let (stdout, _, ok) = sufs(&["verify-net", "scenarios/hotel.sufs"]);
+    assert!(ok);
+    assert!(stdout.contains("c1: using {r1↦br, r3↦s3}"));
+    assert!(stdout.contains("c2: using {r2↦br, r3↦s4}"));
+    assert!(stdout.contains("no reachable deadlock"));
+    assert!(stdout.contains("secure and unfailing"));
+}
+
+#[test]
+fn discover_lists_matches_with_reasons() {
+    let (stdout, _, ok) = sufs(&["discover", "scenarios/hotel.sufs", "c1"]);
+    assert!(ok);
+    assert!(stdout.contains("request r1"));
+    assert!(stdout.contains("✓ br"));
+    assert!(stdout.contains("✗ s1"));
+    assert!(stdout.contains("req!"));
+}
+
+#[test]
+fn payment_scenario_has_one_valid_plan() {
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/payment.sufs"]);
+    assert!(ok);
+    assert!(stdout.contains("1 valid"));
+    assert!(stdout.contains("✓ {r1↦gw_honest, r2↦bank_ext}"));
+    assert!(stdout.contains("no_self_audit violated"));
+}
+
+#[test]
+fn storage_scenario_shows_history_dependence() {
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/storage.sufs"]);
+    assert!(ok);
+    // For sync, only read_cache is rejected (no_write_after_read);
+    // for the auditor, only the shady mount is rejected (black list).
+    assert!(stdout.contains("✗ {r1↦read_cache}"));
+    assert!(stdout.contains("✓ {r1↦write_verify}"));
+    assert!(stdout.contains("✗ {r2↦shady_mount}"));
+    assert!(stdout.contains("✓ {r2↦read_cache}"));
+}
+
+#[test]
+fn metered_scenario_reports_budgets() {
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/metered.sufs"]);
+    assert!(ok);
+    assert!(stdout.contains("within budget (worst case 15)"));
+    assert!(stdout.contains("budget exceeded (witnessed cost 45)"));
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_, stderr, ok) = sufs(&["verify", "scenarios/nope.sufs"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+    let (_, stderr, ok) = sufs(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (stdout, _, ok) = sufs(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage"));
+    let (_, stderr, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--plan",
+        "r1~br",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad plan binding"));
+    let (_, stderr, ok) = sufs(&["verify", "scenarios/hotel.sufs", "--client", "ghost"]);
+    assert!(!ok);
+    assert!(stderr.contains("no client named"));
+    let (_, stderr, ok) = sufs(&["discover", "scenarios/hotel.sufs", "br"]);
+    assert!(!ok);
+    assert!(stderr.contains("no client named"));
+}
+
+#[test]
+fn mermaid_flag_emits_a_sequence_diagram() {
+    let (stdout, _, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--mermaid",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("sequenceDiagram"));
+    assert!(stdout.contains("c1-->>br: open r1"));
+}

@@ -1,0 +1,63 @@
+//! Call-by-contract discovery agrees with the verifier: a service
+//! matches a request's conversation iff binding it to that request
+//! never produces a `NonCompliant` violation for it.
+
+use sufs::paper;
+use sufs_core::discover::discover;
+use sufs_core::verify::{verify_plan, Violation};
+use sufs_hexpr::requests::requests;
+use sufs_hexpr::RequestId;
+use sufs_net::Plan;
+
+#[test]
+fn discovery_agrees_with_per_request_compliance() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+
+    // The broker's request 3: its conversation, discovered over the
+    // whole repository.
+    let broker_reqs = requests(&paper::broker());
+    let conv = &broker_reqs[0].body;
+    let results = discover(conv, &repo).unwrap();
+
+    for candidate in &results {
+        // Bind r1 to the broker and r3 to the candidate, then ask the
+        // verifier specifically about r3's compliance.
+        let plan = Plan::new()
+            .with(1u32, "br")
+            .with(3u32, candidate.location.clone());
+        let verdict = verify_plan(&paper::client_c1(), &plan, &repo, &reg).unwrap();
+        let r3_noncompliant = verdict.violations.iter().any(|v| {
+            matches!(v, Violation::NonCompliant { request, .. } if *request == RequestId::new(3))
+        });
+        assert_eq!(
+            candidate.matches(),
+            !r3_noncompliant,
+            "discovery and verification disagree on {}",
+            candidate.location
+        );
+    }
+
+    // And the matching set is the paper's: the three del-free hotels.
+    let matching: Vec<&str> = results
+        .iter()
+        .filter(|c| c.matches())
+        .map(|c| c.location.as_str())
+        .collect();
+    assert_eq!(matching, vec!["s1", "s3", "s4"]);
+}
+
+#[test]
+fn discovery_for_the_clients_finds_only_the_broker() {
+    let repo = paper::repository();
+    for client in [paper::client_c1(), paper::client_c2()] {
+        let conv = &requests(&client)[0].body;
+        let matching: Vec<String> = discover(conv, &repo)
+            .unwrap()
+            .into_iter()
+            .filter(|c| c.matches())
+            .map(|c| c.location.as_str().to_owned())
+            .collect();
+        assert_eq!(matching, vec!["br"]);
+    }
+}

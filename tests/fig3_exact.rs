@@ -1,0 +1,97 @@
+//! E5, exact form: the 13-step computation fragment of Fig. 3, driven
+//! step by step in the paper's order, asserting each intermediate
+//! configuration.
+
+use sufs::paper;
+use sufs_net::{component_steps, Component, Network, StepAction};
+use sufs_policy::HistoryItem;
+
+/// Applies, to the given component of the network, the unique enabled
+/// step matching `pick`; panics with a helpful message otherwise.
+fn drive(
+    net: &mut Network,
+    repo: &sufs_net::Repository,
+    component: usize,
+    pick: impl Fn(&StepAction) -> bool,
+    what: &str,
+) {
+    let comp: &Component = &net.components()[component];
+    let matching: Vec<(StepAction, Component)> = component_steps(comp, repo)
+        .into_iter()
+        .filter(|(a, _)| pick(a))
+        .collect();
+    assert_eq!(
+        matching.len(),
+        1,
+        "step `{what}`: expected exactly one matching transition, found {}",
+        matching.len()
+    );
+    let (_, next) = matching.into_iter().next().unwrap();
+    *net.component_mut(component) = next;
+}
+
+#[test]
+fn fig3_step_by_step() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let mut net = Network::new();
+    net.add_client("c1", paper::client_c1(), paper::plan_pi1());
+    net.add_client("c2", paper::client_c2(), paper::plan_c2_s4());
+
+    let is_open = |r: u32| move |a: &StepAction| matches!(a, StepAction::Open { request, .. } if request.index() == r);
+    let is_synch = |c: &'static str| move |a: &StepAction| matches!(a, StepAction::Synch { chan, .. } if chan.as_str() == c);
+    let is_event = |n: &'static str| move |a: &StepAction| matches!(a, StepAction::Event { event, .. } if event.name().as_str() == n);
+    let is_close = |r: u32| move |a: &StepAction| matches!(a, StepAction::Close { request, .. } if request.index() == r);
+
+    // 1. C1 opens session 1 with the broker; ⌞φ₁ is logged.
+    drive(&mut net, &repo, 0, is_open(1), "open r1");
+    assert_eq!(
+        net.components()[0].history.items(),
+        &[HistoryItem::Open(paper::phi1())]
+    );
+    // 2. The request is accepted (τ on req).
+    drive(&mut net, &repo, 0, is_synch("req"), "τ req");
+    // 3. A nested session opens with S3; no policy over the callee.
+    drive(&mut net, &repo, 0, is_open(3), "open r3");
+    assert_eq!(net.components()[0].sess.open_sessions(), 2);
+    assert_eq!(net.components()[0].history.len(), 1, "∅ adds no frame");
+    // 4. Concurrently, C2 asks for a reservation (⌞φ₂ on its own history).
+    drive(&mut net, &repo, 1, is_open(2), "open r2");
+    assert_eq!(
+        net.components()[1].history.items(),
+        &[HistoryItem::Open(paper::phi2())]
+    );
+    // 5–7. S3 signs, shows its price and its rating.
+    drive(&mut net, &repo, 0, is_event("sgn"), "sgn(3)");
+    drive(&mut net, &repo, 0, is_event("p"), "p(90)");
+    drive(&mut net, &repo, 0, is_event("ta"), "ta(100)");
+    let flat: Vec<String> = net.components()[0]
+        .history
+        .flatten()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    assert_eq!(flat, ["#sgn(3)", "#p(90)", "#ta(100)"]);
+    // 8. The broker sends the client's data (τ on idc).
+    drive(&mut net, &repo, 0, is_synch("idc"), "τ idc");
+    // 9. The answer: "no room is available" (τ on una).
+    drive(&mut net, &repo, 0, is_synch("una"), "τ una");
+    // 10. The nested session closes; S3 is discarded.
+    drive(&mut net, &repo, 0, is_close(3), "close r3");
+    assert_eq!(net.components()[0].sess.open_sessions(), 1);
+    // 11. The broker forwards the non-availability (τ on noav).
+    drive(&mut net, &repo, 0, is_synch("noav"), "τ noav");
+    // 12. Session 1 closes; the security framing of φ₁ closes with it.
+    drive(&mut net, &repo, 0, is_close(1), "close r1");
+    assert!(net.components()[0].is_terminated());
+    let h1 = &net.components()[0].history;
+    assert!(h1.is_balanced());
+    assert!(h1.is_valid(&reg).unwrap());
+    assert_eq!(
+        h1.to_string(),
+        "⌞hotel({1},45,100) #sgn(3) #p(90) #ta(100) ⌟hotel({1},45,100)"
+    );
+    // 13. The last transition continues the session of the second client.
+    drive(&mut net, &repo, 1, is_synch("req"), "τ req (c2)");
+    assert!(!net.components()[1].is_terminated());
+}

@@ -1,0 +1,48 @@
+//! The balanced-prefix invariant of §3.1 over the paper's network:
+//! "we shall only deal with histories that are prefixes of a balanced
+//! history, because such are those that show up when executing a
+//! network".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};
+
+#[test]
+fn histories_stay_balanced_prefixes_throughout() {
+    // Run the paper's network under many random schedules and assert the
+    // balanced-prefix invariant at every step of every run.
+    let repo = sufs::paper::repository();
+    let reg = sufs::paper::registry();
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..50 {
+        let mut net = Network::new();
+        net.add_client("c1", sufs::paper::client_c1(), sufs::paper::plan_pi1());
+        net.add_client("c2", sufs::paper::client_c2(), sufs::paper::plan_c2_s4());
+        let result = scheduler.run(net.clone(), &mut rng, 10_000).unwrap();
+        assert!(result.outcome.is_success());
+        // Replay and check the invariant after every step.
+        let mut replay = net;
+        for step in &result.trace {
+            let comp = &replay.components()[step.component];
+            let (_, next) = sufs_net::component_steps(comp, &repo)
+                .into_iter()
+                .find(|(a, _)| a == &step.action)
+                .expect("trace replays");
+            *replay.component_mut(step.component) = next;
+            for c in replay.components() {
+                assert!(
+                    c.history.is_balanced_prefix(),
+                    "unbalanced history {} in {}",
+                    c.history,
+                    c.sess
+                );
+            }
+        }
+        // At termination every history is fully balanced.
+        for c in replay.components() {
+            assert!(c.history.is_balanced());
+        }
+    }
+}

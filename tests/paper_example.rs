@@ -1,0 +1,279 @@
+//! Experiments E1–E5: the paper's §2 example, figure by figure.
+
+use sufs::paper;
+use sufs_contract::{compliant, Contract};
+use sufs_core::verify::{verify, verify_plan, Violation};
+use sufs_hexpr::{Event, Location, RequestId};
+use sufs_net::{ChoiceMode, MonitorMode, Network, Outcome, Plan, Scheduler, StepAction};
+use sufs_policy::PolicyRegistry;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E1 (Fig. 1): the parametric usage automaton `φ(bl, p, t)` classifies
+/// hotel histories exactly as the paper narrates.
+#[test]
+fn fig1_policy_automaton() {
+    let reg = paper::registry();
+    let phi1 = reg.instantiate(&paper::phi1()).unwrap();
+    let phi2 = reg.instantiate(&paper::phi2()).unwrap();
+
+    let trace = |id: i64, p: i64, ta: i64| {
+        vec![
+            Event::new("sgn", [id]),
+            Event::new("p", [p]),
+            Event::new("ta", [ta]),
+        ]
+    };
+    let s1 = trace(1, 45, 80);
+    let s2 = trace(2, 70, 100);
+    let s3 = trace(3, 90, 100);
+    let s4 = trace(4, 50, 90);
+
+    // "S1 and S4 violate the policy of C1": S1 is black listed, S4
+    // respects neither threshold.
+    assert!(phi1.forbids(s1.iter()));
+    assert!(phi1.forbids(s4.iter()));
+    assert!(phi1.respects(s2.iter()));
+    assert!(phi1.respects(s3.iter()));
+
+    // "S1, S3 do not satisfy the policy of C2 since they are black
+    // listed."
+    assert!(phi2.forbids(s1.iter()));
+    assert!(phi2.forbids(s3.iter()));
+    assert!(phi2.respects(s2.iter()));
+    assert!(phi2.respects(s4.iter()));
+}
+
+/// E2 (Fig. 2): the compliance matrix. S1, S3, S4 are compliant with the
+/// broker; S2 is not (the `Del` message).
+#[test]
+fn fig2_compliance_matrix() {
+    let repo = paper::repository();
+    // The broker-side conversation of request 3.
+    let broker_body = sufs_hexpr::requests::requests(&paper::broker())[0]
+        .body
+        .clone();
+    let broker_side = Contract::from_service(&broker_body).unwrap();
+
+    let expectations = [("s1", true), ("s2", false), ("s3", true), ("s4", true)];
+    for (loc, expected) in expectations {
+        let service = repo.get(&Location::new(loc)).unwrap();
+        let hotel_side = Contract::from_service(service).unwrap();
+        let result = compliant(&broker_side, &hotel_side);
+        assert_eq!(
+            result.holds(),
+            expected,
+            "compliance Br ⊢ {loc} should be {expected}"
+        );
+        if loc == "s2" {
+            let witness = result.witness().unwrap();
+            assert!(
+                witness.to_string().contains("del"),
+                "S2's witness must blame the del message, got: {witness}"
+            );
+        }
+    }
+
+    // The clients are compliant with the broker.
+    let c1_body = sufs_hexpr::requests::requests(&paper::client_c1())[0]
+        .body
+        .clone();
+    let client_side = Contract::from_service(&c1_body).unwrap();
+    let broker_contract = Contract::from_service(&paper::broker()).unwrap();
+    assert!(compliant(&client_side, &broker_contract).holds());
+}
+
+/// E3 (§2): the security matrix — which plan, for which client, violates
+/// the instantiated policy.
+#[test]
+fn fig2_security_matrix() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+
+    // For C1 (φ1): s1 and s4 violate, s3 passes; s2 passes security
+    // (it fails compliance instead).
+    let cases_c1 = [("s1", true), ("s2", false), ("s3", false), ("s4", true)];
+    for (hotel, expect_security_violation) in cases_c1 {
+        let plan = Plan::new().with(1u32, "br").with(3u32, hotel);
+        let verdict = verify_plan(&paper::client_c1(), &plan, &repo, &reg).unwrap();
+        let has_security = verdict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Security(_)));
+        assert_eq!(
+            has_security, expect_security_violation,
+            "C1 with hotel {hotel}: security violation expected={expect_security_violation}"
+        );
+    }
+
+    // For C2 (φ2): s1 and s3 violate, s4 passes, s2 passes security.
+    let cases_c2 = [("s1", true), ("s2", false), ("s3", true), ("s4", false)];
+    for (hotel, expect_security_violation) in cases_c2 {
+        let plan = Plan::new().with(2u32, "br").with(3u32, hotel);
+        let verdict = verify_plan(&paper::client_c2(), &plan, &repo, &reg).unwrap();
+        let has_security = verdict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Security(_)));
+        assert_eq!(
+            has_security, expect_security_violation,
+            "C2 with hotel {hotel}: security violation expected={expect_security_violation}"
+        );
+    }
+}
+
+/// E4 (§2): plan validity. π₁ is the unique valid plan for C1; for C2
+/// the two plans discussed in the paper are invalid for the stated
+/// reasons and {r2↦br, r3↦s4} is the unique valid one.
+#[test]
+fn sec2_plan_validity() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+
+    let report = verify(&paper::client_c1(), &repo, &reg).unwrap();
+    // 5 direct bindings of r1, of which r1↦br exposes r3 with 5 choices:
+    // 9 candidate plans in total.
+    assert_eq!(report.len(), 9);
+    let valid: Vec<&Plan> = report.valid_plans().collect();
+    assert_eq!(valid, vec![&paper::plan_pi1()], "π₁ alone is valid for C1");
+
+    let report2 = verify(&paper::client_c2(), &repo, &reg).unwrap();
+    let valid2: Vec<&Plan> = report2.valid_plans().collect();
+    assert_eq!(valid2, vec![&paper::plan_c2_s4()]);
+
+    // π₂ fails on compliance (S2's Del), not security.
+    let pi2 = verify_plan(&paper::client_c2(), &paper::plan_pi2(), &repo, &reg).unwrap();
+    assert!(pi2.violations.iter().any(
+        |v| matches!(v, Violation::NonCompliant { request, .. } if *request == RequestId::new(3))
+    ));
+    assert!(!pi2
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Security(_))));
+
+    // The s3 plan fails on security (black listed), not compliance.
+    let ps3 = verify_plan(&paper::client_c2(), &paper::plan_c2_s3(), &repo, &reg).unwrap();
+    assert!(ps3
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Security(_))));
+    assert!(!ps3
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::NonCompliant { .. })));
+}
+
+/// E5 (Fig. 3): the computation fragment. Under π₁ (and π for C2 mapping
+/// to s4) the two-client network runs to completion; the trace contains
+/// the paper's steps in order for client C1, and C1's final history is
+/// the balanced `⌞φ₁ sgn(3) p(90) ta(100) … ⌟φ₁`.
+#[test]
+fn fig3_computation() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let mut network = Network::new();
+    network.add_client("c1", paper::client_c1(), paper::plan_pi1());
+    network.add_client("c2", paper::client_c2(), paper::plan_c2_s4());
+
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Enforcing, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(2013);
+    let result = scheduler.run(network, &mut rng, 10_000).unwrap();
+    assert_eq!(result.outcome, Outcome::Completed);
+
+    // Client C1's steps, projected from the interleaved trace.
+    let c1_steps: Vec<&StepAction> = result
+        .trace
+        .iter()
+        .filter(|t| t.component == 0)
+        .map(|t| &t.action)
+        .collect();
+    // Expected shape: open r1, τ(req), open r3, sgn, p, ta, τ(idc),
+    // τ(bok|una), close r3, τ(cobo|noav), [τ(pay)], close r1.
+    assert!(matches!(c1_steps[0], StepAction::Open { request, .. } if request.index() == 1));
+    assert!(matches!(c1_steps[1], StepAction::Synch { chan, .. } if chan.as_str() == "req"));
+    assert!(
+        matches!(c1_steps[2], StepAction::Open { request, server, .. }
+        if request.index() == 3 && server.as_str() == "s3")
+    );
+    assert!(
+        matches!(c1_steps[3], StepAction::Event { event, .. } if event.name().as_str() == "sgn")
+    );
+    assert!(matches!(c1_steps[4], StepAction::Event { event, .. } if event.name().as_str() == "p"));
+    assert!(
+        matches!(c1_steps[5], StepAction::Event { event, .. } if event.name().as_str() == "ta")
+    );
+    assert!(matches!(c1_steps[6], StepAction::Synch { chan, .. } if chan.as_str() == "idc"));
+    assert!(matches!(
+        c1_steps.last().unwrap(),
+        StepAction::Close { request, .. } if request.index() == 1
+    ));
+
+    // C1's history: ⌞φ₁ · the three S3 events · ⌟φ₁, balanced and valid.
+    let h1 = &result.network.components()[0].history;
+    assert!(h1.is_balanced());
+    assert!(h1.is_valid(&reg).unwrap());
+    let flat: Vec<String> = h1.flatten().iter().map(|e| e.to_string()).collect();
+    assert_eq!(flat, vec!["#sgn(3)", "#p(90)", "#ta(100)"]);
+
+    // C2's history mentions S4's events instead.
+    let h2 = &result.network.components()[1].history;
+    let flat2: Vec<String> = h2.flatten().iter().map(|e| e.to_string()).collect();
+    assert_eq!(flat2, vec!["#sgn(4)", "#p(50)", "#ta(90)"]);
+
+    // Both components interleaved in the schedule.
+    let movers: std::collections::BTreeSet<usize> =
+        result.trace.iter().map(|t| t.component).collect();
+    assert_eq!(movers.len(), 2);
+}
+
+/// The full Fig. 3 rendering replays: the recorded trace reproduces the
+/// configuration sequence when re-applied to the initial network.
+#[test]
+fn fig3_trace_renders_and_replays() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let mut network = Network::new();
+    network.add_client("c1", paper::client_c1(), paper::plan_pi1());
+
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = scheduler.run(network.clone(), &mut rng, 10_000).unwrap();
+    assert_eq!(result.outcome, Outcome::Completed);
+    let rendered =
+        sufs_net::trace::render_trace(&network, &result.trace, &repo).expect("must replay");
+    assert!(rendered.contains("open r1"));
+    assert!(rendered.contains("⌞hotel({1},45,100)"));
+    assert!(rendered.contains("s3"));
+    assert!(rendered.contains("close r1"));
+}
+
+/// Verification agrees between the two clients about the broker: no
+/// plan binds r1/r2 directly to a hotel (non-compliant conversation).
+#[test]
+fn direct_hotel_bindings_rejected() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    for (client, req) in [(paper::client_c1(), 1u32), (paper::client_c2(), 2u32)] {
+        for hotel in ["s1", "s2", "s3", "s4"] {
+            let plan = Plan::new().with(req, hotel);
+            let verdict = verify_plan(&client, &plan, &repo, &reg).unwrap();
+            assert!(
+                !verdict.is_valid(),
+                "binding r{req} directly to {hotel} must be invalid"
+            );
+        }
+    }
+}
+
+/// The policy registry resolves both instantiations used by the clients.
+#[test]
+fn registry_resolves_both_instantiations() {
+    let reg = paper::registry();
+    assert!(reg.instantiate(&paper::phi1()).is_ok());
+    assert!(reg.instantiate(&paper::phi2()).is_ok());
+    assert!(reg
+        .instantiate(&sufs_hexpr::PolicyRef::nullary("ghost"))
+        .is_err());
+    let _ = PolicyRegistry::new();
+}

@@ -1,0 +1,111 @@
+//! End-to-end pipeline: services written as λ-calculus **programs**,
+//! effects extracted by the type-and-effect system, published to a
+//! repository, statically verified, and executed monitor-free.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs_core::verify::verify;
+use sufs_hexpr::{Location, RequestId};
+use sufs_lang::{eval, infer, parse_expr, trace_conforms};
+use sufs_net::{ChoiceMode, MonitorMode, Network, Outcome, Repository, Scheduler};
+use sufs_policy::{catalog, PolicyRegistry};
+
+#[test]
+fn programs_to_verified_plans() {
+    // The client program books a resource under a blacklist policy.
+    let client_src = "
+        open 1 phi blacklist_access({forbidden}) {
+            send query;
+            offer[grant -> send ack | deny -> ()]
+        }";
+    let client = parse_expr(client_src).unwrap();
+    let client_effect = infer(&client).unwrap().effect;
+
+    // Three server programs.
+    let polite_src = "
+        offer[query ->
+            #access(ok);
+            choose[grant -> offer[ack -> ()] | deny -> ()]]";
+    let snooping_src = "
+        offer[query ->
+            #access(forbidden);
+            choose[grant -> offer[ack -> ()] | deny -> ()]]";
+    let rude_src = "
+        offer[query -> choose[busy -> ()]]";
+
+    let mut repo = Repository::new();
+    for (loc, src) in [
+        ("polite", polite_src),
+        ("snooping", snooping_src),
+        ("rude", rude_src),
+    ] {
+        let prog = parse_expr(src).unwrap();
+        let effect = infer(&prog).unwrap().effect;
+        repo.publish(loc, effect);
+    }
+
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::blacklist("access"));
+
+    let report = verify(&client_effect, &repo, &reg).unwrap();
+    assert_eq!(report.len(), 3);
+    let valid: Vec<_> = report.valid_plans().collect();
+    assert_eq!(valid.len(), 1);
+    assert_eq!(
+        valid[0].service_for(RequestId::new(1)),
+        Some(&Location::new("polite"))
+    );
+
+    // Execute the verified plan monitor-free: always clean.
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..100 {
+        let mut network = Network::new();
+        network.add_client("c", client_effect.clone(), valid[0].clone());
+        let r = scheduler.run(network, &mut rng, 10_000).unwrap();
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.violations.is_empty());
+    }
+}
+
+#[test]
+fn effect_soundness_along_the_pipeline() {
+    // Every standalone run of a program traces a path of its effect.
+    let programs = [
+        "#boot; send hello; offer[hi -> () | bye -> #shutdown]",
+        "rec f(x: unit) -> unit { choose[work -> #step(1); f(x) | rest -> ()] }(())",
+        "let id = fun(y: unit) { y }; id(#only); send done",
+        "frame guard [ #sensitive(1) ]; send done",
+    ];
+    let mut rng = StdRng::seed_from_u64(5);
+    for src in programs {
+        let prog = parse_expr(src).unwrap();
+        let effect = infer(&prog).unwrap().effect;
+        for _ in 0..25 {
+            let run = eval(&prog, &mut rng, 100_000).unwrap();
+            assert!(
+                trace_conforms(&effect, &run.trace),
+                "program {src:?}: trace {:?} is not a path of {effect}",
+                run.trace
+            );
+        }
+    }
+}
+
+#[test]
+fn ill_typed_programs_never_reach_the_repository() {
+    let bad = [
+        "f(())",                               // unbound
+        "let u = (); u(())",                   // not a function
+        "rec f(x: unit) -> unit { f(x) }(())", // unguarded recursion
+        "offer[a -> () | a -> ()]",            // duplicate guard
+    ];
+    for src in bad {
+        let prog = parse_expr(src).unwrap();
+        assert!(
+            infer(&prog).is_err(),
+            "program {src:?} should be rejected by the type-and-effect system"
+        );
+    }
+}

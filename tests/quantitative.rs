@@ -1,0 +1,115 @@
+//! The §5 quantitative extension applied to whole orchestrations: cost
+//! bounds checked over the symbolic session state space of a client
+//! under a plan, so a budget can discriminate between otherwise valid
+//! plans.
+
+use sufs_hexpr::builder::*;
+use sufs_hexpr::PolicyRef;
+use sufs_net::symbolic::{symbolic_successors, SymState};
+use sufs_net::{Plan, Repository};
+use sufs_policy::cost::{check_cost_bound_lts, CostBound, CostModel, CostVerdict};
+
+fn budget(policy: &str, bound: u64) -> CostBound {
+    CostBound {
+        policy: PolicyRef::nullary(policy),
+        model: CostModel::new().by_arg("charge", 0),
+        bound,
+    }
+}
+
+#[test]
+fn plan_choice_determines_cost() {
+    // The client opens a budgeted session and lets the service do the
+    // charging.
+    let client = request(
+        1,
+        Some(PolicyRef::nullary("wallet")),
+        seq([send("buy", eps()), offer([("done", eps())])]),
+    );
+    let cheap = recv("buy", seq([ev("charge", [3]), choose([("done", eps())])]));
+    let pricey = recv("buy", seq([ev("charge", [30]), choose([("done", eps())])]));
+    let mut repo = Repository::new();
+    repo.publish("cheap", cheap);
+    repo.publish("pricey", pricey);
+
+    let check = |loc: &str, bound: u64| {
+        let plan = Plan::new().with(1u32, loc);
+        let init = SymState::initial("client", client.clone());
+        check_cost_bound_lts(
+            init,
+            |s| symbolic_successors(s, &plan, &repo),
+            &budget("wallet", bound),
+            1 << 18,
+        )
+        .unwrap()
+    };
+
+    assert_eq!(check("cheap", 10), CostVerdict::Within { worst: 3 });
+    assert_eq!(
+        check("pricey", 10),
+        CostVerdict::Exceeded { witness: Some(30) }
+    );
+    assert_eq!(check("pricey", 30), CostVerdict::Within { worst: 30 });
+}
+
+#[test]
+fn recursive_service_with_positive_charges_is_unbounded() {
+    let client = request(
+        1,
+        Some(PolicyRef::nullary("wallet")),
+        loop_(
+            "h",
+            choose([("more", offer([("ok", jump("h"))])), ("stop", eps())]),
+        ),
+    );
+    // The service charges on every round: unbounded within the window.
+    let service = loop_(
+        "k",
+        offer([
+            (
+                "more",
+                seq([ev("charge", [1]), choose([("ok", jump("k"))])]),
+            ),
+            ("stop", eps()),
+        ]),
+    );
+    let mut repo = Repository::new();
+    repo.publish("meter", service);
+    let plan = Plan::new().with(1u32, "meter");
+    let init = SymState::initial("client", client);
+    let v = check_cost_bound_lts(
+        init,
+        |s| symbolic_successors(s, &plan, &repo),
+        &budget("wallet", 1_000),
+        1 << 18,
+    )
+    .unwrap();
+    assert_eq!(v, CostVerdict::Exceeded { witness: None });
+}
+
+#[test]
+fn charges_outside_the_budgeted_session_are_free() {
+    // Request 1 is budgeted; request 2 is not.
+    let client = seq([
+        request(
+            1,
+            Some(PolicyRef::nullary("wallet")),
+            seq([send("buy", eps()), offer([("done", eps())])]),
+        ),
+        request(2, None, seq([send("buy", eps()), offer([("done", eps())])])),
+    ]);
+    let srv = recv("buy", seq([ev("charge", [50]), choose([("done", eps())])]));
+    let mut repo = Repository::new();
+    repo.publish("srv", srv);
+    let plan = Plan::new().with(1u32, "srv").with(2u32, "srv");
+    let init = SymState::initial("client", client);
+    let v = check_cost_bound_lts(
+        init,
+        |s| symbolic_successors(s, &plan, &repo),
+        &budget("wallet", 50),
+        1 << 18,
+    )
+    .unwrap();
+    // Only the first session's charge counts; the second is unframed.
+    assert_eq!(v, CostVerdict::Within { worst: 50 });
+}

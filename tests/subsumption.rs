@@ -1,0 +1,97 @@
+//! Policy subsumption and its consequence for plan synthesis: if `φ_s`
+//! subsumes `φ_w` (every trace forbidden by `φ_w` is forbidden by
+//! `φ_s`), then every plan valid for a client under the *stricter*
+//! `φ_s` is also valid under the *weaker* `φ_w` — verification results
+//! transfer monotonically along policy implication.
+
+use sufs::paper;
+use sufs_core::verify::verify;
+use sufs_hexpr::builder::*;
+use sufs_hexpr::{Hist, ParamValue, PolicyRef};
+use sufs_net::Plan;
+use sufs_policy::automata_bridge::{subsumes, system_alphabet};
+
+fn client_with(policy: PolicyRef) -> Hist {
+    request(
+        1,
+        Some(policy),
+        seq([
+            send("req", eps()),
+            offer([("cobo", send("pay", eps())), ("noav", eps())]),
+        ]),
+    )
+}
+
+fn phi(bl: &[i64], p: i64, t: i64) -> PolicyRef {
+    PolicyRef::new(
+        "hotel",
+        [
+            ParamValue::set(bl.to_vec()),
+            ParamValue::int(p),
+            ParamValue::int(t),
+        ],
+    )
+}
+
+#[test]
+fn subsumption_over_the_system_alphabet() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let alphabet = system_alphabet(repo.iter().map(|(_, h)| h));
+    // sgn/p/ta events of all four hotels are in the alphabet.
+    assert!(alphabet.len() >= 10);
+
+    let strict = reg.instantiate(&phi(&[1, 3, 4], 40, 100)).unwrap();
+    let weak = reg.instantiate(&phi(&[1], 45, 100)).unwrap();
+    assert!(subsumes(&strict, &weak, &alphabet));
+    assert!(!subsumes(&weak, &strict, &alphabet));
+}
+
+#[test]
+fn valid_plans_transfer_from_stricter_to_weaker() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let strict_ref = phi(&[1, 3, 4], 40, 100);
+    let weak_ref = phi(&[1], 45, 100);
+
+    // Confirm the implication premise over the system alphabet.
+    let alphabet = system_alphabet(repo.iter().map(|(_, h)| h));
+    let strict = reg.instantiate(&strict_ref).unwrap();
+    let weak = reg.instantiate(&weak_ref).unwrap();
+    assert!(subsumes(&strict, &weak, &alphabet));
+
+    let strict_report = verify(&client_with(strict_ref), &repo, &reg).unwrap();
+    let weak_report = verify(&client_with(weak_ref), &repo, &reg).unwrap();
+    let strict_valid: Vec<&Plan> = strict_report.valid_plans().collect();
+    let weak_valid: Vec<&Plan> = weak_report.valid_plans().collect();
+
+    // Monotonicity: strict-valid ⊆ weak-valid.
+    for p in &strict_valid {
+        assert!(
+            weak_valid.contains(p),
+            "plan {p} valid under the stricter policy but not the weaker one"
+        );
+    }
+    // And the inclusion is strict here: the weaker client also accepts
+    // S3 (price 90 > 45 but rating 100 ≥ 100), which the stricter black
+    // list forbids.
+    assert!(weak_valid.len() > strict_valid.len());
+    // Under φ({1,3,4},40,100) only S2 is neither black-listed nor
+    // threshold-violating — but S2 fails compliance, so nothing is left.
+    assert!(strict_valid.is_empty());
+    assert_eq!(weak_valid.len(), 1);
+}
+
+#[test]
+fn incomparable_instantiations_do_not_transfer() {
+    // The paper's own φ₁ and φ₂ are incomparable: each forbids a trace
+    // the other allows (C1 accepts S4's trace? no — φ₁ forbids S4 but
+    // allows S3; φ₂ forbids S3 but allows S4).
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let alphabet = system_alphabet(repo.iter().map(|(_, h)| h));
+    let phi1 = reg.instantiate(&paper::phi1()).unwrap();
+    let phi2 = reg.instantiate(&paper::phi2()).unwrap();
+    assert!(!subsumes(&phi1, &phi2, &alphabet));
+    assert!(!subsumes(&phi2, &phi1, &alphabet));
+}

@@ -1,0 +1,204 @@
+//! Experiment E8 — the §5 headline, empirically: executing a network
+//! under a **statically valid plan** with the run-time monitor OFF and
+//! internal choices resolved blindly (committed) never violates a
+//! security policy and never deadlocks. Invalid plans, run the same way,
+//! exhibit exactly the failures the verifier predicted.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sufs::paper;
+use sufs_core::verify::{verify, verify_plan, Violation};
+use sufs_hexpr::builder::*;
+use sufs_hexpr::Hist;
+use sufs_net::{
+    ChoiceMode, DeadlockReason, MonitorMode, Network, Outcome, Plan, Repository, Scheduler,
+};
+use sufs_policy::{catalog, PolicyRegistry};
+
+const RUNS: usize = 300;
+
+fn run_many(
+    client: &Hist,
+    plan: &Plan,
+    repo: &Repository,
+    reg: &PolicyRegistry,
+    seed: u64,
+) -> Vec<sufs_net::RunResult> {
+    let scheduler = Scheduler::new(repo, reg, MonitorMode::Audit, ChoiceMode::Committed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..RUNS)
+        .map(|_| {
+            let mut network = Network::new();
+            network.add_client("client", client.clone(), plan.clone());
+            scheduler.run(network, &mut rng, 10_000).unwrap()
+        })
+        .collect()
+}
+
+/// Valid plans: every run completes, zero violations, monitor unneeded.
+#[test]
+fn sec5_valid_plans_never_fail() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    for (client, plan) in [
+        (paper::client_c1(), paper::plan_pi1()),
+        (paper::client_c2(), paper::plan_c2_s4()),
+    ] {
+        // Statically valid…
+        let verdict = verify_plan(&client, &plan, &repo, &reg).unwrap();
+        assert!(verdict.is_valid());
+        // …and dynamically unfailing.
+        for r in run_many(&client, &plan, &repo, &reg, 1) {
+            assert_eq!(r.outcome, Outcome::Completed, "a verified run failed");
+            assert!(r.violations.is_empty(), "a verified run violated a policy");
+        }
+    }
+}
+
+/// π₂ (C2 → broker → S2): the verifier predicts non-compliance; at run
+/// time the committed `del` send eventually deadlocks.
+#[test]
+fn sec5_pi2_deadlocks_as_predicted() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let verdict = verify_plan(&paper::client_c2(), &paper::plan_pi2(), &repo, &reg).unwrap();
+    assert!(verdict
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::NonCompliant { .. })));
+
+    let results = run_many(&paper::client_c2(), &paper::plan_pi2(), &repo, &reg, 2);
+    let deadlocks = results
+        .iter()
+        .filter(|r| {
+            matches!(
+                &r.outcome,
+                Outcome::Deadlock {
+                    reason: DeadlockReason::UnmatchedSend { chan, .. },
+                    ..
+                } if chan.as_str() == "del"
+            )
+        })
+        .count();
+    assert!(
+        deadlocks > 0,
+        "the predicted del-deadlock never materialised in {RUNS} runs"
+    );
+    // And the deadlock rate is roughly the 1/3 branch probability.
+    assert!(
+        deadlocks > RUNS / 6,
+        "suspiciously few deadlocks: {deadlocks}"
+    );
+}
+
+/// The C2→S3 plan: the verifier predicts a security violation; with the
+/// monitor off every run completes but the violation is incurred.
+#[test]
+fn sec5_blacklisted_plan_violates_as_predicted() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let plan = paper::plan_c2_s3();
+    let verdict = verify_plan(&paper::client_c2(), &plan, &repo, &reg).unwrap();
+    assert!(verdict
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Security(_))));
+
+    let results = run_many(&paper::client_c2(), &plan, &repo, &reg, 3);
+    let violating = results.iter().filter(|r| !r.violations.is_empty()).count();
+    assert_eq!(
+        violating, RUNS,
+        "every monitor-off run must incur the predicted violation"
+    );
+
+    // With the monitor ON, the same plan aborts instead of violating.
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Enforcing, ChoiceMode::Angelic);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut network = Network::new();
+    network.add_client("c2", paper::client_c2(), plan);
+    let r = scheduler.run(network, &mut rng, 10_000).unwrap();
+    assert!(matches!(r.outcome, Outcome::SecurityAbort { .. }));
+}
+
+/// The full two-client network of Fig. 3 under both verified plans:
+/// batch statistics over many schedules show zero failures of any kind.
+#[test]
+fn sec5_two_client_network_is_unfailing() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let mut network = Network::new();
+    network.add_client("c1", paper::client_c1(), paper::plan_pi1());
+    network.add_client("c2", paper::client_c2(), paper::plan_c2_s4());
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed);
+    let mut rng = StdRng::seed_from_u64(2013);
+    let summary = scheduler
+        .run_batch(&network, RUNS, &mut rng, 10_000)
+        .unwrap();
+    assert_eq!(summary.completed, RUNS);
+    assert!(summary.is_unfailing(), "{summary}");
+}
+
+/// A randomized stress version over a synthetic repository: every
+/// verifier-approved plan of every generated client runs clean; at least
+/// one rejected plan exists and fails observably.
+#[test]
+fn sec5_randomized_agreement() {
+    let mut reg = PolicyRegistry::new();
+    reg.register(catalog::at_most("charge", 1));
+    let phi = sufs_hexpr::PolicyRef::nullary("at_most_1_charge");
+
+    // Client: pay once under a double-charging policy.
+    let client = request(
+        1,
+        Some(phi),
+        seq([
+            send("order", eps()),
+            offer([("done", eps()), ("retry", offer([("done", eps())]))]),
+        ]),
+    );
+    let mut repo = Repository::new();
+    // Honest: charge once, confirm.
+    repo.publish(
+        "honest",
+        recv("order", seq([ev0("charge"), choose([("done", eps())])])),
+    );
+    // Greedy: charges twice — violates at_most_1_charge.
+    repo.publish(
+        "greedy",
+        recv(
+            "order",
+            seq([ev0("charge"), ev0("charge"), choose([("done", eps())])]),
+        ),
+    );
+    // Chatty: compliant messages plus an unexpected `cancel` option.
+    repo.publish(
+        "chatty",
+        recv(
+            "order",
+            seq([ev0("charge"), choose([("done", eps()), ("cancel", eps())])]),
+        ),
+    );
+
+    let report = verify(&client, &repo, &reg).unwrap();
+    assert_eq!(report.len(), 3);
+    let valid: Vec<_> = report.valid_plans().collect();
+    assert_eq!(valid.len(), 1);
+
+    for verdict in report.verdicts() {
+        let results = run_many(&client, &verdict.plan, &repo, &reg, 99);
+        let failures = results
+            .iter()
+            .filter(|r| !r.outcome.is_success() || !r.violations.is_empty())
+            .count();
+        if verdict.is_valid() {
+            assert_eq!(failures, 0, "valid plan {} failed at runtime", verdict.plan);
+        } else {
+            assert!(
+                failures > 0,
+                "invalid plan {} never failed in {RUNS} runs",
+                verdict.plan
+            );
+        }
+    }
+}
