@@ -1,117 +1,162 @@
-//! Property tests for the automata substrate: determinisation,
+//! Randomised tests for the automata substrate: determinisation,
 //! minimisation and boolean operations preserve/transform languages as
-//! specified.
+//! specified. Each property is checked over a family of seeded random
+//! automata (deterministic in the seed, so failures replay exactly).
 
-use proptest::prelude::*;
 use sufs_automata::{Dfa, Nfa};
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
-/// Strategy: a random NFA over the alphabet {0, 1} with up to 6 states.
-fn arb_nfa() -> impl Strategy<Value = Nfa<u8>> {
-    (2usize..=6).prop_flat_map(|n| {
-        let trans = proptest::collection::vec((0..n, 0u8..2, 0..n), 0..20);
-        let finals = proptest::collection::btree_set(0..n, 0..=n);
-        (Just(n), trans, finals).prop_map(|(n, trans, finals)| {
-            let mut nfa = Nfa::new();
-            for _ in 0..n {
-                nfa.add_state();
-            }
-            nfa.set_start(0);
-            for f in finals {
-                nfa.set_final(f);
-            }
-            for (from, sym, to) in trans {
-                nfa.add_transition(from, sym, to);
-            }
-            nfa
-        })
-    })
+/// A random NFA over the alphabet {0, 1} with up to 6 states.
+fn random_nfa(r: &mut StdRng) -> Nfa<u8> {
+    let n = r.gen_range(2usize..=6);
+    let mut nfa = Nfa::new();
+    for _ in 0..n {
+        nfa.add_state();
+    }
+    nfa.set_start(0);
+    for s in 0..n {
+        if r.gen_bool(0.4) {
+            nfa.set_final(s);
+        }
+    }
+    for _ in 0..r.gen_range(0usize..20) {
+        let from = r.gen_range(0..n);
+        let sym = r.gen_range(0u8..2);
+        let to = r.gen_range(0..n);
+        nfa.add_transition(from, sym, to);
+    }
+    nfa
 }
 
-fn arb_word() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..2, 0..10)
+fn random_word(r: &mut StdRng) -> Vec<u8> {
+    (0..r.gen_range(0usize..10))
+        .map(|_| r.gen_range(0u8..2))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn determinize_preserves_language(nfa in arb_nfa(), word in arb_word()) {
-        let dfa = nfa.determinize();
-        prop_assert_eq!(
-            nfa.accepts(word.iter().copied()),
-            dfa.accepts(word.iter().copied())
-        );
-    }
+const CASES: u64 = 300;
 
-    #[test]
-    fn minimize_preserves_language(nfa in arb_nfa(), word in arb_word()) {
+#[test]
+fn determinize_preserves_language() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let nfa = random_nfa(&mut r);
         let dfa = nfa.determinize();
-        let min = dfa.minimize();
-        prop_assert_eq!(
-            dfa.accepts(word.iter().copied()),
-            min.accepts(word.iter().copied())
-        );
-    }
-
-    #[test]
-    fn minimize_is_idempotent_in_size(nfa in arb_nfa()) {
-        let min = nfa.determinize().minimize();
-        let min2 = min.minimize();
-        prop_assert_eq!(min.len(), min2.len());
-        prop_assert!(min.equivalent(&min2));
-    }
-
-    #[test]
-    fn complement_flips_membership(nfa in arb_nfa(), word in arb_word()) {
-        let dfa = nfa.determinize();
-        let comp = dfa.complement();
-        // Words over the automaton's own alphabet flip membership; words
-        // using symbols outside the alphabet are rejected by both.
-        let in_alphabet = word.iter().all(|s| dfa.alphabet().contains(s));
-        if in_alphabet && dfa.start().is_some() {
-            prop_assert_eq!(
+        for _ in 0..8 {
+            let word = random_word(&mut r);
+            assert_eq!(
+                nfa.accepts(word.iter().copied()),
                 dfa.accepts(word.iter().copied()),
-                !comp.accepts(word.iter().copied())
+                "seed {seed}, word {word:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn intersection_is_conjunction(a in arb_nfa(), b in arb_nfa(), word in arb_word()) {
-        let da = a.determinize();
-        let db = b.determinize();
+#[test]
+fn minimize_preserves_language() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let dfa = random_nfa(&mut r).determinize();
+        let min = dfa.minimize();
+        for _ in 0..8 {
+            let word = random_word(&mut r);
+            assert_eq!(
+                dfa.accepts(word.iter().copied()),
+                min.accepts(word.iter().copied()),
+                "seed {seed}, word {word:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn minimize_is_idempotent_in_size() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let min = random_nfa(&mut r).determinize().minimize();
+        let min2 = min.minimize();
+        assert_eq!(min.len(), min2.len(), "seed {seed}");
+        assert!(min.equivalent(&min2), "seed {seed}");
+    }
+}
+
+#[test]
+fn complement_flips_membership() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let dfa = random_nfa(&mut r).determinize();
+        let comp = dfa.complement();
+        for _ in 0..8 {
+            let word = random_word(&mut r);
+            // Words over the automaton's own alphabet flip membership;
+            // words using symbols outside the alphabet are rejected by
+            // both.
+            let in_alphabet = word.iter().all(|s| dfa.alphabet().contains(s));
+            if in_alphabet && dfa.start().is_some() {
+                assert_eq!(
+                    dfa.accepts(word.iter().copied()),
+                    !comp.accepts(word.iter().copied()),
+                    "seed {seed}, word {word:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn intersection_is_conjunction() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let da = random_nfa(&mut r).determinize();
+        let db = random_nfa(&mut r).determinize();
         let i = da.intersect(&db);
-        prop_assert_eq!(
-            i.accepts(word.iter().copied()),
-            da.accepts(word.iter().copied()) && db.accepts(word.iter().copied())
+        for _ in 0..8 {
+            let word = random_word(&mut r);
+            assert_eq!(
+                i.accepts(word.iter().copied()),
+                da.accepts(word.iter().copied()) && db.accepts(word.iter().copied()),
+                "seed {seed}, word {word:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_is_reflexive_after_transformations() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let dfa = random_nfa(&mut r).determinize();
+        assert!(dfa.equivalent(&dfa.minimize()), "seed {seed}");
+        assert!(dfa.equivalent(&dfa.complete()), "seed {seed}");
+        assert!(
+            dfa.equivalent(&dfa.complement().complement()),
+            "seed {seed}"
         );
     }
+}
 
-    #[test]
-    fn equivalence_is_reflexive_after_transformations(nfa in arb_nfa()) {
-        let dfa = nfa.determinize();
-        prop_assert!(dfa.equivalent(&dfa.minimize()));
-        prop_assert!(dfa.equivalent(&dfa.complete()));
-        prop_assert!(dfa.equivalent(&dfa.complement().complement()));
-    }
-
-    #[test]
-    fn shortest_accepted_is_accepted_and_shortest(nfa in arb_nfa()) {
-        let dfa = nfa.determinize();
+#[test]
+fn shortest_accepted_is_accepted_and_shortest() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let dfa = random_nfa(&mut r).determinize();
         if let Some(w) = dfa.shortest_accepted() {
-            prop_assert!(dfa.accepts(w.iter().copied()));
-            // No strictly shorter accepted word: check all words up to len-1.
+            assert!(dfa.accepts(w.iter().copied()), "seed {seed}");
+            // No strictly shorter accepted word: check all words up to
+            // len-1.
             if w.len() <= 6 && !w.is_empty() {
                 for len in 0..w.len() {
                     for mask in 0..(1u32 << len) {
-                        let cand: Vec<u8> =
-                            (0..len).map(|i| ((mask >> i) & 1) as u8).collect();
-                        prop_assert!(!dfa.accepts(cand.iter().copied()));
+                        let cand: Vec<u8> = (0..len).map(|i| ((mask >> i) & 1) as u8).collect();
+                        assert!(!dfa.accepts(cand.iter().copied()), "seed {seed}");
                     }
                 }
             }
         } else {
             // Empty language: spot-check a few words.
             for w in [vec![], vec![0], vec![1], vec![0, 1], vec![1, 1, 0]] {
-                prop_assert!(!dfa.accepts(w.iter().copied()));
+                assert!(!dfa.accepts(w.iter().copied()), "seed {seed}");
             }
         }
     }

@@ -1,8 +1,8 @@
 //! B5 — the automata substrate: subset construction, product, emptiness
 //! and minimisation on random automata families.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_rng::Rng;
 
 use sufs_automata::{Dfa, Nfa};
 use sufs_bench::rng;

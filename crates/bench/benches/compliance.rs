@@ -2,7 +2,7 @@
 //! scaling over contract depth and width, for both decision procedures
 //! (Theorem 1's product automaton and the coinductive Definition 4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sufs::paper;
 use sufs_bench::{broken_pair, compliant_pair};

@@ -2,7 +2,7 @@
 //! on generated programs, and the paper's Fig. 2 services written as
 //! programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sufs_bench::lambda_chain;
 use sufs_lang::{eval, infer, parse_expr};

@@ -3,9 +3,9 @@
 //! monitor enforcing vs switched off, as sessions grow longer and as
 //! more policies are active.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs_bench::{ping_pong_client, ping_pong_server};
 use sufs_hexpr::{Hist, PolicyRef};

@@ -3,7 +3,7 @@
 //! verification in the number of requests `r` and repository size `s`
 //! (the candidate space is `sʳ`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sufs::paper;
 use sufs_bench::{multi_request_client, responder_repo, scaled_hotel_repo};

@@ -2,7 +2,7 @@
 //! cost-bound checking as the charged chain grows and as the budget
 //! (and hence the tracked cost configurations) grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sufs_hexpr::{Hist, PolicyRef};
 use sufs_policy::cost::{check_cost_bound, CostBound, CostModel};

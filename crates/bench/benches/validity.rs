@@ -2,7 +2,7 @@
 //! policy automaton, batch history validity `⊨ η`, and the static
 //! validity model checker as the history grows and framings nest.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sufs::paper;
 use sufs_bench::framed_event_chain;

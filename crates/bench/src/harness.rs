@@ -1,0 +1,203 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The workspace must build and run offline, so instead of an external
+//! benchmarking crate this module provides the small slice of the
+//! familiar API the `benches/` targets use — [`Criterion`],
+//! [`BenchmarkId`], `bench_function`, `benchmark_group`,
+//! `bench_with_input`, [`criterion_group!`](crate::criterion_group) and
+//! [`criterion_main!`](crate::criterion_main) — backed by
+//! `std::time::Instant`.
+//!
+//! Methodology: each benchmark is warmed up, then the iteration count
+//! is calibrated so one sample takes a few tens of milliseconds, and
+//! the best of several samples is reported (ns/iter). Set
+//! `SUFS_BENCH_SAMPLE_MS` to trade accuracy for wall-clock time.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Target duration of a single measured sample.
+fn sample_budget() -> Duration {
+    let ms = std::env::var("SUFS_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(30);
+    Duration::from_millis(ms)
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measures `f` under `name` and prints the result.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named family of measurements (`group/benchmark/param` labels).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the harness auto-calibrates.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures `f` on `input` under the group-qualified label of `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Measures `f` under the group-qualified `name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally `function/parameter`-shaped.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A bare parameter label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing loop: call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Calibrates, samples and records the best observed cost of `f`.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up and calibration: grow the batch until it costs a
+        // measurable slice of the budget.
+        let budget = sample_budget();
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget / 10 || batch >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 4;
+        };
+        // Choose a batch size close to the sample budget, then take the
+        // best of a handful of samples (minimum = least interference).
+        let iters = ((budget.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = Some(best);
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.best_ns_per_iter {
+        Some(ns) if ns >= 1_000_000.0 => println!("{label:<50} {:>12.3} ms/iter", ns / 1e6),
+        Some(ns) if ns >= 1_000.0 => println!("{label:<50} {:>12.3} µs/iter", ns / 1e3),
+        Some(ns) => println!("{label:<50} {ns:>12.1} ns/iter"),
+        None => println!("{label:<50} (no measurement)"),
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring the
+/// macro of the same name from the external crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.best_ns_per_iter.is_some());
+    }
+
+    #[test]
+    fn ids_compose_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -13,14 +13,15 @@
 //! | `automata_ops`        | B5         |
 //! | `effects`             | B6         |
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 use sufs_contract::{dual, Contract};
 use sufs_hexpr::builder::*;
 use sufs_hexpr::{Channel, Hist};
 use sufs_lang::Expr;
 use sufs_net::{Plan, Repository};
+
+pub mod harness;
 
 /// A deterministic RNG for workload generation.
 pub fn rng(seed: u64) -> StdRng {
@@ -227,7 +228,7 @@ mod tests {
 
     #[test]
     fn ping_pong_fixture_runs() {
-        use rand::SeedableRng;
+        use sufs_rng::SeedableRng;
         let mut repo = Repository::new();
         repo.publish("srv", ping_pong_server());
         let reg = sufs_policy::PolicyRegistry::new();
@@ -239,7 +240,7 @@ mod tests {
             sufs_net::MonitorMode::Off,
             sufs_net::ChoiceMode::Angelic,
         )
-        .run(net, &mut rand::rngs::StdRng::seed_from_u64(1), 10_000)
+        .run(net, &mut sufs_rng::StdRng::seed_from_u64(1), 10_000)
         .unwrap();
         assert!(r.outcome.is_success());
     }

@@ -1,129 +1,163 @@
-//! Property tests for compliance (experiment E6): the product-automaton
-//! decision procedure of Theorem 1 agrees with the direct coinductive
-//! reading of Definition 4 on randomly generated contracts, and duality
-//! always yields a compliant partner.
+//! Randomised tests for compliance (experiment E6): the
+//! product-automaton decision procedure of Theorem 1 agrees with the
+//! direct coinductive reading of Definition 4 on randomly generated
+//! contracts, and duality always yields a compliant partner. Every case
+//! is deterministic in its seed.
 
-use proptest::prelude::*;
 use sufs_contract::{compliance, contract::Contract, duality};
 use sufs_hexpr::{Channel, Hist};
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 const CHANNELS: [&str; 4] = ["a", "b", "c", "d"];
 
-/// A random loop-free contract of bounded depth: nested internal and
+/// A random loop-free behaviour of bounded depth: nested internal and
 /// external choices with distinct guards, well-formed by construction.
-fn arb_contract() -> impl Strategy<Value = Contract> {
-    let leaf = Just(Hist::Eps);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        (
-            any::<bool>(),
-            proptest::sample::subsequence(CHANNELS.to_vec(), 1..=3),
-            proptest::collection::vec(inner, 3),
-        )
-            .prop_map(|(internal, chans, conts)| {
-                let branches: Vec<(Channel, Hist)> = chans
-                    .into_iter()
-                    .zip(conts)
-                    .map(|(c, h)| (Channel::new(c), h))
-                    .collect();
-                if internal {
-                    Hist::Int(branches)
-                } else {
-                    Hist::Ext(branches)
-                }
-            })
-    })
-    .prop_map(|h| Contract::new(h).expect("generated contracts are well-formed"))
+fn random_behaviour(depth: usize, r: &mut StdRng) -> Hist {
+    if depth == 0 || r.gen_bool(0.25) {
+        return Hist::Eps;
+    }
+    let chans = r.subsequence(&CHANNELS, 1, 3);
+    let branches: Vec<(Channel, Hist)> = chans
+        .into_iter()
+        .map(|c| (Channel::new(c), random_behaviour(depth - 1, r)))
+        .collect();
+    if r.gen_bool(0.5) {
+        Hist::Int(branches)
+    } else {
+        Hist::Ext(branches)
+    }
+}
+
+fn random_contract(r: &mut StdRng) -> Contract {
+    Contract::new(random_behaviour(4, r)).expect("generated contracts are well-formed")
 }
 
 /// A random *recursive* contract: `μh. ⊕/Σ [ cᵢ → bodyᵢ · h | stop → ε ]`.
-fn arb_rec_contract() -> impl Strategy<Value = Contract> {
-    (
-        any::<bool>(),
-        proptest::sample::subsequence(CHANNELS.to_vec(), 1..=2),
-        proptest::collection::vec(arb_contract(), 2),
-    )
-        .prop_map(|(internal, chans, bodies)| {
-            let mut branches: Vec<(Channel, Hist)> = chans
-                .into_iter()
-                .zip(bodies)
-                .map(|(c, b)| (Channel::new(c), Hist::seq(b.into_hist(), Hist::var("h"))))
-                .collect();
-            branches.push((Channel::new("stop"), Hist::Eps));
-            let body = if internal {
-                Hist::Int(branches)
-            } else {
-                Hist::Ext(branches)
-            };
-            Contract::new(Hist::mu("h", body)).expect("recursive contract is well-formed")
+fn random_rec_contract(r: &mut StdRng) -> Contract {
+    let chans = r.subsequence(&CHANNELS, 1, 2);
+    let mut branches: Vec<(Channel, Hist)> = chans
+        .into_iter()
+        .map(|c| {
+            let body = random_behaviour(3, r);
+            (Channel::new(c), Hist::seq(body, Hist::var("h")))
         })
+        .collect();
+    branches.push((Channel::new("stop"), Hist::Eps));
+    let body = if r.gen_bool(0.5) {
+        Hist::Int(branches)
+    } else {
+        Hist::Ext(branches)
+    };
+    Contract::new(Hist::mu("h", body)).expect("recursive contract is well-formed")
 }
 
-proptest! {
-    /// Theorem 1, empirically: product emptiness ⟺ Definition 4.
-    #[test]
-    fn thm1_product_agrees_with_coinductive(c1 in arb_contract(), c2 in arb_contract()) {
+const CASES: u64 = 250;
+
+/// Theorem 1, empirically: product emptiness ⟺ Definition 4.
+#[test]
+fn thm1_product_agrees_with_coinductive() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c1 = random_contract(&mut r);
+        let c2 = random_contract(&mut r);
         let by_product = compliance::compliant(&c1, &c2).holds();
         let by_def4 = compliance::compliant_coinductive(&c1, &c2);
-        prop_assert_eq!(by_product, by_def4);
+        assert_eq!(by_product, by_def4, "seed {seed}: {c1:?} vs {c2:?}");
     }
+}
 
-    #[test]
-    fn thm1_with_recursion(c1 in arb_rec_contract(), c2 in arb_rec_contract()) {
+#[test]
+fn thm1_with_recursion() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c1 = random_rec_contract(&mut r);
+        let c2 = random_rec_contract(&mut r);
         let by_product = compliance::compliant(&c1, &c2).holds();
         let by_def4 = compliance::compliant_coinductive(&c1, &c2);
-        prop_assert_eq!(by_product, by_def4);
+        assert_eq!(by_product, by_def4, "seed {seed}");
     }
+}
 
-    /// Every contract is compliant with its dual.
-    #[test]
-    fn dual_is_compliant(c in arb_contract()) {
+/// Every contract is compliant with its dual.
+#[test]
+fn dual_is_compliant() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c = random_contract(&mut r);
         let d = duality::dual(&c);
-        prop_assert!(compliance::compliant(&c, &d).holds());
+        assert!(compliance::compliant(&c, &d).holds(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn dual_of_recursive_is_compliant(c in arb_rec_contract()) {
+#[test]
+fn dual_of_recursive_is_compliant() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c = random_rec_contract(&mut r);
         let d = duality::dual(&c);
-        prop_assert!(compliance::compliant(&c, &d).holds());
+        assert!(compliance::compliant(&c, &d).holds(), "seed {seed}");
     }
+}
 
-    /// Duality is an involution.
-    #[test]
-    fn dual_involution(c in arb_contract()) {
-        prop_assert_eq!(duality::dual(&duality::dual(&c)), c);
+/// Duality is an involution.
+#[test]
+fn dual_involution() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c = random_contract(&mut r);
+        assert_eq!(duality::dual(&duality::dual(&c)), c, "seed {seed}");
     }
+}
 
-    /// A non-compliance verdict always carries a witness whose path can
-    /// be replayed: following the synchronised actions from the initial
-    /// pair really reaches a stuck pair.
-    #[test]
-    fn witnesses_replay(c1 in arb_contract(), c2 in arb_contract()) {
-        let r = compliance::compliant(&c1, &c2);
-        if let Some(w) = r.witness() {
+/// A non-compliance verdict always carries a witness whose path can be
+/// replayed: following the synchronised actions from the initial pair
+/// really reaches a stuck pair.
+#[test]
+fn witnesses_replay() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c1 = random_contract(&mut r);
+        let c2 = random_contract(&mut r);
+        let result = compliance::compliant(&c1, &c2);
+        if let Some(w) = result.witness() {
             let (mut a, mut b) = (c1.clone(), c2.clone());
             for (chan, dir) in &w.path {
-                let na = a.steps().into_iter()
+                let na = a
+                    .steps()
+                    .into_iter()
                     .find(|((c, d), _)| c == chan && d == dir)
                     .map(|(_, n)| n);
-                let nb = b.steps().into_iter()
+                let nb = b
+                    .steps()
+                    .into_iter()
                     .find(|((c, d), _)| c == chan && *d == dir.co())
                     .map(|(_, n)| n);
-                prop_assert!(na.is_some() && nb.is_some(), "witness step not replayable");
+                assert!(
+                    na.is_some() && nb.is_some(),
+                    "seed {seed}: witness step not replayable"
+                );
                 a = na.unwrap();
                 b = nb.unwrap();
             }
-            prop_assert_eq!(&a, &w.client);
-            prop_assert_eq!(&b, &w.server);
+            assert_eq!(&a, &w.client, "seed {seed}");
+            assert_eq!(&b, &w.server, "seed {seed}");
             // The reached pair violates Definition 4's ready condition
             // (with the client not yet terminated).
-            prop_assert!(!a.is_eps());
-            prop_assert!(!compliance::ready_condition(&a, &b));
+            assert!(!a.is_eps(), "seed {seed}");
+            assert!(!compliance::ready_condition(&a, &b), "seed {seed}");
         }
     }
+}
 
-    /// ε is compliant with everything (the client may always stop).
-    #[test]
-    fn eps_complies_with_all(c in arb_contract()) {
-        prop_assert!(compliance::compliant(&Contract::eps(), &c).holds());
+/// ε is compliant with everything (the client may always stop).
+#[test]
+fn eps_complies_with_all() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c = random_contract(&mut r);
+        assert!(
+            compliance::compliant(&Contract::eps(), &c).holds(),
+            "seed {seed}"
+        );
     }
 }

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use sufs_hexpr::{parse_hist, Hist, Location};
-use sufs_net::Repository;
+use sufs_net::{FaultPlan, Repository};
 use sufs_policy::{CmpOp, Guard, Operand, PolicyRegistry, UsageBuilder};
 
 /// A parsed scenario: policies, clients, the repository, and optional
@@ -45,6 +45,8 @@ pub struct Scenario {
     pub repository: Repository,
     /// Quantitative budgets (`budget` declarations), in order.
     pub budgets: Vec<sufs_policy::cost::CostBound>,
+    /// The fault-injection plan (`faults` block), if declared.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -98,6 +100,10 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
             "budget" => {
                 scenario.budgets.push(parse_budget(&mut p)?);
             }
+            "faults" => {
+                let plan = parse_faults(&mut p)?;
+                scenario.faults = Some(plan);
+            }
             "client" => {
                 let name = p.ident()?;
                 let body = p.braced_block()?;
@@ -144,7 +150,10 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
             other => {
                 return Err(ScenarioError {
                     offset: p.pos,
-                    message: format!("expected `policy`, `client` or `service`, found `{other}`"),
+                    message: format!(
+                        "expected `policy`, `budget`, `client`, `service` or `faults`, \
+                         found `{other}`"
+                    ),
                 })
             }
         }
@@ -374,6 +383,59 @@ fn parse_budget(p: &mut P<'_>) -> Result<sufs_policy::cost::CostBound, ScenarioE
         policy: sufs_hexpr::PolicyRef::nullary(name),
         model,
         bound,
+    })
+}
+
+/// Parses a fault-injection block:
+///
+/// ```text
+/// faults {
+///   crash 0.01;        // per-step crash probability
+///   drop 0.05;         // per-synch message-loss probability
+///   revoke 0.002;      // per-step capacity-revocation probability
+///   stall 0.02;        // per-step stall probability
+///   stall_steps 4;     // how long a stalled service stays frozen
+///   max_crashes 1;     // cap on total crashes per run
+///   timeout 20;        // blocked-step budget before the first retry
+///   retries 2;         // retries (with doubling budget) before giving up
+///   seed 7;            // the deterministic fault-schedule seed
+/// }
+/// ```
+///
+/// Every setting is optional; rates default to zero, so an empty block
+/// arms the timeout machinery without injecting anything. The settings
+/// and their validation are shared with the command line's
+/// `--faults key=value,…` spec ([`FaultPlan::parse`]).
+fn parse_faults(p: &mut P<'_>) -> Result<FaultPlan, ScenarioError> {
+    p.expect("{")?;
+    let mut spec = String::new();
+    loop {
+        p.skip_ws();
+        if p.eat("}") {
+            break;
+        }
+        let key = p.ident()?;
+        p.skip_ws();
+        let start = p.pos;
+        let bytes = p.input.as_bytes();
+        while p.pos < bytes.len()
+            && (bytes[p.pos].is_ascii_digit() || bytes[p.pos] == b'.' || bytes[p.pos] == b'-')
+        {
+            p.pos += 1;
+        }
+        if p.pos == start {
+            return p.err(format!("expected a number after `{key}`"));
+        }
+        let value = &p.input[start..p.pos];
+        p.expect(";")?;
+        if !spec.is_empty() {
+            spec.push(',');
+        }
+        spec.push_str(&format!("{key}={value}"));
+    }
+    FaultPlan::parse(&spec).map_err(|e| ScenarioError {
+        offset: p.pos,
+        message: format!("in faults block: {e}"),
     })
 }
 
@@ -695,6 +757,60 @@ mod tests {
         };
         assert_eq!(check("shop"), CostVerdict::Within { worst: 15 });
         assert_eq!(check("pricey"), CostVerdict::Exceeded { witness: Some(30) });
+    }
+
+    #[test]
+    fn faults_block_parses() {
+        let src = r#"
+            faults {
+              crash 0.01;
+              drop 0.05;
+              stall 0.1;
+              stall_steps 6;
+              max_crashes 2;
+              timeout 20;
+              retries 2;
+              seed 7;
+            }
+            client c { open 1 { int[req -> eps] } }
+            service s { ext[req -> eps] }
+        "#;
+        let sc = parse_scenario(src).unwrap();
+        let f = sc.faults.expect("faults block parsed");
+        assert_eq!(f.seed, 7);
+        assert_eq!(f.stall_steps, 6);
+        assert_eq!(f.max_crashes, 2);
+        assert_eq!(f.timeout_steps, 20);
+        assert_eq!(f.max_retries, 2);
+        assert!((f.crash_rate - 0.01).abs() < 1e-12);
+        assert!((f.drop_rate - 0.05).abs() < 1e-12);
+        assert!((f.stall_rate - 0.1).abs() < 1e-12);
+        // An empty block arms the machinery with all-zero rates.
+        let sc = parse_scenario("faults { }").unwrap();
+        let f = sc.faults.expect("empty faults block parsed");
+        assert_eq!(f.crash_rate, 0.0);
+    }
+
+    #[test]
+    fn faults_block_rejects_bad_settings() {
+        let err = parse_scenario("faults { crash 1.5; }").unwrap_err();
+        assert!(
+            err.message.contains("outside [0, 1]"),
+            "got: {}",
+            err.message
+        );
+        let err = parse_scenario("faults { flux 0.1; }").unwrap_err();
+        assert!(
+            err.message.contains("unknown fault setting"),
+            "got: {}",
+            err.message
+        );
+        let err = parse_scenario("faults { crash; }").unwrap_err();
+        assert!(
+            err.message.contains("expected a number"),
+            "got: {}",
+            err.message
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use sufs_rng::Rng;
 
 use crate::ast::Expr;
 use sufs_hexpr::semantics::successors;
@@ -244,8 +244,8 @@ mod tests {
     use super::*;
     use crate::infer::infer;
     use crate::ty::Ty;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sufs_rng::SeedableRng;
+    use sufs_rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(1)

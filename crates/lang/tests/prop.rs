@@ -1,93 +1,120 @@
-//! Property tests for the λ-calculus front end: every run-time trace of
-//! a randomly generated well-typed program is a path of its inferred
-//! effect (effect soundness), and inference is deterministic.
-
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Randomised tests for the λ-calculus front end: every run-time trace
+//! of a randomly generated well-typed program is a path of its inferred
+//! effect (effect soundness), and inference is deterministic. Every
+//! case is deterministic in its seed.
 
 use sufs_lang::{eval, infer, trace_conforms, Expr, Ty};
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 /// Random unit-typed programs: events, sends, choices, sequencing,
 /// lets, framings, requests and immediately applied λ-abstractions.
-fn arb_program() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::Unit),
-        (0i64..10).prop_map(|n| Expr::event("ev", [n])),
-        proptest::sample::select(vec!["a", "b", "c"]).prop_map(Expr::send),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::seq(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::let_("x", a, b)),
+fn random_program(depth: usize, r: &mut StdRng) -> Expr {
+    if depth == 0 || r.gen_bool(0.2) {
+        return match r.gen_range(0u8..3) {
+            0 => Expr::Unit,
+            1 => Expr::event("ev", [r.gen_range(0i64..10)]),
+            _ => {
+                let chans: [&str; 3] = ["a", "b", "c"];
+                let chan = r.pick(&chans);
+                Expr::send(chan)
+            }
+        };
+    }
+    match r.gen_range(0u8..6) {
+        0 => Expr::seq(random_program(depth - 1, r), random_program(depth - 1, r)),
+        1 => Expr::let_(
+            "x",
+            random_program(depth - 1, r),
+            random_program(depth - 1, r),
+        ),
+        2 => {
             // offer / choose with distinct guards
-            (
-                any::<bool>(),
-                proptest::sample::subsequence(vec!["p", "q", "r"], 1..=3),
-                proptest::collection::vec(inner.clone(), 3),
-            )
-                .prop_map(|(internal, chans, conts)| {
-                    let branches: Vec<(&'static str, Expr)> =
-                        chans.into_iter().zip(conts).collect();
-                    if internal {
-                        Expr::choose(branches)
-                    } else {
-                        Expr::offer(branches)
-                    }
-                }),
-            inner
-                .clone()
-                .prop_map(|e| Expr::frame(sufs_hexpr::PolicyRef::nullary("phi"), e)),
-            (0u32..4, inner.clone()).prop_map(|(r, e)| Expr::request(r, None, e)),
-            // (λx:unit. body)(arg)
-            (inner.clone(), inner)
-                .prop_map(|(body, arg)| { Expr::app(Expr::lam("x", Ty::Unit, body), arg) }),
-        ]
-    })
+            let chans = r.subsequence(&["p", "q", "r"], 1, 3);
+            let branches: Vec<(&'static str, Expr)> = chans
+                .into_iter()
+                .map(|c| (c, random_program(depth - 1, r)))
+                .collect();
+            if r.gen_bool(0.5) {
+                Expr::choose(branches)
+            } else {
+                Expr::offer(branches)
+            }
+        }
+        3 => Expr::frame(
+            sufs_hexpr::PolicyRef::nullary("phi"),
+            random_program(depth - 1, r),
+        ),
+        4 => Expr::request(r.gen_range(0u32..4), None, random_program(depth - 1, r)),
+        // (λx:unit. body)(arg)
+        _ => Expr::app(
+            Expr::lam("x", Ty::Unit, random_program(depth - 1, r)),
+            random_program(depth - 1, r),
+        ),
+    }
 }
 
-proptest! {
-    /// Effect soundness: every run-time trace is a path of the effect.
-    #[test]
-    fn traces_conform_to_effects(e in arb_program(), seed in 0u64..1000) {
+const CASES: u64 = 250;
+
+/// Effect soundness: every run-time trace is a path of the effect.
+#[test]
+fn traces_conform_to_effects() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let e = random_program(4, &mut r);
         // Duplicate request ids make the effect ill-formed; skip those.
-        let Ok(te) = infer(&e) else { return Ok(()); };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(te) = infer(&e) else { continue };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
         let run = eval(&e, &mut rng, 1 << 20).unwrap();
-        prop_assert!(
+        assert!(
             trace_conforms(&te.effect, &run.trace),
-            "trace {:?} is not a path of {}",
+            "seed {seed}: trace {:?} is not a path of {}",
             run.trace,
             te.effect
         );
     }
+}
 
-    /// Inference is deterministic and the effect is well-formed.
-    #[test]
-    fn inference_deterministic_and_wf(e in arb_program()) {
+/// Inference is deterministic and the effect is well-formed.
+#[test]
+fn inference_deterministic_and_wf() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let e = random_program(4, &mut r);
         let r1 = infer(&e);
         let r2 = infer(&e);
-        prop_assert_eq!(r1.clone().map(|t| t.effect.clone()), r2.map(|t| t.effect));
+        assert_eq!(
+            r1.clone().map(|t| t.effect.clone()),
+            r2.map(|t| t.effect),
+            "seed {seed}"
+        );
         if let Ok(te) = r1 {
-            prop_assert!(sufs_hexpr::wf::check(&te.effect).is_ok());
+            assert!(sufs_hexpr::wf::check(&te.effect).is_ok(), "seed {seed}");
         }
     }
+}
 
-    /// Programs type at unit (the generator only builds unit-typed
-    /// expressions).
-    #[test]
-    fn programs_are_unit_typed(e in arb_program()) {
+/// Programs type at unit (the generator only builds unit-typed
+/// expressions).
+#[test]
+fn programs_are_unit_typed() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let e = random_program(4, &mut r);
         if let Ok(te) = infer(&e) {
-            prop_assert!(te.ty.is_unit());
+            assert!(te.ty.is_unit(), "seed {seed}");
         }
     }
+}
 
-    /// The pretty printer emits parseable syntax: `parse ∘ display = id`.
-    #[test]
-    fn display_parse_roundtrip(e in arb_program()) {
+/// The pretty printer emits parseable syntax: `parse ∘ display = id`.
+#[test]
+fn display_parse_roundtrip() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let e = random_program(4, &mut r);
         let printed = e.to_string();
         let reparsed = sufs_lang::parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
-        prop_assert_eq!(reparsed, e);
+            .unwrap_or_else(|err| panic!("seed {seed}: reparse of `{printed}` failed: {err}"));
+        assert_eq!(reparsed, e, "seed {seed}");
     }
 }

@@ -1,0 +1,634 @@
+//! Deterministic fault injection for the network runtime.
+//!
+//! The paper proves that statically valid plans are *secure and
+//! unfailing* under the ideal semantics of §3; this module stresses the
+//! claim under an adversarial environment. A [`FaultPlan`] configures a
+//! seed-driven [`FaultInjector`] that can, mid-run:
+//!
+//! * **crash** a service engaged in a session (its leaves become inert);
+//! * **drop** a synchronisation (a picked *Synch* step is silently not
+//!   applied — the message is lost and both parties stay put, so the
+//!   communication is naturally retransmitted on a later pick);
+//! * **revoke** a published location (no new session may open there);
+//! * **stall** a service for a bounded number of scheduler steps.
+//!
+//! Everything is a deterministic function of the fault seed: the
+//! injector owns its own [`StdRng`] stream, independent of the
+//! scheduler's, so enabling a fault plan never perturbs the scheduling
+//! decisions themselves and the *same seed yields the same fault
+//! schedule and hence the same trace*. When no fault plan is installed
+//! the scheduler never touches this module and the zero-fault execution
+//! path is byte-identical to the faultless semantics.
+//!
+//! [`RecoveryTable`] is the mechanism half of plan failover: an ordered
+//! chain of fallback plans per component, consulted by the scheduler
+//! when a timed-out component escalates to recovery. The *policy* half —
+//! building chains out of statically verified plans — lives in
+//! `sufs-core::recovery`, which depends on the verifier.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::plan::Plan;
+use crate::semantics::StepAction;
+use sufs_hexpr::{Channel, Location};
+use sufs_rng::{Rng, SeedableRng, StdRng};
+
+/// Configuration of the fault injector: per-step fault probabilities,
+/// the timeout/retry policy, and the seed of the injector's private
+/// random stream.
+///
+/// All rates are per scheduler step and default to `0.0`; a default
+/// plan injects nothing (but still arms the timeout machinery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's own random stream.
+    pub seed: u64,
+    /// Per-step probability of crashing one active service.
+    pub crash_rate: f64,
+    /// Probability that a picked synchronisation is dropped.
+    pub drop_rate: f64,
+    /// Per-step probability of revoking one published location.
+    pub revoke_rate: f64,
+    /// Per-step probability of stalling one active service.
+    pub stall_rate: f64,
+    /// How many scheduler steps a stalled service stays frozen.
+    pub stall_steps: usize,
+    /// Upper bound on the number of crashes injected per run.
+    pub max_crashes: usize,
+    /// Base step budget before a blocked component times out.
+    pub timeout_steps: usize,
+    /// Retries (with exponential backoff) before escalating to
+    /// recovery.
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            crash_rate: 0.0,
+            drop_rate: 0.0,
+            revoke_rate: 0.0,
+            stall_rate: 0.0,
+            stall_steps: 4,
+            max_crashes: usize::MAX,
+            timeout_steps: 16,
+            max_retries: 3,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing, with the default timeout policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the injector seed (used by batch runs to derive a
+    /// distinct fault schedule per run).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-step crash probability.
+    pub fn with_crash(mut self, rate: f64) -> Self {
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Sets the synchronisation drop probability.
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the per-step revocation probability.
+    pub fn with_revoke(mut self, rate: f64) -> Self {
+        self.revoke_rate = rate;
+        self
+    }
+
+    /// Sets the per-step stall probability.
+    pub fn with_stall(mut self, rate: f64) -> Self {
+        self.stall_rate = rate;
+        self
+    }
+
+    /// Caps the number of crashes injected per run.
+    pub fn with_max_crashes(mut self, n: usize) -> Self {
+        self.max_crashes = n;
+        self
+    }
+
+    /// Sets the timeout/retry policy.
+    pub fn with_timeout(mut self, timeout_steps: usize, max_retries: u32) -> Self {
+        self.timeout_steps = timeout_steps;
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The step budget a component may stay blocked at retry number
+    /// `retries`: deterministic exponential backoff doubling the base
+    /// budget per retry.
+    pub fn budget(&self, retries: u32) -> usize {
+        self.timeout_steps
+            .saturating_mul(1usize << retries.min(32) as usize)
+    }
+
+    /// Parses a compact fault specification, e.g.
+    /// `"crash=0.01,drop=0.05,seed=7,timeout=20,retries=2"`.
+    ///
+    /// Recognised keys: `crash`, `drop`, `revoke`, `stall` (rates in
+    /// `[0,1]`), `stall_steps`, `max_crashes`, `seed`, `timeout`,
+    /// `retries`. Unmentioned keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown keys or malformed
+    /// values.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for pair in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault setting `{pair}` (want key=value)"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad rate `{v}` for `{key}`"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("rate `{v}` for `{key}` is outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            let nat = |v: &str| -> Result<usize, String> {
+                v.parse()
+                    .map_err(|_| format!("bad number `{v}` for `{key}`"))
+            };
+            match key {
+                "crash" => plan.crash_rate = rate(value)?,
+                "drop" => plan.drop_rate = rate(value)?,
+                "revoke" => plan.revoke_rate = rate(value)?,
+                "stall" => plan.stall_rate = rate(value)?,
+                "stall_steps" => plan.stall_steps = nat(value)?,
+                "max_crashes" => plan.max_crashes = nat(value)?,
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "timeout" => plan.timeout_steps = nat(value)?,
+                "retries" => {
+                    plan.max_retries = value
+                        .parse()
+                        .map_err(|_| format!("bad retries `{value}`"))?;
+                }
+                other => return Err(format!("unknown fault setting `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crash={},drop={},revoke={},stall={},stall_steps={},timeout={},retries={},seed={}",
+            self.crash_rate,
+            self.drop_rate,
+            self.revoke_rate,
+            self.stall_rate,
+            self.stall_steps,
+            self.timeout_steps,
+            self.max_retries,
+            self.seed
+        )?;
+        if self.max_crashes != usize::MAX {
+            write!(f, ",max_crashes={}", self.max_crashes)?;
+        }
+        Ok(())
+    }
+}
+
+/// One injected fault (or fault-handling action), for run logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A service engaged in a session crashed.
+    Crash(Location),
+    /// A published location was revoked: no new sessions may open there.
+    Revoke(Location),
+    /// A service froze for the given number of steps.
+    Stall(Location, usize),
+    /// A picked synchronisation was dropped (message lost).
+    DropSynch {
+        /// The channel of the lost message.
+        chan: Channel,
+        /// The sender.
+        sender: Location,
+        /// The intended receiver.
+        receiver: Location,
+    },
+    /// A blocked component timed out and entered retry number `retry`.
+    Timeout {
+        /// The blocked component.
+        component: usize,
+        /// The retry this timeout starts (1-based).
+        retry: u32,
+    },
+    /// A component failed over to a fallback plan.
+    Failover {
+        /// The recovered component.
+        component: usize,
+        /// The plan it re-bound to.
+        plan: Plan,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Crash(l) => write!(f, "crash {l}"),
+            FaultKind::Revoke(l) => write!(f, "revoke {l}"),
+            FaultKind::Stall(l, n) => write!(f, "stall {l} for {n}"),
+            FaultKind::DropSynch {
+                chan,
+                sender,
+                receiver,
+            } => write!(f, "drop {sender} ─{chan}→ {receiver}"),
+            FaultKind::Timeout { component, retry } => {
+                write!(f, "component {component} timed out (retry {retry})")
+            }
+            FaultKind::Failover { component, plan } => {
+                write!(f, "component {component} failed over to {plan}")
+            }
+        }
+    }
+}
+
+/// A timestamped fault event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The scheduler step (fuel tick) at which the event happened.
+    pub step: usize,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.step, self.kind)
+    }
+}
+
+/// The seed-driven fault injector: decides, step by step, which faults
+/// to inject, and answers whether a given transition is blocked by an
+/// already injected fault.
+///
+/// All randomness comes from the injector's private [`StdRng`]; fault
+/// decisions are drawn in a fixed order each step (stall expiry, crash,
+/// revoke, stall), so the schedule is a pure function of the seed and
+/// the evolving set of fault candidates.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    crashed: BTreeSet<Location>,
+    revoked: BTreeSet<Location>,
+    stalled: BTreeMap<Location, usize>,
+    crashes: usize,
+}
+
+impl FaultInjector {
+    /// An injector for `plan`, seeding the private stream from
+    /// `plan.seed`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            crashed: BTreeSet::new(),
+            revoked: BTreeSet::new(),
+            stalled: BTreeMap::new(),
+            crashes: 0,
+        }
+    }
+
+    /// The fault plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Locations crashed so far.
+    pub fn crashed(&self) -> &BTreeSet<Location> {
+        &self.crashed
+    }
+
+    /// Locations revoked so far.
+    pub fn revoked(&self) -> &BTreeSet<Location> {
+        &self.revoked
+    }
+
+    /// Returns `true` if `loc` is crashed or revoked — a failover plan
+    /// must not bind such a location.
+    pub fn is_dead(&self, loc: &Location) -> bool {
+        self.crashed.contains(loc) || self.revoked.contains(loc)
+    }
+
+    /// Advances the fault schedule by one scheduler step: expires
+    /// stalls, then draws crash/revoke/stall decisions against the
+    /// currently `active` services (in sessions) and the `published`
+    /// locations. Injected faults are appended to `log`.
+    pub fn begin_step(
+        &mut self,
+        active: &[Location],
+        published: &[Location],
+        step: usize,
+        log: &mut Vec<FaultEvent>,
+    ) {
+        // Stalls expire first, so a 1-step stall blocks exactly one step.
+        self.stalled.retain(|_, left| {
+            *left -= 1;
+            *left > 0
+        });
+        if self.rng.gen_bool(self.plan.crash_rate) && self.crashes < self.plan.max_crashes {
+            let victims: Vec<&Location> = active
+                .iter()
+                .filter(|l| !self.crashed.contains(*l))
+                .collect();
+            if !victims.is_empty() {
+                let victim = victims[self.rng.gen_range(0..victims.len())].clone();
+                self.crashed.insert(victim.clone());
+                self.crashes += 1;
+                log.push(FaultEvent {
+                    step,
+                    kind: FaultKind::Crash(victim),
+                });
+            }
+        }
+        if self.rng.gen_bool(self.plan.revoke_rate) {
+            let victims: Vec<&Location> = published
+                .iter()
+                .filter(|l| !self.revoked.contains(*l) && !self.crashed.contains(*l))
+                .collect();
+            if !victims.is_empty() {
+                let victim = victims[self.rng.gen_range(0..victims.len())].clone();
+                self.revoked.insert(victim.clone());
+                log.push(FaultEvent {
+                    step,
+                    kind: FaultKind::Revoke(victim),
+                });
+            }
+        }
+        if self.rng.gen_bool(self.plan.stall_rate) && self.plan.stall_steps > 0 {
+            let victims: Vec<&Location> = active
+                .iter()
+                .filter(|l| !self.crashed.contains(*l) && !self.stalled.contains_key(*l))
+                .collect();
+            if !victims.is_empty() {
+                let victim = victims[self.rng.gen_range(0..victims.len())].clone();
+                self.stalled.insert(victim.clone(), self.plan.stall_steps);
+                log.push(FaultEvent {
+                    step,
+                    kind: FaultKind::Stall(victim, self.plan.stall_steps),
+                });
+            }
+        }
+    }
+
+    /// Decides whether the synchronisation the scheduler just picked is
+    /// dropped (message lost, step not applied).
+    pub fn drop_synch(&mut self) -> bool {
+        self.rng.gen_bool(self.plan.drop_rate)
+    }
+
+    /// Returns `true` if an injected fault disables this transition:
+    /// crashed or stalled parties cannot act or communicate, and
+    /// crashed/revoked/stalled locations cannot join new sessions.
+    /// *Close* is never blocked — a client may always tear down a
+    /// session with a dead partner (Φ flushes the partner's frames).
+    pub fn blocks(&self, action: &StepAction) -> bool {
+        let down = |l: &Location| self.crashed.contains(l) || self.stalled.contains_key(l);
+        match action {
+            StepAction::Event { loc, .. }
+            | StepAction::FrameOpen { loc, .. }
+            | StepAction::FrameClose { loc, .. } => down(loc),
+            StepAction::Synch {
+                sender, receiver, ..
+            } => down(sender) || down(receiver),
+            StepAction::Open { server, .. } => down(server) || self.revoked.contains(server),
+            StepAction::Close { .. } => false,
+        }
+    }
+}
+
+/// Ordered fallback plans per component: the scheduler consults the
+/// chain when a component escalates from timeout to recovery, skipping
+/// entries that bind crashed or revoked locations.
+///
+/// This is pure mechanism; build chains from statically verified plans
+/// with `sufs-core`'s `recovery` module so the §5 guarantee extends to
+/// every plan a run can fail over to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryTable {
+    chains: Vec<Vec<Plan>>,
+}
+
+impl RecoveryTable {
+    /// An empty table (no component can fail over).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the fallback chain for the next component index.
+    pub fn push_chain(&mut self, chain: Vec<Plan>) {
+        self.chains.push(chain);
+    }
+
+    /// Builder-style [`RecoveryTable::push_chain`].
+    pub fn with_chain(mut self, chain: Vec<Plan>) -> Self {
+        self.push_chain(chain);
+        self
+    }
+
+    /// The fallback chain of component `i` (empty if none registered).
+    pub fn chain(&self, i: usize) -> &[Plan] {
+        self.chains.get(i).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The number of registered chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Returns `true` if no chain is registered.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::Event;
+
+    #[test]
+    fn parse_roundtrip_and_defaults() {
+        let p = FaultPlan::parse("crash=0.25,drop=0.5,seed=7,timeout=20,retries=2").unwrap();
+        assert_eq!(p.crash_rate, 0.25);
+        assert_eq!(p.drop_rate, 0.5);
+        assert_eq!(p.revoke_rate, 0.0);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.timeout_steps, 20);
+        assert_eq!(p.max_retries, 2);
+        // Display output parses back to the same plan.
+        let q = FaultPlan::parse(&p.to_string()).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("crash").unwrap_err().contains("key=value"));
+        assert!(FaultPlan::parse("crash=2.0")
+            .unwrap_err()
+            .contains("outside"));
+        assert!(FaultPlan::parse("warp=0.1")
+            .unwrap_err()
+            .contains("unknown fault setting"));
+        assert!(FaultPlan::parse("seed=abc")
+            .unwrap_err()
+            .contains("bad seed"));
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let p = FaultPlan::default().with_timeout(10, 5);
+        assert_eq!(p.budget(0), 10);
+        assert_eq!(p.budget(1), 20);
+        assert_eq!(p.budget(3), 80);
+    }
+
+    #[test]
+    fn injector_is_deterministic_in_its_seed() {
+        let active = [Location::new("a"), Location::new("b")];
+        let published = [Location::new("a"), Location::new("b"), Location::new("c")];
+        let schedule = |seed: u64| {
+            let plan = FaultPlan::default()
+                .with_seed(seed)
+                .with_crash(0.3)
+                .with_revoke(0.2)
+                .with_stall(0.2);
+            let mut inj = FaultInjector::new(plan);
+            let mut log = Vec::new();
+            for step in 0..200 {
+                inj.begin_step(&active, &published, step, &mut log);
+            }
+            log
+        };
+        assert_eq!(schedule(11), schedule(11));
+        assert_ne!(schedule(11), schedule(12));
+        assert!(!schedule(11).is_empty());
+    }
+
+    #[test]
+    fn crashed_services_block_their_steps_but_not_close() {
+        let mut inj = FaultInjector::new(FaultPlan::default().with_crash(1.0));
+        let mut log = Vec::new();
+        inj.begin_step(&[Location::new("s")], &[Location::new("s")], 0, &mut log);
+        assert_eq!(log.len(), 1);
+        assert!(inj.is_dead(&Location::new("s")));
+        assert!(inj.blocks(&StepAction::Event {
+            loc: Location::new("s"),
+            event: Event::nullary("e"),
+        }));
+        assert!(inj.blocks(&StepAction::Synch {
+            chan: Channel::new("x"),
+            sender: Location::new("c"),
+            receiver: Location::new("s"),
+        }));
+        assert!(inj.blocks(&StepAction::Open {
+            request: sufs_hexpr::RequestId::new(1),
+            policy: None,
+            client: Location::new("c"),
+            server: Location::new("s"),
+        }));
+        assert!(!inj.blocks(&StepAction::Close {
+            request: sufs_hexpr::RequestId::new(1),
+            policy: None,
+            client: Location::new("c"),
+        }));
+        // The healthy client is unaffected.
+        assert!(!inj.blocks(&StepAction::Event {
+            loc: Location::new("c"),
+            event: Event::nullary("e"),
+        }));
+    }
+
+    #[test]
+    fn stalls_expire() {
+        let plan = FaultPlan::default().with_stall(1.0);
+        let mut inj = FaultInjector::new(plan);
+        let mut log = Vec::new();
+        let s = Location::new("s");
+        inj.begin_step(std::slice::from_ref(&s), &[], 0, &mut log);
+        assert!(matches!(log[0].kind, FaultKind::Stall(_, 4)));
+        let ev = StepAction::Event {
+            loc: s.clone(),
+            event: Event::nullary("e"),
+        };
+        assert!(inj.blocks(&ev));
+        // The stall re-arms each step here (rate 1.0 on a still-active
+        // service is skipped while stalled), so expire it manually.
+        for step in 1..=4 {
+            inj.begin_step(&[], &[], step, &mut log);
+        }
+        assert!(!inj.blocks(&ev));
+        assert!(!inj.is_dead(&s), "a stall is transient");
+    }
+
+    #[test]
+    fn revocation_only_blocks_new_sessions() {
+        let mut inj = FaultInjector::new(FaultPlan::default().with_revoke(1.0));
+        let mut log = Vec::new();
+        inj.begin_step(&[], &[Location::new("s")], 0, &mut log);
+        assert!(matches!(&log[0].kind, FaultKind::Revoke(l) if l.as_str() == "s"));
+        assert!(inj.blocks(&StepAction::Open {
+            request: sufs_hexpr::RequestId::new(1),
+            policy: None,
+            client: Location::new("c"),
+            server: Location::new("s"),
+        }));
+        // An ongoing conversation is unaffected.
+        assert!(!inj.blocks(&StepAction::Synch {
+            chan: Channel::new("x"),
+            sender: Location::new("c"),
+            receiver: Location::new("s"),
+        }));
+    }
+
+    #[test]
+    fn max_crashes_caps_the_damage() {
+        let plan = FaultPlan::default().with_crash(1.0).with_max_crashes(1);
+        let mut inj = FaultInjector::new(plan);
+        let mut log = Vec::new();
+        let locs = [Location::new("a"), Location::new("b")];
+        for step in 0..10 {
+            inj.begin_step(&locs, &[], step, &mut log);
+        }
+        assert_eq!(inj.crashed().len(), 1);
+    }
+
+    #[test]
+    fn recovery_table_chains() {
+        let p1 = Plan::new().with(1u32, "a");
+        let p2 = Plan::new().with(1u32, "b");
+        let t = RecoveryTable::new().with_chain(vec![p1.clone(), p2.clone()]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.chain(0), &[p1, p2]);
+        assert!(t.chain(7).is_empty());
+        assert!(RecoveryTable::new().is_empty());
+    }
+}

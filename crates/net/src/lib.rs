@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod monitor;
 pub mod network;
 pub mod plan;
@@ -38,6 +39,7 @@ pub mod session;
 pub mod symbolic;
 pub mod trace;
 
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryTable};
 pub use monitor::{MonitorMode, ValidityMonitor};
 pub use network::{Component, Network};
 pub use plan::Plan;

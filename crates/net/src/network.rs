@@ -18,16 +18,25 @@ pub struct Component {
     pub sess: Sess,
     /// The plan `π` orchestrating this component's requests.
     pub plan: Plan,
+    /// The client's location, as initially added to the network.
+    pub origin_loc: Location,
+    /// The client's initial behaviour — the recovery point fault
+    /// failover restarts from (the history is kept and Φ-closed, the
+    /// session tree is reset to this fresh leaf).
+    pub origin_client: Hist,
 }
 
 impl Component {
     /// A fresh component: empty history, a located client behaviour and
     /// its plan.
     pub fn new(loc: impl Into<Location>, client: Hist, plan: Plan) -> Self {
+        let loc = loc.into();
         Component {
             history: History::new(),
-            sess: Sess::leaf(loc, client),
+            sess: Sess::leaf(loc.clone(), client.clone()),
             plan,
+            origin_loc: loc,
+            origin_client: client,
         }
     }
 

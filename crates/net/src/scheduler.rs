@@ -17,8 +17,9 @@
 //! monitor off and committed choices, and checks that no run aborts or
 //! deadlocks.
 
-use rand::Rng;
+use sufs_rng::Rng;
 
+use crate::faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryTable};
 use crate::monitor::{MonitorMode, ValidityMonitor};
 use crate::network::Network;
 use crate::plan::Plan;
@@ -27,7 +28,7 @@ use crate::semantics::{active_services, sess_steps_with_load, SessStep, StepActi
 use crate::session::Sess;
 use sufs_hexpr::semantics::successors;
 use sufs_hexpr::{Channel, Dir, Label, Location, PolicyRef};
-use sufs_policy::{PolicyError, PolicyRegistry};
+use sufs_policy::{HistoryItem, PolicyError, PolicyRegistry};
 
 /// How internal choices are resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,12 +77,34 @@ pub enum Outcome {
     },
     /// The step budget ran out (e.g. a compliant infinite conversation).
     OutOfFuel,
+    /// A blocked component exhausted its retries and no fallback plan
+    /// could revive it: an injected fault killed the run.
+    FaultAbort {
+        /// The component that could not be recovered.
+        component: usize,
+    },
+    /// A blocked component exhausted its retries with no recovery
+    /// configured.
+    TimedOut {
+        /// The component that timed out.
+        component: usize,
+    },
+    /// Every component terminated, but only after at least one plan
+    /// failover: the run succeeded *via* recovery.
+    RecoveredVia {
+        /// The (last) recovered component.
+        component: usize,
+        /// The fallback plan it completed under.
+        plan: Plan,
+    },
 }
 
 impl Outcome {
-    /// Returns `true` for [`Outcome::Completed`].
+    /// Returns `true` when every component terminated —
+    /// [`Outcome::Completed`], or [`Outcome::RecoveredVia`] when
+    /// termination needed a plan failover.
     pub fn is_success(&self) -> bool {
-        matches!(self, Outcome::Completed)
+        matches!(self, Outcome::Completed | Outcome::RecoveredVia { .. })
     }
 }
 
@@ -106,15 +129,47 @@ pub struct RunResult {
     /// With the monitor off: policies whose violation the run *would*
     /// have incurred, detected post hoc per component.
     pub violations: Vec<(usize, PolicyRef)>,
+    /// Faults injected (and recovery actions taken) during the run, in
+    /// order; empty when no fault plan is installed.
+    pub faults: Vec<FaultEvent>,
 }
 
 /// A scheduler configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Scheduler<'a> {
     repo: &'a Repository,
     registry: &'a PolicyRegistry,
     monitor: MonitorMode,
     choice: ChoiceMode,
+    faults: Option<FaultPlan>,
+    recovery: Option<RecoveryTable>,
+}
+
+/// Per-run fault-handling state: the injector plus the timeout/retry
+/// and failover bookkeeping of each component.
+struct FaultState {
+    injector: FaultInjector,
+    /// Consecutive steps each component spent with no enabled
+    /// transition.
+    blocked: Vec<usize>,
+    /// Retries burnt so far per component (backoff doubles the budget).
+    retries: Vec<u32>,
+    /// Next untried entry in each component's fallback chain.
+    chain_pos: Vec<usize>,
+    /// Failovers performed: `(component, plan)` in order.
+    recovered: Vec<(usize, Plan)>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, components: usize) -> Self {
+        FaultState {
+            injector: FaultInjector::new(plan),
+            blocked: vec![0; components],
+            retries: vec![0; components],
+            chain_pos: vec![0; components],
+            recovered: vec![],
+        }
+    }
 }
 
 enum Candidate {
@@ -145,7 +200,27 @@ impl<'a> Scheduler<'a> {
             registry,
             monitor,
             choice,
+            faults: None,
+            recovery: None,
         }
+    }
+
+    /// Installs a fault plan: every run injects the deterministic fault
+    /// schedule drawn from `faults.seed` (batch runs derive one seed per
+    /// run) and arms the timeout/retry machinery. Without this, the
+    /// execution path is byte-identical to the faultless semantics.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Installs fallback chains: a component whose retries are
+    /// exhausted fails over to the next chain entry that binds no
+    /// crashed or revoked location, restarting its client from scratch
+    /// with its history Φ-closed.
+    pub fn with_recovery(mut self, recovery: RecoveryTable) -> Self {
+        self.recovery = Some(recovery);
+        self
     }
 
     /// Runs the network under a uniformly random scheduler for at most
@@ -157,15 +232,34 @@ impl<'a> Scheduler<'a> {
     /// cannot be resolved.
     pub fn run<R: Rng>(
         &self,
-        mut network: Network,
+        network: Network,
         rng: &mut R,
         fuel: usize,
     ) -> Result<RunResult, PolicyError> {
+        self.run_inner(network, rng, fuel, self.faults.clone())
+    }
+
+    fn run_inner<R: Rng>(
+        &self,
+        mut network: Network,
+        rng: &mut R,
+        fuel: usize,
+        faults: Option<FaultPlan>,
+    ) -> Result<RunResult, PolicyError> {
         let mut monitors: Vec<ValidityMonitor> = vec![ValidityMonitor::new(); network.len()];
         let mut trace = Vec::new();
-        for _ in 0..fuel {
+        let mut fault_log: Vec<FaultEvent> = Vec::new();
+        let mut fstate = faults.map(|fp| FaultState::new(fp, network.len()));
+        for tick in 0..fuel {
             if network.is_terminated() {
-                return self.finish(Outcome::Completed, trace, network);
+                let outcome = match fstate.as_ref().and_then(|fs| fs.recovered.last()) {
+                    Some((component, plan)) => Outcome::RecoveredVia {
+                        component: *component,
+                        plan: plan.clone(),
+                    },
+                    None => Outcome::Completed,
+                };
+                return self.finish(outcome, trace, network, fault_log);
             }
             let mut candidates = Vec::new();
             let mut aborted: Option<(usize, PolicyRef)> = None;
@@ -177,12 +271,26 @@ impl<'a> Scheduler<'a> {
                     *total_load.entry(loc).or_insert(0) += n;
                 }
             }
+            // Fault injection draws happen before candidate collection,
+            // on this step's set of engaged services.
+            if let Some(fs) = &mut fstate {
+                let active: Vec<Location> = total_load.keys().cloned().collect();
+                let published: Vec<Location> = self.repo.locations().cloned().collect();
+                fs.injector
+                    .begin_step(&active, &published, tick, &mut fault_log);
+            }
+            let mut enabled = vec![false; network.len()];
             for (i, comp) in network.components().iter().enumerate() {
                 if comp.is_terminated() {
                     continue;
                 }
                 let raw = sess_steps_with_load(&comp.sess, &comp.plan, self.repo, &total_load);
                 for step in raw {
+                    if let Some(fs) = &fstate {
+                        if fs.injector.blocks(&step.action) {
+                            continue;
+                        }
+                    }
                     match self.monitor {
                         MonitorMode::Enforcing => {
                             let mut m = monitors[i].clone();
@@ -194,6 +302,7 @@ impl<'a> Scheduler<'a> {
                                     aborted = Some((i, p));
                                 }
                             } else {
+                                enabled[i] = true;
                                 candidates.push(Candidate::Step {
                                     component: i,
                                     step,
@@ -204,6 +313,7 @@ impl<'a> Scheduler<'a> {
                         MonitorMode::Audit | MonitorMode::Off => {
                             // §5: nothing is observed, nothing is checked
                             // during the run.
+                            enabled[i] = true;
                             candidates.push(Candidate::Step {
                                 component: i,
                                 step,
@@ -214,6 +324,7 @@ impl<'a> Scheduler<'a> {
                 }
                 if self.choice == ChoiceMode::Committed {
                     for next_sess in commitments(&comp.sess) {
+                        enabled[i] = true;
                         candidates.push(Candidate::Commit {
                             component: i,
                             next_sess,
@@ -221,7 +332,54 @@ impl<'a> Scheduler<'a> {
                     }
                 }
             }
-            if candidates.is_empty() {
+            // Timeout/retry/failover: with faults armed, a blocked
+            // component waits with exponential backoff instead of
+            // deadlocking the run immediately.
+            if let Some(fs) = &mut fstate {
+                for (i, &live) in enabled.iter().enumerate() {
+                    if network.components()[i].is_terminated() || live {
+                        fs.blocked[i] = 0;
+                        continue;
+                    }
+                    fs.blocked[i] += 1;
+                    if fs.blocked[i] <= fs.injector.plan().budget(fs.retries[i]) {
+                        continue;
+                    }
+                    if fs.retries[i] < fs.injector.plan().max_retries {
+                        fs.retries[i] += 1;
+                        fs.blocked[i] = 0;
+                        fault_log.push(FaultEvent {
+                            step: tick,
+                            kind: FaultKind::Timeout {
+                                component: i,
+                                retry: fs.retries[i],
+                            },
+                        });
+                        continue;
+                    }
+                    // Retries exhausted: escalate to plan failover.
+                    if self.try_failover(
+                        i,
+                        &mut network,
+                        fs,
+                        &mut monitors,
+                        &mut fault_log,
+                        tick,
+                    )? {
+                        continue;
+                    }
+                    let outcome = if self.recovery.is_some() {
+                        Outcome::FaultAbort { component: i }
+                    } else {
+                        Outcome::TimedOut { component: i }
+                    };
+                    return self.finish(outcome, trace, network, fault_log);
+                }
+                if candidates.is_empty() {
+                    // Everyone is blocked: let the timeout clocks tick.
+                    continue;
+                }
+            } else if candidates.is_empty() {
                 let outcome = match aborted {
                     Some((component, policy)) => Outcome::SecurityAbort { component, policy },
                     None => {
@@ -234,7 +392,7 @@ impl<'a> Scheduler<'a> {
                         Outcome::Deadlock { component, reason }
                     }
                 };
-                return self.finish(outcome, trace, network);
+                return self.finish(outcome, trace, network, fault_log);
             }
             let pick = rng.gen_range(0..candidates.len());
             match candidates.swap_remove(pick) {
@@ -243,6 +401,29 @@ impl<'a> Scheduler<'a> {
                     step,
                     monitor,
                 } => {
+                    if let StepAction::Synch {
+                        chan,
+                        sender,
+                        receiver,
+                    } = &step.action
+                    {
+                        if let Some(fs) = &mut fstate {
+                            if fs.injector.drop_synch() {
+                                // Message lost: neither party advances;
+                                // the synch stays enabled and will be
+                                // retransmitted on a later pick.
+                                fault_log.push(FaultEvent {
+                                    step: tick,
+                                    kind: FaultKind::DropSynch {
+                                        chan: chan.clone(),
+                                        sender: sender.clone(),
+                                        receiver: receiver.clone(),
+                                    },
+                                });
+                                continue;
+                            }
+                        }
+                    }
                     trace.push(TraceStep {
                         component,
                         action: step.action.clone(),
@@ -262,7 +443,71 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
-        self.finish(Outcome::OutOfFuel, trace, network)
+        self.finish(Outcome::OutOfFuel, trace, network, fault_log)
+    }
+
+    /// Fails component `i` over to the next usable fallback plan, if
+    /// any: the chain entry must differ from the current plan and bind
+    /// no crashed, revoked or unpublished location. On success the
+    /// component's history is Φ-closed (every dangling frame gets its
+    /// `⌟φ`, so each policy window is checked separately and the restart
+    /// cannot create cross-window violations), its session tree resets
+    /// to the original client leaf, and the timeout clock restarts.
+    fn try_failover(
+        &self,
+        i: usize,
+        network: &mut Network,
+        fs: &mut FaultState,
+        monitors: &mut [ValidityMonitor],
+        fault_log: &mut Vec<FaultEvent>,
+        tick: usize,
+    ) -> Result<bool, PolicyError> {
+        let Some(table) = &self.recovery else {
+            return Ok(false);
+        };
+        let chain = table.chain(i);
+        let current = network.components()[i].plan.clone();
+        while fs.chain_pos[i] < chain.len() {
+            let candidate = chain[fs.chain_pos[i]].clone();
+            fs.chain_pos[i] += 1;
+            if candidate == current {
+                continue;
+            }
+            let usable = candidate
+                .iter()
+                .all(|(_, loc)| !fs.injector.is_dead(loc) && self.repo.get(loc).is_some());
+            if !usable {
+                continue;
+            }
+            let comp = network.component_mut(i);
+            let closes: Vec<HistoryItem> = comp
+                .history
+                .pending_opens()
+                .into_iter()
+                .rev()
+                .map(HistoryItem::Close)
+                .collect();
+            if self.monitor == MonitorMode::Enforcing {
+                // Keep the incremental monitor in sync with the Φ-closed
+                // history (closings cannot introduce a violation).
+                monitors[i].observe_all(&closes, self.registry)?;
+            }
+            comp.history.extend(closes);
+            comp.sess = Sess::leaf(comp.origin_loc.clone(), comp.origin_client.clone());
+            comp.plan = candidate.clone();
+            fs.blocked[i] = 0;
+            fs.retries[i] = 0;
+            fs.recovered.push((i, candidate.clone()));
+            fault_log.push(FaultEvent {
+                step: tick,
+                kind: FaultKind::Failover {
+                    component: i,
+                    plan: candidate,
+                },
+            });
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     fn finish(
@@ -270,6 +515,7 @@ impl<'a> Scheduler<'a> {
         outcome: Outcome,
         trace: Vec<TraceStep>,
         network: Network,
+        faults: Vec<FaultEvent>,
     ) -> Result<RunResult, PolicyError> {
         let mut violations = Vec::new();
         if self.monitor == MonitorMode::Audit {
@@ -284,6 +530,7 @@ impl<'a> Scheduler<'a> {
             trace,
             network,
             violations,
+            faults,
         })
     }
 }
@@ -308,13 +555,37 @@ pub struct BatchSummary {
     pub violating_runs: usize,
     /// Total scheduled steps across all runs.
     pub total_steps: usize,
+    /// Runs ending with a component out of retries and no recovery
+    /// configured.
+    pub timed_out: usize,
+    /// Runs ending with a component out of retries and its fallback
+    /// chain exhausted.
+    pub fault_aborts: usize,
+    /// Runs that completed only after at least one plan failover.
+    pub recovered: usize,
+    /// Total injected fault events across all runs.
+    pub faults_injected: usize,
 }
 
 impl BatchSummary {
     /// Returns `true` if no run failed in any way: the §5 prediction for
-    /// a verified plan.
+    /// a verified plan. Runs that completed via failover count as
+    /// successes — unfailing means the service was always delivered, not
+    /// that nothing ever broke.
     pub fn is_unfailing(&self) -> bool {
-        self.deadlocks == 0 && self.aborts == 0 && self.violating_runs == 0
+        self.deadlocks == 0
+            && self.aborts == 0
+            && self.violating_runs == 0
+            && self.timed_out == 0
+            && self.fault_aborts == 0
+    }
+
+    /// Returns `true` if no run violated a policy — monitor aborts and
+    /// audited violations both count against it, liveness failures
+    /// (deadlock, timeout, fuel) do not. Faults may stop a statically
+    /// valid plan from finishing; they must never make it misbehave.
+    pub fn is_secure(&self) -> bool {
+        self.aborts == 0 && self.violating_runs == 0
     }
 }
 
@@ -330,7 +601,15 @@ impl std::fmt::Display for BatchSummary {
             self.out_of_fuel,
             self.violating_runs,
             self.total_steps
-        )
+        )?;
+        if self.timed_out + self.fault_aborts + self.recovered + self.faults_injected > 0 {
+            write!(
+                f,
+                "; faults: {} injected, {} recovered, {} timed out, {} fault-aborted",
+                self.faults_injected, self.recovered, self.timed_out, self.fault_aborts
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -352,18 +631,31 @@ impl<'a> Scheduler<'a> {
             runs,
             ..BatchSummary::default()
         };
-        for _ in 0..runs {
-            let result = self.run(network.clone(), rng, fuel)?;
+        for i in 0..runs {
+            // Each batch run gets its own derived fault seed, so the
+            // whole batch stays a pure function of the plan seed.
+            let faults = self.faults.clone().map(|f| {
+                let seed = f.seed.wrapping_add(i as u64);
+                f.with_seed(seed)
+            });
+            let result = self.run_inner(network.clone(), rng, fuel, faults)?;
             match result.outcome {
                 Outcome::Completed => summary.completed += 1,
                 Outcome::Deadlock { .. } => summary.deadlocks += 1,
                 Outcome::SecurityAbort { .. } => summary.aborts += 1,
                 Outcome::OutOfFuel => summary.out_of_fuel += 1,
+                Outcome::TimedOut { .. } => summary.timed_out += 1,
+                Outcome::FaultAbort { .. } => summary.fault_aborts += 1,
+                Outcome::RecoveredVia { .. } => {
+                    summary.completed += 1;
+                    summary.recovered += 1;
+                }
             }
             if !result.violations.is_empty() {
                 summary.violating_runs += 1;
             }
             summary.total_steps += result.trace.len();
+            summary.faults_injected += result.faults.len();
         }
         Ok(summary)
     }
@@ -495,11 +787,11 @@ pub fn run_client<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sufs_hexpr::builder::*;
     use sufs_hexpr::parse_hist;
     use sufs_policy::catalog;
+    use sufs_rng::SeedableRng;
+    use sufs_rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -761,6 +1053,150 @@ mod tests {
         assert!(summary.deadlocks > 0);
         assert!(!summary.is_unfailing());
         assert_eq!(summary.completed + summary.deadlocks, 100);
+    }
+
+    #[test]
+    fn empty_batch_is_vacuously_unfailing() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        network.add_client("c1", simple_client(), Plan::new().with(1u32, "ok_srv"));
+        let summary = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run_batch(&network, 0, &mut rng(), 1000)
+            .unwrap();
+        assert_eq!(summary.runs, 0);
+        assert_eq!(summary.total_steps, 0);
+        assert!(summary.is_unfailing());
+        assert!(summary.is_secure());
+        assert!(summary.to_string().starts_with("0 runs"));
+    }
+
+    #[test]
+    fn all_stuck_batch_is_failing_but_secure() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        // Request 1 unbound: every single run deadlocks immediately.
+        network.add_client("c1", simple_client(), Plan::new());
+        let summary = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .run_batch(&network, 10, &mut rng(), 1000)
+            .unwrap();
+        assert_eq!(summary.deadlocks, 10);
+        assert_eq!(summary.completed, 0);
+        assert!(!summary.is_unfailing());
+        // Liveness failed, security did not: nothing was violated.
+        assert!(summary.is_secure());
+    }
+
+    #[test]
+    fn mixed_batch_separates_liveness_from_security() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        network.add_client("c1", simple_client(), Plan::new().with(1u32, "flaky_srv"));
+        let summary = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Committed)
+            .run_batch(&network, 100, &mut rng(), 1000)
+            .unwrap();
+        assert!(summary.completed > 0, "some schedules avoid `del`");
+        assert!(summary.deadlocks > 0, "some schedules commit to `del`");
+        assert_eq!(summary.completed + summary.deadlocks, 100);
+        assert!(!summary.is_unfailing());
+        assert!(summary.is_secure(), "non-compliance is not a violation");
+    }
+
+    #[test]
+    fn deadlock_reasons_classify_stuck_and_unmatched() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        // Unbound request: no rule applies at all.
+        let res = run_client(
+            "c1",
+            simple_client(),
+            Plan::new(),
+            &repo,
+            &reg,
+            MonitorMode::Off,
+            ChoiceMode::Committed,
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(matches!(
+            res.outcome,
+            Outcome::Deadlock {
+                reason: DeadlockReason::NoTransitions,
+                ..
+            }
+        ));
+        // The flaky service committed to `del`: an unmatched send, with
+        // the offending channel and sender named.
+        let mut r = rng();
+        let mut seen = None;
+        for _ in 0..50 {
+            let res = run_client(
+                "c1",
+                simple_client(),
+                Plan::new().with(1u32, "flaky_srv"),
+                &repo,
+                &reg,
+                MonitorMode::Off,
+                ChoiceMode::Committed,
+                &mut r,
+            )
+            .unwrap();
+            if let Outcome::Deadlock {
+                reason: DeadlockReason::UnmatchedSend { chan, sender },
+                ..
+            } = res.outcome
+            {
+                seen = Some((chan, sender));
+                break;
+            }
+        }
+        let (chan, sender) = seen.expect("an unmatched del-send in 50 committed runs");
+        assert_eq!(chan, Channel::new("del"));
+        assert_eq!(sender, Location::new("flaky_srv"));
+    }
+
+    #[test]
+    fn fault_free_scheduler_with_armed_injector_keeps_the_trace() {
+        // Belt and braces for the zero-fault path: arming a rate-zero
+        // injector must not shift the scheduler's random stream.
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let run = |faulty: bool| {
+            let mut network = Network::new();
+            network.add_client("c1", simple_client(), Plan::new().with(1u32, "ok_srv"));
+            let mut s = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Committed);
+            if faulty {
+                s = s.with_faults(FaultPlan::default().with_seed(99));
+            }
+            s.run(network, &mut rng(), 1000).unwrap()
+        };
+        let plain = run(false);
+        let armed = run(true);
+        assert_eq!(plain.trace, armed.trace);
+        assert_eq!(plain.outcome, armed.outcome);
+        assert!(armed.faults.is_empty());
+    }
+
+    #[test]
+    fn timeout_escalates_without_recovery() {
+        let repo = simple_repo();
+        let reg = PolicyRegistry::new();
+        let mut network = Network::new();
+        // Unbound request + armed faults: instead of an instant deadlock
+        // the component burns its retries, then times out.
+        network.add_client("c1", simple_client(), Plan::new());
+        let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Off, ChoiceMode::Angelic)
+            .with_faults(FaultPlan::default().with_seed(1).with_timeout(4, 2));
+        let res = scheduler.run(network, &mut rng(), 1000).unwrap();
+        assert_eq!(res.outcome, Outcome::TimedOut { component: 0 });
+        let retries = res
+            .faults
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Timeout { .. }))
+            .count();
+        assert_eq!(retries, 2, "both retries must be logged: {:?}", res.faults);
     }
 
     #[test]

@@ -358,6 +358,8 @@ pub fn component_steps(c: &Component, repo: &Repository) -> Vec<(StepAction, Com
                     history,
                     sess: step.next,
                     plan: c.plan.clone(),
+                    origin_loc: c.origin_loc.clone(),
+                    origin_client: c.origin_client.clone(),
                 },
             )
         })

@@ -98,11 +98,11 @@ mod tests {
     use crate::monitor::MonitorMode;
     use crate::plan::Plan;
     use crate::scheduler::{ChoiceMode, Scheduler};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sufs_hexpr::builder::*;
     use sufs_hexpr::parse_hist;
     use sufs_policy::PolicyRegistry;
+    use sufs_rng::SeedableRng;
+    use sufs_rng::StdRng;
 
     #[test]
     fn replay_matches_run() {

@@ -1,7 +1,7 @@
 //! The §5 bounded-availability extension: capacity-limited services.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs_hexpr::builder::*;
 use sufs_hexpr::Location;

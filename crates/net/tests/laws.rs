@@ -6,41 +6,37 @@
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use sufs_hexpr::builder::*;
 use sufs_hexpr::{Channel, Hist, PolicyRef};
 use sufs_net::semantics::sess_steps;
 use sufs_net::{ChoiceMode, MonitorMode, Network, Plan, Repository, Scheduler, Sess, StepAction};
 use sufs_policy::PolicyRegistry;
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 /// Random communication behaviours over a tiny channel pool.
-fn arb_behaviour() -> impl Strategy<Value = Hist> {
-    let leaf = Just(Hist::Eps);
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (
-                any::<bool>(),
-                proptest::sample::subsequence(vec!["x", "y"], 1..=2),
-                proptest::collection::vec(inner.clone(), 2),
-            )
-                .prop_map(|(int, chans, conts)| {
-                    let bs: Vec<(Channel, Hist)> =
-                        chans.into_iter().map(Channel::new).zip(conts).collect();
-                    if int {
-                        Hist::Int(bs)
-                    } else {
-                        Hist::Ext(bs)
-                    }
-                }),
-            inner
-                .clone()
-                .prop_map(|h| Hist::framed(PolicyRef::nullary("p"), h)),
-            (inner.clone(), inner).prop_map(|(a, b)| Hist::seq(Hist::seq(ev0("e"), a), b)),
-        ]
-    })
+fn random_behaviour(depth: usize, r: &mut StdRng) -> Hist {
+    if depth == 0 || r.gen_bool(0.25) {
+        return Hist::Eps;
+    }
+    match r.gen_range(0u8..3) {
+        0 => {
+            let chans = r.subsequence(&["x", "y"], 1, 2);
+            let bs: Vec<(Channel, Hist)> = chans
+                .into_iter()
+                .map(|c| (Channel::new(c), random_behaviour(depth - 1, r)))
+                .collect();
+            if r.gen_bool(0.5) {
+                Hist::Int(bs)
+            } else {
+                Hist::Ext(bs)
+            }
+        }
+        1 => Hist::framed(PolicyRef::nullary("p"), random_behaviour(depth - 1, r)),
+        _ => Hist::seq(
+            Hist::seq(ev0("e"), random_behaviour(depth - 1, r)),
+            random_behaviour(depth - 1, r),
+        ),
+    }
 }
 
 /// Erases the structural successor, keeping the observable action and
@@ -51,18 +47,22 @@ fn observations(
     steps.into_iter().map(|s| (s.action, s.delta)).collect()
 }
 
-proptest! {
-    /// `[S, S'] ≡ [S', S]`: mirrored sessions offer the same actions with
-    /// the same history deltas.
-    #[test]
-    fn session_pairs_commute(a in arb_behaviour(), b in arb_behaviour()) {
+/// `[S, S'] ≡ [S', S]`: mirrored sessions offer the same actions with
+/// the same history deltas.
+#[test]
+fn session_pairs_commute() {
+    for seed in 0..300u64 {
+        let mut r = StdRng::seed_from_u64(seed);
+        let a = random_behaviour(3, &mut r);
+        let b = random_behaviour(3, &mut r);
         let plan = Plan::new();
         let repo = Repository::new();
         let left = Sess::pair(Sess::leaf("l", a.clone()), Sess::leaf("r", b.clone()));
         let right = Sess::pair(Sess::leaf("r", b), Sess::leaf("l", a));
-        prop_assert_eq!(
+        assert_eq!(
             observations(sess_steps(&left, &plan, &repo)),
-            observations(sess_steps(&right, &plan, &repo))
+            observations(sess_steps(&right, &plan, &repo)),
+            "seed {seed}"
         );
     }
 }

@@ -155,6 +155,27 @@ impl History {
         true
     }
 
+    /// The stack of framings opened but not yet closed, outermost
+    /// first. Appending `Close` items for these in *reverse* order
+    /// balances the history — the frame-flushing `Φ` of rule *Close*,
+    /// applied to a whole history; fault recovery uses this to close
+    /// every dangling policy window before restarting a component.
+    pub fn pending_opens(&self) -> Vec<PolicyRef> {
+        let mut stack: Vec<PolicyRef> = Vec::new();
+        for item in &self.0 {
+            match item {
+                HistoryItem::Ev(_) => {}
+                HistoryItem::Open(p) => stack.push(p.clone()),
+                HistoryItem::Close(p) => {
+                    if stack.last() == Some(p) {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        stack
+    }
+
     /// Validity `⊨ η` (§3.1): every prefix `η₀` must satisfy every policy
     /// in `AP(η₀)` on the flattened prefix `η₀♭`.
     ///
@@ -318,6 +339,23 @@ mod tests {
         .into_iter()
         .collect();
         assert!(!h.is_balanced());
+    }
+
+    #[test]
+    fn pending_opens_tracks_the_frame_stack() {
+        let psi = PolicyRef::nullary("psi");
+        let mut h = History::new();
+        assert!(h.pending_opens().is_empty());
+        h.push_open(phi());
+        h.push_open(psi.clone());
+        assert_eq!(h.pending_opens(), vec![phi(), psi.clone()]);
+        h.push_close(psi.clone());
+        assert_eq!(h.pending_opens(), vec![phi()]);
+        // Closing in reverse order balances the history.
+        for p in h.pending_opens().into_iter().rev() {
+            h.push_close(p);
+        }
+        assert!(h.is_balanced());
     }
 
     #[test]

@@ -1,14 +1,13 @@
-//! Property tests for the quantitative extension: on deterministic
+//! Randomised tests for the quantitative extension: on deterministic
 //! (choice-free) expressions the static worst-case accumulated cost
 //! equals what the run-time cost monitor observes along the unique
 //! trace; on branching expressions the monitor is bounded by the static
-//! worst case.
-
-use proptest::prelude::*;
+//! worst case. Every case is deterministic in its seed.
 
 use sufs_hexpr::semantics::successors;
 use sufs_hexpr::{Channel, Event, Hist, Label, PolicyRef};
 use sufs_policy::cost::{check_cost_bound, CostBound, CostModel, CostMonitor, CostVerdict};
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 fn wallet() -> PolicyRef {
     PolicyRef::nullary("wallet")
@@ -23,29 +22,31 @@ fn bound(b: u64) -> CostBound {
 }
 
 /// Choice-free expressions: events and framings in sequence.
-fn arb_straightline() -> impl Strategy<Value = Hist> {
-    let leaf = (0i64..20).prop_map(|n| Hist::ev(Event::new("spend", [n])));
-    leaf.prop_recursive(4, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Hist::seq(a, b)),
-            inner.prop_map(|h| Hist::framed(PolicyRef::nullary("wallet"), h)),
-        ]
-    })
+fn random_straightline(depth: usize, r: &mut StdRng) -> Hist {
+    if depth == 0 || r.gen_bool(0.3) {
+        return Hist::ev(Event::new("spend", [r.gen_range(0i64..20)]));
+    }
+    if r.gen_bool(0.5) {
+        Hist::seq(
+            random_straightline(depth - 1, r),
+            random_straightline(depth - 1, r),
+        )
+    } else {
+        Hist::framed(wallet(), random_straightline(depth - 1, r))
+    }
 }
 
 /// Expressions with external choices added on top.
-fn arb_branching() -> impl Strategy<Value = Hist> {
-    arb_straightline().prop_recursive(3, 12, 2, |inner| {
-        (
-            proptest::sample::subsequence(vec!["x", "y"], 1..=2),
-            proptest::collection::vec(inner, 2),
-        )
-            .prop_map(|(chans, conts)| {
-                let bs: Vec<(Channel, Hist)> =
-                    chans.into_iter().map(Channel::new).zip(conts).collect();
-                Hist::Ext(bs)
-            })
-    })
+fn random_branching(depth: usize, r: &mut StdRng) -> Hist {
+    if depth == 0 {
+        return random_straightline(3, r);
+    }
+    let chans = r.subsequence(&["x", "y"], 1, 2);
+    let bs: Vec<(Channel, Hist)> = chans
+        .into_iter()
+        .map(|c| (Channel::new(c), random_branching(depth - 1, r)))
+        .collect();
+    Hist::Ext(bs)
 }
 
 /// Follows one maximal path of `h`, feeding every label to the monitor,
@@ -68,54 +69,60 @@ fn monitor_max_on_path(h: &Hist, cb: &CostBound, pick: usize) -> u64 {
     max
 }
 
-proptest! {
-    /// Deterministic expressions: static worst == dynamic max.
-    #[test]
-    fn static_equals_dynamic_on_straightline(h in arb_straightline()) {
+const CASES: u64 = 200;
+
+/// Deterministic expressions: static worst == dynamic max.
+#[test]
+fn static_equals_dynamic_on_straightline() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_straightline(4, &mut r);
         let cb = bound(u64::MAX / 2);
-        let CostVerdict::Within { worst } =
-            check_cost_bound(&h, &cb, 1 << 18).unwrap()
-        else {
+        let CostVerdict::Within { worst } = check_cost_bound(&h, &cb, 1 << 18).unwrap() else {
             panic!("huge budget cannot be exceeded");
         };
         let observed = monitor_max_on_path(&h, &cb, 0);
-        prop_assert_eq!(worst, observed);
+        assert_eq!(worst, observed, "seed {seed}: {h}");
     }
+}
 
-    /// Branching expressions: every path's dynamic max is bounded by the
-    /// static worst case, and some path attains a positive cost whenever
-    /// the worst case is positive on a fair sample of paths.
-    #[test]
-    fn dynamic_bounded_by_static_on_branching(h in arb_branching(), picks in 0usize..8) {
+/// Branching expressions: every path's dynamic max is bounded by the
+/// static worst case.
+#[test]
+fn dynamic_bounded_by_static_on_branching() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_branching(3, &mut r);
+        let picks = r.gen_range(0usize..8);
         let cb = bound(u64::MAX / 2);
-        let CostVerdict::Within { worst } =
-            check_cost_bound(&h, &cb, 1 << 18).unwrap()
-        else {
+        let CostVerdict::Within { worst } = check_cost_bound(&h, &cb, 1 << 18).unwrap() else {
             panic!("huge budget cannot be exceeded");
         };
         let observed = monitor_max_on_path(&h, &cb, picks);
-        prop_assert!(
+        assert!(
             observed <= worst,
-            "path cost {observed} exceeds static worst {worst}"
+            "seed {seed}: path cost {observed} exceeds static worst {worst}"
         );
     }
+}
 
-    /// The static verdict's threshold behaviour is exact: with the bound
-    /// set to `worst`, the expression is within budget; any smaller
-    /// bound (when `worst > 0`) is exceeded.
-    #[test]
-    fn threshold_exactness(h in arb_straightline()) {
+/// The static verdict's threshold behaviour is exact: with the bound
+/// set to `worst`, the expression is within budget; any smaller bound
+/// (when `worst > 0`) is exceeded.
+#[test]
+fn threshold_exactness() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_straightline(4, &mut r);
         let probe = bound(u64::MAX / 2);
-        let CostVerdict::Within { worst } =
-            check_cost_bound(&h, &probe, 1 << 18).unwrap()
-        else {
+        let CostVerdict::Within { worst } = check_cost_bound(&h, &probe, 1 << 18).unwrap() else {
             panic!("huge budget cannot be exceeded");
         };
         let at = check_cost_bound(&h, &bound(worst), 1 << 18).unwrap();
-        prop_assert!(at.is_within());
+        assert!(at.is_within(), "seed {seed}");
         if worst > 0 {
             let below = check_cost_bound(&h, &bound(worst - 1), 1 << 18).unwrap();
-            prop_assert!(!below.is_within());
+            assert!(!below.is_within(), "seed {seed}");
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Deterministic pseudo-random number generation for `sufs`.
+//!
+//! The whole workspace must build and test with **no network access**,
+//! so randomness comes from this small in-tree module instead of an
+//! external crate. The API mirrors the subset of `rand` the workspace
+//! uses — [`Rng`], [`SeedableRng`], [`StdRng`], `gen_range`,
+//! `gen_bool` — so call sites read the same.
+//!
+//! [`StdRng`] is a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//! generator: a 64-bit state advanced by a Weyl sequence and finalised
+//! with an avalanche mix. It is fast, passes BigCrush in its output
+//! mixing, and — decisive for the experiments of `EXPERIMENTS.md` — is
+//! *fully deterministic in its seed*, so every random schedule, fault
+//! injection and workload in the repository replays exactly.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of pseudo-random numbers.
+///
+/// Only [`Rng::next_u64`] is required; the sampling helpers are
+/// provided methods, so schedulers and generators can be written
+/// against `R: Rng` exactly as against the `rand` trait of the same
+/// name.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Picks a uniformly random element of `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T
+    where
+        Self: Sized,
+    {
+        &xs[self.gen_range(0..xs.len())]
+    }
+
+    /// A random subsequence of `xs` (order preserved) with between
+    /// `min` and `max` elements; used by the test generators to draw
+    /// distinct choice guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `max > xs.len()`.
+    fn subsequence<T: Clone>(&mut self, xs: &[T], min: usize, max: usize) -> Vec<T>
+    where
+        Self: Sized,
+    {
+        assert!(min <= max && max <= xs.len());
+        let k = self.gen_range(min..=max);
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx.sort_unstable();
+        idx.into_iter().map(|i| xs[i].clone()).collect()
+    }
+
+    /// Shuffles `xs` in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard deterministic generator (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample using `rng`.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform `u64` in `[0, n)` by rejection sampling (no modulo bias), so
+/// the same seed yields the same schedule on every platform.
+fn uniform_below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(1usize..=5);
+            assert!((1..=5).contains(&y));
+            let z = r.gen_range(-10i64..10);
+            assert!((-10..10).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "biased coin: {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _ = r.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn rng_usable_through_mut_reference() {
+        fn draw<R: Rng>(r: &mut R) -> u64 {
+            r.next_u64()
+        }
+        let mut r = StdRng::seed_from_u64(4);
+        let via_ref = draw(&mut &mut r);
+        let _ = via_ref;
+    }
+}

@@ -12,8 +12,8 @@
 //! cargo run --example bounded_brokers
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::prelude::*;
 use sufs_core::multi::{verify_network, ClientSpec};

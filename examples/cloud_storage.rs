@@ -11,8 +11,8 @@
 //! cargo run --example cloud_storage
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::prelude::*;
 use sufs_net::{ChoiceMode, MonitorMode, Network, Outcome, Scheduler};

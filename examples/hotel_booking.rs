@@ -8,8 +8,8 @@
 //! cargo run --example hotel_booking
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::paper;
 use sufs_contract::{compliant, Contract};

@@ -6,8 +6,8 @@
 //! cargo run --example lambda_services
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::prelude::*;
 use sufs_lang::{eval, infer, parse_expr, trace_conforms};

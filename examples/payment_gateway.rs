@@ -13,8 +13,8 @@
 //! cargo run --example payment_gateway
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::prelude::*;
 use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};

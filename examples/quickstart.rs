@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::prelude::*;
 use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};

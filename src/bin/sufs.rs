@@ -15,8 +15,8 @@
 
 use std::process::ExitCode;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs_contract::{compliant, Contract};
 use sufs_core::scenario::{parse_scenario, Scenario};
@@ -60,7 +60,8 @@ fn usage() -> String {
      sufs verify <file> [--client NAME]\n  \
      sufs verify-net <file>\n  \
      sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor] \
-     [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid]\n  \
+     [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid] \
+     [--faults k=v,...] [--recover]\n  \
      sufs compliance <file> <client-service> <server-service>\n  \
      sufs discover <file> <client> [--request N]\n  \
      sufs lts <file> <service> [--dot]\n  \
@@ -228,7 +229,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(100_000);
 
-    let scheduler = Scheduler::new(&sc.repository, &sc.registry, monitor, choice);
+    // Fault injection: an explicit --faults spec wins over the
+    // scenario's own `faults { … }` block.
+    let faults = match flag_value(args, "--faults") {
+        Some(spec) => Some(sufs_net::FaultPlan::parse(spec)?),
+        None => sc.faults.clone(),
+    };
+    let mut scheduler = Scheduler::new(&sc.repository, &sc.registry, monitor, choice);
+    if let Some(f) = faults {
+        println!("injecting faults: {f}");
+        scheduler = scheduler.with_faults(f);
+    }
+    if has_flag(args, "--recover") {
+        let table = sufs_core::recovery::recovery_table(
+            std::slice::from_ref(client),
+            &sc.repository,
+            &sc.registry,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "recovery armed: {} verified fallback plan(s)",
+            table.chain(0).len()
+        );
+        scheduler = scheduler.with_recovery(table);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut network = Network::new();
     network.add_client(Location::new(name), client.clone(), plan);
@@ -248,6 +272,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             println!("{}", sufs_net::trace::render_actions(&result.trace));
         }
         println!("outcome: {:?}", result.outcome);
+        for e in &result.faults {
+            println!("fault {e}");
+        }
         for (i, p) in &result.violations {
             println!("component {i} violated {p}");
         }

@@ -176,6 +176,70 @@ fn errors_are_reported() {
 }
 
 #[test]
+fn faults_flag_injects_and_reports() {
+    let (stdout, _, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--runs",
+        "20",
+        "--committed",
+        "--seed",
+        "3",
+        "--faults",
+        "drop=0.2,seed=5",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("injecting faults:"), "{stdout}");
+    assert!(stdout.contains("20 runs:"));
+    assert!(
+        stdout.contains("; faults:"),
+        "dropped synchs must show in the summary:\n{stdout}"
+    );
+    // Message loss only delays a verified plan; it never makes it fail.
+    assert!(stdout.contains("unfailing"), "{stdout}");
+}
+
+#[test]
+fn faults_flag_rejects_bad_specs() {
+    let (_, stderr, ok) = sufs(&[
+        "run",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--faults",
+        "flux=0.1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown fault setting"), "{stderr}");
+}
+
+#[test]
+fn faulty_scenario_recovers_via_the_backup_plan() {
+    // No --faults flag: the scenario's own `faults { … }` block arms the
+    // injector; --recover builds the fallback chain from the verifier.
+    let (stdout, _, ok) = sufs(&[
+        "run",
+        "scenarios/faulty.sufs",
+        "--runs",
+        "30",
+        "--committed",
+        "--seed",
+        "9",
+        "--recover",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("injecting faults:"), "{stdout}");
+    assert!(
+        stdout.contains("recovery armed: 2 verified fallback plan(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("30 completed"), "{stdout}");
+    assert!(stdout.contains("unfailing"), "{stdout}");
+}
+
+#[test]
 fn mermaid_flag_emits_a_sequence_diagram() {
     let (stdout, _, ok) = sufs(&[
         "run",

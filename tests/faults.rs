@@ -1,0 +1,260 @@
+//! Experiment E13 — §5 under adversity: fault injection, timeouts and
+//! plan failover.
+//!
+//! The §5 guarantee is about *security*, not luck: a statically valid
+//! plan may be stopped by a crashing service, but it must never be made
+//! to violate a policy, under any fault schedule. And because *every*
+//! valid plan is certified, a component whose service dies can fail
+//! over to the next valid plan and still finish — the network is
+//! unfailing whenever a live fallback exists.
+
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
+
+use sufs::paper;
+use sufs_core::recovery::recovery_table;
+use sufs_hexpr::builder::*;
+use sufs_hexpr::Hist;
+use sufs_net::{ChoiceMode, FaultPlan, MonitorMode, Network, Outcome, Plan, Repository, Scheduler};
+use sufs_policy::PolicyRegistry;
+
+/// Runs per (plan, fault-rate) arm; the experiment totals ≥ 1000.
+const RUNS: usize = 250;
+
+fn fault_rates() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::default()
+            .with_seed(13)
+            .with_crash(0.002)
+            .with_drop(0.05),
+        FaultPlan::default()
+            .with_seed(14)
+            .with_crash(0.01)
+            .with_drop(0.1)
+            .with_stall(0.02),
+    ]
+}
+
+/// A two-service world where failover is always possible: both services
+/// are compliant, so the verifier certifies both plans.
+fn redundant_world() -> (Hist, Repository, PolicyRegistry) {
+    let client = request(
+        1,
+        None,
+        seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+    );
+    let service = || recv("req", choose([("ok", eps()), ("no", eps())]));
+    let mut repo = Repository::new();
+    repo.publish("primary", service());
+    repo.publish("backup", service());
+    (client, repo, PolicyRegistry::new())
+}
+
+/// The core E13 sweep, ≥1000 seeded random schedules in total:
+/// statically valid plans stay secure under every fault schedule
+/// (monitor off, violations audited post-hoc); the known-bad plan keeps
+/// violating under the same faults.
+#[test]
+fn sec5_unfailing_under_faults() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let mut total_runs = 0;
+    for faults in fault_rates() {
+        // Arm 1: valid plans, faults, no recovery. Faults may stop the
+        // run (timeout) but can never make it misbehave.
+        for (loc, client, plan) in [
+            ("c1", paper::client_c1(), paper::plan_pi1()),
+            ("c2", paper::client_c2(), paper::plan_c2_s4()),
+        ] {
+            let mut network = Network::new();
+            network.add_client(loc, client, plan);
+            let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed)
+                .with_faults(faults.clone());
+            let mut rng = StdRng::seed_from_u64(0xE13);
+            let summary = scheduler
+                .run_batch(&network, RUNS, &mut rng, 10_000)
+                .unwrap();
+            total_runs += summary.runs;
+            assert!(
+                summary.is_secure(),
+                "valid plan violated a policy under faults: {summary}"
+            );
+            assert_eq!(summary.deadlocks, 0, "fault runs never report Deadlock");
+            assert_eq!(
+                summary.completed + summary.timed_out + summary.out_of_fuel,
+                RUNS,
+                "unexpected outcome mix: {summary}"
+            );
+        }
+
+        // Arm 2: valid plan, faults, recovery armed from the verifier's
+        // own fallback chain — secure *and* no fault-aborts, since a
+        // live fallback always exists in the redundant world.
+        let (client, rrepo, rreg) = redundant_world();
+        let table = recovery_table(std::slice::from_ref(&client), &rrepo, &rreg).unwrap();
+        let chain: Vec<Plan> = table.chain(0).to_vec();
+        assert_eq!(chain.len(), 2, "both redundant plans must verify");
+        let mut network = Network::new();
+        network.add_client("client", client, chain[0].clone());
+        let scheduler = Scheduler::new(&rrepo, &rreg, MonitorMode::Audit, ChoiceMode::Committed)
+            .with_faults(faults.with_max_crashes(1))
+            .with_recovery(table);
+        let mut rng = StdRng::seed_from_u64(0xE13);
+        let summary = scheduler
+            .run_batch(&network, RUNS, &mut rng, 10_000)
+            .unwrap();
+        total_runs += summary.runs;
+        assert!(summary.is_secure(), "recovered runs must stay secure");
+        assert_eq!(
+            summary.completed, RUNS,
+            "with at most one crash and a verified fallback, every run finishes: {summary}"
+        );
+
+        // Arm 3: the statically rejected C2→S3 plan still violates
+        // under the same faults — injection does not mask insecurity.
+        let mut network = Network::new();
+        network.add_client("c2", paper::client_c2(), paper::plan_c2_s3());
+        let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed)
+            .with_faults(FaultPlan::default().with_seed(99).with_drop(0.05));
+        let mut rng = StdRng::seed_from_u64(0xBAD);
+        let summary = scheduler
+            .run_batch(&network, RUNS, &mut rng, 10_000)
+            .unwrap();
+        total_runs += summary.runs;
+        assert!(
+            summary.violating_runs > 0,
+            "the bad plan's violation disappeared under faults: {summary}"
+        );
+        assert!(!summary.is_secure());
+    }
+    assert!(
+        total_runs >= 1000,
+        "E13 must cover ≥1000 runs, got {total_runs}"
+    );
+}
+
+/// Determinism: the same scheduler seed and the same fault seed yield
+/// byte-identical traces and fault logs, run after run.
+#[test]
+fn sec5_fault_schedules_are_deterministic() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let faults = FaultPlan::default()
+        .with_seed(7)
+        .with_crash(0.01)
+        .with_drop(0.1)
+        .with_stall(0.05);
+    let run = || {
+        let mut network = Network::new();
+        network.add_client("c2", paper::client_c2(), paper::plan_c2_s4());
+        let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed)
+            .with_faults(faults.clone());
+        let mut rng = StdRng::seed_from_u64(0xD37);
+        scheduler.run(network, &mut rng, 10_000).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.trace, b.trace, "same seeds must replay the same trace");
+    assert_eq!(a.faults, b.faults, "same seeds must replay the same faults");
+
+    // A different fault seed perturbs the schedule (with these rates,
+    // some fault fires in 10k steps with overwhelming probability).
+    let mut network = Network::new();
+    network.add_client("c2", paper::client_c2(), paper::plan_c2_s4());
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed)
+        .with_faults(faults.with_seed(8));
+    let mut rng = StdRng::seed_from_u64(0xD37);
+    let c = scheduler.run(network, &mut rng, 10_000).unwrap();
+    assert_ne!(
+        (a.trace, a.faults),
+        (c.trace, c.faults),
+        "changing the fault seed must change the run"
+    );
+}
+
+/// Targeted failover: a guaranteed crash of the bound service makes the
+/// component time out, fail over to the verified backup plan, restart
+/// from a Φ-closed history, and complete.
+#[test]
+fn sec5_failover_rebinds_to_the_backup_plan() {
+    let (client, repo, reg) = redundant_world();
+    let table = recovery_table(std::slice::from_ref(&client), &repo, &reg).unwrap();
+    let chain: Vec<Plan> = table.chain(0).to_vec();
+    let mut network = Network::new();
+    network.add_client("client", client, chain[0].clone());
+    let faults = FaultPlan::default()
+        .with_seed(1)
+        .with_crash(1.0)
+        .with_max_crashes(1)
+        .with_timeout(2, 0);
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Enforcing, ChoiceMode::Committed)
+        .with_faults(faults)
+        .with_recovery(table);
+    let mut rng = StdRng::seed_from_u64(5);
+    let r = scheduler.run(network, &mut rng, 10_000).unwrap();
+    match &r.outcome {
+        Outcome::RecoveredVia { component, plan } => {
+            assert_eq!(*component, 0);
+            assert_ne!(plan, &chain[0], "failover must pick a different plan");
+            assert!(chain.contains(plan), "failover must pick a verified plan");
+        }
+        other => panic!("expected a recovered completion, got {other:?}"),
+    }
+    assert!(r.violations.is_empty());
+    assert!(
+        r.faults
+            .iter()
+            .any(|e| matches!(e.kind, sufs_net::FaultKind::Failover { .. })),
+        "the failover must be logged: {:?}",
+        r.faults
+    );
+    // The recovered component's history is balanced: every frame the
+    // aborted attempt opened was Φ-closed before the restart.
+    assert!(r.network.components()[0].history.is_balanced());
+    // And without recovery the same schedule is a hard timeout.
+    let (client, repo, reg) = redundant_world();
+    let mut network = Network::new();
+    network.add_client("client", client, chain[0].clone());
+    let faults = FaultPlan::default()
+        .with_seed(1)
+        .with_crash(1.0)
+        .with_max_crashes(1)
+        .with_timeout(2, 0);
+    let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Enforcing, ChoiceMode::Committed)
+        .with_faults(faults);
+    let mut rng = StdRng::seed_from_u64(5);
+    let r = scheduler.run(network, &mut rng, 10_000).unwrap();
+    assert!(
+        matches!(r.outcome, Outcome::TimedOut { component: 0 }),
+        "got {:?}",
+        r.outcome
+    );
+}
+
+/// With every fault rate at zero, an armed injector changes nothing:
+/// the trace equals the faultless run step for step.
+#[test]
+fn zero_rate_faults_are_inert() {
+    let repo = paper::repository();
+    let reg = paper::registry();
+    let base = {
+        let mut network = Network::new();
+        network.add_client("c1", paper::client_c1(), paper::plan_pi1());
+        let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed);
+        let mut rng = StdRng::seed_from_u64(42);
+        scheduler.run(network, &mut rng, 10_000).unwrap()
+    };
+    let armed = {
+        let mut network = Network::new();
+        network.add_client("c1", paper::client_c1(), paper::plan_pi1());
+        let scheduler = Scheduler::new(&repo, &reg, MonitorMode::Audit, ChoiceMode::Committed)
+            .with_faults(FaultPlan::default().with_seed(123));
+        let mut rng = StdRng::seed_from_u64(42);
+        scheduler.run(network, &mut rng, 10_000).unwrap()
+    };
+    assert_eq!(base.outcome, Outcome::Completed);
+    assert_eq!(armed.outcome, Outcome::Completed);
+    assert_eq!(base.trace, armed.trace);
+    assert!(armed.faults.is_empty());
+}

@@ -3,8 +3,8 @@
 //! history, because such are those that show up when executing a
 //! network".
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs_net::{ChoiceMode, MonitorMode, Network, Scheduler};
 

@@ -7,8 +7,8 @@ use sufs_hexpr::{Event, Location, RequestId};
 use sufs_net::{ChoiceMode, MonitorMode, Network, Outcome, Plan, Scheduler, StepAction};
 use sufs_policy::PolicyRegistry;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 /// E1 (Fig. 1): the parametric usage automaton `φ(bl, p, t)` classifies
 /// hotel histories exactly as the paper narrates.

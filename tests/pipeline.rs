@@ -2,8 +2,8 @@
 //! effects extracted by the type-and-effect system, published to a
 //! repository, statically verified, and executed monitor-free.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs_core::verify::verify;
 use sufs_hexpr::{Location, RequestId};

@@ -1,10 +1,10 @@
-//! Cross-crate property tests: parser/printer round trips and agreement
-//! between the static analyses and the reference implementations.
-
-use proptest::prelude::*;
+//! Cross-crate randomised tests: parser/printer round trips and
+//! agreement between the static analyses and the reference
+//! implementations. Every case is deterministic in its seed.
 
 use sufs_hexpr::{parse_hist, Channel, Event, Hist, ParamValue, PolicyRef, Value};
 use sufs_policy::{catalog, History, HistoryItem, PolicyRegistry};
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 fn collect_policy_names(h: &Hist, out: &mut std::collections::BTreeSet<String>) {
     match h {
@@ -45,94 +45,120 @@ fn has_parameterised_refs(h: &Hist) -> bool {
     }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-100i64..100).prop_map(Value::Int),
-        "[a-z][a-z0-9]{0,4}".prop_map(Value::Str),
-    ]
+/// A random identifier `[a-z][a-z0-9_]{0,max_tail}` (underscore only
+/// when `underscore` is set).
+fn random_ident(r: &mut StdRng, max_tail: usize, underscore: bool) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let tail_pool = if underscore {
+        TAIL.len()
+    } else {
+        TAIL.len() - 1
+    };
+    let mut s = String::new();
+    s.push(HEAD[r.gen_range(0..HEAD.len())] as char);
+    for _ in 0..r.gen_range(0usize..=max_tail) {
+        s.push(TAIL[r.gen_range(0..tail_pool)] as char);
+    }
+    s
 }
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    (
-        "[a-z][a-z0-9]{0,5}",
-        proptest::collection::vec(arb_value(), 0..3),
-    )
-        .prop_map(|(n, args)| Event::new(n, args))
+fn random_value(r: &mut StdRng) -> Value {
+    if r.gen_bool(0.5) {
+        Value::Int(r.gen_range(-100i64..100))
+    } else {
+        Value::Str(random_ident(r, 4, false))
+    }
 }
 
-fn arb_policy_ref() -> impl Strategy<Value = PolicyRef> {
-    (
-        "[a-z][a-z0-9_]{0,6}",
-        proptest::collection::vec(
-            prop_oneof![
-                arb_value().prop_map(ParamValue::Scalar),
-                proptest::collection::btree_set(arb_value(), 0..3).prop_map(ParamValue::Set),
-            ],
-            0..3,
-        ),
-    )
-        .prop_map(|(n, args)| PolicyRef::new(n, args))
+fn random_event(r: &mut StdRng) -> Event {
+    let name = random_ident(r, 5, false);
+    let args: Vec<Value> = (0..r.gen_range(0usize..3))
+        .map(|_| random_value(r))
+        .collect();
+    Event::new(name, args)
 }
 
-/// Random well-formed history expressions (loop-free plus a recursive
-/// wrapper case).
-fn arb_hist() -> impl Strategy<Value = Hist> {
-    let leaf = prop_oneof![Just(Hist::Eps), arb_event().prop_map(Hist::Ev),];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            // sequence
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Hist::seq(a, b)),
-            // choices with distinct guards
-            (
-                any::<bool>(),
-                proptest::sample::subsequence(vec!["a", "b", "c", "d"], 1..=3),
-                proptest::collection::vec(inner.clone(), 3),
-            )
-                .prop_map(|(int, chans, conts)| {
-                    let bs: Vec<(Channel, Hist)> = chans
-                        .into_iter()
-                        .zip(conts)
-                        .map(|(c, h)| (Channel::new(c), h))
-                        .collect();
-                    if int {
-                        Hist::Int(bs)
-                    } else {
-                        Hist::Ext(bs)
-                    }
-                }),
-            // framing
-            (arb_policy_ref(), inner.clone()).prop_map(|(p, h)| Hist::framed(p, h)),
-            // request (identifiers deduplicated below before wf matters)
-            (0u32..8, inner).prop_map(|(r, h)| Hist::req(r, None, h)),
-        ]
-    })
+fn random_policy_ref(r: &mut StdRng) -> PolicyRef {
+    let name = random_ident(r, 6, true);
+    let args: Vec<ParamValue> = (0..r.gen_range(0usize..3))
+        .map(|_| {
+            if r.gen_bool(0.5) {
+                ParamValue::Scalar(random_value(r))
+            } else {
+                let set: std::collections::BTreeSet<Value> = (0..r.gen_range(0usize..3))
+                    .map(|_| random_value(r))
+                    .collect();
+                ParamValue::Set(set)
+            }
+        })
+        .collect();
+    PolicyRef::new(name, args)
 }
 
-proptest! {
-    /// `parse ∘ display = id` on random expressions.
-    #[test]
-    fn parse_display_roundtrip(h in arb_hist()) {
+/// Random well-formed history expressions (loop-free).
+fn random_hist(depth: usize, r: &mut StdRng) -> Hist {
+    if depth == 0 || r.gen_bool(0.2) {
+        return if r.gen_bool(0.4) {
+            Hist::Eps
+        } else {
+            Hist::Ev(random_event(r))
+        };
+    }
+    match r.gen_range(0u8..4) {
+        // sequence
+        0 => Hist::seq(random_hist(depth - 1, r), random_hist(depth - 1, r)),
+        // choices with distinct guards
+        1 => {
+            let chans = r.subsequence(&["a", "b", "c", "d"], 1, 3);
+            let bs: Vec<(Channel, Hist)> = chans
+                .into_iter()
+                .map(|c| (Channel::new(c), random_hist(depth - 1, r)))
+                .collect();
+            if r.gen_bool(0.5) {
+                Hist::Int(bs)
+            } else {
+                Hist::Ext(bs)
+            }
+        }
+        // framing
+        2 => Hist::framed(random_policy_ref(r), random_hist(depth - 1, r)),
+        // request (duplicate ids rejected by wf below where it matters)
+        _ => Hist::req(r.gen_range(0u32..8), None, random_hist(depth - 1, r)),
+    }
+}
+
+const CASES: u64 = 250;
+
+/// `parse ∘ display = id` on random expressions.
+#[test]
+fn parse_display_roundtrip() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_hist(4, &mut r);
         let printed = h.to_string();
         let reparsed = parse_hist(&printed)
-            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(reparsed, h);
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse of `{printed}` failed: {e}"));
+        assert_eq!(reparsed, h, "seed {seed}");
     }
+}
 
-    /// The incremental run-time monitor agrees with the batch validity
-    /// check `⊨ η` on random histories over the read/write policy.
-    #[test]
-    fn monitor_agrees_with_batch_validity(
-        items in proptest::collection::vec(
-            prop_oneof![
-                Just(HistoryItem::Ev(Event::nullary("read"))),
-                Just(HistoryItem::Ev(Event::nullary("write"))),
-                Just(HistoryItem::Ev(Event::nullary("noise"))),
-                Just(HistoryItem::Open(PolicyRef::nullary("no_write_after_read"))),
-                Just(HistoryItem::Close(PolicyRef::nullary("no_write_after_read"))),
-            ],
-            0..20,
-        )
-    ) {
+/// The incremental run-time monitor agrees with the batch validity
+/// check `⊨ η` on random histories over the read/write policy.
+#[test]
+fn monitor_agrees_with_batch_validity() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let items: Vec<HistoryItem> = (0..r.gen_range(0usize..20))
+            .map(|_| match r.gen_range(0u8..5) {
+                0 => HistoryItem::Ev(Event::nullary("read")),
+                1 => HistoryItem::Ev(Event::nullary("write")),
+                2 => HistoryItem::Ev(Event::nullary("noise")),
+                3 => HistoryItem::Open(PolicyRef::nullary("no_write_after_read")),
+                _ => HistoryItem::Close(PolicyRef::nullary("no_write_after_read")),
+            })
+            .collect();
+
         let mut reg = PolicyRegistry::new();
         reg.register(catalog::no_after("read", "write"));
 
@@ -147,77 +173,89 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(incremental, batch);
+        assert_eq!(incremental, batch, "seed {seed}");
     }
+}
 
-    /// Projection commutes with ready sets on random expressions.
-    #[test]
-    fn ready_sets_commute_with_projection(h in arb_hist()) {
-        use sufs_hexpr::{projection::project, ready::ready_sets};
-        prop_assert_eq!(ready_sets(&h), ready_sets(&project(&h)));
+/// Projection commutes with ready sets on random expressions.
+#[test]
+fn ready_sets_commute_with_projection() {
+    use sufs_hexpr::{projection::project, ready::ready_sets};
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_hist(4, &mut r);
+        assert_eq!(ready_sets(&h), ready_sets(&project(&h)), "seed {seed}");
     }
+}
 
-    /// The BPA rendering of §3.1 is trace-equivalent to the direct LTS
-    /// on random expressions (bounded depth).
-    #[test]
-    fn bpa_rendering_is_trace_equivalent(h in arb_hist()) {
-        use sufs_hexpr::bpa::BpaSystem;
-        use sufs_hexpr::semantics::traces;
+/// The BPA rendering of §3.1 is trace-equivalent to the direct LTS on
+/// random expressions (bounded depth).
+#[test]
+fn bpa_rendering_is_trace_equivalent() {
+    use sufs_hexpr::bpa::BpaSystem;
+    use sufs_hexpr::semantics::traces;
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_hist(4, &mut r);
         let bpa = BpaSystem::from_hist(&h);
-        prop_assert_eq!(bpa.traces(6), traces(&h, 6));
+        assert_eq!(bpa.traces(6), traces(&h, 6), "seed {seed}");
     }
+}
 
-    /// Regularisation ([5,4], §3.1) preserves validity and flattens
-    /// same-policy nesting on random expressions.
-    #[test]
-    fn regularisation_preserves_validity(h in arb_hist()) {
-        use sufs_policy::regularize::{regularize, same_policy_nesting};
-        use sufs_policy::validity::check_validity;
-        use sufs_hexpr::semantics::successors;
+/// Regularisation ([5,4], §3.1) preserves validity and flattens
+/// same-policy nesting on random expressions.
+#[test]
+fn regularisation_preserves_validity() {
+    use sufs_hexpr::semantics::successors;
+    use sufs_policy::regularize::{regularize, same_policy_nesting};
+    use sufs_policy::validity::check_validity;
+
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_hist(4, &mut r);
 
         // Register a policy automaton for every policy name mentioned.
         let mut reg = PolicyRegistry::new();
         let mut names = std::collections::BTreeSet::new();
         collect_policy_names(&h, &mut names);
         for name in &names {
-            // Arity-polymorphic registration: a fresh no-op-parameter
-            // automaton would not match arbitrary arities, so skip
-            // expressions referencing parameterised policies.
             reg.register({
-                let mut b = sufs_policy::UsageBuilder::new(
-                    name.clone(),
-                    Vec::<String>::new(),
-                );
+                let mut b = sufs_policy::UsageBuilder::new(name.clone(), Vec::<String>::new());
                 let q0 = b.state();
                 let bad = b.state();
-                b.on(q0, "poison", sufs_policy::Guard::True, bad).offending(bad);
+                b.on(q0, "poison", sufs_policy::Guard::True, bad)
+                    .offending(bad);
                 b.build().unwrap()
             });
         }
         // Only check instances whose references are parameterless
         // (otherwise instantiation fails by arity).
-        let any_params = has_parameterised_refs(&h);
-        if !any_params {
-            let r = regularize(&h);
+        if !has_parameterised_refs(&h) {
+            let reg2 = regularize(&h);
             let v1 = check_validity(h.clone(), successors, &reg, 1 << 18);
-            let v2 = check_validity(r.clone(), successors, &reg, 1 << 18);
-            prop_assert_eq!(
+            let v2 = check_validity(reg2.clone(), successors, &reg, 1 << 18);
+            assert_eq!(
                 v1.map(|v| v.is_valid()),
-                v2.map(|v| v.is_valid())
+                v2.map(|v| v.is_valid()),
+                "seed {seed}"
             );
-            prop_assert!(same_policy_nesting(&r) <= 1);
+            assert!(same_policy_nesting(&reg2) <= 1, "seed {seed}");
         }
     }
+}
 
-    /// The LTS of a random well-formed expression is finite and every
-    /// sink state is the terminated ε.
-    #[test]
-    fn closed_expressions_run_to_eps(h in arb_hist()) {
-        // Deduplicate request ids first so wf holds.
+/// The LTS of a random well-formed expression is finite and every sink
+/// state is the terminated ε.
+#[test]
+fn closed_expressions_run_to_eps() {
+    for seed in 0..CASES {
+        let mut r = StdRng::seed_from_u64(seed);
+        let h = random_hist(4, &mut r);
+        // Duplicated request ids fail wf: skip those.
         if sufs_hexpr::wf::check(&h).is_err() {
-            return Ok(()); // duplicated request ids: skip
+            continue;
         }
         let lts = sufs_hexpr::HistLts::build(&h).unwrap();
-        prop_assert!(lts.stuck_states().is_empty());
+        assert!(lts.stuck_states().is_empty(), "seed {seed}");
     }
 }

@@ -4,8 +4,8 @@
 //! security policy and never deadlocks. Invalid plans, run the same way,
 //! exhibit exactly the failures the verifier predicted.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sufs_rng::SeedableRng;
+use sufs_rng::StdRng;
 
 use sufs::paper;
 use sufs_core::verify::{verify, verify_plan, Violation};
