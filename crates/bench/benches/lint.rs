@@ -1,0 +1,31 @@
+//! Lint wall-time: the full multi-pass static diagnostics engine over
+//! the paper's §2 hotel scenario (clean) and the deliberately flawed
+//! lint demo (every pass fires). Parsing is benchmarked separately so
+//! the lint numbers isolate the analyses.
+
+use sufs_bench::harness::{criterion_group, criterion_main, Criterion};
+
+use sufs_core::scenario::parse_scenario;
+use sufs_lint::lint_scenario;
+
+const HOTEL: &str = include_str!("../../../scenarios/hotel.sufs");
+const DEMO: &str = include_str!("../../../scenarios/lint_demo.sufs");
+
+fn lint_hotel(c: &mut Criterion) {
+    let sc = parse_scenario(HOTEL).unwrap();
+    c.bench_function("lint/hotel", |b| b.iter(|| lint_scenario(&sc).unwrap()));
+}
+
+fn lint_demo(c: &mut Criterion) {
+    let sc = parse_scenario(DEMO).unwrap();
+    c.bench_function("lint/lint_demo", |b| b.iter(|| lint_scenario(&sc).unwrap()));
+}
+
+fn parse_hotel(c: &mut Criterion) {
+    c.bench_function("lint/parse_hotel", |b| {
+        b.iter(|| parse_scenario(HOTEL).unwrap())
+    });
+}
+
+criterion_group!(benches, lint_hotel, lint_demo, parse_hotel);
+criterion_main!(benches);

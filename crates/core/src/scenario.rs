@@ -33,6 +33,63 @@ use sufs_hexpr::{parse_hist, Hist, Location};
 use sufs_net::{FaultPlan, Repository};
 use sufs_policy::{CmpOp, Guard, Operand, PolicyRegistry, UsageBuilder};
 
+/// A position in a scenario source text: byte offset plus 1-based line
+/// and column. This is the location type shared by parse errors and
+/// lint diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SrcPos {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// 1-based column number in characters (0 when unknown).
+    pub col: usize,
+}
+
+impl SrcPos {
+    /// The position of the start of the text.
+    pub fn start() -> SrcPos {
+        SrcPos {
+            offset: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Computes line and column for a byte offset into `input`.
+    pub fn from_offset(input: &str, offset: usize) -> SrcPos {
+        let offset = offset.min(input.len());
+        let before = &input[..offset];
+        let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+        let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let col = before[line_start..].chars().count() + 1;
+        SrcPos { offset, line, col }
+    }
+}
+
+impl fmt::Display for SrcPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "byte {}", self.offset)
+        }
+    }
+}
+
+/// Source positions of the declarations of a parsed scenario, keyed by
+/// declared name. Scenarios assembled programmatically leave this empty;
+/// consumers fall back to [`SrcPos::start`].
+#[derive(Debug, Clone, Default)]
+pub struct SpanTable {
+    /// `policy` declarations by policy name.
+    pub policies: BTreeMap<String, SrcPos>,
+    /// `client` declarations by client name.
+    pub clients: BTreeMap<String, SrcPos>,
+    /// `service` declarations by location name.
+    pub services: BTreeMap<String, SrcPos>,
+}
+
 /// A parsed scenario: policies, clients, the repository, and optional
 /// quantitative budgets.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +104,8 @@ pub struct Scenario {
     pub budgets: Vec<sufs_policy::cost::CostBound>,
     /// The fault-injection plan (`faults` block), if declared.
     pub faults: Option<FaultPlan>,
+    /// Source positions of the declarations, for diagnostics.
+    pub spans: SpanTable,
 }
 
 impl Scenario {
@@ -56,22 +115,62 @@ impl Scenario {
     }
 }
 
-/// A scenario parse error with a byte offset.
+/// A scenario parse error with a byte offset and, when produced by
+/// [`parse_scenario`], a resolved line/column position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioError {
     /// Byte offset of the offending token.
     pub offset: usize,
     /// What went wrong.
     pub message: String,
+    /// 1-based line of the offending token (0 until located).
+    pub line: usize,
+    /// 1-based column of the offending token (0 until located).
+    pub col: usize,
+}
+
+impl ScenarioError {
+    fn at(offset: usize, message: impl Into<String>) -> ScenarioError {
+        ScenarioError {
+            offset,
+            message: message.into(),
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn locate(mut self, input: &str) -> ScenarioError {
+        let pos = SrcPos::from_offset(input, self.offset);
+        self.line = pos.line;
+        self.col = pos.col;
+        self
+    }
+
+    /// The error position as a [`SrcPos`].
+    pub fn pos(&self) -> SrcPos {
+        SrcPos {
+            offset: self.offset,
+            line: self.line,
+            col: self.col,
+        }
+    }
 }
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "scenario error at byte {}: {}",
-            self.offset, self.message
-        )
+        if self.line > 0 {
+            write!(
+                f,
+                "scenario error at line {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(
+                f,
+                "scenario error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
     }
 }
 
@@ -84,6 +183,10 @@ impl std::error::Error for ScenarioError {}
 /// Returns a [`ScenarioError`] on syntax errors, ill-formed embedded
 /// history expressions, or ill-formed policy automata.
 pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
+    parse_scenario_inner(input).map_err(|e| e.locate(input))
+}
+
+fn parse_scenario_inner(input: &str) -> Result<Scenario, ScenarioError> {
     let mut p = P { input, pos: 0 };
     let mut scenario = Scenario::default();
     loop {
@@ -92,9 +195,14 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
             break;
         }
         let kw = p.ident()?;
+        let decl_pos = SrcPos::from_offset(input, p.peek_pos());
         match kw.as_str() {
             "policy" => {
                 let automaton = parse_policy(&mut p)?;
+                scenario
+                    .spans
+                    .policies
+                    .insert(automaton.name().to_owned(), decl_pos);
                 scenario.registry.register(automaton);
             }
             "budget" => {
@@ -107,14 +215,16 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
             "client" => {
                 let name = p.ident()?;
                 let body = p.braced_block()?;
-                let h = parse_hist(body.text).map_err(|e| ScenarioError {
-                    offset: body.offset + e.offset,
-                    message: format!("in client {name}: {}", e.message),
+                let h = parse_hist(body.text).map_err(|e| {
+                    ScenarioError::at(
+                        body.offset + e.offset,
+                        format!("in client {name}: {}", e.message),
+                    )
                 })?;
-                sufs_hexpr::wf::check(&h).map_err(|e| ScenarioError {
-                    offset: body.offset,
-                    message: format!("in client {name}: {e}"),
+                sufs_hexpr::wf::check(&h).map_err(|e| {
+                    ScenarioError::at(body.offset, format!("in client {name}: {e}"))
                 })?;
+                scenario.spans.clients.insert(name.clone(), decl_pos);
                 scenario.clients.push((name, h));
             }
             "service" => {
@@ -125,9 +235,11 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
                     None
                 };
                 let body = p.braced_block()?;
-                let h = parse_hist(body.text).map_err(|e| ScenarioError {
-                    offset: body.offset + e.offset,
-                    message: format!("in service {name}: {}", e.message),
+                let h = parse_hist(body.text).map_err(|e| {
+                    ScenarioError::at(
+                        body.offset + e.offset,
+                        format!("in service {name}: {}", e.message),
+                    )
                 })?;
                 let publish = match cap {
                     Some(c) => scenario
@@ -142,19 +254,17 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
                         .repository
                         .try_publish(Location::new(name.clone()), h),
                 };
-                publish.map_err(|e| ScenarioError {
-                    offset: body.offset,
-                    message: e.to_string(),
-                })?;
+                publish.map_err(|e| ScenarioError::at(body.offset, e.to_string()))?;
+                scenario.spans.services.insert(name, decl_pos);
             }
             other => {
-                return Err(ScenarioError {
-                    offset: p.pos,
-                    message: format!(
+                return Err(ScenarioError::at(
+                    p.pos,
+                    format!(
                         "expected `policy`, `budget`, `client`, `service` or `faults`, \
                          found `{other}`"
                     ),
-                })
+                ))
             }
         }
     }
@@ -185,10 +295,13 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ScenarioError> {
-        Err(ScenarioError {
-            offset: self.pos,
-            message: message.into(),
-        })
+        Err(ScenarioError::at(self.pos, message))
+    }
+
+    /// The position of the next token (whitespace and comments skipped).
+    fn peek_pos(&mut self) -> usize {
+        self.skip_ws();
+        self.pos
     }
 
     fn skip_ws(&mut self) {
@@ -237,10 +350,7 @@ impl<'a> P<'a> {
         }
         self.input[start..self.pos]
             .parse()
-            .map_err(|_| ScenarioError {
-                offset: start,
-                message: "number out of range".into(),
-            })
+            .map_err(|_| ScenarioError::at(start, "number out of range"))
     }
 
     fn int(&mut self) -> Result<i64, ScenarioError> {
@@ -258,10 +368,7 @@ impl<'a> P<'a> {
         }
         self.input[start..self.pos]
             .parse()
-            .map_err(|_| ScenarioError {
-                offset: start,
-                message: "integer out of range".into(),
-            })
+            .map_err(|_| ScenarioError::at(start, "integer out of range"))
     }
 
     fn eat(&mut self, tok: &str) -> bool {
@@ -375,10 +482,8 @@ fn parse_budget(p: &mut P<'_>) -> Result<sufs_policy::cost::CostBound, ScenarioE
         }
         p.expect(";")?;
     }
-    let bound = bound.ok_or_else(|| ScenarioError {
-        offset: p.pos,
-        message: format!("budget {name} has no `bound`"),
-    })?;
+    let bound =
+        bound.ok_or_else(|| ScenarioError::at(p.pos, format!("budget {name} has no `bound`")))?;
     Ok(CostBound {
         policy: sufs_hexpr::PolicyRef::nullary(name),
         model,
@@ -433,10 +538,7 @@ fn parse_faults(p: &mut P<'_>) -> Result<FaultPlan, ScenarioError> {
         }
         spec.push_str(&format!("{key}={value}"));
     }
-    FaultPlan::parse(&spec).map_err(|e| ScenarioError {
-        offset: p.pos,
-        message: format!("in faults block: {e}"),
-    })
+    FaultPlan::parse(&spec).map_err(|e| ScenarioError::at(p.pos, format!("in faults block: {e}")))
 }
 
 /// Parses a `policy name(params) { … }` definition into a usage
@@ -521,10 +623,8 @@ fn parse_policy(p: &mut P<'_>) -> Result<sufs_policy::UsageAutomaton, ScenarioEr
             q
         }
     };
-    let start_name = start.ok_or_else(|| ScenarioError {
-        offset: p.pos,
-        message: "policy has no `start` state".into(),
-    })?;
+    let start_name =
+        start.ok_or_else(|| ScenarioError::at(p.pos, "policy has no `start` state"))?;
     let q0 = state_id(&mut builder, &mut states, &start_name);
     builder.start(q0);
     for (from, event, guard, to) in transitions {
@@ -543,10 +643,9 @@ fn parse_policy(p: &mut P<'_>) -> Result<sufs_policy::UsageAutomaton, ScenarioEr
         let q = state_id(&mut builder, &mut states, &o);
         builder.offending(q);
     }
-    builder.build().map_err(|e| ScenarioError {
-        offset: p.pos,
-        message: e.to_string(),
-    })
+    builder
+        .build()
+        .map_err(|e| ScenarioError::at(p.pos, e.to_string()))
 }
 
 /// `guard := term (('and'|'or') term)*`, left-associative, `and`/`or`

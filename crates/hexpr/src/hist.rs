@@ -270,6 +270,47 @@ impl Hist {
         }
     }
 
+    /// Every policy reference syntactically occurring in the expression
+    /// (request annotations, framings, and run-time residuals), deduplicated
+    /// in first-occurrence order.
+    pub fn policy_refs(&self) -> Vec<PolicyRef> {
+        let mut acc = Vec::new();
+        self.collect_policy_refs(&mut acc);
+        acc
+    }
+
+    fn collect_policy_refs(&self, acc: &mut Vec<PolicyRef>) {
+        let push = |p: &PolicyRef, acc: &mut Vec<PolicyRef>| {
+            if !acc.contains(p) {
+                acc.push(p.clone());
+            }
+        };
+        match self {
+            Hist::Eps | Hist::Var(_) | Hist::Ev(_) | Hist::CloseTok(_, None) => {}
+            Hist::CloseTok(_, Some(p)) | Hist::FrameCloseTok(p) => push(p, acc),
+            Hist::Mu(_, body) => body.collect_policy_refs(acc),
+            Hist::Req { policy, body, .. } => {
+                if let Some(p) = policy {
+                    push(p, acc);
+                }
+                body.collect_policy_refs(acc);
+            }
+            Hist::Framed(p, body) => {
+                push(p, acc);
+                body.collect_policy_refs(acc);
+            }
+            Hist::Ext(bs) | Hist::Int(bs) => {
+                for (_, h) in bs {
+                    h.collect_policy_refs(acc);
+                }
+            }
+            Hist::Seq(a, b) => {
+                a.collect_policy_refs(acc);
+                b.collect_policy_refs(acc);
+            }
+        }
+    }
+
     /// Every channel syntactically occurring in the expression.
     pub fn channels(&self) -> BTreeSet<Channel> {
         let mut acc = BTreeSet::new();

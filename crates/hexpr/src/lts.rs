@@ -157,6 +157,102 @@ impl HistLts {
             .collect()
     }
 
+    /// Shortest label path from `from` ending with an edge satisfying
+    /// `pred` (called with source id, label, target id), or `None` if no
+    /// such edge is reachable.
+    ///
+    /// Breadth-first, so the returned witness is of minimal length; ties
+    /// are broken by state discovery order, which makes the result
+    /// deterministic for a given LTS.
+    pub fn shortest_path_to_edge<F>(&self, from: usize, mut pred: F) -> Option<Vec<Label>>
+    where
+        F: FnMut(usize, &Label, usize) -> bool,
+    {
+        let mut parent: Vec<Option<(usize, Label)>> = vec![None; self.states.len()];
+        let mut seen = vec![false; self.states.len()];
+        seen[from] = true;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            for (label, v) in &self.edges[u] {
+                if pred(u, label, *v) {
+                    let mut path = vec![label.clone()];
+                    let mut cur = u;
+                    while let Some((p, l)) = parent[cur].clone() {
+                        path.push(l);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if !seen[*v] {
+                    seen[*v] = true;
+                    parent[*v] = Some((u, label.clone()));
+                    queue.push_back(*v);
+                }
+            }
+        }
+        None
+    }
+
+    /// State ids reachable from `from` using only edges whose label
+    /// satisfies `keep` (including `from` itself).
+    pub fn reachable_via<F>(&self, from: usize, mut keep: F) -> Vec<usize>
+    where
+        F: FnMut(&Label) -> bool,
+    {
+        let mut seen = vec![false; self.states.len()];
+        seen[from] = true;
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut out = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            out.push(u);
+            for (label, v) in &self.edges[u] {
+                if !seen[*v] && keep(label) {
+                    seen[*v] = true;
+                    queue.push_back(*v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Looks for a cycle in the subgraph induced by the states in
+    /// `within`, using only edges whose label satisfies `keep`. Returns a
+    /// state on such a cycle, or `None` if the subgraph is acyclic.
+    pub fn cycle_within<F>(&self, within: &[usize], mut keep: F) -> Option<usize>
+    where
+        F: FnMut(&Label) -> bool,
+    {
+        let member: std::collections::HashSet<usize> = within.iter().copied().collect();
+        // Lint-sized LTSs are small, so a per-state "can this state reach
+        // itself through at least one edge?" check keeps this obviously
+        // correct at quadratic worst case.
+        for &root in within {
+            let mut seen = vec![false; self.states.len()];
+            let mut queue: std::collections::VecDeque<usize> = self.edges[root]
+                .iter()
+                .filter(|(l, v)| member.contains(v) && keep(l))
+                .map(|(_, v)| *v)
+                .collect();
+            for &v in &queue {
+                seen[v] = true;
+            }
+            while let Some(u) = queue.pop_front() {
+                if u == root {
+                    return Some(root);
+                }
+                for (label, v) in &self.edges[u] {
+                    if !seen[*v] && member.contains(v) && keep(label) {
+                        seen[*v] = true;
+                        queue.push_back(*v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Renders the LTS in Graphviz DOT format (for debugging and docs).
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;

@@ -1,0 +1,328 @@
+//! The shared analysis context the passes consume: per-client candidate
+//! plans and verification reports, per-component LTSs, the ground event
+//! alphabet, composed-execution reachability, and every policy
+//! reference with its origin.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+use sufs_core::plans::{enumerate_plans, DEFAULT_PLAN_CAP};
+use sufs_core::report::VerifyReport;
+use sufs_core::scenario::{Scenario, SrcPos};
+use sufs_core::verify::{verify, DEFAULT_STATE_BOUND};
+use sufs_hexpr::{Event, Hist, HistLts, Label, Location, PolicyRef};
+use sufs_net::symbolic::{symbolic_successors, SymState};
+use sufs_net::{Plan, Repository};
+use sufs_policy::automata_bridge::system_alphabet;
+
+use crate::LintError;
+
+/// Everything the engine precomputes about one client.
+#[derive(Debug)]
+pub struct ClientAnalysis {
+    /// The client's name.
+    pub name: String,
+    /// The client's behaviour.
+    pub hist: Hist,
+    /// The stand-alone LTS of the client (for witness paths).
+    pub lts: HistLts,
+    /// Every candidate plan (complete bindings over the repository).
+    pub plans: Vec<Plan>,
+    /// The verification report over the candidates. Empty (with
+    /// `verified == false`) when an unresolved policy reference prevents
+    /// verification.
+    pub report: VerifyReport,
+    /// Whether `report` was actually computed.
+    pub verified: bool,
+    /// Events some composed execution under some candidate plan fires.
+    pub reachable_events: BTreeSet<Event>,
+    /// Whether every candidate plan was explored to completion (a bound
+    /// hit makes reachability information incomplete; passes must then
+    /// stay silent rather than guess).
+    pub explored_all: bool,
+}
+
+/// Everything the engine precomputes about one published service.
+#[derive(Debug)]
+pub struct ServiceAnalysis {
+    /// The stand-alone LTS of the service (for witness paths).
+    pub lts: HistLts,
+    /// Events fired by some composed execution of a candidate plan that
+    /// selects this service (an over-approximation of the service's own
+    /// contribution, which errs towards silence).
+    pub reachable_events: BTreeSet<Event>,
+    /// Whether any candidate plan of any client selects the service.
+    pub selected: bool,
+    /// Whether every exploration involving the service completed.
+    pub explored_all: bool,
+}
+
+/// A policy reference together with where it occurs.
+#[derive(Debug, Clone)]
+pub struct PolicyOrigin {
+    /// The component mentioning the reference (`client c1`, `service br`).
+    pub subject: String,
+    /// The declaration position of that component.
+    pub pos: SrcPos,
+    /// The reference itself.
+    pub reference: PolicyRef,
+}
+
+/// The precomputed analysis state shared by every pass.
+#[derive(Debug)]
+pub struct LintContext<'a> {
+    /// The scenario under analysis.
+    pub scenario: &'a Scenario,
+    /// Per-client analyses, in declaration order.
+    pub clients: Vec<ClientAnalysis>,
+    /// Per-service analyses.
+    pub services: BTreeMap<Location, ServiceAnalysis>,
+    /// The ground event alphabet: every event any component can fire.
+    pub alphabet: Vec<Event>,
+    /// Every policy reference in the scenario, deduplicated by reference
+    /// (first origin wins), in first-occurrence order.
+    pub policy_refs: Vec<PolicyOrigin>,
+    /// Whether at least one reference fails to resolve (verification is
+    /// skipped scenario-wide in that case; `SUFS008` reports the causes).
+    pub has_unresolved: bool,
+}
+
+impl<'a> LintContext<'a> {
+    /// Precomputes the context with the default exploration bound and
+    /// plan cap.
+    pub fn build(scenario: &'a Scenario) -> Result<LintContext<'a>, LintError> {
+        Self::build_with(scenario, DEFAULT_STATE_BOUND, DEFAULT_PLAN_CAP)
+    }
+
+    /// Precomputes the context with explicit bounds.
+    pub fn build_with(
+        scenario: &'a Scenario,
+        bound: usize,
+        plan_cap: usize,
+    ) -> Result<LintContext<'a>, LintError> {
+        let behaviours: Vec<&Hist> = scenario
+            .clients
+            .iter()
+            .map(|(_, h)| h)
+            .chain(scenario.repository.iter().map(|(_, h)| h))
+            .collect();
+        let alphabet = system_alphabet(behaviours);
+
+        let mut policy_refs: Vec<PolicyOrigin> = Vec::new();
+        let mut add_refs = |subject: String, pos: SrcPos, h: &Hist| {
+            for reference in h.policy_refs() {
+                if !policy_refs.iter().any(|o| o.reference == reference) {
+                    policy_refs.push(PolicyOrigin {
+                        subject: subject.clone(),
+                        pos,
+                        reference,
+                    });
+                }
+            }
+        };
+        for (name, h) in &scenario.clients {
+            let pos = span_or_start(&scenario.spans.clients, name);
+            add_refs(format!("client {name}"), pos, h);
+        }
+        for (loc, h) in scenario.repository.iter() {
+            let pos = span_or_start(&scenario.spans.services, loc.as_str());
+            add_refs(format!("service {loc}"), pos, h);
+        }
+        let has_unresolved = policy_refs
+            .iter()
+            .any(|o| scenario.registry.instantiate(&o.reference).is_err());
+
+        let mut services: BTreeMap<Location, ServiceAnalysis> = BTreeMap::new();
+        for (loc, h) in scenario.repository.iter() {
+            let lts = HistLts::build_bounded(h, bound).map_err(|error| LintError::Lts {
+                subject: format!("service {loc}"),
+                error,
+            })?;
+            services.insert(
+                loc.clone(),
+                ServiceAnalysis {
+                    lts,
+                    reachable_events: BTreeSet::new(),
+                    selected: false,
+                    explored_all: true,
+                },
+            );
+        }
+
+        let mut clients = Vec::new();
+        for (name, h) in &scenario.clients {
+            let lts = HistLts::build_bounded(h, bound).map_err(|error| LintError::Lts {
+                subject: format!("client {name}"),
+                error,
+            })?;
+            let plans = enumerate_plans(h, &scenario.repository, plan_cap).map_err(|error| {
+                LintError::Plans {
+                    client: name.clone(),
+                    error,
+                }
+            })?;
+            let (report, verified) = if has_unresolved {
+                (VerifyReport::new(Vec::new()), false)
+            } else {
+                let report =
+                    verify(h, &scenario.repository, &scenario.registry).map_err(|error| {
+                        LintError::Verify {
+                            client: name.clone(),
+                            error,
+                        }
+                    })?;
+                (report, true)
+            };
+
+            let mut reachable_events = BTreeSet::new();
+            let mut explored_all = true;
+            for plan in &plans {
+                let locs: BTreeSet<&Location> = plan.iter().map(|(_, l)| l).collect();
+                for loc in &locs {
+                    if let Some(s) = services.get_mut(*loc) {
+                        s.selected = true;
+                    }
+                }
+                match composed_events(h, plan, &scenario.repository, bound) {
+                    Some(events) => {
+                        reachable_events.extend(events.iter().cloned());
+                        for loc in locs {
+                            if let Some(s) = services.get_mut(loc) {
+                                s.reachable_events.extend(events.iter().cloned());
+                            }
+                        }
+                    }
+                    None => {
+                        explored_all = false;
+                        for loc in locs {
+                            if let Some(s) = services.get_mut(loc) {
+                                s.explored_all = false;
+                            }
+                        }
+                    }
+                }
+            }
+
+            clients.push(ClientAnalysis {
+                name: name.clone(),
+                hist: h.clone(),
+                lts,
+                plans,
+                report,
+                verified,
+                reachable_events,
+                explored_all,
+            });
+        }
+
+        Ok(LintContext {
+            scenario,
+            clients,
+            services,
+            alphabet,
+            policy_refs,
+            has_unresolved,
+        })
+    }
+
+    /// The declared position of a client (start of text as fallback).
+    pub fn client_pos(&self, name: &str) -> SrcPos {
+        span_or_start(&self.scenario.spans.clients, name)
+    }
+
+    /// The declared position of a service.
+    pub fn service_pos(&self, loc: &Location) -> SrcPos {
+        span_or_start(&self.scenario.spans.services, loc.as_str())
+    }
+
+    /// The declared position of a policy definition; falls back to the
+    /// position of `or` (the first reference's origin), then to the
+    /// start of the text.
+    pub fn policy_pos(&self, name: &str, or: Option<SrcPos>) -> SrcPos {
+        self.scenario
+            .spans
+            .policies
+            .get(name)
+            .copied()
+            .or(or)
+            .unwrap_or_else(SrcPos::start)
+    }
+}
+
+fn span_or_start(map: &BTreeMap<String, SrcPos>, name: &str) -> SrcPos {
+    map.get(name).copied().unwrap_or_else(SrcPos::start)
+}
+
+/// Every event some run of `client` under `plan` fires, by breadth-first
+/// exploration of the composed symbolic state space; `None` if more than
+/// `bound` states are reachable.
+fn composed_events(
+    client: &Hist,
+    plan: &Plan,
+    repo: &Repository,
+    bound: usize,
+) -> Option<BTreeSet<Event>> {
+    let initial = SymState::initial("client", client.clone());
+    let mut seen: HashSet<SymState> = HashSet::from([initial.clone()]);
+    let mut queue = VecDeque::from([initial]);
+    let mut events = BTreeSet::new();
+    while let Some(state) = queue.pop_front() {
+        for (label, next) in symbolic_successors(&state, plan, repo) {
+            if let Label::Ev(e) = &label {
+                events.insert(e.clone());
+            }
+            if !seen.contains(&next) {
+                if seen.len() >= bound {
+                    return None;
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Some(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_core::scenario::parse_scenario;
+
+    #[test]
+    fn context_precomputes_plans_and_reachability() {
+        let sc = parse_scenario(
+            r#"
+            client c { open 1 { int[ask -> eps]; ext[yes -> #won; eps | no -> eps] } }
+            service nay { ext[ask -> int[no -> eps]] }
+            "#,
+        )
+        .unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        assert_eq!(ctx.clients.len(), 1);
+        let c = &ctx.clients[0];
+        assert_eq!(c.plans.len(), 1);
+        assert!(c.verified);
+        assert!(c.explored_all);
+        // The service only answers `no`, so `#won` never fires …
+        assert!(!c.reachable_events.contains(&Event::nullary("won")));
+        // … but it is part of the alphabet.
+        assert!(ctx.alphabet.contains(&Event::nullary("won")));
+        let srv = ctx.services.get(&Location::new("nay")).unwrap();
+        assert!(srv.selected);
+    }
+
+    #[test]
+    fn unresolved_policies_disable_verification() {
+        let sc = parse_scenario(
+            r#"
+            client c { open 1 phi ghost { int[a -> eps] } }
+            service s { ext[a -> eps] }
+            "#,
+        )
+        .unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        assert!(ctx.has_unresolved);
+        assert!(!ctx.clients[0].verified);
+        assert_eq!(ctx.policy_refs.len(), 1);
+        assert_eq!(ctx.policy_refs[0].subject, "client c");
+    }
+}

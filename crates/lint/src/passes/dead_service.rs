@@ -1,0 +1,68 @@
+//! `SUFS005` — services no valid plan ever selects.
+//!
+//! A published service that appears in no valid plan of any client is
+//! dead weight: the planner can never pick it, so publishing it serves
+//! nobody. Often intentional (tutorial scenarios publish rejected
+//! alternatives on purpose, and the paper's own repository in §2 keeps
+//! non-compliant hotels around), hence Info severity.
+
+use std::collections::BTreeSet;
+
+use sufs_hexpr::Location;
+
+use crate::context::LintContext;
+use crate::diag::{Code, Diagnostic};
+use crate::passes::Pass;
+
+/// The `dead-service` pass.
+pub struct DeadService;
+
+impl Pass for DeadService {
+    fn code(&self) -> Code {
+        Code::DeadService
+    }
+
+    fn description(&self) -> &'static str {
+        "repository services that no valid plan of any client selects"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        // Without clients (or without verification) there is no notion
+        // of a valid plan to measure against.
+        if ctx.clients.is_empty() || ctx.clients.iter().any(|c| !c.verified) {
+            return Vec::new();
+        }
+        let mut valid_locs: BTreeSet<&Location> = BTreeSet::new();
+        let mut candidate_locs: BTreeSet<&Location> = BTreeSet::new();
+        for c in &ctx.clients {
+            for plan in c.report.valid_plans() {
+                valid_locs.extend(plan.iter().map(|(_, l)| l));
+            }
+            for plan in &c.plans {
+                candidate_locs.extend(plan.iter().map(|(_, l)| l));
+            }
+        }
+        let mut out = Vec::new();
+        for loc in ctx.services.keys() {
+            if valid_locs.contains(loc) {
+                continue;
+            }
+            let note = if candidate_locs.contains(loc) {
+                "it appears in candidate plans, but every one of them is rejected; \
+                 `sufs verify` shows the per-plan violations"
+            } else {
+                "no client request can even be bound to it"
+            };
+            out.push(
+                Diagnostic::new(
+                    Code::DeadService,
+                    ctx.service_pos(loc),
+                    format!("service {loc}"),
+                    "no valid plan of any client selects this service".to_string(),
+                )
+                .with_note(note),
+            );
+        }
+        out
+    }
+}

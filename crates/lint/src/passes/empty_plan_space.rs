@@ -1,0 +1,78 @@
+//! `SUFS007` — clients with no valid plan at all.
+//!
+//! The paper's whole programme is static synthesis of valid plans; a
+//! client whose plan space is empty cannot be run safely under any
+//! binding, so this is an error. The note reports the last violation of
+//! each candidate (the reason the verifier finally rejected it), which
+//! is where scenario authors look first.
+
+use crate::context::LintContext;
+use crate::diag::{Code, Diagnostic};
+use crate::passes::Pass;
+
+/// How many rejected candidates the note spells out.
+const MAX_LISTED: usize = 4;
+
+/// The `empty-plan-space` pass.
+pub struct EmptyPlanSpace;
+
+impl Pass for EmptyPlanSpace {
+    fn code(&self) -> Code {
+        Code::EmptyPlanSpace
+    }
+
+    fn description(&self) -> &'static str {
+        "clients for which no valid plan exists"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for c in &ctx.clients {
+            if !c.verified || c.report.has_valid_plan() {
+                continue;
+            }
+            let pos = ctx.client_pos(&c.name);
+            let subject = format!("client {}", c.name);
+            if c.report.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        Code::EmptyPlanSpace,
+                        pos,
+                        subject,
+                        "no candidate plan exists: the repository cannot bind the client's \
+                         requests"
+                            .to_string(),
+                    )
+                    .with_note("publish at least one service per open request"),
+                );
+                continue;
+            }
+            let mut reasons = Vec::new();
+            for v in c.report.verdicts().iter().take(MAX_LISTED) {
+                let last = v
+                    .violations
+                    .last()
+                    .map(|viol| viol.to_string())
+                    .unwrap_or_else(|| "unknown".to_string());
+                reasons.push(format!("{}: {last}", v.plan));
+            }
+            if c.report.len() > MAX_LISTED {
+                reasons.push(format!("… and {} more", c.report.len() - MAX_LISTED));
+            }
+            out.push(
+                Diagnostic::new(
+                    Code::EmptyPlanSpace,
+                    pos,
+                    subject,
+                    format!(
+                        "no valid plan among the {} candidate(s): every binding violates \
+                         security or progress",
+                        c.report.len()
+                    ),
+                )
+                .with_note(reasons.join("; ")),
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,55 @@
+//! The lint passes, one module per diagnostic code, behind the common
+//! [`Pass`] trait.
+
+use crate::context::LintContext;
+use crate::diag::{Code, Diagnostic};
+
+mod dead_service;
+mod empty_plan_space;
+mod plan_contention;
+mod policy_subsumption;
+mod unbalanced_framing;
+mod unreachable_event;
+mod unresolved_policy;
+mod vacuous_policy;
+
+pub use dead_service::DeadService;
+pub use empty_plan_space::EmptyPlanSpace;
+pub use plan_contention::PlanContention;
+pub use policy_subsumption::PolicySubsumption;
+pub use unbalanced_framing::UnbalancedFraming;
+pub use unreachable_event::UnreachableEvent;
+pub use unresolved_policy::UnresolvedPolicy;
+pub use vacuous_policy::VacuousPolicy;
+
+/// One lint pass: a self-contained analysis emitting diagnostics of a
+/// single code.
+pub trait Pass {
+    /// The code this pass emits.
+    fn code(&self) -> Code;
+
+    /// The pass name (kebab case, same as the code's).
+    fn name(&self) -> &'static str {
+        self.code().name()
+    }
+
+    /// One sentence on what the pass looks for.
+    fn description(&self) -> &'static str;
+
+    /// Runs the pass over the precomputed context.
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic>;
+}
+
+/// Every pass, in diagnostic-code order.
+pub fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(UnreachableEvent),
+        Box::new(VacuousPolicy),
+        Box::new(PolicySubsumption),
+        Box::new(UnbalancedFraming),
+        Box::new(DeadService),
+        Box::new(PlanContention),
+        Box::new(EmptyPlanSpace),
+        Box::new(UnresolvedPolicy),
+    ]
+}

@@ -1,0 +1,47 @@
+//! `SUFS008` — policy references that do not resolve.
+//!
+//! A request annotation or framing mentioning a policy with no `policy`
+//! definition (or the wrong arity) can never be verified: `sufs verify`
+//! would fail outright. The lint reports every unresolved reference
+//! with its origin, and the engine skips plan verification while any
+//! exist (the structural passes still run).
+
+use crate::context::LintContext;
+use crate::diag::{Code, Diagnostic};
+use crate::passes::Pass;
+
+/// The `unresolved-policy` pass.
+pub struct UnresolvedPolicy;
+
+impl Pass for UnresolvedPolicy {
+    fn code(&self) -> Code {
+        Code::UnresolvedPolicy
+    }
+
+    fn description(&self) -> &'static str {
+        "policy references with no matching definition"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for origin in &ctx.policy_refs {
+            let Err(e) = ctx.scenario.registry.instantiate(&origin.reference) else {
+                continue;
+            };
+            out.push(
+                Diagnostic::new(
+                    Code::UnresolvedPolicy,
+                    origin.pos,
+                    format!("policy {}", origin.reference),
+                    format!("the reference does not resolve: {e}"),
+                )
+                .with_note(format!(
+                    "mentioned in {}; plan verification is skipped while unresolved \
+                     references remain",
+                    origin.subject
+                )),
+            );
+        }
+        out
+    }
+}

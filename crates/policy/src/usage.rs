@@ -220,6 +220,41 @@ impl UsageAutomaton {
     pub fn transitions(&self) -> &[UsageTransition] {
         &self.transitions
     }
+
+    /// A shortest *structural* path from the start state to an offending
+    /// state, ignoring guard satisfiability: the sequence of transitions a
+    /// forbidden trace would have to fire. `None` if no offending state is
+    /// even graph-reachable — the policy cannot forbid anything.
+    ///
+    /// Used by diagnostics to explain *how* a policy would trip; whether
+    /// the path is actually realisable by some system is a separate
+    /// (language-level) question.
+    pub fn structural_offending_path(&self) -> Option<Vec<&UsageTransition>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.num_states];
+        let mut seen = vec![false; self.num_states];
+        seen[self.start] = true;
+        let mut queue = std::collections::VecDeque::from([self.start]);
+        while let Some(q) = queue.pop_front() {
+            if self.is_offending(q) {
+                let mut path = Vec::new();
+                let mut cur = q;
+                while let Some(t) = parent[cur] {
+                    path.push(&self.transitions[t]);
+                    cur = self.transitions[t].from;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for (i, t) in self.transitions.iter().enumerate() {
+                if t.from == q && !seen[t.to] {
+                    seen[t.to] = true;
+                    parent[t.to] = Some(i);
+                    queue.push_back(t.to);
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]

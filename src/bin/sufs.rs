@@ -1,17 +1,20 @@
-//! The `sufs` command-line tool: verify and execute scenario files.
+//! The `sufs` command-line tool: verify, lint and execute scenario files.
 //!
 //! ```text
 //! sufs verify <file> [--client NAME]
 //! sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor]
 //!                 [--committed] [--seed N] [--runs N] [--fuel N] [--trace]
+//! sufs lint <file> [--json] [--deny warnings]
 //! sufs compliance <file> <client-service> <server-service>
 //! sufs lts <file> <service> [--dot]
 //! sufs bpa <file> <service>
 //! ```
 //!
-//! See `docs/SCENARIOS.md` for the scenario-file format; ready scenarios
-//! (including the paper's §2 example, `scenarios/hotel.sufs`) live in
-//! `scenarios/`.
+//! Flags accept both `--flag value` and `--flag=value`; flags a command
+//! does not declare are rejected. See `docs/SCENARIOS.md` for the
+//! scenario-file format and `docs/LINTS.md` for the lint catalogue;
+//! ready scenarios (including the paper's §2 example,
+//! `scenarios/hotel.sufs`) live in `scenarios/`.
 
 use std::process::ExitCode;
 
@@ -27,7 +30,7 @@ use sufs_net::{ChoiceMode, MonitorMode, Network, Plan, Scheduler};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("sufs: {msg}");
             ExitCode::FAILURE
@@ -35,21 +38,23 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "verify" => cmd_verify(&args[1..]),
-        "verify-net" => cmd_verify_net(&args[1..]),
-        "run" => cmd_run(&args[1..]),
-        "compliance" => cmd_compliance(&args[1..]),
-        "discover" => cmd_discover(&args[1..]),
-        "lts" => cmd_lts(&args[1..]),
-        "bpa" => cmd_bpa(&args[1..]),
+        "verify" => done(cmd_verify(&args[1..])),
+        "verify-net" => done(cmd_verify_net(&args[1..])),
+        "run" => done(cmd_run(&args[1..])),
+        "lint" => cmd_lint(&args[1..]),
+        "compliance" => done(cmd_compliance(&args[1..])),
+        "discover" => done(cmd_discover(&args[1..])),
+        "lts" => done(cmd_lts(&args[1..])),
+        "bpa" => done(cmd_bpa(&args[1..])),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -62,11 +67,80 @@ fn usage() -> String {
      sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor] \
      [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid] \
      [--faults k=v,...] [--recover]\n  \
+     sufs lint <file> [--json] [--deny warnings]\n  \
      sufs compliance <file> <client-service> <server-service>\n  \
      sufs discover <file> <client> [--request N]\n  \
      sufs lts <file> <service> [--dot]\n  \
      sufs bpa <file> <service>"
         .to_owned()
+}
+
+/// A command line split into positional arguments, `--flag value` /
+/// `--flag=value` pairs, and boolean switches.
+struct Parsed {
+    positional: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Parsed {
+    fn value(&self, flag: &str) -> Option<&str> {
+        // Last occurrence wins, as users expect when overriding.
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+/// Parses `args` against the flags the command declares. Value flags
+/// accept `--flag value` and `--flag=value`; anything starting with
+/// `--` that is not declared is an error rather than silently ignored.
+fn parse_args(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        positional: Vec::new(),
+        values: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(rest) = arg.strip_prefix("--") else {
+            parsed.positional.push(arg.clone());
+            continue;
+        };
+        let (name, inline) = match rest.split_once('=') {
+            Some((n, v)) => (n, Some(v)),
+            None => (rest, None),
+        };
+        let flag = format!("--{name}");
+        if value_flags.contains(&flag.as_str()) {
+            let value = match inline {
+                Some(v) => v.to_owned(),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag `{flag}` needs a value"))?,
+            };
+            parsed.values.push((flag, value));
+        } else if switch_flags.contains(&flag.as_str()) {
+            if inline.is_some() {
+                return Err(format!("flag `{flag}` takes no value"));
+            }
+            parsed.switches.push(flag);
+        } else {
+            return Err(format!("unknown flag `{flag}`\n{}", usage()));
+        }
+    }
+    Ok(parsed)
 }
 
 fn load(path: &str) -> Result<Scenario, String> {
@@ -88,21 +162,13 @@ fn pick_client<'a>(sc: &'a Scenario, name: Option<&'a str>) -> Result<(&'a str, 
     }
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-}
-
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
 fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+    let a = parse_args(args, &["--client"], &[])?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
     let sc = load(path)?;
-    let names: Vec<&str> = match flag_value(args, "--client") {
+    let names: Vec<&str> = match a.value("--client") {
         Some(n) => vec![n],
         None => sc.clients.iter().map(|(n, _)| n.as_str()).collect(),
     };
@@ -140,7 +206,10 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 /// individually valid plan, then search the joint state space for
 /// capacity deadlocks.
 fn cmd_verify_net(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+    let a = parse_args(args, &[], &[])?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
     let sc = load(path)?;
     if sc.clients.is_empty() {
         return Err("the scenario declares no clients".into());
@@ -172,6 +241,37 @@ fn cmd_verify_net(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the multi-pass lint engine over a scenario; exits nonzero when
+/// errors are found, or when warnings are found under `--deny warnings`.
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_args(args, &["--deny"], &["--json"])?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
+    let deny_warnings = match a.value("--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(format!(
+                "unknown lint class `{other}` (only `warnings` can be denied)"
+            ))
+        }
+    };
+    let sc = load(path)?;
+    let report = sufs_lint::lint_scenario(&sc).map_err(|e| e.to_string())?;
+    if a.has("--json") {
+        println!("{}", report.to_json(Some(path)));
+    } else {
+        println!("{report}");
+    }
+    let failed = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn parse_plan(spec: &str) -> Result<Plan, String> {
     let mut plan = Plan::new();
     for binding in spec.split(',').filter(|s| !s.is_empty()) {
@@ -188,11 +288,26 @@ fn parse_plan(spec: &str) -> Result<Plan, String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
+    let a = parse_args(
+        args,
+        &[
+            "--client", "--plan", "--seed", "--runs", "--fuel", "--faults",
+        ],
+        &[
+            "--monitor",
+            "--committed",
+            "--trace",
+            "--mermaid",
+            "--recover",
+        ],
+    )?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
     let sc = load(path)?;
-    let (name, client) = pick_client(&sc, flag_value(args, "--client"))?;
+    let (name, client) = pick_client(&sc, a.value("--client"))?;
 
-    let plan = match flag_value(args, "--plan") {
+    let plan = match a.value("--plan") {
         Some(spec) => parse_plan(spec)?,
         None => {
             let report = verify(client, &sc.repository, &sc.registry).map_err(|e| e.to_string())?;
@@ -206,32 +321,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let monitor = if has_flag(args, "--monitor") {
+    let monitor = if a.has("--monitor") {
         MonitorMode::Enforcing
     } else {
         MonitorMode::Audit
     };
-    let choice = if has_flag(args, "--committed") {
+    let choice = if a.has("--committed") {
         ChoiceMode::Committed
     } else {
         ChoiceMode::Angelic
     };
-    let seed: u64 = flag_value(args, "--seed")
+    let seed: u64 = a
+        .value("--seed")
         .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
         .transpose()?
         .unwrap_or(0);
-    let runs: usize = flag_value(args, "--runs")
+    let runs: usize = a
+        .value("--runs")
         .map(|s| s.parse().map_err(|_| format!("bad runs `{s}`")))
         .transpose()?
         .unwrap_or(1);
-    let fuel: usize = flag_value(args, "--fuel")
+    let fuel: usize = a
+        .value("--fuel")
         .map(|s| s.parse().map_err(|_| format!("bad fuel `{s}`")))
         .transpose()?
         .unwrap_or(100_000);
 
     // Fault injection: an explicit --faults spec wins over the
     // scenario's own `faults { … }` block.
-    let faults = match flag_value(args, "--faults") {
+    let faults = match a.value("--faults") {
         Some(spec) => Some(sufs_net::FaultPlan::parse(spec)?),
         None => sc.faults.clone(),
     };
@@ -240,7 +358,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("injecting faults: {f}");
         scheduler = scheduler.with_faults(f);
     }
-    if has_flag(args, "--recover") {
+    if a.has("--recover") {
         let table = sufs_core::recovery::recovery_table(
             std::slice::from_ref(client),
             &sc.repository,
@@ -261,9 +379,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let result = scheduler
             .run(network.clone(), &mut rng, fuel)
             .map_err(|e| e.to_string())?;
-        if has_flag(args, "--mermaid") {
+        if a.has("--mermaid") {
             println!("{}", sufs_net::trace::render_mermaid(&result.trace));
-        } else if has_flag(args, "--trace") {
+        } else if a.has("--trace") {
             match sufs_net::trace::render_trace(&network, &result.trace, &sc.repository) {
                 Some(rendered) => println!("{rendered}"),
                 None => println!("{}", sufs_net::trace::render_actions(&result.trace)),
@@ -291,18 +409,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compliance(args: &[String]) -> Result<(), String> {
-    let [path, a, b] = args else {
+    let a = parse_args(args, &[], &[])?;
+    let [path, x, y] = a.positional.as_slice() else {
         return Err(usage());
     };
     let sc = load(path)?;
-    let ha = service_or_client(&sc, a)?;
-    let hb = service_or_client(&sc, b)?;
+    let ha = service_or_client(&sc, x)?;
+    let hb = service_or_client(&sc, y)?;
     let ca = Contract::from_service(&ha).map_err(|e| e.to_string())?;
     let cb = Contract::from_service(&hb).map_err(|e| e.to_string())?;
-    println!("{a}! = {ca}");
-    println!("{b}! = {cb}");
+    println!("{x}! = {ca}");
+    println!("{y}! = {cb}");
     let result = compliant(&ca, &cb);
-    println!("{a} ⊢ {b}: {result}");
+    println!("{x} ⊢ {y}: {result}");
     Ok(())
 }
 
@@ -322,8 +441,10 @@ fn service_or_client(sc: &Scenario, name: &str) -> Result<Hist, String> {
 }
 
 fn cmd_discover(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
-    let name = args.get(1).ok_or_else(usage)?;
+    let a = parse_args(args, &["--request"], &[])?;
+    let [path, name] = a.positional.as_slice() else {
+        return Err(usage());
+    };
     let sc = load(path)?;
     let client = sc
         .client(name)
@@ -332,7 +453,8 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     if requests.is_empty() {
         return Err(format!("client `{name}` makes no requests"));
     }
-    let wanted: Option<u32> = flag_value(args, "--request")
+    let wanted: Option<u32> = a
+        .value("--request")
         .map(|s| s.parse().map_err(|_| format!("bad request id `{s}`")))
         .transpose()?;
     for info in &requests {
@@ -353,12 +475,14 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_lts(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
-    let name = args.get(1).ok_or_else(usage)?;
+    let a = parse_args(args, &[], &["--dot"])?;
+    let [path, name] = a.positional.as_slice() else {
+        return Err(usage());
+    };
     let sc = load(path)?;
     let h = service_or_client(&sc, name)?;
     let lts = HistLts::build(&h).map_err(|e| e.to_string())?;
-    if has_flag(args, "--dot") {
+    if a.has("--dot") {
         println!("{}", lts.to_dot());
     } else {
         println!("{} states, {} edges", lts.len(), lts.iter_edges().count());
@@ -370,7 +494,8 @@ fn cmd_lts(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bpa(args: &[String]) -> Result<(), String> {
-    let [path, name] = args else {
+    let a = parse_args(args, &[], &[])?;
+    let [path, name] = a.positional.as_slice() else {
         return Err(usage());
     };
     let sc = load(path)?;

@@ -176,6 +176,44 @@ fn errors_are_reported() {
 }
 
 #[test]
+fn flags_accept_equals_and_reject_unknown() {
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/hotel.sufs", "--client=c1"]);
+    assert!(ok);
+    assert!(stdout.contains("== c1 =="));
+    assert!(!stdout.contains("== c2 =="));
+    let (_, stderr, ok) = sufs(&["verify", "scenarios/hotel.sufs", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["run", "scenarios/hotel.sufs", "--client"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["lts", "scenarios/hotel.sufs", "s3", "--dot=yes"]);
+    assert!(!ok);
+    assert!(stderr.contains("takes no value"), "{stderr}");
+}
+
+#[test]
+fn lint_reports_and_gates_the_exit_code() {
+    // Hotel: two dead hotels are info-level; warnings stay deniable.
+    let (stdout, _, ok) = sufs(&["lint", "scenarios/hotel.sufs"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 error(s), 0 warning(s), 2 info(s)"));
+    let (_, _, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--deny", "warnings"]);
+    assert!(ok);
+    // The demo scenario has an error: nonzero exit even without --deny.
+    let (stdout, _, ok) = sufs(&["lint", "scenarios/lint_demo.sufs"]);
+    assert!(!ok, "errors must fail the exit code:\n{stdout}");
+    assert!(stdout.contains("SUFS007"));
+    let (stdout, _, ok) = sufs(&["lint", "scenarios/lint_demo.sufs", "--json"]);
+    assert!(!ok);
+    assert!(stdout.starts_with("{\"file\":\"scenarios/lint_demo.sufs\""));
+    assert!(stdout.contains("\"summary\":"));
+    let (_, stderr, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--deny", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown lint class"), "{stderr}");
+}
+
+#[test]
 fn faults_flag_injects_and_reports() {
     let (stdout, _, ok) = sufs(&[
         "run",

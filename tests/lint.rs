@@ -1,0 +1,140 @@
+//! Golden lint diagnostics for the bundled scenarios, plus seeded
+//! robustness properties of the lint engine itself.
+
+use sufs_core::scenario::parse_scenario;
+use sufs_lint::{lint_scenario, lint_scenario_with, Code, LintReport};
+use sufs_rng::{Rng, SeedableRng, StdRng};
+
+fn source(name: &str) -> String {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap()
+}
+
+fn lint_file(name: &str) -> LintReport {
+    let sc = parse_scenario(&source(name)).unwrap();
+    lint_scenario(&sc).unwrap()
+}
+
+fn subjects_with(report: &LintReport, code: Code) -> Vec<&str> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code)
+        .map(|d| d.subject.as_str())
+        .collect()
+}
+
+#[test]
+fn hotel_is_clean_except_the_dead_hotels() {
+    let report = lint_file("hotel.sufs");
+    assert_eq!(report.errors(), 0, "{report}");
+    assert_eq!(report.warnings(), 0, "{report}");
+    // Only the blacklisted/overpriced hotels are dead; the paper's valid
+    // plans use br, s3 and s4.
+    assert_eq!(
+        subjects_with(&report, Code::DeadService),
+        ["service s1", "service s2"]
+    );
+}
+
+#[test]
+fn payment_is_clean_except_the_rejected_services() {
+    let report = lint_file("payment.sufs");
+    assert_eq!(report.errors(), 0, "{report}");
+    assert_eq!(report.warnings(), 0, "{report}");
+    assert_eq!(
+        subjects_with(&report, Code::DeadService),
+        ["service gw_sloppy", "service bank_self"]
+    );
+}
+
+#[test]
+fn remaining_scenarios_are_fully_clean() {
+    for name in ["storage.sufs", "metered.sufs", "faulty.sufs"] {
+        let report = lint_file(name);
+        assert!(report.is_clean(), "{name} is not clean:\n{report}");
+    }
+}
+
+#[test]
+fn lint_demo_covers_the_catalogue() {
+    let report = lint_file("lint_demo.sufs");
+    let codes: std::collections::BTreeSet<&str> =
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+    for expected in [
+        "SUFS001", "SUFS002", "SUFS003", "SUFS004", "SUFS005", "SUFS006", "SUFS007",
+    ] {
+        assert!(codes.contains(expected), "missing {expected}:\n{report}");
+    }
+    assert!(report.errors() >= 1, "{report}");
+    for d in &report.diagnostics {
+        assert!(d.pos.line > 0, "diagnostic without a location: {d}");
+        if matches!(
+            d.code,
+            Code::UnreachableEvent | Code::VacuousPolicy | Code::PlanContention
+        ) {
+            assert!(
+                d.witness.as_ref().is_some_and(|w| !w.is_empty()),
+                "automaton-backed finding without a witness: {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn output_is_deterministic_across_fresh_parses() {
+    for name in ["hotel.sufs", "lint_demo.sufs"] {
+        let src = source(name);
+        let first = lint_scenario(&parse_scenario(&src).unwrap())
+            .unwrap()
+            .to_json(None);
+        for _ in 0..3 {
+            let again = lint_scenario(&parse_scenario(&src).unwrap())
+                .unwrap()
+                .to_json(None);
+            assert_eq!(again, first, "{name} lints nondeterministically");
+        }
+    }
+}
+
+#[test]
+fn findings_do_not_depend_on_generous_bounds() {
+    // Any exploration bound and plan cap large enough for the scenario
+    // must produce the same findings as the defaults.
+    let mut rng = StdRng::seed_from_u64(0x11e7);
+    for name in ["hotel.sufs", "lint_demo.sufs"] {
+        let src = source(name);
+        let golden = lint_scenario(&parse_scenario(&src).unwrap())
+            .unwrap()
+            .to_json(None);
+        for _ in 0..4 {
+            let bound = rng.gen_range(10_000usize..110_000);
+            let cap = rng.gen_range(1_000usize..11_000);
+            let report = lint_scenario_with(&parse_scenario(&src).unwrap(), bound, cap).unwrap();
+            assert_eq!(report.to_json(None), golden, "{name} with bound {bound}");
+        }
+    }
+}
+
+#[test]
+fn paper_artifacts_are_never_flagged_vacuous_or_dead() {
+    // The §2 example's policy and the services its valid plans actually
+    // use must never trip W02/W05, whatever (generous) bounds we lint
+    // under.
+    let src = source("hotel.sufs");
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..4 {
+        let bound = rng.gen_range(50_000usize..250_000);
+        let report = lint_scenario_with(&parse_scenario(&src).unwrap(), bound, 10_000).unwrap();
+        assert!(
+            subjects_with(&report, Code::VacuousPolicy).is_empty(),
+            "the hotel policy does forbid traces:\n{report}"
+        );
+        for used in ["service br", "service s3", "service s4"] {
+            assert!(
+                !subjects_with(&report, Code::DeadService).contains(&used),
+                "{used} is in a valid plan:\n{report}"
+            );
+        }
+    }
+}
