@@ -1,78 +1,184 @@
-//! E4 / B3 — plan synthesis: verifying the paper's clients against the
-//! Fig. 2 repository, and the combinatorial scaling of enumeration +
-//! verification in the number of requests `r` and repository size `s`
-//! (the candidate space is `sʳ`).
+//! E4 / B3 — plan synthesis: wall time, throughput, cache hit-rate and
+//! pruning/parallel speedups across plan spaces of 10²–10⁵ candidates,
+//! emitted as machine-readable `BENCH_plans.json`.
+//!
+//! Unlike the micro-benches, this target is a *harness*: for each
+//! workload it runs the same synthesis in four configurations —
+//!
+//! | mode         | cache | prune | jobs |
+//! |--------------|-------|-------|------|
+//! | `sequential` |   —   |   —   |  1   | (the seed pipeline)
+//! | `cached`     |   ✓   |   —   |  1   |
+//! | `pruned`     |   ✓   |   ✓   |  1   |
+//! | `parallel`   |   ✓   |   ✓   | auto |
+//!
+//! asserts the modes agree (full verdict equality for `cached`, valid
+//! plan-set equality for the pruning modes), and records the numbers.
+//!
+//! Environment:
+//! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
+//! * `SUFS_BENCH_PLANS_OUT=path` — where to write the JSON (default
+//!   `BENCH_plans.json` in the working directory).
 
-use sufs_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
+use std::time::Instant;
 
-use sufs::paper;
-use sufs_bench::{multi_request_client, responder_repo, scaled_hotel_repo};
-use sufs_core::{enumerate_plans, verify, verify_plan};
+use sufs_bench::{mixed_responder_repo, multi_request_client};
+use sufs_core::pool::default_jobs;
+use sufs_core::{synthesize, Synthesis, SynthesisOptions};
+use sufs_net::Plan;
 use sufs_policy::PolicyRegistry;
 
-fn paper_plan_synthesis(c: &mut Criterion) {
-    let repo = paper::repository();
-    let reg = paper::registry();
-    c.bench_function("plan_synthesis_paper/c1_all_plans", |b| {
-        b.iter(|| verify(&paper::client_c1(), &repo, &reg).unwrap())
-    });
-    c.bench_function("plan_synthesis_paper/c2_all_plans", |b| {
-        b.iter(|| verify(&paper::client_c2(), &repo, &reg).unwrap())
-    });
-    c.bench_function("plan_synthesis_paper/pi1_single", |b| {
-        b.iter(|| verify_plan(&paper::client_c1(), &paper::plan_pi1(), &repo, &reg).unwrap())
-    });
+struct ModeResult {
+    wall_ms: f64,
+    plans_per_sec: f64,
+    cache_hit_rate: Option<f64>,
+    pruned_subtrees: Option<usize>,
 }
 
-fn hotel_repo_scaling(c: &mut Criterion) {
-    let reg = paper::registry();
-    let mut group = c.benchmark_group("plan_synthesis_hotels");
-    group.sample_size(10);
-    for hotels in [4usize, 8, 16] {
-        let repo = scaled_hotel_repo(hotels);
-        group.bench_with_input(BenchmarkId::from_parameter(hotels), &repo, |b, repo| {
-            b.iter(|| verify(&paper::client_c1(), repo, &reg).unwrap())
-        });
+fn run_mode(
+    client: &sufs_hexpr::Hist,
+    repo: &sufs_net::Repository,
+    registry: &PolicyRegistry,
+    opts: &SynthesisOptions,
+    candidates: usize,
+) -> (Synthesis, ModeResult) {
+    let start = Instant::now();
+    let synthesis = synthesize(client, repo, registry, opts).expect("workload verifies");
+    let wall = start.elapsed().as_secs_f64();
+    let result = ModeResult {
+        wall_ms: wall * 1e3,
+        // Throughput over the *whole* candidate space: pruning gets
+        // credit for deciding plans it never had to expand.
+        plans_per_sec: candidates as f64 / wall,
+        cache_hit_rate: synthesis.stats.cache.as_ref().map(|c| c.hit_rate()),
+        pruned_subtrees: opts.prune.then_some(synthesis.stats.pruned_subtrees),
+    };
+    (synthesis, result)
+}
+
+fn json_mode(out: &mut String, name: &str, m: &ModeResult) {
+    write!(
+        out,
+        "      \"{name}\": {{\"wall_ms\": {:.3}, \"plans_per_sec\": {:.1}",
+        m.wall_ms, m.plans_per_sec
+    )
+    .unwrap();
+    if let Some(rate) = m.cache_hit_rate {
+        write!(out, ", \"cache_hit_rate\": {rate:.4}").unwrap();
     }
-    group.finish();
+    if let Some(pruned) = m.pruned_subtrees {
+        write!(out, ", \"pruned_subtrees\": {pruned}").unwrap();
+    }
+    out.push('}');
 }
 
-fn enumeration_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("plan_enumeration");
-    group.sample_size(10);
-    for (r, s) in [(2usize, 4usize), (3, 4), (4, 4), (3, 8)] {
+fn main() {
+    let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    // (requests, good services, bad services): the candidate space is
+    // (good+bad)^requests, spanning 10²–10⁵ in the full configuration.
+    let workloads: &[(usize, usize, usize)] = if smoke {
+        &[(2, 2, 2), (3, 2, 2)]
+    } else {
+        &[(2, 5, 5), (3, 5, 5), (4, 5, 5), (5, 5, 5)]
+    };
+    let registry = PolicyRegistry::new();
+    let jobs = default_jobs();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    write!(
+        out,
+        "  \"bench\": \"plans\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n  \"jobs\": {jobs},\n"
+    )
+    .unwrap();
+    out.push_str("  \"workloads\": [\n");
+
+    for (wi, &(r, good, bad)) in workloads.iter().enumerate() {
+        let s = good + bad;
+        let candidates = s.pow(r as u32);
         let client = multi_request_client(r);
-        let repo = responder_repo(s);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("r{r}_s{s}")),
-            &(client, repo),
-            |b, (client, repo)| b.iter(|| enumerate_plans(client, repo, 1 << 20).unwrap()),
-        );
-    }
-    group.finish();
-}
+        let repo = mixed_responder_repo(good, bad);
+        eprintln!("workload r={r} s={s}: {candidates} candidates");
 
-fn full_verification_scaling(c: &mut Criterion) {
-    let reg = PolicyRegistry::new();
-    let mut group = c.benchmark_group("plan_verification");
-    group.sample_size(10);
-    for (r, s) in [(2usize, 2usize), (2, 4), (3, 3)] {
-        let client = multi_request_client(r);
-        let repo = responder_repo(s);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("r{r}_s{s}")),
-            &(client, repo),
-            |b, (client, repo)| b.iter(|| verify(client, repo, &reg).unwrap()),
-        );
-    }
-    group.finish();
-}
+        let base = SynthesisOptions::default();
+        let sequential_opts = SynthesisOptions {
+            cache: false,
+            ..base.clone()
+        };
+        let cached_opts = base.clone();
+        let pruned_opts = SynthesisOptions {
+            prune: true,
+            ..base.clone()
+        };
+        let parallel_opts = SynthesisOptions {
+            prune: true,
+            jobs: 0,
+            ..base.clone()
+        };
 
-criterion_group!(
-    benches,
-    paper_plan_synthesis,
-    hotel_repo_scaling,
-    enumeration_scaling,
-    full_verification_scaling
-);
-criterion_main!(benches);
+        let (seq_synth, sequential) =
+            run_mode(&client, &repo, &registry, &sequential_opts, candidates);
+        let (cached_synth, cached) = run_mode(&client, &repo, &registry, &cached_opts, candidates);
+        let (pruned_synth, pruned) = run_mode(&client, &repo, &registry, &pruned_opts, candidates);
+        let (par_synth, parallel) = run_mode(&client, &repo, &registry, &parallel_opts, candidates);
+
+        // Equivalence: cached must reproduce the sequential report
+        // verbatim; the pruning modes must agree on the valid plans.
+        assert_eq!(
+            seq_synth.report.verdicts(),
+            cached_synth.report.verdicts(),
+            "cached synthesis diverged from the sequential baseline"
+        );
+        let valid = |s: &Synthesis| s.report.valid_plans().cloned().collect::<Vec<Plan>>();
+        let expected = valid(&seq_synth);
+        assert_eq!(expected.len(), good.pow(r as u32));
+        assert_eq!(
+            valid(&pruned_synth),
+            expected,
+            "pruned synthesis lost valid plans"
+        );
+        assert_eq!(
+            valid(&par_synth),
+            expected,
+            "parallel synthesis lost valid plans"
+        );
+        eprintln!(
+            "  sequential {:.1}ms, cached {:.1}ms, pruned {:.1}ms, parallel {:.1}ms",
+            sequential.wall_ms, cached.wall_ms, pruned.wall_ms, parallel.wall_ms
+        );
+
+        if wi > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    {\n");
+        write!(
+            out,
+            "      \"requests\": {r}, \"services\": {s}, \"good_services\": {good},\n      \"candidates\": {candidates}, \"valid_plans\": {},\n",
+            expected.len()
+        )
+        .unwrap();
+        json_mode(&mut out, "sequential", &sequential);
+        out.push_str(",\n");
+        json_mode(&mut out, "cached", &cached);
+        out.push_str(",\n");
+        json_mode(&mut out, "pruned", &pruned);
+        out.push_str(",\n");
+        json_mode(&mut out, "parallel", &parallel);
+        out.push_str(",\n");
+        writeln!(
+            out,
+            "      \"speedup_cached\": {:.2}, \"speedup_pruned\": {:.2}, \"speedup_parallel\": {:.2}",
+            sequential.wall_ms / cached.wall_ms,
+            sequential.wall_ms / pruned.wall_ms,
+            sequential.wall_ms / parallel.wall_ms
+        )
+        .unwrap();
+        out.push_str("    }");
+    }
+    out.push_str("\n  ]\n}\n");
+
+    let path = std::env::var("SUFS_BENCH_PLANS_OUT").unwrap_or_else(|_| "BENCH_plans.json".into());
+    std::fs::write(&path, &out).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

@@ -147,6 +147,22 @@ pub fn responder_repo(s: usize) -> Repository {
     repo
 }
 
+/// A repository of `good` compliant responders plus `bad` services whose
+/// reply (`b`) the [`multi_request_client`] cannot accept — the pruned
+/// plan-synthesis workload: of the `(good+bad)ʳ` candidates only
+/// `goodʳ` survive the pairwise compliance check, so a pruning verifier
+/// can cut every subtree below a bad binding.
+pub fn mixed_responder_repo(good: usize, bad: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..good {
+        repo.publish(format!("good{i}"), recv("q", choose([("a", eps())])));
+    }
+    for i in 0..bad {
+        repo.publish(format!("bad{i}"), recv("q", choose([("b", eps())])));
+    }
+    repo
+}
+
 /// A plan binding every request of [`multi_request_client`] to the
 /// first responder.
 pub fn first_responder_plan(r: usize) -> Plan {
@@ -224,6 +240,17 @@ mod tests {
         assert_eq!(plans.len(), 8); // 2³
         let plan = first_responder_plan(3);
         assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn mixed_repo_splits_valid_and_invalid() {
+        let client = multi_request_client(2);
+        let repo = mixed_responder_repo(2, 2);
+        assert_eq!(repo.len(), 4);
+        let report =
+            sufs_core::verify(&client, &repo, &sufs_policy::PolicyRegistry::new()).unwrap();
+        assert_eq!(report.len(), 16); // 4²
+        assert_eq!(report.valid_plans().count(), 4); // 2²
     }
 
     #[test]

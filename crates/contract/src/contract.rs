@@ -102,6 +102,13 @@ impl Contract {
         self.0.is_eps()
     }
 
+    /// A stable structural fingerprint of the contract (the fingerprint
+    /// of the underlying expression), for deterministic
+    /// verification-cache keys.
+    pub fn structural_hash(&self) -> u64 {
+        self.0.structural_hash()
+    }
+
     /// The communication transitions of the contract: pairs of a directed
     /// channel action and the successor contract.
     ///

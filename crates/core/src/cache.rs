@@ -1,0 +1,388 @@
+//! Memoisation for the verification pipeline.
+//!
+//! Verifying a plan space recomputes the same sub-results over and over:
+//! the seed pipeline projected `Contract::from_service` and re-ran the
+//! Theorem 1 product automaton for the same `(request body, service)`
+//! pair once *per candidate plan*, although a repository of `s` services
+//! and a client with `r` requests only ever has `r·s` distinct pairs —
+//! while the plan space has up to `sʳ` candidates. [`VerifyCache`]
+//! memoizes the four expensive sub-checks:
+//!
+//! 1. **projection** — `Contract::from_service(H)`, keyed by the
+//!    structural hash of `H`;
+//! 2. **compliance** — `compliant(client_side, server_side)` witnesses,
+//!    keyed by the pair of contract hashes;
+//! 3. **validity** — the per-`(composition, plan)` security verdict;
+//! 4. **progress** — the per-`(composition, plan)` stuck search.
+//!
+//! Keys bucket on the *stable* structural hashes exposed by
+//! `sufs_hexpr::shash` (so hit-rates are reproducible run over run) but
+//! compare the full key value: a fingerprint collision costs a rehash,
+//! never a wrong verdict. The plan-keyed layers *intern* the
+//! composition (one synthesis run uses one composition, while the plan
+//! space may hold 10⁵ candidates), so a cache entry stores a small
+//! `(composition id, plan)` pair instead of a deep expression clone per
+//! plan. All maps sit behind mutexes so one cache can be shared across
+//! the worker threads of [`crate::pool::WorkPool`]; hit/miss counters
+//! are atomic and can be snapshotted at any point via
+//! [`VerifyCache::stats`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sufs_contract::{compliant, Contract, ContractError, StuckWitness};
+use sufs_hexpr::shash::stable_hash_of;
+use sufs_hexpr::Hist;
+use sufs_net::symbolic::StuckState;
+use sufs_net::Plan;
+use sufs_policy::validity::{ValidityError, Verdict};
+
+/// A cache key: a value paired with its precomputed structural
+/// fingerprint. Hashing writes only the fingerprint (cheap, stable);
+/// equality compares the full value (collision-proof).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Keyed<T> {
+    fingerprint: u64,
+    value: T,
+}
+
+impl<T: Hash> Keyed<T> {
+    fn new(value: T) -> Self {
+        Keyed {
+            fingerprint: stable_hash_of(&value),
+            value,
+        }
+    }
+}
+
+impl<T: Eq> Hash for Keyed<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+/// Hit/miss counters for one cache layer.
+#[derive(Debug, Default)]
+struct Layer {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Layer {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A point-in-time snapshot of the cache counters, layer by layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Projection lookups served from / added to the cache.
+    pub contract: (u64, u64),
+    /// Pairwise-compliance lookups served from / added to the cache.
+    pub compliance: (u64, u64),
+    /// Security-verdict lookups served from / added to the cache.
+    pub validity: (u64, u64),
+    /// Stuck-search lookups served from / added to the cache.
+    pub progress: (u64, u64),
+}
+
+impl CacheStats {
+    /// Total hits across every layer.
+    pub fn hits(&self) -> u64 {
+        self.contract.0 + self.compliance.0 + self.validity.0 + self.progress.0
+    }
+
+    /// Total misses across every layer.
+    pub fn misses(&self) -> u64 {
+        self.contract.1 + self.compliance.1 + self.validity.1 + self.progress.1
+    }
+
+    /// The overall hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate)",
+            self.hits(),
+            self.misses(),
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+type ContractMap = HashMap<Keyed<Hist>, Result<Contract, ContractError>>;
+type ComplianceMap = HashMap<Keyed<(Contract, Contract)>, Option<StuckWitness>>;
+type ValidityMap = HashMap<Keyed<(usize, Plan)>, Result<Verdict, ValidityError>>;
+type ProgressMap = HashMap<Keyed<(usize, Plan)>, Result<Option<StuckState>, usize>>;
+
+/// The verification memo table; see the module docs for the four layers.
+///
+/// Cheap to create, internally synchronised, and safe to share by
+/// reference across verifier threads. A cache may be reused across
+/// `synthesize` calls as long as the *policy registry* is the same —
+/// validity verdicts depend on it, which is why the validity layer is
+/// keyed by `(composition, plan)` and a cache must not be shared across
+/// registries.
+#[derive(Debug, Default)]
+pub struct VerifyCache {
+    /// Interned compositions: `(fingerprint, expression)`, index = id.
+    compositions: Mutex<Vec<(u64, Hist)>>,
+    contracts: Mutex<ContractMap>,
+    compliance: Mutex<ComplianceMap>,
+    validity: Mutex<ValidityMap>,
+    progress: Mutex<ProgressMap>,
+    contract_stats: Layer,
+    compliance_stats: Layer,
+    validity_stats: Layer,
+    progress_stats: Layer,
+}
+
+impl VerifyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interning id of `composition`, cloning it into the table on
+    /// first sight. One verification run touches one composition (or a
+    /// handful, for recovery tables), so the scan is effectively O(1)
+    /// and the plan-keyed layers never store deep expression copies.
+    fn intern_composition(&self, composition: &Hist) -> usize {
+        let fingerprint = stable_hash_of(composition);
+        let mut table = self
+            .compositions
+            .lock()
+            .expect("composition table poisoned");
+        if let Some(id) = table
+            .iter()
+            .position(|(fp, h)| *fp == fingerprint && h == composition)
+        {
+            return id;
+        }
+        table.push((fingerprint, composition.clone()));
+        table.len() - 1
+    }
+
+    /// Memoized [`Contract::from_service`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Contract::from_service`] (errors are memoized too).
+    pub fn contract_of(&self, service: &Hist) -> Result<Contract, ContractError> {
+        let key = Keyed::new(service.clone());
+        {
+            let map = self.contracts.lock().expect("contract cache poisoned");
+            if let Some(cached) = map.get(&key) {
+                self.contract_stats.hit();
+                return cached.clone();
+            }
+        }
+        self.contract_stats.miss();
+        let computed = Contract::from_service(service);
+        let mut map = self.contracts.lock().expect("contract cache poisoned");
+        map.entry(key).or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// Memoized pairwise compliance: the Theorem 1 witness of
+    /// `client ⊢ server`, or `None` when the contracts are compliant.
+    pub fn compliance_witness(&self, client: &Contract, server: &Contract) -> Option<StuckWitness> {
+        let key = Keyed::new((client.clone(), server.clone()));
+        {
+            let map = self.compliance.lock().expect("compliance cache poisoned");
+            if let Some(cached) = map.get(&key) {
+                self.compliance_stats.hit();
+                return cached.clone();
+            }
+        }
+        self.compliance_stats.miss();
+        let computed = compliant(client, server).witness().cloned();
+        let mut map = self.compliance.lock().expect("compliance cache poisoned");
+        map.entry(key).or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// Memoized security verdict for `(composition, plan)`; `compute`
+    /// runs the model checker on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns (errors are memoized too).
+    pub fn validity<F>(
+        &self,
+        composition: &Hist,
+        plan: &Plan,
+        compute: F,
+    ) -> Result<Verdict, ValidityError>
+    where
+        F: FnOnce() -> Result<Verdict, ValidityError>,
+    {
+        let key = Keyed::new((self.intern_composition(composition), plan.clone()));
+        {
+            let map = self.validity.lock().expect("validity cache poisoned");
+            if let Some(cached) = map.get(&key) {
+                self.validity_stats.hit();
+                return cached.clone();
+            }
+        }
+        self.validity_stats.miss();
+        let computed = compute();
+        let mut map = self.validity.lock().expect("validity cache poisoned");
+        map.entry(key).or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// Memoized stuck search for `(composition, plan)`; `compute` runs
+    /// the symbolic exploration on a miss. The error carries the
+    /// exceeded state bound, as in `find_stuck`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns (errors are memoized too).
+    pub fn progress<F>(
+        &self,
+        composition: &Hist,
+        plan: &Plan,
+        compute: F,
+    ) -> Result<Option<StuckState>, usize>
+    where
+        F: FnOnce() -> Result<Option<StuckState>, usize>,
+    {
+        let key = Keyed::new((self.intern_composition(composition), plan.clone()));
+        {
+            let map = self.progress.lock().expect("progress cache poisoned");
+            if let Some(cached) = map.get(&key) {
+                self.progress_stats.hit();
+                return cached.clone();
+            }
+        }
+        self.progress_stats.miss();
+        let computed = compute();
+        let mut map = self.progress.lock().expect("progress cache poisoned");
+        map.entry(key).or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            contract: self.contract_stats.snapshot(),
+            compliance: self.compliance_stats.snapshot(),
+            validity: self.validity_stats.snapshot(),
+            progress: self.progress_stats.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_hexpr::builder::*;
+
+    #[test]
+    fn contract_layer_memoizes_values_and_errors() {
+        let cache = VerifyCache::new();
+        let good = recv("q", eps());
+        let c1 = cache.contract_of(&good).unwrap();
+        let c2 = cache.contract_of(&good).unwrap();
+        assert_eq!(c1, c2);
+        let bad = Hist::mu("h", Hist::var("h"));
+        assert!(cache.contract_of(&bad).is_err());
+        assert!(cache.contract_of(&bad).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.contract, (2, 2));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn compliance_layer_memoizes() {
+        let cache = VerifyCache::new();
+        let client = cache.contract_of(&send("a", eps())).unwrap();
+        let server = cache.contract_of(&recv("a", eps())).unwrap();
+        assert!(cache.compliance_witness(&client, &server).is_none());
+        assert!(cache.compliance_witness(&client, &server).is_none());
+        let mismatched = cache.contract_of(&recv("b", eps())).unwrap();
+        assert!(cache.compliance_witness(&client, &mismatched).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.compliance, (1, 2));
+    }
+
+    #[test]
+    fn plan_keyed_layers_memoize_closures() {
+        let cache = VerifyCache::new();
+        let h = ev0("a");
+        let plan = Plan::new().with(1u32, "s");
+        let mut calls = 0;
+        for _ in 0..3 {
+            let r = cache.validity(&h, &plan, || {
+                calls += 1;
+                Ok(Verdict::Valid)
+            });
+            assert_eq!(r, Ok(Verdict::Valid));
+        }
+        assert_eq!(calls, 1);
+        let mut progress_calls = 0;
+        for _ in 0..2 {
+            let r = cache.progress(&h, &plan, || {
+                progress_calls += 1;
+                Err(7)
+            });
+            assert_eq!(r, Err(7));
+        }
+        assert_eq!(progress_calls, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.validity, (2, 1));
+        assert_eq!(stats.progress, (1, 1));
+        assert!(stats.to_string().contains("hit rate"));
+    }
+
+    #[test]
+    fn distinct_compositions_do_not_collide() {
+        let cache = VerifyCache::new();
+        let plan = Plan::new().with(1u32, "s");
+        let r1 = cache.validity(&ev0("a"), &plan, || Ok(Verdict::Valid));
+        let r2 = cache.validity(&ev0("b"), &plan, || Err(ValidityError::BoundExceeded(1)));
+        assert!(r1.is_ok());
+        assert!(r2.is_err());
+        // Re-querying the first composition still hits.
+        let r3 = cache.validity(&ev0("a"), &plan, || unreachable!());
+        assert_eq!(r3, Ok(Verdict::Valid));
+    }
+
+    #[test]
+    fn distinct_plans_do_not_collide() {
+        let cache = VerifyCache::new();
+        let h = ev0("a");
+        let p1 = Plan::new().with(1u32, "x");
+        let p2 = Plan::new().with(1u32, "y");
+        let r1 = cache.validity(&h, &p1, || Ok(Verdict::Valid));
+        let r2 = cache.validity(&h, &p2, || Err(ValidityError::BoundExceeded(1)));
+        assert!(r1.is_ok());
+        assert!(r2.is_err());
+    }
+}

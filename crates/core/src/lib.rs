@@ -39,19 +39,26 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod discover;
 pub mod multi;
 pub mod plans;
+pub mod pool;
 pub mod recovery;
 pub mod report;
 pub mod scenario;
 pub mod verify;
 
+pub use cache::{CacheStats, VerifyCache};
 pub use discover::{discover, discover_matches, DiscoveryCandidate};
 pub use multi::{find_joint_deadlock, verify_network, ClientSpec, JointDeadlock, NetworkReport};
 pub use plans::{composed_requests, enumerate_plans, PlanSpaceExceeded};
+pub use pool::WorkPool;
 pub use recovery::{
     fallback_chain, fallback_chain_with_cap, recovery_table, recovery_table_with_cap,
 };
 pub use report::VerifyReport;
-pub use verify::{verify, verify_plan, verify_with_cap, PlanVerdict, VerifyError, Violation};
+pub use verify::{
+    synthesize, verify, verify_plan, verify_with_cap, PlanVerdict, SynthStats, Synthesis,
+    SynthesisOptions, VerifyError, Violation,
+};

@@ -5,11 +5,22 @@
 //! service opens its own sessions, as the broker does in §2), so
 //! enumeration closes over newly exposed requests: a plan is *complete*
 //! when every request reachable through its own bindings is bound.
+//!
+//! The search is organised around [`SearchNode`]s (a partial plan plus
+//! the queue of requests still to bind) walked depth-first by an
+//! explicit stack, so deep request chains cost O(n) queue work instead
+//! of the former `Vec::remove(0)` quadratic shuffle, and a *prune* hook
+//! can cut a whole subtree the moment a single binding is known bad —
+//! the engine behind `verify::synthesize`'s interleaved
+//! enumerate-and-verify mode. Distinct plans are deduplicated **during**
+//! enumeration, so duplicates can never count toward the
+//! [`PlanSpaceExceeded`] cap.
 
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 use sufs_hexpr::requests::requests;
-use sufs_hexpr::{Hist, RequestId};
+use sufs_hexpr::{Hist, Location, RequestId};
 use sufs_net::{Plan, Repository};
 
 /// An error raised when the plan space is too large to enumerate.
@@ -30,16 +41,141 @@ impl std::error::Error for PlanSpaceExceeded {}
 /// The default cap on enumerated plans.
 pub const DEFAULT_PLAN_CAP: usize = 100_000;
 
+/// A node of the plan search tree: a partial plan plus the requests
+/// still waiting for a binding, in discovery order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SearchNode {
+    /// The bindings committed so far.
+    pub(crate) plan: Plan,
+    /// Requests not yet bound (front = next to bind).
+    pub(crate) pending: VecDeque<RequestId>,
+}
+
+impl SearchNode {
+    /// The root node for `client`: an empty plan over its requests.
+    pub(crate) fn root(client: &Hist) -> SearchNode {
+        SearchNode {
+            plan: Plan::new(),
+            pending: requests(client).into_iter().map(|r| r.id).collect(),
+        }
+    }
+
+    /// Drops already-bound requests from the front of the queue (shared
+    /// identifiers bind once) and returns the next request to bind, or
+    /// `None` when the plan is complete.
+    fn next_request(&mut self) -> Option<RequestId> {
+        while let Some(&r) = self.pending.front() {
+            if self.plan.service_for(r).is_some() {
+                self.pending.pop_front();
+            } else {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// The child node binding `r` to `loc`, closing the queue over the
+    /// requests the selected `service` exposes.
+    fn bind_child(&self, r: RequestId, loc: &Location, service: &Hist) -> SearchNode {
+        let mut plan = self.plan.clone();
+        plan.bind(r, loc.clone());
+        let mut pending = self.pending.clone();
+        for exposed in requests(service) {
+            if plan.service_for(exposed.id).is_none() && !pending.contains(&exposed.id) {
+                pending.push_back(exposed.id);
+            }
+        }
+        SearchNode { plan, pending }
+    }
+}
+
+/// Depth-first search below `start`. `prune(plan, r, loc)` may cut the
+/// subtree rooted at extending `plan` with `r ↦ loc` before it is
+/// expanded; `emit` receives every complete plan and may abort the
+/// search by returning an error. Returns the number of subtrees cut.
+pub(crate) fn search<PF, EF>(
+    start: SearchNode,
+    repo: &Repository,
+    prune: &mut PF,
+    emit: &mut EF,
+) -> Result<usize, PlanSpaceExceeded>
+where
+    PF: FnMut(&Plan, RequestId, &Location) -> bool,
+    EF: FnMut(Plan) -> Result<(), PlanSpaceExceeded>,
+{
+    let mut pruned = 0usize;
+    let mut stack = vec![start];
+    while let Some(mut node) = stack.pop() {
+        let Some(r) = node.next_request() else {
+            emit(node.plan)?;
+            continue;
+        };
+        node.pending.pop_front();
+        // Children are pushed in reverse repository order so the stack
+        // pops them in the repository's (sorted) order — keeping the
+        // visit order of the old recursive implementation.
+        let entries: Vec<(&Location, &Hist)> = repo.iter().collect();
+        for (loc, service) in entries.into_iter().rev() {
+            if prune(&node.plan, r, loc) {
+                pruned += 1;
+                continue;
+            }
+            stack.push(node.bind_child(r, loc, service));
+        }
+    }
+    Ok(pruned)
+}
+
+/// Breadth-first expansion of the search tree under `prune` until at
+/// least `target` open nodes exist (or the tree is exhausted): the seed
+/// step for running independent subtrees on the worker pool. Returns
+/// the open frontier, the plans already completed while expanding, and
+/// the number of subtrees cut.
+pub(crate) fn expand_frontier<PF>(
+    client: &Hist,
+    repo: &Repository,
+    target: usize,
+    prune: &mut PF,
+) -> (Vec<SearchNode>, Vec<Plan>, usize)
+where
+    PF: FnMut(&Plan, RequestId, &Location) -> bool,
+{
+    let mut pruned = 0usize;
+    let mut complete = Vec::new();
+    let mut frontier = VecDeque::from([SearchNode::root(client)]);
+    while frontier.len() < target.max(1) {
+        let Some(mut node) = frontier.pop_front() else {
+            break;
+        };
+        let Some(r) = node.next_request() else {
+            complete.push(node.plan);
+            continue;
+        };
+        node.pending.pop_front();
+        for (loc, service) in repo.iter() {
+            if prune(&node.plan, r, loc) {
+                pruned += 1;
+                continue;
+            }
+            frontier.push_back(node.bind_child(r, loc, service));
+        }
+    }
+    (frontier.into(), complete, pruned)
+}
+
 /// Enumerates every complete plan for `client` over `repo`, up to `cap`
-/// plans.
+/// **distinct** plans.
 ///
 /// Requests exposed by selected services are bound too; a request
 /// identifier is bound at most once (identifiers are globally unique per
-/// the paper's assumption), so enumeration always terminates.
+/// the paper's assumption), so enumeration always terminates. Plans are
+/// deduplicated as they are found, so only distinct plans count toward
+/// the cap.
 ///
 /// # Errors
 ///
-/// Returns [`PlanSpaceExceeded`] if more than `cap` plans exist.
+/// Returns [`PlanSpaceExceeded`] if more than `cap` distinct plans
+/// exist.
 ///
 /// # Examples
 ///
@@ -60,49 +196,23 @@ pub fn enumerate_plans(
     repo: &Repository,
     cap: usize,
 ) -> Result<Vec<Plan>, PlanSpaceExceeded> {
-    let pending: Vec<RequestId> = requests(client).into_iter().map(|r| r.id).collect();
-    let mut out = Vec::new();
-    extend(Plan::new(), pending, repo, cap, &mut out)?;
-    out.sort();
-    out.dedup();
-    Ok(out)
-}
-
-fn extend(
-    plan: Plan,
-    mut pending: Vec<RequestId>,
-    repo: &Repository,
-    cap: usize,
-    out: &mut Vec<Plan>,
-) -> Result<(), PlanSpaceExceeded> {
-    // Drop requests already bound (shared identifiers bind once).
-    while let Some(&r) = pending.first() {
-        if plan.service_for(r).is_some() {
-            pending.remove(0);
-        } else {
-            break;
-        }
-    }
-    let Some(&r) = pending.first() else {
-        if out.len() >= cap {
-            return Err(PlanSpaceExceeded { cap });
-        }
-        out.push(plan);
-        return Ok(());
-    };
-    let rest: Vec<RequestId> = pending[1..].to_vec();
-    for (loc, service) in repo.iter() {
-        let mut next_plan = plan.clone();
-        next_plan.bind(r, loc.clone());
-        let mut next_pending = rest.clone();
-        for exposed in requests(service) {
-            if next_plan.service_for(exposed.id).is_none() && !next_pending.contains(&exposed.id) {
-                next_pending.push(exposed.id);
+    let mut seen: BTreeSet<Plan> = BTreeSet::new();
+    search(
+        SearchNode::root(client),
+        repo,
+        &mut |_, _, _| false,
+        &mut |plan| {
+            if seen.contains(&plan) {
+                return Ok(()); // duplicate: free, never counts toward the cap
             }
-        }
-        extend(next_plan, next_pending, repo, cap, out)?;
-    }
-    Ok(())
+            if seen.len() >= cap {
+                return Err(PlanSpaceExceeded { cap });
+            }
+            seen.insert(plan);
+            Ok(())
+        },
+    )?;
+    Ok(seen.into_iter().collect())
 }
 
 /// The requests of the whole composed service under a plan: the client's
@@ -211,6 +321,123 @@ mod tests {
         let err = enumerate_plans(&client, &repo, 4).unwrap_err();
         assert_eq!(err, PlanSpaceExceeded { cap: 4 });
         assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn cap_boundary_with_shared_request_ids() {
+        // Both candidate services for r1 and r2 expose the *same* nested
+        // request id r3, so naive counting could bill the shared id
+        // several times. Exactly 8 distinct plans exist
+        // (2 × 2 × 2 choices): a cap of 8 must succeed, 7 must fail.
+        let client = Hist::seq(
+            request(1, None, send("a", eps())),
+            request(2, None, send("a", eps())),
+        );
+        let sub = |l: &str| Hist::seq(recv("a", eps()), request(3, None, send(l, eps())));
+        let repo = repo(&[("s1", sub("w")), ("s2", sub("w"))]);
+        let plans = enumerate_plans(&client, &repo, 8).unwrap();
+        assert_eq!(plans.len(), 8);
+        // No duplicates survive enumeration.
+        let mut dedup = plans.clone();
+        dedup.dedup();
+        assert_eq!(dedup, plans);
+        let err = enumerate_plans(&client, &repo, 7).unwrap_err();
+        assert_eq!(err, PlanSpaceExceeded { cap: 7 });
+    }
+
+    #[test]
+    fn cap_boundary_exact_fit_succeeds() {
+        // 3 × 3 = 9 distinct plans: cap 9 is enough, 8 is not.
+        let client = Hist::seq(
+            request(1, None, send("a", eps())),
+            request(2, None, send("a", eps())),
+        );
+        let repo = repo(&[
+            ("s1", recv("a", eps())),
+            ("s2", recv("a", eps())),
+            ("s3", recv("a", eps())),
+        ]);
+        assert_eq!(enumerate_plans(&client, &repo, 9).unwrap().len(), 9);
+        assert!(enumerate_plans(&client, &repo, 8).is_err());
+    }
+
+    #[test]
+    fn deep_duplicate_chain_enumerates_in_linear_time() {
+        // A pathological client repeating one request id thousands of
+        // times: the bound-request skip loop must be O(1) per entry
+        // (the old `Vec::remove(0)` made this quadratic).
+        // The syntactic walk over the n-deep `Seq` spine is recursive,
+        // so give the test thread a deep stack (debug frames are large).
+        std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(|| {
+                let n = 10_000;
+                let client = Hist::seq_all((0..n).map(|_| request(1, None, send("q", eps()))));
+                let repo = repo(&[("s", recv("q", eps()))]);
+                let start = std::time::Instant::now();
+                let plans = enumerate_plans(&client, &repo, 10).unwrap();
+                assert_eq!(plans.len(), 1);
+                assert_eq!(plans[0].len(), 1);
+                assert!(
+                    start.elapsed() < std::time::Duration::from_secs(5),
+                    "deep chain took {:?}",
+                    start.elapsed()
+                );
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn pruning_cuts_subtrees() {
+        let client = Hist::seq(
+            request(1, None, send("a", eps())),
+            request(2, None, send("a", eps())),
+        );
+        let repo = repo(&[("bad", recv("a", eps())), ("good", recv("a", eps()))]);
+        let mut out = Vec::new();
+        let cut = search(
+            SearchNode::root(&client),
+            &repo,
+            &mut |_, _, loc| loc == &Location::new("bad"),
+            &mut |p| {
+                out.push(p);
+                Ok(())
+            },
+        )
+        .unwrap();
+        // `bad` is cut once for r1 (cutting 2 leaves) and once for r2
+        // under r1↦good: 1 surviving plan, 2 cuts.
+        assert_eq!(out, vec![Plan::new().with(1u32, "good").with(2u32, "good")]);
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn frontier_expansion_partitions_the_space() {
+        let client = Hist::seq(
+            request(1, None, send("a", eps())),
+            request(2, None, send("a", eps())),
+        );
+        let repo = repo(&[
+            ("s1", recv("a", eps())),
+            ("s2", recv("a", eps())),
+            ("s3", recv("a", eps())),
+        ]);
+        let (frontier, complete, pruned) = expand_frontier(&client, &repo, 5, &mut |_, _, _| false);
+        assert!(frontier.len() >= 5);
+        assert!(complete.is_empty());
+        assert_eq!(pruned, 0);
+        // Finishing every frontier node recovers exactly the 9 plans.
+        let mut all = BTreeSet::new();
+        for node in frontier {
+            search(node, &repo, &mut |_, _, _| false, &mut |p| {
+                all.insert(p);
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(all.len(), 9);
     }
 
     #[test]

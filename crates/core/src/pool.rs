@@ -1,0 +1,197 @@
+//! A small in-tree work-stealing thread pool.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! `rayon` this module provides the one primitive plan synthesis needs:
+//! map an index range over a `Sync` function on `N` OS threads
+//! ([`WorkPool::run`]). Each worker owns a deque seeded with a
+//! round-robin share of the indices; it pops work from its own front
+//! and, when empty, *steals* from the back of a victim chosen by a
+//! seeded SplitMix64 sequence. Because the task set is fixed up front
+//! (tasks never spawn tasks), a full sweep finding every deque empty is
+//! a sound termination condition.
+//!
+//! Determinism: results are returned **in index order** regardless of
+//! which worker executed what, so callers observe schedule-independent
+//! output. The steal-victim sequence is a pure function of
+//! `(seed, worker, attempt)`, so tests can pin a seed and rely on a
+//! reproducible probing order; the interleaving of workers itself is
+//! OS-scheduled, which is exactly why nothing downstream may depend on
+//! it.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// SplitMix64: the workspace's standard deterministic mixing function.
+fn splitmix(mut state: u64) -> u64 {
+    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-size work-stealing pool; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPool {
+    jobs: usize,
+    seed: u64,
+}
+
+impl Default for WorkPool {
+    fn default() -> Self {
+        WorkPool::new(0)
+    }
+}
+
+impl WorkPool {
+    /// A pool with `jobs` workers; `0` means [`default_jobs`].
+    pub fn new(jobs: usize) -> WorkPool {
+        WorkPool::with_seed(jobs, 0)
+    }
+
+    /// A pool with `jobs` workers and an explicit steal-sequence seed.
+    pub fn with_seed(jobs: usize, seed: u64) -> WorkPool {
+        let jobs = if jobs == 0 { default_jobs() } else { jobs };
+        WorkPool { jobs, seed }
+    }
+
+    /// The number of workers this pool runs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every index in `0..items`, returning the results
+    /// in index order. Runs inline when one worker suffices.
+    pub fn run<T, F>(&self, items: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(items.max(1));
+        if workers <= 1 {
+            return (0..items).map(f).collect();
+        }
+
+        // Round-robin seeding keeps neighbouring (often similar-cost)
+        // items spread across workers.
+        let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for i in 0..items {
+            deques[i % workers].push_back(i);
+        }
+        let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+        let f = &f;
+        let deques = &deques;
+        let seed = self.seed;
+
+        let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        let mut attempt: u64 = 0;
+                        loop {
+                            // Own work first (front = FIFO locality).
+                            let own = deques[w].lock().expect("deque poisoned").pop_front();
+                            if let Some(i) = own {
+                                out.push((i, f(i)));
+                                continue;
+                            }
+                            // Steal: probe every other worker once, in a
+                            // seeded order; give up when all are empty.
+                            let offset = splitmix(seed ^ ((w as u64) << 32) ^ attempt) as usize;
+                            attempt = attempt.wrapping_add(1);
+                            let mut stolen = None;
+                            for k in 0..workers {
+                                let v = (offset + k) % workers;
+                                if v == w {
+                                    continue;
+                                }
+                                stolen = deques[v].lock().expect("deque poisoned").pop_back();
+                                if stolen.is_some() {
+                                    break;
+                                }
+                            }
+                            match stolen {
+                                Some(i) => out.push((i, f(i))),
+                                None => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        results.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(results.len(), items);
+        results.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        for jobs in [1, 2, 4, 7] {
+            let pool = WorkPool::with_seed(jobs, 42);
+            let out = pool.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = WorkPool::with_seed(4, 7);
+        let out = pool.run(1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn uneven_costs_are_balanced_by_stealing() {
+        // One expensive item among many cheap ones: stealing must keep
+        // the pool from serialising behind it.
+        let pool = WorkPool::with_seed(4, 1);
+        let out = pool.run(64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i + 1
+        });
+        assert_eq!(out[0], 1);
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn zero_jobs_means_auto_and_zero_items_is_fine() {
+        let pool = WorkPool::new(0);
+        assert!(pool.jobs() >= 1);
+        let out: Vec<usize> = pool.run(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn seeds_change_probe_order_not_results() {
+        let a = WorkPool::with_seed(3, 1).run(50, |i| i % 7);
+        let b = WorkPool::with_seed(3, 999).run(50, |i| i % 7);
+        assert_eq!(a, b);
+    }
+}

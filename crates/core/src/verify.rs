@@ -14,12 +14,52 @@
 //!
 //! A plan passing all three is *valid*: "switch off any run-time
 //! monitor, and live happily: nothing bad will happen" (§5).
+//!
+//! # Synthesis modes
+//!
+//! [`synthesize`] is the engine behind [`verify`] / [`verify_with_cap`]
+//! and adds three orthogonal accelerations over the naive
+//! enumerate-then-verify loop, controlled by [`SynthesisOptions`]:
+//!
+//! * **caching** — a [`VerifyCache`] memoizes contract projection,
+//!   pairwise compliance, and the per-plan security/progress checks, so
+//!   an `r`-request, `s`-service plan space pays for `O(r·s)` product
+//!   automata instead of `O(r·sʳ)`;
+//! * **pruning** — enumeration and verification interleave: the moment a
+//!   binding `r ↦ ℓ` fails its pairwise compliance check, the whole
+//!   subtree of plans extending it is cut. Pruning on compliance alone
+//!   is *sound* (the failing pair is re-checked in every completion, so
+//!   every plan in the subtree would be rejected anyway); pruning on
+//!   policy verdicts would not be, because policies are history-dependent
+//!   and a violating session may be unreachable in a larger composition.
+//!   Pruning is automatically disabled when the same request identifier
+//!   occurs with two structurally different bodies (the composed body
+//!   would then be ambiguous at cut time);
+//! * **parallelism** — independent subtrees run on the in-tree
+//!   work-stealing [`WorkPool`], with results merged in a deterministic
+//!   (plan-sorted) order regardless of schedule.
+//!
+//! With pruning off, the report is **identical** to the sequential seed
+//! pipeline's. With pruning on, the *valid* plan set is identical, while
+//! compliance-rejected plans may be cut before they reach the report
+//! (their verdicts are exactly the ones the pruned pairwise check
+//! already decided).
 
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-use crate::plans::{composed_requests, enumerate_plans, PlanSpaceExceeded, DEFAULT_PLAN_CAP};
+use crate::cache::{CacheStats, VerifyCache};
+use crate::plans::{
+    composed_requests, enumerate_plans, expand_frontier, search, PlanSpaceExceeded, SearchNode,
+    DEFAULT_PLAN_CAP,
+};
+use crate::pool::WorkPool;
 use crate::report::VerifyReport;
 use sufs_contract::{compliant, Contract, ContractError, StuckWitness};
+use sufs_hexpr::requests::requests;
 use sufs_hexpr::wf::{self, WfError};
 use sufs_hexpr::{Hist, Location, RequestId};
 use sufs_net::symbolic::{find_stuck, symbolic_successors, StuckState, SymState};
@@ -38,6 +78,14 @@ pub enum Violation {
     UnboundRequest {
         /// The unbound request.
         request: RequestId,
+    },
+    /// A request is bound to a location the repository does not publish,
+    /// so the plan can never be executed against this repository.
+    UnknownLocation {
+        /// The request bound to a missing service.
+        request: RequestId,
+        /// The location the plan names but the repository lacks.
+        location: Location,
     },
     /// The client side of a request and the selected service are not
     /// compliant (Definition 4 fails, with a Theorem 1 witness).
@@ -61,6 +109,12 @@ impl fmt::Display for Violation {
             Violation::UnboundRequest { request } => {
                 write!(f, "request {request} is not bound by the plan")
             }
+            Violation::UnknownLocation { request, location } => {
+                write!(
+                    f,
+                    "request {request} is bound to {location}, which is not in the repository"
+                )
+            }
             Violation::NonCompliant {
                 request,
                 service,
@@ -69,6 +123,17 @@ impl fmt::Display for Violation {
             Violation::Security(v) => write!(f, "{v}"),
             Violation::Stuck(s) => write!(f, "{s}"),
         }
+    }
+}
+
+impl Violation {
+    /// Returns `true` for the two "the plan does not even name a real
+    /// service" violations, which make a reported stuck state redundant.
+    fn is_binding_failure(&self) -> bool {
+        matches!(
+            self,
+            Violation::UnboundRequest { .. } | Violation::UnknownLocation { .. }
+        )
     }
 }
 
@@ -137,6 +202,104 @@ impl From<PlanSpaceExceeded> for VerifyError {
     }
 }
 
+/// Memoized-or-direct contract projection.
+fn contract_of(cache: Option<&VerifyCache>, h: &Hist) -> Result<Contract, ContractError> {
+    match cache {
+        Some(c) => c.contract_of(h),
+        None => Contract::from_service(h),
+    }
+}
+
+/// Memoized-or-direct pairwise compliance witness.
+fn witness_of(
+    cache: Option<&VerifyCache>,
+    client: &Contract,
+    server: &Contract,
+) -> Option<StuckWitness> {
+    match cache {
+        Some(c) => c.compliance_witness(client, server),
+        None => compliant(client, server).witness().cloned(),
+    }
+}
+
+/// The three per-plan checks, optionally served from `cache`. The
+/// caller is responsible for the (per-client, not per-plan)
+/// well-formedness check.
+fn check_plan(
+    client: &Hist,
+    plan: &Plan,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    cache: Option<&VerifyCache>,
+) -> Result<PlanVerdict, VerifyError> {
+    let mut violations = Vec::new();
+
+    // 1. Per-request compliance (client request bodies and the requests
+    //    exposed by selected services alike).
+    for (info, bound) in composed_requests(client, plan, repo) {
+        let Some(service_loc) = bound else {
+            violations.push(Violation::UnboundRequest { request: info.id });
+            continue;
+        };
+        let Some(service) = repo.get(&service_loc) else {
+            violations.push(Violation::UnknownLocation {
+                request: info.id,
+                location: service_loc,
+            });
+            continue;
+        };
+        let client_side = contract_of(cache, &info.body)?;
+        let server_side = contract_of(cache, service)?;
+        if let Some(witness) = witness_of(cache, &client_side, &server_side) {
+            violations.push(Violation::NonCompliant {
+                request: info.id,
+                service: service_loc,
+                witness,
+            });
+        }
+    }
+
+    // 2. Security: model-check the symbolic state space.
+    let run_validity = || {
+        check_validity(
+            SymState::initial("client", client.clone()),
+            |s| symbolic_successors(s, plan, repo),
+            registry,
+            DEFAULT_STATE_BOUND,
+        )
+    };
+    let verdict = match cache {
+        Some(c) => c.validity(client, plan, run_validity)?,
+        None => run_validity()?,
+    };
+    if let Verdict::Violation(v) = verdict {
+        violations.push(Violation::Security(v));
+    }
+
+    // 3. Progress: no reachable stuck configuration.
+    let run_progress = || find_stuck("client", client.clone(), plan, repo, DEFAULT_STATE_BOUND);
+    let progress = match cache {
+        Some(c) => c.progress(client, plan, run_progress),
+        None => run_progress(),
+    };
+    match progress {
+        Ok(Some(stuck)) => {
+            // Missing bindings already reported more precisely.
+            let already = violations.iter().any(Violation::is_binding_failure);
+            if !already {
+                violations.push(Violation::Stuck(stuck));
+            }
+        }
+        Ok(None) => {}
+        Err(bound) => return Err(VerifyError::BoundExceeded(bound)),
+    }
+
+    Ok(PlanVerdict {
+        plan: plan.clone(),
+        violations,
+    })
+}
+
 /// Verifies one candidate plan for `client` (at the implicit location
 /// `client`); see the module docs for the three checks performed.
 ///
@@ -152,61 +315,276 @@ pub fn verify_plan(
     registry: &PolicyRegistry,
 ) -> Result<PlanVerdict, VerifyError> {
     wf::check(client).map_err(VerifyError::IllFormedClient)?;
-    let mut violations = Vec::new();
+    check_plan(client, plan, repo, registry, None)
+}
 
-    // 1. Per-request compliance (client request bodies and the requests
-    //    exposed by selected services alike).
-    for (info, bound) in composed_requests(client, plan, repo) {
-        let Some(service_loc) = bound else {
-            violations.push(Violation::UnboundRequest { request: info.id });
-            continue;
-        };
-        let Some(service) = repo.get(&service_loc) else {
-            violations.push(Violation::UnboundRequest { request: info.id });
-            continue;
-        };
-        let client_side = Contract::from_service(&info.body)?;
-        let server_side = Contract::from_service(service)?;
-        let result = compliant(&client_side, &server_side);
-        if let Some(witness) = result.witness() {
-            violations.push(Violation::NonCompliant {
-                request: info.id,
-                service: service_loc,
-                witness: witness.clone(),
-            });
+/// Tuning knobs for [`synthesize`]; the default configuration matches
+/// the behaviour of [`verify`] exactly (sequential, cached, no pruning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Cap on candidate plans (distinct plans in unpruned mode,
+    /// surviving candidates in pruned mode).
+    pub plan_cap: usize,
+    /// Worker threads; `0` means the machine's available parallelism,
+    /// `1` (the default) runs inline.
+    pub jobs: usize,
+    /// Memoize contract projection, compliance, and per-plan checks.
+    pub cache: bool,
+    /// Cut subtrees on pairwise compliance failures (see module docs for
+    /// when this is sound and when it auto-disables).
+    pub prune: bool,
+    /// Seed for the pool's steal sequence (reproducibility knob; never
+    /// affects results).
+    pub seed: u64,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            plan_cap: DEFAULT_PLAN_CAP,
+            jobs: 1,
+            cache: true,
+            prune: false,
+            seed: 0,
         }
     }
+}
 
-    // 2. Security: model-check the symbolic state space.
-    let initial = SymState::initial("client", client.clone());
-    let verdict = check_validity(
-        initial.clone(),
-        |s| symbolic_successors(s, plan, repo),
-        registry,
-        DEFAULT_STATE_BOUND,
-    )?;
-    if let Verdict::Violation(v) = verdict {
-        violations.push(Violation::Security(v));
+/// Instrumentation from one [`synthesize`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthStats {
+    /// Candidate plans actually verified.
+    pub candidates: usize,
+    /// Subtrees cut by the compliance prune.
+    pub pruned_subtrees: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Whether pruning was requested *and* sound for these inputs.
+    pub prune_active: bool,
+    /// Cache counters, if caching was enabled.
+    pub cache: Option<CacheStats>,
+    /// Wall-clock time of the whole synthesis.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for SynthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} candidates in {:?} ({} jobs, {} subtrees pruned",
+            self.candidates, self.elapsed, self.jobs, self.pruned_subtrees
+        )?;
+        match &self.cache {
+            Some(stats) => write!(f, ", cache: {stats})"),
+            None => write!(f, ", cache off)"),
+        }
     }
+}
 
-    // 3. Progress: no reachable stuck configuration.
-    match find_stuck("client", client.clone(), plan, repo, DEFAULT_STATE_BOUND) {
-        Ok(Some(stuck)) => {
-            // Unbound requests already reported more precisely.
-            let already = violations
-                .iter()
-                .any(|v| matches!(v, Violation::UnboundRequest { .. }));
-            if !already {
-                violations.push(Violation::Stuck(stuck));
+/// A verification report plus the instrumentation of the run.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The per-plan verdicts (sorted by plan).
+    pub report: VerifyReport,
+    /// Run instrumentation.
+    pub stats: SynthStats,
+}
+
+/// The per-request body map used by the prune predicate, or `None` when
+/// pruning would be unsound: compliance pruning commits to *the* body of
+/// request `r` at cut time, so every occurrence of an identifier (in the
+/// client or any published service) must carry a structurally identical
+/// body.
+fn prune_safe_bodies(client: &Hist, repo: &Repository) -> Option<HashMap<RequestId, Hist>> {
+    let mut map: HashMap<RequestId, Hist> = HashMap::new();
+    let all = requests(client).into_iter().chain(
+        repo.iter()
+            .flat_map(|(_, service)| requests(service).into_iter()),
+    );
+    for info in all {
+        match map.entry(info.id) {
+            Entry::Vacant(e) => {
+                e.insert(info.body);
+            }
+            Entry::Occupied(e) => {
+                if e.get() != &info.body {
+                    return None;
+                }
             }
         }
-        Ok(None) => {}
-        Err(bound) => return Err(VerifyError::BoundExceeded(bound)),
     }
+    Some(map)
+}
 
-    Ok(PlanVerdict {
-        plan: plan.clone(),
-        violations,
+/// Interleaved enumerate-and-verify over pool workers; see module docs.
+fn synth_pruned(
+    client: &Hist,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    cache: Option<&VerifyCache>,
+    pool: &WorkPool,
+    cap: usize,
+) -> Result<(Vec<PlanVerdict>, usize, bool), VerifyError> {
+    let bodies = prune_safe_bodies(client, repo);
+    let prune_active = bodies.is_some();
+    let prune = |_plan: &Plan, r: RequestId, loc: &Location| -> bool {
+        let Some(bodies) = &bodies else { return false };
+        let Some(body) = bodies.get(&r) else {
+            return false;
+        };
+        let Some(service) = repo.get(loc) else {
+            return false;
+        };
+        // A projection error must surface through full verification, so
+        // it never prunes.
+        let Ok(client_side) = contract_of(cache, body) else {
+            return false;
+        };
+        let Ok(server_side) = contract_of(cache, service) else {
+            return false;
+        };
+        witness_of(cache, &client_side, &server_side).is_some()
+    };
+
+    // Seed enough independent subtrees to keep every worker busy.
+    let (frontier, complete, mut pruned) = expand_frontier(
+        client,
+        repo,
+        pool.jobs().saturating_mul(4),
+        &mut |p, r, l| prune(p, r, l),
+    );
+
+    enum Unit {
+        Done(Plan),
+        Subtree(SearchNode),
+    }
+    let units: Vec<Unit> = complete
+        .into_iter()
+        .map(Unit::Done)
+        .chain(frontier.into_iter().map(Unit::Subtree))
+        .collect();
+
+    // Surviving candidates across all workers count toward the cap; the
+    // counter makes "over cap" deterministic even though *which* worker
+    // observes the overflow is not.
+    let emitted = AtomicUsize::new(0);
+    let results = pool.run(
+        units.len(),
+        |i| -> Result<(Vec<PlanVerdict>, usize), VerifyError> {
+            match &units[i] {
+                Unit::Done(plan) => {
+                    if emitted.fetch_add(1, Ordering::Relaxed) >= cap {
+                        return Err(VerifyError::PlanSpace(PlanSpaceExceeded { cap }));
+                    }
+                    check_plan(client, plan, repo, registry, cache).map(|v| (vec![v], 0))
+                }
+                Unit::Subtree(node) => {
+                    let mut verdicts = Vec::new();
+                    let mut error: Option<VerifyError> = None;
+                    let cut = search(
+                        node.clone(),
+                        repo,
+                        &mut |p, r, l| prune(p, r, l),
+                        &mut |plan| {
+                            if emitted.fetch_add(1, Ordering::Relaxed) >= cap {
+                                return Err(PlanSpaceExceeded { cap });
+                            }
+                            match check_plan(client, &plan, repo, registry, cache) {
+                                Ok(v) => {
+                                    verdicts.push(v);
+                                    Ok(())
+                                }
+                                Err(e) => {
+                                    // Abort this subtree; the real error is
+                                    // restored below.
+                                    error = Some(e);
+                                    Err(PlanSpaceExceeded { cap })
+                                }
+                            }
+                        },
+                    );
+                    match (cut, error) {
+                        (_, Some(e)) => Err(e),
+                        (Err(e), None) => Err(VerifyError::PlanSpace(e)),
+                        (Ok(c), None) => Ok((verdicts, c)),
+                    }
+                }
+            }
+        },
+    );
+
+    // A cap overflow mirrors the sequential pipeline (which fails during
+    // enumeration, before any other error can surface), so it wins over
+    // per-plan errors; ties otherwise break by unit index.
+    if results
+        .iter()
+        .any(|r| matches!(r, Err(VerifyError::PlanSpace(_))))
+    {
+        return Err(VerifyError::PlanSpace(PlanSpaceExceeded { cap }));
+    }
+    let mut merged: BTreeMap<Plan, PlanVerdict> = BTreeMap::new();
+    for result in results {
+        let (verdicts, cut) = result?;
+        pruned += cut;
+        for v in verdicts {
+            merged.insert(v.plan.clone(), v);
+        }
+    }
+    Ok((merged.into_values().collect(), pruned, prune_active))
+}
+
+/// Plan synthesis with pruning, caching, and parallelism per `opts`;
+/// the engine behind [`verify`] and `sufs verify`.
+///
+/// Determinism: for fixed inputs and options the returned report is
+/// identical run over run, whatever the thread schedule — verdicts are
+/// merged in plan-sorted order and the cache only memoizes pure
+/// functions of its keys.
+///
+/// # Errors
+///
+/// As [`verify`]; see the module docs for how pruned mode reports the
+/// plan cap.
+pub fn synthesize(
+    client: &Hist,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    opts: &SynthesisOptions,
+) -> Result<Synthesis, VerifyError> {
+    let start = Instant::now();
+    wf::check(client).map_err(VerifyError::IllFormedClient)?;
+    let cache = if opts.cache {
+        Some(VerifyCache::new())
+    } else {
+        None
+    };
+    let pool = WorkPool::with_seed(opts.jobs, opts.seed);
+
+    let (verdicts, pruned_subtrees, prune_active) = if opts.prune {
+        synth_pruned(client, repo, registry, cache.as_ref(), &pool, opts.plan_cap)?
+    } else {
+        let plans = enumerate_plans(client, repo, opts.plan_cap)?;
+        let results = pool.run(plans.len(), |i| {
+            check_plan(client, &plans[i], repo, registry, cache.as_ref())
+        });
+        let mut verdicts = Vec::with_capacity(results.len());
+        for result in results {
+            verdicts.push(result?);
+        }
+        (verdicts, 0, false)
+    };
+
+    let stats = SynthStats {
+        candidates: verdicts.len(),
+        pruned_subtrees,
+        jobs: pool.jobs(),
+        prune_active,
+        cache: cache.as_ref().map(VerifyCache::stats),
+        elapsed: start.elapsed(),
+    };
+    Ok(Synthesis {
+        report: VerifyReport::new(verdicts),
+        stats,
     })
 }
 
@@ -258,13 +636,11 @@ pub fn verify_with_cap(
     registry: &PolicyRegistry,
     plan_cap: usize,
 ) -> Result<VerifyReport, VerifyError> {
-    wf::check(client).map_err(VerifyError::IllFormedClient)?;
-    let plans = enumerate_plans(client, repo, plan_cap)?;
-    let mut verdicts = Vec::with_capacity(plans.len());
-    for plan in plans {
-        verdicts.push(verify_plan(client, &plan, repo, registry)?);
-    }
-    Ok(VerifyReport::new(verdicts))
+    let opts = SynthesisOptions {
+        plan_cap,
+        ..SynthesisOptions::default()
+    };
+    Ok(synthesize(client, repo, registry, &opts)?.report)
 }
 
 #[cfg(test)]
@@ -382,6 +758,51 @@ mod tests {
     }
 
     #[test]
+    fn unknown_location_distinguished_from_unbound() {
+        // The plan names a location, but nobody publishes it: that is a
+        // different defect from not binding the request at all, and the
+        // report must say so.
+        let client = booking_client(None);
+        let plan = Plan::new().with(1u32, "ghost");
+        let verdict =
+            verify_plan(&client, &plan, &Repository::new(), &PolicyRegistry::new()).unwrap();
+        assert!(!verdict.is_valid());
+        assert_eq!(
+            verdict.violations,
+            vec![Violation::UnknownLocation {
+                request: RequestId::new(1),
+                location: Location::new("ghost"),
+            }]
+        );
+        let msg = verdict.violations[0].to_string();
+        assert!(msg.contains("ghost"), "message was: {msg}");
+        assert!(msg.contains("not in the repository"), "message was: {msg}");
+        // The unbound message is unchanged and distinct.
+        let unbound = verify_plan(
+            &client,
+            &Plan::new(),
+            &Repository::new(),
+            &PolicyRegistry::new(),
+        )
+        .unwrap();
+        assert_ne!(unbound.violations, verdict.violations);
+    }
+
+    #[test]
+    fn unknown_location_suppresses_redundant_stuck() {
+        // Like UnboundRequest, an UnknownLocation explains the stuck
+        // composition on its own: no Stuck violation is piled on top.
+        let client = booking_client(None);
+        let plan = Plan::new().with(1u32, "ghost");
+        let verdict =
+            verify_plan(&client, &plan, &Repository::new(), &PolicyRegistry::new()).unwrap();
+        assert!(!verdict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Stuck(_))));
+    }
+
+    #[test]
     fn nested_request_compliance_checked() {
         // client → broker → leaf; the broker's own conversation with the
         // leaf must be compliant too.
@@ -421,5 +842,150 @@ mod tests {
             request: RequestId::new(7),
         };
         assert_eq!(v.to_string(), "request r7 is not bound by the plan");
+        let v = Violation::UnknownLocation {
+            request: RequestId::new(7),
+            location: Location::new("ghost"),
+        };
+        assert_eq!(
+            v.to_string(),
+            "request r7 is bound to ghost, which is not in the repository"
+        );
+    }
+
+    fn mixed_repo() -> (Hist, Repository) {
+        let client = Hist::seq(
+            booking_client(None),
+            request(
+                2,
+                None,
+                seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+            ),
+        );
+        let mut repo = Repository::new();
+        repo.publish("good1", recv("req", choose([("ok", eps()), ("no", eps())])));
+        repo.publish("good2", recv("req", choose([("ok", eps())])));
+        repo.publish(
+            "bad1",
+            recv("req", choose([("ok", eps()), ("later", eps())])),
+        );
+        repo.publish("bad2", recv("zzz", eps()));
+        (client, repo)
+    }
+
+    #[test]
+    fn synthesize_modes_agree_with_sequential_verify() {
+        let (client, repo) = mixed_repo();
+        let registry = PolicyRegistry::new();
+        let baseline = verify(&client, &repo, &registry).unwrap();
+        for (jobs, cache, prune) in [
+            (1, false, false),
+            (1, true, false),
+            (4, true, false),
+            (4, false, false),
+        ] {
+            let opts = SynthesisOptions {
+                jobs,
+                cache,
+                prune,
+                ..SynthesisOptions::default()
+            };
+            let synth = synthesize(&client, &repo, &registry, &opts).unwrap();
+            assert_eq!(
+                synth.report.verdicts(),
+                baseline.verdicts(),
+                "mode (jobs={jobs}, cache={cache}, prune={prune}) diverged"
+            );
+        }
+        // Pruned modes agree on the *valid* set (rejected plans may be
+        // cut before verification).
+        for jobs in [1, 4] {
+            let opts = SynthesisOptions {
+                jobs,
+                prune: true,
+                ..SynthesisOptions::default()
+            };
+            let synth = synthesize(&client, &repo, &registry, &opts).unwrap();
+            assert!(synth.stats.prune_active);
+            assert!(synth.stats.pruned_subtrees > 0);
+            let pruned_valid: Vec<&Plan> = synth.report.valid_plans().collect();
+            let baseline_valid: Vec<&Plan> = baseline.valid_plans().collect();
+            assert_eq!(
+                pruned_valid, baseline_valid,
+                "pruned (jobs={jobs}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_accumulate_across_plans() {
+        let (client, repo) = mixed_repo();
+        let synth = synthesize(
+            &client,
+            &repo,
+            &PolicyRegistry::new(),
+            &SynthesisOptions::default(),
+        )
+        .unwrap();
+        let stats = synth.stats.cache.expect("cache enabled by default");
+        // 16 candidate plans share 1 client body contract and 4 service
+        // contracts: projection must hit far more often than it misses.
+        assert!(stats.contract.0 > stats.contract.1);
+        assert!(stats.hit_rate() > 0.5, "hit rate was {}", stats.hit_rate());
+        assert!(synth.stats.to_string().contains("cache"));
+    }
+
+    #[test]
+    fn pruning_disabled_when_bodies_ambiguous() {
+        // The same request id appears with two different bodies: pruning
+        // must auto-disable and fall back to full verification.
+        let client = request(1, None, send("q", eps()));
+        let mut repo = Repository::new();
+        repo.publish(
+            "br",
+            Hist::seq(recv("q", eps()), request(1, None, send("w", eps()))),
+        );
+        assert!(prune_safe_bodies(&client, &repo).is_none());
+        let opts = SynthesisOptions {
+            prune: true,
+            ..SynthesisOptions::default()
+        };
+        let synth = synthesize(&client, &repo, &PolicyRegistry::new(), &opts).unwrap();
+        assert!(!synth.stats.prune_active);
+        assert_eq!(synth.stats.pruned_subtrees, 0);
+        let baseline = verify(&client, &repo, &PolicyRegistry::new()).unwrap();
+        assert_eq!(synth.report.verdicts(), baseline.verdicts());
+    }
+
+    #[test]
+    fn pruned_mode_still_enforces_the_cap() {
+        let (client, repo) = mixed_repo();
+        // All 16 candidates survive enumeration; only 4 survive pruning
+        // (2 compliant choices per request), so a cap of 4 passes in
+        // pruned mode while 3 fails.
+        let registry = PolicyRegistry::new();
+        let ok = synthesize(
+            &client,
+            &repo,
+            &registry,
+            &SynthesisOptions {
+                prune: true,
+                plan_cap: 4,
+                ..SynthesisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.report.len(), 4);
+        let err = synthesize(
+            &client,
+            &repo,
+            &registry,
+            &SynthesisOptions {
+                prune: true,
+                plan_cap: 3,
+                ..SynthesisOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::PlanSpace(_)));
     }
 }

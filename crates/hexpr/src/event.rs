@@ -106,6 +106,12 @@ impl PolicyRef {
     pub fn args(&self) -> &[ParamValue] {
         &self.args
     }
+
+    /// A stable structural fingerprint of the reference (see
+    /// [`crate::shash`]), for deterministic verification-cache keys.
+    pub fn structural_hash(&self) -> u64 {
+        crate::shash::stable_hash_of(self)
+    }
 }
 
 impl fmt::Display for PolicyRef {

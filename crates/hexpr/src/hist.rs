@@ -148,6 +148,14 @@ impl Hist {
         matches!(self, Hist::Eps)
     }
 
+    /// A stable structural fingerprint of the expression (see
+    /// [`crate::shash`]): equal expressions hash equal, and the value is
+    /// reproducible run over run, so verification caches keyed on it
+    /// behave deterministically.
+    pub fn structural_hash(&self) -> u64 {
+        crate::shash::stable_hash_of(self)
+    }
+
     /// The set of free recursion variables.
     pub fn free_vars(&self) -> BTreeSet<RecVar> {
         let mut acc = BTreeSet::new();

@@ -55,6 +55,7 @@ pub mod projection;
 pub mod ready;
 pub mod requests;
 pub mod semantics;
+pub mod shash;
 pub mod value;
 pub mod wf;
 

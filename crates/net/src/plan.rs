@@ -68,6 +68,12 @@ impl Plan {
     pub fn is_empty(&self) -> bool {
         self.bindings.is_empty()
     }
+
+    /// A stable structural fingerprint of the plan (bindings hashed in
+    /// key order), for deterministic verification-cache keys.
+    pub fn structural_hash(&self) -> u64 {
+        sufs_hexpr::shash::stable_hash_of(self)
+    }
 }
 
 impl fmt::Display for Plan {

@@ -1,7 +1,8 @@
 //! The `sufs` command-line tool: verify, lint and execute scenario files.
 //!
 //! ```text
-//! sufs verify <file> [--client NAME]
+//! sufs verify <file> [--client NAME] [--jobs N] [--no-cache] [--prune]
+//!                    [--plan-cap N] [--seed N] [--stats]
 //! sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor]
 //!                 [--committed] [--seed N] [--runs N] [--fuel N] [--trace]
 //! sufs lint <file> [--json] [--deny warnings]
@@ -62,7 +63,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn usage() -> String {
     "usage:\n  \
-     sufs verify <file> [--client NAME]\n  \
+     sufs verify <file> [--client NAME] [--jobs N] [--no-cache] [--prune] \
+     [--plan-cap N] [--seed N] [--stats]\n  \
      sufs verify-net <file>\n  \
      sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor] \
      [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid] \
@@ -163,11 +165,27 @@ fn pick_client<'a>(sc: &'a Scenario, name: Option<&'a str>) -> Result<(&'a str, 
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let a = parse_args(args, &["--client"], &[])?;
+    let a = parse_args(
+        args,
+        &["--client", "--jobs", "--plan-cap", "--seed"],
+        &["--no-cache", "--prune", "--stats"],
+    )?;
     let [path] = a.positional.as_slice() else {
         return Err(usage());
     };
     let sc = load(path)?;
+    let mut opts = sufs_core::SynthesisOptions::default();
+    if let Some(s) = a.value("--jobs") {
+        opts.jobs = s.parse().map_err(|_| format!("bad job count `{s}`"))?;
+    }
+    if let Some(s) = a.value("--plan-cap") {
+        opts.plan_cap = s.parse().map_err(|_| format!("bad plan cap `{s}`"))?;
+    }
+    if let Some(s) = a.value("--seed") {
+        opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+    }
+    opts.cache = !a.has("--no-cache");
+    opts.prune = a.has("--prune");
     let names: Vec<&str> = match a.value("--client") {
         Some(n) => vec![n],
         None => sc.clients.iter().map(|(n, _)| n.as_str()).collect(),
@@ -180,8 +198,13 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             .client(name)
             .ok_or_else(|| format!("no client named `{name}`"))?;
         println!("== {name} ==");
-        let report = verify(client, &sc.repository, &sc.registry).map_err(|e| e.to_string())?;
+        let synthesis = sufs_core::synthesize(client, &sc.repository, &sc.registry, &opts)
+            .map_err(|e| e.to_string())?;
+        let report = synthesis.report;
         print!("{report}");
+        if a.has("--stats") {
+            println!("synthesis: {}", synthesis.stats);
+        }
         // Quantitative budgets: check each valid plan against each budget.
         for plan in report.valid_plans() {
             for budget in &sc.budgets {

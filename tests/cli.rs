@@ -28,6 +28,77 @@ fn verify_reports_the_paper_plans() {
 }
 
 #[test]
+fn verify_flags_control_synthesis_modes() {
+    // The baseline output must be identical whatever the engine knobs.
+    let (baseline, _, ok) = sufs(&["verify", "scenarios/hotel.sufs", "--client", "c1"]);
+    assert!(ok);
+    for flags in [
+        &["--jobs", "2"][..],
+        &["--no-cache"][..],
+        &["--jobs", "4", "--seed", "9"][..],
+    ] {
+        let mut args = vec!["verify", "scenarios/hotel.sufs", "--client", "c1"];
+        args.extend_from_slice(flags);
+        let (stdout, _, ok) = sufs(&args);
+        assert!(ok, "flags {flags:?} failed");
+        assert_eq!(stdout, baseline, "flags {flags:?} changed the report");
+    }
+    // Pruned mode keeps the valid plan; cut candidates may drop out.
+    let (stdout, _, ok) = sufs(&[
+        "verify",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--prune",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("✓ {r1↦br, r3↦s3}"), "{stdout}");
+}
+
+#[test]
+fn verify_stats_flag_prints_instrumentation() {
+    let (stdout, _, ok) = sufs(&[
+        "verify",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--stats",
+        "--prune",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("synthesis:"), "{stdout}");
+    assert!(stdout.contains("2 jobs"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+    // --no-cache switches the cache (and its stats) off.
+    let (stdout, _, ok) = sufs(&[
+        "verify",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--stats",
+        "--no-cache",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("cache off"), "{stdout}");
+}
+
+#[test]
+fn verify_plan_cap_flag_limits_the_search() {
+    let (_, stderr, ok) = sufs(&[
+        "verify",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--plan-cap",
+        "1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("more than 1 candidate plans"), "{stderr}");
+}
+
+#[test]
 fn run_uses_the_verified_plan() {
     let (stdout, _, ok) = sufs(&[
         "run",
