@@ -1,0 +1,243 @@
+//! Broker load generator: throughput and latency of `plan` queries
+//! against a live `sufs serve` daemon, emitted as machine-readable
+//! `BENCH_broker.json`.
+//!
+//! For each workload the harness spawns an in-process broker on a
+//! loopback port, publishes the mixed-responder repository *over the
+//! wire* (so the service texts round-trip through the protocol), then
+//! drives `clients` concurrent connections each issuing `iters` plan
+//! queries. Every sampled reply is checked for verdict equivalence
+//! against an in-process `synthesize` over the same repository — the
+//! daemon must answer exactly what the library answers.
+//!
+//! Environment:
+//! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
+//! * `SUFS_BENCH_BROKER_OUT=path` — where to write the JSON (default
+//!   `BENCH_broker.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use sufs_bench::{mixed_responder_repo, multi_request_client};
+use sufs_broker::{Broker, BrokerClient, BrokerConfig, Json};
+use sufs_core::{synthesize, SynthesisOptions};
+use sufs_policy::PolicyRegistry;
+
+/// One load configuration: `requests`-deep client over a repository of
+/// `good + bad` responders, driven by `clients` connections × `iters`
+/// queries each.
+struct Workload {
+    requests: usize,
+    good: usize,
+    bad: usize,
+    clients: usize,
+    iters: usize,
+}
+
+/// Every `SAMPLE_EVERY`-th reply per connection is checked against the
+/// in-process baseline (the first one always is).
+const SAMPLE_EVERY: usize = 8;
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn run_workload(w: &Workload) -> Json {
+    let client_hist = multi_request_client(w.requests);
+    let repo = mixed_responder_repo(w.good, w.bad);
+    let registry = PolicyRegistry::new();
+    let opts = SynthesisOptions::default();
+
+    // The in-process baseline the daemon's replies must reproduce.
+    let baseline = synthesize(&client_hist, &repo, &registry, &opts).expect("workload verifies");
+    let mut expected: Vec<String> = baseline
+        .report
+        .valid_plans()
+        .map(|p| p.to_string())
+        .collect();
+    expected.sort();
+
+    let handle = Broker::spawn(BrokerConfig {
+        max_clients: w.clients + 8,
+        ..BrokerConfig::default()
+    })
+    .expect("spawn broker");
+    let addr = handle.addr().to_string();
+
+    // Publish the repository over the wire so the service histories
+    // round-trip through the protocol, like a real deployment.
+    let mut admin = BrokerClient::connect(&addr).expect("connect admin");
+    for (loc, service) in repo.iter() {
+        let reply = admin
+            .publish(loc.as_ref(), &service.to_string(), None)
+            .expect("publish");
+        assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
+    }
+
+    let client_text = client_hist.to_string();
+    let barrier = Arc::new(Barrier::new(w.clients));
+    let start_wall = Instant::now();
+    let workers: Vec<_> = (0..w.clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let text = client_text.clone();
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            let iters = w.iters;
+            thread::spawn(move || {
+                let mut conn = BrokerClient::connect(&addr).expect("connect worker");
+                let mut latencies: Vec<u128> = Vec::with_capacity(iters);
+                let mut samples = 0usize;
+                barrier.wait();
+                for i in 0..iters {
+                    let t = Instant::now();
+                    let reply = conn.plan(&text).expect("plan request");
+                    latencies.push(t.elapsed().as_micros());
+                    assert_eq!(reply.bool_field("ok"), Some(true), "plan rejected");
+                    if i % SAMPLE_EVERY == 0 {
+                        let mut valid: Vec<String> = reply
+                            .get("valid")
+                            .and_then(Json::as_arr)
+                            .expect("valid array")
+                            .iter()
+                            .filter_map(|v| v.as_str().map(str::to_owned))
+                            .collect();
+                        valid.sort();
+                        assert_eq!(
+                            valid, expected,
+                            "remote verdicts diverged from in-process synthesis"
+                        );
+                        samples += 1;
+                    }
+                }
+                (latencies, samples)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u128> = Vec::with_capacity(w.clients * w.iters);
+    let mut samples = 0usize;
+    for worker in workers {
+        let (lat, s) = worker.join().expect("worker panicked");
+        latencies.extend(lat);
+        samples += s;
+    }
+    let wall = start_wall.elapsed().as_secs_f64();
+
+    let stats = admin.stats().expect("stats");
+    let hit_rate = stats
+        .get("stats")
+        .and_then(|s| s.get("cache_hit_rate"))
+        .and_then(Json::as_f64);
+    drop(admin);
+    drop(handle); // drains the daemon
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let candidates = (w.good + w.bad).pow(w.requests as u32);
+    eprintln!(
+        "  r={} s={} clients={}: {total} requests in {:.1}ms, p50 {}µs p95 {}µs p99 {}µs",
+        w.requests,
+        w.good + w.bad,
+        w.clients,
+        wall * 1e3,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+
+    let mut out = Json::obj()
+        .with("requests", w.requests)
+        .with("services", w.good + w.bad)
+        .with("candidates", candidates)
+        .with("valid_plans", expected.len())
+        .with("clients", w.clients)
+        .with("total_requests", total)
+        .with("wall_ms", wall * 1e3)
+        .with("throughput_rps", total as f64 / wall)
+        .with("p50_us", percentile(&latencies, 50.0) as u64)
+        .with("p95_us", percentile(&latencies, 95.0) as u64)
+        .with("p99_us", percentile(&latencies, 99.0) as u64)
+        .with("equivalence_samples", samples)
+        .with("equivalence", "ok");
+    if let Some(rate) = hit_rate {
+        out.set("cache_hit_rate", rate);
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let workloads: Vec<Workload> = if smoke {
+        vec![Workload {
+            requests: 2,
+            good: 2,
+            bad: 2,
+            clients: 2,
+            iters: 5,
+        }]
+    } else {
+        vec![
+            Workload {
+                requests: 2,
+                good: 3,
+                bad: 3,
+                clients: 4,
+                iters: 50,
+            },
+            Workload {
+                requests: 3,
+                good: 3,
+                bad: 3,
+                clients: 4,
+                iters: 50,
+            },
+            Workload {
+                requests: 3,
+                good: 3,
+                bad: 3,
+                clients: 8,
+                iters: 50,
+            },
+            Workload {
+                requests: 4,
+                good: 3,
+                bad: 3,
+                clients: 4,
+                iters: 20,
+            },
+        ]
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    write!(
+        out,
+        "  \"bench\": \"broker\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n"
+    )
+    .unwrap();
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        eprintln!(
+            "workload r={} good={} bad={} clients={} iters={}",
+            w.requests, w.good, w.bad, w.clients, w.iters
+        );
+        let row = run_workload(w);
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write!(out, "    {row}").unwrap();
+    }
+    out.push_str("\n  ]\n}\n");
+
+    let path =
+        std::env::var("SUFS_BENCH_BROKER_OUT").unwrap_or_else(|_| "BENCH_broker.json".into());
+    std::fs::write(&path, &out).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,170 @@
+//! The client side of the broker protocol.
+//!
+//! [`BrokerClient`] wraps one TCP connection and offers a typed helper
+//! per command; every helper returns the raw reply object so callers
+//! can inspect `ok`, `kind`, and the command-specific payload fields.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::Json;
+use crate::proto::{read_frame, write_frame};
+
+/// One connection to a broker daemon.
+pub struct BrokerClient {
+    stream: TcpStream,
+}
+
+impl BrokerClient {
+    /// Connects to a broker at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are single writes, but small request/reply round trips
+        // must not wait out Nagle against the peer's delayed ACKs.
+        stream.set_nodelay(true)?;
+        Ok(BrokerClient { stream })
+    }
+
+    /// Sends one request and waits for its reply. A rejected connection
+    /// (admission control, drain) surfaces as the server's error reply;
+    /// a connection closed with no reply at all is `ConnectionAborted`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and framing errors from either direction.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        // A rejected connection may already hold the server's `busy` /
+        // `shutting_down` frame: sending is best-effort so the queued
+        // rejection is still read back as the reply.
+        let _ = write_frame(&mut self.stream, request);
+        match read_frame(&mut self.stream)? {
+            Some(reply) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "broker closed the connection without replying",
+            )),
+        }
+    }
+
+    /// `ping`.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn ping(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj().with("cmd", "ping"))
+    }
+
+    /// `publish` a service (optionally with a replication bound).
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn publish(
+        &mut self,
+        location: &str,
+        service: &str,
+        capacity: Option<u64>,
+    ) -> io::Result<Json> {
+        let mut req = Json::obj()
+            .with("cmd", "publish")
+            .with("location", location)
+            .with("service", service);
+        if let Some(cap) = capacity {
+            req.set("capacity", cap);
+        }
+        self.request(&req)
+    }
+
+    /// `publish_scenario`: merge a whole scenario text.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn publish_scenario(&mut self, text: &str) -> io::Result<Json> {
+        self.request(
+            &Json::obj()
+                .with("cmd", "publish_scenario")
+                .with("text", text),
+        )
+    }
+
+    /// `retract` a service.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn retract(&mut self, location: &str) -> io::Result<Json> {
+        self.request(
+            &Json::obj()
+                .with("cmd", "retract")
+                .with("location", location),
+        )
+    }
+
+    /// `retract_policy` by name.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn retract_policy(&mut self, name: &str) -> io::Result<Json> {
+        self.request(&Json::obj().with("cmd", "retract_policy").with("name", name))
+    }
+
+    /// `repo`: the current repository contents.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn repo(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj().with("cmd", "repo"))
+    }
+
+    /// `plan`: synthesize for a client history text.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn plan(&mut self, client: &str) -> io::Result<Json> {
+        self.request(&Json::obj().with("cmd", "plan").with("client", client))
+    }
+
+    /// `run`: execute a client history text; `extra` fields (plan,
+    /// faults, recover, seed, fuel, committed, monitor) are merged into
+    /// the request.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn run(&mut self, client: &str, extra: Json) -> io::Result<Json> {
+        let mut req = Json::obj().with("cmd", "run").with("client", client);
+        if let Json::Obj(fields) = extra {
+            for (k, v) in fields {
+                req.set(&k, v);
+            }
+        }
+        self.request(&req)
+    }
+
+    /// `stats`.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj().with("cmd", "stats"))
+    }
+
+    /// `shutdown`: ask the daemon to drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj().with("cmd", "shutdown"))
+    }
+}

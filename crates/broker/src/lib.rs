@@ -1,0 +1,31 @@
+//! The orchestration broker daemon: the paper's `Br` as a long-running
+//! service.
+//!
+//! In *Secure and Unfailing Services* the broker mediates between
+//! clients and a trusted repository of published services, synthesizing
+//! **valid plans** — orchestrations that are secure and never get
+//! stuck. This crate makes that broker operational over time: a TCP
+//! daemon hosting a *dynamic* repository (services and policies are
+//! published, updated and retracted at runtime) that answers plan
+//! queries through one long-lived verification cache with incremental
+//! invalidation, executes runs with the fault-injection and plan
+//! failover machinery, and reports itself through a `stats` command.
+//!
+//! The wire protocol is length-prefixed JSON ([`proto`], [`json`]) —
+//! hand-rolled, because the workspace builds offline with no external
+//! crates. See `docs/BROKER.md` for the message reference and
+//! `sufs serve` / `sufs publish` / `sufs plan` / `sufs run-remote` /
+//! `sufs stats` for the command-line front end.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::BrokerClient;
+pub use json::{Json, JsonError};
+pub use metrics::Metrics;
+pub use server::{synth_stats_json, verdict_json, Broker, BrokerConfig, BrokerHandle};

@@ -1,0 +1,144 @@
+//! Broker-side counters and the synthesis wall-time histogram.
+//!
+//! All counters are lock-free atomics so request handlers on different
+//! connection threads never contend; `snapshot` assembles a consistent-
+//! enough view for the `stats` reply (individual counters are exact,
+//! cross-counter skew of a few in-flight requests is acceptable).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Upper bucket bounds, in milliseconds, for the synthesis wall-time
+/// histogram. A final implicit bucket catches everything above the
+/// last bound.
+pub const HISTOGRAM_BOUNDS_MS: [u64; 7] = [1, 5, 10, 50, 100, 500, 1000];
+
+const BUCKETS: usize = HISTOGRAM_BOUNDS_MS.len() + 1;
+
+/// Atomic counters shared by every connection thread of a broker.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Connections accepted and admitted.
+    pub connections: AtomicU64,
+    /// Connections turned away by admission control (`busy` reply).
+    pub rejected_busy: AtomicU64,
+    /// Total requests answered (any command, any outcome).
+    pub requests: AtomicU64,
+    /// Requests answered with `ok: false`.
+    pub errors: AtomicU64,
+    /// `publish`/`publish_policy`/`retract`/`retract_policy` mutations applied.
+    pub mutations: AtomicU64,
+    /// Cache entries evicted by incremental invalidation.
+    pub evictions: AtomicU64,
+    /// `plan` queries served.
+    pub plans: AtomicU64,
+    /// `run` requests served.
+    pub runs: AtomicU64,
+    /// Sessions that completed only after plan failover (PR-1 recovery).
+    pub failed_over: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh, all-zero metrics block stamped with the current instant.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            plans: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            failed_over: AtomicU64::new(0),
+            histogram: Default::default(),
+        }
+    }
+
+    /// Records one synthesis call's wall time in the histogram.
+    pub fn observe_synthesis(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let idx = HISTOGRAM_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.histogram[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders every counter, the histogram, and the uptime as a JSON
+    /// object for the `stats` reply.
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> Json {
+        let load = Ordering::Relaxed;
+        let total = cache_hits + cache_misses;
+        let hit_rate = if total == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / total as f64
+        };
+        let mut hist = Json::obj();
+        for (i, bound) in HISTOGRAM_BOUNDS_MS.iter().enumerate() {
+            hist.set(&format!("le_{bound}ms"), self.histogram[i].load(load));
+        }
+        hist.set("inf", self.histogram[BUCKETS - 1].load(load));
+        Json::obj()
+            .with("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .with("connections", self.connections.load(load))
+            .with("rejected_busy", self.rejected_busy.load(load))
+            .with("requests", self.requests.load(load))
+            .with("errors", self.errors.load(load))
+            .with("mutations", self.mutations.load(load))
+            .with("evictions", self.evictions.load(load))
+            .with("plans", self.plans.load(load))
+            .with("runs", self.runs.load(load))
+            .with("failed_over", self.failed_over.load(load))
+            .with("cache_hits", cache_hits)
+            .with("cache_misses", cache_misses)
+            .with("cache_hit_rate", hit_rate)
+            .with("synthesis_ms_histogram", hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let m = Metrics::new();
+        m.observe_synthesis(Duration::from_millis(0));
+        m.observe_synthesis(Duration::from_millis(1));
+        m.observe_synthesis(Duration::from_millis(7));
+        m.observe_synthesis(Duration::from_millis(2000));
+        let snap = m.snapshot(0, 0);
+        let hist = snap.get("synthesis_ms_histogram").unwrap();
+        assert_eq!(hist.u64_field("le_1ms"), Some(2));
+        assert_eq!(hist.u64_field("le_10ms"), Some(1));
+        assert_eq!(hist.u64_field("inf"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_reports_hit_rate() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot(3, 1);
+        assert_eq!(snap.u64_field("requests"), Some(3));
+        assert!((snap.get("cache_hit_rate").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_hit_rate_is_zero() {
+        let snap = Metrics::new().snapshot(0, 0);
+        assert_eq!(snap.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
+    }
+}

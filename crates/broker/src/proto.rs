@@ -1,0 +1,129 @@
+//! The broker wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or reply — is one JSON object preceded by a
+//! 4-byte big-endian length. Requests carry a `"cmd"` field naming the
+//! operation; replies always carry `"ok"` (`true`/`false`) and, on
+//! failure, a machine-readable `"kind"` plus a human-readable
+//! `"error"`. See `docs/BROKER.md` for the full message reference.
+//!
+//! The length prefix caps frames at [`MAX_FRAME`] bytes: a peer that
+//! announces more is a protocol error, not an allocation request.
+
+use std::io::{self, Read, Write};
+
+use crate::json::{self, Json};
+
+/// The largest acceptable frame payload (16 MiB).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one length-prefixed JSON frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame(w: &mut impl Write, message: &Json) -> io::Result<()> {
+    let payload = message.to_string();
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    // Prefix and payload go out as ONE write: splitting them across two
+    // writes on an unbuffered socket lets Nagle hold the payload until
+    // the peer's delayed ACK, turning every request into a ~40ms stall.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
+/// end-of-stream (the peer closed between frames).
+///
+/// # Errors
+///
+/// I/O errors, oversized frames, invalid UTF-8, and malformed JSON all
+/// surface as `io::Error` (`InvalidData`).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text =
+        String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let value = json::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(value))
+}
+
+/// A successful reply skeleton: `{"ok": true}`.
+pub fn ok() -> Json {
+    Json::obj().with("ok", true)
+}
+
+/// An error reply: `{"ok": false, "kind": kind, "error": message}`.
+///
+/// Established kinds: `bad_request` (malformed frame or missing field),
+/// `parse` (a history/scenario/plan text failed to parse), `ill_formed`
+/// (well-formedness rejection on publish), `not_found` (unknown
+/// location/policy/client), `no_valid_plan` (a run was requested but no
+/// statically valid plan exists), `verify` (synthesis failed outright),
+/// `busy` (admission control rejected the connection), `shutting_down`
+/// (the daemon is draining), `internal`.
+pub fn error(kind: &str, message: impl Into<String>) -> Json {
+    Json::obj()
+        .with("ok", false)
+        .with("kind", kind)
+        .with("error", message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let msg = Json::obj()
+            .with("cmd", "plan")
+            .with("client", "int[req -> eps]");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &ok()).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(msg));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(ok()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ok()).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn error_reply_shape() {
+        let e = error("busy", "too many clients");
+        assert_eq!(e.bool_field("ok"), Some(false));
+        assert_eq!(e.str_field("kind"), Some("busy"));
+        assert!(e.str_field("error").unwrap().contains("clients"));
+    }
+}

@@ -1,0 +1,694 @@
+//! The broker daemon: a long-running TCP server hosting a dynamic
+//! repository.
+//!
+//! The broker is the paper's `Br` made operational over time: clients
+//! publish, update and retract services and policies while other
+//! clients keep asking for valid plans and executions. Synthesis runs
+//! through one long-lived [`VerifyCache`]; every mutation triggers the
+//! *incremental* invalidation that keeps the cache sound
+//! ([`VerifyCache::invalidate_location`] /
+//! [`VerifyCache::invalidate_registry`]), so a publish at `ℓ` only
+//! re-verifies plans that bind `ℓ` — everything else is answered from
+//! memo.
+//!
+//! # Concurrency model
+//!
+//! One thread per admitted connection. `plan`/`run` requests hold the
+//! repository read lock for the duration of the query, so many queries
+//! proceed in parallel; mutations take the write lock and invalidate
+//! the cache *before* releasing it, so no query can observe a mutated
+//! repository paired with stale verdicts. Admission control is
+//! explicit: past `max_clients` concurrent connections the broker
+//! *replies* `busy` and closes — it never silently stalls the accept
+//! queue.
+//!
+//! # Shutdown
+//!
+//! [`BrokerHandle::shutdown`] (or a `shutdown` request) flips the drain
+//! flag, wakes the acceptor, and shuts the read side of every open
+//! connection: in-flight requests complete and their replies are
+//! delivered, new opens are rejected, and [`BrokerHandle::join`]
+//! returns once every handler thread has drained.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use sufs_core::scenario::parse_scenario;
+use sufs_core::{recovery_table, synthesize_with, SynthesisOptions, VerifyCache};
+use sufs_hexpr::{parse_hist, Location};
+use sufs_net::{ChoiceMode, FaultPlan, MonitorMode, Network, Outcome, Plan, Repository, Scheduler};
+use sufs_policy::PolicyRegistry;
+use sufs_rng::{SeedableRng, StdRng};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::proto::{self, read_frame, write_frame};
+
+/// Configuration for [`Broker::spawn`].
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Bind address; use port 0 to let the OS pick (the bound address
+    /// is reported by [`BrokerHandle::addr`]).
+    pub addr: String,
+    /// Admission cap: connections past this many concurrent clients
+    /// get an explicit `busy` reply instead of queueing.
+    pub max_clients: usize,
+    /// Synthesis options for `plan` queries (callers may override
+    /// `jobs`/`prune`/`plan_cap`/`seed` per request).
+    pub opts: SynthesisOptions,
+    /// Step budget for `run` requests.
+    pub fuel: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_clients: 64,
+            opts: SynthesisOptions::default(),
+            fuel: 100_000,
+        }
+    }
+}
+
+/// Everything the connection threads share.
+struct Shared {
+    repo: RwLock<Repository>,
+    registry: RwLock<PolicyRegistry>,
+    cache: VerifyCache,
+    metrics: Metrics,
+    opts: SynthesisOptions,
+    fuel: usize,
+    shutting_down: AtomicBool,
+    /// Read halves of admitted connections, shut down on drain so idle
+    /// handlers wake up and exit.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// The broker daemon; see the module docs for the protocol and the
+/// concurrency model.
+pub struct Broker;
+
+impl Broker {
+    /// Binds `config.addr`, starts the acceptor thread, and returns a
+    /// handle to the running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(config: BrokerConfig) -> io::Result<BrokerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            repo: RwLock::new(Repository::new()),
+            registry: RwLock::new(PolicyRegistry::new()),
+            cache: VerifyCache::new(),
+            metrics: Metrics::new(),
+            opts: config.opts,
+            fuel: config.fuel,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let max_clients = config.max_clients;
+        let acceptor = thread::spawn(move || {
+            accept_loop(&listener, &accept_shared, max_clients);
+        });
+        Ok(BrokerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// A handle to a running broker.
+pub struct BrokerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl BrokerHandle {
+    /// The address the daemon is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown: new connections are rejected,
+    /// idle connections are closed, in-flight requests complete.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the daemon to drain; implies [`BrokerHandle::shutdown`]
+    /// if it was not already requested.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Blocks until the daemon drains on its own — i.e. until a
+    /// `shutdown` request arrives over the wire. Unlike
+    /// [`BrokerHandle::join`], this does *not* initiate the shutdown;
+    /// it is the foreground mode of `sufs serve`.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        begin_shutdown(&self.shared, self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Flips the drain flag, wakes the acceptor with a throwaway connect,
+/// and shuts the read side of every admitted connection.
+fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    // Wake the acceptor so it observes the flag.
+    let _ = TcpStream::connect(addr);
+    // Wake every handler blocked on an idle read: a read-side shutdown
+    // surfaces as a clean EOF, while in-flight replies still go out on
+    // the intact write side.
+    let conns = shared.conns.lock().expect("conns lock");
+    for conn in conns.iter() {
+        let _ = conn.shutdown(Shutdown::Read);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, max_clients: usize) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            if let Ok(mut s) = stream {
+                let _ = write_frame(&mut s, &proto::error("shutting_down", "broker is draining"));
+            }
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        handlers.retain(|h| !h.is_finished());
+        // Admission control: the count of *live* handler threads is the
+        // number of admitted clients still being served.
+        if handlers.len() >= max_clients {
+            let mut stream = stream;
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(
+                &mut stream,
+                &proto::error(
+                    "busy",
+                    format!("broker at capacity ({max_clients} clients); retry later"),
+                ),
+            );
+            continue; // dropping the stream closes it
+        }
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(read_half);
+        }
+        let shared = Arc::clone(shared);
+        let addr = listener.local_addr().ok();
+        handlers.push(thread::spawn(move || {
+            serve_connection(stream, &shared, addr);
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serves one admitted connection until it closes, errors, or the
+/// broker drains.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, addr: Option<SocketAddr>) {
+    loop {
+        let request = match read_frame(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &proto::error("bad_request", e.to_string()));
+                break;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = write_frame(
+                &mut stream,
+                &proto::error("shutting_down", "broker is draining"),
+            );
+            break;
+        }
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let is_shutdown = request.str_field("cmd") == Some("shutdown");
+        let reply = handle_request(&request, shared);
+        if reply.bool_field("ok") == Some(false) {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut stream, &reply).is_err() {
+            break;
+        }
+        if is_shutdown && reply.bool_field("ok") == Some(true) {
+            if let Some(addr) = addr {
+                begin_shutdown(shared, addr);
+            }
+            break;
+        }
+    }
+    // Drop this connection's registered read half so the drain list
+    // does not grow without bound over the daemon's lifetime.
+    if let Ok(peer) = stream.peer_addr() {
+        let mut conns = shared.conns.lock().expect("conns lock");
+        conns.retain(|c| c.peer_addr().ok() != Some(peer));
+    }
+}
+
+/// Dispatches one request to its command handler.
+fn handle_request(request: &Json, shared: &Shared) -> Json {
+    let Some(cmd) = request.str_field("cmd") else {
+        return proto::error("bad_request", "request object lacks a `cmd` field");
+    };
+    match cmd {
+        "ping" => proto::ok().with("pong", true),
+        "publish" => cmd_publish(request, shared),
+        "publish_scenario" => cmd_publish_scenario(request, shared),
+        "retract" => cmd_retract(request, shared),
+        "retract_policy" => cmd_retract_policy(request, shared),
+        "repo" => cmd_repo(shared),
+        "plan" => cmd_plan(request, shared),
+        "run" => cmd_run(request, shared),
+        "stats" => cmd_stats(shared),
+        "shutdown" => proto::ok().with("draining", true),
+        other => proto::error("bad_request", format!("unknown command `{other}`")),
+    }
+}
+
+fn require_str<'a>(request: &'a Json, field: &str) -> Result<&'a str, Json> {
+    request
+        .str_field(field)
+        .ok_or_else(|| proto::error("bad_request", format!("missing string field `{field}`")))
+}
+
+/// `publish`: parse, well-formedness-check and insert a service; evict
+/// exactly the cached verdicts that mention the touched location.
+fn cmd_publish(request: &Json, shared: &Shared) -> Json {
+    let location = match require_str(request, "location") {
+        Ok(l) => l,
+        Err(e) => return e,
+    };
+    let text = match require_str(request, "service") {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let service = match parse_hist(text) {
+        Ok(h) => h,
+        Err(e) => return proto::error("parse", e.to_string()),
+    };
+    let capacity = request.u64_field("capacity").map(|c| c as usize);
+    let mut repo = shared.repo.write().expect("repo lock");
+    let result = match capacity {
+        Some(cap) => repo.try_publish_bounded(location, service, cap),
+        None => repo.try_publish(location, service),
+    };
+    match result {
+        Ok(event) => {
+            let evicted = shared.cache.invalidate_location(event.location());
+            shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+            proto::ok()
+                .with("event", event.to_string())
+                .with("evicted", evicted)
+        }
+        Err(e) => proto::error("ill_formed", e.to_string()),
+    }
+}
+
+/// `publish_scenario`: merge every `service` and `policy` declaration of
+/// a scenario text into the live repository/registry in one request.
+fn cmd_publish_scenario(request: &Json, shared: &Shared) -> Json {
+    let text = match require_str(request, "text") {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let scenario = match parse_scenario(text) {
+        Ok(sc) => sc,
+        Err(e) => return proto::error("parse", e.to_string()),
+    };
+    // Take both locks before mutating either, so no query interleaves
+    // between the repository and registry updates.
+    let mut repo = shared.repo.write().expect("repo lock");
+    let mut registry = shared.registry.write().expect("registry lock");
+    let mut evicted = 0;
+    let mut services = 0u64;
+    for (loc, service) in scenario.repository.iter() {
+        // The scenario parser already ran the well-formedness check.
+        let event = match scenario.repository.capacity(loc).flatten() {
+            Some(cap) => repo.try_publish_bounded(loc.clone(), service.clone(), cap),
+            None => repo.try_publish(loc.clone(), service.clone()),
+        }
+        .expect("scenario services are well-formed");
+        evicted += shared.cache.invalidate_location(event.location());
+        services += 1;
+    }
+    let mut policies = 0u64;
+    for automaton in scenario.registry.iter() {
+        registry.register(automaton.clone());
+        policies += 1;
+    }
+    if policies > 0 {
+        evicted += shared.cache.invalidate_registry();
+    }
+    if services + policies > 0 {
+        shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+    proto::ok()
+        .with("services", services)
+        .with("policies", policies)
+        .with("evicted", evicted)
+}
+
+/// `retract`: withdraw a service; new plans stop seeing it immediately.
+fn cmd_retract(request: &Json, shared: &Shared) -> Json {
+    let location = match require_str(request, "location") {
+        Ok(l) => Location::new(l),
+        Err(e) => return e,
+    };
+    let mut repo = shared.repo.write().expect("repo lock");
+    let event = repo.retract(&location);
+    let evicted = if event.changed() {
+        let n = shared.cache.invalidate_location(&location);
+        shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.evictions.fetch_add(n, Ordering::Relaxed);
+        n
+    } else {
+        0
+    };
+    proto::ok()
+        .with("event", event.to_string())
+        .with("changed", event.changed())
+        .with("evicted", evicted)
+}
+
+/// `retract_policy`: unregister a policy automaton; histories that
+/// reference it fail to resolve from then on.
+fn cmd_retract_policy(request: &Json, shared: &Shared) -> Json {
+    let name = match require_str(request, "name") {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let mut registry = shared.registry.write().expect("registry lock");
+    let removed = registry.remove(name).is_some();
+    let evicted = if removed {
+        let n = shared.cache.invalidate_registry();
+        shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.evictions.fetch_add(n, Ordering::Relaxed);
+        n
+    } else {
+        0
+    };
+    proto::ok()
+        .with("changed", removed)
+        .with("evicted", evicted)
+}
+
+/// `repo`: the current contents, for clients and smoke tests.
+fn cmd_repo(shared: &Shared) -> Json {
+    let repo = shared.repo.read().expect("repo lock");
+    let registry = shared.registry.read().expect("registry lock");
+    let services: Vec<Json> = repo
+        .iter()
+        .map(|(loc, service)| {
+            let entry = Json::obj()
+                .with("location", loc.to_string())
+                .with("service", service.to_string());
+            match repo.capacity(loc).flatten() {
+                Some(cap) => entry.with("capacity", cap),
+                None => entry,
+            }
+        })
+        .collect();
+    let policies: Vec<Json> = registry
+        .iter()
+        .map(|a| Json::str(a.name().to_owned()))
+        .collect();
+    proto::ok()
+        .with("services", services)
+        .with("policies", policies)
+}
+
+/// Per-request synthesis options: the daemon's defaults, with the
+/// request's overrides applied.
+fn request_opts(request: &Json, base: &SynthesisOptions) -> SynthesisOptions {
+    let mut opts = base.clone();
+    if let Some(jobs) = request.u64_field("jobs") {
+        opts.jobs = jobs as usize;
+    }
+    if let Some(cap) = request.u64_field("plan_cap") {
+        opts.plan_cap = cap as usize;
+    }
+    if let Some(seed) = request.u64_field("seed") {
+        opts.seed = seed;
+    }
+    if let Some(prune) = request.bool_field("prune") {
+        opts.prune = prune;
+    }
+    opts
+}
+
+/// One verdict as a wire object: the plan (display form and a
+/// `bindings` map), validity, and the violation messages. Shared by the
+/// broker's `plan` reply and `sufs verify --json`.
+pub fn verdict_json(verdict: &sufs_core::PlanVerdict) -> Json {
+    let violations: Vec<Json> = verdict
+        .violations
+        .iter()
+        .map(|v| Json::str(v.to_string()))
+        .collect();
+    let mut bindings = Json::obj();
+    for (r, loc) in verdict.plan.iter() {
+        bindings.set(&r.to_string(), loc.to_string());
+    }
+    Json::obj()
+        .with("plan", verdict.plan.to_string())
+        .with("bindings", bindings)
+        .with("valid", verdict.is_valid())
+        .with("violations", violations)
+}
+
+/// `plan`: synthesize against the live repository through the shared
+/// cache; the broker's core query.
+fn cmd_plan(request: &Json, shared: &Shared) -> Json {
+    let text = match require_str(request, "client") {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let client = match parse_hist(text) {
+        Ok(h) => h,
+        Err(e) => return proto::error("parse", e.to_string()),
+    };
+    let opts = request_opts(request, &shared.opts);
+    let repo = shared.repo.read().expect("repo lock");
+    let registry = shared.registry.read().expect("registry lock");
+    let start = Instant::now();
+    let synthesis = match synthesize_with(&client, &repo, &registry, &opts, Some(&shared.cache)) {
+        Ok(s) => s,
+        Err(e) => return proto::error("verify", e.to_string()),
+    };
+    shared.metrics.observe_synthesis(start.elapsed());
+    shared.metrics.plans.fetch_add(1, Ordering::Relaxed);
+    let verdicts: Vec<Json> = synthesis
+        .report
+        .verdicts()
+        .iter()
+        .map(verdict_json)
+        .collect();
+    let valid: Vec<Json> = synthesis
+        .report
+        .valid_plans()
+        .map(|p| Json::str(p.to_string()))
+        .collect();
+    proto::ok()
+        .with("valid", valid)
+        .with("verdicts", verdicts)
+        .with("stats", synth_stats_json(&synthesis.stats))
+}
+
+/// [`sufs_core::SynthStats`] as a wire object. Shared by the broker's
+/// `plan` reply and `sufs verify --json`.
+pub fn synth_stats_json(stats: &sufs_core::SynthStats) -> Json {
+    let mut stats_json = Json::obj()
+        .with("candidates", stats.candidates)
+        .with("pruned_subtrees", stats.pruned_subtrees)
+        .with("jobs", stats.jobs)
+        .with("prune_active", stats.prune_active)
+        .with("elapsed_us", stats.elapsed.as_micros() as u64);
+    if let Some(cache) = &stats.cache {
+        stats_json.set(
+            "cache",
+            Json::obj()
+                .with("hits", cache.hits())
+                .with("misses", cache.misses())
+                .with("evictions", cache.evictions),
+        );
+    }
+    stats_json
+}
+
+/// Parses a `r=loc,...` plan spec (the `sufs run --plan` syntax).
+fn parse_plan_spec(spec: &str) -> Result<Plan, String> {
+    let mut plan = Plan::new();
+    for binding in spec.split(',').filter(|s| !s.is_empty()) {
+        let (r, loc) = binding
+            .split_once('=')
+            .ok_or_else(|| format!("bad plan binding `{binding}` (want r=loc)"))?;
+        let r: u32 = r
+            .trim_start_matches('r')
+            .parse()
+            .map_err(|_| format!("bad request id `{r}`"))?;
+        plan.bind(r, loc);
+    }
+    Ok(plan)
+}
+
+/// `run`: execute a client against the live repository, with the PR-1
+/// fault/recovery machinery available over the wire.
+fn cmd_run(request: &Json, shared: &Shared) -> Json {
+    let text = match require_str(request, "client") {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let client = match parse_hist(text) {
+        Ok(h) => h,
+        Err(e) => return proto::error("parse", e.to_string()),
+    };
+    let faults = match request.str_field("faults") {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(f) => Some(f),
+            Err(e) => return proto::error("bad_request", e),
+        },
+        None => None,
+    };
+    let recover = request.bool_field("recover").unwrap_or(false);
+    let committed = request.bool_field("committed").unwrap_or(false);
+    let seed = request.u64_field("seed").unwrap_or(0);
+    let fuel = request
+        .u64_field("fuel")
+        .map(|f| f as usize)
+        .unwrap_or(shared.fuel);
+
+    let repo = shared.repo.read().expect("repo lock");
+    let registry = shared.registry.read().expect("registry lock");
+
+    let plan = match request.str_field("plan") {
+        Some(spec) => match parse_plan_spec(spec) {
+            Ok(p) => p,
+            Err(e) => return proto::error("bad_request", e),
+        },
+        None => {
+            // No forced plan: synthesize one through the shared cache
+            // and refuse the run if no valid plan exists — a structured
+            // error, never a hang or a stale answer.
+            let start = Instant::now();
+            let synthesis =
+                match synthesize_with(&client, &repo, &registry, &shared.opts, Some(&shared.cache))
+                {
+                    Ok(s) => s,
+                    Err(e) => return proto::error("verify", e.to_string()),
+                };
+            shared.metrics.observe_synthesis(start.elapsed());
+            let first = synthesis.report.valid_plans().next().cloned();
+            match first {
+                Some(p) => p,
+                None => {
+                    return proto::error(
+                        "no_valid_plan",
+                        format!(
+                            "no valid plan among {} candidate(s) for this client",
+                            synthesis.report.len()
+                        ),
+                    )
+                }
+            }
+        }
+    };
+
+    let monitor = if request.bool_field("monitor").unwrap_or(false) {
+        MonitorMode::Enforcing
+    } else {
+        MonitorMode::Audit
+    };
+    let choice = if committed {
+        ChoiceMode::Committed
+    } else {
+        ChoiceMode::Angelic
+    };
+    let mut scheduler = Scheduler::new(&repo, &registry, monitor, choice);
+    if let Some(f) = faults {
+        scheduler = scheduler.with_faults(f);
+    }
+    if recover {
+        let table = match recovery_table(std::slice::from_ref(&client), &repo, &registry) {
+            Ok(t) => t,
+            Err(e) => return proto::error("verify", e.to_string()),
+        };
+        scheduler = scheduler.with_recovery(table);
+    }
+    let mut network = Network::new();
+    network.add_client(Location::new("client"), client, plan.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = match scheduler.run(network, &mut rng, fuel) {
+        Ok(r) => r,
+        Err(e) => return proto::error("verify", e.to_string()),
+    };
+    shared.metrics.runs.fetch_add(1, Ordering::Relaxed);
+    let recovered = matches!(result.outcome, Outcome::RecoveredVia { .. });
+    if recovered {
+        shared.metrics.failed_over.fetch_add(1, Ordering::Relaxed);
+    }
+    let outcome = match &result.outcome {
+        Outcome::Completed => "completed".to_owned(),
+        Outcome::RecoveredVia { plan, .. } => format!("recovered via {plan}"),
+        Outcome::SecurityAbort { policy, .. } => format!("security abort ({policy})"),
+        Outcome::Deadlock { component, .. } => format!("deadlock (component {component})"),
+        Outcome::OutOfFuel => "out of fuel".to_owned(),
+        Outcome::FaultAbort { component } => format!("fault abort (component {component})"),
+        Outcome::TimedOut { component } => format!("timed out (component {component})"),
+    };
+    proto::ok()
+        .with("plan", plan.to_string())
+        .with("outcome", outcome)
+        .with("success", result.outcome.is_success())
+        .with("recovered", recovered)
+        .with("steps", result.trace.len())
+        .with("faults", result.faults.len())
+        .with("violations", result.violations.len())
+}
+
+/// `stats`: every counter plus the live cache hit-rate.
+fn cmd_stats(shared: &Shared) -> Json {
+    let cache = shared.cache.stats();
+    let repo_len = shared.repo.read().expect("repo lock").len();
+    proto::ok().with("services", repo_len).with(
+        "stats",
+        shared.metrics.snapshot(cache.hits(), cache.misses()),
+    )
+}

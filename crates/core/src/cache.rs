@@ -35,7 +35,7 @@ use std::sync::Mutex;
 
 use sufs_contract::{compliant, Contract, ContractError, StuckWitness};
 use sufs_hexpr::shash::stable_hash_of;
-use sufs_hexpr::Hist;
+use sufs_hexpr::{Hist, Location};
 use sufs_net::symbolic::StuckState;
 use sufs_net::Plan;
 use sufs_policy::validity::{ValidityError, Verdict};
@@ -99,6 +99,9 @@ pub struct CacheStats {
     pub validity: (u64, u64),
     /// Stuck-search lookups served from / added to the cache.
     pub progress: (u64, u64),
+    /// Entries evicted by incremental invalidation (repository or
+    /// registry mutations under a long-lived cache).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -119,6 +122,20 @@ impl CacheStats {
             0.0
         } else {
             self.hits() as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` was snapshotted:
+    /// the per-run view of a cache shared across many synthesis calls
+    /// (the broker's case).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        let d = |a: (u64, u64), b: (u64, u64)| (a.0.saturating_sub(b.0), a.1.saturating_sub(b.1));
+        CacheStats {
+            contract: d(self.contract, earlier.contract),
+            compliance: d(self.compliance, earlier.compliance),
+            validity: d(self.validity, earlier.validity),
+            progress: d(self.progress, earlier.progress),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 }
@@ -160,6 +177,7 @@ pub struct VerifyCache {
     compliance_stats: Layer,
     validity_stats: Layer,
     progress_stats: Layer,
+    evictions: AtomicU64,
 }
 
 impl VerifyCache {
@@ -288,6 +306,52 @@ impl VerifyCache {
         computed
     }
 
+    /// Incremental invalidation for a repository mutation at `loc`:
+    /// evicts exactly the per-plan verdicts whose plan binds a request
+    /// to the touched location, and returns how many entries fell.
+    ///
+    /// This is what keeps a long-lived cache sound under a *dynamic*
+    /// repository. The contract and compliance layers are pure
+    /// functions of the expressions they are keyed by, so they can
+    /// never go stale; the validity and progress layers, by contrast,
+    /// consult the repository through `symbolic_successors`, but only
+    /// at the locations the plan binds — a verdict for a plan that
+    /// never mentions `loc` is untouched by any change there. Publish,
+    /// update and retract all funnel through here: publishing a
+    /// location can flip a previously `UnknownLocation`-doomed plan
+    /// just as surely as retracting it can doom a valid one.
+    pub fn invalidate_location(&self, loc: &Location) -> u64 {
+        let mentions = |plan: &Plan| plan.iter().any(|(_, l)| l == loc);
+        let mut evicted = 0u64;
+        {
+            let mut map = self.validity.lock().expect("validity cache poisoned");
+            let before = map.len();
+            map.retain(|k, _| !mentions(&k.value.1));
+            evicted += (before - map.len()) as u64;
+        }
+        {
+            let mut map = self.progress.lock().expect("progress cache poisoned");
+            let before = map.len();
+            map.retain(|k, _| !mentions(&k.value.1));
+            evicted += (before - map.len()) as u64;
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Invalidation for a policy-registry mutation: security verdicts
+    /// depend on the registry through every policy the composition
+    /// activates, so the whole validity layer is dropped. Progress,
+    /// compliance and contract entries never consult the registry and
+    /// survive. Returns the number of entries evicted.
+    pub fn invalidate_registry(&self) -> u64 {
+        let mut map = self.validity.lock().expect("validity cache poisoned");
+        let evicted = map.len() as u64;
+        map.clear();
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
     /// A snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -295,6 +359,7 @@ impl VerifyCache {
             compliance: self.compliance_stats.snapshot(),
             validity: self.validity_stats.snapshot(),
             progress: self.progress_stats.snapshot(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -372,6 +437,78 @@ mod tests {
         // Re-querying the first composition still hits.
         let r3 = cache.validity(&ev0("a"), &plan, || unreachable!());
         assert_eq!(r3, Ok(Verdict::Valid));
+    }
+
+    #[test]
+    fn location_invalidation_evicts_only_mentioning_plans() {
+        let cache = VerifyCache::new();
+        let h = ev0("a");
+        let touching = Plan::new().with(1u32, "s").with(2u32, "t");
+        let unrelated = Plan::new().with(1u32, "u");
+        cache
+            .validity(&h, &touching, || Ok(Verdict::Valid))
+            .unwrap();
+        cache
+            .validity(&h, &unrelated, || Ok(Verdict::Valid))
+            .unwrap();
+        cache.progress(&h, &touching, || Ok(None)).unwrap();
+        cache.progress(&h, &unrelated, || Ok(None)).unwrap();
+        // Touch `t`: only the plans binding `t` fall, in both layers.
+        let evicted = cache.invalidate_location(&Location::new("t"));
+        assert_eq!(evicted, 2);
+        assert_eq!(cache.stats().evictions, 2);
+        let mut recomputed = false;
+        cache
+            .validity(&h, &touching, || {
+                recomputed = true;
+                Ok(Verdict::Valid)
+            })
+            .unwrap();
+        assert!(recomputed, "evicted entry must be recomputed");
+        cache
+            .validity(&h, &unrelated, || unreachable!("survivor must hit"))
+            .unwrap();
+        cache
+            .progress(&h, &unrelated, || unreachable!("survivor must hit"))
+            .unwrap();
+        // A location no plan mentions evicts nothing.
+        assert_eq!(cache.invalidate_location(&Location::new("zzz")), 0);
+    }
+
+    #[test]
+    fn registry_invalidation_clears_validity_only() {
+        let cache = VerifyCache::new();
+        let h = ev0("a");
+        let plan = Plan::new().with(1u32, "s");
+        cache.validity(&h, &plan, || Ok(Verdict::Valid)).unwrap();
+        cache.progress(&h, &plan, || Ok(None)).unwrap();
+        assert_eq!(cache.invalidate_registry(), 1);
+        let mut recomputed = false;
+        cache
+            .validity(&h, &plan, || {
+                recomputed = true;
+                Ok(Verdict::Valid)
+            })
+            .unwrap();
+        assert!(recomputed);
+        // Progress never consults the registry: still cached.
+        cache
+            .progress(&h, &plan, || unreachable!("progress must survive"))
+            .unwrap();
+    }
+
+    #[test]
+    fn stats_since_reports_the_delta() {
+        let cache = VerifyCache::new();
+        let h = ev0("a");
+        let plan = Plan::new().with(1u32, "s");
+        cache.validity(&h, &plan, || Ok(Verdict::Valid)).unwrap();
+        let mark = cache.stats();
+        cache.validity(&h, &plan, || unreachable!()).unwrap();
+        let delta = cache.stats().since(&mark);
+        assert_eq!(delta.validity, (1, 0));
+        assert_eq!(delta.contract, (0, 0));
+        assert_eq!(delta.evictions, 0);
     }
 
     #[test]

@@ -59,6 +59,6 @@ pub use recovery::{
 };
 pub use report::VerifyReport;
 pub use verify::{
-    synthesize, verify, verify_plan, verify_with_cap, PlanVerdict, SynthStats, Synthesis,
-    SynthesisOptions, VerifyError, Violation,
+    synthesize, synthesize_with, verify, verify_plan, verify_with_cap, PlanVerdict, SynthStats,
+    Synthesis, SynthesisOptions, VerifyError, Violation,
 };

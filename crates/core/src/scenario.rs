@@ -242,14 +242,11 @@ fn parse_scenario_inner(input: &str) -> Result<Scenario, ScenarioError> {
                     )
                 })?;
                 let publish = match cap {
-                    Some(c) => scenario
-                        .repository
-                        .try_publish(Location::new(name.clone()), h.clone())
-                        .map(|()| {
-                            scenario
-                                .repository
-                                .publish_bounded(Location::new(name.clone()), h, c);
-                        }),
+                    Some(c) => {
+                        scenario
+                            .repository
+                            .try_publish_bounded(Location::new(name.clone()), h, c)
+                    }
                     None => scenario
                         .repository
                         .try_publish(Location::new(name.clone()), h),

@@ -551,21 +551,48 @@ pub fn synthesize(
     registry: &PolicyRegistry,
     opts: &SynthesisOptions,
 ) -> Result<Synthesis, VerifyError> {
+    synthesize_with(client, repo, registry, opts, None)
+}
+
+/// [`synthesize`] against a caller-owned, long-lived [`VerifyCache`]:
+/// the broker's re-synthesis path. With `opts.cache` set and a `shared`
+/// cache supplied, memo entries survive across calls — the caller is
+/// responsible for soundness by invalidating on every repository
+/// mutation ([`VerifyCache::invalidate_location`]) and registry
+/// mutation ([`VerifyCache::invalidate_registry`]), and for never
+/// sharing one cache across unrelated registries. The reported cache
+/// stats are the *delta* attributable to this call, so hit rates stay
+/// meaningful run over run.
+///
+/// # Errors
+///
+/// As [`synthesize`].
+pub fn synthesize_with(
+    client: &Hist,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    opts: &SynthesisOptions,
+    shared: Option<&VerifyCache>,
+) -> Result<Synthesis, VerifyError> {
     let start = Instant::now();
     wf::check(client).map_err(VerifyError::IllFormedClient)?;
-    let cache = if opts.cache {
-        Some(VerifyCache::new())
+    let local;
+    let (cache, mark) = if !opts.cache {
+        (None, None)
+    } else if let Some(shared) = shared {
+        (Some(shared), Some(shared.stats()))
     } else {
-        None
+        local = VerifyCache::new();
+        (Some(&local), None)
     };
     let pool = WorkPool::with_seed(opts.jobs, opts.seed);
 
     let (verdicts, pruned_subtrees, prune_active) = if opts.prune {
-        synth_pruned(client, repo, registry, cache.as_ref(), &pool, opts.plan_cap)?
+        synth_pruned(client, repo, registry, cache, &pool, opts.plan_cap)?
     } else {
         let plans = enumerate_plans(client, repo, opts.plan_cap)?;
         let results = pool.run(plans.len(), |i| {
-            check_plan(client, &plans[i], repo, registry, cache.as_ref())
+            check_plan(client, &plans[i], repo, registry, cache)
         });
         let mut verdicts = Vec::with_capacity(results.len());
         for result in results {
@@ -579,7 +606,10 @@ pub fn synthesize(
         pruned_subtrees,
         jobs: pool.jobs(),
         prune_active,
-        cache: cache.as_ref().map(VerifyCache::stats),
+        cache: cache.map(|c| match &mark {
+            Some(mark) => c.stats().since(mark),
+            None => c.stats(),
+        }),
         elapsed: start.elapsed(),
     };
     Ok(Synthesis {
@@ -914,6 +944,43 @@ mod tests {
                 "pruned (jobs={jobs}) diverged"
             );
         }
+    }
+
+    #[test]
+    fn shared_cache_with_invalidation_tracks_repo_mutations() {
+        use crate::cache::VerifyCache;
+        // A long-lived cache over a mutating repository must keep
+        // agreeing with a fresh-cache run, provided every mutation is
+        // followed by the matching invalidation — the broker's loop.
+        let (client, mut repo) = mixed_repo();
+        let registry = PolicyRegistry::new();
+        let shared = VerifyCache::new();
+        let opts = SynthesisOptions::default();
+        let first = synthesize_with(&client, &repo, &registry, &opts, Some(&shared)).unwrap();
+        assert_eq!(
+            first.report.verdicts(),
+            verify(&client, &repo, &registry).unwrap().verdicts()
+        );
+        // Retract a load-bearing service; evict its verdicts.
+        let ev = repo.retract(&Location::new("good1"));
+        assert!(ev.changed());
+        shared.invalidate_location(&Location::new("good1"));
+        let second = synthesize_with(&client, &repo, &registry, &opts, Some(&shared)).unwrap();
+        assert_eq!(
+            second.report.verdicts(),
+            verify(&client, &repo, &registry).unwrap().verdicts()
+        );
+        // Republish it (update path) and invalidate again: back to the
+        // original verdict set, still via the same cache.
+        repo.publish("good1", recv("req", choose([("ok", eps()), ("no", eps())])));
+        shared.invalidate_location(&Location::new("good1"));
+        let third = synthesize_with(&client, &repo, &registry, &opts, Some(&shared)).unwrap();
+        assert_eq!(third.report.verdicts(), first.report.verdicts());
+        // The per-call stats are deltas: the third run re-verifies only
+        // what the invalidation dropped, so it sees hits too.
+        let stats = third.stats.cache.unwrap();
+        assert!(stats.hits() > 0, "shared cache produced no hits");
+        assert!(shared.stats().evictions > 0);
     }
 
     #[test]

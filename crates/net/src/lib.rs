@@ -43,7 +43,7 @@ pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryTable}
 pub use monitor::{MonitorMode, ValidityMonitor};
 pub use network::{Component, Network};
 pub use plan::Plan;
-pub use repository::Repository;
+pub use repository::{PublishError, RepoEvent, Repository};
 pub use scheduler::{ChoiceMode, DeadlockReason, Outcome, RunResult, Scheduler, TraceStep};
 pub use semantics::{component_steps, sess_steps, SessStep, StepAction};
 pub use session::{pending_frame_closes, Sess};

@@ -35,6 +35,51 @@ struct Published {
     capacity: Option<usize>,
 }
 
+/// A repository mutation, as observed by callers that need to react to
+/// the repository changing under them (the broker's incremental cache
+/// invalidation, most prominently). Every mutating [`Repository`]
+/// method returns the event it caused, so a host can forward it to
+/// whatever bookkeeping depends on the touched location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoEvent {
+    /// A service appeared at a previously empty location.
+    Published(Location),
+    /// The service at a location was replaced (behaviour or capacity).
+    Updated(Location),
+    /// The service at a location was withdrawn.
+    Retracted(Location),
+    /// A retract of a location that published nothing: a no-op.
+    Absent(Location),
+}
+
+impl RepoEvent {
+    /// The location the event touches.
+    pub fn location(&self) -> &Location {
+        match self {
+            RepoEvent::Published(l)
+            | RepoEvent::Updated(l)
+            | RepoEvent::Retracted(l)
+            | RepoEvent::Absent(l) => l,
+        }
+    }
+
+    /// Returns `true` when the event changed the repository at all.
+    pub fn changed(&self) -> bool {
+        !matches!(self, RepoEvent::Absent(_))
+    }
+}
+
+impl fmt::Display for RepoEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoEvent::Published(l) => write!(f, "published {l}"),
+            RepoEvent::Updated(l) => write!(f, "updated {l}"),
+            RepoEvent::Retracted(l) => write!(f, "retracted {l}"),
+            RepoEvent::Absent(l) => write!(f, "no service at {l}"),
+        }
+    }
+}
+
 /// The repository of published services.
 ///
 /// By default services "replicate their code at will" (§2): every
@@ -81,46 +126,70 @@ impl Repository {
         service: Hist,
         capacity: usize,
     ) -> &mut Self {
-        let location = loc.into();
-        wf::check(&service)
-            .map_err(|error| PublishError {
-                location: location.clone(),
-                error,
-            })
+        self.try_publish_bounded(loc, service, capacity)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.services.insert(
-            location,
-            Published {
-                service,
-                capacity: Some(capacity),
-            },
-        );
         self
     }
 
-    /// Publishes a service, validating it.
+    /// Publishes a service, validating it. Returns the mutation event:
+    /// [`RepoEvent::Published`] for a fresh location,
+    /// [`RepoEvent::Updated`] when replacing an existing service.
     ///
     /// # Errors
     ///
-    /// Returns a [`PublishError`] if the service is not well-formed.
+    /// Returns a [`PublishError`] if the service is not well-formed; the
+    /// repository is left untouched.
     pub fn try_publish(
         &mut self,
         loc: impl Into<Location>,
         service: Hist,
-    ) -> Result<(), PublishError> {
-        let location = loc.into();
+    ) -> Result<RepoEvent, PublishError> {
+        self.insert_checked(loc.into(), service, None)
+    }
+
+    /// Fallible [`Repository::publish_bounded`]: publishes with a
+    /// replication bound, returning the mutation event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PublishError`] if the service is not well-formed; the
+    /// repository is left untouched.
+    pub fn try_publish_bounded(
+        &mut self,
+        loc: impl Into<Location>,
+        service: Hist,
+        capacity: usize,
+    ) -> Result<RepoEvent, PublishError> {
+        self.insert_checked(loc.into(), service, Some(capacity))
+    }
+
+    fn insert_checked(
+        &mut self,
+        location: Location,
+        service: Hist,
+        capacity: Option<usize>,
+    ) -> Result<RepoEvent, PublishError> {
         wf::check(&service).map_err(|error| PublishError {
             location: location.clone(),
             error,
         })?;
-        self.services.insert(
-            location,
-            Published {
-                service,
-                capacity: None,
-            },
-        );
-        Ok(())
+        let previous = self
+            .services
+            .insert(location.clone(), Published { service, capacity });
+        Ok(match previous {
+            Some(_) => RepoEvent::Updated(location),
+            None => RepoEvent::Published(location),
+        })
+    }
+
+    /// Withdraws the service at `loc`, if any. Sessions already joined
+    /// with it are unaffected (they run on their own replicated copy);
+    /// the location just stops being available for *new* openings.
+    pub fn retract(&mut self, loc: &Location) -> RepoEvent {
+        match self.services.remove(loc) {
+            Some(_) => RepoEvent::Retracted(loc.clone()),
+            None => RepoEvent::Absent(loc.clone()),
+        }
     }
 
     /// Looks up the service published at `loc`.
@@ -210,6 +279,42 @@ mod tests {
     #[should_panic(expected = "cannot publish")]
     fn publish_panics_on_ill_formed() {
         Repository::new().publish("bad", parse_hist("mu h. h").unwrap());
+    }
+
+    #[test]
+    fn mutation_events_track_publish_update_retract() {
+        let mut repo = Repository::new();
+        let ev = repo.try_publish("s", parse_hist("eps").unwrap()).unwrap();
+        assert_eq!(ev, RepoEvent::Published(Location::new("s")));
+        assert!(ev.changed());
+        let ev = repo
+            .try_publish("s", parse_hist("ext[a -> eps]").unwrap())
+            .unwrap();
+        assert_eq!(ev, RepoEvent::Updated(Location::new("s")));
+        assert_eq!(ev.location(), &Location::new("s"));
+        let ev = repo.retract(&Location::new("s"));
+        assert_eq!(ev, RepoEvent::Retracted(Location::new("s")));
+        assert!(repo.is_empty());
+        let ev = repo.retract(&Location::new("s"));
+        assert_eq!(ev, RepoEvent::Absent(Location::new("s")));
+        assert!(!ev.changed());
+        assert!(ev.to_string().contains("no service"));
+    }
+
+    #[test]
+    fn try_publish_bounded_validates_and_records_capacity() {
+        let mut repo = Repository::new();
+        let ev = repo
+            .try_publish_bounded("s", parse_hist("eps").unwrap(), 2)
+            .unwrap();
+        assert_eq!(ev, RepoEvent::Published(Location::new("s")));
+        assert_eq!(repo.capacity(&Location::new("s")), Some(Some(2)));
+        let err = repo
+            .try_publish_bounded("bad", parse_hist("mu h. h").unwrap(), 1)
+            .unwrap_err();
+        assert_eq!(err.location, Location::new("bad"));
+        // The failed publish left the repository untouched.
+        assert_eq!(repo.len(), 1);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use sufs_hexpr::builder::*;
 use sufs_hexpr::Location;
 use sufs_net::semantics::{active_services, sess_steps};
 use sufs_net::{
-    ChoiceMode, MonitorMode, Network, Outcome, Plan, Repository, Scheduler, Sess, StepAction,
+    ChoiceMode, FaultInjector, FaultKind, FaultPlan, MonitorMode, Network, Outcome, Plan,
+    RepoEvent, Repository, Scheduler, Sess, StepAction,
 };
 use sufs_policy::PolicyRegistry;
 
@@ -138,6 +139,79 @@ fn with_capacity_two_both_clients_may_overlap() {
         }
     }
     assert!(overlapped, "capacity 2 never produced concurrent sessions");
+}
+
+#[test]
+fn republish_leaves_live_sessions_on_the_old_behaviour() {
+    let mut repo = Repository::new();
+    repo.publish("srv", service());
+    let plan = Plan::new().with(1u32, "srv");
+    // A session already open: each leaf owns a copy of its behaviour.
+    let live = Sess::pair(
+        Sess::leaf("c", seq([send("q", eps()), offer([("a", eps())])])),
+        Sess::leaf("srv", service()),
+    );
+    // Hot-swap the published behaviour for a `q`-less variant.
+    let swapped = recv("other", choose([("b", eps())]));
+    let ev = repo.try_publish("srv", swapped.clone()).unwrap();
+    assert_eq!(ev, RepoEvent::Updated(Location::new("srv")));
+    // The live replica still synchronises on the old channel…
+    let steps = sess_steps(&live, &plan, &repo);
+    assert!(
+        steps
+            .iter()
+            .any(|s| matches!(&s.action, StepAction::Synch { chan, .. } if chan.as_str() == "q")),
+        "a live session must keep its copied behaviour across a republish"
+    );
+    // …while the repository hands the new behaviour to future opens.
+    assert_eq!(repo.get(&Location::new("srv")), Some(&swapped));
+}
+
+#[test]
+fn capacity_downgrade_saturates_against_live_sessions() {
+    let mut repo = Repository::new();
+    repo.publish("srv", service());
+    let plan = Plan::new().with(1u32, "srv");
+    let busy = Sess::pair(Sess::leaf("c2", client()), Sess::leaf("srv", service()));
+    // Unbounded: a second client may open alongside the live session.
+    assert!(sess_steps(&busy, &plan, &repo)
+        .iter()
+        .any(|s| matches!(s.action, StepAction::Open { .. })));
+    // Republishing with capacity 1 counts the session that is already
+    // live: the downgrade saturates the service immediately.
+    repo.try_publish_bounded("srv", service(), 1).unwrap();
+    assert!(!sess_steps(&busy, &plan, &repo)
+        .iter()
+        .any(|s| matches!(s.action, StepAction::Open { .. })));
+}
+
+#[test]
+fn revocation_outlives_freed_capacity() {
+    let mut repo = Repository::new();
+    repo.publish_bounded("srv", service(), 1);
+    let plan = Plan::new().with(1u32, "srv");
+    let mut inj = FaultInjector::new(FaultPlan::default().with_revoke(1.0));
+    let mut log = Vec::new();
+    inj.begin_step(&[], &[Location::new("srv")], 0, &mut log);
+    assert!(matches!(&log[0].kind, FaultKind::Revoke(l) if l.as_str() == "srv"));
+    // While a session is live, open is already disabled by saturation.
+    let busy = Sess::pair(Sess::leaf("c2", client()), Sess::leaf("srv", service()));
+    assert!(!sess_steps(&busy, &plan, &repo)
+        .iter()
+        .any(|s| matches!(s.action, StepAction::Open { .. })));
+    // Once the session closes, capacity frees up and the semantics
+    // re-enable the open — but the revocation still vetoes it: fault
+    // state outlives session churn.
+    let idle = Sess::leaf("c2", client());
+    let reopened = sess_steps(&idle, &plan, &repo);
+    let open = reopened
+        .iter()
+        .find(|s| matches!(s.action, StepAction::Open { .. }))
+        .expect("freed capacity must re-enable the open in the semantics");
+    assert!(
+        inj.blocks(&open.action),
+        "a revoked location must stay closed to new sessions"
+    );
 }
 
 #[test]

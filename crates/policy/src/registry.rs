@@ -83,6 +83,13 @@ impl PolicyRegistry {
         self.automata.get(name)
     }
 
+    /// Unregisters the automaton with `name`, returning it if it was
+    /// registered. Histories referencing a removed policy fail to
+    /// resolve from then on, exactly like any other unknown policy.
+    pub fn remove(&mut self, name: &str) -> Option<UsageAutomaton> {
+        self.automata.remove(name)
+    }
+
     /// The number of registered automata.
     pub fn len(&self) -> usize {
         self.automata.len()

@@ -2,19 +2,27 @@
 //!
 //! ```text
 //! sufs verify <file> [--client NAME] [--jobs N] [--no-cache] [--prune]
-//!                    [--plan-cap N] [--seed N] [--stats]
+//!                    [--plan-cap N] [--seed N] [--stats] [--json]
 //! sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor]
 //!                 [--committed] [--seed N] [--runs N] [--fuel N] [--trace]
 //! sufs lint <file> [--json] [--deny warnings]
 //! sufs compliance <file> <client-service> <server-service>
 //! sufs lts <file> <service> [--dot]
 //! sufs bpa <file> <service>
+//! sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune]
+//! sufs publish <file> --addr HOST:PORT
+//! sufs plan <file> [--client NAME] --addr HOST:PORT
+//! sufs run-remote <file> [--client NAME] [...] --addr HOST:PORT
+//! sufs retract <location> --addr HOST:PORT
+//! sufs stats --addr HOST:PORT
+//! sufs shutdown --addr HOST:PORT
 //! ```
 //!
 //! Flags accept both `--flag value` and `--flag=value`; flags a command
 //! does not declare are rejected. See `docs/SCENARIOS.md` for the
-//! scenario-file format and `docs/LINTS.md` for the lint catalogue;
-//! ready scenarios (including the paper's §2 example,
+//! scenario-file format, `docs/LINTS.md` for the lint catalogue, and
+//! `docs/BROKER.md` for the broker daemon and its wire protocol; ready
+//! scenarios (including the paper's §2 example,
 //! `scenarios/hotel.sufs`) live in `scenarios/`.
 
 use std::process::ExitCode;
@@ -22,6 +30,7 @@ use std::process::ExitCode;
 use sufs_rng::SeedableRng;
 use sufs_rng::StdRng;
 
+use sufs_broker::{Broker, BrokerClient, BrokerConfig, Json};
 use sufs_contract::{compliant, Contract};
 use sufs_core::scenario::{parse_scenario, Scenario};
 use sufs_core::verify::verify;
@@ -53,6 +62,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "discover" => done(cmd_discover(&args[1..])),
         "lts" => done(cmd_lts(&args[1..])),
         "bpa" => done(cmd_bpa(&args[1..])),
+        "serve" => done(cmd_serve(&args[1..])),
+        "publish" => done(cmd_publish(&args[1..])),
+        "plan" => done(cmd_plan(&args[1..])),
+        "run-remote" => done(cmd_run_remote(&args[1..])),
+        "retract" => done(cmd_retract(&args[1..])),
+        "stats" => done(cmd_stats(&args[1..])),
+        "shutdown" => done(cmd_shutdown(&args[1..])),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -64,7 +80,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  \
      sufs verify <file> [--client NAME] [--jobs N] [--no-cache] [--prune] \
-     [--plan-cap N] [--seed N] [--stats]\n  \
+     [--plan-cap N] [--seed N] [--stats] [--json]\n  \
      sufs verify-net <file>\n  \
      sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor] \
      [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid] \
@@ -73,7 +89,17 @@ fn usage() -> String {
      sufs compliance <file> <client-service> <server-service>\n  \
      sufs discover <file> <client> [--request N]\n  \
      sufs lts <file> <service> [--dot]\n  \
-     sufs bpa <file> <service>"
+     sufs bpa <file> <service>\n  \
+     sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune] \
+     [--plan-cap N] [--fuel N]\n  \
+     sufs publish <file> --addr HOST:PORT\n  \
+     sufs plan <file> [--client NAME] --addr HOST:PORT\n  \
+     sufs run-remote <file> [--client NAME] [--plan r=loc,...] \
+     [--faults k=v,...] [--recover] [--committed] [--seed N] [--fuel N] \
+     --addr HOST:PORT\n  \
+     sufs retract <location> --addr HOST:PORT\n  \
+     sufs stats --addr HOST:PORT\n  \
+     sufs shutdown --addr HOST:PORT"
         .to_owned()
 }
 
@@ -168,7 +194,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let a = parse_args(
         args,
         &["--client", "--jobs", "--plan-cap", "--seed"],
-        &["--no-cache", "--prune", "--stats"],
+        &["--no-cache", "--prune", "--stats", "--json"],
     )?;
     let [path] = a.positional.as_slice() else {
         return Err(usage());
@@ -193,19 +219,26 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     if names.is_empty() {
         return Err("the scenario declares no clients".into());
     }
+    let json = a.has("--json");
+    let mut clients_json: Vec<Json> = Vec::new();
     for name in names {
         let client = sc
             .client(name)
             .ok_or_else(|| format!("no client named `{name}`"))?;
-        println!("== {name} ==");
+        if !json {
+            println!("== {name} ==");
+        }
         let synthesis = sufs_core::synthesize(client, &sc.repository, &sc.registry, &opts)
             .map_err(|e| e.to_string())?;
-        let report = synthesis.report;
-        print!("{report}");
-        if a.has("--stats") {
-            println!("synthesis: {}", synthesis.stats);
+        let report = &synthesis.report;
+        if !json {
+            print!("{report}");
+            if a.has("--stats") {
+                println!("synthesis: {}", synthesis.stats);
+            }
         }
         // Quantitative budgets: check each valid plan against each budget.
+        let mut budgets_json: Vec<Json> = Vec::new();
         for plan in report.valid_plans() {
             for budget in &sc.budgets {
                 let verdict = sufs_policy::cost::check_cost_bound_lts(
@@ -215,12 +248,48 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
                     1 << 20,
                 )
                 .map_err(|b| format!("cost analysis exceeded {b} states"))?;
-                println!(
-                    "  budget {} (≤{}) under {plan}: {verdict}",
-                    budget.policy, budget.bound
-                );
+                if json {
+                    budgets_json.push(
+                        Json::obj()
+                            .with("policy", budget.policy.to_string())
+                            .with("bound", budget.bound)
+                            .with("plan", plan.to_string())
+                            .with("verdict", verdict.to_string()),
+                    );
+                } else {
+                    println!(
+                        "  budget {} (≤{}) under {plan}: {verdict}",
+                        budget.policy, budget.bound
+                    );
+                }
             }
         }
+        if json {
+            let verdicts: Vec<Json> = report
+                .verdicts()
+                .iter()
+                .map(sufs_broker::verdict_json)
+                .collect();
+            let valid: Vec<Json> = report
+                .valid_plans()
+                .map(|p| Json::str(p.to_string()))
+                .collect();
+            clients_json.push(
+                Json::obj()
+                    .with("client", name)
+                    .with("valid", valid)
+                    .with("verdicts", verdicts)
+                    .with("stats", sufs_broker::synth_stats_json(&synthesis.stats))
+                    .with("budgets", budgets_json),
+            );
+        }
+    }
+    if json {
+        let doc = Json::obj()
+            .with("schema_version", 1u64)
+            .with("file", path.as_str())
+            .with("clients", clients_json);
+        println!("{doc}");
     }
     Ok(())
 }
@@ -525,6 +594,211 @@ fn cmd_bpa(args: &[String]) -> Result<(), String> {
     let h = service_or_client(&sc, name)?;
     let bpa = sufs_hexpr::bpa::BpaSystem::from_hist(&h);
     print!("{bpa}");
+    Ok(())
+}
+
+/// Starts the broker daemon in the foreground; see `docs/BROKER.md`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let a = parse_args(
+        args,
+        &["--addr", "--max-clients", "--jobs", "--plan-cap", "--fuel"],
+        &["--prune"],
+    )?;
+    if !a.positional.is_empty() {
+        return Err(usage());
+    }
+    let mut config = BrokerConfig::default();
+    if let Some(addr) = a.value("--addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(s) = a.value("--max-clients") {
+        config.max_clients = s.parse().map_err(|_| format!("bad client cap `{s}`"))?;
+    }
+    if let Some(s) = a.value("--jobs") {
+        config.opts.jobs = s.parse().map_err(|_| format!("bad job count `{s}`"))?;
+    }
+    if let Some(s) = a.value("--plan-cap") {
+        config.opts.plan_cap = s.parse().map_err(|_| format!("bad plan cap `{s}`"))?;
+    }
+    if let Some(s) = a.value("--fuel") {
+        config.fuel = s.parse().map_err(|_| format!("bad fuel `{s}`"))?;
+    }
+    config.opts.prune = a.has("--prune");
+    let handle = Broker::spawn(config).map_err(|e| format!("cannot start broker: {e}"))?;
+    println!("sufs broker listening on {}", handle.addr());
+    // Serve until a `shutdown` request drains the daemon.
+    handle.wait();
+    println!("sufs broker drained");
+    Ok(())
+}
+
+/// The `--addr` every remote command requires.
+fn remote_client(a: &Parsed) -> Result<BrokerClient, String> {
+    let addr = a
+        .value("--addr")
+        .ok_or_else(|| "remote commands need --addr HOST:PORT".to_owned())?;
+    BrokerClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// Prints a reply, failing the command when the broker said `ok: false`.
+fn check_reply(reply: Json) -> Result<Json, String> {
+    if reply.bool_field("ok") == Some(true) {
+        Ok(reply)
+    } else {
+        let kind = reply.str_field("kind").unwrap_or("error");
+        let msg = reply.str_field("error").unwrap_or("unknown broker error");
+        Err(format!("broker refused ({kind}): {msg}"))
+    }
+}
+
+/// Publishes every service and policy of a scenario file to a broker.
+fn cmd_publish(args: &[String]) -> Result<(), String> {
+    let a = parse_args(args, &["--addr"], &[])?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut client = remote_client(&a)?;
+    let reply = check_reply(client.publish_scenario(&text).map_err(|e| e.to_string())?)?;
+    println!(
+        "published {} service(s), {} policy(ies) ({} cache entries evicted)",
+        reply.u64_field("services").unwrap_or(0),
+        reply.u64_field("policies").unwrap_or(0),
+        reply.u64_field("evicted").unwrap_or(0),
+    );
+    Ok(())
+}
+
+/// Asks a broker to synthesize plans for a scenario's client.
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let a = parse_args(args, &["--addr", "--client"], &[])?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
+    let sc = load(path)?;
+    let (name, hist) = pick_client(&sc, a.value("--client"))?;
+    let mut client = remote_client(&a)?;
+    let reply = check_reply(client.plan(&hist.to_string()).map_err(|e| e.to_string())?)?;
+    println!("== {name} (remote) ==");
+    let verdicts = reply.get("verdicts").and_then(Json::as_arr).unwrap_or(&[]);
+    let valid = reply.get("valid").and_then(Json::as_arr).unwrap_or(&[]);
+    println!(
+        "examined {} candidate plan(s): {} valid, {} rejected",
+        verdicts.len(),
+        valid.len(),
+        verdicts.len() - valid.len()
+    );
+    for v in verdicts {
+        let plan = v.str_field("plan").unwrap_or("?");
+        if v.bool_field("valid") == Some(true) {
+            println!("  ✓ {plan}");
+        } else {
+            println!("  ✗ {plan}");
+            for violation in v.get("violations").and_then(Json::as_arr).unwrap_or(&[]) {
+                if let Some(msg) = violation.as_str() {
+                    println!("      - {msg}");
+                }
+            }
+        }
+    }
+    if let Some(stats) = reply.get("stats") {
+        println!("synthesis: {stats}");
+    }
+    Ok(())
+}
+
+/// Executes a scenario's client on a broker's live repository.
+fn cmd_run_remote(args: &[String]) -> Result<(), String> {
+    let a = parse_args(
+        args,
+        &[
+            "--addr", "--client", "--plan", "--faults", "--seed", "--fuel",
+        ],
+        &["--recover", "--committed", "--monitor"],
+    )?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
+    let sc = load(path)?;
+    let (name, hist) = pick_client(&sc, a.value("--client"))?;
+    let mut extra = Json::obj();
+    if let Some(spec) = a.value("--plan") {
+        extra.set("plan", spec);
+    }
+    if let Some(spec) = a.value("--faults") {
+        extra.set("faults", spec);
+    }
+    if let Some(s) = a.value("--seed") {
+        let seed: u64 = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+        extra.set("seed", seed);
+    }
+    if let Some(s) = a.value("--fuel") {
+        let fuel: u64 = s.parse().map_err(|_| format!("bad fuel `{s}`"))?;
+        extra.set("fuel", fuel);
+    }
+    if a.has("--recover") {
+        extra.set("recover", true);
+    }
+    if a.has("--committed") {
+        extra.set("committed", true);
+    }
+    if a.has("--monitor") {
+        extra.set("monitor", true);
+    }
+    let mut client = remote_client(&a)?;
+    let reply = check_reply(
+        client
+            .run(&hist.to_string(), extra)
+            .map_err(|e| e.to_string())?,
+    )?;
+    println!(
+        "{name} under {}: {} ({} steps, {} fault(s), {} violation(s))",
+        reply.str_field("plan").unwrap_or("?"),
+        reply.str_field("outcome").unwrap_or("?"),
+        reply.u64_field("steps").unwrap_or(0),
+        reply.u64_field("faults").unwrap_or(0),
+        reply.u64_field("violations").unwrap_or(0),
+    );
+    Ok(())
+}
+
+/// Retracts a service from a broker's repository.
+fn cmd_retract(args: &[String]) -> Result<(), String> {
+    let a = parse_args(args, &["--addr"], &[])?;
+    let [location] = a.positional.as_slice() else {
+        return Err(usage());
+    };
+    let mut client = remote_client(&a)?;
+    let reply = check_reply(client.retract(location).map_err(|e| e.to_string())?)?;
+    println!(
+        "{} ({} cache entries evicted)",
+        reply.str_field("event").unwrap_or("?"),
+        reply.u64_field("evicted").unwrap_or(0),
+    );
+    Ok(())
+}
+
+/// Prints a broker's stats reply as JSON.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let a = parse_args(args, &["--addr"], &[])?;
+    if !a.positional.is_empty() {
+        return Err(usage());
+    }
+    let mut client = remote_client(&a)?;
+    let reply = check_reply(client.stats().map_err(|e| e.to_string())?)?;
+    println!("{reply}");
+    Ok(())
+}
+
+/// Asks a broker to drain and exit.
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let a = parse_args(args, &["--addr"], &[])?;
+    if !a.positional.is_empty() {
+        return Err(usage());
+    }
+    let mut client = remote_client(&a)?;
+    check_reply(client.shutdown().map_err(|e| e.to_string())?)?;
+    println!("broker draining");
     Ok(())
 }
 

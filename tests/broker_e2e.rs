@@ -1,0 +1,400 @@
+//! End-to-end tests for the broker daemon: the dynamic repository,
+//! incremental re-synthesis through the shared cache, admission
+//! control, structured failure replies, and graceful shutdown.
+//!
+//! The centrepiece is [`broker_matches_in_process_synthesis_under_
+//! mutation`]: one hundred-plus seeded, randomized repository-mutation /
+//! plan-query interleavings against a single long-lived daemon, with
+//! every reply checked verdict-for-verdict against a fresh in-process
+//! `synthesize` over a mirror repository. A stale cache entry, a missed
+//! invalidation, or a lost mutation shows up as a verdict mismatch.
+
+use sufs_broker::{Broker, BrokerClient, BrokerConfig, BrokerHandle, Json};
+use sufs_core::verify::verify;
+use sufs_hexpr::builder::*;
+use sufs_hexpr::{Hist, Location};
+use sufs_net::Repository;
+use sufs_policy::PolicyRegistry;
+use sufs_rng::{Rng, SeedableRng, StdRng};
+
+fn spawn(config: BrokerConfig) -> (BrokerHandle, BrokerClient) {
+    let handle = Broker::spawn(config).expect("broker spawns");
+    let client = BrokerClient::connect(handle.addr()).expect("client connects");
+    (handle, client)
+}
+
+/// The booking client of the verifier's own tests: one request, two
+/// acceptable outcomes.
+fn booking_client() -> Hist {
+    request(
+        1,
+        None,
+        seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+    )
+}
+
+/// Candidate services for the randomized test: two compliant variants,
+/// one non-compliant, one on the wrong channel entirely.
+fn service_pool() -> Vec<Hist> {
+    vec![
+        recv("req", choose([("ok", eps()), ("no", eps())])),
+        recv("req", choose([("ok", eps())])),
+        recv("req", choose([("ok", eps()), ("later", eps())])),
+        recv("zzz", eps()),
+    ]
+}
+
+/// A comparable digest of a verdict set: `(plan, valid, violations)`
+/// triples in report order.
+type VerdictKey = Vec<(String, bool, Vec<String>)>;
+
+fn local_verdicts(client: &Hist, repo: &Repository, registry: &PolicyRegistry) -> VerdictKey {
+    verify(client, repo, registry)
+        .expect("in-process verify succeeds")
+        .verdicts()
+        .iter()
+        .map(|v| {
+            (
+                v.plan.to_string(),
+                v.is_valid(),
+                v.violations.iter().map(|x| x.to_string()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn remote_verdicts(reply: &Json) -> VerdictKey {
+    assert_eq!(reply.bool_field("ok"), Some(true), "plan failed: {reply}");
+    reply
+        .get("verdicts")
+        .and_then(Json::as_arr)
+        .expect("verdicts array")
+        .iter()
+        .map(|v| {
+            (
+                v.str_field("plan").expect("plan field").to_owned(),
+                v.bool_field("valid").expect("valid field"),
+                v.get("violations")
+                    .and_then(Json::as_arr)
+                    .expect("violations array")
+                    .iter()
+                    .map(|x| x.as_str().expect("violation string").to_owned())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The acceptance-criterion test: ≥100 randomized mutation/query
+/// interleavings; after every mutation the broker's verdicts must be
+/// identical to a fresh in-process synthesis over a mirror repository.
+#[test]
+fn broker_matches_in_process_synthesis_under_mutation() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    let booking = booking_client();
+    let pool = service_pool();
+    let locations = ["s0", "s1", "s2", "s3", "s4"];
+    let mut mirror = Repository::new();
+    let registry = PolicyRegistry::new();
+    let mut rng = StdRng::seed_from_u64(0xb20cce2);
+    let mut queries = 0;
+    for step in 0..120 {
+        // One random mutation: publish a random pool service at a
+        // random location (2:1 odds), or retract a random location.
+        let loc = locations[rng.gen_range(0..locations.len())];
+        if rng.gen_range(0..3) < 2 {
+            let service = &pool[rng.gen_range(0..pool.len())];
+            let reply = client
+                .publish(loc, &service.to_string(), None)
+                .expect("publish reply");
+            assert_eq!(reply.bool_field("ok"), Some(true), "step {step}: {reply}");
+            mirror.publish(loc, service.clone());
+        } else {
+            let reply = client.retract(loc).expect("retract reply");
+            assert_eq!(reply.bool_field("ok"), Some(true), "step {step}: {reply}");
+            mirror.retract(&Location::new(loc));
+        }
+        // One query: the broker's long-lived cache must answer exactly
+        // like a fresh verification of the mirror.
+        let reply = client.plan(&booking.to_string()).expect("plan reply");
+        let remote = remote_verdicts(&reply);
+        let local = local_verdicts(&booking, &mirror, &registry);
+        assert_eq!(remote, local, "step {step}: broker diverged from mirror");
+        queries += 1;
+    }
+    assert!(queries >= 100, "the test must exercise ≥100 interleavings");
+    // The long-lived cache must actually have been doing its job:
+    // across 120 near-identical queries the hit counter dwarfs misses.
+    let stats = client.stats().expect("stats reply");
+    let snap = stats.get("stats").expect("stats object");
+    assert!(snap.u64_field("cache_hits").unwrap() > snap.u64_field("cache_misses").unwrap());
+    assert!(snap.u64_field("evictions").unwrap() > 0, "no evictions?");
+    handle.join();
+}
+
+/// The Fig. 2 smoke path: publish the hotel scenario, expect the
+/// paper's valid plan π₁ = {r1↦br, r3↦s3}, lose it on retraction.
+#[test]
+fn hotel_scenario_round_trip_and_retraction() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/hotel.sufs"))
+            .expect("hotel scenario readable");
+    let reply = client.publish_scenario(&text).expect("publish reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    assert_eq!(reply.u64_field("services"), Some(5));
+    assert_eq!(reply.u64_field("policies"), Some(1));
+
+    let sc = sufs_core::scenario::parse_scenario(&text).expect("hotel parses");
+    let c1 = sc.client("c1").expect("c1 exists").to_string();
+    let reply = client.plan(&c1).expect("plan reply");
+    let valid: Vec<&str> = reply
+        .get("valid")
+        .and_then(Json::as_arr)
+        .expect("valid array")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(valid, ["{r1↦br, r3↦s3}"], "the paper's π₁");
+
+    // Executing through the broker uses the same plan and completes.
+    let run = client
+        .run(&c1, Json::obj().with("seed", 7u64))
+        .expect("run");
+    assert_eq!(run.bool_field("ok"), Some(true), "{run}");
+    assert_eq!(run.str_field("plan"), Some("{r1↦br, r3↦s3}"));
+    assert_eq!(run.str_field("outcome"), Some("completed"));
+
+    // Retract the load-bearing s3: the next plan reply must degrade to
+    // an empty valid set, and a run must fail with a *structured*
+    // `no_valid_plan` error — no hang, no stale cache.
+    let reply = client.retract("s3").expect("retract reply");
+    assert_eq!(reply.bool_field("changed"), Some(true));
+    assert!(reply.u64_field("evicted").unwrap() > 0);
+    let reply = client.plan(&c1).expect("plan reply");
+    assert_eq!(reply.bool_field("ok"), Some(true));
+    assert_eq!(
+        reply.get("valid").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+    let run = client.run(&c1, Json::obj()).expect("run reply");
+    assert_eq!(run.bool_field("ok"), Some(false));
+    assert_eq!(run.str_field("kind"), Some("no_valid_plan"));
+    handle.join();
+}
+
+/// Runs with the PR-1 fault machinery: injected revocations trigger the
+/// verified fallback chain, and the broker reports the failover.
+#[test]
+fn run_with_faults_fails_over_to_the_backup_plan() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    let good = recv("req", choose([("ok", eps()), ("no", eps())]));
+    for loc in ["primary", "backup"] {
+        let reply = client
+            .publish(loc, &good.to_string(), None)
+            .expect("publish reply");
+        assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    }
+    let booking = booking_client().to_string();
+    // An aggressive crash schedule with recovery armed: scan seeds
+    // until one run completes via failover (both the fault schedule and
+    // the trace are deterministic per seed, so the scan is stable).
+    let mut recovered = false;
+    for seed in 0..40u64 {
+        let run = client
+            .run(
+                &booking,
+                Json::obj()
+                    .with(
+                        "faults",
+                        format!("crash=0.3,max_crashes=1,timeout=2,retries=1,seed={seed}"),
+                    )
+                    .with("recover", true)
+                    .with("committed", true)
+                    .with("seed", seed),
+            )
+            .expect("run reply");
+        assert_eq!(run.bool_field("ok"), Some(true), "{run}");
+        if run.bool_field("recovered") == Some(true) {
+            assert!(run.str_field("outcome").unwrap().contains("recovered via"));
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "no seed produced a failover");
+    let stats = client.stats().expect("stats reply");
+    let snap = stats.get("stats").expect("stats object");
+    assert!(snap.u64_field("failed_over").unwrap() >= 1);
+    handle.join();
+}
+
+/// Publishing garbage is rejected with the right error kinds, and the
+/// repository stays untouched.
+#[test]
+fn zero_capacity_publish_dooms_every_plan_statically() {
+    let (_handle, mut client) = spawn(BrokerConfig::default());
+    // The only matching responder has capacity 0: no session can ever
+    // open there, so the progress check must reject the plan statically
+    // — a structured empty answer, never a hang or a false positive.
+    let service = service_pool()[0].to_string();
+    let reply = client
+        .publish("dead", &service, Some(0))
+        .expect("publish succeeds");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    let reply = client
+        .plan(&booking_client().to_string())
+        .expect("plan answers");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    let valid = reply.get("valid").and_then(Json::as_arr).expect("valid");
+    assert!(valid.is_empty(), "capacity 0 must doom the plan: {reply}");
+    // Republishing with capacity 1 revives it through the same cache.
+    let reply = client
+        .publish("dead", &service, Some(1))
+        .expect("republish succeeds");
+    assert!(reply.u64_field("evicted").is_some(), "{reply}");
+    let reply = client
+        .plan(&booking_client().to_string())
+        .expect("plan answers");
+    let valid = reply.get("valid").and_then(Json::as_arr).expect("valid");
+    assert_eq!(valid.len(), 1, "capacity 1 must revive the plan: {reply}");
+}
+
+#[test]
+fn publish_rejects_ill_formed_and_unparsable_services() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    // Ill-formed: an unguarded recursion fails wf-checking.
+    let reply = client.publish("bad", "mu h. h", None).expect("reply");
+    assert_eq!(reply.bool_field("ok"), Some(false));
+    assert_eq!(reply.str_field("kind"), Some("ill_formed"));
+    // Unparsable text.
+    let reply = client.publish("worse", "int[", None).expect("reply");
+    assert_eq!(reply.str_field("kind"), Some("parse"));
+    // Unknown command and missing fields are bad requests.
+    let reply = client
+        .request(&Json::obj().with("cmd", "frobnicate"))
+        .expect("reply");
+    assert_eq!(reply.str_field("kind"), Some("bad_request"));
+    let reply = client
+        .request(&Json::obj().with("cmd", "publish"))
+        .expect("reply");
+    assert_eq!(reply.str_field("kind"), Some("bad_request"));
+    // Nothing leaked into the repository.
+    let repo = client.repo().expect("repo reply");
+    assert_eq!(
+        repo.get("services")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    handle.join();
+}
+
+/// Admission control: past `max_clients` the broker *replies* `busy`
+/// rather than stalling the accept queue; capacity freed by a closing
+/// client is reusable.
+#[test]
+fn admission_control_replies_busy_at_capacity() {
+    let config = BrokerConfig {
+        max_clients: 1,
+        ..BrokerConfig::default()
+    };
+    let (handle, mut first) = spawn(config);
+    assert_eq!(
+        first.ping().expect("ping").bool_field("ok"),
+        Some(true),
+        "the first client is admitted"
+    );
+    // The second concurrent client gets an explicit busy reply.
+    let mut second = BrokerClient::connect(handle.addr()).expect("connect");
+    let reply = second.ping().expect("busy reply is a real frame");
+    assert_eq!(reply.bool_field("ok"), Some(false));
+    assert_eq!(reply.str_field("kind"), Some("busy"));
+    // Closing the first frees the slot (the acceptor reaps the handler
+    // lazily, so poll briefly).
+    drop(first);
+    let mut admitted = false;
+    for _ in 0..100 {
+        let mut third = BrokerClient::connect(handle.addr()).expect("connect");
+        if third.ping().expect("reply").bool_field("ok") == Some(true) {
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(admitted, "a freed slot must be reusable");
+    handle.join();
+}
+
+/// Graceful shutdown over the wire: the daemon acknowledges, drains,
+/// and then refuses new work.
+#[test]
+fn wire_shutdown_drains_and_rejects_new_connections() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    let good = recv("req", choose([("ok", eps()), ("no", eps())]));
+    client
+        .publish("s", &good.to_string(), None)
+        .expect("publish");
+    let addr = handle.addr();
+    let reply = client.shutdown().expect("shutdown acknowledged");
+    assert_eq!(reply.bool_field("ok"), Some(true));
+    assert_eq!(reply.bool_field("draining"), Some(true));
+    // join() returns because the wire shutdown already drained the
+    // daemon; afterwards nothing listens on the port any more (or, in
+    // the shutdown race, a late connection is refused with a frame).
+    handle.join();
+    if let Ok(mut late) = BrokerClient::connect(addr) {
+        let reply = late.ping();
+        assert!(
+            reply.is_err() || reply.unwrap().bool_field("ok") == Some(false),
+            "a drained broker must not accept new work"
+        );
+    }
+}
+
+/// `stats` exposes the histogram and hit-rate fields the bench and the
+/// CI smoke script key on.
+#[test]
+fn stats_reply_has_the_documented_shape() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    let good = recv("req", choose([("ok", eps()), ("no", eps())]));
+    client
+        .publish("s", &good.to_string(), None)
+        .expect("publish");
+    client.plan(&booking_client().to_string()).expect("plan");
+    let reply = client.stats().expect("stats");
+    assert_eq!(reply.bool_field("ok"), Some(true));
+    let snap = reply.get("stats").expect("stats object");
+    for field in [
+        "uptime_ms",
+        "connections",
+        "rejected_busy",
+        "requests",
+        "errors",
+        "mutations",
+        "evictions",
+        "plans",
+        "runs",
+        "failed_over",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        assert!(snap.u64_field(field).is_some(), "missing field {field}");
+    }
+    assert!(snap.get("cache_hit_rate").and_then(Json::as_f64).is_some());
+    let hist = snap.get("synthesis_ms_histogram").expect("histogram");
+    let total: u64 = [
+        "le_1ms",
+        "le_5ms",
+        "le_10ms",
+        "le_50ms",
+        "le_100ms",
+        "le_500ms",
+        "le_1000ms",
+        "inf",
+    ]
+    .iter()
+    .map(|b| hist.u64_field(b).expect("bucket"))
+    .sum();
+    assert_eq!(total, 1, "one synthesis was observed");
+    handle.join();
+}

@@ -349,6 +349,124 @@ fn faulty_scenario_recovers_via_the_backup_plan() {
 }
 
 #[test]
+fn no_subcommand_prints_usage_listing_every_command() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sufs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "bare `sufs` must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for cmd in [
+        "verify",
+        "verify-net",
+        "run",
+        "lint",
+        "compliance",
+        "discover",
+        "lts",
+        "bpa",
+        "serve",
+        "publish",
+        "plan",
+        "run-remote",
+        "retract",
+        "stats",
+        "shutdown",
+    ] {
+        assert!(
+            stderr.contains(&format!("sufs {cmd}")),
+            "usage must list `sufs {cmd}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn exit_codes_are_pinned() {
+    let code = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_sufs"))
+            .args(args)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("binary runs")
+            .status
+            .code()
+    };
+    assert_eq!(code(&[]), Some(1));
+    assert_eq!(code(&["frobnicate"]), Some(1));
+    assert_eq!(code(&["help"]), Some(0));
+    assert_eq!(code(&["--help"]), Some(0));
+    assert_eq!(code(&["verify", "scenarios/hotel.sufs"]), Some(0));
+    assert_eq!(code(&["verify", "scenarios/nope.sufs"]), Some(1));
+    assert_eq!(code(&["stats"]), Some(1), "remote commands need --addr");
+}
+
+#[test]
+fn verify_json_emits_machine_readable_verdicts() {
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/hotel.sufs", "--client", "c1", "--json"]);
+    assert!(ok);
+    assert!(
+        stdout.starts_with("{\"schema_version\":1,\"file\":\"scenarios/hotel.sufs\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"client\":\"c1\""), "{stdout}");
+    assert!(
+        stdout.contains("\"valid\":[\"{r1↦br, r3↦s3}\"]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"verdicts\":["), "{stdout}");
+    assert!(stdout.contains("\"bindings\":{\"r1\":\"br\""), "{stdout}");
+    assert!(stdout.contains("\"stats\":{\"candidates\":9"), "{stdout}");
+    // The per-plan quantitative budgets ride along for metered scenarios.
+    let (stdout, _, ok) = sufs(&["verify", "scenarios/metered.sufs", "--json"]);
+    assert!(ok);
+    assert!(stdout.contains("\"budgets\":["), "{stdout}");
+    assert!(stdout.contains("within budget (worst case 15)"), "{stdout}");
+}
+
+#[test]
+fn serve_round_trip_over_the_cli() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_sufs"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut lines = BufReader::new(daemon.stdout.take().expect("piped stdout")).lines();
+    let banner = lines.next().expect("banner line").expect("banner reads");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with the address")
+        .to_owned();
+
+    let (stdout, stderr, ok) = sufs(&["publish", "scenarios/hotel.sufs", "--addr", &addr]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("published 5 service(s), 1 policy(ies)"),
+        "{stdout}"
+    );
+    let (stdout, _, ok) = sufs(&[
+        "plan",
+        "scenarios/hotel.sufs",
+        "--client",
+        "c1",
+        "--addr",
+        &addr,
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("== c1 (remote) =="), "{stdout}");
+    assert!(stdout.contains("✓ {r1↦br, r3↦s3}"), "{stdout}");
+    let (stdout, _, ok) = sufs(&["stats", "--addr", &addr]);
+    assert!(ok);
+    assert!(stdout.contains("\"requests\":"), "{stdout}");
+    let (stdout, _, ok) = sufs(&["shutdown", "--addr", &addr]);
+    assert!(ok, "{stdout}");
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon must drain cleanly");
+}
+
+#[test]
 fn mermaid_flag_emits_a_sequence_diagram() {
     let (stdout, _, ok) = sufs(&[
         "run",
