@@ -1,0 +1,179 @@
+//! Durability benchmark (B7): what crash-safety costs and how fast
+//! recovery is, emitted as machine-readable `BENCH_broker_recovery.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Recovery time vs journal length** — publish `n` mutations into
+//!    a journal-only state directory (compaction disabled), kill the
+//!    broker without draining, and time the restart. Replay cost must
+//!    grow linearly in the journal suffix.
+//! 2. **Fsync cost on the mutation path** — the per-publish latency
+//!    distribution with and without a state directory; the gap is the
+//!    price of `fsync`-before-reply.
+//! 3. **Mutation throughput with durability on/off** — the same
+//!    workload end to end, reported as requests per second.
+//!
+//! Environment:
+//! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
+//! * `SUFS_BENCH_BROKER_RECOVERY_OUT=path` — where to write the JSON
+//!   (default `BENCH_broker_recovery.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sufs_broker::{Broker, BrokerClient, BrokerConfig, Json};
+use sufs_hexpr::builder::*;
+use sufs_hexpr::Hist;
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sufs-bench-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn responder() -> Hist {
+    recv("req", choose([("ok", eps()), ("no", eps())]))
+}
+
+/// Publishes `n` mutations (cycling over 32 locations) and returns the
+/// per-request latencies in microseconds plus the wall time in seconds.
+fn publish_workload(addr: std::net::SocketAddr, n: usize) -> (Vec<u128>, f64) {
+    let service = responder().to_string();
+    let mut conn = BrokerClient::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(n);
+    let wall = Instant::now();
+    for i in 0..n {
+        let t = Instant::now();
+        let reply = conn
+            .publish(&format!("loc{}", i % 32), &service, None)
+            .expect("publish");
+        latencies.push(t.elapsed().as_micros());
+        assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
+    }
+    (latencies, wall.elapsed().as_secs_f64())
+}
+
+/// Measurement 1: journal of `records` mutations, then a timed restart.
+fn run_recovery(records: usize) -> Json {
+    let dir = state_dir(&format!("replay-{records}"));
+    let config = BrokerConfig {
+        state_dir: Some(dir.clone()),
+        snapshot_every: u64::MAX, // journal-only: every record replays
+        ..BrokerConfig::default()
+    };
+    let handle = Broker::spawn(config.clone()).expect("spawn");
+    publish_workload(handle.addr(), records);
+    handle.kill();
+
+    let t = Instant::now();
+    let handle = Broker::spawn(config).expect("recovering spawn");
+    let spawn_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut conn = BrokerClient::connect(handle.addr()).expect("connect");
+    let stats = conn.stats().expect("stats");
+    let durability = stats
+        .get("stats")
+        .and_then(|s| s.get("durability"))
+        .expect("durability counters");
+    let replayed = durability.u64_field("replayed_records").unwrap_or(0);
+    let recovery_ms = durability.u64_field("last_recovery_ms").unwrap_or(0);
+    assert_eq!(replayed as usize, records, "every journal record replays");
+    let services = conn
+        .repo()
+        .expect("repo")
+        .get("services")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    drop(conn);
+    drop(handle);
+
+    eprintln!("  replay {records} records: spawn {spawn_ms:.1}ms (replay {recovery_ms}ms)");
+    let _ = std::fs::remove_dir_all(&dir);
+    Json::obj()
+        .with("journal_records", records)
+        .with("spawn_ms", spawn_ms)
+        .with("recovery_ms", recovery_ms)
+        .with("services_after", services)
+}
+
+/// Measurements 2+3: the same publish workload with durability on/off.
+fn run_throughput(durable: bool, mutations: usize) -> Json {
+    let dir = state_dir("throughput");
+    let config = BrokerConfig {
+        state_dir: durable.then(|| dir.clone()),
+        ..BrokerConfig::default()
+    };
+    let handle = Broker::spawn(config).expect("spawn");
+    let (mut latencies, wall) = publish_workload(handle.addr(), mutations);
+    drop(handle);
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    let rps = mutations as f64 / wall;
+    eprintln!(
+        "  durability={durable}: {mutations} publishes in {:.1}ms, {rps:.0} rps, \
+         p50 {p50}µs p95 {p95}µs p99 {p99}µs",
+        wall * 1e3
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Json::obj()
+        .with("durability", durable)
+        .with("mutations", mutations)
+        .with("wall_ms", wall * 1e3)
+        .with("throughput_rps", rps)
+        .with("p50_us", p50 as u64)
+        .with("p95_us", p95 as u64)
+        .with("p99_us", p99 as u64)
+}
+
+fn main() {
+    let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let journal_lengths: &[usize] = if smoke { &[8, 32] } else { &[0, 64, 256, 1024] };
+    let mutations = if smoke { 50 } else { 500 };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    write!(
+        out,
+        "  \"bench\": \"broker_recovery\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n"
+    )
+    .unwrap();
+
+    eprintln!("recovery time vs journal length");
+    out.push_str("  \"recovery\": [\n");
+    for (i, &n) in journal_lengths.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write!(out, "    {}", run_recovery(n)).unwrap();
+    }
+    out.push_str("\n  ],\n");
+
+    eprintln!("mutation throughput, durability off vs on");
+    let plain = run_throughput(false, mutations);
+    let durable = run_throughput(true, mutations);
+    let ratio = durable
+        .get("p50_us")
+        .and_then(Json::as_f64)
+        .zip(plain.get("p50_us").and_then(Json::as_f64))
+        .map_or(0.0, |(d, p)| if p == 0.0 { 0.0 } else { d / p });
+    out.push_str("  \"throughput\": [\n");
+    write!(out, "    {plain},\n    {durable}\n  ],\n").unwrap();
+    write!(out, "  \"fsync_p50_cost_ratio\": {ratio:.2}\n}}\n").unwrap();
+
+    let path = std::env::var("SUFS_BENCH_BROKER_RECOVERY_OUT")
+        .unwrap_or_else(|_| "BENCH_broker_recovery.json".into());
+    std::fs::write(&path, &out).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

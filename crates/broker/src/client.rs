@@ -3,16 +3,74 @@
 //! [`BrokerClient`] wraps one TCP connection and offers a typed helper
 //! per command; every helper returns the raw reply object so callers
 //! can inspect `ok`, `kind`, and the command-specific payload fields.
+//!
+//! # Idempotent retries
+//!
+//! Every mutation helper stamps its request with a fresh `req_id`
+//! (UUID-shaped, drawn from the in-tree seeded RNG). Against a broker
+//! running with `--state-dir`, the server remembers recently applied
+//! mutation ids, so a retry of the *same* request — after a dropped
+//! reply, a torn frame, a broker restart — is answered from the
+//! recorded reply instead of being applied twice. Enable retries with
+//! [`BrokerClient::with_reconnect`]: a bounded loop with exponential
+//! backoff and jitter that redials the broker and resends the request
+//! verbatim (same `req_id`) on any transport failure.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sufs_rng::{Rng, SeedableRng, StdRng};
 
 use crate::json::Json;
 use crate::proto::{read_frame, write_frame};
 
+/// Distinguishes request-id streams of clients created in the same
+/// process with the default seed.
+static CLIENT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// How a [`BrokerClient`] retries after a transport failure.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Retries after the first failure (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_delay · 2ⁿ` (plus jitter) …
+    pub base_delay: Duration,
+    /// … capped at this much.
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_retries: 6,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The delay before retry `attempt` (0-based): exponential backoff
+    /// capped at `max_delay`, with the upper half jittered so a herd of
+    /// clients retrying after one broker crash does not stampede in
+    /// lockstep.
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let base = self.base_delay.as_millis() as u64;
+        let max = self.max_delay.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(max).max(1);
+        let jittered = exp / 2 + rng.gen_range(0..exp / 2 + 1);
+        Duration::from_millis(jittered)
+    }
+}
+
 /// One connection to a broker daemon.
 pub struct BrokerClient {
     stream: TcpStream,
+    peer: SocketAddr,
+    rng: StdRng,
+    reconnect: Option<ReconnectPolicy>,
 }
 
 impl BrokerClient {
@@ -26,7 +84,51 @@ impl BrokerClient {
         // Frames are single writes, but small request/reply round trips
         // must not wait out Nagle against the peer's delayed ACKs.
         stream.set_nodelay(true)?;
-        Ok(BrokerClient { stream })
+        let peer = stream.peer_addr()?;
+        // Request ids must differ across clients even when several are
+        // created back to back, so the default seed mixes wall-clock
+        // entropy with a process-wide counter. Tests that need
+        // reproducible ids override it with `with_request_seed`.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        let seed = nanos
+            ^ CLIENT_COUNTER
+                .fetch_add(1, Ordering::Relaxed)
+                .rotate_left(32);
+        Ok(BrokerClient {
+            stream,
+            peer,
+            rng: StdRng::seed_from_u64(seed),
+            reconnect: None,
+        })
+    }
+
+    /// Enables bounded reconnect-and-retry for this client.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// Replaces the request-id RNG seed, making the id stream (and the
+    /// retry jitter) fully deterministic — for tests and experiments.
+    pub fn with_request_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// A fresh UUID-shaped request id (32 hex digits, 8-4-4-4-12).
+    fn fresh_req_id(&mut self) -> String {
+        let (a, b) = (self.rng.next_u64(), self.rng.next_u64());
+        format!(
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            a >> 32,
+            (a >> 16) & 0xffff,
+            a & 0xffff,
+            b >> 48,
+            b & 0xffff_ffff_ffff
+        )
     }
 
     /// Sends one request and waits for its reply. A rejected connection
@@ -35,7 +137,9 @@ impl BrokerClient {
     ///
     /// # Errors
     ///
-    /// I/O and framing errors from either direction.
+    /// I/O and framing errors from either direction. A mid-frame close
+    /// carries a [`crate::proto::FrameError::TruncatedFrame`] naming
+    /// expected vs received bytes.
     pub fn request(&mut self, request: &Json) -> io::Result<Json> {
         // A rejected connection may already hold the server's `busy` /
         // `shutting_down` frame: sending is best-effort so the queued
@@ -48,6 +152,43 @@ impl BrokerClient {
                 "broker closed the connection without replying",
             )),
         }
+    }
+
+    /// [`BrokerClient::request`], retried under the reconnect policy
+    /// (when one is set): on any transport failure the client backs
+    /// off, redials, and resends the request **verbatim** — same
+    /// `req_id`, so a durable broker applies a retried mutation exactly
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once the retry budget is exhausted.
+    pub fn request_retrying(&mut self, request: &Json) -> io::Result<Json> {
+        let Some(policy) = self.reconnect.clone() else {
+            return self.request(request);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.request(request) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if attempt < policy.max_retries => {
+                    let _ = e; // every transport failure is retriable
+                    std::thread::sleep(policy.delay(attempt, &mut self.rng));
+                    attempt += 1;
+                    if let Ok(stream) = TcpStream::connect(self.peer) {
+                        let _ = stream.set_nodelay(true);
+                        self.stream = stream;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Stamps `req` with a fresh `req_id` and sends it with retries.
+    fn mutate(&mut self, mut req: Json) -> io::Result<Json> {
+        req.set("req_id", self.fresh_req_id());
+        self.request_retrying(&req)
     }
 
     /// `ping`.
@@ -77,7 +218,7 @@ impl BrokerClient {
         if let Some(cap) = capacity {
             req.set("capacity", cap);
         }
-        self.request(&req)
+        self.mutate(req)
     }
 
     /// `publish_scenario`: merge a whole scenario text.
@@ -86,8 +227,8 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn publish_scenario(&mut self, text: &str) -> io::Result<Json> {
-        self.request(
-            &Json::obj()
+        self.mutate(
+            Json::obj()
                 .with("cmd", "publish_scenario")
                 .with("text", text),
         )
@@ -99,8 +240,8 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn retract(&mut self, location: &str) -> io::Result<Json> {
-        self.request(
-            &Json::obj()
+        self.mutate(
+            Json::obj()
                 .with("cmd", "retract")
                 .with("location", location),
         )
@@ -112,7 +253,7 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn retract_policy(&mut self, name: &str) -> io::Result<Json> {
-        self.request(&Json::obj().with("cmd", "retract_policy").with("name", name))
+        self.mutate(Json::obj().with("cmd", "retract_policy").with("name", name))
     }
 
     /// `repo`: the current repository contents.
@@ -121,7 +262,7 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn repo(&mut self) -> io::Result<Json> {
-        self.request(&Json::obj().with("cmd", "repo"))
+        self.request_retrying(&Json::obj().with("cmd", "repo"))
     }
 
     /// `plan`: synthesize for a client history text.
@@ -130,7 +271,7 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn plan(&mut self, client: &str) -> io::Result<Json> {
-        self.request(&Json::obj().with("cmd", "plan").with("client", client))
+        self.request_retrying(&Json::obj().with("cmd", "plan").with("client", client))
     }
 
     /// `run`: execute a client history text; `extra` fields (plan,
@@ -147,7 +288,7 @@ impl BrokerClient {
                 req.set(&k, v);
             }
         }
-        self.request(&req)
+        self.request_retrying(&req)
     }
 
     /// `stats`.
@@ -156,7 +297,7 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn stats(&mut self) -> io::Result<Json> {
-        self.request(&Json::obj().with("cmd", "stats"))
+        self.request_retrying(&Json::obj().with("cmd", "stats"))
     }
 
     /// `shutdown`: ask the daemon to drain.
@@ -166,5 +307,51 @@ impl BrokerClient {
     /// As [`BrokerClient::request`].
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.request(&Json::obj().with("cmd", "shutdown"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_ids_are_uuid_shaped_and_deterministic_under_a_seed() {
+        // A client without a live socket: build the pieces directly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let expect = format!(
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            a >> 32,
+            (a >> 16) & 0xffff,
+            a & 0xffff,
+            b >> 48,
+            b & 0xffff_ffff_ffff
+        );
+        assert_eq!(expect.len(), 36);
+        assert_eq!(expect.matches('-').count(), 4);
+        // Same seed, same stream.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        assert_eq!(rng2.next_u64(), a);
+        assert_eq!(rng2.next_u64(), b);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_grows() {
+        let policy = ReconnectPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut last_cap = 0;
+        for attempt in 0..8 {
+            let d = policy.delay(attempt, &mut rng).as_millis() as u64;
+            // Jitter keeps the delay within [exp/2, exp] for the capped
+            // exponential `exp`.
+            let exp = (10u64 << attempt).min(100);
+            assert!(d >= exp / 2 && d <= exp, "attempt {attempt}: {d}ms");
+            last_cap = last_cap.max(d);
+        }
+        assert!(last_cap <= 100);
     }
 }

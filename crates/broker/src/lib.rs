@@ -19,13 +19,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
-pub use client::BrokerClient;
+pub use client::{BrokerClient, ReconnectPolicy};
 pub use json::{Json, JsonError};
 pub use metrics::Metrics;
+pub use proto::FrameError;
 pub use server::{synth_stats_json, verdict_json, Broker, BrokerConfig, BrokerHandle};

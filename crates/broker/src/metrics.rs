@@ -39,7 +39,19 @@ pub struct Metrics {
     pub runs: AtomicU64,
     /// Sessions that completed only after plan failover (PR-1 recovery).
     pub failed_over: AtomicU64,
+    /// Mutation records appended to the write-ahead journal.
+    pub journal_records: AtomicU64,
+    /// Journal→snapshot compactions performed.
+    pub snapshots: AtomicU64,
+    /// Retried mutations answered from the idempotency window instead
+    /// of being applied again.
+    pub dedup_hits: AtomicU64,
+    /// Journal records re-applied during the last recovery.
+    pub replayed_records: AtomicU64,
+    /// Wall time of the last startup recovery, in milliseconds.
+    pub last_recovery_ms: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
+    recovery_histogram: [AtomicU64; BUCKETS],
 }
 
 impl Default for Metrics {
@@ -62,7 +74,13 @@ impl Metrics {
             plans: AtomicU64::new(0),
             runs: AtomicU64::new(0),
             failed_over: AtomicU64::new(0),
+            journal_records: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            replayed_records: AtomicU64::new(0),
+            last_recovery_ms: AtomicU64::new(0),
             histogram: Default::default(),
+            recovery_histogram: Default::default(),
         }
     }
 
@@ -76,6 +94,18 @@ impl Metrics {
         self.histogram[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a startup recovery's wall time: the recovery-time
+    /// histogram plus the `last_recovery_ms` gauge.
+    pub fn observe_recovery(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let idx = HISTOGRAM_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.recovery_histogram[idx].fetch_add(1, Ordering::Relaxed);
+        self.last_recovery_ms.store(ms, Ordering::Relaxed);
+    }
+
     /// Renders every counter, the histogram, and the uptime as a JSON
     /// object for the `stats` reply.
     pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> Json {
@@ -86,11 +116,25 @@ impl Metrics {
         } else {
             cache_hits as f64 / total as f64
         };
-        let mut hist = Json::obj();
-        for (i, bound) in HISTOGRAM_BOUNDS_MS.iter().enumerate() {
-            hist.set(&format!("le_{bound}ms"), self.histogram[i].load(load));
-        }
-        hist.set("inf", self.histogram[BUCKETS - 1].load(load));
+        let render_hist = |buckets: &[AtomicU64; BUCKETS]| {
+            let mut hist = Json::obj();
+            for (i, bound) in HISTOGRAM_BOUNDS_MS.iter().enumerate() {
+                hist.set(&format!("le_{bound}ms"), buckets[i].load(load));
+            }
+            hist.set("inf", buckets[BUCKETS - 1].load(load));
+            hist
+        };
+        let hist = render_hist(&self.histogram);
+        let durability = Json::obj()
+            .with("journal_records", self.journal_records.load(load))
+            .with("snapshots", self.snapshots.load(load))
+            .with("dedup_hits", self.dedup_hits.load(load))
+            .with("replayed_records", self.replayed_records.load(load))
+            .with("last_recovery_ms", self.last_recovery_ms.load(load))
+            .with(
+                "recovery_ms_histogram",
+                render_hist(&self.recovery_histogram),
+            );
         Json::obj()
             .with("uptime_ms", self.started.elapsed().as_millis() as u64)
             .with("connections", self.connections.load(load))
@@ -106,6 +150,7 @@ impl Metrics {
             .with("cache_misses", cache_misses)
             .with("cache_hit_rate", hit_rate)
             .with("synthesis_ms_histogram", hist)
+            .with("durability", durability)
     }
 }
 

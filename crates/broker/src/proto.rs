@@ -9,12 +9,59 @@
 //! The length prefix caps frames at [`MAX_FRAME`] bytes: a peer that
 //! announces more is a protocol error, not an allocation request.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::json::{self, Json};
 
 /// The largest acceptable frame payload (16 MiB).
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// A structured framing failure, carried as the inner error of the
+/// `io::Error`s [`read_frame`] returns so callers can react to the
+/// *shape* of the failure, not just its text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer announced a frame larger than [`MAX_FRAME`].
+    TooLarge {
+        /// The announced payload length.
+        announced: usize,
+    },
+    /// The stream ended mid-frame: `received` of the `expected`
+    /// payload bytes arrived before EOF. Distinct from a clean
+    /// between-frames close (which is `Ok(None)`).
+    TruncatedFrame {
+        /// Payload bytes the length prefix promised.
+        expected: usize,
+        /// Payload bytes that actually arrived.
+        received: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { announced } => write!(
+                f,
+                "frame of {announced} bytes exceeds the {MAX_FRAME} byte cap"
+            ),
+            FrameError::TruncatedFrame { expected, received } => write!(
+                f,
+                "connection closed mid-frame: got {received} of {expected} payload bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// Extracts the structured framing failure from an `io::Error`, if
+    /// that is what it wraps.
+    pub fn from_io(e: &io::Error) -> Option<&FrameError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+}
 
 /// Writes one length-prefixed JSON frame.
 ///
@@ -53,11 +100,29 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+            FrameError::TooLarge { announced: len },
         ));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Count the bytes by hand: a mid-frame EOF must report how much of
+    // the promised payload arrived, which `read_exact` cannot.
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    FrameError::TruncatedFrame {
+                        expected: len,
+                        received: filled,
+                    },
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     let text =
         String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let value = json::parse(&text)
@@ -73,12 +138,15 @@ pub fn ok() -> Json {
 /// An error reply: `{"ok": false, "kind": kind, "error": message}`.
 ///
 /// Established kinds: `bad_request` (malformed frame or missing field),
-/// `parse` (a history/scenario/plan text failed to parse), `ill_formed`
-/// (well-formedness rejection on publish), `not_found` (unknown
-/// location/policy/client), `no_valid_plan` (a run was requested but no
-/// statically valid plan exists), `verify` (synthesis failed outright),
-/// `busy` (admission control rejected the connection), `shutting_down`
-/// (the daemon is draining), `internal`.
+/// `frame_too_large` (the length prefix exceeds [`MAX_FRAME`]; the
+/// server replies, then closes), `parse` (a history/scenario/plan text
+/// failed to parse), `ill_formed` (well-formedness rejection on
+/// publish), `not_found` (unknown location/policy/client),
+/// `no_valid_plan` (a run was requested but no statically valid plan
+/// exists), `verify` (synthesis failed outright), `busy` (admission
+/// control rejected the connection), `shutting_down` (the daemon is
+/// draining), `internal` (a durability failure or other server-side
+/// fault).
 pub fn error(kind: &str, message: impl Into<String>) -> Json {
     Json::obj()
         .with("ok", false)
@@ -117,6 +185,44 @@ mod tests {
         write_frame(&mut buf, &ok()).unwrap();
         buf.truncate(buf.len() - 2);
         assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_surfaces_too_large() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(
+            FrameError::from_io(&err),
+            Some(&FrameError::TooLarge {
+                announced: MAX_FRAME + 1
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_frame_names_expected_vs_received() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ok()).unwrap();
+        let expected = buf.len() - 4;
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        match FrameError::from_io(&err) {
+            Some(&FrameError::TruncatedFrame {
+                expected: e,
+                received,
+            }) => {
+                assert_eq!(e, expected);
+                assert_eq!(received, expected - 2);
+            }
+            other => panic!("want TruncatedFrame, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(
+            text.contains(&format!("{expected}")),
+            "message names sizes: {text}"
+        );
     }
 
     #[test]

@@ -22,6 +22,19 @@
 //! *replies* `busy` and closes — it never silently stalls the accept
 //! queue.
 //!
+//! # Durability (opt-in)
+//!
+//! With [`BrokerConfig::state_dir`] set, every state-mutating request
+//! is appended to a checksummed write-ahead journal and **fsynced
+//! before its reply goes out** ([`crate::wal`]); the journal is
+//! periodically compacted into an atomic snapshot
+//! ([`crate::snapshot`]), and startup replays snapshot + journal
+//! suffix through the same request handlers the wire uses. A bounded
+//! idempotency window keyed by client `req_id`s answers retried
+//! mutations with their recorded replies, making retries exactly-once.
+//! Without a state directory nothing here runs — the broker behaves
+//! exactly as before.
+//!
 //! # Shutdown
 //!
 //! [`BrokerHandle::shutdown`] (or a `shutdown` request) flips the drain
@@ -30,8 +43,10 @@
 //! delivered, new opens are rejected, and [`BrokerHandle::join`]
 //! returns once every handler thread has drained.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
@@ -46,7 +61,16 @@ use sufs_rng::{SeedableRng, StdRng};
 
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::proto::{self, read_frame, write_frame};
+use crate::proto::{self, read_frame, write_frame, FrameError};
+use crate::snapshot;
+use crate::wal::{ReplaySummary, Wal, WalRecord};
+
+/// Retried-mutation ids remembered per broker (the idempotency window).
+const DEDUP_WINDOW: usize = 512;
+
+/// Journal payload bytes that force a snapshot even before the
+/// record-count threshold is reached.
+const SNAPSHOT_MAX_BYTES: u64 = 8 << 20;
 
 /// Configuration for [`Broker::spawn`].
 #[derive(Debug, Clone)]
@@ -62,6 +86,13 @@ pub struct BrokerConfig {
     pub opts: SynthesisOptions,
     /// Step budget for `run` requests.
     pub fuel: usize,
+    /// Durable state directory. `None` (the default) keeps the PR-4
+    /// in-memory behaviour; `Some(dir)` journals every mutation to
+    /// `dir/journal.wal` (fsync before reply), compacts into
+    /// `dir/snapshot.json`, and recovers both on startup.
+    pub state_dir: Option<PathBuf>,
+    /// Journal records that trigger a snapshot compaction.
+    pub snapshot_every: u64,
 }
 
 impl Default for BrokerConfig {
@@ -71,8 +102,79 @@ impl Default for BrokerConfig {
             max_clients: 64,
             opts: SynthesisOptions::default(),
             fuel: 100_000,
+            state_dir: None,
+            snapshot_every: 1024,
         }
     }
+}
+
+/// A bounded FIFO of recently applied mutation ids and the exact
+/// replies they produced — the server half of exactly-once retries.
+struct DedupWindow {
+    entries: VecDeque<(String, Json)>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        DedupWindow {
+            entries: VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn get(&self, id: &str) -> Option<&Json> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, reply)| reply)
+    }
+
+    fn insert(&mut self, id: String, reply: Json) {
+        self.entries.retain(|(k, _)| *k != id);
+        self.entries.push_back((id, reply));
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+    }
+
+    fn export(&self) -> Vec<(String, Json)> {
+        self.entries.iter().cloned().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The durable half of a broker running with a state directory.
+///
+/// Lock order, everywhere: resource lock (`repo`/`registry`) →
+/// `dedup` → `wal`. Mutation handlers append to the journal while
+/// still holding the resource write lock, so journal order is exactly
+/// apply order; the snapshotter takes both resource *read* locks
+/// first, which blocks every mutation and freezes the journal tip
+/// while the state is captured.
+struct Durability {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    dedup: Mutex<DedupWindow>,
+    snapshot_every: u64,
+    /// Set during startup replay: handlers re-apply journal records
+    /// without re-appending them.
+    replaying: AtomicBool,
+    /// At most one connection thread compacts at a time.
+    snapshotting: AtomicBool,
+}
+
+/// What `Broker::spawn` found on disk, applied once `Shared` exists.
+struct RecoveryPlan {
+    started: Instant,
+    covered_seq: u64,
+    from_snapshot: bool,
+    pending: Vec<WalRecord>,
+    summary: ReplaySummary,
+    dir: PathBuf,
 }
 
 /// Everything the connection threads share.
@@ -87,6 +189,9 @@ struct Shared {
     /// Read halves of admitted connections, shut down on drain so idle
     /// handlers wake up and exit.
     conns: Mutex<Vec<TcpStream>>,
+    /// Journal + snapshot + idempotency window; `None` without
+    /// `--state-dir` (the in-memory PR-4 behaviour, unchanged).
+    durability: Option<Durability>,
 }
 
 /// The broker daemon; see the module docs for the protocol and the
@@ -97,22 +202,85 @@ impl Broker {
     /// Binds `config.addr`, starts the acceptor thread, and returns a
     /// handle to the running daemon.
     ///
+    /// With `config.state_dir` set, startup first recovers the durable
+    /// state: the snapshot is loaded (if any), the journal is opened
+    /// (truncating a torn tail), and every journal record past the
+    /// snapshot's coverage is re-applied through the regular request
+    /// handlers before the listener starts accepting. The verification
+    /// cache starts cold either way.
+    ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, and — with a state directory — any
+    /// snapshot/journal corruption that torn-tail tolerance cannot
+    /// excuse (a snapshot that fails to parse, a journal with a foreign
+    /// magic header).
     pub fn spawn(config: BrokerConfig) -> io::Result<BrokerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+
+        let mut repo = Repository::new();
+        let mut registry = PolicyRegistry::new();
+        let mut recovery: Option<RecoveryPlan> = None;
+        let durability = match &config.state_dir {
+            None => None,
+            Some(dir) => {
+                let started = Instant::now();
+                std::fs::create_dir_all(dir)?;
+                let mut dedup = DedupWindow::new(DEDUP_WINDOW);
+                let mut covered_seq = 0u64;
+                let mut from_snapshot = false;
+                if let Some(snap) = snapshot::load(dir)? {
+                    covered_seq = snap.covered_seq;
+                    repo = snap.repository;
+                    registry = snap.registry;
+                    for (id, reply) in snap.dedup {
+                        dedup.insert(id, reply);
+                    }
+                    from_snapshot = true;
+                }
+                let (mut wal, records, summary) = Wal::open(&dir.join(snapshot::JOURNAL_FILE))?;
+                // An empty (post-compaction) journal restarts at seq 1;
+                // the snapshot's coverage mark keeps new records sorted
+                // after everything it already holds.
+                wal.ensure_seq_at_least(covered_seq + 1);
+                let pending: Vec<WalRecord> = records
+                    .into_iter()
+                    .filter(|r| r.seq > covered_seq)
+                    .collect();
+                recovery = Some(RecoveryPlan {
+                    started,
+                    covered_seq,
+                    from_snapshot,
+                    pending,
+                    summary,
+                    dir: dir.clone(),
+                });
+                Some(Durability {
+                    dir: dir.clone(),
+                    wal: Mutex::new(wal),
+                    dedup: Mutex::new(dedup),
+                    snapshot_every: config.snapshot_every.max(1),
+                    replaying: AtomicBool::new(false),
+                    snapshotting: AtomicBool::new(false),
+                })
+            }
+        };
+
         let shared = Arc::new(Shared {
-            repo: RwLock::new(Repository::new()),
-            registry: RwLock::new(PolicyRegistry::new()),
+            repo: RwLock::new(repo),
+            registry: RwLock::new(registry),
             cache: VerifyCache::new(),
             metrics: Metrics::new(),
             opts: config.opts,
             fuel: config.fuel,
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            durability,
         });
+        if let Some(plan) = recovery {
+            replay_journal(&shared, plan);
+        }
         let accept_shared = Arc::clone(&shared);
         let max_clients = config.max_clients;
         let acceptor = thread::spawn(move || {
@@ -163,6 +331,27 @@ impl BrokerHandle {
             let _ = acceptor.join();
         }
     }
+
+    /// Stops the daemon abruptly, **without** draining — the
+    /// in-process equivalent of `kill -9` for crash-recovery tests.
+    /// Both sides of every connection are severed, so in-flight
+    /// replies are cut off mid-socket; the only state that survives is
+    /// what the write-ahead journal has already fsynced, which is
+    /// precisely the crash contract the recovery path promises.
+    pub fn kill(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let conns = self.shared.conns.lock().expect("conns lock");
+            for conn in conns.iter() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        // Wake the acceptor so it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
 }
 
 impl Drop for BrokerHandle {
@@ -172,6 +361,136 @@ impl Drop for BrokerHandle {
             let _ = acceptor.join();
         }
     }
+}
+
+/// Re-applies the journal suffix through the regular request handlers
+/// and logs a one-line recovery summary. Runs before the acceptor
+/// starts, so no client can observe a half-recovered repository.
+fn replay_journal(shared: &Shared, plan: RecoveryPlan) {
+    let d = shared
+        .durability
+        .as_ref()
+        .expect("replay requires durability");
+    d.replaying.store(true, Ordering::SeqCst);
+    for record in &plan.pending {
+        // The handler re-applies the mutation; all four mutation
+        // commands are upserts/deletes, so re-application is exact.
+        let _ = handle_request(&record.request, shared);
+        if let Some(id) = record.request.str_field("req_id") {
+            // The *recorded* reply wins over the recomputed one: its
+            // cache-eviction counts reflect what the client was
+            // actually told, and a retry must see exactly that.
+            d.dedup
+                .lock()
+                .expect("dedup lock")
+                .insert(id.to_owned(), record.reply.clone());
+        }
+    }
+    d.replaying.store(false, Ordering::SeqCst);
+    // Counters accumulated during replay would misreport the daemon's
+    // live traffic; recovery has its own metrics.
+    shared.metrics.mutations.store(0, Ordering::Relaxed);
+    shared.metrics.evictions.store(0, Ordering::Relaxed);
+    shared
+        .metrics
+        .replayed_records
+        .store(plan.pending.len() as u64, Ordering::Relaxed);
+    shared.metrics.observe_recovery(plan.started.elapsed());
+    eprintln!(
+        "sufs-broker: recovered from {}: {}, {} journal record(s) replayed, {} torn byte(s) discarded, {:.1}ms",
+        plan.dir.display(),
+        if plan.from_snapshot {
+            format!("snapshot through seq {}", plan.covered_seq)
+        } else {
+            "no snapshot".to_owned()
+        },
+        plan.pending.len(),
+        plan.summary.truncated_bytes,
+        plan.started.elapsed().as_secs_f64() * 1e3,
+    );
+}
+
+/// Answers a retried mutation from the idempotency window. Callers
+/// hold the mutated resource's write lock, so a hit here can never
+/// interleave with the original application.
+fn dedup_check(shared: &Shared, request: &Json) -> Option<Json> {
+    let d = shared.durability.as_ref()?;
+    let id = request.str_field("req_id")?;
+    let hit = d.dedup.lock().expect("dedup lock").get(id).cloned()?;
+    shared.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    Some(hit)
+}
+
+/// Seals a successful mutation: journals it (fsync **before** the
+/// reply leaves the handler) when it changed state, and records its
+/// `req_id` in the idempotency window. Callers still hold the resource
+/// write lock, so journal order is exactly apply order.
+fn finish_mutation(shared: &Shared, request: &Json, reply: Json, changed: bool) -> Json {
+    let Some(d) = shared.durability.as_ref() else {
+        return reply;
+    };
+    if changed && !d.replaying.load(Ordering::SeqCst) {
+        let append = d.wal.lock().expect("wal lock").append(request, &reply);
+        if let Err(e) = append {
+            // The mutation is applied in memory but not durable; the
+            // client must not mistake it for acknowledged.
+            return proto::error("internal", format!("journal append failed: {e}"));
+        }
+        shared
+            .metrics
+            .journal_records
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(id) = request.str_field("req_id") {
+        d.dedup
+            .lock()
+            .expect("dedup lock")
+            .insert(id.to_owned(), reply.clone());
+    }
+    reply
+}
+
+/// Compacts the journal into a snapshot once it crosses the configured
+/// thresholds. Runs on the connection thread *after* its handler
+/// returned (no handler locks held); takes `repo.read` →
+/// `registry.read` → `dedup` → `wal` — with both resource read locks
+/// held no mutation is in flight, so the journal tip is frozen and
+/// matches the captured state exactly.
+fn maybe_snapshot(shared: &Shared) {
+    let Some(d) = shared.durability.as_ref() else {
+        return;
+    };
+    {
+        let wal = d.wal.lock().expect("wal lock");
+        if !snapshot::due(
+            wal.records_since_truncate(),
+            wal.bytes_since_truncate(),
+            d.snapshot_every,
+            SNAPSHOT_MAX_BYTES,
+        ) {
+            return;
+        }
+    }
+    if d.snapshotting.swap(true, Ordering::SeqCst) {
+        return; // another connection thread is already compacting
+    }
+    let repo = shared.repo.read().expect("repo lock");
+    let registry = shared.registry.read().expect("registry lock");
+    let dedup = d.dedup.lock().expect("dedup lock");
+    let mut wal = d.wal.lock().expect("wal lock");
+    let covered = wal.next_seq().saturating_sub(1);
+    let entries = dedup.export();
+    let result =
+        snapshot::write(&d.dir, covered, &repo, &registry, &entries).and_then(|()| wal.truncate());
+    match result {
+        Ok(()) => {
+            shared.metrics.snapshots.fetch_add(1, Ordering::Relaxed);
+        }
+        // The journal is kept intact on failure: durability degrades to
+        // "journal keeps growing", never to losing state.
+        Err(e) => eprintln!("sufs-broker: snapshot failed (journal kept): {e}"),
+    }
+    d.snapshotting.store(false, Ordering::SeqCst);
 }
 
 /// Flips the drain flag, wakes the acceptor with a throwaway connect,
@@ -240,7 +559,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, addr: Option<SocketA
             Ok(Some(req)) => req,
             Ok(None) => break,
             Err(e) => {
-                let _ = write_frame(&mut stream, &proto::error("bad_request", e.to_string()));
+                // An oversized announcement gets a *structured* reply
+                // before the close, so well-behaved clients can tell
+                // "my frame was too big" from line noise.
+                let kind = match FrameError::from_io(&e) {
+                    Some(FrameError::TooLarge { .. }) => "frame_too_large",
+                    _ => "bad_request",
+                };
+                let _ = write_frame(&mut stream, &proto::error(kind, e.to_string()));
                 break;
             }
         };
@@ -257,7 +583,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, addr: Option<SocketA
         if reply.bool_field("ok") == Some(false) {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if write_frame(&mut stream, &reply).is_err() {
+        let reply_sent = write_frame(&mut stream, &reply).is_ok();
+        // Compaction runs after the handler released its locks (and
+        // after the reply went out, so it never adds request latency).
+        maybe_snapshot(shared);
+        if !reply_sent {
             break;
         }
         if is_shutdown && reply.bool_field("ok") == Some(true) {
@@ -318,6 +648,9 @@ fn cmd_publish(request: &Json, shared: &Shared) -> Json {
     };
     let capacity = request.u64_field("capacity").map(|c| c as usize);
     let mut repo = shared.repo.write().expect("repo lock");
+    if let Some(hit) = dedup_check(shared, request) {
+        return hit;
+    }
     let result = match capacity {
         Some(cap) => repo.try_publish_bounded(location, service, cap),
         None => repo.try_publish(location, service),
@@ -330,9 +663,10 @@ fn cmd_publish(request: &Json, shared: &Shared) -> Json {
                 .metrics
                 .evictions
                 .fetch_add(evicted, Ordering::Relaxed);
-            proto::ok()
+            let reply = proto::ok()
                 .with("event", event.to_string())
-                .with("evicted", evicted)
+                .with("evicted", evicted);
+            finish_mutation(shared, request, reply, true)
         }
         Err(e) => proto::error("ill_formed", e.to_string()),
     }
@@ -353,6 +687,9 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared) -> Json {
     // between the repository and registry updates.
     let mut repo = shared.repo.write().expect("repo lock");
     let mut registry = shared.registry.write().expect("registry lock");
+    if let Some(hit) = dedup_check(shared, request) {
+        return hit;
+    }
     let mut evicted = 0;
     let mut services = 0u64;
     for (loc, service) in scenario.repository.iter() {
@@ -380,10 +717,11 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared) -> Json {
             .evictions
             .fetch_add(evicted, Ordering::Relaxed);
     }
-    proto::ok()
+    let reply = proto::ok()
         .with("services", services)
         .with("policies", policies)
-        .with("evicted", evicted)
+        .with("evicted", evicted);
+    finish_mutation(shared, request, reply, services + policies > 0)
 }
 
 /// `retract`: withdraw a service; new plans stop seeing it immediately.
@@ -393,6 +731,9 @@ fn cmd_retract(request: &Json, shared: &Shared) -> Json {
         Err(e) => return e,
     };
     let mut repo = shared.repo.write().expect("repo lock");
+    if let Some(hit) = dedup_check(shared, request) {
+        return hit;
+    }
     let event = repo.retract(&location);
     let evicted = if event.changed() {
         let n = shared.cache.invalidate_location(&location);
@@ -402,10 +743,11 @@ fn cmd_retract(request: &Json, shared: &Shared) -> Json {
     } else {
         0
     };
-    proto::ok()
+    let reply = proto::ok()
         .with("event", event.to_string())
         .with("changed", event.changed())
-        .with("evicted", evicted)
+        .with("evicted", evicted);
+    finish_mutation(shared, request, reply, event.changed())
 }
 
 /// `retract_policy`: unregister a policy automaton; histories that
@@ -416,6 +758,9 @@ fn cmd_retract_policy(request: &Json, shared: &Shared) -> Json {
         Err(e) => return e,
     };
     let mut registry = shared.registry.write().expect("registry lock");
+    if let Some(hit) = dedup_check(shared, request) {
+        return hit;
+    }
     let removed = registry.remove(name).is_some();
     let evicted = if removed {
         let n = shared.cache.invalidate_registry();
@@ -425,9 +770,10 @@ fn cmd_retract_policy(request: &Json, shared: &Shared) -> Json {
     } else {
         0
     };
-    proto::ok()
+    let reply = proto::ok()
         .with("changed", removed)
-        .with("evicted", evicted)
+        .with("evicted", evicted);
+    finish_mutation(shared, request, reply, removed)
 }
 
 /// `repo`: the current contents, for clients and smoke tests.
@@ -683,12 +1029,28 @@ fn cmd_run(request: &Json, shared: &Shared) -> Json {
         .with("violations", result.violations.len())
 }
 
-/// `stats`: every counter plus the live cache hit-rate.
+/// `stats`: every counter plus the live cache hit-rate and — on a
+/// durable broker — the journal's live state.
 fn cmd_stats(shared: &Shared) -> Json {
     let cache = shared.cache.stats();
     let repo_len = shared.repo.read().expect("repo lock").len();
-    proto::ok().with("services", repo_len).with(
+    let mut reply = proto::ok().with("services", repo_len).with(
         "stats",
         shared.metrics.snapshot(cache.hits(), cache.misses()),
-    )
+    );
+    if let Some(d) = shared.durability.as_ref() {
+        let dedup_len = d.dedup.lock().expect("dedup lock").len();
+        let wal = d.wal.lock().expect("wal lock");
+        reply.set(
+            "journal",
+            Json::obj()
+                .with("state_dir", d.dir.display().to_string())
+                .with("records_since_snapshot", wal.records_since_truncate())
+                .with("bytes_since_snapshot", wal.bytes_since_truncate())
+                .with("next_seq", wal.next_seq())
+                .with("snapshot_every", d.snapshot_every)
+                .with("dedup_window", dedup_len),
+        );
+    }
+    reply
 }

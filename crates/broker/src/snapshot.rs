@@ -1,0 +1,368 @@
+//! Snapshot compaction for the broker's durable state.
+//!
+//! The write-ahead journal ([`crate::wal`]) grows with every mutation;
+//! past a size/record threshold the broker compacts it into a full
+//! snapshot of the live state — repository, policy registry, and the
+//! idempotency window — and empties the journal. The swap is atomic:
+//! the snapshot is written to a temporary file, fsynced, and
+//! `rename(2)`d over the previous one, so a crash at any point leaves
+//! either the old snapshot or the new one, never a torn hybrid.
+//!
+//! Recovery is `load` + journal replay: the snapshot carries the
+//! sequence number of the last journal record it covers, and replay
+//! skips records at or below it — which also makes the crash window
+//! *between* the snapshot rename and the journal truncation harmless.
+//!
+//! Services are stored as history-expression text (the same
+//! [`Display`](std::fmt::Display) form the wire protocol carries);
+//! policies are stored as `policy … { … }` scenario declarations
+//! rendered by [`policy_text`], so the whole snapshot replays through
+//! the same parsers the live `publish` path uses.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use sufs_core::scenario::parse_scenario;
+use sufs_hexpr::parse_hist;
+use sufs_net::Repository;
+use sufs_policy::{CmpOp, Guard, Operand, PolicyRegistry, UsageAutomaton};
+
+use crate::json::{self, Json};
+
+/// The snapshot file name inside the state directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// The journal file name inside the state directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// A loaded snapshot: the compacted state plus the journal coverage
+/// mark.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Sequence number of the last journal record this snapshot
+    /// covers; replay skips records with `seq <= covered_seq`.
+    pub covered_seq: u64,
+    /// The repository at snapshot time.
+    pub repository: Repository,
+    /// The policy registry at snapshot time.
+    pub registry: PolicyRegistry,
+    /// The idempotency window at snapshot time: `(req_id, reply)` in
+    /// insertion order, so a mutation retried across a snapshot
+    /// boundary is still recognised as already applied.
+    pub dedup: Vec<(String, Json)>,
+}
+
+/// Serialises a usage automaton back into the `policy name(params) {
+/// … }` scenario declaration the parser accepts. States are named
+/// `q0…qN` by their internal ids; the parser re-materialises them in
+/// first-mention order, which renames ids but preserves the automaton
+/// graph exactly (start, offending set, transitions and guards).
+pub fn policy_text(ua: &UsageAutomaton) -> String {
+    let mut out = String::new();
+    out.push_str("policy ");
+    out.push_str(ua.name());
+    if !ua.params().is_empty() {
+        out.push('(');
+        out.push_str(&ua.params().join(", "));
+        out.push(')');
+    }
+    out.push_str(" {\n");
+    out.push_str(&format!("  start q{};\n", ua.start_state()));
+    for t in ua.transitions() {
+        let event = match &t.event {
+            Some(name) => name.as_ref().to_owned(),
+            None => "*".to_owned(),
+        };
+        match guard_text(&t.guard) {
+            Some(g) => out.push_str(&format!("  q{} -- {event} if {g} -> q{};\n", t.from, t.to)),
+            None => out.push_str(&format!("  q{} -- {event} -> q{};\n", t.from, t.to)),
+        }
+    }
+    let offending: Vec<String> = (0..ua.len())
+        .filter(|&q| ua.is_offending(q))
+        .map(|q| format!("q{q}"))
+        .collect();
+    if !offending.is_empty() {
+        out.push_str(&format!("  offending {};\n", offending.join(" ")));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A guard in the scenario grammar; `None` for [`Guard::True`] (a bare
+/// transition with no `if` clause).
+fn guard_text(guard: &Guard) -> Option<String> {
+    match guard {
+        Guard::True => None,
+        _ => Some(guard_term(guard)),
+    }
+}
+
+fn guard_term(guard: &Guard) -> String {
+    match guard {
+        // `true` has no literal in the grammar; `x0 == x0` would be
+        // wrong, but True only occurs at the top (handled above) or
+        // under And/Or built by code that never nests True there.
+        Guard::True => "(x0 == x0)".to_owned(),
+        Guard::InSet(i, p) => format!("x{i} in {p}"),
+        Guard::NotInSet(i, p) => format!("x{i} not_in {p}"),
+        Guard::Cmp(i, op, operand) => {
+            let op = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            let rhs = match operand {
+                Operand::Param(p) => p.clone(),
+                Operand::Lit(v) => v.to_string(),
+            };
+            format!("x{i} {op} {rhs}")
+        }
+        Guard::And(a, b) => format!("({} and {})", guard_term(a), guard_term(b)),
+        Guard::Or(a, b) => format!("({} or {})", guard_term(a), guard_term(b)),
+        Guard::Not(a) => format!("not ({})", guard_term(a)),
+    }
+}
+
+/// Renders the snapshot JSON document.
+fn render(
+    covered_seq: u64,
+    repository: &Repository,
+    registry: &PolicyRegistry,
+    dedup: &[(String, Json)],
+) -> Json {
+    let services: Vec<Json> = repository
+        .export()
+        .map(|(loc, service, capacity)| {
+            let entry = Json::obj()
+                .with("location", loc.to_string())
+                .with("service", service.to_string());
+            match capacity {
+                Some(cap) => entry.with("capacity", cap),
+                None => entry,
+            }
+        })
+        .collect();
+    let policies: Vec<Json> = registry
+        .iter()
+        .map(|ua| Json::str(policy_text(ua)))
+        .collect();
+    let dedup: Vec<Json> = dedup
+        .iter()
+        .map(|(id, reply)| {
+            Json::obj()
+                .with("id", id.as_str())
+                .with("reply", reply.clone())
+        })
+        .collect();
+    Json::obj()
+        .with("schema_version", 1u64)
+        .with("seq", covered_seq)
+        .with("services", services)
+        .with("policies", policies)
+        .with("dedup", dedup)
+}
+
+/// Writes a snapshot of the given state, atomically replacing any
+/// previous one: `write tmp + fsync + rename + fsync(dir)`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on error the previous snapshot (if any) is
+/// still intact.
+pub fn write(
+    dir: &Path,
+    covered_seq: u64,
+    repository: &Repository,
+    registry: &PolicyRegistry,
+    dedup: &[(String, Json)],
+) -> io::Result<()> {
+    let doc = render(covered_seq, repository, registry, dedup).to_string();
+    let tmp: PathBuf = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let dst: PathBuf = dir.join(SNAPSHOT_FILE);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(doc.as_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &dst)?;
+    // Persist the rename itself: fsync the directory entry.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Loads the snapshot from `dir`, if one exists.
+///
+/// # Errors
+///
+/// `Ok(None)` when no snapshot file exists. An *unreadable* snapshot
+/// is a hard error: the file was swapped in atomically, so corruption
+/// here is not a torn tail but real damage — refusing loudly beats
+/// silently recovering an empty repository.
+pub fn load(dir: &Path) -> io::Result<Option<Snapshot>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut text = String::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let doc =
+        json::parse(&text).map_err(|e| bad(format!("corrupt snapshot {}: {e}", path.display())))?;
+    let mut snapshot = Snapshot {
+        covered_seq: doc
+            .u64_field("seq")
+            .ok_or_else(|| bad("snapshot lacks a `seq` field".into()))?,
+        ..Snapshot::default()
+    };
+    for entry in doc.get("services").and_then(Json::as_arr).unwrap_or(&[]) {
+        let loc = entry
+            .str_field("location")
+            .ok_or_else(|| bad("snapshot service lacks `location`".into()))?;
+        let text = entry
+            .str_field("service")
+            .ok_or_else(|| bad("snapshot service lacks `service`".into()))?;
+        let service = parse_hist(text)
+            .map_err(|e| bad(format!("snapshot service at {loc} does not parse: {e}")))?;
+        snapshot
+            .repository
+            .restore(
+                loc,
+                service,
+                entry.u64_field("capacity").map(|c| c as usize),
+            )
+            .map_err(|e| bad(format!("snapshot service rejected: {e}")))?;
+    }
+    for entry in doc.get("policies").and_then(Json::as_arr).unwrap_or(&[]) {
+        let text = entry
+            .as_str()
+            .ok_or_else(|| bad("snapshot policy is not a string".into()))?;
+        let sc = parse_scenario(text)
+            .map_err(|e| bad(format!("snapshot policy does not parse: {e}")))?;
+        for ua in sc.registry.iter() {
+            snapshot.registry.register(ua.clone());
+        }
+    }
+    for entry in doc.get("dedup").and_then(Json::as_arr).unwrap_or(&[]) {
+        let id = entry
+            .str_field("id")
+            .ok_or_else(|| bad("snapshot dedup entry lacks `id`".into()))?;
+        let reply = entry
+            .get("reply")
+            .cloned()
+            .ok_or_else(|| bad("snapshot dedup entry lacks `reply`".into()))?;
+        snapshot.dedup.push((id.to_owned(), reply));
+    }
+    Ok(Some(snapshot))
+}
+
+/// `true` when `path` (the journal) should be compacted into a
+/// snapshot: the journal holds at least `max_records` records or
+/// `max_bytes` payload bytes.
+pub fn due(records: u64, bytes: u64, max_records: u64, max_bytes: u64) -> bool {
+    records >= max_records || bytes >= max_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_policy::catalog;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sufs-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    /// Round-tripping a policy through the scenario grammar must reach
+    /// a fixpoint: parse(text) re-serialises to the identical text
+    /// (state ids may be renamed once, then stay stable).
+    #[test]
+    fn policy_text_round_trips_catalog_policies() {
+        for ua in [
+            catalog::hotel_policy(),
+            catalog::no_after("read", "write"),
+            catalog::at_most("tick", 3),
+            catalog::blacklist("boom"),
+            catalog::must_precede("auth", "pay"),
+            catalog::chinese_wall("touch"),
+            catalog::separation_of_duty("sign", "audit"),
+        ] {
+            let once = policy_text(&ua);
+            let sc = parse_scenario(&once).unwrap_or_else(|e| panic!("{once}\n{e}"));
+            let reparsed = sc.registry.get(ua.name()).expect("policy registered");
+            assert_eq!(reparsed.params(), ua.params());
+            assert_eq!(reparsed.transitions().len(), ua.transitions().len());
+            let twice = policy_text(reparsed);
+            let sc2 = parse_scenario(&twice).unwrap();
+            let thrice = policy_text(sc2.registry.get(ua.name()).unwrap());
+            assert_eq!(twice, thrice, "round-trip of {} is a fixpoint", ua.name());
+        }
+    }
+
+    #[test]
+    fn snapshot_write_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let mut repo = Repository::new();
+        repo.publish("a", parse_hist("ext[x -> eps]").unwrap());
+        repo.publish_bounded("b", parse_hist("eps").unwrap(), 2);
+        let mut registry = PolicyRegistry::new();
+        registry.register(catalog::hotel_policy());
+        let dedup = vec![("id-1".to_owned(), Json::obj().with("ok", true))];
+        write(&dir, 42, &repo, &registry, &dedup).unwrap();
+
+        let snap = load(&dir).unwrap().expect("snapshot exists");
+        assert_eq!(snap.covered_seq, 42);
+        assert_eq!(snap.repository, repo);
+        assert!(snap.registry.get("hotel").is_some());
+        assert_eq!(snap.dedup, dedup);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none_corrupt_snapshot_is_an_error() {
+        let dir = tmp_dir("corrupt");
+        assert!(load(&dir).unwrap().is_none());
+        fs::write(dir.join(SNAPSHOT_FILE), "{not json").unwrap();
+        assert!(load(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_swap_replaces_previous_snapshot() {
+        let dir = tmp_dir("swap");
+        let repo = Repository::new();
+        let registry = PolicyRegistry::new();
+        write(&dir, 1, &repo, &registry, &[]).unwrap();
+        let mut repo2 = Repository::new();
+        repo2.publish("s", parse_hist("eps").unwrap());
+        write(&dir, 7, &repo2, &registry, &[]).unwrap();
+        let snap = load(&dir).unwrap().unwrap();
+        assert_eq!(snap.covered_seq, 7);
+        assert_eq!(snap.repository.len(), 1);
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn due_thresholds() {
+        assert!(!due(3, 100, 10, 1000));
+        assert!(due(10, 100, 10, 1000));
+        assert!(due(3, 1000, 10, 1000));
+    }
+}

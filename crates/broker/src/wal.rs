@@ -1,0 +1,466 @@
+//! The broker's write-ahead journal.
+//!
+//! Durability for the dynamic repository rests on one rule: a
+//! state-mutating request is appended here — length-prefixed,
+//! CRC32-checksummed, and **fsynced** — *before* its reply frame goes
+//! out. A reply the client has seen therefore implies a record the
+//! disk has seen, and a crashed broker recovers every acknowledged
+//! mutation by replaying the journal over the last snapshot.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     8  magic "SUFSWAL1"
+//! then, per record:
+//!      0     4  payload length `len` (big-endian u32, ≤ 16 MiB)
+//!      4     4  CRC32 (IEEE) over the payload bytes (big-endian)
+//!      8   len  payload: one JSON object
+//!                 {"seq":N,"req":{…original request…},"reply":{…}}
+//! ```
+//!
+//! The payload is the *request itself* (plus the reply it produced, so
+//! recovery can repopulate the idempotency window with exact replies);
+//! replay re-applies requests through the same handlers the live
+//! server uses, so journal semantics can never drift from wire
+//! semantics.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a torn final record: a short header, a
+//! short payload, or a payload whose checksum fails. Replay treats the
+//! first such record as the end of the journal, truncates the file
+//! back to the last good record, and starts — it **never refuses to
+//! start** over a torn tail. (Only unacknowledged work can be torn:
+//! the fsync-before-reply rule means every acknowledged record is
+//! fully on disk.) A bad record *followed by more bytes* is still
+//! truncated the same way; the suffix was never acknowledged either.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+
+/// The journal file's magic header.
+pub const WAL_MAGIC: &[u8; 8] = b"SUFSWAL1";
+
+/// Records larger than this are rejected on append and treated as torn
+/// on replay (matches the wire frame cap).
+pub const MAX_RECORD: usize = 16 << 20;
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum guarding every journal
+/// record and verified on replay.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// One replayed journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (used to skip records the snapshot
+    /// already covers).
+    pub seq: u64,
+    /// The original mutation request.
+    pub request: Json,
+    /// The reply the mutation produced, for repopulating the
+    /// idempotency window.
+    pub reply: Json,
+}
+
+/// What replay found on disk.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplaySummary {
+    /// Records recovered (checksum-verified, in order).
+    pub records: usize,
+    /// Bytes of good journal retained.
+    pub good_bytes: u64,
+    /// Bytes of torn tail discarded (0 for a clean journal).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, checksummed journal file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    records_since_truncate: u64,
+    bytes_since_truncate: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the journal at `path`, replaying every intact
+    /// record and truncating a torn tail. `records` receives the
+    /// recovered records in append order; the returned [`Wal`] is
+    /// positioned for appending after the last good record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and rejects a file whose magic header is
+    /// not a journal (corrupt *heads* are refused loudly — only torn
+    /// *tails* are forgiven).
+    pub fn open(path: &Path) -> io::Result<(Wal, Vec<WalRecord>, ReplaySummary)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut summary = ReplaySummary::default();
+        let mut records = Vec::new();
+        let mut next_seq = 1u64;
+
+        if file_len == 0 {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_data()?;
+        } else {
+            let mut magic = [0u8; 8];
+            match read_exactly(&mut file, &mut magic) {
+                Ok(true) if &magic == WAL_MAGIC => {}
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{} is not a sufs journal (bad magic)", path.display()),
+                    ))
+                }
+            }
+            let mut good_end = WAL_MAGIC.len() as u64;
+            while let Some((record, end)) = read_record(&mut file)? {
+                if record.seq >= next_seq {
+                    next_seq = record.seq + 1;
+                }
+                records.push(record);
+                good_end = end;
+                summary.records += 1;
+            }
+            if good_end < file_len {
+                summary.truncated_bytes = file_len - good_end;
+                file.set_len(good_end)?;
+                file.sync_data()?;
+            }
+            summary.good_bytes = good_end;
+            file.seek(SeekFrom::Start(good_end))?;
+        }
+        if summary.good_bytes == 0 {
+            summary.good_bytes = WAL_MAGIC.len() as u64;
+        }
+
+        let wal = Wal {
+            file,
+            path: path.to_owned(),
+            next_seq,
+            records_since_truncate: summary.records as u64,
+            bytes_since_truncate: summary.good_bytes - WAL_MAGIC.len() as u64,
+        };
+        Ok((wal, records, summary))
+    }
+
+    /// Appends one mutation record and **fsyncs** it. Returns the
+    /// record's sequence number. The caller must not release the reply
+    /// to the client before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an oversized record is `InvalidInput`.
+    pub fn append(&mut self, request: &Json, reply: &Json) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let payload = Json::obj()
+            .with("seq", seq)
+            .with("req", request.clone())
+            .with("reply", reply.clone())
+            .to_string();
+        let bytes = payload.as_bytes();
+        if bytes.len() > MAX_RECORD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal record exceeds the 16 MiB cap",
+            ));
+        }
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(bytes).to_be_bytes());
+        frame.extend_from_slice(bytes);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        self.records_since_truncate += 1;
+        self.bytes_since_truncate += frame.len() as u64;
+        Ok(seq)
+    }
+
+    /// The sequence number the *next* append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Raises the next sequence number to at least `floor`. After a
+    /// snapshot + truncation + restart the journal file is empty and
+    /// would restart at 1; the snapshot's coverage mark supplies the
+    /// floor so new records always sort after everything it covers.
+    pub fn ensure_seq_at_least(&mut self, floor: u64) {
+        if self.next_seq < floor {
+            self.next_seq = floor;
+        }
+    }
+
+    /// Records appended (or replayed) since the journal was last
+    /// truncated — the snapshot policy's record-count input.
+    pub fn records_since_truncate(&self) -> u64 {
+        self.records_since_truncate
+    }
+
+    /// Journal payload bytes accumulated since the last truncation —
+    /// the snapshot policy's size input.
+    pub fn bytes_since_truncate(&self) -> u64 {
+        self.bytes_since_truncate
+    }
+
+    /// Empties the journal after its contents were compacted into a
+    /// snapshot. Sequence numbers keep counting — they are never
+    /// reused, so a crash *between* snapshot swap and truncation is
+    /// harmless (replay skips records the snapshot already covers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(WAL_MAGIC)?;
+        self.file.sync_data()?;
+        self.records_since_truncate = 0;
+        self.bytes_since_truncate = 0;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` on a clean or torn EOF.
+fn read_exactly(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one record at the current position. `Ok(None)` means "end of
+/// the good prefix": clean EOF, torn header, torn payload, checksum
+/// mismatch, or unparsable payload — all are treated as a torn tail.
+/// Returns the record and the file offset just past it.
+fn read_record(file: &mut File) -> io::Result<Option<(WalRecord, u64)>> {
+    let start = file.stream_position()?;
+    let mut header = [0u8; 8];
+    if !read_exactly(file, &mut header)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let want_crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD {
+        file.seek(SeekFrom::Start(start))?;
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; len];
+    if !read_exactly(file, &mut payload)? {
+        file.seek(SeekFrom::Start(start))?;
+        return Ok(None);
+    }
+    if crc32(&payload) != want_crc {
+        file.seek(SeekFrom::Start(start))?;
+        return Ok(None);
+    }
+    let parsed = std::str::from_utf8(&payload)
+        .ok()
+        .and_then(|text| json::parse(text).ok());
+    let Some(value) = parsed else {
+        file.seek(SeekFrom::Start(start))?;
+        return Ok(None);
+    };
+    let (Some(seq), Some(request), Some(reply)) = (
+        value.u64_field("seq"),
+        value.get("req").cloned(),
+        value.get("reply").cloned(),
+    ) else {
+        file.seek(SeekFrom::Start(start))?;
+        return Ok(None);
+    };
+    let end = start + 8 + len as u64;
+    Ok(Some((
+        WalRecord {
+            seq,
+            request,
+            reply,
+        },
+        end,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sufs-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn req(n: u64) -> Json {
+        Json::obj().with("cmd", "publish").with("n", n)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        {
+            let (mut wal, records, summary) = Wal::open(&path).unwrap();
+            assert!(records.is_empty());
+            assert_eq!(summary.records, 0);
+            assert_eq!(
+                wal.append(&req(1), &Json::obj().with("ok", true)).unwrap(),
+                1
+            );
+            assert_eq!(
+                wal.append(&req(2), &Json::obj().with("ok", true)).unwrap(),
+                2
+            );
+        }
+        let (wal, records, summary) = Wal::open(&path).unwrap();
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.truncated_bytes, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[0].request, req(1));
+        assert_eq!(records[1].seq, 2);
+        assert_eq!(wal.next_seq(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        {
+            let (mut wal, _, _) = Wal::open(&path).unwrap();
+            wal.append(&req(1), &Json::obj()).unwrap();
+            wal.append(&req(2), &Json::obj()).unwrap();
+        }
+        // Simulate a crash mid-append: a partial header plus garbage.
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x00, 0x00, 0x01]).unwrap();
+        drop(f);
+        let (_, records, summary) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2, "good prefix survives");
+        assert_eq!(summary.truncated_bytes, 3);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_ends_the_good_prefix() {
+        let path = tmp("crc");
+        {
+            let (mut wal, _, _) = Wal::open(&path).unwrap();
+            wal.append(&req(1), &Json::obj()).unwrap();
+            let second_start = std::fs::metadata(&path).unwrap().len();
+            wal.append(&req(2), &Json::obj()).unwrap();
+            wal.append(&req(3), &Json::obj()).unwrap();
+            // Flip one payload byte of record 2: it and everything after
+            // it (never acknowledged under the fsync rule) are dropped.
+            drop(wal);
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            f.seek(SeekFrom::Start(second_start + 8)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(second_start + 8)).unwrap();
+            f.write_all(&[b[0] ^ 0xff]).unwrap();
+        }
+        let (mut wal, records, summary) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(summary.truncated_bytes > 0);
+        // The journal stays appendable after truncation.
+        assert_eq!(wal.append(&req(4), &Json::obj()).unwrap(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_resets_counters_but_not_sequence() {
+        let path = tmp("truncate");
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&req(1), &Json::obj()).unwrap();
+        wal.append(&req(2), &Json::obj()).unwrap();
+        assert_eq!(wal.records_since_truncate(), 2);
+        wal.truncate().unwrap();
+        assert_eq!(wal.records_since_truncate(), 0);
+        assert_eq!(wal.bytes_since_truncate(), 0);
+        // Sequence numbers continue: a record journaled after a snapshot
+        // must sort after the snapshot's coverage.
+        assert_eq!(wal.append(&req(3), &Json::obj()).unwrap(), 3);
+        drop(wal);
+        let (_, records, _) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_journal_file_is_refused() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        assert!(Wal::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -214,6 +214,34 @@ impl Repository {
         self.services.iter().map(|(l, p)| (l, &p.service))
     }
 
+    /// Iterates over the complete published state — `(location,
+    /// service, capacity)` triples — for serialisation (the broker's
+    /// durability snapshot, most prominently). Unlike
+    /// [`Repository::iter`], this exposes the replication capacity so
+    /// a restored repository is indistinguishable from the original.
+    pub fn export(&self) -> impl Iterator<Item = (&Location, &Hist, Option<usize>)> {
+        self.services
+            .iter()
+            .map(|(l, p)| (l, &p.service, p.capacity))
+    }
+
+    /// Restores one exported entry: publishes `service` at `loc` with
+    /// the given optional capacity, running the same well-formedness
+    /// check as any publish. The inverse of [`Repository::export`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PublishError`] if the service is not well-formed;
+    /// the repository is left untouched.
+    pub fn restore(
+        &mut self,
+        loc: impl Into<Location>,
+        service: Hist,
+        capacity: Option<usize>,
+    ) -> Result<RepoEvent, PublishError> {
+        self.insert_checked(loc.into(), service, capacity)
+    }
+
     /// The number of published services.
     pub fn len(&self) -> usize {
         self.services.len()

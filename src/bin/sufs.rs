@@ -10,6 +10,7 @@
 //! sufs lts <file> <service> [--dot]
 //! sufs bpa <file> <service>
 //! sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune]
+//!            [--state-dir DIR] [--snapshot-every N]
 //! sufs publish <file> --addr HOST:PORT
 //! sufs plan <file> [--client NAME] --addr HOST:PORT
 //! sufs run-remote <file> [--client NAME] [...] --addr HOST:PORT
@@ -91,7 +92,7 @@ fn usage() -> String {
      sufs lts <file> <service> [--dot]\n  \
      sufs bpa <file> <service>\n  \
      sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune] \
-     [--plan-cap N] [--fuel N]\n  \
+     [--plan-cap N] [--fuel N] [--state-dir DIR] [--snapshot-every N]\n  \
      sufs publish <file> --addr HOST:PORT\n  \
      sufs plan <file> [--client NAME] --addr HOST:PORT\n  \
      sufs run-remote <file> [--client NAME] [--plan r=loc,...] \
@@ -601,13 +602,29 @@ fn cmd_bpa(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let a = parse_args(
         args,
-        &["--addr", "--max-clients", "--jobs", "--plan-cap", "--fuel"],
+        &[
+            "--addr",
+            "--max-clients",
+            "--jobs",
+            "--plan-cap",
+            "--fuel",
+            "--state-dir",
+            "--snapshot-every",
+        ],
         &["--prune"],
     )?;
     if !a.positional.is_empty() {
         return Err(usage());
     }
     let mut config = BrokerConfig::default();
+    if let Some(dir) = a.value("--state-dir") {
+        config.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(s) = a.value("--snapshot-every") {
+        config.snapshot_every = s
+            .parse()
+            .map_err(|_| format!("bad snapshot threshold `{s}`"))?;
+    }
     if let Some(addr) = a.value("--addr") {
         config.addr = addr.to_owned();
     }
