@@ -1,0 +1,321 @@
+//! Replication benchmark (B8): what quorum acknowledgement costs, how
+//! long failover takes, and what follower reads are worth, emitted as
+//! machine-readable `BENCH_broker_replication.json`.
+//!
+//! Three measurements over a primary with two live followers:
+//!
+//! 1. **Mutation throughput vs ack mode** — the same publish workload
+//!    under `local` (fsync-only) and `quorum` (majority of a 3-node
+//!    cluster) acknowledgement; the gap is the price of one replication
+//!    round trip on the mutation path.
+//! 2. **Failover time distribution** — kill the primary, promote the
+//!    most-caught-up follower, and time kill → promoted → first
+//!    successful mutation on the new primary.
+//! 3. **Follower plan reads** — `plan` throughput served by the primary
+//!    vs a follower; reads scale out because followers answer them from
+//!    replicated state without touching the primary.
+//!
+//! Environment:
+//! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
+//! * `SUFS_BENCH_BROKER_REPLICATION_OUT=path` — where to write the JSON
+//!   (default `BENCH_broker_replication.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use sufs_broker::{AckMode, Broker, BrokerClient, BrokerConfig, BrokerHandle, Json};
+use sufs_hexpr::builder::*;
+use sufs_hexpr::Hist;
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sufs-bench-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn responder() -> Hist {
+    recv("req", choose([("ok", eps()), ("no", eps())]))
+}
+
+fn booking_client() -> Hist {
+    request(
+        1,
+        None,
+        seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+    )
+}
+
+fn node_config(dir: &Path, follow: Option<String>, ack: AckMode) -> BrokerConfig {
+    BrokerConfig {
+        state_dir: Some(dir.to_path_buf()),
+        snapshot_every: 64,
+        follow,
+        ack,
+        cluster_size: 3,
+        ack_timeout: Duration::from_millis(500),
+        follow_retry: Duration::from_millis(10),
+        replication_tick: Duration::from_millis(25),
+        ..BrokerConfig::default()
+    }
+}
+
+/// A primary plus two live followers; returns once both followers have
+/// bootstrapped (the primary reports two connections).
+struct Trio {
+    dirs: Vec<PathBuf>,
+    primary: BrokerHandle,
+    followers: Vec<BrokerHandle>,
+}
+
+fn spawn_trio(tag: &str, ack: AckMode) -> Trio {
+    let dirs: Vec<PathBuf> = (0..3).map(|i| state_dir(&format!("{tag}-n{i}"))).collect();
+    let primary = Broker::spawn(node_config(&dirs[0], None, ack)).expect("primary spawns");
+    let upstream = primary.addr().to_string();
+    let followers: Vec<BrokerHandle> = (1..3)
+        .map(|i| {
+            Broker::spawn(node_config(&dirs[i], Some(upstream.clone()), ack))
+                .expect("follower spawns")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut conn = BrokerClient::connect(primary.addr()).expect("connect");
+        let stats = conn.stats().expect("stats");
+        let count = stats
+            .get("replication")
+            .and_then(|r| r.u64_field("follower_count"))
+            .unwrap_or(0);
+        if count == 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "followers never connected");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Trio {
+        dirs,
+        primary,
+        followers,
+    }
+}
+
+impl Trio {
+    fn cleanup(self) {
+        self.primary.kill();
+        for f in self.followers {
+            f.kill();
+        }
+        for dir in &self.dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Measurement 1: publish throughput under one ack mode, two live
+/// followers either way (so `local` pays replication shipping but not
+/// the wait).
+fn run_throughput(ack: AckMode, mutations: usize) -> Json {
+    let trio = spawn_trio(&format!("tp-{}", ack.as_str()), ack);
+    let service = responder().to_string();
+    let mut conn = BrokerClient::connect(trio.primary.addr()).expect("connect");
+    let mut latencies = Vec::with_capacity(mutations);
+    let wall = Instant::now();
+    for i in 0..mutations {
+        let t = Instant::now();
+        let reply = conn
+            .publish(&format!("loc{}", i % 32), &service, None)
+            .expect("publish");
+        latencies.push(t.elapsed().as_micros());
+        assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
+        if ack == AckMode::Quorum {
+            assert_eq!(reply.bool_field("quorum"), Some(true), "quorum timed out");
+        }
+    }
+    let wall = wall.elapsed().as_secs_f64();
+    drop(conn);
+    trio.cleanup();
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    let rps = mutations as f64 / wall;
+    eprintln!(
+        "  ack={}: {mutations} publishes in {:.1}ms, {rps:.0} rps, \
+         p50 {p50}µs p95 {p95}µs p99 {p99}µs",
+        ack.as_str(),
+        wall * 1e3
+    );
+    Json::obj()
+        .with("ack", ack.as_str())
+        .with("mutations", mutations)
+        .with("wall_ms", wall * 1e3)
+        .with("throughput_rps", rps)
+        .with("p50_us", p50 as u64)
+        .with("p95_us", p95 as u64)
+        .with("p99_us", p99 as u64)
+}
+
+/// Measurement 2: one failover — kill the primary, promote the
+/// most-caught-up follower, and time until it accepts a mutation.
+/// Local acks throughout, so the measurement isolates the failover
+/// mechanics instead of the new primary's quorum wait (no follower has
+/// been re-pointed at it yet).
+fn run_failover(rep: usize, seed_mutations: usize) -> Json {
+    let trio = spawn_trio(&format!("fo-{rep}"), AckMode::Local);
+    let service = responder().to_string();
+    let mut conn = BrokerClient::connect(trio.primary.addr()).expect("connect");
+    for i in 0..seed_mutations {
+        conn.publish(&format!("loc{}", i % 32), &service, None)
+            .expect("seed publish");
+    }
+    drop(conn);
+
+    let applied = |addr: SocketAddr| {
+        let mut c = BrokerClient::connect(addr).expect("connect");
+        c.stats()
+            .expect("stats")
+            .get("replication")
+            .and_then(|r| r.u64_field("applied_seq"))
+            .unwrap_or(0)
+    };
+    let t = Instant::now();
+    trio.primary.kill();
+    let kill_ms = t.elapsed().as_secs_f64() * 1e3;
+    let best = trio
+        .followers
+        .iter()
+        .max_by_key(|f| applied(f.addr()))
+        .expect("two followers");
+    let mut promoted = BrokerClient::connect(best.addr()).expect("connect best");
+    let reply = promoted.promote().expect("promote");
+    assert_eq!(reply.bool_field("changed"), Some(true), "{reply}");
+    let promote_ms = t.elapsed().as_secs_f64() * 1e3 - kill_ms;
+    let reply = promoted
+        .publish("after-failover", &service, None)
+        .expect("first mutation on the new primary");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    let total_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  failover {rep}: kill {kill_ms:.1}ms, promote +{promote_ms:.1}ms, \
+         first write at {total_ms:.1}ms"
+    );
+    for f in trio.followers {
+        f.kill();
+    }
+    for dir in &trio.dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Json::obj()
+        .with("seed_mutations", seed_mutations)
+        .with("kill_ms", kill_ms)
+        .with("promote_ms", promote_ms)
+        .with("first_write_ms", total_ms)
+}
+
+/// Measurement 3: `plan` reads served by the primary vs a follower.
+fn run_follower_reads(plans: usize) -> Json {
+    let trio = spawn_trio("reads", AckMode::Quorum);
+    let service = responder().to_string();
+    let mut conn = BrokerClient::connect(trio.primary.addr()).expect("connect");
+    for i in 0..4 {
+        conn.publish(&format!("loc{i}"), &service, None)
+            .expect("seed publish");
+    }
+    drop(conn);
+    let client_hist = booking_client().to_string();
+    let measure = |addr: SocketAddr| {
+        let mut c = BrokerClient::connect(addr).expect("connect");
+        // Warm the verification cache out of the measurement.
+        c.plan(&client_hist).expect("warm plan");
+        let wall = Instant::now();
+        for _ in 0..plans {
+            let reply = c.plan(&client_hist).expect("plan");
+            assert_eq!(reply.bool_field("ok"), Some(true), "plan failed");
+        }
+        plans as f64 / wall.elapsed().as_secs_f64()
+    };
+    // Let the followers catch up on the seeds before reading from one.
+    std::thread::sleep(Duration::from_millis(100));
+    let primary_rps = measure(trio.primary.addr());
+    let follower_rps = measure(trio.followers[0].addr());
+    eprintln!("  plan reads: primary {primary_rps:.0} rps, follower {follower_rps:.0} rps");
+    trio.cleanup();
+    Json::obj()
+        .with("plans", plans)
+        .with("primary_rps", primary_rps)
+        .with("follower_rps", follower_rps)
+}
+
+fn main() {
+    let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mutations = if smoke { 50 } else { 500 };
+    let failover_reps = if smoke { 3 } else { 10 };
+    let seed_mutations = if smoke { 16 } else { 128 };
+    let plans = if smoke { 20 } else { 200 };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    write!(
+        out,
+        "  \"bench\": \"broker_replication\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n"
+    )
+    .unwrap();
+
+    eprintln!("mutation throughput, local vs quorum acks (2 followers)");
+    out.push_str("  \"throughput\": [\n");
+    let local = run_throughput(AckMode::Local, mutations);
+    let quorum = run_throughput(AckMode::Quorum, mutations);
+    let ratio = quorum
+        .get("p50_us")
+        .and_then(Json::as_f64)
+        .zip(local.get("p50_us").and_then(Json::as_f64))
+        .map_or(0.0, |(q, l)| if l == 0.0 { 0.0 } else { q / l });
+    write!(out, "    {local},\n    {quorum}\n  ],\n").unwrap();
+    writeln!(out, "  \"quorum_p50_cost_ratio\": {ratio:.2},").unwrap();
+
+    eprintln!("failover time distribution ({failover_reps} reps)");
+    out.push_str("  \"failover\": [\n");
+    let mut first_writes: Vec<u128> = Vec::new();
+    for rep in 0..failover_reps {
+        if rep > 0 {
+            out.push_str(",\n");
+        }
+        let sample = run_failover(rep, seed_mutations);
+        if let Some(ms) = sample.get("first_write_ms").and_then(Json::as_f64) {
+            first_writes.push((ms * 1000.0) as u128);
+        }
+        write!(out, "    {sample}").unwrap();
+    }
+    out.push_str("\n  ],\n");
+    first_writes.sort_unstable();
+    write!(
+        out,
+        "  \"failover_first_write_p50_us\": {},\n  \"failover_first_write_p95_us\": {},\n",
+        percentile(&first_writes, 50.0),
+        percentile(&first_writes, 95.0)
+    )
+    .unwrap();
+
+    eprintln!("plan read throughput, primary vs follower");
+    write!(
+        out,
+        "  \"follower_reads\": {}\n}}\n",
+        run_follower_reads(plans)
+    )
+    .unwrap();
+
+    let path = std::env::var("SUFS_BENCH_BROKER_REPLICATION_OUT")
+        .unwrap_or_else(|_| "BENCH_broker_replication.json".into());
+    std::fs::write(&path, &out).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

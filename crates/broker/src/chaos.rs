@@ -12,11 +12,18 @@
 //! Determinism: connection `i` draws its fault plan from
 //! `SplitMix64(seed ⊕ mix(i))`, so a failing test seed replays the
 //! identical byte-level schedule every time.
+//!
+//! For *multi-node* chaos, [`ChaosLink`] is the complementary tool: a
+//! proxy with no random schedule but a [`LinkControl`] handle the test
+//! drives explicitly — partition/heal, asymmetric blackholing per
+//! direction, and added latency. Put one in front of each follower's
+//! upstream address and the harness can cut, degrade, and heal every
+//! link of a cluster deterministically.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -265,6 +272,214 @@ fn forward_upstream(client: &TcpStream, server: &TcpStream, fault: Fault) -> io:
     }
 }
 
+/// The control handle of a [`ChaosLink`]: flip link conditions while
+/// traffic flows. All switches take effect on the next chunk each
+/// forwarding thread moves; `partition` additionally severs every live
+/// connection, so both ends observe the cut immediately.
+#[derive(Debug, Default)]
+pub struct LinkControl {
+    partitioned: AtomicBool,
+    drop_up: AtomicBool,
+    drop_down: AtomicBool,
+    delay_us: AtomicU64,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl LinkControl {
+    /// Cuts the link: live connections are severed, new ones are
+    /// refused until [`LinkControl::heal`].
+    pub fn partition(&self) {
+        self.partitioned.store(true, Ordering::SeqCst);
+        let mut conns = self.conns.lock().expect("conns lock");
+        for conn in conns.drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Restores the link. Severed connections stay dead — the peers
+    /// redial through the healed link, which for a replication follower
+    /// means a fresh snapshot bootstrap.
+    pub fn heal(&self) {
+        self.partitioned.store(false, Ordering::SeqCst);
+        self.drop_up.store(false, Ordering::SeqCst);
+        self.drop_down.store(false, Ordering::SeqCst);
+        self.delay_us.store(0, Ordering::SeqCst);
+    }
+
+    /// Asymmetric loss: silently discard bytes flowing client→upstream
+    /// (`true` blackholes that direction). The reverse direction keeps
+    /// flowing — the classic half-working link.
+    pub fn drop_upstream(&self, on: bool) {
+        self.drop_up.store(on, Ordering::SeqCst);
+    }
+
+    /// Asymmetric loss for the upstream→client direction.
+    pub fn drop_downstream(&self, on: bool) {
+        self.drop_down.store(on, Ordering::SeqCst);
+    }
+
+    /// Adds a per-chunk forwarding delay in both directions — a slow
+    /// link that lags a follower without killing it.
+    pub fn set_delay(&self, delay: Duration) {
+        self.delay_us
+            .store(delay.as_micros() as u64, Ordering::SeqCst);
+    }
+
+    /// `true` while the link is cut.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
+    }
+
+    fn register(&self, conn: TcpStream) {
+        let mut conns = self.conns.lock().expect("conns lock");
+        conns.retain(|c| c.peer_addr().is_ok());
+        conns.push(conn);
+    }
+}
+
+/// A controllable proxy for one network link of a multi-node cluster.
+///
+/// Unlike [`ChaosProxy`] — which draws a random per-connection fault
+/// plan — a `ChaosLink` forwards faithfully until the test flips a
+/// switch on its [`LinkControl`]. Blackholed bytes are *discarded*, not
+/// delayed: a framed peer that missed part of the stream fails to parse
+/// the next frame and redials, which is exactly how the replication
+/// protocol is designed to heal.
+pub struct ChaosLink {
+    addr: SocketAddr,
+    control: Arc<LinkControl>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosLink {
+    /// Starts a link proxy on an ephemeral loopback port forwarding to
+    /// `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(upstream: SocketAddr) -> io::Result<ChaosLink> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let control = Arc::new(LinkControl::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_control = Arc::clone(&control);
+        let accept_stop = Arc::clone(&stop);
+        let acceptor = thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { continue };
+                if accept_control.is_partitioned() {
+                    continue; // refused: dropping the stream closes it
+                }
+                let control = Arc::clone(&accept_control);
+                workers.retain(|w| !w.is_finished());
+                workers.push(thread::spawn(move || {
+                    let _ = link_connection(client, upstream, &control);
+                }));
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(ChaosLink {
+            addr,
+            control,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The link's listening address — point the downstream node here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The control handle; clone freely into the test harness.
+    pub fn control(&self) -> Arc<LinkControl> {
+        Arc::clone(&self.control)
+    }
+}
+
+impl Drop for ChaosLink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.control.partition(); // sever everything in flight
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Direction of travel through a [`ChaosLink`], used to pick which
+/// blackhole switch applies.
+#[derive(Clone, Copy)]
+enum LinkDir {
+    /// client → upstream
+    Up,
+    /// upstream → client
+    Down,
+}
+
+/// Forwards one direction of a [`ChaosLink`] connection, honouring the
+/// control switches per chunk. Severs both sockets on exit so the
+/// opposite pump unblocks too.
+fn link_forward(mut from: TcpStream, mut to: TcpStream, control: &LinkControl, dir: LinkDir) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if control.is_partitioned() {
+                    break;
+                }
+                let delay = control.delay_us.load(Ordering::SeqCst);
+                if delay > 0 {
+                    thread::sleep(Duration::from_micros(delay));
+                }
+                let dropped = match dir {
+                    LinkDir::Up => control.drop_up.load(Ordering::SeqCst),
+                    LinkDir::Down => control.drop_down.load(Ordering::SeqCst),
+                };
+                if dropped {
+                    continue; // blackhole: bytes vanish
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    sever(&from, &to);
+}
+
+/// Runs one proxied connection of a [`ChaosLink`]: dials the upstream,
+/// registers both sockets with the control (so `partition()` can sever
+/// them mid-flight) and pumps the two directions on separate threads.
+fn link_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    control: &Arc<LinkControl>,
+) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    let _ = server.set_nodelay(true);
+    let _ = client.set_nodelay(true);
+    control.register(client.try_clone()?);
+    control.register(server.try_clone()?);
+
+    let up_control = Arc::clone(control);
+    let (up_from, up_to) = (client.try_clone()?, server.try_clone()?);
+    let up = thread::spawn(move || link_forward(up_from, up_to, &up_control, LinkDir::Up));
+    link_forward(server, client, control, LinkDir::Down);
+    let _ = up.join();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +540,113 @@ mod tests {
         drop(conn);
         drop(proxy);
         let _ = echo.join();
+    }
+
+    /// Echo server that serves every connection until dropped.
+    fn spawn_echo() -> (SocketAddr, JoinHandle<()>, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let echo_stop = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if echo_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut s) = stream else { continue };
+                thread::spawn(move || {
+                    let mut buf = [0u8; 256];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle, stop)
+    }
+
+    fn stop_echo(addr: SocketAddr, handle: JoinHandle<()>, stop: &Arc<AtomicBool>) {
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        let _ = handle.join();
+    }
+
+    #[test]
+    fn link_partition_severs_and_refuses_until_heal() {
+        let (upstream, echo, stop) = spawn_echo();
+        let link = ChaosLink::spawn(upstream).unwrap();
+        let ctl = link.control();
+
+        // Healthy link forwards round trips.
+        let mut conn = TcpStream::connect(link.addr()).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+
+        // Partition: the live connection dies...
+        ctl.partition();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let dead = match conn.read(&mut back) {
+            Ok(0) | Err(_) => true,
+            Ok(_) => false,
+        };
+        assert!(dead, "partition severs in-flight connections");
+
+        // ...and new dials get no service (accepted-then-closed or refused).
+        let mut probe = TcpStream::connect(link.addr()).unwrap();
+        probe
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        probe.write_all(b"ping").unwrap();
+        let refused = match probe.read(&mut back) {
+            Ok(0) | Err(_) => true,
+            Ok(_) => false,
+        };
+        assert!(refused, "partitioned link serves no new connections");
+
+        // Heal: fresh connections flow again.
+        ctl.heal();
+        let mut conn = TcpStream::connect(link.addr()).unwrap();
+        conn.write_all(b"pong").unwrap();
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"pong");
+
+        drop(conn);
+        drop(link);
+        stop_echo(upstream, echo, &stop);
+    }
+
+    #[test]
+    fn link_blackhole_is_asymmetric() {
+        let (upstream, echo, stop) = spawn_echo();
+        let link = ChaosLink::spawn(upstream).unwrap();
+        let ctl = link.control();
+
+        let mut conn = TcpStream::connect(link.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+
+        // Upstream direction blackholed: the echo never hears us.
+        ctl.drop_upstream(true);
+        conn.write_all(b"lost").unwrap();
+        let mut back = [0u8; 4];
+        assert!(
+            conn.read_exact(&mut back).is_err(),
+            "blackholed request produces no echo"
+        );
+
+        // Heal the direction: later bytes flow, earlier ones stay lost.
+        ctl.drop_upstream(false);
+        conn.write_all(b"kept").unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"kept");
+
+        drop(conn);
+        drop(link);
+        stop_echo(upstream, echo, &stop);
     }
 }

@@ -39,6 +39,11 @@ pub struct ReconnectPolicy {
     pub base_delay: Duration,
     /// … capped at this much.
     pub max_delay: Duration,
+    /// Ordered failover list, rotated through on redial: the first
+    /// redial dials `addrs[0]`, the next `addrs[1]`, wrapping. Empty
+    /// (the default) redials the address the client first connected
+    /// to — the pre-replication behaviour.
+    pub addrs: Vec<String>,
 }
 
 impl Default for ReconnectPolicy {
@@ -47,11 +52,30 @@ impl Default for ReconnectPolicy {
             max_retries: 6,
             base_delay: Duration::from_millis(5),
             max_delay: Duration::from_millis(500),
+            addrs: Vec::new(),
         }
     }
 }
 
 impl ReconnectPolicy {
+    /// Sets the ordered failover address list.
+    #[must_use]
+    pub fn with_addrs(mut self, addrs: Vec<String>) -> Self {
+        self.addrs = addrs;
+        self
+    }
+
+    /// The address the `redial`-th redial (0-based, counted over the
+    /// client's lifetime) should dial, or `None` when the list is empty
+    /// and the original peer should be re-dialled.
+    pub fn addr_at(&self, redial: usize) -> Option<&str> {
+        if self.addrs.is_empty() {
+            None
+        } else {
+            Some(self.addrs[redial % self.addrs.len()].as_str())
+        }
+    }
+
     /// The delay before retry `attempt` (0-based): exponential backoff
     /// capped at `max_delay`, with the upper half jittered so a herd of
     /// clients retrying after one broker crash does not stampede in
@@ -71,6 +95,8 @@ pub struct BrokerClient {
     peer: SocketAddr,
     rng: StdRng,
     reconnect: Option<ReconnectPolicy>,
+    /// Lifetime redial count; indexes the policy's failover rotation.
+    redials: usize,
 }
 
 impl BrokerClient {
@@ -102,7 +128,28 @@ impl BrokerClient {
             peer,
             rng: StdRng::seed_from_u64(seed),
             reconnect: None,
+            redials: 0,
         })
+    }
+
+    /// Connects to the first reachable address of an ordered list — the
+    /// multi-node entry point. Pair with
+    /// [`ReconnectPolicy::with_addrs`] so later redials rotate through
+    /// the same list.
+    ///
+    /// # Errors
+    ///
+    /// The *last* connect failure when every address is unreachable;
+    /// `InvalidInput` on an empty list.
+    pub fn connect_any(addrs: &[String]) -> io::Result<Self> {
+        let mut last = io::Error::new(io::ErrorKind::InvalidInput, "no addresses to dial");
+        for addr in addrs {
+            match Self::connect(addr.as_str()) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     /// Enables bounded reconnect-and-retry for this client.
@@ -156,9 +203,11 @@ impl BrokerClient {
 
     /// [`BrokerClient::request`], retried under the reconnect policy
     /// (when one is set): on any transport failure the client backs
-    /// off, redials, and resends the request **verbatim** — same
-    /// `req_id`, so a durable broker applies a retried mutation exactly
-    /// once.
+    /// off, redials — rotating through the policy's failover address
+    /// list when one is configured — and resends the request
+    /// **verbatim**: same `req_id`, so a durable broker applies a
+    /// retried mutation exactly once even when the retry lands on a
+    /// different node.
     ///
     /// # Errors
     ///
@@ -175,8 +224,17 @@ impl BrokerClient {
                     let _ = e; // every transport failure is retriable
                     std::thread::sleep(policy.delay(attempt, &mut self.rng));
                     attempt += 1;
-                    if let Ok(stream) = TcpStream::connect(self.peer) {
+                    let target = policy.addr_at(self.redials).map(str::to_owned);
+                    self.redials += 1;
+                    let dialled = match &target {
+                        Some(addr) => TcpStream::connect(addr.as_str()),
+                        None => TcpStream::connect(self.peer),
+                    };
+                    if let Ok(stream) = dialled {
                         let _ = stream.set_nodelay(true);
+                        if let Ok(peer) = stream.peer_addr() {
+                            self.peer = peer;
+                        }
                         self.stream = stream;
                     }
                 }
@@ -300,6 +358,15 @@ impl BrokerClient {
         self.request_retrying(&Json::obj().with("cmd", "stats"))
     }
 
+    /// `promote`: ask a follower to become the primary.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn promote(&mut self) -> io::Result<Json> {
+        self.request_retrying(&Json::obj().with("cmd", "promote"))
+    }
+
     /// `shutdown`: ask the daemon to drain.
     ///
     /// # Errors
@@ -336,11 +403,42 @@ mod tests {
     }
 
     #[test]
+    fn redial_rotation_walks_the_address_list_in_order() {
+        let policy = ReconnectPolicy::default().with_addrs(vec![
+            "10.0.0.1:7001".to_owned(),
+            "10.0.0.2:7001".to_owned(),
+            "10.0.0.3:7001".to_owned(),
+        ]);
+        let walked: Vec<&str> = (0..7).filter_map(|n| policy.addr_at(n)).collect();
+        assert_eq!(
+            walked,
+            [
+                "10.0.0.1:7001",
+                "10.0.0.2:7001",
+                "10.0.0.3:7001",
+                "10.0.0.1:7001",
+                "10.0.0.2:7001",
+                "10.0.0.3:7001",
+                "10.0.0.1:7001",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_address_list_redials_the_original_peer() {
+        let policy = ReconnectPolicy::default();
+        for n in 0..4 {
+            assert_eq!(policy.addr_at(n), None);
+        }
+    }
+
+    #[test]
     fn backoff_is_bounded_and_grows() {
         let policy = ReconnectPolicy {
             max_retries: 8,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(100),
+            ..ReconnectPolicy::default()
         };
         let mut rng = StdRng::seed_from_u64(1);
         let mut last_cap = 0;

@@ -24,6 +24,7 @@ pub mod client;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+pub mod replication;
 pub mod server;
 pub mod snapshot;
 pub mod wal;
@@ -32,4 +33,5 @@ pub use client::{BrokerClient, ReconnectPolicy};
 pub use json::{Json, JsonError};
 pub use metrics::Metrics;
 pub use proto::FrameError;
+pub use replication::{AckMode, Role};
 pub use server::{synth_stats_json, verdict_json, Broker, BrokerConfig, BrokerHandle};

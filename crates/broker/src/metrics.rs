@@ -50,8 +50,23 @@ pub struct Metrics {
     pub replayed_records: AtomicU64,
     /// Wall time of the last startup recovery, in milliseconds.
     pub last_recovery_ms: AtomicU64,
+    /// Journal records shipped to at least one follower (primary side).
+    pub records_shipped: AtomicU64,
+    /// Replicated records applied through the replay path (follower side).
+    pub replicated_records: AtomicU64,
+    /// Follower connections accepted (each implies a snapshot bootstrap
+    /// served).
+    pub follower_connects: AtomicU64,
+    /// Snapshot bootstraps this node received as a follower.
+    pub bootstraps_received: AtomicU64,
+    /// Follower→primary promotions performed on this node.
+    pub promotions: AtomicU64,
+    /// Quorum-mode mutations whose acknowledgement wait timed out
+    /// (applied locally, `"quorum": false` in the reply).
+    pub quorum_timeouts: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
     recovery_histogram: [AtomicU64; BUCKETS],
+    replication_histogram: [AtomicU64; BUCKETS],
 }
 
 impl Default for Metrics {
@@ -79,8 +94,15 @@ impl Metrics {
             dedup_hits: AtomicU64::new(0),
             replayed_records: AtomicU64::new(0),
             last_recovery_ms: AtomicU64::new(0),
+            records_shipped: AtomicU64::new(0),
+            replicated_records: AtomicU64::new(0),
+            follower_connects: AtomicU64::new(0),
+            bootstraps_received: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            quorum_timeouts: AtomicU64::new(0),
             histogram: Default::default(),
             recovery_histogram: Default::default(),
+            replication_histogram: Default::default(),
         }
     }
 
@@ -104,6 +126,17 @@ impl Metrics {
             .unwrap_or(BUCKETS - 1);
         self.recovery_histogram[idx].fetch_add(1, Ordering::Relaxed);
         self.last_recovery_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Records one replicated record's ship→ack round trip as seen by
+    /// the primary.
+    pub fn observe_replication(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let idx = HISTOGRAM_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.replication_histogram[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Renders every counter, the histogram, and the uptime as a JSON
@@ -135,6 +168,17 @@ impl Metrics {
                 "recovery_ms_histogram",
                 render_hist(&self.recovery_histogram),
             );
+        let replication = Json::obj()
+            .with("records_shipped", self.records_shipped.load(load))
+            .with("replicated_records", self.replicated_records.load(load))
+            .with("follower_connects", self.follower_connects.load(load))
+            .with("bootstraps_received", self.bootstraps_received.load(load))
+            .with("promotions", self.promotions.load(load))
+            .with("quorum_timeouts", self.quorum_timeouts.load(load))
+            .with(
+                "replication_ms_histogram",
+                render_hist(&self.replication_histogram),
+            );
         Json::obj()
             .with("uptime_ms", self.started.elapsed().as_millis() as u64)
             .with("connections", self.connections.load(load))
@@ -151,6 +195,7 @@ impl Metrics {
             .with("cache_hit_rate", hit_rate)
             .with("synthesis_ms_histogram", hist)
             .with("durability", durability)
+            .with("replication", replication)
     }
 }
 

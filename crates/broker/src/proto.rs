@@ -63,21 +63,34 @@ impl FrameError {
     }
 }
 
+/// Encodes one message as a complete length-prefixed frame, ready for a
+/// single `write_all`. The replication path pre-encodes each journal
+/// record once and fans the same bytes out to every follower queue.
+///
+/// # Errors
+///
+/// `InvalidInput` when the payload exceeds `u32` (far beyond
+/// [`MAX_FRAME`], which the *reader* enforces).
+pub fn encode_frame(message: &Json) -> io::Result<Vec<u8>> {
+    let payload = message.to_string();
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    Ok(frame)
+}
+
 /// Writes one length-prefixed JSON frame.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_frame(w: &mut impl Write, message: &Json) -> io::Result<()> {
-    let payload = message.to_string();
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     // Prefix and payload go out as ONE write: splitting them across two
     // writes on an unbuffered socket lets Nagle hold the payload until
     // the peer's delayed ACK, turning every request into a ~40ms stall.
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&len.to_be_bytes());
-    frame.extend_from_slice(payload.as_bytes());
+    let frame = encode_frame(message)?;
     w.write_all(&frame)?;
     w.flush()
 }
@@ -145,7 +158,11 @@ pub fn ok() -> Json {
 /// `no_valid_plan` (a run was requested but no statically valid plan
 /// exists), `verify` (synthesis failed outright), `busy` (admission
 /// control rejected the connection), `shutting_down` (the daemon is
-/// draining), `internal` (a durability failure or other server-side
+/// draining), `not_primary` (a mutation or `replicate` request reached
+/// a follower; the reply carries the upstream address as a redirect
+/// hint), `not_durable` (a `replicate` request reached a primary
+/// without a state directory — the journal is the replication
+/// substrate), `internal` (a durability failure or other server-side
 /// fault).
 pub fn error(kind: &str, message: impl Into<String>) -> Json {
     Json::obj()

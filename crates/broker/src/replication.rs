@@ -1,0 +1,776 @@
+//! WAL-shipping replication: primaries stream journal records to
+//! followers; followers can be promoted when the primary is lost.
+//!
+//! # Design
+//!
+//! Replication reuses the crash-recovery machinery end to end. A
+//! follower joining (or *re*-joining) a primary always receives a full
+//! snapshot bootstrap — the exact JSON document
+//! [`crate::snapshot::write`] persists — followed by the live stream of
+//! journal records, each shipped as the same `{seq, req, reply}` tuple
+//! the on-disk journal holds. The follower applies every record through
+//! the same request handlers startup replay uses, journals it under the
+//! *primary's* sequence number, and acknowledges the applied sequence.
+//! Because bootstrap replaces the follower's entire state, a node that
+//! diverged (e.g. an old primary that applied mutations which never
+//! reached quorum before it was killed) converges simply by rejoining:
+//! no epochs or truncation protocol are needed for correctness.
+//!
+//! # Acknowledgement modes
+//!
+//! Under `AckMode::Local` a mutation is acknowledged once the local
+//! fsync completes (PR-5 behaviour). Under `AckMode::Quorum` the reply
+//! additionally waits until a majority of the configured cluster —
+//! `cluster_size / 2` followers besides the primary itself — has
+//! acknowledged the record, and reports the outcome in a `"quorum"`
+//! field. A timeout degrades to `"quorum": false` (the mutation *is*
+//! applied and journaled locally); clients that need machine-loss
+//! durability retry the same `req_id` until they see `"quorum": true` —
+//! the idempotency window re-evaluates quorum on every retry, so the
+//! retry is cheap and exactly-once.
+//!
+//! # Ordering
+//!
+//! Records are broadcast to follower queues *while the WAL append lock
+//! is held*, and appends happen while the mutated resource's write lock
+//! is held, so every follower observes records in exactly the journal
+//! order. Follower registration takes the same resource → dedup → wal →
+//! followers lock chain as the snapshotter, which freezes the journal
+//! tip while the bootstrap document is rendered: a joining follower can
+//! neither miss a record nor receive one twice (records at or below the
+//! bootstrap's coverage are skipped by sequence number).
+//!
+//! # Promotion
+//!
+//! `promote` severs the follower's upstream link, joins its pull
+//! thread, and flips the role to primary; its journal already continues
+//! the primary's numbering, so new mutations extend the same sequence.
+//! Operators (or the chaos harness) promote the follower with the
+//! highest `applied_seq`: the stream is a journal prefix, so that
+//! follower contains every record any quorum ever acknowledged.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::proto::{self, encode_frame, read_frame, write_frame};
+use crate::server::{handle_request_from, BrokerConfig, Shared, Source};
+use crate::snapshot;
+
+/// Frames a slow follower may have queued before the primary declares
+/// it lost; past this the connection is severed and the follower
+/// re-bootstraps when it redials.
+const QUEUE_CAP: usize = 65_536;
+
+/// Upper bound on one upstream connection attempt.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// How a mutation is acknowledged to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Acknowledge after the local WAL fsync (single-node durability).
+    Local,
+    /// Additionally wait for a majority of the configured cluster to
+    /// acknowledge the record; the reply's `"quorum"` field reports
+    /// whether the wait succeeded within the timeout.
+    Quorum,
+}
+
+impl AckMode {
+    /// Parses the `--ack` CLI value.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "local" => Ok(AckMode::Local),
+            "quorum" => Ok(AckMode::Quorum),
+            other => Err(format!("unknown ack mode `{other}` (want local|quorum)")),
+        }
+    }
+
+    /// The wire/CLI name of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AckMode::Local => "local",
+            AckMode::Quorum => "quorum",
+        }
+    }
+}
+
+/// Which side of the replication stream this broker is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations and serves `replicate` streams.
+    Primary,
+    /// Applies the upstream's records; rejects client mutations with
+    /// `not_primary`.
+    Follower {
+        /// The primary's address, re-dialled until promotion.
+        upstream: String,
+    },
+}
+
+impl Role {
+    /// The wire name of this role.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower { .. } => "follower",
+        }
+    }
+}
+
+/// Primary-side state for one connected follower.
+pub(crate) struct FollowerConn {
+    /// The follower's peer address, for `stats`.
+    pub(crate) peer: String,
+    /// The replication connection; the writer thread drains `queue`
+    /// into it, the `serve_replica` thread reads acks from it.
+    stream: TcpStream,
+    /// Encoded record frames awaiting the writer thread.
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    qcv: Condvar,
+    /// Abandon: stop shipping, drop the queue.
+    closed: AtomicBool,
+    /// Drain: ship everything queued, then stop.
+    draining: AtomicBool,
+    /// Highest sequence number the follower acknowledged.
+    pub(crate) acked_seq: AtomicU64,
+    /// Highest sequence number queued for shipping.
+    pub(crate) sent_seq: AtomicU64,
+    /// Ship times of in-flight records, popped on ack to feed the
+    /// replication-latency histogram.
+    inflight: Mutex<VecDeque<(u64, Instant)>>,
+}
+
+impl FollowerConn {
+    fn new(peer: String, stream: TcpStream, baseline_seq: u64) -> Self {
+        FollowerConn {
+            peer,
+            stream,
+            queue: Mutex::new(VecDeque::new()),
+            qcv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            acked_seq: AtomicU64::new(0),
+            sent_seq: AtomicU64::new(baseline_seq),
+            inflight: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn enqueue(&self, seq: u64, frame: &[u8]) {
+        let mut queue = self.queue.lock().expect("queue lock");
+        if queue.len() >= QUEUE_CAP {
+            // The follower is too far behind to catch up by streaming;
+            // sever so it re-bootstraps from a fresh snapshot instead
+            // of growing an unbounded queue on the primary.
+            drop(queue);
+            self.abandon();
+            return;
+        }
+        queue.push_back(frame.to_vec());
+        self.sent_seq.store(seq, Ordering::SeqCst);
+        self.inflight
+            .lock()
+            .expect("inflight lock")
+            .push_back((seq, Instant::now()));
+        self.qcv.notify_all();
+    }
+
+    fn abandon(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.queue.lock().expect("queue lock").clear();
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.qcv.notify_all();
+    }
+
+    /// The writer thread: ships queued frames, emits a heartbeat after
+    /// `tick` of idleness, exits once closed (immediately) or draining
+    /// (after the queue empties).
+    fn writer_loop(self: &Arc<Self>, tick: Duration) {
+        let mut stream = &self.stream;
+        loop {
+            let frame = {
+                let mut queue = self.queue.lock().expect("queue lock");
+                loop {
+                    if self.closed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(frame) = queue.pop_front() {
+                        break Some(frame);
+                    }
+                    if self.draining.load(Ordering::SeqCst) {
+                        return; // queue flushed; the broker is draining
+                    }
+                    let (guard, timeout) = self.qcv.wait_timeout(queue, tick).expect("queue lock");
+                    queue = guard;
+                    if timeout.timed_out() && queue.is_empty() {
+                        let hb = Json::obj().with("hb", self.sent_seq.load(Ordering::SeqCst));
+                        break encode_frame(&hb).ok();
+                    }
+                }
+            };
+            let Some(frame) = frame else { continue };
+            if std::io::Write::write_all(&mut stream, &frame).is_err() {
+                self.closed.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+/// Replication state shared by every connection thread of a broker.
+pub(crate) struct Replication {
+    /// Primary or follower; flipped (once) by `promote`.
+    pub(crate) role: std::sync::RwLock<Role>,
+    pub(crate) ack_mode: AckMode,
+    /// Total voting nodes the operator configured, primary included.
+    pub(crate) cluster_size: usize,
+    /// How long a quorum-mode mutation waits for follower acks.
+    pub(crate) ack_timeout: Duration,
+    /// Follower redial backoff.
+    pub(crate) follow_retry: Duration,
+    /// Heartbeat interval; followers treat `4 * tick` of silence as a
+    /// dead upstream and redial.
+    pub(crate) tick: Duration,
+    /// Connected followers (primary side). Also the condvar anchor for
+    /// quorum waits.
+    pub(crate) followers: Mutex<Vec<Arc<FollowerConn>>>,
+    ack_cv: Condvar,
+    /// Highest journal sequence applied on this node.
+    pub(crate) applied_seq: AtomicU64,
+    /// Highest sequence known quorum-acknowledged; monotone.
+    pub(crate) committed_seq: AtomicU64,
+    /// Bumped by `promote` (and shutdown) to stop the pull loop.
+    pub(crate) epoch: AtomicU64,
+    /// The live upstream connection, severed on promote/shutdown.
+    upstream_conn: Mutex<Option<TcpStream>>,
+    /// The pull-loop thread, joined on promote/shutdown.
+    puller: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Replication {
+    pub(crate) fn new(config: &BrokerConfig) -> Self {
+        let role = match &config.follow {
+            Some(upstream) => Role::Follower {
+                upstream: upstream.clone(),
+            },
+            None => Role::Primary,
+        };
+        Replication {
+            role: std::sync::RwLock::new(role),
+            ack_mode: config.ack,
+            cluster_size: config.cluster_size.max(1),
+            ack_timeout: config.ack_timeout,
+            follow_retry: config.follow_retry,
+            tick: config.replication_tick,
+            followers: Mutex::new(Vec::new()),
+            ack_cv: Condvar::new(),
+            applied_seq: AtomicU64::new(0),
+            committed_seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            upstream_conn: Mutex::new(None),
+            puller: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn is_primary(&self) -> bool {
+        matches!(*self.role.read().expect("role lock"), Role::Primary)
+    }
+
+    /// The upstream address while a follower; `None` once primary.
+    pub(crate) fn upstream(&self) -> Option<String> {
+        match &*self.role.read().expect("role lock") {
+            Role::Primary => None,
+            Role::Follower { upstream } => Some(upstream.clone()),
+        }
+    }
+
+    /// Follower acknowledgements a quorum needs besides the primary's
+    /// own fsync: a majority of `cluster_size` voters.
+    pub(crate) fn needed_acks(&self) -> usize {
+        self.cluster_size / 2
+    }
+
+    /// Fans one encoded record frame out to every live follower queue.
+    /// The caller holds the WAL lock, which makes broadcast order
+    /// exactly journal order.
+    pub(crate) fn broadcast(&self, seq: u64, frame: &[u8], metrics: &Metrics) {
+        let followers = self.followers.lock().expect("followers lock");
+        if followers.is_empty() {
+            return;
+        }
+        metrics.records_shipped.fetch_add(1, Ordering::Relaxed);
+        for follower in followers.iter() {
+            if !follower.closed.load(Ordering::SeqCst) {
+                follower.enqueue(seq, frame);
+            }
+        }
+    }
+
+    /// Records a follower's acknowledgement: advances its acked mark,
+    /// observes ship→ack latency, refreshes `committed_seq`, and wakes
+    /// quorum waiters.
+    fn note_ack(&self, follower: &FollowerConn, seq: u64, metrics: &Metrics) {
+        follower.acked_seq.fetch_max(seq, Ordering::SeqCst);
+        {
+            let mut inflight = follower.inflight.lock().expect("inflight lock");
+            while inflight.front().is_some_and(|&(s, _)| s <= seq) {
+                let (_, shipped) = inflight.pop_front().expect("non-empty");
+                metrics.observe_replication(shipped.elapsed());
+            }
+        }
+        let followers = self.followers.lock().expect("followers lock");
+        let acked: Vec<u64> = followers
+            .iter()
+            .filter(|f| !f.closed.load(Ordering::SeqCst))
+            .map(|f| f.acked_seq.load(Ordering::SeqCst))
+            .collect();
+        if let Some(committed) = committed_from(acked, self.needed_acks()) {
+            self.committed_seq.fetch_max(committed, Ordering::SeqCst);
+        }
+        self.ack_cv.notify_all();
+    }
+
+    /// Blocks until `seq` is quorum-acknowledged, the timeout passes,
+    /// or the broker drains. Called with no locks held (the mutation's
+    /// resource write lock excepted).
+    pub(crate) fn wait_quorum(&self, seq: u64, shutting_down: &AtomicBool) -> bool {
+        if self.needed_acks() == 0 {
+            self.committed_seq.fetch_max(seq, Ordering::SeqCst);
+            return true;
+        }
+        let deadline = Instant::now() + self.ack_timeout;
+        let mut followers = self.followers.lock().expect("followers lock");
+        loop {
+            if self.committed_seq.load(Ordering::SeqCst) >= seq {
+                return true;
+            }
+            if shutting_down.load(Ordering::SeqCst) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .ack_cv
+                .wait_timeout(followers, deadline - now)
+                .expect("followers lock");
+            followers = guard;
+        }
+    }
+
+    fn unregister(&self, follower: &Arc<FollowerConn>) {
+        let mut followers = self.followers.lock().expect("followers lock");
+        followers.retain(|f| !Arc::ptr_eq(f, follower));
+        self.ack_cv.notify_all();
+    }
+
+    /// Marks every follower queue as draining (flush, then stop) and
+    /// wakes quorum waiters; part of graceful shutdown.
+    pub(crate) fn drain_followers(&self) {
+        let followers = self.followers.lock().expect("followers lock");
+        for follower in followers.iter() {
+            follower.draining.store(true, Ordering::SeqCst);
+            follower.qcv.notify_all();
+        }
+        self.ack_cv.notify_all();
+    }
+}
+
+/// The sequence number acknowledged by at least `needed` followers:
+/// the `needed`-th largest element, or `None` when `needed == 0` or too
+/// few followers are connected.
+fn committed_from(mut acked: Vec<u64>, needed: usize) -> Option<u64> {
+    if needed == 0 || acked.len() < needed {
+        return None;
+    }
+    acked.sort_unstable_by(|a, b| b.cmp(a));
+    Some(acked[needed - 1])
+}
+
+/// The `not_primary` error for a mutation (or `replicate`) reaching a
+/// follower, carrying the upstream address as a redirect hint.
+pub(crate) fn not_primary(shared: &Shared) -> Json {
+    let mut reply = proto::error("not_primary", "this broker is a follower");
+    if let Some(upstream) = shared.repl.upstream() {
+        reply.set("primary", upstream);
+    }
+    reply
+}
+
+/// Serves one `replicate` request: registers the follower under the
+/// snapshotter's lock chain (freezing the journal tip), ships the
+/// bootstrap snapshot, then streams records from a writer thread while
+/// this thread consumes acks. Returns when the connection dies or the
+/// broker drains.
+pub(crate) fn serve_replica(stream: &mut TcpStream, shared: &Shared) {
+    if !shared.repl.is_primary() {
+        let _ = write_frame(stream, &not_primary(shared));
+        return;
+    }
+    let Some(d) = shared.durability.as_ref() else {
+        let _ = write_frame(
+            stream,
+            &proto::error(
+                "not_durable",
+                "replication requires --state-dir on the primary (the journal is the stream)",
+            ),
+        );
+        return;
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_owned());
+    let (follower, handshake) = {
+        let repo = shared.repo.read().expect("repo lock");
+        let registry = shared.registry.read().expect("registry lock");
+        let dedup = d.dedup.lock().expect("dedup lock");
+        let wal = d.wal.lock().expect("wal lock");
+        let covered = wal.next_seq().saturating_sub(1);
+        let doc = snapshot::render_doc(covered, &repo, &registry, &dedup.export());
+        let follower = Arc::new(FollowerConn::new(peer, write_half, covered));
+        shared
+            .repl
+            .followers
+            .lock()
+            .expect("followers lock")
+            .push(Arc::clone(&follower));
+        (
+            follower,
+            proto::ok().with("snapshot", doc).with("seq", covered),
+        )
+    };
+    shared
+        .metrics
+        .follower_connects
+        .fetch_add(1, Ordering::Relaxed);
+    if write_frame(stream, &handshake).is_err() {
+        shared.repl.unregister(&follower);
+        return;
+    }
+    let writer = {
+        let follower = Arc::clone(&follower);
+        let tick = shared.repl.tick;
+        std::thread::spawn(move || follower.writer_loop(tick))
+    };
+    while let Ok(Some(frame)) = read_frame(stream) {
+        if let Some(seq) = frame.u64_field("ack") {
+            shared.repl.note_ack(&follower, seq, &shared.metrics);
+        }
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        // Graceful drain: ship everything already journaled, then stop.
+        follower.draining.store(true, Ordering::SeqCst);
+    } else {
+        follower.closed.store(true, Ordering::SeqCst);
+    }
+    follower.qcv.notify_all();
+    let _ = writer.join();
+    let _ = follower.stream.shutdown(Shutdown::Both);
+    shared.repl.unregister(&follower);
+}
+
+/// Spawns the follower's pull loop: dial the upstream, bootstrap from
+/// its snapshot, apply + ack the record stream, redial on any failure.
+/// Exits when the epoch is bumped (promotion) or the broker drains.
+pub(crate) fn spawn_puller(shared: &Arc<Shared>, upstream: String) {
+    let my_epoch = shared.repl.epoch.load(Ordering::SeqCst);
+    let handle = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let mut first = true;
+            while !stopped(&shared, my_epoch) {
+                if !first {
+                    std::thread::sleep(shared.repl.follow_retry);
+                }
+                first = false;
+                let _ = pull_once(&shared, &upstream, my_epoch);
+            }
+        })
+    };
+    *shared.repl.puller.lock().expect("puller lock") = Some(handle);
+}
+
+fn stopped(shared: &Shared, my_epoch: u64) -> bool {
+    shared.shutting_down.load(Ordering::SeqCst)
+        || shared.repl.epoch.load(Ordering::SeqCst) != my_epoch
+}
+
+/// One upstream session: connect → handshake → bootstrap → apply/ack
+/// until the stream dies. Every error path just returns; the caller
+/// redials.
+fn pull_once(shared: &Arc<Shared>, upstream: &str, my_epoch: u64) -> io::Result<()> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let addr = upstream
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| bad(format!("upstream `{upstream}` does not resolve")))?;
+    let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    let _ = stream.set_nodelay(true);
+    // Heartbeats arrive every `tick`; a silent upstream is a dead or
+    // partitioned one, and redialling is how a follower heals.
+    let _ = stream.set_read_timeout(Some(shared.repl.tick * 4));
+    *shared.repl.upstream_conn.lock().expect("upstream lock") = Some(stream.try_clone()?);
+    if stopped(shared, my_epoch) {
+        return Ok(());
+    }
+    write_frame(
+        &mut stream,
+        &Json::obj()
+            .with("cmd", "replicate")
+            .with("from_seq", shared.repl.applied_seq.load(Ordering::SeqCst)),
+    )?;
+    let handshake = read_frame(&mut stream)?
+        .ok_or_else(|| bad("upstream closed before the replication handshake".into()))?;
+    if handshake.bool_field("ok") != Some(true) {
+        // `not_primary`, `busy`, `shutting_down`, … — redial and let
+        // the operator (or harness) re-point us if it persists.
+        return Err(bad(format!("upstream refused replication: {handshake}")));
+    }
+    let doc = handshake
+        .get("snapshot")
+        .ok_or_else(|| bad("replication handshake lacks `snapshot`".into()))?;
+    bootstrap(shared, doc)?;
+    shared
+        .metrics
+        .bootstraps_received
+        .fetch_add(1, Ordering::Relaxed);
+    let ack = |stream: &mut TcpStream, seq: u64| write_frame(stream, &Json::obj().with("ack", seq));
+    ack(&mut stream, shared.repl.applied_seq.load(Ordering::SeqCst))?;
+    loop {
+        if stopped(shared, my_epoch) {
+            return Ok(());
+        }
+        let frame = match read_frame(&mut stream)? {
+            Some(frame) => frame,
+            None => return Ok(()), // upstream drained cleanly
+        };
+        if let Some(record) = frame.get("rec") {
+            apply_replicated(shared, record)?;
+            ack(&mut stream, shared.repl.applied_seq.load(Ordering::SeqCst))?;
+        } else if frame.get("hb").is_some() {
+            ack(&mut stream, shared.repl.applied_seq.load(Ordering::SeqCst))?;
+        }
+    }
+}
+
+/// Replaces this follower's entire state with the primary's bootstrap
+/// snapshot. Full replacement — not a diff — is what makes rejoin after
+/// divergence correct: whatever this node applied that the primary's
+/// journal does not contain is discarded here.
+fn bootstrap(shared: &Shared, doc: &Json) -> io::Result<()> {
+    let snap = snapshot::parse_doc(doc)?;
+    let mut repo = shared.repo.write().expect("repo lock");
+    let mut registry = shared.registry.write().expect("registry lock");
+    // Evict verdicts naming any location of the old *or* new state, and
+    // the whole registry layer: the swap invalidates both worlds.
+    for loc in repo.locations() {
+        shared.cache.invalidate_location(loc);
+    }
+    for (loc, _, _) in snap.repository.export() {
+        shared.cache.invalidate_location(loc);
+    }
+    shared.cache.invalidate_registry();
+    let covered = snap.covered_seq;
+    *repo = snap.repository;
+    *registry = snap.registry;
+    if let Some(d) = shared.durability.as_ref() {
+        let mut dedup = d.dedup.lock().expect("dedup lock");
+        dedup.replace(snap.dedup);
+        let mut wal = d.wal.lock().expect("wal lock");
+        snapshot::write(&d.dir, covered, &repo, &registry, &dedup.export())?;
+        wal.truncate()?;
+        wal.ensure_seq_at_least(covered + 1);
+    }
+    shared.repl.applied_seq.store(covered, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Applies one replicated record: re-run the request through the
+/// regular handlers (as startup replay does), journal it under the
+/// primary's sequence number, and record the *primary's* reply in the
+/// idempotency window so a client retry answered here matches what the
+/// primary said.
+fn apply_replicated(shared: &Shared, record: &Json) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let seq = record
+        .u64_field("seq")
+        .ok_or_else(|| bad("replicated record lacks `seq`"))?;
+    let request = record
+        .get("req")
+        .ok_or_else(|| bad("replicated record lacks `req`"))?;
+    let reply = record
+        .get("reply")
+        .ok_or_else(|| bad("replicated record lacks `reply`"))?;
+    if seq <= shared.repl.applied_seq.load(Ordering::SeqCst) {
+        // Straddles the bootstrap boundary (or a primary retransmit):
+        // the snapshot already covers it.
+        return Ok(());
+    }
+    let local = handle_request_from(request, shared, Source::Replication);
+    if local.bool_field("ok") != Some(true) && reply.bool_field("ok") == Some(true) {
+        eprintln!("sufs-broker: replicated record {seq} diverged from the primary: {local}");
+    }
+    if let Some(d) = shared.durability.as_ref() {
+        if let Some(id) = request.str_field("req_id") {
+            d.dedup
+                .lock()
+                .expect("dedup lock")
+                .insert(id.to_owned(), reply.clone());
+        }
+        d.wal
+            .lock()
+            .expect("wal lock")
+            .append_at(seq, request, reply)?;
+    }
+    shared.repl.applied_seq.store(seq, Ordering::SeqCst);
+    shared
+        .metrics
+        .replicated_records
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Stops the pull loop deterministically: bump the epoch, sever the
+/// upstream socket, join the thread. Used by promotion and by both
+/// shutdown paths (a "killed" node must not keep applying records).
+pub(crate) fn stop_puller(shared: &Shared) {
+    shared.repl.epoch.fetch_add(1, Ordering::SeqCst);
+    if let Some(conn) = shared
+        .repl
+        .upstream_conn
+        .lock()
+        .expect("upstream lock")
+        .take()
+    {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    let handle = shared.repl.puller.lock().expect("puller lock").take();
+    if let Some(handle) = handle {
+        let _ = handle.join();
+    }
+}
+
+/// The `promote` command: turn this follower into a primary. Idempotent
+/// — promoting a primary is an acknowledged no-op.
+pub(crate) fn cmd_promote(shared: &Shared) -> Json {
+    if shared.repl.is_primary() {
+        return proto::ok()
+            .with("role", "primary")
+            .with("changed", false)
+            .with(
+                "applied_seq",
+                shared.repl.applied_seq.load(Ordering::SeqCst),
+            );
+    }
+    stop_puller(shared);
+    *shared.repl.role.write().expect("role lock") = Role::Primary;
+    shared.metrics.promotions.fetch_add(1, Ordering::Relaxed);
+    let applied = shared.repl.applied_seq.load(Ordering::SeqCst);
+    eprintln!("sufs-broker: promoted to primary at seq {applied}");
+    proto::ok()
+        .with("role", "primary")
+        .with("changed", true)
+        .with("applied_seq", applied)
+}
+
+/// The `replication` section of the `stats` reply: role, ack mode,
+/// sequence marks, and per-follower lag.
+pub(crate) fn stats_section(shared: &Shared) -> Json {
+    let repl = &shared.repl;
+    let followers: Vec<Json> = repl
+        .followers
+        .lock()
+        .expect("followers lock")
+        .iter()
+        .map(|f| {
+            let sent = f.sent_seq.load(Ordering::SeqCst);
+            let acked = f.acked_seq.load(Ordering::SeqCst);
+            Json::obj()
+                .with("peer", f.peer.as_str())
+                .with("sent_seq", sent)
+                .with("acked_seq", acked)
+                .with("lag", sent.saturating_sub(acked))
+        })
+        .collect();
+    let mut out = Json::obj()
+        .with("role", repl.role.read().expect("role lock").name())
+        .with("ack_mode", repl.ack_mode.as_str())
+        .with("cluster_size", repl.cluster_size)
+        .with("epoch", repl.epoch.load(Ordering::SeqCst))
+        .with("applied_seq", repl.applied_seq.load(Ordering::SeqCst))
+        .with("committed_seq", repl.committed_seq.load(Ordering::SeqCst))
+        .with("follower_count", followers.len())
+        .with("followers", followers);
+    if let Some(upstream) = repl.upstream() {
+        out.set("upstream", upstream);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_mode_parses_both_values_and_rejects_others() {
+        assert_eq!(AckMode::parse("local"), Ok(AckMode::Local));
+        assert_eq!(AckMode::parse("quorum"), Ok(AckMode::Quorum));
+        assert!(AckMode::parse("paxos").is_err());
+        assert_eq!(AckMode::Quorum.as_str(), "quorum");
+    }
+
+    #[test]
+    fn committed_seq_is_the_kth_largest_ack() {
+        // cluster_size 3 → 1 follower ack suffices: the *largest* ack.
+        assert_eq!(committed_from(vec![4, 9], 1), Some(9));
+        // cluster_size 5 → 2 follower acks: the 2nd largest.
+        assert_eq!(committed_from(vec![4, 9, 7, 2], 2), Some(7));
+        // Not enough followers connected yet.
+        assert_eq!(committed_from(vec![4], 2), None);
+        // Local mode / single-node cluster: quorum is trivial.
+        assert_eq!(committed_from(vec![], 0), None);
+    }
+
+    #[test]
+    fn majority_math_matches_cluster_size() {
+        for (cluster, needed) in [(1, 0), (2, 1), (3, 1), (4, 2), (5, 2), (7, 3)] {
+            let config = BrokerConfig {
+                cluster_size: cluster,
+                ..BrokerConfig::default()
+            };
+            assert_eq!(
+                Replication::new(&config).needed_acks(),
+                needed,
+                "cluster of {cluster}"
+            );
+        }
+    }
+
+    #[test]
+    fn role_follows_config() {
+        let primary = Replication::new(&BrokerConfig::default());
+        assert!(primary.is_primary());
+        assert_eq!(primary.upstream(), None);
+        let follower = Replication::new(&BrokerConfig {
+            follow: Some("127.0.0.1:9".to_owned()),
+            ..BrokerConfig::default()
+        });
+        assert!(!follower.is_primary());
+        assert_eq!(follower.upstream(), Some("127.0.0.1:9".to_owned()));
+    }
+}

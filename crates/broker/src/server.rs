@@ -35,13 +35,28 @@
 //! Without a state directory nothing here runs — the broker behaves
 //! exactly as before.
 //!
+//! # Replication (opt-in)
+//!
+//! With [`BrokerConfig::follow`] set the broker starts as a *follower*:
+//! it bootstraps from the upstream's snapshot, applies its journal
+//! record stream through the same replay path recovery uses, rejects
+//! client mutations with `not_primary`, and serves reads (`plan`,
+//! `run`, `repo`, `stats`) from the replicated state. A primary serves
+//! any number of `replicate` streams; with [`BrokerConfig::ack`] set to
+//! quorum its mutation replies additionally report whether a majority
+//! of the configured cluster acknowledged the record. See
+//! [`crate::replication`].
+//!
 //! # Shutdown
 //!
 //! [`BrokerHandle::shutdown`] (or a `shutdown` request) flips the drain
 //! flag, wakes the acceptor, and shuts the read side of every open
 //! connection: in-flight requests complete and their replies are
-//! delivered, new opens are rejected, and [`BrokerHandle::join`]
-//! returns once every handler thread has drained.
+//! delivered — a reply is written only after its WAL fsync, so an `ok`
+//! seen by a client during the drain is always durable — new opens are
+//! rejected, follower queues are flushed, the replication pull loop is
+//! joined, and [`BrokerHandle::join`] returns once every handler
+//! thread has drained.
 
 use std::collections::VecDeque;
 use std::io;
@@ -50,7 +65,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sufs_core::scenario::parse_scenario;
 use sufs_core::{recovery_table, synthesize_with, SynthesisOptions, VerifyCache};
@@ -62,6 +77,7 @@ use sufs_rng::{SeedableRng, StdRng};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::proto::{self, read_frame, write_frame, FrameError};
+use crate::replication::{self, AckMode, Replication};
 use crate::snapshot;
 use crate::wal::{ReplaySummary, Wal, WalRecord};
 
@@ -93,6 +109,27 @@ pub struct BrokerConfig {
     pub state_dir: Option<PathBuf>,
     /// Journal records that trigger a snapshot compaction.
     pub snapshot_every: u64,
+    /// Start as a follower of this primary: bootstrap from its
+    /// snapshot, apply its record stream, reject client mutations with
+    /// `not_primary` until promoted. `None` (the default) starts a
+    /// primary.
+    pub follow: Option<String>,
+    /// Mutation acknowledgement mode; quorum waits for a majority of
+    /// `cluster_size` before reporting `"quorum": true`.
+    pub ack: AckMode,
+    /// Total voting nodes (primary included) a quorum is measured
+    /// against. Fixed by configuration, *not* by live connections:
+    /// counting only connected followers would let a partitioned
+    /// minority believe it has a majority.
+    pub cluster_size: usize,
+    /// How long a quorum-mode mutation waits for follower acks before
+    /// degrading to `"quorum": false`.
+    pub ack_timeout: Duration,
+    /// Follower redial backoff after the upstream connection fails.
+    pub follow_retry: Duration,
+    /// Replication heartbeat interval; followers treat `4 ×` this of
+    /// silence as a dead upstream and redial.
+    pub replication_tick: Duration,
 }
 
 impl Default for BrokerConfig {
@@ -104,13 +141,19 @@ impl Default for BrokerConfig {
             fuel: 100_000,
             state_dir: None,
             snapshot_every: 1024,
+            follow: None,
+            ack: AckMode::Local,
+            cluster_size: 1,
+            ack_timeout: Duration::from_secs(5),
+            follow_retry: Duration::from_millis(250),
+            replication_tick: Duration::from_millis(500),
         }
     }
 }
 
 /// A bounded FIFO of recently applied mutation ids and the exact
 /// replies they produced — the server half of exactly-once retries.
-struct DedupWindow {
+pub(crate) struct DedupWindow {
     entries: VecDeque<(String, Json)>,
     cap: usize,
 }
@@ -130,7 +173,7 @@ impl DedupWindow {
             .map(|(_, reply)| reply)
     }
 
-    fn insert(&mut self, id: String, reply: Json) {
+    pub(crate) fn insert(&mut self, id: String, reply: Json) {
         self.entries.retain(|(k, _)| *k != id);
         self.entries.push_back((id, reply));
         while self.entries.len() > self.cap {
@@ -138,7 +181,16 @@ impl DedupWindow {
         }
     }
 
-    fn export(&self) -> Vec<(String, Json)> {
+    /// Replaces the whole window — a follower adopting its bootstrap
+    /// snapshot's idempotency state.
+    pub(crate) fn replace(&mut self, entries: Vec<(String, Json)>) {
+        self.entries.clear();
+        for (id, reply) in entries {
+            self.insert(id, reply);
+        }
+    }
+
+    pub(crate) fn export(&self) -> Vec<(String, Json)> {
         self.entries.iter().cloned().collect()
     }
 
@@ -150,21 +202,35 @@ impl DedupWindow {
 /// The durable half of a broker running with a state directory.
 ///
 /// Lock order, everywhere: resource lock (`repo`/`registry`) →
-/// `dedup` → `wal`. Mutation handlers append to the journal while
-/// still holding the resource write lock, so journal order is exactly
-/// apply order; the snapshotter takes both resource *read* locks
-/// first, which blocks every mutation and freezes the journal tip
-/// while the state is captured.
-struct Durability {
-    dir: PathBuf,
-    wal: Mutex<Wal>,
-    dedup: Mutex<DedupWindow>,
+/// `dedup` → `wal` → `repl.followers`. Mutation handlers append to the
+/// journal while still holding the resource write lock, so journal
+/// order is exactly apply order; the snapshotter takes both resource
+/// *read* locks first, which blocks every mutation and freezes the
+/// journal tip while the state is captured. Record broadcast and
+/// follower registration both happen under the `wal` lock, which is
+/// what makes the replication stream exactly journal order with no
+/// gaps at join time.
+pub(crate) struct Durability {
+    pub(crate) dir: PathBuf,
+    pub(crate) wal: Mutex<Wal>,
+    pub(crate) dedup: Mutex<DedupWindow>,
     snapshot_every: u64,
-    /// Set during startup replay: handlers re-apply journal records
-    /// without re-appending them.
-    replaying: AtomicBool,
     /// At most one connection thread compacts at a time.
     snapshotting: AtomicBool,
+}
+
+/// Where a request entered the broker; decides journaling, quorum
+/// waits, and the follower role check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Source {
+    /// Over the wire: journal + broadcast + (maybe) quorum wait, and
+    /// reject mutations on a follower.
+    Client,
+    /// Startup journal replay: re-apply without re-journaling.
+    Replay,
+    /// The upstream's record stream: apply; the caller journals under
+    /// the primary's sequence number.
+    Replication,
 }
 
 /// What `Broker::spawn` found on disk, applied once `Shared` exists.
@@ -178,20 +244,23 @@ struct RecoveryPlan {
 }
 
 /// Everything the connection threads share.
-struct Shared {
-    repo: RwLock<Repository>,
-    registry: RwLock<PolicyRegistry>,
-    cache: VerifyCache,
-    metrics: Metrics,
+pub(crate) struct Shared {
+    pub(crate) repo: RwLock<Repository>,
+    pub(crate) registry: RwLock<PolicyRegistry>,
+    pub(crate) cache: VerifyCache,
+    pub(crate) metrics: Metrics,
     opts: SynthesisOptions,
     fuel: usize,
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
     /// Read halves of admitted connections, shut down on drain so idle
     /// handlers wake up and exit.
     conns: Mutex<Vec<TcpStream>>,
     /// Journal + snapshot + idempotency window; `None` without
     /// `--state-dir` (the in-memory PR-4 behaviour, unchanged).
-    durability: Option<Durability>,
+    pub(crate) durability: Option<Durability>,
+    /// Role, follower registry, sequence marks; always present (a
+    /// plain single node is a primary with no followers).
+    pub(crate) repl: Replication,
 }
 
 /// The broker daemon; see the module docs for the protocol and the
@@ -261,12 +330,12 @@ impl Broker {
                     wal: Mutex::new(wal),
                     dedup: Mutex::new(dedup),
                     snapshot_every: config.snapshot_every.max(1),
-                    replaying: AtomicBool::new(false),
                     snapshotting: AtomicBool::new(false),
                 })
             }
         };
 
+        let repl = Replication::new(&config);
         let shared = Arc::new(Shared {
             repo: RwLock::new(repo),
             registry: RwLock::new(registry),
@@ -277,9 +346,19 @@ impl Broker {
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             durability,
+            repl,
         });
         if let Some(plan) = recovery {
             replay_journal(&shared, plan);
+        }
+        // The recovered journal tip seeds the replication sequence mark
+        // (a promoted follower keeps counting from here).
+        if let Some(d) = shared.durability.as_ref() {
+            let applied = d.wal.lock().expect("wal lock").next_seq().saturating_sub(1);
+            shared.repl.applied_seq.store(applied, Ordering::SeqCst);
+        }
+        if let Some(upstream) = config.follow.clone() {
+            replication::spawn_puller(&shared, upstream);
         }
         let accept_shared = Arc::clone(&shared);
         let max_clients = config.max_clients;
@@ -346,6 +425,10 @@ impl BrokerHandle {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
+        // A killed follower must stop applying records *now*: an
+        // in-process "dead machine" with a live pull thread would keep
+        // mutating the state dir behind the crash test's back.
+        replication::stop_puller(&self.shared);
         // Wake the acceptor so it observes the flag and exits.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
@@ -371,11 +454,10 @@ fn replay_journal(shared: &Shared, plan: RecoveryPlan) {
         .durability
         .as_ref()
         .expect("replay requires durability");
-    d.replaying.store(true, Ordering::SeqCst);
     for record in &plan.pending {
         // The handler re-applies the mutation; all four mutation
         // commands are upserts/deletes, so re-application is exact.
-        let _ = handle_request(&record.request, shared);
+        let _ = handle_request_from(&record.request, shared, Source::Replay);
         if let Some(id) = record.request.str_field("req_id") {
             // The *recorded* reply wins over the recomputed one: its
             // cache-eviction counts reflect what the client was
@@ -386,7 +468,6 @@ fn replay_journal(shared: &Shared, plan: RecoveryPlan) {
                 .insert(id.to_owned(), record.reply.clone());
         }
     }
-    d.replaying.store(false, Ordering::SeqCst);
     // Counters accumulated during replay would misreport the daemon's
     // live traffic; recovery has its own metrics.
     shared.metrics.mutations.store(0, Ordering::Relaxed);
@@ -412,34 +493,94 @@ fn replay_journal(shared: &Shared, plan: RecoveryPlan) {
 
 /// Answers a retried mutation from the idempotency window. Callers
 /// hold the mutated resource's write lock, so a hit here can never
-/// interleave with the original application.
-fn dedup_check(shared: &Shared, request: &Json) -> Option<Json> {
+/// interleave with the original application. Replayed and replicated
+/// records never dedup — their sources already deduplicated them.
+///
+/// On a quorum-mode broker the recorded reply's `"quorum"` field is
+/// re-evaluated against the *current* committed mark: a mutation that
+/// timed out on its first attempt reports `"quorum": true` on a retry
+/// once the record has reached a majority, which is what lets clients
+/// "retry the same req_id until quorum" without re-applying anything.
+fn dedup_check(shared: &Shared, request: &Json, source: Source) -> Option<Json> {
+    if source != Source::Client {
+        return None;
+    }
     let d = shared.durability.as_ref()?;
     let id = request.str_field("req_id")?;
-    let hit = d.dedup.lock().expect("dedup lock").get(id).cloned()?;
+    let mut hit = d.dedup.lock().expect("dedup lock").get(id).cloned()?;
     shared.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    if shared.repl.ack_mode == AckMode::Quorum {
+        if let Some(seq) = hit.u64_field("seq") {
+            let committed = if shared.repl.needed_acks() == 0 {
+                true
+            } else {
+                shared.repl.committed_seq.load(Ordering::SeqCst) >= seq
+            };
+            hit.set("quorum", committed);
+        }
+    }
     Some(hit)
 }
 
-/// Seals a successful mutation: journals it (fsync **before** the
-/// reply leaves the handler) when it changed state, and records its
-/// `req_id` in the idempotency window. Callers still hold the resource
-/// write lock, so journal order is exactly apply order.
-fn finish_mutation(shared: &Shared, request: &Json, reply: Json, changed: bool) -> Json {
+/// Seals a successful client mutation: journals it (fsync **before**
+/// the reply leaves the handler) when it changed state, broadcasts the
+/// record to every follower, waits for quorum when configured, and
+/// records its `req_id` in the idempotency window. Callers still hold
+/// the resource write lock, so journal order is exactly apply order.
+fn finish_mutation(
+    shared: &Shared,
+    request: &Json,
+    mut reply: Json,
+    changed: bool,
+    source: Source,
+) -> Json {
     let Some(d) = shared.durability.as_ref() else {
         return reply;
     };
-    if changed && !d.replaying.load(Ordering::SeqCst) {
-        let append = d.wal.lock().expect("wal lock").append(request, &reply);
-        if let Err(e) = append {
-            // The mutation is applied in memory but not durable; the
-            // client must not mistake it for acknowledged.
-            return proto::error("internal", format!("journal append failed: {e}"));
-        }
+    if changed && source == Source::Client {
+        let seq = {
+            let mut wal = d.wal.lock().expect("wal lock");
+            match wal.append(request, &reply) {
+                Err(e) => {
+                    // The mutation is applied in memory but not durable;
+                    // the client must not mistake it for acknowledged.
+                    return proto::error("internal", format!("journal append failed: {e}"));
+                }
+                Ok(seq) => {
+                    reply.set("seq", seq);
+                    // Broadcast under the WAL lock: appends are the only
+                    // writers of follower queues, so stream order is
+                    // exactly journal order.
+                    if let Ok(frame) = proto::encode_frame(
+                        &Json::obj().with(
+                            "rec",
+                            Json::obj()
+                                .with("seq", seq)
+                                .with("req", request.clone())
+                                .with("reply", reply.clone()),
+                        ),
+                    ) {
+                        shared.repl.broadcast(seq, &frame, &shared.metrics);
+                    }
+                    seq
+                }
+            }
+        };
+        shared.repl.applied_seq.fetch_max(seq, Ordering::SeqCst);
         shared
             .metrics
             .journal_records
             .fetch_add(1, Ordering::Relaxed);
+        if shared.repl.ack_mode == AckMode::Quorum {
+            let acked = shared.repl.wait_quorum(seq, &shared.shutting_down);
+            if !acked {
+                shared
+                    .metrics
+                    .quorum_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            reply.set("quorum", acked);
+        }
     }
     if let Some(id) = request.str_field("req_id") {
         d.dedup
@@ -495,10 +636,24 @@ fn maybe_snapshot(shared: &Shared) {
 
 /// Flips the drain flag, wakes the acceptor with a throwaway connect,
 /// and shuts the read side of every admitted connection.
+///
+/// The flag flips **before** any connection is touched, and every
+/// handler re-checks it between reading a request and applying it, so
+/// a mutation racing the drain resolves deterministically: either it
+/// was applied and fsynced before its `ok` reply went out (the write
+/// side stays intact), or the client sees `shutting_down`/EOF and the
+/// mutation was never applied. There is no in-between where an
+/// acknowledged fsync is lost or an unapplied mutation is acked.
 fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
     if shared.shutting_down.swap(true, Ordering::SeqCst) {
         return; // already draining
     }
+    // Stop pulling from the upstream before the listener closes, so a
+    // follower's state stops moving the moment its drain is observable.
+    replication::stop_puller(shared);
+    // Flush follower queues (ship everything already journaled, then
+    // stop) and wake any mutation blocked in a quorum wait.
+    shared.repl.drain_followers();
     // Wake the acceptor so it observes the flag.
     let _ = TcpStream::connect(addr);
     // Wake every handler blocked on an idle read: a read-side shutdown
@@ -578,8 +733,15 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, addr: Option<SocketA
             break;
         }
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // `replicate` turns this connection into a record stream: the
+        // handler owns the socket until the follower drops or the
+        // broker drains.
+        if request.str_field("cmd") == Some("replicate") {
+            replication::serve_replica(&mut stream, shared);
+            break;
+        }
         let is_shutdown = request.str_field("cmd") == Some("shutdown");
-        let reply = handle_request(&request, shared);
+        let reply = handle_request_from(&request, shared, Source::Client);
         if reply.bool_field("ok") == Some(false) {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -606,23 +768,37 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, addr: Option<SocketA
 }
 
 /// Dispatches one request to its command handler.
-fn handle_request(request: &Json, shared: &Shared) -> Json {
+pub(crate) fn handle_request_from(request: &Json, shared: &Shared, source: Source) -> Json {
     let Some(cmd) = request.str_field("cmd") else {
         return proto::error("bad_request", "request object lacks a `cmd` field");
     };
     match cmd {
         "ping" => proto::ok().with("pong", true),
-        "publish" => cmd_publish(request, shared),
-        "publish_scenario" => cmd_publish_scenario(request, shared),
-        "retract" => cmd_retract(request, shared),
-        "retract_policy" => cmd_retract_policy(request, shared),
+        "publish" => cmd_publish(request, shared, source),
+        "publish_scenario" => cmd_publish_scenario(request, shared, source),
+        "retract" => cmd_retract(request, shared, source),
+        "retract_policy" => cmd_retract_policy(request, shared, source),
         "repo" => cmd_repo(shared),
         "plan" => cmd_plan(request, shared),
         "run" => cmd_run(request, shared),
         "stats" => cmd_stats(shared),
+        "promote" => replication::cmd_promote(shared),
+        // `replicate` hijacks the whole connection and is intercepted
+        // in `serve_connection`; reaching the dispatcher means it came
+        // from a journal or replication stream, where it is nonsense.
+        "replicate" => proto::error("bad_request", "`replicate` is a connection-level command"),
         "shutdown" => proto::ok().with("draining", true),
         other => proto::error("bad_request", format!("unknown command `{other}`")),
     }
+}
+
+/// Rejects client mutations on a follower; replayed and replicated
+/// records always apply (that is what a follower is *for*).
+fn reject_on_follower(shared: &Shared, source: Source) -> Option<Json> {
+    if source == Source::Client && !shared.repl.is_primary() {
+        return Some(replication::not_primary(shared));
+    }
+    None
 }
 
 fn require_str<'a>(request: &'a Json, field: &str) -> Result<&'a str, Json> {
@@ -633,7 +809,10 @@ fn require_str<'a>(request: &'a Json, field: &str) -> Result<&'a str, Json> {
 
 /// `publish`: parse, well-formedness-check and insert a service; evict
 /// exactly the cached verdicts that mention the touched location.
-fn cmd_publish(request: &Json, shared: &Shared) -> Json {
+fn cmd_publish(request: &Json, shared: &Shared, source: Source) -> Json {
+    if let Some(reject) = reject_on_follower(shared, source) {
+        return reject;
+    }
     let location = match require_str(request, "location") {
         Ok(l) => l,
         Err(e) => return e,
@@ -648,7 +827,7 @@ fn cmd_publish(request: &Json, shared: &Shared) -> Json {
     };
     let capacity = request.u64_field("capacity").map(|c| c as usize);
     let mut repo = shared.repo.write().expect("repo lock");
-    if let Some(hit) = dedup_check(shared, request) {
+    if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
     let result = match capacity {
@@ -666,7 +845,7 @@ fn cmd_publish(request: &Json, shared: &Shared) -> Json {
             let reply = proto::ok()
                 .with("event", event.to_string())
                 .with("evicted", evicted);
-            finish_mutation(shared, request, reply, true)
+            finish_mutation(shared, request, reply, true, source)
         }
         Err(e) => proto::error("ill_formed", e.to_string()),
     }
@@ -674,7 +853,10 @@ fn cmd_publish(request: &Json, shared: &Shared) -> Json {
 
 /// `publish_scenario`: merge every `service` and `policy` declaration of
 /// a scenario text into the live repository/registry in one request.
-fn cmd_publish_scenario(request: &Json, shared: &Shared) -> Json {
+fn cmd_publish_scenario(request: &Json, shared: &Shared, source: Source) -> Json {
+    if let Some(reject) = reject_on_follower(shared, source) {
+        return reject;
+    }
     let text = match require_str(request, "text") {
         Ok(t) => t,
         Err(e) => return e,
@@ -687,7 +869,7 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared) -> Json {
     // between the repository and registry updates.
     let mut repo = shared.repo.write().expect("repo lock");
     let mut registry = shared.registry.write().expect("registry lock");
-    if let Some(hit) = dedup_check(shared, request) {
+    if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
     let mut evicted = 0;
@@ -721,17 +903,20 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared) -> Json {
         .with("services", services)
         .with("policies", policies)
         .with("evicted", evicted);
-    finish_mutation(shared, request, reply, services + policies > 0)
+    finish_mutation(shared, request, reply, services + policies > 0, source)
 }
 
 /// `retract`: withdraw a service; new plans stop seeing it immediately.
-fn cmd_retract(request: &Json, shared: &Shared) -> Json {
+fn cmd_retract(request: &Json, shared: &Shared, source: Source) -> Json {
+    if let Some(reject) = reject_on_follower(shared, source) {
+        return reject;
+    }
     let location = match require_str(request, "location") {
         Ok(l) => Location::new(l),
         Err(e) => return e,
     };
     let mut repo = shared.repo.write().expect("repo lock");
-    if let Some(hit) = dedup_check(shared, request) {
+    if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
     let event = repo.retract(&location);
@@ -747,18 +932,21 @@ fn cmd_retract(request: &Json, shared: &Shared) -> Json {
         .with("event", event.to_string())
         .with("changed", event.changed())
         .with("evicted", evicted);
-    finish_mutation(shared, request, reply, event.changed())
+    finish_mutation(shared, request, reply, event.changed(), source)
 }
 
 /// `retract_policy`: unregister a policy automaton; histories that
 /// reference it fail to resolve from then on.
-fn cmd_retract_policy(request: &Json, shared: &Shared) -> Json {
+fn cmd_retract_policy(request: &Json, shared: &Shared, source: Source) -> Json {
+    if let Some(reject) = reject_on_follower(shared, source) {
+        return reject;
+    }
     let name = match require_str(request, "name") {
         Ok(n) => n,
         Err(e) => return e,
     };
     let mut registry = shared.registry.write().expect("registry lock");
-    if let Some(hit) = dedup_check(shared, request) {
+    if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
     let removed = registry.remove(name).is_some();
@@ -773,7 +961,7 @@ fn cmd_retract_policy(request: &Json, shared: &Shared) -> Json {
     let reply = proto::ok()
         .with("changed", removed)
         .with("evicted", evicted);
-    finish_mutation(shared, request, reply, removed)
+    finish_mutation(shared, request, reply, removed, source)
 }
 
 /// `repo`: the current contents, for clients and smoke tests.
@@ -1029,15 +1217,19 @@ fn cmd_run(request: &Json, shared: &Shared) -> Json {
         .with("violations", result.violations.len())
 }
 
-/// `stats`: every counter plus the live cache hit-rate and — on a
-/// durable broker — the journal's live state.
+/// `stats`: every counter plus the live cache hit-rate, the
+/// replication role/lag view, and — on a durable broker — the
+/// journal's live state.
 fn cmd_stats(shared: &Shared) -> Json {
     let cache = shared.cache.stats();
     let repo_len = shared.repo.read().expect("repo lock").len();
-    let mut reply = proto::ok().with("services", repo_len).with(
-        "stats",
-        shared.metrics.snapshot(cache.hits(), cache.misses()),
-    );
+    let mut reply = proto::ok()
+        .with("services", repo_len)
+        .with(
+            "stats",
+            shared.metrics.snapshot(cache.hits(), cache.misses()),
+        )
+        .with("replication", replication::stats_section(shared));
     if let Some(d) = shared.durability.as_ref() {
         let dedup_len = d.dedup.lock().expect("dedup lock").len();
         let wal = d.wal.lock().expect("wal lock");

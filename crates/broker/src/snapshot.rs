@@ -128,8 +128,10 @@ fn guard_term(guard: &Guard) -> String {
     }
 }
 
-/// Renders the snapshot JSON document.
-fn render(
+/// Renders the snapshot JSON document. Besides being what `write`
+/// persists, this is the bootstrap payload a replication primary ships
+/// to a joining follower, so the wire and disk formats are one format.
+pub fn render_doc(
     covered_seq: u64,
     repository: &Repository,
     registry: &PolicyRegistry,
@@ -181,7 +183,7 @@ pub fn write(
     registry: &PolicyRegistry,
     dedup: &[(String, Json)],
 ) -> io::Result<()> {
-    let doc = render(covered_seq, repository, registry, dedup).to_string();
+    let doc = render_doc(covered_seq, repository, registry, dedup).to_string();
     let tmp: PathBuf = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     let dst: PathBuf = dir.join(SNAPSHOT_FILE);
     {
@@ -215,9 +217,25 @@ pub fn load(dir: &Path) -> io::Result<Option<Snapshot>> {
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     }
+    let doc = json::parse(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt snapshot {}: {e}", path.display()),
+        )
+    })?;
+    parse_doc(&doc).map(Some)
+}
+
+/// Rebuilds a [`Snapshot`] from its JSON document — the inverse of
+/// [`render_doc`]. Used both for the on-disk snapshot and for the
+/// bootstrap payload a follower receives over the replication stream.
+///
+/// # Errors
+///
+/// `InvalidData` when a required field is missing or a stored service
+/// or policy fails to re-parse.
+pub fn parse_doc(doc: &Json) -> io::Result<Snapshot> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-    let doc =
-        json::parse(&text).map_err(|e| bad(format!("corrupt snapshot {}: {e}", path.display())))?;
     let mut snapshot = Snapshot {
         covered_seq: doc
             .u64_field("seq")
@@ -262,7 +280,7 @@ pub fn load(dir: &Path) -> io::Result<Option<Snapshot>> {
             .ok_or_else(|| bad("snapshot dedup entry lacks `reply`".into()))?;
         snapshot.dedup.push((id.to_owned(), reply));
     }
-    Ok(Some(snapshot))
+    Ok(snapshot)
 }
 
 /// `true` when `path` (the journal) should be compacted into a

@@ -216,6 +216,19 @@ impl Wal {
         Ok(seq)
     }
 
+    /// Appends one mutation record under the sequence number chosen by
+    /// a replication primary, fsyncing like [`Wal::append`]. Followers
+    /// journal records with the primary's numbering so a promoted
+    /// follower continues the same sequence.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Wal::append`].
+    pub fn append_at(&mut self, seq: u64, request: &Json, reply: &Json) -> io::Result<u64> {
+        self.next_seq = seq;
+        self.append(request, reply)
+    }
+
     /// The sequence number the *next* append will use.
     pub fn next_seq(&self) -> u64 {
         self.next_seq

@@ -10,7 +10,9 @@
 //! sufs lts <file> <service> [--dot]
 //! sufs bpa <file> <service>
 //! sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune]
-//!            [--state-dir DIR] [--snapshot-every N]
+//!            [--state-dir DIR] [--snapshot-every N] [--follow HOST:PORT]
+//!            [--ack local|quorum] [--cluster-size N]
+//! sufs promote --addr HOST:PORT
 //! sufs publish <file> --addr HOST:PORT
 //! sufs plan <file> [--client NAME] --addr HOST:PORT
 //! sufs run-remote <file> [--client NAME] [...] --addr HOST:PORT
@@ -64,6 +66,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "lts" => done(cmd_lts(&args[1..])),
         "bpa" => done(cmd_bpa(&args[1..])),
         "serve" => done(cmd_serve(&args[1..])),
+        "promote" => done(cmd_promote(&args[1..])),
         "publish" => done(cmd_publish(&args[1..])),
         "plan" => done(cmd_plan(&args[1..])),
         "run-remote" => done(cmd_run_remote(&args[1..])),
@@ -92,7 +95,9 @@ fn usage() -> String {
      sufs lts <file> <service> [--dot]\n  \
      sufs bpa <file> <service>\n  \
      sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune] \
-     [--plan-cap N] [--fuel N] [--state-dir DIR] [--snapshot-every N]\n  \
+     [--plan-cap N] [--fuel N] [--state-dir DIR] [--snapshot-every N] \
+     [--follow HOST:PORT] [--ack local|quorum] [--cluster-size N]\n  \
+     sufs promote --addr HOST:PORT\n  \
      sufs publish <file> --addr HOST:PORT\n  \
      sufs plan <file> [--client NAME] --addr HOST:PORT\n  \
      sufs run-remote <file> [--client NAME] [--plan r=loc,...] \
@@ -610,6 +615,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--fuel",
             "--state-dir",
             "--snapshot-every",
+            "--follow",
+            "--ack",
+            "--cluster-size",
         ],
         &["--prune"],
     )?;
@@ -640,6 +648,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(s) = a.value("--fuel") {
         config.fuel = s.parse().map_err(|_| format!("bad fuel `{s}`"))?;
     }
+    if let Some(addr) = a.value("--follow") {
+        config.follow = Some(addr.to_owned());
+    }
+    if let Some(s) = a.value("--ack") {
+        config.ack = sufs_broker::AckMode::parse(s)?;
+    }
+    if let Some(s) = a.value("--cluster-size") {
+        config.cluster_size = s.parse().map_err(|_| format!("bad cluster size `{s}`"))?;
+    }
     config.opts.prune = a.has("--prune");
     let handle = Broker::spawn(config).map_err(|e| format!("cannot start broker: {e}"))?;
     println!("sufs broker listening on {}", handle.addr());
@@ -649,12 +666,44 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The `--addr` every remote command requires.
+/// Promotes a following broker to primary; see `docs/BROKER.md`.
+fn cmd_promote(args: &[String]) -> Result<(), String> {
+    let a = parse_args(args, &["--addr"], &[])?;
+    if !a.positional.is_empty() {
+        return Err(usage());
+    }
+    let mut client = remote_client(&a)?;
+    let reply = check_reply(client.promote().map_err(|e| e.to_string())?)?;
+    if reply.bool_field("changed") == Some(true) {
+        println!(
+            "broker promoted to primary at seq {}",
+            reply.u64_field("applied_seq").unwrap_or(0)
+        );
+    } else {
+        println!("broker is already the primary");
+    }
+    Ok(())
+}
+
+/// The `--addr` every remote command requires. A comma-separated list
+/// (`--addr a:1,b:2`) connects to the first reachable node and rotates
+/// through the rest on redial — the client side of broker failover.
 fn remote_client(a: &Parsed) -> Result<BrokerClient, String> {
     let addr = a
         .value("--addr")
         .ok_or_else(|| "remote commands need --addr HOST:PORT".to_owned())?;
-    BrokerClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    let addrs: Vec<String> = addr
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    let client =
+        BrokerClient::connect_any(&addrs).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if addrs.len() > 1 {
+        Ok(client.with_reconnect(sufs_broker::ReconnectPolicy::default().with_addrs(addrs)))
+    } else {
+        Ok(client)
+    }
 }
 
 /// Prints a reply, failing the command when the broker said `ok: false`.

@@ -202,6 +202,7 @@ fn e14_crash_recovery_under_chaos_transport() {
                 max_retries: 4,
                 base_delay: Duration::from_millis(1),
                 max_delay: Duration::from_millis(8),
+                ..ReconnectPolicy::default()
             })
             .with_request_seed(cycle.wrapping_mul(0x9e37) ^ 0x51ed);
 

@@ -1,0 +1,1009 @@
+//! Experiment E15: WAL-shipping replication, failover promotion, and
+//! partition chaos across a three-node broker cluster.
+//!
+//! The centrepiece drives ≥300 seeded cycles against a primary and two
+//! followers, each follower pulling its record stream through a
+//! [`ChaosLink`] the harness partitions, blackholes, lags, and heals
+//! explicitly, while follower processes are killed and respawned and
+//! the primary itself is killed and replaced by a promoted follower
+//! every twelfth cycle. Invariants:
+//!
+//! (a) no quorum-acknowledged mutation is ever lost: the cluster state
+//!     after every failover renders **byte-identical** to an oracle
+//!     that applies exactly the quorum-acknowledged mutations,
+//! (b) the promoted follower is the one with the highest applied
+//!     sequence, and it equals the oracle *before* taking new writes,
+//! (c) `plan` served from followers (and from freshly promoted
+//!     primaries) never diverges from in-process synthesis over the
+//!     oracle state,
+//! (d) retrying a mutation with the same `req_id` until its reply says
+//!     `"quorum": true` applies it exactly once, no matter how many
+//!     partitions interleave.
+//!
+//! Satellite tests pin the replication edge cases: a follower joining
+//! mid-compaction, a replicated record straddling the bootstrap's
+//! `covered_seq` (must be skipped, not re-applied), a torn record
+//! stream healing by redial with retained progress, client failover
+//! resending the same `req_id` to a promoted follower, the
+//! `not_primary` redirect, promotion idempotence, and the graceful
+//! drain acking-or-rejecting racing mutations deterministically.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sufs_broker::chaos::ChaosLink;
+use sufs_broker::proto::{self, read_frame, write_frame};
+use sufs_broker::{
+    snapshot, AckMode, Broker, BrokerClient, BrokerConfig, BrokerHandle, Json, ReconnectPolicy,
+};
+use sufs_core::verify::verify;
+use sufs_hexpr::builder::*;
+use sufs_hexpr::{parse_hist, Hist, Location};
+use sufs_net::Repository;
+use sufs_policy::PolicyRegistry;
+use sufs_rng::{Rng, SeedableRng, StdRng};
+
+/// A fresh per-test state directory under the system tmpdir.
+fn state_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sufs-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// The booking client of the e2e suite: one request, two outcomes.
+fn booking_client() -> Hist {
+    request(
+        1,
+        None,
+        seq([send("req", eps()), offer([("ok", eps()), ("no", eps())])]),
+    )
+}
+
+/// Candidate services: two compliant, one non-compliant, one on the
+/// wrong channel.
+fn service_pool() -> Vec<Hist> {
+    vec![
+        recv("req", choose([("ok", eps()), ("no", eps())])),
+        recv("req", choose([("ok", eps())])),
+        recv("req", choose([("ok", eps()), ("later", eps())])),
+        recv("zzz", eps()),
+    ]
+}
+
+/// Canonical rendering of a broker's `repo` reply — the byte string
+/// replicated state is compared by.
+fn canonical_remote(reply: &Json) -> String {
+    assert_eq!(reply.bool_field("ok"), Some(true), "repo failed: {reply}");
+    let mut out = String::new();
+    for s in reply.get("services").and_then(Json::as_arr).unwrap() {
+        let loc = s.str_field("location").unwrap();
+        let service = s.str_field("service").unwrap();
+        match s.u64_field("capacity") {
+            Some(cap) => out.push_str(&format!("{loc} (x{cap}): {service}\n")),
+            None => out.push_str(&format!("{loc}: {service}\n")),
+        }
+    }
+    let mut policies: Vec<&str> = reply
+        .get("policies")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    policies.sort_unstable();
+    for p in policies {
+        out.push_str(&format!("policy {p}\n"));
+    }
+    out
+}
+
+/// The same rendering over the in-process oracle.
+fn canonical_oracle(repo: &Repository, registry: &PolicyRegistry) -> String {
+    let mut out = String::new();
+    for (loc, service, capacity) in repo.export() {
+        match capacity {
+            Some(cap) => out.push_str(&format!("{loc} (x{cap}): {service}\n")),
+            None => out.push_str(&format!("{loc}: {service}\n")),
+        }
+    }
+    let mut policies: Vec<&str> = registry.iter().map(|a| a.name()).collect();
+    policies.sort_unstable();
+    for p in policies {
+        out.push_str(&format!("policy {p}\n"));
+    }
+    out
+}
+
+/// One node's configuration: quorum acks over a fixed three-node
+/// cluster, timings tightened so partitions and redials resolve in
+/// milliseconds instead of seconds.
+fn node_config(dir: &Path, follow: Option<String>) -> BrokerConfig {
+    BrokerConfig {
+        state_dir: Some(dir.to_path_buf()),
+        snapshot_every: 16,
+        follow,
+        ack: AckMode::Quorum,
+        cluster_size: 3,
+        ack_timeout: Duration::from_millis(200),
+        follow_retry: Duration::from_millis(10),
+        replication_tick: Duration::from_millis(25),
+        ..BrokerConfig::default()
+    }
+}
+
+fn stats_at(addr: SocketAddr) -> Json {
+    let mut client = BrokerClient::connect(addr).expect("connect for stats");
+    client.stats().expect("stats")
+}
+
+fn applied_of(stats: &Json) -> u64 {
+    stats
+        .get("replication")
+        .and_then(|r| r.u64_field("applied_seq"))
+        .unwrap_or(0)
+}
+
+/// Polls a node until its applied sequence reaches `target`.
+fn await_caught_up(addr: SocketAddr, target: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if applied_of(&stats_at(addr)) >= target {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} never caught up to seq {target}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Asserts a broker's remote `plan` verdicts equal in-process
+/// synthesis over the oracle state.
+fn assert_plan_matches(
+    addr: SocketAddr,
+    oracle_repo: &Repository,
+    oracle_registry: &PolicyRegistry,
+    what: &str,
+) {
+    if oracle_repo.is_empty() {
+        return;
+    }
+    let mut client = BrokerClient::connect(addr).expect("connect for plan");
+    let reply = client
+        .plan(&booking_client().to_string())
+        .expect("plan request");
+    assert_eq!(reply.bool_field("ok"), Some(true), "plan failed: {reply}");
+    let mut remote_valid: Vec<String> = reply
+        .get("valid")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_owned))
+        .collect();
+    remote_valid.sort();
+    let report = verify(&booking_client(), oracle_repo, oracle_registry).expect("verify");
+    let mut local_valid: Vec<String> = report.valid_plans().map(|p| p.to_string()).collect();
+    local_valid.sort();
+    assert_eq!(remote_valid, local_valid, "{what}: plan verdicts diverged");
+}
+
+/// The three-node cluster under test: node `primary` serves mutations,
+/// the other two follow it, each through its own [`ChaosLink`].
+struct Cluster {
+    dirs: Vec<PathBuf>,
+    handles: Vec<Option<BrokerHandle>>,
+    links: Vec<Option<ChaosLink>>,
+    primary: usize,
+}
+
+impl Cluster {
+    fn start(tag: &str) -> Cluster {
+        let dirs: Vec<PathBuf> = (0..3).map(|i| state_dir(&format!("{tag}-n{i}"))).collect();
+        let mut cluster = Cluster {
+            dirs,
+            handles: vec![None, None, None],
+            links: vec![None, None, None],
+            primary: 0,
+        };
+        let handle = Broker::spawn(node_config(&cluster.dirs[0], None)).expect("primary spawns");
+        cluster.handles[0] = Some(handle);
+        cluster.spawn_follower(1);
+        cluster.spawn_follower(2);
+        cluster
+    }
+
+    fn primary_addr(&self) -> SocketAddr {
+        self.handles[self.primary]
+            .as_ref()
+            .expect("primary up")
+            .addr()
+    }
+
+    fn addr_of(&self, node: usize) -> SocketAddr {
+        self.handles[node].as_ref().expect("node up").addr()
+    }
+
+    fn follower_ids(&self) -> Vec<usize> {
+        (0..3).filter(|&i| i != self.primary).collect()
+    }
+
+    /// (Re)starts node `i` as a follower of the current primary, with a
+    /// fresh chaos link in front of the upstream connection.
+    fn spawn_follower(&mut self, i: usize) {
+        let link = ChaosLink::spawn(self.primary_addr()).expect("link spawns");
+        let config = node_config(&self.dirs[i], Some(link.addr().to_string()));
+        self.handles[i] = Some(Broker::spawn(config).expect("follower spawns"));
+        self.links[i] = Some(link);
+    }
+
+    fn kill_node(&mut self, i: usize) {
+        if let Some(handle) = self.handles[i].take() {
+            handle.kill();
+        }
+        self.links[i] = None;
+    }
+
+    fn heal_all(&self) {
+        for link in self.links.iter().flatten() {
+            link.control().heal();
+        }
+    }
+
+    /// Kills the primary and promotes the follower with the highest
+    /// applied sequence — the one guaranteed to hold every
+    /// quorum-acknowledged record. The remaining node (and later the
+    /// old primary's state dir) rejoin as followers of the new primary.
+    fn failover(&mut self) -> usize {
+        let old_primary = self.primary;
+        self.kill_node(old_primary);
+        let best = *self
+            .follower_ids()
+            .iter()
+            .max_by_key(|&&i| applied_of(&stats_at(self.addr_of(i))))
+            .expect("two followers");
+        let mut client = BrokerClient::connect(self.addr_of(best)).expect("connect promoted");
+        let reply = client.promote().expect("promote");
+        assert_eq!(
+            reply.bool_field("ok"),
+            Some(true),
+            "promote failed: {reply}"
+        );
+        assert_eq!(reply.bool_field("changed"), Some(true), "{reply}");
+        self.links[best] = None; // the promoted node pulls from nobody
+        self.primary = best;
+        // The node that followed the dead primary re-points by respawn;
+        // the dead primary's state dir rejoins as a follower too.
+        let stragglers: Vec<usize> = (0..3).filter(|&i| i != best).collect();
+        for i in stragglers {
+            self.kill_node(i);
+            self.spawn_follower(i);
+        }
+        best
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for i in 0..3 {
+            self.kill_node(i);
+        }
+        for dir in &self.dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Issues one mutation to the primary and retries the same `req_id`
+/// until the reply reports `"quorum": true` (or needs no quorum because
+/// it changed nothing). After a few failed attempts the harness heals
+/// every link — a partitioned majority can never ack — and keeps
+/// retrying; the idempotency window makes every retry exactly-once.
+fn settle_mutation(cluster: &Cluster, req: &Json) -> Json {
+    let addr = cluster.primary_addr();
+    let mut client = BrokerClient::connect(addr).expect("connect primary");
+    let mut healed = false;
+    for attempt in 0..600 {
+        let reply = match client.request(req) {
+            Ok(reply) => reply,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                client = BrokerClient::connect(addr).expect("reconnect primary");
+                continue;
+            }
+        };
+        if reply.bool_field("ok") == Some(true) && reply.bool_field("quorum") != Some(false) {
+            return reply;
+        }
+        assert_ne!(
+            reply.str_field("kind"),
+            Some("not_primary"),
+            "harness targeted a follower: {reply}"
+        );
+        if attempt >= 2 && !healed {
+            cluster.heal_all();
+            healed = true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("mutation never reached quorum: {req}");
+}
+
+/// E15. ≥300 seeded partition/kill/promotion cycles across three nodes.
+#[test]
+fn e15_replication_failover_under_partition_chaos() {
+    const CYCLES: u64 = 300;
+    let mut cluster = Cluster::start("e15");
+    let mut oracle_repo = Repository::new();
+    let mut oracle_registry = PolicyRegistry::new();
+    let mut master = StdRng::seed_from_u64(0xE15);
+    let pool: Vec<String> = service_pool().iter().map(|h| h.to_string()).collect();
+    let locations = ["s0", "s1", "s2", "s3"];
+    let policy_names = ["pa", "pb"];
+    let mut req_counter = 0u64;
+    let mut failovers = 0u64;
+    let mut quorum_timeouts_seen = 0u64;
+
+    for cycle in 0..CYCLES {
+        // Chaos step: heal yesterday's weather with probability 1/2,
+        // then draw today's.
+        for link in cluster.links.iter().flatten() {
+            if master.gen_bool(0.5) {
+                link.control().heal();
+            }
+        }
+        let followers = cluster.follower_ids();
+        match master.gen_range(0..12u32) {
+            // Cut one replication link (the common partition).
+            0..=2 => {
+                let victim = followers[master.gen_range(0..followers.len())];
+                if let Some(link) = &cluster.links[victim] {
+                    link.control().partition();
+                }
+            }
+            // Cut both: the primary is a minority and quorum must fail
+            // until the harness heals.
+            3 => {
+                for link in cluster.links.iter().flatten() {
+                    link.control().partition();
+                }
+            }
+            // Asymmetric loss: acks vanish upstream…
+            4 => {
+                let victim = followers[master.gen_range(0..followers.len())];
+                if let Some(link) = &cluster.links[victim] {
+                    link.control().drop_upstream(true);
+                }
+            }
+            // …or records vanish downstream.
+            5 => {
+                let victim = followers[master.gen_range(0..followers.len())];
+                if let Some(link) = &cluster.links[victim] {
+                    link.control().drop_downstream(true);
+                }
+            }
+            // A laggy link.
+            6 => {
+                let victim = followers[master.gen_range(0..followers.len())];
+                if let Some(link) = &cluster.links[victim] {
+                    link.control()
+                        .set_delay(Duration::from_millis(master.gen_range(1..4u64)));
+                }
+            }
+            // kill -9 a follower; it rejoins from its own state dir.
+            7 => {
+                let victim = followers[master.gen_range(0..followers.len())];
+                cluster.kill_node(victim);
+                cluster.spawn_follower(victim);
+            }
+            _ => {}
+        }
+
+        // Mutate through the quorum-retry loop; the oracle applies a
+        // mutation exactly when the cluster acknowledged its quorum.
+        for _ in 0..master.gen_range(1..3usize) {
+            req_counter += 1;
+            let req_id = format!("e15-{req_counter:08}");
+            match master.gen_range(0..10u32) {
+                0..=5 => {
+                    let loc = locations[master.gen_range(0..locations.len())];
+                    let service = &pool[master.gen_range(0..pool.len())];
+                    let capacity = if master.gen_bool(0.3) {
+                        Some(master.gen_range(1..4u64))
+                    } else {
+                        None
+                    };
+                    let mut req = Json::obj()
+                        .with("cmd", "publish")
+                        .with("location", loc)
+                        .with("service", service.as_str())
+                        .with("req_id", req_id.as_str());
+                    if let Some(cap) = capacity {
+                        req.set("capacity", cap);
+                    }
+                    let fresh = oracle_repo.get(&Location::new(loc)).is_none();
+                    let reply = settle_mutation(&cluster, &req);
+                    // (d): however many retries quorum took, the event
+                    // proves single application.
+                    let event = reply.str_field("event").unwrap_or("");
+                    if fresh {
+                        assert!(
+                            event.starts_with("published"),
+                            "cycle {cycle}: quorum retry double-applied: {reply}"
+                        );
+                    } else {
+                        assert!(
+                            event.starts_with("updated"),
+                            "cycle {cycle}: wrong event for upsert: {reply}"
+                        );
+                    }
+                    let parsed = parse_hist(service).expect("pool parses");
+                    match capacity {
+                        Some(cap) => {
+                            oracle_repo
+                                .try_publish_bounded(loc, parsed, cap as usize)
+                                .expect("pool is well-formed");
+                        }
+                        None => {
+                            oracle_repo.try_publish(loc, parsed).expect("well-formed");
+                        }
+                    }
+                }
+                6 | 7 => {
+                    let loc = locations[master.gen_range(0..locations.len())];
+                    let req = Json::obj()
+                        .with("cmd", "retract")
+                        .with("location", loc)
+                        .with("req_id", req_id.as_str());
+                    let reply = settle_mutation(&cluster, &req);
+                    let expected = oracle_repo.get(&Location::new(loc)).is_some();
+                    assert_eq!(
+                        reply.bool_field("changed"),
+                        Some(expected),
+                        "cycle {cycle}: retract changed-ness diverged: {reply}"
+                    );
+                    oracle_repo.retract(&Location::new(loc));
+                }
+                8 => {
+                    let name = policy_names[master.gen_range(0..policy_names.len())];
+                    let text = format!(
+                        "policy {name}(p) {{ start q0; q0 -- pay if x0 in p -> q1; \
+                         q1 -- pay if x0 in p -> q2; offending q2; }}"
+                    );
+                    let req = Json::obj()
+                        .with("cmd", "publish_scenario")
+                        .with("text", text.as_str())
+                        .with("req_id", req_id.as_str());
+                    let reply = settle_mutation(&cluster, &req);
+                    assert_eq!(reply.u64_field("policies"), Some(1), "{reply}");
+                    let sc = sufs_core::scenario::parse_scenario(&text).expect("scenario");
+                    for ua in sc.registry.iter() {
+                        oracle_registry.register(ua.clone());
+                    }
+                }
+                _ => {
+                    let name = policy_names[master.gen_range(0..policy_names.len())];
+                    let req = Json::obj()
+                        .with("cmd", "retract_policy")
+                        .with("name", name)
+                        .with("req_id", req_id.as_str());
+                    let reply = settle_mutation(&cluster, &req);
+                    let expected = oracle_registry.get(name).is_some();
+                    assert_eq!(
+                        reply.bool_field("changed"),
+                        Some(expected),
+                        "cycle {cycle}: retract_policy diverged: {reply}"
+                    );
+                    oracle_registry.remove(name);
+                }
+            }
+        }
+
+        // Every twelfth cycle the primary dies and the best follower
+        // takes over.
+        if cycle % 12 == 11 {
+            // Harvest the dying primary's quorum-timeout count first.
+            quorum_timeouts_seen += stats_at(cluster.primary_addr())
+                .get("stats")
+                .and_then(|s| s.get("replication"))
+                .and_then(|r| r.u64_field("quorum_timeouts"))
+                .unwrap_or(0);
+            let promoted = cluster.failover();
+            failovers += 1;
+            // (a)+(b): the promoted node equals the oracle before it
+            // accepts a single new write.
+            let mut client =
+                BrokerClient::connect(cluster.addr_of(promoted)).expect("connect promoted");
+            let remote = canonical_remote(&client.repo().expect("repo"));
+            let local = canonical_oracle(&oracle_repo, &oracle_registry);
+            assert_eq!(
+                remote, local,
+                "cycle {cycle}: promoted follower lost a quorum-acked mutation"
+            );
+            // (c): and serves the same plan verdicts it did as a
+            // follower.
+            if failovers.is_multiple_of(4) {
+                assert_plan_matches(
+                    cluster.addr_of(promoted),
+                    &oracle_repo,
+                    &oracle_registry,
+                    &format!("cycle {cycle}: promoted primary"),
+                );
+            }
+        }
+
+        // Every tenth cycle: heal everything and check full-cluster
+        // convergence against the oracle, plus follower-served plans.
+        if cycle % 10 == 9 {
+            cluster.heal_all();
+            let target = applied_of(&stats_at(cluster.primary_addr()));
+            for i in cluster.follower_ids() {
+                await_caught_up(
+                    cluster.addr_of(i),
+                    target,
+                    &format!("cycle {cycle}: follower {i}"),
+                );
+                let mut client = BrokerClient::connect(cluster.addr_of(i)).expect("connect");
+                let remote = canonical_remote(&client.repo().expect("repo"));
+                let local = canonical_oracle(&oracle_repo, &oracle_registry);
+                assert_eq!(remote, local, "cycle {cycle}: follower {i} diverged");
+            }
+            if cycle % 30 == 29 {
+                let follower = cluster.follower_ids()[0];
+                assert_plan_matches(
+                    cluster.addr_of(follower),
+                    &oracle_repo,
+                    &oracle_registry,
+                    &format!("cycle {cycle}: follower {follower}"),
+                );
+            }
+        }
+    }
+
+    assert!(
+        failovers >= 20,
+        "only {failovers} failovers in {CYCLES} cycles"
+    );
+    assert!(
+        quorum_timeouts_seen > 0,
+        "chaos never forced a quorum timeout — partitions too weak"
+    );
+    // The replication stats section reports a healthy final cluster.
+    cluster.heal_all();
+    let target = applied_of(&stats_at(cluster.primary_addr()));
+    for i in cluster.follower_ids() {
+        await_caught_up(cluster.addr_of(i), target, "final follower");
+    }
+    let stats = stats_at(cluster.primary_addr());
+    let repl = stats.get("replication").expect("replication section");
+    assert_eq!(repl.str_field("role"), Some("primary"));
+    assert_eq!(repl.u64_field("follower_count"), Some(2));
+}
+
+/// Satellite (client failover): a reconnecting client rotating through
+/// the cluster's addresses resends the *same* `req_id` to a promoted
+/// follower, which answers from its replicated idempotency window —
+/// the mutation applies exactly once across the failover.
+#[test]
+fn client_failover_resends_same_req_id_to_promoted_follower() {
+    let dir_p = state_dir("fo-p");
+    let dir_f = state_dir("fo-f");
+    let two = |dir: &Path, follow: Option<String>| BrokerConfig {
+        cluster_size: 2,
+        ..node_config(dir, follow)
+    };
+    let primary = Broker::spawn(two(&dir_p, None)).expect("primary spawns");
+    let follower =
+        Broker::spawn(two(&dir_f, Some(primary.addr().to_string()))).expect("follower spawns");
+    let addrs = vec![primary.addr().to_string(), follower.addr().to_string()];
+    let mut client = BrokerClient::connect_any(&addrs)
+        .expect("connect")
+        .with_reconnect(
+            ReconnectPolicy {
+                max_retries: 8,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(8),
+                ..ReconnectPolicy::default()
+            }
+            .with_addrs(addrs.clone()),
+        );
+    let service = service_pool()[0].to_string();
+    let req = Json::obj()
+        .with("cmd", "publish")
+        .with("location", "fo")
+        .with("service", service.as_str())
+        .with("req_id", "fo-0001");
+    // Settle on the primary: retry the same req_id until quorum.
+    let first = loop {
+        let reply = client.request_retrying(&req).expect("publish");
+        assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+        if reply.bool_field("quorum") == Some(true) {
+            break reply;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(first.str_field("event"), Some("published fo"));
+
+    // The primary dies; the follower is promoted.
+    primary.kill();
+    let mut ops = BrokerClient::connect(follower.addr()).expect("connect follower");
+    let promote = ops.promote().expect("promote");
+    assert_eq!(promote.bool_field("changed"), Some(true), "{promote}");
+
+    // The same client resends the same req_id: the redial rotates to
+    // the follower's address, whose replicated window proves the
+    // mutation already happened.
+    let retry = client.request_retrying(&req).expect("retry after failover");
+    assert_eq!(retry.bool_field("ok"), Some(true), "{retry}");
+    assert_eq!(
+        retry.str_field("event"),
+        Some("published fo"),
+        "the promoted follower re-applied a replicated mutation: {retry}"
+    );
+    let _ = std::fs::remove_dir_all(&dir_p);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+/// Satellite (bootstrap edge case): a follower joining while the
+/// primary compacts after every mutation bootstraps a consistent
+/// snapshot and streams the live tail without gaps.
+#[test]
+fn follower_joining_mid_compaction_converges() {
+    let dir_p = state_dir("midcomp-p");
+    let dir_f = state_dir("midcomp-f");
+    let cfg = |dir: &Path, follow: Option<String>| BrokerConfig {
+        ack: AckMode::Local,
+        cluster_size: 1,
+        snapshot_every: 1, // every mutation compacts
+        ..node_config(dir, follow)
+    };
+    let primary = Broker::spawn(cfg(&dir_p, None)).expect("primary spawns");
+    let addr = primary.addr();
+    let pool: Vec<String> = service_pool().iter().map(|h| h.to_string()).collect();
+    let writer = {
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let mut client = BrokerClient::connect(addr).expect("writer connects");
+            for i in 0..40 {
+                client
+                    .publish(&format!("mc{i}"), &pool[i % pool.len()], None)
+                    .expect("publish under compaction");
+            }
+        })
+    };
+    // Join while the writer is mid-flight: the bootstrap races live
+    // compactions.
+    std::thread::sleep(Duration::from_millis(5));
+    let follower =
+        Broker::spawn(cfg(&dir_f, Some(addr.to_string()))).expect("follower spawns mid-load");
+    writer.join().expect("writer finishes");
+    let target = applied_of(&stats_at(addr));
+    await_caught_up(follower.addr(), target, "mid-compaction joiner");
+    let mut p = BrokerClient::connect(addr).expect("connect");
+    let mut f = BrokerClient::connect(follower.addr()).expect("connect");
+    assert_eq!(
+        canonical_remote(&f.repo().expect("repo")),
+        canonical_remote(&p.repo().expect("repo")),
+        "mid-compaction join diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir_p);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+/// Accepts one replication session on `listener` and performs the
+/// primary's half of the handshake with the given snapshot document.
+/// Returns the connection and the follower's `from_seq`.
+fn accept_replica(listener: &TcpListener, doc: &Json, covered: u64) -> (TcpStream, u64) {
+    let (mut conn, _) = listener.accept().expect("follower dials");
+    let hello = read_frame(&mut conn).expect("read hello").expect("hello");
+    assert_eq!(hello.str_field("cmd"), Some("replicate"), "{hello}");
+    let from_seq = hello.u64_field("from_seq").expect("from_seq");
+    write_frame(
+        &mut conn,
+        &proto::ok()
+            .with("snapshot", doc.clone())
+            .with("seq", covered),
+    )
+    .expect("handshake");
+    let ack = read_frame(&mut conn).expect("read ack").expect("ack");
+    assert_eq!(ack.u64_field("ack"), Some(covered), "bootstrap ack: {ack}");
+    (conn, from_seq)
+}
+
+/// A publish record as the primary would journal and ship it.
+fn wire_record(seq: u64, loc: &str, service: &str) -> Json {
+    let req = Json::obj()
+        .with("cmd", "publish")
+        .with("location", loc)
+        .with("service", service)
+        .with("req_id", format!("wire-{seq:04}"));
+    let reply = proto::ok()
+        .with("event", format!("published {loc}"))
+        .with("changed", true)
+        .with("seq", seq);
+    Json::obj().with(
+        "rec",
+        Json::obj()
+            .with("seq", seq)
+            .with("req", req)
+            .with("reply", reply),
+    )
+}
+
+/// Reads acks from the follower until it acknowledges `seq`.
+fn await_ack(conn: &mut TcpStream, seq: u64) {
+    loop {
+        let frame = read_frame(conn).expect("read ack").expect("ack frame");
+        if frame.u64_field("ack").unwrap_or(0) >= seq {
+            return;
+        }
+    }
+}
+
+/// Slow replication timings for fake-primary tests, so the follower's
+/// heartbeat deadline never fires between scripted frames.
+fn scripted_follower_config(dir: &Path, upstream: String) -> BrokerConfig {
+    BrokerConfig {
+        replication_tick: Duration::from_millis(250),
+        ..node_config(dir, Some(upstream))
+    }
+}
+
+/// Satellite (bootstrap edge case): a record at or below the
+/// bootstrap's `covered_seq` — the primary rewound, or the broadcast
+/// raced the snapshot render — is skipped by sequence number, never
+/// applied twice.
+#[test]
+fn record_straddling_covered_seq_is_skipped() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake primary binds");
+    let upstream = listener.local_addr().expect("addr");
+    let dir = state_dir("straddle-wire");
+    let follower = Broker::spawn(scripted_follower_config(&dir, upstream.to_string()))
+        .expect("follower spawns");
+
+    let service = service_pool()[0].to_string();
+    let mut repo = Repository::new();
+    repo.try_publish("snap", parse_hist(&service).expect("parses"))
+        .expect("well-formed");
+    let registry = PolicyRegistry::new();
+    let doc = snapshot::render_doc(5, &repo, &registry, &[]);
+    let (mut conn, from_seq) = accept_replica(&listener, &doc, 5);
+    assert_eq!(from_seq, 0, "fresh follower starts from 0");
+
+    // seq 4 straddles the boundary (covered by the snapshot): skipped.
+    write_frame(&mut conn, &wire_record(4, "stale", &service)).expect("ship stale");
+    // seq 6 is the live tail: applied.
+    write_frame(&mut conn, &wire_record(6, "fresh", &service)).expect("ship fresh");
+    await_ack(&mut conn, 6);
+
+    let mut client = BrokerClient::connect(follower.addr()).expect("connect");
+    let reply = client.repo().expect("repo");
+    let locations: Vec<&str> = reply
+        .get("services")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.str_field("location"))
+        .collect();
+    assert!(
+        locations.contains(&"snap"),
+        "bootstrap content: {locations:?}"
+    );
+    assert!(locations.contains(&"fresh"), "tail record: {locations:?}");
+    assert!(
+        !locations.contains(&"stale"),
+        "straddling record re-applied: {locations:?}"
+    );
+    assert_eq!(applied_of(&stats_at(follower.addr())), 6);
+    drop(conn);
+    follower.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (bootstrap edge case): a record stream torn mid-frame
+/// desynchronises the follower, which redials advertising its retained
+/// progress (`from_seq`) and re-bootstraps — nothing applied before the
+/// tear is lost.
+#[test]
+fn torn_stream_redials_with_retained_progress() {
+    use std::io::Write as _;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake primary binds");
+    let upstream = listener.local_addr().expect("addr");
+    let dir = state_dir("torn-wire");
+    let follower = Broker::spawn(scripted_follower_config(&dir, upstream.to_string()))
+        .expect("follower spawns");
+
+    let service = service_pool()[0].to_string();
+    let empty = snapshot::render_doc(5, &Repository::new(), &PolicyRegistry::new(), &[]);
+    let (mut conn, _) = accept_replica(&listener, &empty, 5);
+    write_frame(&mut conn, &wire_record(6, "a", &service)).expect("ship a");
+    await_ack(&mut conn, 6);
+    // Tear the stream mid-frame: a length prefix promising 100 bytes,
+    // ten bytes of payload, then the connection dies.
+    conn.write_all(&100u32.to_be_bytes()).expect("torn prefix");
+    conn.write_all(&[0xab; 10]).expect("torn payload");
+    drop(conn);
+
+    // The follower redials from its retained progress.
+    let mut repo = Repository::new();
+    repo.try_publish("a", parse_hist(&service).expect("parses"))
+        .expect("well-formed");
+    let doc = snapshot::render_doc(6, &repo, &PolicyRegistry::new(), &[]);
+    let (mut conn, from_seq) = accept_replica(&listener, &doc, 6);
+    assert_eq!(from_seq, 6, "progress before the tear was lost");
+    write_frame(&mut conn, &wire_record(7, "b", &service)).expect("ship b");
+    await_ack(&mut conn, 7);
+
+    let mut client = BrokerClient::connect(follower.addr()).expect("connect");
+    let reply = client.repo().expect("repo");
+    let locations: Vec<&str> = reply
+        .get("services")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.str_field("location"))
+        .collect();
+    assert!(
+        locations.contains(&"a") && locations.contains(&"b"),
+        "{locations:?}"
+    );
+    drop(conn);
+    follower.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: followers reject client mutations with `not_primary` and
+/// a redirect hint, while still serving reads.
+#[test]
+fn follower_rejects_mutations_with_redirect_hint() {
+    let dir_p = state_dir("redirect-p");
+    let dir_f = state_dir("redirect-f");
+    let primary = Broker::spawn(node_config(&dir_p, None)).expect("primary spawns");
+    let upstream = primary.addr().to_string();
+    let follower =
+        Broker::spawn(node_config(&dir_f, Some(upstream.clone()))).expect("follower spawns");
+    let mut client = BrokerClient::connect(follower.addr()).expect("connect");
+    let reply = client
+        .publish("nope", &service_pool()[0].to_string(), None)
+        .expect("transport ok");
+    assert_eq!(reply.bool_field("ok"), Some(false), "{reply}");
+    assert_eq!(reply.str_field("kind"), Some("not_primary"), "{reply}");
+    assert_eq!(
+        reply.str_field("primary"),
+        Some(upstream.as_str()),
+        "{reply}"
+    );
+    // Reads still work on the follower.
+    assert_eq!(client.repo().expect("repo").bool_field("ok"), Some(true));
+    let stats = stats_at(follower.addr());
+    let repl = stats.get("replication").expect("replication section");
+    assert_eq!(repl.str_field("role"), Some("follower"));
+    assert_eq!(repl.str_field("upstream"), Some(upstream.as_str()));
+    let _ = std::fs::remove_dir_all(&dir_p);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+/// Satellite: `promote` is idempotent — a primary acknowledges without
+/// change, a follower changes exactly once.
+#[test]
+fn promote_is_idempotent() {
+    let dir_p = state_dir("idem-p");
+    let dir_f = state_dir("idem-f");
+    let primary = Broker::spawn(node_config(&dir_p, None)).expect("primary spawns");
+    let follower = Broker::spawn(node_config(&dir_f, Some(primary.addr().to_string())))
+        .expect("follower spawns");
+    let mut p = BrokerClient::connect(primary.addr()).expect("connect");
+    let reply = p.promote().expect("promote primary");
+    assert_eq!(reply.bool_field("changed"), Some(false), "{reply}");
+    let mut f = BrokerClient::connect(follower.addr()).expect("connect");
+    let reply = f.promote().expect("promote follower");
+    assert_eq!(reply.bool_field("changed"), Some(true), "{reply}");
+    let reply = f.promote().expect("promote again");
+    assert_eq!(reply.bool_field("changed"), Some(false), "{reply}");
+    assert_eq!(
+        stats_at(follower.addr())
+            .get("replication")
+            .and_then(|r| r.str_field("role").map(str::to_owned)),
+        Some("primary".to_owned())
+    );
+    let _ = std::fs::remove_dir_all(&dir_p);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+/// Satellite (drain bugfix): mutations racing a graceful shutdown are
+/// either fsynced-and-acknowledged or rejected-and-unapplied — never a
+/// third thing. Pinned by recovering the state dir and checking every
+/// thread's observed outcome against the recovered repository.
+#[test]
+fn graceful_drain_acks_or_rejects_racing_mutations_deterministically() {
+    let dir = state_dir("drainrace");
+    let config = BrokerConfig {
+        ack: AckMode::Local,
+        cluster_size: 1,
+        ..node_config(&dir, None)
+    };
+    let handle = Broker::spawn(config).expect("spawn");
+    let addr = handle.addr();
+    let service = service_pool()[0].to_string();
+    let done = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for t in 0..4 {
+        let service = service.clone();
+        let done = Arc::clone(&done);
+        workers.push(std::thread::spawn(move || {
+            let mut acked: Vec<String> = Vec::new();
+            let mut rejected: Vec<String> = Vec::new();
+            let Ok(mut client) = BrokerClient::connect(addr) else {
+                return (acked, rejected);
+            };
+            for i in 0..10_000 {
+                let loc = format!("d{t}-{i}");
+                let req = Json::obj()
+                    .with("cmd", "publish")
+                    .with("location", loc.as_str())
+                    .with("service", service.as_str())
+                    .with("req_id", format!("drain-{t}-{i}"));
+                match client.request(&req) {
+                    Ok(reply) if reply.bool_field("ok") == Some(true) => acked.push(loc),
+                    // `shutting_down` or a severed connection: the
+                    // mutation must not have been applied.
+                    _ => {
+                        rejected.push(loc);
+                        break;
+                    }
+                }
+                if done.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            (acked, rejected)
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let mut ops = BrokerClient::connect(addr).expect("connect for shutdown");
+    ops.shutdown().expect("shutdown accepted");
+    done.store(true, Ordering::SeqCst);
+    handle.join();
+    let mut acked = Vec::new();
+    let mut rejected = Vec::new();
+    for w in workers {
+        let (a, r) = w.join().expect("worker");
+        acked.extend(a);
+        rejected.extend(r);
+    }
+    assert!(!acked.is_empty(), "no mutation landed before the drain");
+
+    // Recover and compare: acknowledged ⇔ present.
+    let handle = Broker::spawn(BrokerConfig {
+        ack: AckMode::Local,
+        cluster_size: 1,
+        ..node_config(&dir, None)
+    })
+    .expect("respawn");
+    let mut client = BrokerClient::connect(handle.addr()).expect("connect");
+    let reply = client.repo().expect("repo");
+    let present: Vec<String> = reply
+        .get("services")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.str_field("location").map(str::to_owned))
+        .collect();
+    for loc in &acked {
+        assert!(
+            present.contains(loc),
+            "acknowledged mutation at {loc} lost in the drain"
+        );
+    }
+    for loc in &rejected {
+        assert!(
+            !present.contains(loc),
+            "rejected mutation at {loc} was applied anyway"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -365,6 +365,7 @@ fn no_subcommand_prints_usage_listing_every_command() {
         "lts",
         "bpa",
         "serve",
+        "promote",
         "publish",
         "plan",
         "run-remote",
