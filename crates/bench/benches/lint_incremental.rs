@@ -1,0 +1,175 @@
+//! Incremental lint benchmark: what the dependency index buys on a
+//! live repository, emitted as machine-readable
+//! `BENCH_lint_incremental.json`.
+//!
+//! For each repository size the harness publishes `n` services and
+//! three single-request clients, then alternates one service's body
+//! (the kind of single mutation a broker sees) and measures, for the
+//! same mutation sequence, two kinds of refresh (timed in separate
+//! loops so the heavy cold runs cannot pollute the incremental
+//! timings):
+//!
+//! * **cold** — a fresh [`LintEngine`] with empty caches, the price a
+//!   broker without the incremental engine would pay on every `lint`;
+//! * **incremental** — the long-lived engine, which re-verifies only
+//!   the plans routing through the touched location and splices every
+//!   pass whose inputs did not change.
+//!
+//! After every mutation the two reports are checked byte-identical
+//! (`equivalence: "ok"`), so the speedup is never bought with staleness.
+//!
+//! Environment:
+//! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
+//! * `SUFS_BENCH_LINT_INCREMENTAL_OUT=path` — where to write the JSON
+//!   (default `BENCH_lint_incremental.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sufs_broker::Json;
+use sufs_hexpr::{parse_hist, Hist};
+use sufs_lint::{LintEngine, LintInput};
+use sufs_net::Repository;
+use sufs_policy::PolicyRegistry;
+
+/// Three one-request clients; single requests keep the candidate-plan
+/// count linear in the repository size (every request binds to every
+/// location), so the cold baseline scales honestly.
+fn clients() -> Vec<(String, Hist)> {
+    (0..3)
+        .map(|k| {
+            let hist = parse_hist(&format!("open {} {{ int[ping{k} -> eps] }}", k + 1))
+                .expect("client parses");
+            (format!("c{k}"), hist)
+        })
+        .collect()
+}
+
+/// A repository of `n` services, each answering one of the three
+/// client events — every client has ~n/3 valid plans.
+fn repository(n: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..n {
+        let body = parse_hist(&format!("ext[ping{} -> eps]", i % 3)).expect("service parses");
+        repo.restore(format!("svc{i}"), body, None)
+            .expect("service is well-formed");
+    }
+    repo
+}
+
+/// One size point: `mutations` single-service mutations, each timed
+/// cold and incrementally, with a byte-level equivalence check.
+fn run_size(n: usize, mutations: usize) -> Json {
+    let clients = clients();
+    let mut repo = repository(n);
+    let registry = PolicyRegistry::new();
+
+    let mut engine = LintEngine::new();
+    engine
+        .refresh(LintInput::new(&clients, &repo, &registry))
+        .expect("initial refresh");
+
+    let bodies = ["ext[ping0 -> eps]", "ext[ping1 -> eps]"];
+    let (mut cold_ms, mut incr_ms) = (0.0f64, 0.0f64);
+    let (mut passes_run, mut passes_reused) = (0usize, 0usize);
+
+    // First the incremental refreshes, back to back — interleaving the
+    // (much heavier) cold runs would let their cache pollution bleed
+    // into the incremental timings. The reports are kept for the
+    // equivalence check below.
+    let mut reports = Vec::with_capacity(mutations);
+    for step in 0..mutations {
+        // The mutation: alternate svc0 between two bodies.
+        let body = parse_hist(bodies[step % 2]).expect("pool body parses");
+        repo.restore("svc0", body, None).expect("well-formed");
+
+        let t = Instant::now();
+        let outcome = engine
+            .refresh(LintInput::new(&clients, &repo, &registry))
+            .expect("incremental refresh");
+        incr_ms += t.elapsed().as_secs_f64() * 1e3;
+        passes_run += outcome.passes_run;
+        passes_reused += outcome.passes_reused;
+        reports.push(engine.report().to_json(None));
+    }
+
+    // Then the cold baseline over the same mutation sequence, checking
+    // every incremental report byte-identical to the from-scratch one.
+    for (step, incremental_report) in reports.iter().enumerate() {
+        let body = parse_hist(bodies[step % 2]).expect("pool body parses");
+        repo.restore("svc0", body, None).expect("well-formed");
+
+        let t = Instant::now();
+        let mut cold = LintEngine::new();
+        cold.refresh(LintInput::new(&clients, &repo, &registry))
+            .expect("cold refresh");
+        cold_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            *incremental_report,
+            cold.report().to_json(None),
+            "{n} services, mutation {step}: incremental and cold reports diverged"
+        );
+    }
+    cold_ms /= mutations as f64;
+    incr_ms /= mutations as f64;
+    let speedup = if incr_ms > 0.0 {
+        cold_ms / incr_ms
+    } else {
+        0.0
+    };
+    let reuse_total = passes_run + passes_reused;
+    let reuse_rate = if reuse_total == 0 {
+        0.0
+    } else {
+        passes_reused as f64 / reuse_total as f64
+    };
+    eprintln!(
+        "  {n} services: cold {cold_ms:.2}ms, incremental {incr_ms:.3}ms, {speedup:.1}x, \
+         reuse rate {reuse_rate:.2}"
+    );
+    Json::obj()
+        .with("services", n)
+        .with("clients", 3u64)
+        .with("mutations", mutations)
+        .with("cold_ms", cold_ms)
+        .with("incremental_ms", incr_ms)
+        .with("speedup", speedup)
+        .with("passes_run", passes_run)
+        .with("passes_reused", passes_reused)
+        .with("reuse_rate", reuse_rate)
+        .with("equivalence", "ok")
+}
+
+fn main() {
+    let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let sizes: &[usize] = if smoke {
+        &[10, 30]
+    } else {
+        &[10, 50, 200, 500]
+    };
+    let mutations = if smoke { 4 } else { 10 };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    write!(
+        out,
+        "  \"bench\": \"lint_incremental\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n"
+    )
+    .unwrap();
+
+    eprintln!("incremental vs cold re-lint, single mutation on an n-service repository");
+    out.push_str("  \"sizes\": [\n");
+    for (i, &n) in sizes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write!(out, "    {}", run_size(n, mutations)).unwrap();
+    }
+    out.push_str("\n  ]\n}\n");
+
+    let path = std::env::var("SUFS_BENCH_LINT_INCREMENTAL_OUT")
+        .unwrap_or_else(|_| "BENCH_lint_incremental.json".into());
+    std::fs::write(&path, &out).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

@@ -358,6 +358,16 @@ impl BrokerClient {
         self.request_retrying(&Json::obj().with("cmd", "stats"))
     }
 
+    /// `lint`: run the broker's incremental lint engine over the live
+    /// repository and fetch the full report.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn lint(&mut self) -> io::Result<Json> {
+        self.request_retrying(&Json::obj().with("cmd", "lint"))
+    }
+
     /// `promote`: ask a follower to become the primary.
     ///
     /// # Errors

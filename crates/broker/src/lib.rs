@@ -22,6 +22,7 @@
 pub mod chaos;
 pub mod client;
 pub mod json;
+pub mod lint;
 pub mod metrics;
 pub mod proto;
 pub mod replication;

@@ -64,6 +64,15 @@ pub struct Metrics {
     /// Quorum-mode mutations whose acknowledgement wait timed out
     /// (applied locally, `"quorum": false` in the reply).
     pub quorum_timeouts: AtomicU64,
+    /// `lint` requests served.
+    pub lint_requests: AtomicU64,
+    /// Mutations rejected by the `--deny-lint` gate.
+    pub lint_rejections: AtomicU64,
+    /// Lint passes actually (re)run by the incremental engine.
+    pub lint_passes_run: AtomicU64,
+    /// Lint passes spliced from the engine's dependency cache instead
+    /// of being re-run.
+    pub lint_passes_reused: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
     recovery_histogram: [AtomicU64; BUCKETS],
     replication_histogram: [AtomicU64; BUCKETS],
@@ -100,6 +109,10 @@ impl Metrics {
             bootstraps_received: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             quorum_timeouts: AtomicU64::new(0),
+            lint_requests: AtomicU64::new(0),
+            lint_rejections: AtomicU64::new(0),
+            lint_passes_run: AtomicU64::new(0),
+            lint_passes_reused: AtomicU64::new(0),
             histogram: Default::default(),
             recovery_histogram: Default::default(),
             replication_histogram: Default::default(),
@@ -179,6 +192,20 @@ impl Metrics {
                 "replication_ms_histogram",
                 render_hist(&self.replication_histogram),
             );
+        let passes_run = self.lint_passes_run.load(load);
+        let passes_reused = self.lint_passes_reused.load(load);
+        let reuse_total = passes_run + passes_reused;
+        let reuse_rate = if reuse_total == 0 {
+            0.0
+        } else {
+            passes_reused as f64 / reuse_total as f64
+        };
+        let lint = Json::obj()
+            .with("requests", self.lint_requests.load(load))
+            .with("rejections", self.lint_rejections.load(load))
+            .with("passes_run", passes_run)
+            .with("passes_reused", passes_reused)
+            .with("reuse_rate", reuse_rate);
         Json::obj()
             .with("uptime_ms", self.started.elapsed().as_millis() as u64)
             .with("connections", self.connections.load(load))
@@ -196,6 +223,7 @@ impl Metrics {
             .with("synthesis_ms_histogram", hist)
             .with("durability", durability)
             .with("replication", replication)
+            .with("lint", lint)
     }
 }
 
@@ -230,5 +258,19 @@ mod tests {
     fn zero_traffic_hit_rate_is_zero() {
         let snap = Metrics::new().snapshot(0, 0);
         assert_eq!(snap.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
+        let lint = snap.get("lint").unwrap();
+        assert_eq!(lint.get("reuse_rate").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn lint_reuse_rate_is_reused_over_total() {
+        let m = Metrics::new();
+        m.lint_passes_run.fetch_add(1, Ordering::Relaxed);
+        m.lint_passes_reused.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot(0, 0);
+        let lint = snap.get("lint").unwrap();
+        assert_eq!(lint.u64_field("passes_run"), Some(1));
+        assert_eq!(lint.u64_field("passes_reused"), Some(3));
+        assert!((lint.get("reuse_rate").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-9);
     }
 }

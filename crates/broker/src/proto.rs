@@ -162,8 +162,9 @@ pub fn ok() -> Json {
 /// a follower; the reply carries the upstream address as a redirect
 /// hint), `not_durable` (a `replicate` request reached a primary
 /// without a state directory — the journal is the replication
-/// substrate), `internal` (a durability failure or other server-side
-/// fault).
+/// substrate), `lint_rejected` (a mutation was reverted by the
+/// `--deny-lint` gate; the reply carries the introduced `diagnostics`),
+/// `internal` (a durability failure or other server-side fault).
 pub fn error(kind: &str, message: impl Into<String>) -> Json {
     Json::obj()
         .with("ok", false)

@@ -438,10 +438,11 @@ pub(crate) fn serve_replica(stream: &mut TcpStream, shared: &Shared) {
     let (follower, handshake) = {
         let repo = shared.repo.read().expect("repo lock");
         let registry = shared.registry.read().expect("registry lock");
+        let clients = shared.clients.read().expect("clients lock");
         let dedup = d.dedup.lock().expect("dedup lock");
         let wal = d.wal.lock().expect("wal lock");
         let covered = wal.next_seq().saturating_sub(1);
-        let doc = snapshot::render_doc(covered, &repo, &registry, &dedup.export());
+        let doc = snapshot::render_doc(covered, &repo, &registry, &clients, &dedup.export());
         let follower = Arc::new(FollowerConn::new(peer, write_half, covered));
         shared
             .repl
@@ -576,6 +577,7 @@ fn bootstrap(shared: &Shared, doc: &Json) -> io::Result<()> {
     let snap = snapshot::parse_doc(doc)?;
     let mut repo = shared.repo.write().expect("repo lock");
     let mut registry = shared.registry.write().expect("registry lock");
+    let mut clients = shared.clients.write().expect("clients lock");
     // Evict verdicts naming any location of the old *or* new state, and
     // the whole registry layer: the swap invalidates both worlds.
     for loc in repo.locations() {
@@ -588,11 +590,12 @@ fn bootstrap(shared: &Shared, doc: &Json) -> io::Result<()> {
     let covered = snap.covered_seq;
     *repo = snap.repository;
     *registry = snap.registry;
+    *clients = snap.clients;
     if let Some(d) = shared.durability.as_ref() {
         let mut dedup = d.dedup.lock().expect("dedup lock");
         dedup.replace(snap.dedup);
         let mut wal = d.wal.lock().expect("wal lock");
-        snapshot::write(&d.dir, covered, &repo, &registry, &dedup.export())?;
+        snapshot::write(&d.dir, covered, &repo, &registry, &clients, &dedup.export())?;
         wal.truncate()?;
         wal.ensure_seq_at_least(covered + 1);
     }

@@ -69,7 +69,8 @@ use std::time::{Duration, Instant};
 
 use sufs_core::scenario::parse_scenario;
 use sufs_core::{recovery_table, synthesize_with, SynthesisOptions, VerifyCache};
-use sufs_hexpr::{parse_hist, Location};
+use sufs_hexpr::{parse_hist, Hist, Location};
+use sufs_lint::{LintEngine, Severity};
 use sufs_net::{ChoiceMode, FaultPlan, MonitorMode, Network, Outcome, Plan, Repository, Scheduler};
 use sufs_policy::PolicyRegistry;
 use sufs_rng::{SeedableRng, StdRng};
@@ -130,6 +131,11 @@ pub struct BrokerConfig {
     /// Replication heartbeat interval; followers treat `4 ×` this of
     /// silence as a dead upstream and redial.
     pub replication_tick: Duration,
+    /// Opt-in lint gate: reject client mutations that introduce a new
+    /// diagnostic at or above this severity (`Severity::Error` for
+    /// `--deny-lint error`, `Severity::Warning` for `--deny-lint
+    /// warnings`). `None` (the default) disables gating.
+    pub deny_lint: Option<Severity>,
 }
 
 impl Default for BrokerConfig {
@@ -147,6 +153,7 @@ impl Default for BrokerConfig {
             ack_timeout: Duration::from_secs(5),
             follow_retry: Duration::from_millis(250),
             replication_tick: Duration::from_millis(500),
+            deny_lint: None,
         }
     }
 }
@@ -244,10 +251,23 @@ struct RecoveryPlan {
 }
 
 /// Everything the connection threads share.
+///
+/// Lock order among the resource locks: `repo` → `registry` →
+/// `clients` → `lint` (then the durability chain, see [`Durability`]).
+/// `cmd_retract_policy` takes a `repo` *read* lock before its
+/// `registry` write lock for exactly this reason.
 pub(crate) struct Shared {
     pub(crate) repo: RwLock<Repository>,
     pub(crate) registry: RwLock<PolicyRegistry>,
+    /// Registered client behaviours (from `publish_scenario`), sorted
+    /// by name — the client set repository-wide lint passes analyze.
+    pub(crate) clients: RwLock<Vec<(String, Hist)>>,
     pub(crate) cache: VerifyCache,
+    /// The incremental lint engine behind the `lint` command and the
+    /// `--deny-lint` gate.
+    pub(crate) lint: Mutex<LintEngine>,
+    /// The configured gate severity; `None` disables gating.
+    pub(crate) deny_lint: Option<Severity>,
     pub(crate) metrics: Metrics,
     opts: SynthesisOptions,
     fuel: usize,
@@ -290,6 +310,7 @@ impl Broker {
 
         let mut repo = Repository::new();
         let mut registry = PolicyRegistry::new();
+        let mut clients: Vec<(String, Hist)> = Vec::new();
         let mut recovery: Option<RecoveryPlan> = None;
         let durability = match &config.state_dir {
             None => None,
@@ -303,6 +324,7 @@ impl Broker {
                     covered_seq = snap.covered_seq;
                     repo = snap.repository;
                     registry = snap.registry;
+                    clients = snap.clients;
                     for (id, reply) in snap.dedup {
                         dedup.insert(id, reply);
                     }
@@ -339,7 +361,10 @@ impl Broker {
         let shared = Arc::new(Shared {
             repo: RwLock::new(repo),
             registry: RwLock::new(registry),
+            clients: RwLock::new(clients),
             cache: VerifyCache::new(),
+            lint: Mutex::new(LintEngine::new()),
+            deny_lint: config.deny_lint,
             metrics: Metrics::new(),
             opts: config.opts,
             fuel: config.fuel,
@@ -617,12 +642,13 @@ fn maybe_snapshot(shared: &Shared) {
     }
     let repo = shared.repo.read().expect("repo lock");
     let registry = shared.registry.read().expect("registry lock");
+    let clients = shared.clients.read().expect("clients lock");
     let dedup = d.dedup.lock().expect("dedup lock");
     let mut wal = d.wal.lock().expect("wal lock");
     let covered = wal.next_seq().saturating_sub(1);
     let entries = dedup.export();
-    let result =
-        snapshot::write(&d.dir, covered, &repo, &registry, &entries).and_then(|()| wal.truncate());
+    let result = snapshot::write(&d.dir, covered, &repo, &registry, &clients, &entries)
+        .and_then(|()| wal.truncate());
     match result {
         Ok(()) => {
             shared.metrics.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -781,6 +807,7 @@ pub(crate) fn handle_request_from(request: &Json, shared: &Shared, source: Sourc
         "repo" => cmd_repo(shared),
         "plan" => cmd_plan(request, shared),
         "run" => cmd_run(request, shared),
+        "lint" => crate::lint::cmd_lint(shared),
         "stats" => cmd_stats(shared),
         "promote" => replication::cmd_promote(shared),
         // `replicate` hijacks the whole connection and is intercepted
@@ -830,13 +857,37 @@ fn cmd_publish(request: &Json, shared: &Shared, source: Source) -> Json {
     if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
+    // The lint gate needs the registry and client set alongside the
+    // repository; both read locks follow `repo` in the lock order.
+    let gate_locks = crate::lint::gate_active(shared, source).then(|| {
+        (
+            shared.registry.read().expect("registry lock"),
+            shared.clients.read().expect("clients lock"),
+        )
+    });
+    let gate = match &gate_locks {
+        None => None,
+        Some((registry, clients)) => match crate::lint::prepare(shared, &repo, registry, clients) {
+            Ok(g) => Some(g),
+            Err(reply) => return reply,
+        },
+    };
+    let saved = gate.as_ref().map(|_| repo.clone());
     let result = match capacity {
         Some(cap) => repo.try_publish_bounded(location, service, cap),
         None => repo.try_publish(location, service),
     };
     match result {
         Ok(event) => {
-            let evicted = shared.cache.invalidate_location(event.location());
+            let touched = event.location().clone();
+            let evicted = shared.cache.invalidate_location(&touched);
+            if let (Some(gate), Some((registry, clients))) = (&gate, &gate_locks) {
+                if let Err(reply) = crate::lint::check(shared, gate, &repo, registry, clients) {
+                    *repo = saved.expect("saved state when gating");
+                    shared.cache.invalidate_location(&touched);
+                    return reply;
+                }
+            }
             shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
             shared
                 .metrics
@@ -865,13 +916,25 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared, source: Source) -> Json
         Ok(sc) => sc,
         Err(e) => return proto::error("parse", e.to_string()),
     };
-    // Take both locks before mutating either, so no query interleaves
-    // between the repository and registry updates.
+    // Take every lock before mutating anything, so no query
+    // interleaves between the repository, registry and client updates.
     let mut repo = shared.repo.write().expect("repo lock");
     let mut registry = shared.registry.write().expect("registry lock");
+    let mut clients = shared.clients.write().expect("clients lock");
     if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
+    let gate = if crate::lint::gate_active(shared, source) {
+        match crate::lint::prepare(shared, &repo, &registry, &clients) {
+            Ok(g) => Some(g),
+            Err(reply) => return reply,
+        }
+    } else {
+        None
+    };
+    let saved = gate
+        .as_ref()
+        .map(|_| (repo.clone(), registry.clone(), clients.clone()));
     let mut evicted = 0;
     let mut services = 0u64;
     for (loc, service) in scenario.repository.iter() {
@@ -892,7 +955,34 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared, source: Source) -> Json
     if policies > 0 {
         evicted += shared.cache.invalidate_registry();
     }
-    if services + policies > 0 {
+    // Scenario clients join the broker's registered client set (upsert
+    // by name, kept sorted) — the population the repository-wide lint
+    // passes analyze.
+    let mut client_count = 0u64;
+    for (name, hist) in &scenario.clients {
+        match clients.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
+            Ok(i) => clients[i].1 = hist.clone(),
+            Err(i) => clients.insert(i, (name.clone(), hist.clone())),
+        }
+        client_count += 1;
+    }
+    let changed = services + policies + client_count > 0;
+    if changed {
+        if let Some(gate) = &gate {
+            if let Err(reply) = crate::lint::check(shared, gate, &repo, &registry, &clients) {
+                let (r, g, c) = saved.expect("saved state when gating");
+                *repo = r;
+                *registry = g;
+                *clients = c;
+                for loc in scenario.repository.locations() {
+                    shared.cache.invalidate_location(loc);
+                }
+                if policies > 0 {
+                    shared.cache.invalidate_registry();
+                }
+                return reply;
+            }
+        }
         shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
         shared
             .metrics
@@ -902,8 +992,9 @@ fn cmd_publish_scenario(request: &Json, shared: &Shared, source: Source) -> Json
     let reply = proto::ok()
         .with("services", services)
         .with("policies", policies)
+        .with("clients", client_count)
         .with("evicted", evicted);
-    finish_mutation(shared, request, reply, services + policies > 0, source)
+    finish_mutation(shared, request, reply, changed, source)
 }
 
 /// `retract`: withdraw a service; new plans stop seeing it immediately.
@@ -919,9 +1010,30 @@ fn cmd_retract(request: &Json, shared: &Shared, source: Source) -> Json {
     if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
+    let gate_locks = crate::lint::gate_active(shared, source).then(|| {
+        (
+            shared.registry.read().expect("registry lock"),
+            shared.clients.read().expect("clients lock"),
+        )
+    });
+    let gate = match &gate_locks {
+        None => None,
+        Some((registry, clients)) => match crate::lint::prepare(shared, &repo, registry, clients) {
+            Ok(g) => Some(g),
+            Err(reply) => return reply,
+        },
+    };
+    let saved = gate.as_ref().map(|_| repo.clone());
     let event = repo.retract(&location);
     let evicted = if event.changed() {
         let n = shared.cache.invalidate_location(&location);
+        if let (Some(gate), Some((registry, clients))) = (&gate, &gate_locks) {
+            if let Err(reply) = crate::lint::check(shared, gate, &repo, registry, clients) {
+                *repo = saved.expect("saved state when gating");
+                shared.cache.invalidate_location(&location);
+                return reply;
+            }
+        }
         shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
         shared.metrics.evictions.fetch_add(n, Ordering::Relaxed);
         n
@@ -945,13 +1057,37 @@ fn cmd_retract_policy(request: &Json, shared: &Shared, source: Source) -> Json {
         Ok(n) => n,
         Err(e) => return e,
     };
+    // Lock order is `repo` → `registry`, so the gate's repository view
+    // must be taken *before* the registry write lock.
+    let gate_repo =
+        crate::lint::gate_active(shared, source).then(|| shared.repo.read().expect("repo lock"));
     let mut registry = shared.registry.write().expect("registry lock");
     if let Some(hit) = dedup_check(shared, request, source) {
         return hit;
     }
+    let gate_clients = gate_repo
+        .as_ref()
+        .map(|_| shared.clients.read().expect("clients lock"));
+    let gate = match (&gate_repo, &gate_clients) {
+        (Some(repo), Some(clients)) => {
+            match crate::lint::prepare(shared, repo, &registry, clients) {
+                Ok(g) => Some(g),
+                Err(reply) => return reply,
+            }
+        }
+        _ => None,
+    };
+    let saved = gate.as_ref().and_then(|_| registry.get(name).cloned());
     let removed = registry.remove(name).is_some();
     let evicted = if removed {
         let n = shared.cache.invalidate_registry();
+        if let (Some(gate), Some(repo), Some(clients)) = (&gate, &gate_repo, &gate_clients) {
+            if let Err(reply) = crate::lint::check(shared, gate, repo, &registry, clients) {
+                registry.register(saved.expect("removed policy was fetched before removal"));
+                shared.cache.invalidate_registry();
+                return reply;
+            }
+        }
         shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
         shared.metrics.evictions.fetch_add(n, Ordering::Relaxed);
         n
@@ -968,6 +1104,13 @@ fn cmd_retract_policy(request: &Json, shared: &Shared, source: Source) -> Json {
 fn cmd_repo(shared: &Shared) -> Json {
     let repo = shared.repo.read().expect("repo lock");
     let registry = shared.registry.read().expect("registry lock");
+    let client_names: Vec<Json> = shared
+        .clients
+        .read()
+        .expect("clients lock")
+        .iter()
+        .map(|(name, _)| Json::str(name.clone()))
+        .collect();
     let services: Vec<Json> = repo
         .iter()
         .map(|(loc, service)| {
@@ -987,6 +1130,7 @@ fn cmd_repo(shared: &Shared) -> Json {
     proto::ok()
         .with("services", services)
         .with("policies", policies)
+        .with("clients", client_names)
 }
 
 /// Per-request synthesis options: the daemon's defaults, with the
@@ -1223,8 +1367,10 @@ fn cmd_run(request: &Json, shared: &Shared) -> Json {
 fn cmd_stats(shared: &Shared) -> Json {
     let cache = shared.cache.stats();
     let repo_len = shared.repo.read().expect("repo lock").len();
+    let clients_len = shared.clients.read().expect("clients lock").len();
     let mut reply = proto::ok()
         .with("services", repo_len)
+        .with("clients", clients_len)
         .with(
             "stats",
             shared.metrics.snapshot(cache.hits(), cache.misses()),

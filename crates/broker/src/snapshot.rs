@@ -24,7 +24,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use sufs_core::scenario::parse_scenario;
-use sufs_hexpr::parse_hist;
+use sufs_hexpr::{parse_hist, Hist};
 use sufs_net::Repository;
 use sufs_policy::{CmpOp, Guard, Operand, PolicyRegistry, UsageAutomaton};
 
@@ -47,6 +47,11 @@ pub struct Snapshot {
     pub repository: Repository,
     /// The policy registry at snapshot time.
     pub registry: PolicyRegistry,
+    /// The registered client behaviours at snapshot time (the
+    /// population the repository-wide lint passes analyze), stored as
+    /// history-expression text like services. Absent in pre-PR-7
+    /// snapshots, which load as an empty set.
+    pub clients: Vec<(String, Hist)>,
     /// The idempotency window at snapshot time: `(req_id, reply)` in
     /// insertion order, so a mutation retried across a snapshot
     /// boundary is still recognised as already applied.
@@ -135,6 +140,7 @@ pub fn render_doc(
     covered_seq: u64,
     repository: &Repository,
     registry: &PolicyRegistry,
+    clients: &[(String, Hist)],
     dedup: &[(String, Json)],
 ) -> Json {
     let services: Vec<Json> = repository
@@ -153,6 +159,14 @@ pub fn render_doc(
         .iter()
         .map(|ua| Json::str(policy_text(ua)))
         .collect();
+    let clients: Vec<Json> = clients
+        .iter()
+        .map(|(name, hist)| {
+            Json::obj()
+                .with("name", name.as_str())
+                .with("hist", hist.to_string())
+        })
+        .collect();
     let dedup: Vec<Json> = dedup
         .iter()
         .map(|(id, reply)| {
@@ -166,6 +180,7 @@ pub fn render_doc(
         .with("seq", covered_seq)
         .with("services", services)
         .with("policies", policies)
+        .with("clients", clients)
         .with("dedup", dedup)
 }
 
@@ -181,9 +196,10 @@ pub fn write(
     covered_seq: u64,
     repository: &Repository,
     registry: &PolicyRegistry,
+    clients: &[(String, Hist)],
     dedup: &[(String, Json)],
 ) -> io::Result<()> {
-    let doc = render_doc(covered_seq, repository, registry, dedup).to_string();
+    let doc = render_doc(covered_seq, repository, registry, clients, dedup).to_string();
     let tmp: PathBuf = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     let dst: PathBuf = dir.join(SNAPSHOT_FILE);
     {
@@ -270,6 +286,17 @@ pub fn parse_doc(doc: &Json) -> io::Result<Snapshot> {
             snapshot.registry.register(ua.clone());
         }
     }
+    for entry in doc.get("clients").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = entry
+            .str_field("name")
+            .ok_or_else(|| bad("snapshot client lacks `name`".into()))?;
+        let text = entry
+            .str_field("hist")
+            .ok_or_else(|| bad("snapshot client lacks `hist`".into()))?;
+        let hist = parse_hist(text)
+            .map_err(|e| bad(format!("snapshot client {name} does not parse: {e}")))?;
+        snapshot.clients.push((name.to_owned(), hist));
+    }
     for entry in doc.get("dedup").and_then(Json::as_arr).unwrap_or(&[]) {
         let id = entry
             .str_field("id")
@@ -342,14 +369,28 @@ mod tests {
         let mut registry = PolicyRegistry::new();
         registry.register(catalog::hotel_policy());
         let dedup = vec![("id-1".to_owned(), Json::obj().with("ok", true))];
-        write(&dir, 42, &repo, &registry, &dedup).unwrap();
+        let clients = vec![("c1".to_owned(), parse_hist("int[go -> eps]").unwrap())];
+        write(&dir, 42, &repo, &registry, &clients, &dedup).unwrap();
 
         let snap = load(&dir).unwrap().expect("snapshot exists");
         assert_eq!(snap.covered_seq, 42);
         assert_eq!(snap.repository, repo);
         assert!(snap.registry.get("hotel").is_some());
+        assert_eq!(snap.clients, clients);
         assert_eq!(snap.dedup, dedup);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Pre-PR-7 snapshots carry no `clients` field; they load with an
+    /// empty client set instead of erroring.
+    #[test]
+    fn snapshot_without_clients_field_loads_empty() {
+        let doc = render_doc(3, &Repository::new(), &PolicyRegistry::new(), &[], &[]);
+        let text = doc.to_string().replace(",\"clients\":[]", "");
+        let old = crate::json::parse(&text).unwrap();
+        assert!(old.get("clients").is_none(), "{text}");
+        let snap = parse_doc(&old).unwrap();
+        assert!(snap.clients.is_empty());
     }
 
     #[test]
@@ -366,10 +407,10 @@ mod tests {
         let dir = tmp_dir("swap");
         let repo = Repository::new();
         let registry = PolicyRegistry::new();
-        write(&dir, 1, &repo, &registry, &[]).unwrap();
+        write(&dir, 1, &repo, &registry, &[], &[]).unwrap();
         let mut repo2 = Repository::new();
         repo2.publish("s", parse_hist("eps").unwrap());
-        write(&dir, 7, &repo2, &registry, &[]).unwrap();
+        write(&dir, 7, &repo2, &registry, &[], &[]).unwrap();
         let snap = load(&dir).unwrap().unwrap();
         assert_eq!(snap.covered_seq, 7);
         assert_eq!(snap.repository.len(), 1);

@@ -314,8 +314,27 @@ pub fn verify_plan(
     repo: &Repository,
     registry: &PolicyRegistry,
 ) -> Result<PlanVerdict, VerifyError> {
+    verify_plan_with(client, plan, repo, registry, None)
+}
+
+/// [`verify_plan`] against a caller-owned [`VerifyCache`]: the per-plan
+/// entry point behind the incremental lint engine, which splices
+/// memoized verdicts and re-verifies only the plans whose bound
+/// locations changed. Verdict-identical to routing the plan through
+/// [`synthesize_with`] under the same cache.
+///
+/// # Errors
+///
+/// As [`verify_plan`].
+pub fn verify_plan_with(
+    client: &Hist,
+    plan: &Plan,
+    repo: &Repository,
+    registry: &PolicyRegistry,
+    cache: Option<&VerifyCache>,
+) -> Result<PlanVerdict, VerifyError> {
     wf::check(client).map_err(VerifyError::IllFormedClient)?;
-    check_plan(client, plan, repo, registry, None)
+    check_plan(client, plan, repo, registry, cache)
 }
 
 /// Tuning knobs for [`synthesize`]; the default configuration matches

@@ -31,6 +31,13 @@ pub enum Code {
     /// `SUFS008` — a policy reference that does not resolve against the
     /// scenario's `policy` definitions.
     UnresolvedPolicy,
+    /// `SUFS009` — a wait-for cycle among clients contending for
+    /// bounded-capacity services: some interleaving strands every
+    /// participant.
+    CapacityDeadlockCycle,
+    /// `SUFS010` — a service whose crash leaves some client with an
+    /// empty recovery chain: every valid plan routes through it.
+    SinglePointOfFailure,
 }
 
 impl Code {
@@ -45,6 +52,8 @@ impl Code {
             Code::PlanContention => "SUFS006",
             Code::EmptyPlanSpace => "SUFS007",
             Code::UnresolvedPolicy => "SUFS008",
+            Code::CapacityDeadlockCycle => "SUFS009",
+            Code::SinglePointOfFailure => "SUFS010",
         }
     }
 
@@ -59,6 +68,8 @@ impl Code {
             Code::PlanContention => "plan-contention",
             Code::EmptyPlanSpace => "empty-plan-space",
             Code::UnresolvedPolicy => "unresolved-policy",
+            Code::CapacityDeadlockCycle => "capacity-deadlock-cycle",
+            Code::SinglePointOfFailure => "single-point-of-failure",
         }
     }
 
@@ -66,7 +77,10 @@ impl Code {
     pub fn severity(self) -> Severity {
         match self {
             Code::EmptyPlanSpace | Code::UnresolvedPolicy => Severity::Error,
-            Code::DeadService => Severity::Info,
+            // SUFS010 is informational by design: almost every small
+            // scenario has a service all plans route through, and the
+            // paper's repositories keep single providers on purpose.
+            Code::DeadService | Code::SinglePointOfFailure => Severity::Info,
             _ => Severity::Warning,
         }
     }
@@ -209,8 +223,9 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// The result of linting one scenario: every finding, sorted by source
-/// position, code, then subject.
+/// The result of linting one scenario: every finding, in the
+/// documented deterministic order — by code, then source position,
+/// then subject name, then message.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
     /// All diagnostics, in deterministic order.
@@ -316,14 +331,20 @@ mod tests {
             Code::PlanContention,
             Code::EmptyPlanSpace,
             Code::UnresolvedPolicy,
+            Code::CapacityDeadlockCycle,
+            Code::SinglePointOfFailure,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), all.len());
         assert_eq!(Code::UnreachableEvent.as_str(), "SUFS001");
+        assert_eq!(Code::CapacityDeadlockCycle.as_str(), "SUFS009");
+        assert_eq!(Code::SinglePointOfFailure.as_str(), "SUFS010");
         assert_eq!(Code::EmptyPlanSpace.severity(), Severity::Error);
         assert_eq!(Code::DeadService.severity(), Severity::Info);
+        assert_eq!(Code::CapacityDeadlockCycle.severity(), Severity::Warning);
+        assert_eq!(Code::SinglePointOfFailure.severity(), Severity::Info);
         assert_eq!(Code::VacuousPolicy.severity(), Severity::Warning);
     }
 

@@ -17,6 +17,16 @@
 //! | `SUFS006` | `plan-contention` | warning | clients forced past a service's capacity |
 //! | `SUFS007` | `empty-plan-space` | error | a client with no valid plan |
 //! | `SUFS008` | `unresolved-policy` | error | a policy reference with no definition |
+//! | `SUFS009` | `capacity-deadlock-cycle` | warning | clients deadlocking over bounded capacities |
+//! | `SUFS010` | `single-point-of-failure` | info | a service whose crash empties a recovery chain |
+//!
+//! Passes run over any [`LintInput`] — a parsed scenario or a broker's
+//! live repository — and the [`engine::LintEngine`] maintains a report
+//! incrementally across mutations, re-running only the passes whose
+//! fingerprinted inputs changed.
+//!
+//! Diagnostics are ordered deterministically: by code, then source
+//! position, then subject, then message.
 //!
 //! See `docs/LINTS.md` for a catalogue with minimal triggering
 //! scenarios.
@@ -44,6 +54,7 @@
 
 pub mod context;
 pub mod diag;
+pub mod engine;
 pub mod passes;
 
 use std::fmt;
@@ -53,9 +64,10 @@ use sufs_core::scenario::Scenario;
 use sufs_core::verify::VerifyError;
 use sufs_hexpr::lts::StateSpaceExceeded;
 
-pub use context::LintContext;
+pub use context::{AnalysisCaches, LintContext, LintInput};
 pub use diag::{Code, Diagnostic, LintReport, Severity};
-pub use passes::Pass;
+pub use engine::{LintEngine, RefreshOutcome};
+pub use passes::{Dep, Pass};
 
 /// An error preventing the lint engine from running (as opposed to a
 /// finding, which goes in the report).
@@ -102,7 +114,7 @@ impl std::error::Error for LintError {}
 
 /// Lints a scenario with the default bounds: builds the shared
 /// [`LintContext`], runs every pass, and returns the findings sorted by
-/// source position, code, subject, then message.
+/// code, source position, subject, then message.
 ///
 /// # Errors
 ///
@@ -133,10 +145,17 @@ fn run_passes(ctx: &LintContext<'_>) -> LintReport {
     for pass in passes::all() {
         diagnostics.extend(pass.run(ctx));
     }
-    diagnostics.sort_by(|a, b| {
-        (a.pos, a.code, &a.subject, &a.message).cmp(&(b.pos, b.code, &b.subject, &b.message))
-    });
+    sort_diagnostics(&mut diagnostics);
     LintReport { diagnostics }
+}
+
+/// The one documented diagnostic order, shared by the batch runner and
+/// the incremental engine: code, then source position, then subject,
+/// then message.
+pub(crate) fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (a.code, a.pos, &a.subject, &a.message).cmp(&(b.code, b.pos, &b.subject, &b.message))
+    });
 }
 
 #[cfg(test)]
@@ -150,9 +169,12 @@ mod tests {
 
     #[test]
     fn clean_scenario_is_clean() {
+        // Two interchangeable providers: no dead service, and no
+        // single point of failure (SUFS010) either.
         let sc = parse_scenario(
             "client c { open 1 { int[q -> eps]; ext[a -> eps | b -> eps] } }
-             service s { ext[q -> int[a -> eps | b -> eps]] }",
+             service s { ext[q -> int[a -> eps | b -> eps]] }
+             service s2 { ext[q -> int[a -> eps | b -> eps]] }",
         )
         .unwrap();
         let report = lint_scenario(&sc).unwrap();
@@ -206,6 +228,34 @@ mod tests {
             .expect("SUFS007 expected");
         assert_eq!(d.severity(), Severity::Error);
         assert!(d.note.as_ref().is_some_and(|n| n.contains("{r1↦s}")));
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_by_code_then_position() {
+        // `spare` is declared first (lowest position) but its
+        // dead-service finding (SUFS005) must sort after the client's
+        // unreachable event (SUFS001): code orders before position.
+        let sc = parse_scenario(
+            "service spare { ext[zzz -> eps] }
+             client c { open 1 { int[ask -> eps]; ext[yes -> #won; eps | no -> eps] } }
+             service nay { ext[ask -> int[no -> eps]] }",
+        )
+        .unwrap();
+        let report = lint_scenario(&sc).unwrap();
+        assert!(report.diagnostics.len() >= 2, "{report}");
+        let keys: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.pos, d.subject.clone(), d.message.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "report must be in documented order");
+        assert_eq!(report.diagnostics[0].code, Code::UnreachableEvent);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::DeadService));
     }
 
     #[test]

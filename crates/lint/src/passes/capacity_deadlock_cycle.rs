@@ -1,0 +1,183 @@
+//! `SUFS009` — wait-for cycles among clients contending for bounded
+//! services.
+//!
+//! Each client's plan is verified in isolation (§5 considers "one of
+//! them at a time"), but under the bounded-availability extension two
+//! individually valid plans can strand each other: A holds the last
+//! slot of `s₁` while waiting for `s₂`, B holds `s₂` while waiting for
+//! `s₁`. The pass builds the network of every verified client running
+//! its first valid plan — the deterministic binding `sufs run` would
+//! pick — and explores the joint symbolic product under the shared
+//! capacities via `sufs_core::multi::find_joint_deadlock`. A reachable
+//! global deadlock is reported once, with the deadlocking schedule
+//! prefix as witness. A joint-product bound hit makes the answer
+//! unknown, so the pass stays silent then (as does any client without a
+//! valid plan — `SUFS007` owns that).
+
+use std::collections::BTreeSet;
+
+use sufs_core::multi::{find_joint_deadlock, ClientSpec};
+use sufs_hexpr::Location;
+
+use crate::context::LintContext;
+use crate::diag::{Code, Diagnostic};
+use crate::passes::{Dep, Pass};
+
+/// The `capacity-deadlock-cycle` pass.
+pub struct CapacityDeadlockCycle;
+
+impl Pass for CapacityDeadlockCycle {
+    fn code(&self) -> Code {
+        Code::CapacityDeadlockCycle
+    }
+
+    fn description(&self) -> &'static str {
+        "client networks where contention for bounded services reaches a global deadlock"
+    }
+
+    fn deps(&self) -> &'static [Dep] {
+        // The network is built from valid plans (behaviours +
+        // policies); the deadlock itself hinges on the capacities.
+        &[Dep::Clients, Dep::Services, Dep::Capacities, Dep::Policies]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        // The network under analysis: every verified client running its
+        // first valid plan.
+        let mut specs: Vec<ClientSpec> = Vec::new();
+        for c in &ctx.clients {
+            if !c.verified {
+                return Vec::new(); // no notion of a valid network
+            }
+            if let Some(plan) = c.report.valid_plans().next() {
+                specs.push(ClientSpec::new(
+                    c.name.as_str(),
+                    c.hist.clone(),
+                    plan.clone(),
+                ));
+            }
+        }
+        // Deadlock needs someone to hold a bounded slot; with no
+        // bounded service in any chosen plan the joint product cannot
+        // block, so skip the (expensive) exploration outright.
+        let bounded: BTreeSet<&Location> = specs
+            .iter()
+            .flat_map(|s| s.plan.iter().map(|(_, l)| l))
+            .filter(|l| matches!(ctx.repository().capacity(l), Some(Some(_))))
+            .collect();
+        if specs.is_empty() || bounded.is_empty() {
+            return Vec::new();
+        }
+
+        let deadlock = match find_joint_deadlock(&specs, ctx.repository(), ctx.bound) {
+            Ok(Some(d)) => d,
+            // No deadlock, or the joint product outgrew the bound —
+            // unknown is not a finding.
+            Ok(None) | Err(_) => return Vec::new(),
+        };
+
+        let stuck: Vec<&str> = deadlock
+            .stuck_components
+            .iter()
+            .map(|&i| specs[i].name.as_str())
+            .collect();
+        let Some(&first_stuck) = deadlock.stuck_components.first() else {
+            return Vec::new(); // all terminated is not a deadlock
+        };
+        let mut witness: Vec<String> = deadlock
+            .path
+            .iter()
+            .map(|(i, label)| format!("{} ▸ {label}", specs[*i].name))
+            .collect();
+        witness.push(format!(
+            "deadlock: {} blocked, nobody can move",
+            stuck.join(", ")
+        ));
+        let caps: Vec<String> = bounded
+            .iter()
+            .map(|l| match ctx.repository().capacity(l) {
+                Some(Some(n)) => format!("{l} (cap {n})"),
+                _ => l.to_string(),
+            })
+            .collect();
+        let first = &specs[first_stuck];
+        vec![Diagnostic::new(
+            Code::CapacityDeadlockCycle,
+            ctx.client_pos(first.name.as_str()),
+            format!("clients {}", stuck.join(", ")),
+            format!(
+                "a schedule deadlocks the whole network: {} hold and wait for each other's \
+                 bounded services in a cycle",
+                stuck.join(", ")
+            ),
+        )
+        .with_note(format!(
+            "each client's plan is individually valid, but contention for {} admits an \
+             interleaving where every participant waits forever; the witness is a shortest \
+             deadlocking schedule",
+            caps.join(", ")
+        ))
+        .with_witness(witness)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use sufs_core::scenario::parse_scenario;
+
+    /// Two cap-1 locks acquired in opposite orders: the textbook
+    /// circular wait. Distinct events force the circular binding.
+    const CIRCULAR: &str = "
+        client alice { open 1 { int[acq_a -> eps]; open 2 { int[acq_b -> eps] } } }
+        client bob { open 3 { int[acq_b -> eps]; open 4 { int[acq_a -> eps] } } }
+        service lock_a cap 1 { ext[acq_a -> eps] }
+        service lock_b cap 1 { ext[acq_b -> eps] }
+    ";
+
+    #[test]
+    fn circular_wait_is_reported_with_schedule_witness() {
+        let sc = parse_scenario(CIRCULAR).unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        let diags = CapacityDeadlockCycle.run(&ctx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.severity(), Severity::Warning);
+        assert!(d.subject.contains("alice") && d.subject.contains("bob"));
+        let witness = d.witness.as_ref().expect("schedule witness");
+        assert!(witness.last().unwrap().contains("deadlock"));
+        assert!(witness.len() > 1, "needs a schedule prefix: {witness:?}");
+    }
+
+    #[test]
+    fn consistent_lock_order_is_silent() {
+        // Same locks, both clients acquire a then b: no cycle.
+        let sc = parse_scenario(
+            "
+            client alice { open 1 { int[acq_a -> eps]; open 2 { int[acq_b -> eps] } } }
+            client bob { open 3 { int[acq_a -> eps]; open 4 { int[acq_b -> eps] } } }
+            service lock_a cap 1 { ext[acq_a -> eps] }
+            service lock_b cap 1 { ext[acq_b -> eps] }
+            ",
+        )
+        .unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        assert!(CapacityDeadlockCycle.run(&ctx).is_empty());
+    }
+
+    #[test]
+    fn unbounded_services_are_skipped() {
+        let sc = parse_scenario(
+            "
+            client alice { open 1 { int[acq_a -> eps]; open 2 { int[acq_b -> eps] } } }
+            client bob { open 3 { int[acq_b -> eps]; open 4 { int[acq_a -> eps] } } }
+            service lock_a { ext[acq_a -> eps] }
+            service lock_b { ext[acq_b -> eps] }
+            ",
+        )
+        .unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        assert!(CapacityDeadlockCycle.run(&ctx).is_empty());
+    }
+}

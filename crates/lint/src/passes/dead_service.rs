@@ -6,13 +6,13 @@
 //! alternatives on purpose, and the paper's own repository in §2 keeps
 //! non-compliant hotels around), hence Info severity.
 
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 use sufs_hexpr::Location;
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `dead-service` pass.
 pub struct DeadService;
@@ -26,19 +26,28 @@ impl Pass for DeadService {
         "repository services that no valid plan of any client selects"
     }
 
+    fn deps(&self) -> &'static [Dep] {
+        // Plan verdicts (and their counterexample traces) depend on
+        // behaviours, policies AND capacities: a plan binding two
+        // overlapping requests to a bounded service blocks on the slot.
+        &[Dep::Clients, Dep::Services, Dep::Capacities, Dep::Policies]
+    }
+
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         // Without clients (or without verification) there is no notion
         // of a valid plan to measure against.
         if ctx.clients.is_empty() || ctx.clients.iter().any(|c| !c.verified) {
             return Vec::new();
         }
-        let mut valid_locs: BTreeSet<&Location> = BTreeSet::new();
-        let mut candidate_locs: BTreeSet<&Location> = BTreeSet::new();
+        // Hash sets suffice: the emission loop below walks the sorted
+        // service map, so diagnostic order never depends on these.
+        let mut valid_locs: HashSet<&Location> = HashSet::new();
+        let mut candidate_locs: HashSet<&Location> = HashSet::new();
         for c in &ctx.clients {
             for plan in c.report.valid_plans() {
                 valid_locs.extend(plan.iter().map(|(_, l)| l));
             }
-            for plan in &c.plans {
+            for plan in c.plans.iter() {
                 candidate_locs.extend(plan.iter().map(|(_, l)| l));
             }
         }

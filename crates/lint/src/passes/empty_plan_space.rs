@@ -8,7 +8,7 @@
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// How many rejected candidates the note spells out.
 const MAX_LISTED: usize = 4;
@@ -23,6 +23,13 @@ impl Pass for EmptyPlanSpace {
 
     fn description(&self) -> &'static str {
         "clients for which no valid plan exists"
+    }
+
+    fn deps(&self) -> &'static [Dep] {
+        // Plan verdicts (and their counterexample traces) depend on
+        // behaviours, policies AND capacities: a plan binding two
+        // overlapping requests to a bounded service blocks on the slot.
+        &[Dep::Clients, Dep::Services, Dep::Capacities, Dep::Policies]
     }
 
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
@@ -59,6 +66,9 @@ impl Pass for EmptyPlanSpace {
             if c.report.len() > MAX_LISTED {
                 reasons.push(format!("… and {} more", c.report.len() - MAX_LISTED));
             }
+            // The witness is the failed synthesis itself: every
+            // candidate the verifier walked, with its rejection.
+            let witness: Vec<String> = reasons.iter().map(|r| format!("✗ {r}")).collect();
             out.push(
                 Diagnostic::new(
                     Code::EmptyPlanSpace,
@@ -70,7 +80,8 @@ impl Pass for EmptyPlanSpace {
                         c.report.len()
                     ),
                 )
-                .with_note(reasons.join("; ")),
+                .with_note(reasons.join("; "))
+                .with_witness(witness),
             );
         }
         out

@@ -11,7 +11,7 @@ use sufs_hexpr::Label;
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `plan-contention` pass.
 pub struct PlanContention;
@@ -25,10 +25,16 @@ impl Pass for PlanContention {
         "bounded-capacity services that more clients are forced onto than the capacity admits"
     }
 
+    fn deps(&self) -> &'static [Dep] {
+        // Forced-plan sets depend on valid plans (behaviours +
+        // policies); the threshold is the capacity annotation.
+        &[Dep::Clients, Dep::Services, Dep::Capacities, Dep::Policies]
+    }
+
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for loc in ctx.services.keys() {
-            let Some(Some(cap)) = ctx.scenario.repository.capacity(loc) else {
+            let Some(Some(cap)) = ctx.repository().capacity(loc) else {
                 continue; // unbounded (or unknown, which cannot happen)
             };
             // Clients whose every valid plan selects this service.

@@ -14,7 +14,7 @@ use sufs_policy::automata_bridge::to_dfa;
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `policy-subsumption` pass.
 pub struct PolicySubsumption;
@@ -28,11 +28,18 @@ impl Pass for PolicySubsumption {
         "instantiated policies whose forbidden language is contained in another's"
     }
 
+    fn deps(&self) -> &'static [Dep] {
+        // Languages are compared over the alphabet (clients+services);
+        // the references come from behaviours and resolve against the
+        // registry.
+        &[Dep::Clients, Dep::Services, Dep::Policies]
+    }
+
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         // Materialise the DFA of every resolvable, non-vacuous instance.
         let mut dfas: Vec<(&crate::context::PolicyOrigin, Dfa<Event>)> = Vec::new();
         for origin in &ctx.policy_refs {
-            let Ok(instance) = ctx.scenario.registry.instantiate(&origin.reference) else {
+            let Ok(instance) = ctx.registry().instantiate(&origin.reference) else {
                 continue;
             };
             let dfa = to_dfa(&instance, &ctx.alphabet);

@@ -1,0 +1,185 @@
+//! `SUFS010` — services whose crash leaves a client with no fallback.
+//!
+//! The PR-1 fault machinery recovers a client by failing over to the
+//! next plan in its verifier-derived fallback chain
+//! (`sufs_core::recovery::fallback_chain`) that avoids the crashed
+//! service. Plan verdicts depend only on the services a plan selects,
+//! so the chain surviving a crash of `L` is exactly the valid plans not
+//! routing through `L` — and a service every valid plan selects is a
+//! single point of failure: its crash empties the client's recovery
+//! chain. The pass intersects the location sets of each client's valid
+//! plans (no re-verification needed) and reports each (client, service)
+//! pair, with the failed fallback search as witness: the surviving
+//! candidates the verifier already rejected. Info severity — small
+//! scenarios keep single providers on purpose, and the paper's own
+//! repository in §2 has one broker.
+
+use std::collections::BTreeSet;
+
+use sufs_hexpr::Location;
+
+use crate::context::{ClientAnalysis, LintContext};
+use crate::diag::{Code, Diagnostic};
+use crate::passes::{Dep, Pass};
+
+/// How many rejected survivors the witness spells out.
+const MAX_LISTED: usize = 4;
+
+/// The `single-point-of-failure` pass.
+pub struct SinglePointOfFailure;
+
+impl Pass for SinglePointOfFailure {
+    fn code(&self) -> Code {
+        Code::SinglePointOfFailure
+    }
+
+    fn description(&self) -> &'static str {
+        "services selected by every valid plan of some client: their crash empties its recovery chain"
+    }
+
+    fn deps(&self) -> &'static [Dep] {
+        // Plan verdicts (and their counterexample traces) depend on
+        // behaviours, policies AND capacities: a plan binding two
+        // overlapping requests to a bounded service blocks on the slot.
+        &[Dep::Clients, Dep::Services, Dep::Capacities, Dep::Policies]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for c in &ctx.clients {
+            if !c.verified {
+                continue;
+            }
+            let mut valid = c.report.valid_plans();
+            let Some(first) = valid.next() else {
+                continue; // SUFS007 owns the no-plan case
+            };
+            // Locations every valid plan routes through.
+            let mut shared: BTreeSet<&Location> = first.iter().map(|(_, l)| l).collect();
+            for plan in valid {
+                let locs: BTreeSet<&Location> = plan.iter().map(|(_, l)| l).collect();
+                shared.retain(|l| locs.contains(l));
+                if shared.is_empty() {
+                    break;
+                }
+            }
+            for loc in shared {
+                out.push(diagnose(ctx, c, loc));
+            }
+        }
+        out
+    }
+}
+
+fn diagnose(ctx: &LintContext<'_>, c: &ClientAnalysis, loc: &Location) -> Diagnostic {
+    let total = c.report.valid_plans().count();
+    // The failed fallback search: every candidate avoiding `loc` was
+    // already rejected by the verifier — the recovery chain after a
+    // crash of `loc` is empty.
+    let survivors: Vec<String> = c
+        .report
+        .verdicts()
+        .iter()
+        .filter(|v| !v.is_valid() && !v.plan.iter().any(|(_, l)| l == loc))
+        .map(|v| {
+            let why = v
+                .violations
+                .last()
+                .map(|viol| viol.to_string())
+                .unwrap_or_else(|| "rejected".to_string());
+            format!("✗ {}: {why}", v.plan)
+        })
+        .collect();
+    let mut witness = vec![format!(
+        "crash {loc}: {} candidate(s) avoid it",
+        survivors.len()
+    )];
+    witness.extend(survivors.iter().take(MAX_LISTED).cloned());
+    if survivors.len() > MAX_LISTED {
+        witness.push(format!("… and {} more", survivors.len() - MAX_LISTED));
+    }
+    witness.push("recovery chain is empty: no surviving valid plan".to_string());
+    Diagnostic::new(
+        Code::SinglePointOfFailure,
+        ctx.client_pos(&c.name),
+        format!("client {}", c.name),
+        format!(
+            "service {loc} is a single point of failure: every valid plan ({total} of them) \
+             routes through it"
+        ),
+    )
+    .with_note(format!(
+        "a crash of {loc} leaves the fallback chain empty; failover (PR 1) would abort the \
+         client instead of recovering it"
+    ))
+    .with_witness(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sufs_core::recovery::fallback_chain;
+    use sufs_core::scenario::parse_scenario;
+
+    #[test]
+    fn sole_provider_is_a_spof_and_redundancy_clears_it() {
+        let sc = parse_scenario(
+            "client c { open 1 { int[q -> eps]; ext[a -> eps] } }
+             service only { ext[q -> int[a -> eps]] }
+             service broken { ext[q -> int[b -> eps]] }",
+        )
+        .unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        let diags = SinglePointOfFailure.run(&ctx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("service only"));
+        let witness = diags[0].witness.as_ref().expect("fallback-search witness");
+        assert!(witness.iter().any(|l| l.contains("broken")));
+        assert!(witness.last().unwrap().contains("empty"));
+
+        let sc2 = parse_scenario(
+            "client c { open 1 { int[q -> eps]; ext[a -> eps] } }
+             service only { ext[q -> int[a -> eps]] }
+             service spare { ext[q -> int[a -> eps]] }",
+        )
+        .unwrap();
+        let ctx2 = LintContext::build(&sc2).unwrap();
+        assert!(SinglePointOfFailure.run(&ctx2).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_pr1_fallback_chains() {
+        // The pass's claim is exactly "retract the service and the
+        // recovery chain is empty": check it against the real PR-1
+        // machinery for every (client, service) pair.
+        let sc = parse_scenario(
+            "client c { open 1 { int[q -> eps]; ext[a -> eps] } }
+             client d { open 1 { int[q -> eps]; ext[a -> eps] } }
+             service only { ext[q -> int[a -> eps]] }
+             service spare { ext[q -> int[b -> eps]] }",
+        )
+        .unwrap();
+        let ctx = LintContext::build(&sc).unwrap();
+        let diags = SinglePointOfFailure.run(&ctx);
+        for (name, hist) in &sc.clients {
+            for loc in sc.repository.locations() {
+                let flagged = diags.iter().any(|dg| {
+                    dg.subject == format!("client {name}")
+                        && dg.message.contains(&format!("service {loc}"))
+                });
+                let mut crashed = sc.repository.clone();
+                crashed.retract(loc);
+                let chain = fallback_chain(hist, &crashed, &sc.registry).unwrap();
+                let had_plans = !fallback_chain(hist, &sc.repository, &sc.registry)
+                    .unwrap()
+                    .is_empty();
+                assert_eq!(
+                    flagged,
+                    had_plans && chain.is_empty(),
+                    "client {name}, service {loc}"
+                );
+            }
+        }
+        assert!(!diags.is_empty());
+    }
+}

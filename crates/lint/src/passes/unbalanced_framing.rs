@@ -15,7 +15,7 @@ use sufs_hexpr::{wf, Hist, HistLts, Label};
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `unbalanced-framing` pass.
 pub struct UnbalancedFraming;
@@ -27,6 +27,12 @@ impl Pass for UnbalancedFraming {
 
     fn description(&self) -> &'static str {
         "framings or policy-bearing requests whose close is unreachable on some path"
+    }
+
+    fn deps(&self) -> &'static [Dep] {
+        // A purely behavioural check on each component's stand-alone
+        // LTS.
+        &[Dep::Clients, Dep::Services]
     }
 
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
@@ -42,8 +48,7 @@ impl Pass for UnbalancedFraming {
         }
         for (loc, s) in &ctx.services {
             let service = ctx
-                .scenario
-                .repository
+                .repository()
                 .get(loc)
                 .expect("analysed services are published");
             check_component(

@@ -15,7 +15,7 @@ use sufs_hexpr::{Event, HistLts, Label};
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `unreachable-event` pass.
 pub struct UnreachableEvent;
@@ -27,6 +27,13 @@ impl Pass for UnreachableEvent {
 
     fn description(&self) -> &'static str {
         "events in a client or service history that no composed execution under any candidate plan reaches"
+    }
+
+    fn deps(&self) -> &'static [Dep] {
+        // Reachability is over compositions of clients with selected
+        // services; policies only gate whether verification runs, not
+        // what is reachable.
+        &[Dep::Clients, Dep::Services]
     }
 
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
@@ -54,8 +61,7 @@ impl Pass for UnreachableEvent {
                 continue;
             }
             let service = ctx
-                .scenario
-                .repository
+                .repository()
                 .get(loc)
                 .expect("analysed services are published");
             let events: BTreeSet<Event> = service.events();

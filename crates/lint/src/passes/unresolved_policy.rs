@@ -8,7 +8,7 @@
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `unresolved-policy` pass.
 pub struct UnresolvedPolicy;
@@ -22,10 +22,16 @@ impl Pass for UnresolvedPolicy {
         "policy references with no matching definition"
     }
 
+    fn deps(&self) -> &'static [Dep] {
+        // References live in behaviours; resolution is against the
+        // registry.
+        &[Dep::Clients, Dep::Services, Dep::Policies]
+    }
+
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for origin in &ctx.policy_refs {
-            let Err(e) = ctx.scenario.registry.instantiate(&origin.reference) else {
+            let Err(e) = ctx.registry().instantiate(&origin.reference) else {
                 continue;
             };
             out.push(

@@ -16,7 +16,7 @@ use sufs_policy::UsageAutomaton;
 
 use crate::context::LintContext;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::Pass;
+use crate::passes::{Dep, Pass};
 
 /// The `vacuous-policy` pass.
 pub struct VacuousPolicy;
@@ -30,14 +30,15 @@ impl Pass for VacuousPolicy {
         "policies whose offending states are unreachable over the scenario's event alphabet"
     }
 
+    fn deps(&self) -> &'static [Dep] {
+        // The alphabet comes from client and service behaviours, the
+        // automata from the registry, and budget names are exempt.
+        &[Dep::Clients, Dep::Services, Dep::Policies, Dep::Budgets]
+    }
+
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        let budget_names: BTreeSet<&str> = ctx
-            .scenario
-            .budgets
-            .iter()
-            .map(|b| b.policy.name())
-            .collect();
+        let budget_names: BTreeSet<&str> = ctx.budgets().iter().map(|b| b.policy.name()).collect();
 
         // Instantiated references with an empty forbidden language.
         for origin in &ctx.policy_refs {
@@ -45,7 +46,7 @@ impl Pass for VacuousPolicy {
             if budget_names.contains(name) {
                 continue;
             }
-            let Ok(instance) = ctx.scenario.registry.instantiate(&origin.reference) else {
+            let Ok(instance) = ctx.registry().instantiate(&origin.reference) else {
                 continue; // SUFS008 reports unresolved references.
             };
             if !to_dfa(&instance, &ctx.alphabet).language_is_empty() {
@@ -67,7 +68,7 @@ impl Pass for VacuousPolicy {
                  constrains nothing",
                 origin.subject
             ));
-            if let Some(witness) = structural_witness(ctx.scenario.registry.get(name)) {
+            if let Some(witness) = structural_witness(ctx.registry().get(name)) {
                 d = d.with_witness(witness);
             } else {
                 d = d.with_note(format!(
@@ -80,7 +81,7 @@ impl Pass for VacuousPolicy {
         }
 
         // Definitions nothing ever instantiates.
-        for automaton in ctx.scenario.registry.iter() {
+        for automaton in ctx.registry().iter() {
             let name = automaton.name();
             if budget_names.contains(name) {
                 continue;

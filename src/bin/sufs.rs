@@ -6,12 +6,14 @@
 //! sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor]
 //!                 [--committed] [--seed N] [--runs N] [--fuel N] [--trace]
 //! sufs lint <file> [--json] [--deny warnings]
+//! sufs lint --addr HOST:PORT [--json] [--deny warnings]
 //! sufs compliance <file> <client-service> <server-service>
 //! sufs lts <file> <service> [--dot]
 //! sufs bpa <file> <service>
 //! sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune]
 //!            [--state-dir DIR] [--snapshot-every N] [--follow HOST:PORT]
 //!            [--ack local|quorum] [--cluster-size N]
+//!            [--deny-lint error|warnings]
 //! sufs promote --addr HOST:PORT
 //! sufs publish <file> --addr HOST:PORT
 //! sufs plan <file> [--client NAME] --addr HOST:PORT
@@ -90,13 +92,15 @@ fn usage() -> String {
      [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid] \
      [--faults k=v,...] [--recover]\n  \
      sufs lint <file> [--json] [--deny warnings]\n  \
+     sufs lint --addr HOST:PORT [--json] [--deny warnings]\n  \
      sufs compliance <file> <client-service> <server-service>\n  \
      sufs discover <file> <client> [--request N]\n  \
      sufs lts <file> <service> [--dot]\n  \
      sufs bpa <file> <service>\n  \
      sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune] \
      [--plan-cap N] [--fuel N] [--state-dir DIR] [--snapshot-every N] \
-     [--follow HOST:PORT] [--ack local|quorum] [--cluster-size N]\n  \
+     [--follow HOST:PORT] [--ack local|quorum] [--cluster-size N] \
+     [--deny-lint error|warnings]\n  \
      sufs promote --addr HOST:PORT\n  \
      sufs publish <file> --addr HOST:PORT\n  \
      sufs plan <file> [--client NAME] --addr HOST:PORT\n  \
@@ -339,13 +343,12 @@ fn cmd_verify_net(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the multi-pass lint engine over a scenario; exits nonzero when
-/// errors are found, or when warnings are found under `--deny warnings`.
+/// Runs the multi-pass lint engine over a scenario file, or — with
+/// `--addr` and no file — over a broker's live repository. Exits
+/// nonzero when errors are found, or when warnings are found under
+/// `--deny warnings`.
 fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
-    let a = parse_args(args, &["--deny"], &["--json"])?;
-    let [path] = a.positional.as_slice() else {
-        return Err(usage());
-    };
+    let a = parse_args(args, &["--deny", "--addr"], &["--json"])?;
     let deny_warnings = match a.value("--deny") {
         None => false,
         Some("warnings") => true,
@@ -355,6 +358,17 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
             ))
         }
     };
+    if a.value("--addr").is_some() {
+        if !a.positional.is_empty() {
+            return Err("`sufs lint --addr` lints the broker's live repository; \
+                        drop the file argument or the flag"
+                .into());
+        }
+        return cmd_lint_remote(&a, deny_warnings);
+    }
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
     let sc = load(path)?;
     let report = sufs_lint::lint_scenario(&sc).map_err(|e| e.to_string())?;
     if a.has("--json") {
@@ -363,6 +377,55 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
         println!("{report}");
     }
     let failed = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `sufs lint --addr`: fetch the broker's incremental lint report. The
+/// broker renders each diagnostic with the same serializer the local
+/// `--json` mode uses, so the schema cannot drift.
+fn cmd_lint_remote(a: &Parsed, deny_warnings: bool) -> Result<ExitCode, String> {
+    let mut client = remote_client(a)?;
+    let reply = check_reply(client.lint().map_err(|e| e.to_string())?)?;
+    let errors = reply.u64_field("errors").unwrap_or(0);
+    let warnings = reply.u64_field("warnings").unwrap_or(0);
+    let infos = reply.u64_field("infos").unwrap_or(0);
+    if a.has("--json") {
+        let diagnostics = reply
+            .get("diagnostics")
+            .cloned()
+            .unwrap_or_else(|| Json::Arr(Vec::new()));
+        let doc = Json::obj()
+            .with("diagnostics", diagnostics)
+            .with(
+                "summary",
+                Json::obj()
+                    .with("errors", errors)
+                    .with("warnings", warnings)
+                    .with("infos", infos),
+            )
+            .with(
+                "incremental",
+                Json::obj()
+                    .with("passes_run", reply.u64_field("passes_run").unwrap_or(0))
+                    .with(
+                        "passes_reused",
+                        reply.u64_field("passes_reused").unwrap_or(0),
+                    ),
+            );
+        println!("{doc}");
+    } else {
+        println!("{}", reply.str_field("human").unwrap_or(""));
+        println!(
+            "incremental: {} pass(es) run, {} reused",
+            reply.u64_field("passes_run").unwrap_or(0),
+            reply.u64_field("passes_reused").unwrap_or(0),
+        );
+    }
+    let failed = errors > 0 || (deny_warnings && warnings > 0);
     Ok(if failed {
         ExitCode::FAILURE
     } else {
@@ -618,6 +681,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--follow",
             "--ack",
             "--cluster-size",
+            "--deny-lint",
         ],
         &["--prune"],
     )?;
@@ -656,6 +720,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = a.value("--cluster-size") {
         config.cluster_size = s.parse().map_err(|_| format!("bad cluster size `{s}`"))?;
+    }
+    if let Some(s) = a.value("--deny-lint") {
+        config.deny_lint = Some(sufs_broker::lint::parse_deny_level(s)?);
     }
     config.opts.prune = a.has("--prune");
     let handle = Broker::spawn(config).map_err(|e| format!("cannot start broker: {e}"))?;

@@ -520,8 +520,19 @@ fn replay_of_journal_from_saturated_server() {
         for i in 0..8 {
             // Serial clients: each occupies the single slot; extra
             // connection attempts while a slot is held get `busy`.
-            let mut holder = BrokerClient::connect(addr).expect("connect holder");
-            holder.ping().expect("holder admitted");
+            // Admission races the previous holder's handler thread
+            // retiring, so retry until a ping actually pongs — a
+            // `busy` reply here means the slot was still held.
+            let mut holder = loop {
+                let mut candidate = BrokerClient::connect(addr).expect("connect holder");
+                match candidate.ping() {
+                    Ok(reply) if reply.str_field("kind") == Some("busy") => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Ok(_) => break candidate,
+                    Err(err) => panic!("holder admitted: {err}"),
+                }
+            };
             let mut probe = BrokerClient::connect(addr).expect("connect probe");
             match probe.ping() {
                 Ok(reply) if reply.str_field("kind") == Some("busy") => rejected += 1,

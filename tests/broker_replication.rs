@@ -770,7 +770,7 @@ fn record_straddling_covered_seq_is_skipped() {
     repo.try_publish("snap", parse_hist(&service).expect("parses"))
         .expect("well-formed");
     let registry = PolicyRegistry::new();
-    let doc = snapshot::render_doc(5, &repo, &registry, &[]);
+    let doc = snapshot::render_doc(5, &repo, &registry, &[], &[]);
     let (mut conn, from_seq) = accept_replica(&listener, &doc, 5);
     assert_eq!(from_seq, 0, "fresh follower starts from 0");
 
@@ -818,7 +818,7 @@ fn torn_stream_redials_with_retained_progress() {
         .expect("follower spawns");
 
     let service = service_pool()[0].to_string();
-    let empty = snapshot::render_doc(5, &Repository::new(), &PolicyRegistry::new(), &[]);
+    let empty = snapshot::render_doc(5, &Repository::new(), &PolicyRegistry::new(), &[], &[]);
     let (mut conn, _) = accept_replica(&listener, &empty, 5);
     write_frame(&mut conn, &wire_record(6, "a", &service)).expect("ship a");
     await_ack(&mut conn, 6);
@@ -832,7 +832,7 @@ fn torn_stream_redials_with_retained_progress() {
     let mut repo = Repository::new();
     repo.try_publish("a", parse_hist(&service).expect("parses"))
         .expect("well-formed");
-    let doc = snapshot::render_doc(6, &repo, &PolicyRegistry::new(), &[]);
+    let doc = snapshot::render_doc(6, &repo, &PolicyRegistry::new(), &[], &[]);
     let (mut conn, from_seq) = accept_replica(&listener, &doc, 6);
     assert_eq!(from_seq, 6, "progress before the tear was lost");
     write_frame(&mut conn, &wire_record(7, "b", &service)).expect("ship b");

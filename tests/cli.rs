@@ -265,10 +265,12 @@ fn flags_accept_equals_and_reject_unknown() {
 
 #[test]
 fn lint_reports_and_gates_the_exit_code() {
-    // Hotel: two dead hotels are info-level; warnings stay deniable.
+    // Hotel: two dead hotels plus four single-point-of-failure notes
+    // are info-level; warnings stay deniable.
     let (stdout, _, ok) = sufs(&["lint", "scenarios/hotel.sufs"]);
     assert!(ok, "{stdout}");
-    assert!(stdout.contains("0 error(s), 0 warning(s), 2 info(s)"));
+    assert!(stdout.contains("0 error(s), 0 warning(s), 6 info(s)"));
+    assert!(stdout.contains("SUFS010"), "{stdout}");
     let (_, _, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--deny", "warnings"]);
     assert!(ok);
     // The demo scenario has an error: nonzero exit even without --deny.
@@ -282,6 +284,84 @@ fn lint_reports_and_gates_the_exit_code() {
     let (_, stderr, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--deny", "nonsense"]);
     assert!(!ok);
     assert!(stderr.contains("unknown lint class"), "{stderr}");
+}
+
+#[test]
+fn lint_cluster_scenario_trips_the_repository_passes() {
+    // The cluster demo is clean one client at a time but hazardous as a
+    // whole: contention (SUFS006), a deadlocking schedule (SUFS009) and
+    // four single points of failure (SUFS010).
+    let (stdout, _, ok) = sufs(&["lint", "scenarios/lint_cluster.sufs"]);
+    assert!(ok, "warnings alone must not fail the exit code:\n{stdout}");
+    assert!(stdout.contains("SUFS006"), "{stdout}");
+    assert!(stdout.contains("SUFS009"), "{stdout}");
+    assert!(stdout.contains("SUFS010"), "{stdout}");
+    assert!(stdout.contains("0 error(s), 3 warning(s), 4 info(s)"));
+    let (_, _, ok) = sufs(&["lint", "scenarios/lint_cluster.sufs", "--deny", "warnings"]);
+    assert!(!ok, "--deny warnings must reject the cluster demo");
+}
+
+#[test]
+fn lint_json_witnesses_follow_the_stable_schema() {
+    // Every automaton-backed pass must emit a witness trace in the
+    // documented shape: an array of non-empty step strings.
+    let (stdout, _, _) = sufs(&["lint", "scenarios/lint_cluster.sufs", "--json"]);
+    let doc = sufs_broker::json::parse(stdout.trim()).expect("lint --json emits valid JSON");
+    assert_eq!(doc.str_field("file"), Some("scenarios/lint_cluster.sufs"));
+    let diags = doc
+        .get("diagnostics")
+        .and_then(sufs_broker::Json::as_arr)
+        .expect("diagnostics array");
+    assert!(!diags.is_empty());
+    for d in diags {
+        for key in ["code", "pass", "severity", "subject", "message"] {
+            assert!(d.str_field(key).is_some(), "missing `{key}` in {d}");
+        }
+        assert!(d.u64_field("line").is_some(), "{d}");
+        assert!(d.u64_field("column").is_some(), "{d}");
+        let code = d.str_field("code").unwrap();
+        assert!(code.starts_with("SUFS"), "{code}");
+        // The automaton-backed repository passes always carry a trace.
+        if ["SUFS006", "SUFS009", "SUFS010"].contains(&code) {
+            let witness = d
+                .get("witness")
+                .and_then(sufs_broker::Json::as_arr)
+                .unwrap_or_else(|| panic!("{code} must carry a witness: {d}"));
+            assert!(!witness.is_empty());
+            assert!(witness
+                .iter()
+                .all(|w| w.as_str().is_some_and(|s| !s.is_empty())));
+        }
+    }
+    let summary = doc.get("summary").expect("summary object");
+    for key in ["errors", "warnings", "infos"] {
+        assert!(summary.u64_field(key).is_some(), "missing summary.{key}");
+    }
+    // Deterministic ordering: two runs render byte-identical JSON.
+    let (again, _, _) = sufs(&["lint", "scenarios/lint_cluster.sufs", "--json"]);
+    assert_eq!(stdout, again, "lint output must be deterministic");
+}
+
+#[test]
+fn lint_and_serve_parse_the_new_flags_strictly() {
+    // A file and --addr are mutually exclusive for `lint`.
+    let (_, stderr, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--addr", "127.0.0.1:1"]);
+    assert!(!ok);
+    assert!(stderr.contains("drop the file argument"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--addr"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    // `serve` validates the deny level before binding a socket.
+    let (_, stderr, ok) = sufs(&["serve", "--deny-lint", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown deny level"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["serve", "--deny-lint"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    // The flag is declared by `serve` only.
+    let (_, stderr, ok) = sufs(&["lint", "scenarios/hotel.sufs", "--deny-lint", "error"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--deny-lint`"), "{stderr}");
 }
 
 #[test]

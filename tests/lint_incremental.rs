@@ -1,0 +1,323 @@
+//! The incremental lint engine's contract: after any sequence of
+//! repository mutations, the incrementally refreshed report is
+//! byte-identical to a cold full re-lint of the same state.
+//!
+//! Two seeded property suites enforce it — one against the engine
+//! in-process, one against a live broker over the wire (`lint`
+//! command) — plus end-to-end coverage of the `--deny-lint` mutation
+//! gate: a retraction that empties a client's plan space must bounce
+//! with a structured `lint_rejected` reply carrying `SUFS007`, leaving
+//! the repository untouched.
+
+use sufs_broker::{Broker, BrokerClient, BrokerConfig, BrokerHandle, Json};
+use sufs_core::scenario::parse_scenario;
+use sufs_hexpr::{parse_hist, Hist, Location};
+use sufs_lint::{LintEngine, LintInput, Severity};
+use sufs_net::Repository;
+use sufs_policy::PolicyRegistry;
+use sufs_rng::{Rng, SeedableRng, StdRng};
+
+/// The base cluster: two clients whose lock order can deadlock
+/// (SUFS009 material), a third client served by `echo`, and a policy
+/// nobody frames (SUFS002 material). Small on purpose — the suites
+/// re-lint it hundreds of times.
+const BASE: &str = "
+    client alice { open 1 { int[acq_a -> eps]; open 2 { int[acq_b -> eps] } } }
+    client bob { open 3 { int[acq_b -> eps]; open 4 { int[acq_a -> eps] } } }
+    client carol { open 5 { int[ping -> eps] } }
+    service lock_a cap 1 { ext[acq_a -> eps] }
+    service lock_b cap 1 { ext[acq_b -> eps] }
+    service echo { ext[ping -> eps] }
+    policy ghost { start q0; offending bad; q0 -- phantom_op -> bad; }
+";
+
+/// Locations the mutation sequences publish to and retract from.
+const LOCATIONS: [&str; 4] = ["lock_a", "lock_b", "echo", "spare"];
+
+/// Service bodies the mutation sequences publish: the lock providers,
+/// the echo provider, and one that serves nobody.
+const POOL: [&str; 4] = [
+    "ext[acq_a -> eps]",
+    "ext[acq_b -> eps]",
+    "ext[ping -> eps]",
+    "ext[zzz -> eps]",
+];
+
+/// A cold full re-lint: fresh engine, no caches, no prior fingerprints.
+fn cold_json(clients: &[(String, Hist)], repo: &Repository, registry: &PolicyRegistry) -> String {
+    let mut engine = LintEngine::new();
+    engine
+        .refresh(LintInput::new(clients, repo, registry))
+        .expect("cold lint succeeds");
+    engine.report().to_json(None)
+}
+
+/// One random mutation applied to the mirror state. Returns a label
+/// for failure messages.
+fn mutate(
+    rng: &mut StdRng,
+    repo: &mut Repository,
+    registry: &mut PolicyRegistry,
+    clients: &mut Vec<(String, Hist)>,
+    base_registry: &PolicyRegistry,
+    base_clients: &[(String, Hist)],
+) -> String {
+    match rng.gen_range(0..8u32) {
+        // Publish (4:8 odds): a random pool service at a random
+        // location with a random capacity.
+        0..=3 => {
+            let loc = LOCATIONS[rng.gen_range(0..LOCATIONS.len())];
+            let body = POOL[rng.gen_range(0..POOL.len())];
+            let cap = [None, Some(1), Some(2)][rng.gen_range(0..3usize)];
+            repo.restore(loc, parse_hist(body).unwrap(), cap)
+                .expect("pool services are well-formed");
+            format!("publish {loc} cap {cap:?} = {body}")
+        }
+        // Retract (2:8 odds).
+        4 | 5 => {
+            let loc = LOCATIONS[rng.gen_range(0..LOCATIONS.len())];
+            repo.retract(&Location::new(loc));
+            format!("retract {loc}")
+        }
+        // Toggle the `ghost` policy's registration.
+        6 => {
+            if registry.remove("ghost").is_some() {
+                "retract policy ghost".into()
+            } else {
+                registry.register(base_registry.get("ghost").unwrap().clone());
+                "publish policy ghost".into()
+            }
+        }
+        // Toggle carol's membership in the client set.
+        _ => {
+            if let Some(i) = clients.iter().position(|(n, _)| n == "carol") {
+                clients.remove(i);
+                "remove client carol".into()
+            } else {
+                let carol = base_clients
+                    .iter()
+                    .find(|(n, _)| n == "carol")
+                    .unwrap()
+                    .clone();
+                let at = clients
+                    .binary_search_by(|(n, _)| n.as_str().cmp("carol"))
+                    .unwrap_err();
+                clients.insert(at, carol);
+                "add client carol".into()
+            }
+        }
+    }
+}
+
+/// ≥200 random mutations against one long-lived engine: after every
+/// step the incremental report must be byte-identical to a cold full
+/// re-lint, and across the run the engine must actually splice cached
+/// pass results (otherwise it is just a slow full linter).
+#[test]
+fn incremental_engine_matches_cold_relint_over_random_mutations() {
+    let sc = parse_scenario(BASE).expect("base scenario parses");
+    let mut repo = sc.repository.clone();
+    let mut registry = sc.registry.clone();
+    let mut clients = sc.clients.clone();
+    clients.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let base_clients = clients.clone();
+
+    let mut engine = LintEngine::new();
+    let mut rng = StdRng::seed_from_u64(0x11C0_0901);
+    let mut reused_total = 0usize;
+    for step in 0..220 {
+        let label = mutate(
+            &mut rng,
+            &mut repo,
+            &mut registry,
+            &mut clients,
+            &sc.registry,
+            &base_clients,
+        );
+        let outcome = engine
+            .refresh(LintInput::new(&clients, &repo, &registry))
+            .expect("incremental refresh succeeds");
+        reused_total += outcome.passes_reused;
+        let incremental = engine.report().to_json(None);
+        let cold = cold_json(&clients, &repo, &registry);
+        assert_eq!(
+            incremental, cold,
+            "step {step} ({label}): incremental and cold reports diverged"
+        );
+    }
+    assert!(
+        reused_total > 0,
+        "220 mutations never reused a cached pass: the dependency index is dead"
+    );
+}
+
+fn spawn(config: BrokerConfig) -> (BrokerHandle, BrokerClient) {
+    let handle = Broker::spawn(config).expect("broker spawns");
+    let client = BrokerClient::connect(handle.addr()).expect("client connects");
+    (handle, client)
+}
+
+/// The `diagnostics` array of a broker `lint` reply, re-rendered — the
+/// broker uses the same per-diagnostic serializer as `to_json`, so a
+/// byte-level comparison against the cold report is exact.
+fn remote_diagnostics(reply: &Json) -> String {
+    assert_eq!(reply.bool_field("ok"), Some(true), "lint failed: {reply}");
+    Json::Arr(
+        reply
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .expect("diagnostics array")
+            .to_vec(),
+    )
+    .to_string()
+}
+
+fn cold_diagnostics(
+    clients: &[(String, Hist)],
+    repo: &Repository,
+    registry: &PolicyRegistry,
+) -> String {
+    let doc =
+        sufs_broker::json::parse(&cold_json(clients, repo, registry)).expect("report JSON parses");
+    doc.get("diagnostics")
+        .expect("diagnostics array")
+        .to_string()
+}
+
+/// The acceptance-criterion suite: ≥200 random publish/retract
+/// mutations over the wire against one broker; after every step the
+/// broker's incremental `lint` reply must match a cold full re-lint of
+/// a mirror repository byte-for-byte.
+#[test]
+fn broker_lint_matches_cold_relint_over_random_wire_mutations() {
+    let (handle, mut client) = spawn(BrokerConfig::default());
+    let reply = client.publish_scenario(BASE).expect("scenario reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    assert_eq!(reply.u64_field("clients"), Some(3), "{reply}");
+
+    let sc = parse_scenario(BASE).expect("base scenario parses");
+    let mut mirror = sc.repository.clone();
+    let registry = sc.registry.clone();
+    let mut clients = sc.clients.clone();
+    clients.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+    let mut rng = StdRng::seed_from_u64(0x11C0_0902);
+    let mut reused_total = 0u64;
+    for step in 0..200 {
+        // One random wire mutation, mirrored locally.
+        let loc = LOCATIONS[rng.gen_range(0..LOCATIONS.len())];
+        if rng.gen_range(0..3) < 2 {
+            let body = POOL[rng.gen_range(0..POOL.len())];
+            let cap = [None, Some(1u64), Some(2)][rng.gen_range(0..3usize)];
+            let reply = client.publish(loc, body, cap).expect("publish reply");
+            assert_eq!(reply.bool_field("ok"), Some(true), "step {step}: {reply}");
+            mirror
+                .restore(loc, parse_hist(body).unwrap(), cap.map(|c| c as usize))
+                .expect("pool services are well-formed");
+        } else {
+            let reply = client.retract(loc).expect("retract reply");
+            assert_eq!(reply.bool_field("ok"), Some(true), "step {step}: {reply}");
+            mirror.retract(&Location::new(loc));
+        }
+        let reply = client.lint().expect("lint reply");
+        reused_total += reply.u64_field("passes_reused").unwrap_or(0);
+        assert_eq!(
+            remote_diagnostics(&reply),
+            cold_diagnostics(&clients, &mirror, &registry),
+            "step {step}: broker lint diverged from a cold re-lint"
+        );
+    }
+    assert!(
+        reused_total > 0,
+        "200 wire mutations never reused a cached pass"
+    );
+
+    // The reuse counters surface in `stats` for operators.
+    let stats = client.stats().expect("stats reply");
+    let lint = stats
+        .get("stats")
+        .and_then(|s| s.get("lint"))
+        .expect("lint stats section");
+    assert_eq!(lint.u64_field("requests"), Some(200));
+    assert!(lint.u64_field("passes_reused").unwrap() >= reused_total);
+    assert!(lint.get("reuse_rate").unwrap().as_f64().unwrap() > 0.0);
+
+    client.shutdown().expect("shutdown reply");
+    handle.wait();
+}
+
+/// The gate scenario: one client, a main provider and a backup.
+const GATED: &str = "
+    client c { open 1 { int[pay -> eps] } }
+    service s_main { ext[pay -> eps] }
+    service s_backup { ext[pay -> eps] }
+";
+
+/// `serve --deny-lint error` end to end: retracting the backup is
+/// allowed (plans survive), retracting the last provider would empty
+/// the client's plan space (SUFS007, an error) and must bounce with a
+/// structured `lint_rejected` reply — leaving the repository, and its
+/// lint report, untouched.
+#[test]
+fn deny_lint_gate_rejects_mutations_that_empty_a_plan_space() {
+    let config = BrokerConfig {
+        deny_lint: Some(Severity::Error),
+        ..Default::default()
+    };
+    let (handle, mut client) = spawn(config);
+
+    let reply = client.publish_scenario(GATED).expect("scenario reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+
+    // Losing the backup keeps the plan space inhabited: allowed (the
+    // SUFS010 single-point-of-failure note it introduces is info-level,
+    // below the deny threshold).
+    let reply = client.retract("s_backup").expect("retract reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+
+    // Losing the last provider empties it: rejected, with the
+    // introduced SUFS007 in the structured reply.
+    let reply = client.retract("s_main").expect("retract reply");
+    assert_eq!(reply.bool_field("ok"), Some(false), "{reply}");
+    assert_eq!(reply.str_field("kind"), Some("lint_rejected"), "{reply}");
+    assert!(reply
+        .str_field("error")
+        .unwrap()
+        .contains("--deny-lint error"));
+    let introduced = reply
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("rejection carries diagnostics");
+    assert!(
+        introduced
+            .iter()
+            .any(|d| d.str_field("code") == Some("SUFS007")),
+        "{reply}"
+    );
+    assert!(reply.str_field("human").unwrap().contains("SUFS007"));
+
+    // The rejected mutation must not have been applied: the repository
+    // still serves `c`, and the live report still has zero errors.
+    let reply = client.lint().expect("lint reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    assert_eq!(reply.u64_field("errors"), Some(0), "{reply}");
+    let repo = client.repo().expect("repo reply");
+    assert!(repo.to_string().contains("s_main"), "{repo}");
+
+    // A gated publish_scenario is vetted the same way: a newcomer whose
+    // request nobody serves is turned away wholesale.
+    let reply = client
+        .publish_scenario("client ghost { open 9 { int[unserved -> eps] } }")
+        .expect("scenario reply");
+    assert_eq!(reply.bool_field("ok"), Some(false), "{reply}");
+    assert_eq!(reply.str_field("kind"), Some("lint_rejected"), "{reply}");
+
+    // Benign mutations still pass the gate.
+    let reply = client
+        .publish("s_extra", "ext[pay -> eps]", None)
+        .expect("publish reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+
+    client.shutdown().expect("shutdown reply");
+    handle.wait();
+}
