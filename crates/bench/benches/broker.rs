@@ -6,9 +6,21 @@
 //! loopback port, publishes the mixed-responder repository *over the
 //! wire* (so the service texts round-trip through the protocol), then
 //! drives `clients` concurrent connections each issuing `iters` plan
-//! queries. Every sampled reply is checked for verdict equivalence
-//! against an in-process `synthesize` over the same repository — the
-//! daemon must answer exactly what the library answers.
+//! queries — once with the `enumerative` engine (the seed pipeline,
+//! re-walking the search per query) and once with `compositional`
+//! (reading plans off the broker's incrementally maintained composed
+//! product). Timed queries are production-shaped — `max_valid: 1`,
+//! "give me a valid orchestration", a constant-size reply however wide
+//! the plan space — so the numbers measure synthesis, not the size of
+//! a full verdict audit. After its timed window each connection issues
+//! untimed *full* queries checked for verdict equivalence against an
+//! in-process `synthesize` over the same repository — the daemon must
+//! answer exactly what the library answers, whichever engine ran.
+//!
+//! In the full configuration the harness also asserts the headline
+//! claim: compositional throughput on the 1296-candidate workload
+//! stays within 2× of the 36-candidate workload's, i.e. the
+//! exponential plan-space cliff is gone.
 //!
 //! Environment:
 //! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
@@ -36,9 +48,9 @@ struct Workload {
     iters: usize,
 }
 
-/// Every `SAMPLE_EVERY`-th reply per connection is checked against the
-/// in-process baseline (the first one always is).
-const SAMPLE_EVERY: usize = 8;
+/// Full-reply equivalence queries per connection, issued outside the
+/// timed window.
+const EQUIVALENCE_SAMPLES: usize = 3;
 
 fn percentile(sorted: &[u128], p: f64) -> u128 {
     if sorted.is_empty() {
@@ -48,7 +60,174 @@ fn percentile(sorted: &[u128], p: f64) -> u128 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-fn run_workload(w: &Workload) -> Json {
+/// Drives one workload against a fresh broker with the given engine.
+/// Returns the per-engine stats object and the measured throughput.
+fn run_engine(w: &Workload, engine: &str, expected: &[String], client_text: &str) -> (Json, f64) {
+    let handle = Broker::spawn(BrokerConfig {
+        max_clients: w.clients + 8,
+        ..BrokerConfig::default()
+    })
+    .expect("spawn broker");
+    let addr = handle.addr().to_string();
+
+    // Publish the repository over the wire so the service histories
+    // round-trip through the protocol, like a real deployment.
+    let repo = mixed_responder_repo(w.good, w.bad);
+    let mut admin = BrokerClient::connect(&addr).expect("connect admin");
+    for (loc, service) in repo.iter() {
+        let reply = admin
+            .publish(loc.as_ref(), &service.to_string(), None)
+            .expect("publish");
+        assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
+    }
+
+    // One untimed warm-up query: the compositional engine builds its
+    // product (the once-per-repository-state cost), the enumerative
+    // engine warms the shared cache — workers then measure the steady
+    // state a long-running daemon actually serves.
+    let warmed = admin
+        .plan_with(
+            client_text,
+            Json::obj().with("engine", engine).with("max_valid", 1u64),
+        )
+        .expect("warm-up plan");
+    assert_eq!(warmed.bool_field("ok"), Some(true), "warm-up rejected");
+
+    let barrier = Arc::new(Barrier::new(w.clients));
+    let workers: Vec<_> = (0..w.clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let text = client_text.to_owned();
+            let engine = engine.to_owned();
+            let expected = expected.to_owned();
+            let barrier = Arc::clone(&barrier);
+            let iters = w.iters;
+            thread::spawn(move || {
+                let mut conn = BrokerClient::connect(&addr).expect("connect worker");
+                let mut latencies: Vec<u128> = Vec::with_capacity(iters);
+                barrier.wait();
+                let window = Instant::now();
+                for _ in 0..iters {
+                    let t = Instant::now();
+                    let reply = conn
+                        .plan_with(
+                            &text,
+                            Json::obj()
+                                .with("engine", engine.as_str())
+                                .with("max_valid", 1u64),
+                        )
+                        .expect("plan request");
+                    latencies.push(t.elapsed().as_micros());
+                    assert_eq!(reply.bool_field("ok"), Some(true), "plan rejected");
+                    assert_eq!(
+                        reply
+                            .get("stats")
+                            .and_then(|s| s.str_field("engine"))
+                            .unwrap_or("?"),
+                        engine,
+                        "broker ran the wrong engine"
+                    );
+                    let first = reply
+                        .get("valid")
+                        .and_then(Json::as_arr)
+                        .and_then(|v| v.first())
+                        .and_then(|v| v.as_str().map(str::to_owned))
+                        .expect("a valid plan");
+                    assert!(
+                        expected.binary_search(&first).is_ok(),
+                        "broker returned a plan in-process synthesis rejects ({engine})"
+                    );
+                    assert_eq!(
+                        reply.u64_field("valid_total"),
+                        Some(expected.len() as u64),
+                        "valid-plan count diverged ({engine})"
+                    );
+                }
+                let elapsed = window.elapsed();
+                // Wait out every other worker's timed window before the
+                // heavyweight full queries, so they never contend with
+                // someone else's measurement.
+                barrier.wait();
+                // Outside the timed window: the complete valid set must
+                // match in-process synthesis exactly.
+                let mut samples = 0usize;
+                for _ in 0..EQUIVALENCE_SAMPLES {
+                    let full = conn
+                        .plan_with(&text, Json::obj().with("engine", engine.as_str()))
+                        .expect("full plan request");
+                    let mut valid: Vec<String> = full
+                        .get("valid")
+                        .and_then(Json::as_arr)
+                        .expect("valid array")
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_owned))
+                        .collect();
+                    valid.sort();
+                    assert_eq!(
+                        valid, expected,
+                        "remote verdicts diverged from in-process synthesis ({engine})"
+                    );
+                    samples += 1;
+                }
+                (latencies, samples, elapsed)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u128> = Vec::with_capacity(w.clients * w.iters);
+    let mut samples = 0usize;
+    let mut wall = 0f64;
+    for worker in workers {
+        let (lat, s, elapsed) = worker.join().expect("worker panicked");
+        latencies.extend(lat);
+        samples += s;
+        wall = wall.max(elapsed.as_secs_f64());
+    }
+
+    let stats = admin.stats().expect("stats");
+    let hit_rate = stats
+        .get("stats")
+        .and_then(|s| s.get("cache_hit_rate"))
+        .and_then(Json::as_f64);
+    let product_reads = stats
+        .get("products")
+        .and_then(|p| p.u64_field("reads"))
+        .unwrap_or(0);
+    drop(admin);
+    drop(handle); // drains the daemon
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let throughput = total as f64 / wall;
+    eprintln!(
+        "  {engine}: {total} requests in {:.1}ms ({throughput:.1} rps), p50 {}µs p95 {}µs p99 {}µs",
+        wall * 1e3,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+
+    let mut out = Json::obj()
+        .with("total_requests", total)
+        .with("wall_ms", wall * 1e3)
+        .with("throughput_rps", throughput)
+        .with("p50_us", percentile(&latencies, 50.0) as u64)
+        .with("p95_us", percentile(&latencies, 95.0) as u64)
+        .with("p99_us", percentile(&latencies, 99.0) as u64)
+        .with("equivalence_samples", samples)
+        .with("equivalence", "ok");
+    if let Some(rate) = hit_rate {
+        out.set("cache_hit_rate", rate);
+    }
+    if engine == "compositional" {
+        out.set("product_reads", product_reads);
+    }
+    (out, throughput)
+}
+
+/// Runs one workload under both engines. Returns the JSON row and the
+/// compositional throughput (for the cliff assertion).
+fn run_workload(w: &Workload) -> (Json, f64) {
     let client_hist = multi_request_client(w.requests);
     let repo = mixed_responder_repo(w.good, w.bad);
     let registry = PolicyRegistry::new();
@@ -63,113 +242,23 @@ fn run_workload(w: &Workload) -> Json {
         .collect();
     expected.sort();
 
-    let handle = Broker::spawn(BrokerConfig {
-        max_clients: w.clients + 8,
-        ..BrokerConfig::default()
-    })
-    .expect("spawn broker");
-    let addr = handle.addr().to_string();
-
-    // Publish the repository over the wire so the service histories
-    // round-trip through the protocol, like a real deployment.
-    let mut admin = BrokerClient::connect(&addr).expect("connect admin");
-    for (loc, service) in repo.iter() {
-        let reply = admin
-            .publish(loc.as_ref(), &service.to_string(), None)
-            .expect("publish");
-        assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
-    }
-
     let client_text = client_hist.to_string();
-    let barrier = Arc::new(Barrier::new(w.clients));
-    let start_wall = Instant::now();
-    let workers: Vec<_> = (0..w.clients)
-        .map(|_| {
-            let addr = addr.clone();
-            let text = client_text.clone();
-            let expected = expected.clone();
-            let barrier = Arc::clone(&barrier);
-            let iters = w.iters;
-            thread::spawn(move || {
-                let mut conn = BrokerClient::connect(&addr).expect("connect worker");
-                let mut latencies: Vec<u128> = Vec::with_capacity(iters);
-                let mut samples = 0usize;
-                barrier.wait();
-                for i in 0..iters {
-                    let t = Instant::now();
-                    let reply = conn.plan(&text).expect("plan request");
-                    latencies.push(t.elapsed().as_micros());
-                    assert_eq!(reply.bool_field("ok"), Some(true), "plan rejected");
-                    if i % SAMPLE_EVERY == 0 {
-                        let mut valid: Vec<String> = reply
-                            .get("valid")
-                            .and_then(Json::as_arr)
-                            .expect("valid array")
-                            .iter()
-                            .filter_map(|v| v.as_str().map(str::to_owned))
-                            .collect();
-                        valid.sort();
-                        assert_eq!(
-                            valid, expected,
-                            "remote verdicts diverged from in-process synthesis"
-                        );
-                        samples += 1;
-                    }
-                }
-                (latencies, samples)
-            })
-        })
-        .collect();
+    let (enumerative, _) = run_engine(w, "enumerative", &expected, &client_text);
+    let (compositional, comp_rps) = run_engine(w, "compositional", &expected, &client_text);
+    let enum_rps = enumerative.get("throughput_rps").and_then(Json::as_f64);
+    let speedup = enum_rps.map(|e| comp_rps / e).unwrap_or(0.0);
 
-    let mut latencies: Vec<u128> = Vec::with_capacity(w.clients * w.iters);
-    let mut samples = 0usize;
-    for worker in workers {
-        let (lat, s) = worker.join().expect("worker panicked");
-        latencies.extend(lat);
-        samples += s;
-    }
-    let wall = start_wall.elapsed().as_secs_f64();
-
-    let stats = admin.stats().expect("stats");
-    let hit_rate = stats
-        .get("stats")
-        .and_then(|s| s.get("cache_hit_rate"))
-        .and_then(Json::as_f64);
-    drop(admin);
-    drop(handle); // drains the daemon
-
-    latencies.sort_unstable();
-    let total = latencies.len();
     let candidates = (w.good + w.bad).pow(w.requests as u32);
-    eprintln!(
-        "  r={} s={} clients={}: {total} requests in {:.1}ms, p50 {}µs p95 {}µs p99 {}µs",
-        w.requests,
-        w.good + w.bad,
-        w.clients,
-        wall * 1e3,
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
-    );
-
-    let mut out = Json::obj()
+    let row = Json::obj()
         .with("requests", w.requests)
         .with("services", w.good + w.bad)
         .with("candidates", candidates)
         .with("valid_plans", expected.len())
         .with("clients", w.clients)
-        .with("total_requests", total)
-        .with("wall_ms", wall * 1e3)
-        .with("throughput_rps", total as f64 / wall)
-        .with("p50_us", percentile(&latencies, 50.0) as u64)
-        .with("p95_us", percentile(&latencies, 95.0) as u64)
-        .with("p99_us", percentile(&latencies, 99.0) as u64)
-        .with("equivalence_samples", samples)
-        .with("equivalence", "ok");
-    if let Some(rate) = hit_rate {
-        out.set("cache_hit_rate", rate);
-    }
-    out
+        .with("enumerative", enumerative)
+        .with("compositional", compositional)
+        .with("speedup_compositional", speedup);
+    (row, comp_rps)
 }
 
 fn main() {
@@ -219,22 +308,44 @@ fn main() {
     out.push_str("{\n");
     write!(
         out,
-        "  \"bench\": \"broker\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n"
+        "  \"bench\": \"broker\",\n  \"schema_version\": 2,\n  \"smoke\": {smoke},\n"
     )
     .unwrap();
     out.push_str("  \"workloads\": [\n");
+    let mut comp_rps: Vec<(usize, f64)> = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
         eprintln!(
             "workload r={} good={} bad={} clients={} iters={}",
             w.requests, w.good, w.bad, w.clients, w.iters
         );
-        let row = run_workload(w);
+        let (row, rps) = run_workload(w);
+        comp_rps.push(((w.good + w.bad).pow(w.requests as u32), rps));
         if i > 0 {
             out.push_str(",\n");
         }
         write!(out, "    {row}").unwrap();
     }
     out.push_str("\n  ]\n}\n");
+
+    // The headline claim, asserted where the cliff used to be: the
+    // widest plan space must stay within 2× of the narrowest one's
+    // compositional throughput (same connection count).
+    if !smoke {
+        let narrow = comp_rps.first().expect("workloads not empty");
+        let wide = comp_rps.last().expect("workloads not empty");
+        eprintln!(
+            "cliff check: {} candidates at {:.1} rps vs {} candidates at {:.1} rps",
+            narrow.0, narrow.1, wide.0, wide.1
+        );
+        assert!(
+            wide.1 * 2.0 >= narrow.1,
+            "the plan-space cliff is back: {} candidates at {:.1} rps vs {} candidates at {:.1} rps",
+            narrow.0,
+            narrow.1,
+            wide.0,
+            wide.1
+        );
+    }
 
     let path =
         std::env::var("SUFS_BENCH_BROKER_OUT").unwrap_or_else(|_| "BENCH_broker.json".into());

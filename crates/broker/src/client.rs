@@ -178,9 +178,18 @@ impl BrokerClient {
         )
     }
 
-    /// Sends one request and waits for its reply. A rejected connection
-    /// (admission control, drain) surfaces as the server's error reply;
-    /// a connection closed with no reply at all is `ConnectionAborted`.
+    /// Sends one request and waits for its reply. A drained connection
+    /// surfaces the server's `shutting_down` reply; a connection closed
+    /// with no reply at all is `ConnectionAborted`.
+    ///
+    /// An **unsolicited** rejection — the `busy` frame admission
+    /// control writes before reading anything, tagged
+    /// `"unsolicited": true` — is never returned as the reply: the
+    /// request was not processed, so it surfaces as a
+    /// `ConnectionRefused` transport error instead, which
+    /// [`BrokerClient::request_retrying`] answers by backing off and
+    /// redialling. Without the tag a saturated server's rejection could
+    /// masquerade as the reply to whatever was just sent (a pong, say).
     ///
     /// # Errors
     ///
@@ -188,11 +197,18 @@ impl BrokerClient {
     /// carries a [`crate::proto::FrameError::TruncatedFrame`] naming
     /// expected vs received bytes.
     pub fn request(&mut self, request: &Json) -> io::Result<Json> {
-        // A rejected connection may already hold the server's `busy` /
-        // `shutting_down` frame: sending is best-effort so the queued
-        // rejection is still read back as the reply.
+        // A rejected connection may already hold the server's queued
+        // rejection frame: sending is best-effort so the rejection is
+        // still read back.
         let _ = write_frame(&mut self.stream, request);
         match read_frame(&mut self.stream)? {
+            Some(reply) if reply.bool_field("unsolicited") == Some(true) => {
+                let detail = reply.str_field("error").unwrap_or("rejected").to_owned();
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("connection rejected before the request was read: {detail}"),
+                ))
+            }
             Some(reply) => Ok(reply),
             None => Err(io::Error::new(
                 io::ErrorKind::ConnectionAborted,
@@ -329,7 +345,23 @@ impl BrokerClient {
     ///
     /// As [`BrokerClient::request`].
     pub fn plan(&mut self, client: &str) -> io::Result<Json> {
-        self.request_retrying(&Json::obj().with("cmd", "plan").with("client", client))
+        self.plan_with(client, Json::obj())
+    }
+
+    /// `plan` with `extra` fields (e.g. `engine`) merged into the
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerClient::request`].
+    pub fn plan_with(&mut self, client: &str, extra: Json) -> io::Result<Json> {
+        let mut req = Json::obj().with("cmd", "plan").with("client", client);
+        if let Json::Obj(fields) = extra {
+            for (k, v) in fields {
+                req.set(&k, v);
+            }
+        }
+        self.request_retrying(&req)
     }
 
     /// `run`: execute a client history text; `extra` fields (plan,

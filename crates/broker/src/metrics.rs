@@ -73,6 +73,8 @@ pub struct Metrics {
     /// Lint passes spliced from the engine's dependency cache instead
     /// of being re-run.
     pub lint_passes_reused: AtomicU64,
+    /// Client products rebuilt by the last recovery warm start.
+    pub warmed_products: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
     recovery_histogram: [AtomicU64; BUCKETS],
     replication_histogram: [AtomicU64; BUCKETS],
@@ -113,6 +115,7 @@ impl Metrics {
             lint_rejections: AtomicU64::new(0),
             lint_passes_run: AtomicU64::new(0),
             lint_passes_reused: AtomicU64::new(0),
+            warmed_products: AtomicU64::new(0),
             histogram: Default::default(),
             recovery_histogram: Default::default(),
             replication_histogram: Default::default(),
@@ -177,6 +180,7 @@ impl Metrics {
             .with("dedup_hits", self.dedup_hits.load(load))
             .with("replayed_records", self.replayed_records.load(load))
             .with("last_recovery_ms", self.last_recovery_ms.load(load))
+            .with("warmed_products", self.warmed_products.load(load))
             .with(
                 "recovery_ms_histogram",
                 render_hist(&self.recovery_histogram),

@@ -68,7 +68,9 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use sufs_core::scenario::parse_scenario;
-use sufs_core::{recovery_table, synthesize_with, SynthesisOptions, VerifyCache};
+use sufs_core::{
+    recovery_table, synthesize_with, Engine, ProductStore, SynthesisOptions, VerifyCache,
+};
 use sufs_hexpr::{parse_hist, Hist, Location};
 use sufs_lint::{LintEngine, Severity};
 use sufs_net::{ChoiceMode, FaultPlan, MonitorMode, Network, Outcome, Plan, Repository, Scheduler};
@@ -263,6 +265,11 @@ pub(crate) struct Shared {
     /// by name — the client set repository-wide lint passes analyze.
     pub(crate) clients: RwLock<Vec<(String, Hist)>>,
     pub(crate) cache: VerifyCache,
+    /// Composed products for the compositional engine, one per
+    /// distinct client behaviour; fingerprint-validated against the
+    /// live repository/registry on every query, so mutations need no
+    /// explicit product invalidation.
+    pub(crate) products: ProductStore,
     /// The incremental lint engine behind the `lint` command and the
     /// `--deny-lint` gate.
     pub(crate) lint: Mutex<LintEngine>,
@@ -295,8 +302,11 @@ impl Broker {
     /// state: the snapshot is loaded (if any), the journal is opened
     /// (truncating a torn tail), and every journal record past the
     /// snapshot's coverage is re-applied through the regular request
-    /// handlers before the listener starts accepting. The verification
-    /// cache starts cold either way.
+    /// handlers before the listener starts accepting. Recovery then
+    /// warm-starts synthesis: the composed product of every registered
+    /// client is rebuilt (priming the verification cache along the
+    /// way) before the first connection is admitted, so the post-crash
+    /// `plan` burst pays read-off price, not full re-verification.
     ///
     /// # Errors
     ///
@@ -363,6 +373,7 @@ impl Broker {
             registry: RwLock::new(registry),
             clients: RwLock::new(clients),
             cache: VerifyCache::new(),
+            products: ProductStore::new(),
             lint: Mutex::new(LintEngine::new()),
             deny_lint: config.deny_lint,
             metrics: Metrics::new(),
@@ -375,6 +386,7 @@ impl Broker {
         });
         if let Some(plan) = recovery {
             replay_journal(&shared, plan);
+            warm_start(&shared);
         }
         // The recovered journal tip seeds the replication sequence mark
         // (a promoted follower keeps counting from here).
@@ -514,6 +526,41 @@ fn replay_journal(shared: &Shared, plan: RecoveryPlan) {
         plan.summary.truncated_bytes,
         plan.started.elapsed().as_secs_f64() * 1e3,
     );
+}
+
+/// Warm-starts synthesis from recovered state, before the listener
+/// admits its first connection: every registered client's composed
+/// product is (re)built through the shared cache, so the first
+/// post-recovery `plan` burst reads plans off instead of paying a full
+/// cold re-verification. A client whose product cannot be built (e.g.
+/// its plan space exceeds the configured cap) is skipped — the query
+/// path reports the same error on demand.
+fn warm_start(shared: &Shared) {
+    let started = Instant::now();
+    let repo = shared.repo.read().expect("repo lock");
+    let registry = shared.registry.read().expect("registry lock");
+    let clients = shared.clients.read().expect("clients lock");
+    let mut warmed = 0usize;
+    for (_, client) in clients.iter() {
+        if shared
+            .products
+            .warm(client, &repo, &registry, &shared.opts, Some(&shared.cache))
+            .is_ok()
+        {
+            warmed += 1;
+        }
+    }
+    shared
+        .metrics
+        .warmed_products
+        .store(warmed as u64, Ordering::Relaxed);
+    if !clients.is_empty() {
+        eprintln!(
+            "sufs-broker: warm start: {warmed}/{} client product(s) rebuilt, {:.1}ms",
+            clients.len(),
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+    }
 }
 
 /// Answers a retried mutation from the idempotency window. Callers
@@ -708,12 +755,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, max_clients: usize)
         if handlers.len() >= max_clients {
             let mut stream = stream;
             shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            // The `unsolicited` tag marks this as an admission
+            // rejection written before any request was read: a client
+            // that finds it where a reply should be knows its request
+            // was never processed and can safely redial, instead of
+            // conflating the frame with (say) a pong.
             let _ = write_frame(
                 &mut stream,
                 &proto::error(
                     "busy",
                     format!("broker at capacity ({max_clients} clients); retry later"),
-                ),
+                )
+                .with("unsolicited", true),
             );
             continue; // dropping the stream closes it
         }
@@ -1149,6 +1202,9 @@ fn request_opts(request: &Json, base: &SynthesisOptions) -> SynthesisOptions {
     if let Some(prune) = request.bool_field("prune") {
         opts.prune = prune;
     }
+    if let Some(engine) = request.str_field("engine").and_then(Engine::parse) {
+        opts.engine = engine;
+    }
     opts
 }
 
@@ -1187,12 +1243,66 @@ fn cmd_plan(request: &Json, shared: &Shared) -> Json {
     let repo = shared.repo.read().expect("repo lock");
     let registry = shared.registry.read().expect("registry lock");
     let start = Instant::now();
-    let synthesis = match synthesize_with(&client, &repo, &registry, &opts, Some(&shared.cache)) {
+    let max_valid = request.u64_field("max_valid");
+    if opts.engine == Engine::Compositional {
+        if let Some(k) = max_valid {
+            // The production fast path: first k valid plans plus the
+            // total count read straight off the resident product,
+            // without materialising the full verdict map — per-query
+            // cost independent of the plan-space width.
+            let read = shared.products.read_valid(
+                &client,
+                &repo,
+                &registry,
+                &opts,
+                Some(&shared.cache),
+                k as usize,
+            );
+            let (valid, total, stats) = match read {
+                Ok(r) => r,
+                Err(e) => return proto::error("verify", e.to_string()),
+            };
+            shared.metrics.observe_synthesis(start.elapsed());
+            shared.metrics.plans.fetch_add(1, Ordering::Relaxed);
+            let valid: Vec<Json> = valid.iter().map(|p| Json::str(p.to_string())).collect();
+            return proto::ok()
+                .with("valid", valid)
+                .with("valid_total", total)
+                .with("stats", synth_stats_json(&stats));
+        }
+    }
+    let result = if opts.engine == Engine::Compositional {
+        // The long-lived store reads off (or incrementally patches)
+        // the resident product instead of re-walking the plan space.
+        shared
+            .products
+            .synthesize(&client, &repo, &registry, &opts, Some(&shared.cache))
+    } else {
+        synthesize_with(&client, &repo, &registry, &opts, Some(&shared.cache))
+    };
+    let synthesis = match result {
         Ok(s) => s,
         Err(e) => return proto::error("verify", e.to_string()),
     };
     shared.metrics.observe_synthesis(start.elapsed());
     shared.metrics.plans.fetch_add(1, Ordering::Relaxed);
+    // `max_valid` is the production query shape — "give me a valid
+    // orchestration" — where the reply must stay constant-size however
+    // wide the plan space is: the first k valid plans plus the total
+    // count, with the per-candidate verdict audit omitted.
+    if let Some(k) = max_valid {
+        let total = synthesis.report.valid_plans().count();
+        let valid: Vec<Json> = synthesis
+            .report
+            .valid_plans()
+            .take(k as usize)
+            .map(|p| Json::str(p.to_string()))
+            .collect();
+        return proto::ok()
+            .with("valid", valid)
+            .with("valid_total", total)
+            .with("stats", synth_stats_json(&synthesis.stats));
+    }
     let verdicts: Vec<Json> = synthesis
         .report
         .verdicts()
@@ -1218,7 +1328,18 @@ pub fn synth_stats_json(stats: &sufs_core::SynthStats) -> Json {
         .with("pruned_subtrees", stats.pruned_subtrees)
         .with("jobs", stats.jobs)
         .with("prune_active", stats.prune_active)
+        .with("engine", stats.engine.as_str())
         .with("elapsed_us", stats.elapsed.as_micros() as u64);
+    if let Some(product) = &stats.product {
+        stats_json.set(
+            "product",
+            Json::obj()
+                .with("reused", product.reused)
+                .with("patched", product.patched)
+                .with("admissible_edges", product.admissible_edges)
+                .with("total_edges", product.total_edges),
+        );
+    }
     if let Some(cache) = &stats.cache {
         stats_json.set(
             "cache",
@@ -1366,6 +1487,7 @@ fn cmd_run(request: &Json, shared: &Shared) -> Json {
 /// journal's live state.
 fn cmd_stats(shared: &Shared) -> Json {
     let cache = shared.cache.stats();
+    let products = shared.products.stats();
     let repo_len = shared.repo.read().expect("repo lock").len();
     let clients_len = shared.clients.read().expect("clients lock").len();
     let mut reply = proto::ok()
@@ -1374,6 +1496,19 @@ fn cmd_stats(shared: &Shared) -> Json {
         .with(
             "stats",
             shared.metrics.snapshot(cache.hits(), cache.misses()),
+        )
+        .with(
+            "products",
+            Json::obj()
+                .with("entries", products.entries)
+                .with("builds", products.builds)
+                .with("patches", products.patches)
+                .with("reads", products.reads)
+                .with("evictions", products.evictions)
+                .with(
+                    "warmed",
+                    shared.metrics.warmed_products.load(Ordering::Relaxed),
+                ),
         )
         .with("replication", replication::stats_section(shared));
     if let Some(d) = shared.durability.as_ref() {

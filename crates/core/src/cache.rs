@@ -17,19 +17,21 @@
 //!
 //! Keys bucket on the *stable* structural hashes exposed by
 //! `sufs_hexpr::shash` (so hit-rates are reproducible run over run) but
-//! compare the full key value: a fingerprint collision costs a rehash,
-//! never a wrong verdict. The plan-keyed layers *intern* the
-//! composition (one synthesis run uses one composition, while the plan
-//! space may hold 10⁵ candidates), so a cache entry stores a small
-//! `(composition id, plan)` pair instead of a deep expression clone per
-//! plan. All maps sit behind mutexes so one cache can be shared across
-//! the worker threads of [`crate::pool::WorkPool`]; hit/miss counters
-//! are atomic and can be snapshotted at any point via
-//! [`VerifyCache::stats`].
+//! compare the full key value: a fingerprint collision costs a bucket
+//! scan, never a wrong verdict. Lookups hash and compare *borrowed*
+//! keys — the key value is cloned into the table only on a miss, so a
+//! hit costs one fingerprint pass and no allocation. The plan-keyed
+//! layers *intern* the composition (one synthesis run uses one
+//! composition, while the plan space may hold 10⁵ candidates): callers
+//! intern once per run via [`VerifyCache::intern`] and look up with the
+//! returned [`CompositionId`], so the deep composition expression is
+//! fingerprinted once per run instead of twice per candidate. All maps
+//! sit behind mutexes so one cache can be shared across the worker
+//! threads of [`crate::pool::WorkPool`]; hit/miss counters are atomic
+//! and can be snapshotted at any point via [`VerifyCache::stats`].
 
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -40,27 +42,59 @@ use sufs_net::symbolic::StuckState;
 use sufs_net::Plan;
 use sufs_policy::validity::{ValidityError, Verdict};
 
-/// A cache key: a value paired with its precomputed structural
-/// fingerprint. Hashing writes only the fingerprint (cheap, stable);
-/// equality compares the full value (collision-proof).
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Keyed<T> {
-    fingerprint: u64,
-    value: T,
+/// A fingerprint-bucketed map: the outer key is the stable structural
+/// hash of the full key, the bucket holds the full `(key, value)` pairs
+/// that share it. Buckets are almost always singletons; a collision
+/// costs a short scan with full-value equality, never a wrong answer.
+#[derive(Debug)]
+struct Bucketed<K, V> {
+    buckets: HashMap<u64, Vec<(K, V)>>,
 }
 
-impl<T: Hash> Keyed<T> {
-    fn new(value: T) -> Self {
-        Keyed {
-            fingerprint: stable_hash_of(&value),
-            value,
+impl<K, V> Default for Bucketed<K, V> {
+    fn default() -> Self {
+        Bucketed {
+            buckets: HashMap::new(),
         }
     }
 }
 
-impl<T: Eq> Hash for Keyed<T> {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.fingerprint);
+impl<K: PartialEq, V> Bucketed<K, V> {
+    /// The value stored for the key matching `probe`, if any. `probe`
+    /// compares a borrowed form against the owned stored keys.
+    fn get(&self, fingerprint: u64, probe: impl Fn(&K) -> bool) -> Option<&V> {
+        self.buckets
+            .get(&fingerprint)?
+            .iter()
+            .find(|(k, _)| probe(k))
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts `(key, value)` unless an equal key is already present
+    /// (first writer wins, matching `HashMap::entry().or_insert`).
+    fn insert_if_absent(&mut self, fingerprint: u64, key: K, value: V) {
+        let bucket = self.buckets.entry(fingerprint).or_default();
+        if !bucket.iter().any(|(k, _)| *k == key) {
+            bucket.push((key, value));
+        }
+    }
+
+    /// Drops every entry whose key fails `keep`; returns how many fell.
+    fn retain(&mut self, keep: impl Fn(&K) -> bool) -> u64 {
+        let mut evicted = 0u64;
+        self.buckets.retain(|_, bucket| {
+            let before = bucket.len();
+            bucket.retain(|(k, _)| keep(k));
+            evicted += (before - bucket.len()) as u64;
+            !bucket.is_empty()
+        });
+        evicted
+    }
+
+    fn clear(&mut self) -> u64 {
+        let evicted: usize = self.buckets.values().map(Vec::len).sum();
+        self.buckets.clear();
+        evicted as u64
     }
 }
 
@@ -152,10 +186,18 @@ impl fmt::Display for CacheStats {
     }
 }
 
-type ContractMap = HashMap<Keyed<Hist>, Result<Contract, ContractError>>;
-type ComplianceMap = HashMap<Keyed<(Contract, Contract)>, Option<StuckWitness>>;
-type ValidityMap = HashMap<Keyed<(usize, Plan)>, Result<Verdict, ValidityError>>;
-type ProgressMap = HashMap<Keyed<(usize, Plan)>, Result<Option<StuckState>, usize>>;
+/// An interned composition: the handle returned by
+/// [`VerifyCache::intern`]. Cheap to copy; callers intern the
+/// composition once per synthesis run and use the id for every
+/// per-plan lookup, so the deep expression is fingerprinted once per
+/// run rather than once per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompositionId(usize);
+
+type ContractMap = Bucketed<Hist, Result<Contract, ContractError>>;
+type ComplianceMap = Bucketed<(Contract, Contract), Option<StuckWitness>>;
+type ValidityMap = Bucketed<(usize, Plan), Result<Verdict, ValidityError>>;
+type ProgressMap = Bucketed<(usize, Plan), Result<Option<StuckState>, usize>>;
 
 /// The verification memo table; see the module docs for the four layers.
 ///
@@ -190,7 +232,8 @@ impl VerifyCache {
     /// first sight. One verification run touches one composition (or a
     /// handful, for recovery tables), so the scan is effectively O(1)
     /// and the plan-keyed layers never store deep expression copies.
-    fn intern_composition(&self, composition: &Hist) -> usize {
+    /// Callers should intern **once per run** and reuse the id.
+    pub fn intern(&self, composition: &Hist) -> CompositionId {
         let fingerprint = stable_hash_of(composition);
         let mut table = self
             .compositions
@@ -200,10 +243,19 @@ impl VerifyCache {
             .iter()
             .position(|(fp, h)| *fp == fingerprint && h == composition)
         {
-            return id;
+            return CompositionId(id);
         }
         table.push((fingerprint, composition.clone()));
-        table.len() - 1
+        CompositionId(table.len() - 1)
+    }
+
+    /// The fingerprint of a plan-keyed entry: composition id + the
+    /// plan's own stable hash. The composition's deep expression is
+    /// *not* re-hashed here — that happened once, at [`intern`] time.
+    ///
+    /// [`intern`]: VerifyCache::intern
+    fn plan_key_fp(comp: CompositionId, plan: &Plan) -> u64 {
+        stable_hash_of(&(comp.0 as u64, plan))
     }
 
     /// Memoized [`Contract::from_service`].
@@ -212,10 +264,10 @@ impl VerifyCache {
     ///
     /// As [`Contract::from_service`] (errors are memoized too).
     pub fn contract_of(&self, service: &Hist) -> Result<Contract, ContractError> {
-        let key = Keyed::new(service.clone());
+        let fp = stable_hash_of(service);
         {
             let map = self.contracts.lock().expect("contract cache poisoned");
-            if let Some(cached) = map.get(&key) {
+            if let Some(cached) = map.get(fp, |k| k == service) {
                 self.contract_stats.hit();
                 return cached.clone();
             }
@@ -223,17 +275,17 @@ impl VerifyCache {
         self.contract_stats.miss();
         let computed = Contract::from_service(service);
         let mut map = self.contracts.lock().expect("contract cache poisoned");
-        map.entry(key).or_insert_with(|| computed.clone());
+        map.insert_if_absent(fp, service.clone(), computed.clone());
         computed
     }
 
     /// Memoized pairwise compliance: the Theorem 1 witness of
     /// `client ⊢ server`, or `None` when the contracts are compliant.
     pub fn compliance_witness(&self, client: &Contract, server: &Contract) -> Option<StuckWitness> {
-        let key = Keyed::new((client.clone(), server.clone()));
+        let fp = stable_hash_of(&(client, server));
         {
             let map = self.compliance.lock().expect("compliance cache poisoned");
-            if let Some(cached) = map.get(&key) {
+            if let Some(cached) = map.get(fp, |(c, s)| c == client && s == server) {
                 self.compliance_stats.hit();
                 return cached.clone();
             }
@@ -241,16 +293,19 @@ impl VerifyCache {
         self.compliance_stats.miss();
         let computed = compliant(client, server).witness().cloned();
         let mut map = self.compliance.lock().expect("compliance cache poisoned");
-        map.entry(key).or_insert_with(|| computed.clone());
+        map.insert_if_absent(fp, (client.clone(), server.clone()), computed.clone());
         computed
     }
 
     /// Memoized security verdict for `(composition, plan)`; `compute`
-    /// runs the model checker on a miss.
+    /// runs the model checker on a miss. Convenience wrapper over
+    /// [`validity_interned`] for one-shot callers.
     ///
     /// # Errors
     ///
     /// Whatever `compute` returns (errors are memoized too).
+    ///
+    /// [`validity_interned`]: VerifyCache::validity_interned
     pub fn validity<F>(
         &self,
         composition: &Hist,
@@ -260,10 +315,28 @@ impl VerifyCache {
     where
         F: FnOnce() -> Result<Verdict, ValidityError>,
     {
-        let key = Keyed::new((self.intern_composition(composition), plan.clone()));
+        self.validity_interned(self.intern(composition), plan, compute)
+    }
+
+    /// Memoized security verdict for an already-interned composition:
+    /// the hot-loop entry point, which never re-hashes the composition.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns (errors are memoized too).
+    pub fn validity_interned<F>(
+        &self,
+        comp: CompositionId,
+        plan: &Plan,
+        compute: F,
+    ) -> Result<Verdict, ValidityError>
+    where
+        F: FnOnce() -> Result<Verdict, ValidityError>,
+    {
+        let fp = Self::plan_key_fp(comp, plan);
         {
             let map = self.validity.lock().expect("validity cache poisoned");
-            if let Some(cached) = map.get(&key) {
+            if let Some(cached) = map.get(fp, |(id, p)| *id == comp.0 && p == plan) {
                 self.validity_stats.hit();
                 return cached.clone();
             }
@@ -271,17 +344,20 @@ impl VerifyCache {
         self.validity_stats.miss();
         let computed = compute();
         let mut map = self.validity.lock().expect("validity cache poisoned");
-        map.entry(key).or_insert_with(|| computed.clone());
+        map.insert_if_absent(fp, (comp.0, plan.clone()), computed.clone());
         computed
     }
 
     /// Memoized stuck search for `(composition, plan)`; `compute` runs
     /// the symbolic exploration on a miss. The error carries the
-    /// exceeded state bound, as in `find_stuck`.
+    /// exceeded state bound, as in `find_stuck`. Convenience wrapper
+    /// over [`progress_interned`] for one-shot callers.
     ///
     /// # Errors
     ///
     /// Whatever `compute` returns (errors are memoized too).
+    ///
+    /// [`progress_interned`]: VerifyCache::progress_interned
     pub fn progress<F>(
         &self,
         composition: &Hist,
@@ -291,10 +367,27 @@ impl VerifyCache {
     where
         F: FnOnce() -> Result<Option<StuckState>, usize>,
     {
-        let key = Keyed::new((self.intern_composition(composition), plan.clone()));
+        self.progress_interned(self.intern(composition), plan, compute)
+    }
+
+    /// Memoized stuck search for an already-interned composition.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns (errors are memoized too).
+    pub fn progress_interned<F>(
+        &self,
+        comp: CompositionId,
+        plan: &Plan,
+        compute: F,
+    ) -> Result<Option<StuckState>, usize>
+    where
+        F: FnOnce() -> Result<Option<StuckState>, usize>,
+    {
+        let fp = Self::plan_key_fp(comp, plan);
         {
             let map = self.progress.lock().expect("progress cache poisoned");
-            if let Some(cached) = map.get(&key) {
+            if let Some(cached) = map.get(fp, |(id, p)| *id == comp.0 && p == plan) {
                 self.progress_stats.hit();
                 return cached.clone();
             }
@@ -302,7 +395,7 @@ impl VerifyCache {
         self.progress_stats.miss();
         let computed = compute();
         let mut map = self.progress.lock().expect("progress cache poisoned");
-        map.entry(key).or_insert_with(|| computed.clone());
+        map.insert_if_absent(fp, (comp.0, plan.clone()), computed.clone());
         computed
     }
 
@@ -321,20 +414,18 @@ impl VerifyCache {
     /// location can flip a previously `UnknownLocation`-doomed plan
     /// just as surely as retracting it can doom a valid one.
     pub fn invalidate_location(&self, loc: &Location) -> u64 {
-        let mentions = |plan: &Plan| plan.iter().any(|(_, l)| l == loc);
+        let keep = |key: &(usize, Plan)| !key.1.iter().any(|(_, l)| l == loc);
         let mut evicted = 0u64;
-        {
-            let mut map = self.validity.lock().expect("validity cache poisoned");
-            let before = map.len();
-            map.retain(|k, _| !mentions(&k.value.1));
-            evicted += (before - map.len()) as u64;
-        }
-        {
-            let mut map = self.progress.lock().expect("progress cache poisoned");
-            let before = map.len();
-            map.retain(|k, _| !mentions(&k.value.1));
-            evicted += (before - map.len()) as u64;
-        }
+        evicted += self
+            .validity
+            .lock()
+            .expect("validity cache poisoned")
+            .retain(keep);
+        evicted += self
+            .progress
+            .lock()
+            .expect("progress cache poisoned")
+            .retain(keep);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         evicted
     }
@@ -345,9 +436,11 @@ impl VerifyCache {
     /// compliance and contract entries never consult the registry and
     /// survive. Returns the number of entries evicted.
     pub fn invalidate_registry(&self) -> u64 {
-        let mut map = self.validity.lock().expect("validity cache poisoned");
-        let evicted = map.len() as u64;
-        map.clear();
+        let evicted = self
+            .validity
+            .lock()
+            .expect("validity cache poisoned")
+            .clear();
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         evicted
     }
@@ -424,6 +517,25 @@ mod tests {
         assert_eq!(stats.validity, (2, 1));
         assert_eq!(stats.progress, (1, 1));
         assert!(stats.to_string().contains("hit rate"));
+    }
+
+    #[test]
+    fn interned_lookups_agree_with_expression_lookups() {
+        let cache = VerifyCache::new();
+        let h = ev0("a");
+        let plan = Plan::new().with(1u32, "s");
+        let comp = cache.intern(&h);
+        assert_eq!(comp, cache.intern(&h), "interning is idempotent");
+        cache
+            .validity_interned(comp, &plan, || Ok(Verdict::Valid))
+            .unwrap();
+        // The expression-keyed wrapper resolves to the same entry.
+        let r = cache.validity(&h, &plan, || unreachable!("must hit"));
+        assert_eq!(r, Ok(Verdict::Valid));
+        cache.progress_interned(comp, &plan, || Ok(None)).unwrap();
+        cache
+            .progress(&h, &plan, || unreachable!("must hit"))
+            .unwrap();
     }
 
     #[test]

@@ -51,12 +51,13 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::cache::{CacheStats, VerifyCache};
+use crate::cache::{CacheStats, CompositionId, VerifyCache};
 use crate::plans::{
     composed_requests, enumerate_plans, expand_frontier, search, PlanSpaceExceeded, SearchNode,
     DEFAULT_PLAN_CAP,
 };
 use crate::pool::WorkPool;
+use crate::product::ProductInfo;
 use crate::report::VerifyReport;
 use sufs_contract::{compliant, Contract, ContractError, StuckWitness};
 use sufs_hexpr::requests::requests;
@@ -203,7 +204,10 @@ impl From<PlanSpaceExceeded> for VerifyError {
 }
 
 /// Memoized-or-direct contract projection.
-fn contract_of(cache: Option<&VerifyCache>, h: &Hist) -> Result<Contract, ContractError> {
+pub(crate) fn contract_of(
+    cache: Option<&VerifyCache>,
+    h: &Hist,
+) -> Result<Contract, ContractError> {
     match cache {
         Some(c) => c.contract_of(h),
         None => Contract::from_service(h),
@@ -211,7 +215,7 @@ fn contract_of(cache: Option<&VerifyCache>, h: &Hist) -> Result<Contract, Contra
 }
 
 /// Memoized-or-direct pairwise compliance witness.
-fn witness_of(
+pub(crate) fn witness_of(
     cache: Option<&VerifyCache>,
     client: &Contract,
     server: &Contract,
@@ -222,15 +226,75 @@ fn witness_of(
     }
 }
 
+/// A per-run memo of compliance witnesses keyed by `(request,
+/// location)`. Within one synthesis run a request's body and a
+/// location's service are fixed, so the witness for a binding can be
+/// computed once and shared by every candidate plan that repeats it —
+/// an `O(1)` integer-and-location lookup per binding instead of
+/// re-hashing the full histories and contracts per candidate, which at
+/// small contract sizes costs as much as recomputing the product.
+///
+/// Keying by request *id* matches the semantics the rest of the
+/// pipeline already commits to: [`Plan`] binds ids to locations and
+/// [`composed_requests`] deduplicates by id, so a run never attributes
+/// two bodies to one id. Deliberately run-scoped (never stored in the
+/// long-lived [`VerifyCache`]): an entry's validity depends on the body
+/// of a possibly *brokered* request, which lives at a different
+/// location than the one in the key, so location-keyed invalidation
+/// could not evict it soundly across repository mutations.
+pub(crate) struct ComplianceMemo {
+    map: std::sync::Mutex<HashMap<(RequestId, Location), Option<StuckWitness>>>,
+}
+
+impl ComplianceMemo {
+    pub(crate) fn new() -> Self {
+        ComplianceMemo {
+            map: std::sync::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized witness for `key`, computing (outside the lock —
+    /// parallel workers may race to duplicate work, never to block) on
+    /// first sight.
+    fn witness<F>(
+        &self,
+        key: (RequestId, Location),
+        compute: F,
+    ) -> Result<Option<StuckWitness>, VerifyError>
+    where
+        F: FnOnce() -> Result<Option<StuckWitness>, VerifyError>,
+    {
+        if let Some(w) = self.map.lock().unwrap().get(&key) {
+            return Ok(w.clone());
+        }
+        let w = compute()?;
+        self.map.lock().unwrap().insert(key, w.clone());
+        Ok(w)
+    }
+}
+
 /// The three per-plan checks, optionally served from `cache`. The
 /// caller is responsible for the (per-client, not per-plan)
-/// well-formedness check.
-fn check_plan(
+/// well-formedness check. `comp` is the composition interned once per
+/// run (hot loops pass it so the deep client expression is never
+/// re-hashed per candidate), `memo` the run's compliance memo (same
+/// idea, for the pairwise witnesses); one-shot callers pass `None`.
+///
+/// `per_plan` gates the plan-keyed validity/progress memo layers: a
+/// bulk run over a *run-local* cache enumerates each plan exactly
+/// once, so those layers could never hit and their insertions would be
+/// pure overhead — callers with a caller-owned long-lived cache pass
+/// `true`, bulk runs over a local cache pass `false`.
+#[allow(clippy::too_many_arguments)] // run-scoped context, all call sites are crate-internal
+pub(crate) fn check_plan(
     client: &Hist,
+    comp: Option<CompositionId>,
     plan: &Plan,
     repo: &Repository,
     registry: &PolicyRegistry,
     cache: Option<&VerifyCache>,
+    memo: Option<&ComplianceMemo>,
+    per_plan: bool,
 ) -> Result<PlanVerdict, VerifyError> {
     let mut violations = Vec::new();
 
@@ -248,9 +312,16 @@ fn check_plan(
             });
             continue;
         };
-        let client_side = contract_of(cache, &info.body)?;
-        let server_side = contract_of(cache, service)?;
-        if let Some(witness) = witness_of(cache, &client_side, &server_side) {
+        let pair = || -> Result<Option<StuckWitness>, VerifyError> {
+            let client_side = contract_of(cache, &info.body)?;
+            let server_side = contract_of(cache, service)?;
+            Ok(witness_of(cache, &client_side, &server_side))
+        };
+        let witness = match memo {
+            Some(m) => m.witness((info.id, service_loc.clone()), pair)?,
+            None => pair()?,
+        };
+        if let Some(witness) = witness {
             violations.push(Violation::NonCompliant {
                 request: info.id,
                 service: service_loc,
@@ -268,9 +339,10 @@ fn check_plan(
             DEFAULT_STATE_BOUND,
         )
     };
-    let verdict = match cache {
-        Some(c) => c.validity(client, plan, run_validity)?,
-        None => run_validity()?,
+    let verdict = match (cache.filter(|_| per_plan), comp) {
+        (Some(c), Some(id)) => c.validity_interned(id, plan, run_validity)?,
+        (Some(c), None) => c.validity(client, plan, run_validity)?,
+        (None, _) => run_validity()?,
     };
     if let Verdict::Violation(v) = verdict {
         violations.push(Violation::Security(v));
@@ -278,9 +350,10 @@ fn check_plan(
 
     // 3. Progress: no reachable stuck configuration.
     let run_progress = || find_stuck("client", client.clone(), plan, repo, DEFAULT_STATE_BOUND);
-    let progress = match cache {
-        Some(c) => c.progress(client, plan, run_progress),
-        None => run_progress(),
+    let progress = match (cache.filter(|_| per_plan), comp) {
+        (Some(c), Some(id)) => c.progress_interned(id, plan, run_progress),
+        (Some(c), None) => c.progress(client, plan, run_progress),
+        (None, _) => run_progress(),
     };
     match progress {
         Ok(Some(stuck)) => {
@@ -334,15 +407,54 @@ pub fn verify_plan_with(
     cache: Option<&VerifyCache>,
 ) -> Result<PlanVerdict, VerifyError> {
     wf::check(client).map_err(VerifyError::IllFormedClient)?;
-    check_plan(client, plan, repo, registry, cache)
+    check_plan(client, None, plan, repo, registry, cache, None, true)
+}
+
+/// Which synthesis engine answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk the candidate plan space and verify each plan: the paper's
+    /// literal §5 procedure, kept as the differential oracle.
+    #[default]
+    Enumerative,
+    /// Read plans off the composed product ([`crate::product`]),
+    /// building or incrementally patching it first if the repository
+    /// or registry state moved.
+    Compositional,
+}
+
+impl Engine {
+    /// Parses the CLI/wire spelling (`enumerative` / `compositional`).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "enumerative" => Some(Engine::Enumerative),
+            "compositional" => Some(Engine::Compositional),
+            _ => None,
+        }
+    }
+
+    /// The CLI/wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Enumerative => "enumerative",
+            Engine::Compositional => "compositional",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
 }
 
 /// Tuning knobs for [`synthesize`]; the default configuration matches
-/// the behaviour of [`verify`] exactly (sequential, cached, no pruning).
+/// the behaviour of [`verify`] exactly (sequential, cached, no pruning,
+/// enumerative).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SynthesisOptions {
     /// Cap on candidate plans (distinct plans in unpruned mode,
-    /// surviving candidates in pruned mode).
+    /// surviving candidates in pruned and compositional modes).
     pub plan_cap: usize,
     /// Worker threads; `0` means the machine's available parallelism,
     /// `1` (the default) runs inline.
@@ -355,6 +467,8 @@ pub struct SynthesisOptions {
     /// Seed for the pool's steal sequence (reproducibility knob; never
     /// affects results).
     pub seed: u64,
+    /// The engine answering the query (see [`Engine`]).
+    pub engine: Engine,
 }
 
 impl Default for SynthesisOptions {
@@ -365,6 +479,7 @@ impl Default for SynthesisOptions {
             cache: true,
             prune: false,
             seed: 0,
+            engine: Engine::Enumerative,
         }
     }
 }
@@ -382,6 +497,10 @@ pub struct SynthStats {
     pub prune_active: bool,
     /// Cache counters, if caching was enabled.
     pub cache: Option<CacheStats>,
+    /// The engine that answered the query.
+    pub engine: Engine,
+    /// Product instrumentation, when the compositional engine answered.
+    pub product: Option<ProductInfo>,
     /// Wall-clock time of the whole synthesis.
     pub elapsed: Duration,
 }
@@ -414,7 +533,10 @@ pub struct Synthesis {
 /// request `r` at cut time, so every occurrence of an identifier (in the
 /// client or any published service) must carry a structurally identical
 /// body.
-fn prune_safe_bodies(client: &Hist, repo: &Repository) -> Option<HashMap<RequestId, Hist>> {
+pub(crate) fn prune_safe_bodies(
+    client: &Hist,
+    repo: &Repository,
+) -> Option<HashMap<RequestId, Hist>> {
     let mut map: HashMap<RequestId, Hist> = HashMap::new();
     let all = requests(client).into_iter().chain(
         repo.iter()
@@ -443,9 +565,12 @@ fn synth_pruned(
     cache: Option<&VerifyCache>,
     pool: &WorkPool,
     cap: usize,
+    per_plan: bool,
 ) -> Result<(Vec<PlanVerdict>, usize, bool), VerifyError> {
     let bodies = prune_safe_bodies(client, repo);
     let prune_active = bodies.is_some();
+    let comp = cache.map(|c| c.intern(client));
+    let memo = cache.map(|_| ComplianceMemo::new());
     let prune = |_plan: &Plan, r: RequestId, loc: &Location| -> bool {
         let Some(bodies) = &bodies else { return false };
         let Some(body) = bodies.get(&r) else {
@@ -495,7 +620,17 @@ fn synth_pruned(
                     if emitted.fetch_add(1, Ordering::Relaxed) >= cap {
                         return Err(VerifyError::PlanSpace(PlanSpaceExceeded { cap }));
                     }
-                    check_plan(client, plan, repo, registry, cache).map(|v| (vec![v], 0))
+                    check_plan(
+                        client,
+                        comp,
+                        plan,
+                        repo,
+                        registry,
+                        cache,
+                        memo.as_ref(),
+                        per_plan,
+                    )
+                    .map(|v| (vec![v], 0))
                 }
                 Unit::Subtree(node) => {
                     let mut verdicts = Vec::new();
@@ -508,7 +643,16 @@ fn synth_pruned(
                             if emitted.fetch_add(1, Ordering::Relaxed) >= cap {
                                 return Err(PlanSpaceExceeded { cap });
                             }
-                            match check_plan(client, &plan, repo, registry, cache) {
+                            match check_plan(
+                                client,
+                                comp,
+                                &plan,
+                                repo,
+                                registry,
+                                cache,
+                                memo.as_ref(),
+                                per_plan,
+                            ) {
                                 Ok(v) => {
                                     verdicts.push(v);
                                     Ok(())
@@ -593,6 +737,11 @@ pub fn synthesize_with(
     opts: &SynthesisOptions,
     shared: Option<&VerifyCache>,
 ) -> Result<Synthesis, VerifyError> {
+    if opts.engine == Engine::Compositional {
+        // One-shot product build; long-lived callers (the broker) keep
+        // a `ProductStore` of their own and query it directly.
+        return crate::product::synthesize_one_shot(client, repo, registry, opts, shared);
+    }
     let start = Instant::now();
     wf::check(client).map_err(VerifyError::IllFormedClient)?;
     let local;
@@ -606,12 +755,35 @@ pub fn synthesize_with(
     };
     let pool = WorkPool::with_seed(opts.jobs, opts.seed);
 
+    // A run-local cache dies with this call, and a bulk run checks
+    // each enumerated plan exactly once — its plan-keyed layers could
+    // never hit, so they are only maintained for caller-owned caches.
+    let per_plan = shared.is_some();
     let (verdicts, pruned_subtrees, prune_active) = if opts.prune {
-        synth_pruned(client, repo, registry, cache, &pool, opts.plan_cap)?
+        synth_pruned(
+            client,
+            repo,
+            registry,
+            cache,
+            &pool,
+            opts.plan_cap,
+            per_plan,
+        )?
     } else {
+        let comp = cache.map(|c| c.intern(client));
+        let memo = cache.map(|_| ComplianceMemo::new());
         let plans = enumerate_plans(client, repo, opts.plan_cap)?;
         let results = pool.run(plans.len(), |i| {
-            check_plan(client, &plans[i], repo, registry, cache)
+            check_plan(
+                client,
+                comp,
+                &plans[i],
+                repo,
+                registry,
+                cache,
+                memo.as_ref(),
+                per_plan,
+            )
         });
         let mut verdicts = Vec::with_capacity(results.len());
         for result in results {
@@ -629,6 +801,8 @@ pub fn synthesize_with(
             Some(mark) => c.stats().since(mark),
             None => c.stats(),
         }),
+        engine: Engine::Enumerative,
+        product: None,
         elapsed: start.elapsed(),
     };
     Ok(Synthesis {
@@ -1005,19 +1179,25 @@ mod tests {
     #[test]
     fn cache_hits_accumulate_across_plans() {
         let (client, repo) = mixed_repo();
-        let synth = synthesize(
-            &client,
-            &repo,
-            &PolicyRegistry::new(),
-            &SynthesisOptions::default(),
-        )
-        .unwrap();
+        let registry = PolicyRegistry::new();
+        let opts = SynthesisOptions::default();
+        let shared = VerifyCache::new();
+        let synth = synthesize_with(&client, &repo, &registry, &opts, Some(&shared)).unwrap();
         let stats = synth.stats.cache.expect("cache enabled by default");
-        // 16 candidate plans share 1 client body contract and 4 service
-        // contracts: projection must hit far more often than it misses.
-        assert!(stats.contract.0 > stats.contract.1);
-        assert!(stats.hit_rate() > 0.5, "hit rate was {}", stats.hit_rate());
+        // The run-level compliance memo shares witnesses across the 16
+        // candidate plans, so the cache sees each of the 2×4 bindings at
+        // most once: O(r·s) lookups, not O(r·sʳ).
+        let contract_lookups = stats.contract.0 + stats.contract.1;
+        assert!(
+            contract_lookups <= 16,
+            "per-candidate contract lookups are back: {contract_lookups}"
+        );
         assert!(synth.stats.to_string().contains("cache"));
+        // Across runs the shared cache is the carrier: a rerun hits on
+        // every memoized validity/progress verdict.
+        let rerun = synthesize_with(&client, &repo, &registry, &opts, Some(&shared)).unwrap();
+        let stats = rerun.stats.cache.expect("cache enabled by default");
+        assert!(stats.hit_rate() > 0.5, "hit rate was {}", stats.hit_rate());
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use sufs_core::cache::VerifyCache;
-use sufs_core::plans::{enumerate_plans, PlanSpaceExceeded, DEFAULT_PLAN_CAP};
+use sufs_core::plans::{PlanSpaceExceeded, DEFAULT_PLAN_CAP};
+use sufs_core::product::ProductStore;
 use sufs_core::report::VerifyReport;
 use sufs_core::scenario::{Scenario, SpanTable, SrcPos};
 use sufs_core::verify::{verify_plan_with, PlanVerdict, DEFAULT_STATE_BOUND};
@@ -89,6 +90,10 @@ impl<'a> From<&'a Scenario> for LintInput<'a> {
 pub struct AnalysisCaches {
     /// Shared projection/compliance/validity memo for plan verification.
     pub verify: VerifyCache,
+    /// Composed-product store the plan-space enumeration reads through:
+    /// lint and synthesis walk the same pruned product machinery, so an
+    /// engine divergence would surface here as a lint regression.
+    pub products: ProductStore,
     /// Stand-alone LTSs keyed by `(hist fingerprint, bound)`.
     lts: HashMap<(u64, usize), Arc<HistLts>>,
     /// Per-behaviour ground events keyed by behaviour fingerprint.
@@ -193,7 +198,8 @@ impl AnalysisCaches {
         )
     }
 
-    /// Memoized [`enumerate_plans`]. The plan space is a function of
+    /// Memoized plan-space enumeration, read through the composed
+    /// [`ProductStore`]. The plan space is a function of
     /// the client's requests and of the requests each published
     /// service exposes ([`sufs_core::plans`] closes bindings over
     /// those), so the key folds the per-location exposed-request
@@ -226,7 +232,7 @@ impl AnalysisCaches {
         if let Some(space) = self.plans.get(&pkey) {
             return Ok((pkey, space.clone()));
         }
-        let plans = Arc::new(enumerate_plans(client, repo, cap)?);
+        let plans = Arc::new(self.products.plan_space(client, repo, cap)?);
         let meta = Arc::new(
             plans
                 .iter()

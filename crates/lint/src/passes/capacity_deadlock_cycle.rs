@@ -71,9 +71,37 @@ impl Pass for CapacityDeadlockCycle {
 
         let deadlock = match find_joint_deadlock(&specs, ctx.repository(), ctx.bound) {
             Ok(Some(d)) => d,
-            // No deadlock, or the joint product outgrew the bound —
-            // unknown is not a finding.
-            Ok(None) | Err(_) => return Vec::new(),
+            // No deadlock found within the bound: a clean verdict.
+            Ok(None) => return Vec::new(),
+            // The joint product outgrew the bound. Unknown is not a
+            // deadlock finding, but staying silent would let a bound
+            // blow-up masquerade as "no deadlock" — say so explicitly.
+            Err(_) => {
+                let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+                let caps: Vec<String> = bounded
+                    .iter()
+                    .map(|l| match ctx.repository().capacity(l) {
+                        Some(Some(n)) => format!("{l} (cap {n})"),
+                        _ => l.to_string(),
+                    })
+                    .collect();
+                return vec![Diagnostic::new(
+                    Code::CapacityDeadlockCycle,
+                    ctx.client_pos(specs[0].name.as_str()),
+                    format!("clients {}", names.join(", ")),
+                    format!(
+                        "analysis truncated: the joint product of {} exceeded the exploration \
+                         bound of {} states",
+                        names.join(", "),
+                        ctx.bound
+                    ),
+                )
+                .with_note(format!(
+                    "contention for {} could not be explored to completion, so the deadlock \
+                     verdict is unknown — rerun with a larger state bound to decide it",
+                    caps.join(", ")
+                ))];
+            }
         };
 
         let stuck: Vec<&str> = deadlock
@@ -148,6 +176,38 @@ mod tests {
         let witness = d.witness.as_ref().expect("schedule witness");
         assert!(witness.last().unwrap().contains("deadlock"));
         assert!(witness.len() > 1, "needs a schedule prefix: {witness:?}");
+    }
+
+    #[test]
+    fn bound_blow_up_reports_truncation_instead_of_silence() {
+        let sc = parse_scenario(CIRCULAR).unwrap();
+        // A bound wide enough for each client's individual product but
+        // too tight for the joint exploration: the pass must say the
+        // analysis was truncated, not stay silent.
+        let bound = {
+            // Find the smallest power of two that still verifies every
+            // client individually, then use it as the joint bound.
+            let mut b = 4usize;
+            loop {
+                if let Ok(ctx) = LintContext::build_with(&sc, b, 1024) {
+                    if ctx.clients.iter().all(|c| c.verified) {
+                        break b;
+                    }
+                }
+                b *= 2;
+                assert!(b <= 1 << 20, "no verifying bound found");
+            }
+        };
+        let ctx = LintContext::build_with(&sc, bound, 1024).unwrap();
+        let diags = CapacityDeadlockCycle.run(&ctx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.code, Code::CapacityDeadlockCycle);
+        assert_eq!(d.severity(), Severity::Warning);
+        assert!(d.message.contains("analysis truncated"), "{}", d.message);
+        let note = d.note.as_ref().expect("truncation note");
+        assert!(note.contains("unknown"), "{note}");
+        assert!(d.witness.is_none(), "no schedule witness when truncated");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! sufs verify <file> [--client NAME] [--jobs N] [--no-cache] [--prune]
 //!                    [--plan-cap N] [--seed N] [--stats] [--json]
+//!                    [--engine enumerative|compositional]
 //! sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor]
 //!                 [--committed] [--seed N] [--runs N] [--fuel N] [--trace]
 //! sufs lint <file> [--json] [--deny warnings]
@@ -16,7 +17,7 @@
 //!            [--deny-lint error|warnings]
 //! sufs promote --addr HOST:PORT
 //! sufs publish <file> --addr HOST:PORT
-//! sufs plan <file> [--client NAME] --addr HOST:PORT
+//! sufs plan <file> [--client NAME] [--engine ENGINE] --addr HOST:PORT
 //! sufs run-remote <file> [--client NAME] [...] --addr HOST:PORT
 //! sufs retract <location> --addr HOST:PORT
 //! sufs stats --addr HOST:PORT
@@ -86,7 +87,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  \
      sufs verify <file> [--client NAME] [--jobs N] [--no-cache] [--prune] \
-     [--plan-cap N] [--seed N] [--stats] [--json]\n  \
+     [--plan-cap N] [--seed N] [--engine enumerative|compositional] \
+     [--stats] [--json]\n  \
      sufs verify-net <file>\n  \
      sufs run <file> [--client NAME] [--plan r=loc,...] [--monitor] \
      [--committed] [--seed N] [--runs N] [--fuel N] [--trace|--mermaid] \
@@ -103,7 +105,8 @@ fn usage() -> String {
      [--deny-lint error|warnings]\n  \
      sufs promote --addr HOST:PORT\n  \
      sufs publish <file> --addr HOST:PORT\n  \
-     sufs plan <file> [--client NAME] --addr HOST:PORT\n  \
+     sufs plan <file> [--client NAME] [--engine enumerative|compositional] \
+     --addr HOST:PORT\n  \
      sufs run-remote <file> [--client NAME] [--plan r=loc,...] \
      [--faults k=v,...] [--recover] [--committed] [--seed N] [--fuel N] \
      --addr HOST:PORT\n  \
@@ -203,7 +206,7 @@ fn pick_client<'a>(sc: &'a Scenario, name: Option<&'a str>) -> Result<(&'a str, 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let a = parse_args(
         args,
-        &["--client", "--jobs", "--plan-cap", "--seed"],
+        &["--client", "--jobs", "--plan-cap", "--seed", "--engine"],
         &["--no-cache", "--prune", "--stats", "--json"],
     )?;
     let [path] = a.positional.as_slice() else {
@@ -219,6 +222,11 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = a.value("--seed") {
         opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+    }
+    if let Some(s) = a.value("--engine") {
+        opts.engine = sufs_core::Engine::parse(s).ok_or_else(|| {
+            format!("bad engine `{s}` (expected `enumerative` or `compositional`)")
+        })?;
     }
     opts.cache = !a.has("--no-cache");
     opts.prune = a.has("--prune");
@@ -804,14 +812,25 @@ fn cmd_publish(args: &[String]) -> Result<(), String> {
 
 /// Asks a broker to synthesize plans for a scenario's client.
 fn cmd_plan(args: &[String]) -> Result<(), String> {
-    let a = parse_args(args, &["--addr", "--client"], &[])?;
+    let a = parse_args(args, &["--addr", "--client", "--engine"], &[])?;
     let [path] = a.positional.as_slice() else {
         return Err(usage());
     };
     let sc = load(path)?;
     let (name, hist) = pick_client(&sc, a.value("--client"))?;
+    let mut extra = Json::obj();
+    if let Some(s) = a.value("--engine") {
+        sufs_core::Engine::parse(s).ok_or_else(|| {
+            format!("bad engine `{s}` (expected `enumerative` or `compositional`)")
+        })?;
+        extra.set("engine", s);
+    }
     let mut client = remote_client(&a)?;
-    let reply = check_reply(client.plan(&hist.to_string()).map_err(|e| e.to_string())?)?;
+    let reply = check_reply(
+        client
+            .plan_with(&hist.to_string(), extra)
+            .map_err(|e| e.to_string())?,
+    )?;
     println!("== {name} (remote) ==");
     let verdicts = reply.get("verdicts").and_then(Json::as_arr).unwrap_or(&[]);
     let valid = reply.get("valid").and_then(Json::as_arr).unwrap_or(&[]);

@@ -519,23 +519,29 @@ fn replay_of_journal_from_saturated_server() {
         let mut rejected = 0u32;
         for i in 0..8 {
             // Serial clients: each occupies the single slot; extra
-            // connection attempts while a slot is held get `busy`.
-            // Admission races the previous holder's handler thread
-            // retiring, so retry until a ping actually pongs — a
-            // `busy` reply here means the slot was still held.
+            // connection attempts while a slot is held are rejected at
+            // admission. The unsolicited `busy` frame is tagged by the
+            // server and surfaced by the client as `ConnectionRefused`,
+            // so a successful `ping` really is a pong — no reply
+            // inspection needed. Admission races the previous holder's
+            // handler thread retiring, so retry until admitted.
             let mut holder = loop {
                 let mut candidate = BrokerClient::connect(addr).expect("connect holder");
                 match candidate.ping() {
-                    Ok(reply) if reply.str_field("kind") == Some("busy") => {
+                    Ok(reply) => {
+                        assert_eq!(reply.bool_field("ok"), Some(true), "pong expected: {reply}");
+                        break candidate;
+                    }
+                    Err(err) if err.kind() == std::io::ErrorKind::ConnectionRefused => {
+                        // The slot was still held.
                         std::thread::sleep(Duration::from_millis(2));
                     }
-                    Ok(_) => break candidate,
                     Err(err) => panic!("holder admitted: {err}"),
                 }
             };
             let mut probe = BrokerClient::connect(addr).expect("connect probe");
             match probe.ping() {
-                Ok(reply) if reply.str_field("kind") == Some("busy") => rejected += 1,
+                Err(err) if err.kind() == std::io::ErrorKind::ConnectionRefused => rejected += 1,
                 _ => {} // the holder may have been reaped already
             }
             let loc = format!("sat{i}");
@@ -565,6 +571,100 @@ fn replay_of_journal_from_saturated_server() {
             "acked publish at {loc} lost in replay"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: after a crash the broker rebuilds the composed product
+/// for every registered client *before* accepting connections, so the
+/// first post-recovery `plan` reads off the warmed product instead of
+/// paying a cold rebuild.
+#[test]
+fn warm_start_primes_products_before_accepting_plans() {
+    // Three sequential requests, each with two compliant candidate
+    // services and one non-compliant decoy: 9 locations, 9³ = 729
+    // candidate bindings, 8 surviving the composed product.
+    const SCENARIO: &str = "
+        client traveler {
+          open 1 { int[q1 -> eps]; ext[a1 -> eps | b1 -> eps];
+            open 2 { int[q2 -> eps]; ext[a2 -> eps | b2 -> eps];
+              open 3 { int[q3 -> eps]; ext[a3 -> eps | b3 -> eps] } } }
+        }
+        service g1a { ext[q1 -> int[a1 -> eps]] }
+        service g1b { ext[q1 -> int[b1 -> eps]] }
+        service x1  { ext[q1 -> int[z1 -> eps]] }
+        service g2a { ext[q2 -> int[a2 -> eps]] }
+        service g2b { ext[q2 -> int[b2 -> eps]] }
+        service x2  { ext[q2 -> int[z2 -> eps]] }
+        service g3a { ext[q3 -> int[a3 -> eps]] }
+        service g3b { ext[q3 -> int[b3 -> eps]] }
+        service x3  { ext[q3 -> int[z3 -> eps]] }
+    ";
+    let sc = sufs_core::scenario::parse_scenario(SCENARIO).expect("scenario");
+    let traveler = sc.client("traveler").expect("traveler").to_string();
+    let compositional = || Json::obj().with("engine", "compositional");
+
+    let dir = state_dir("warmstart");
+    let mut steady = Duration::MAX;
+    {
+        let handle = Broker::spawn(durable(&dir, 100)).expect("spawn");
+        let mut client = BrokerClient::connect(handle.addr()).expect("connect");
+        let reply = client.publish_scenario(SCENARIO).expect("publish");
+        assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+        // Steady state: the first query builds the product, the rest
+        // read it off. Take the fastest read-off as the baseline.
+        for i in 0..4 {
+            let started = std::time::Instant::now();
+            let reply = client
+                .plan_with(&traveler, compositional())
+                .expect("steady plan");
+            let elapsed = started.elapsed();
+            assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+            assert_eq!(
+                reply.get("valid").and_then(Json::as_arr).map(<[_]>::len),
+                Some(8),
+                "{reply}"
+            );
+            if i > 0 {
+                steady = steady.min(elapsed);
+            }
+        }
+        handle.kill();
+    }
+
+    let handle = Broker::spawn(durable(&dir, 100)).expect("respawn");
+    let mut client = BrokerClient::connect(handle.addr()).expect("reconnect");
+    let started = std::time::Instant::now();
+    let reply = client
+        .plan_with(&traveler, compositional())
+        .expect("post-recovery plan");
+    let post_recovery = started.elapsed();
+    assert_eq!(reply.bool_field("ok"), Some(true), "{reply}");
+    assert_eq!(
+        reply.get("valid").and_then(Json::as_arr).map(<[_]>::len),
+        Some(8),
+        "{reply}"
+    );
+    // The deterministic pin: the very first post-recovery query reused
+    // the product the warm start rebuilt — it did not build one.
+    let product = reply
+        .get("stats")
+        .and_then(|s| s.get("product"))
+        .expect("product stats in reply");
+    assert_eq!(
+        product.bool_field("reused"),
+        Some(true),
+        "first post-recovery plan should read off the warmed product: {reply}"
+    );
+    let stats = client.stats().expect("stats");
+    let products = stats.get("products").expect("products stats");
+    assert_eq!(products.u64_field("warmed"), Some(1), "{stats}");
+    // The acceptance bound: within 2× of steady state, with a floor so
+    // sub-millisecond baselines don't turn scheduler jitter into flakes.
+    let bound = (steady * 2).max(Duration::from_millis(50));
+    assert!(
+        post_recovery <= bound,
+        "post-recovery plan took {post_recovery:?}, steady state {steady:?} (bound {bound:?})"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -304,11 +304,19 @@ fn admission_control_replies_busy_at_capacity() {
         Some(true),
         "the first client is admitted"
     );
-    // The second concurrent client gets an explicit busy reply.
+    // The second concurrent client is rejected before its request is
+    // read: the daemon tags the busy reply `"unsolicited": true` and
+    // the client surfaces it as `ConnectionRefused` rather than
+    // misattributing it to the request it was about to send.
     let mut second = BrokerClient::connect(handle.addr()).expect("connect");
-    let reply = second.ping().expect("busy reply is a real frame");
-    assert_eq!(reply.bool_field("ok"), Some(false));
-    assert_eq!(reply.str_field("kind"), Some("busy"));
+    let err = second
+        .ping()
+        .expect_err("an unsolicited busy surfaces as a transport error");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    assert!(
+        err.to_string().contains("broker at capacity"),
+        "the refusal carries the daemon's reason: {err}"
+    );
     // Closing the first frees the slot (the acceptor reaps the handler
     // lazily, so poll briefly).
     drop(first);
