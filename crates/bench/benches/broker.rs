@@ -25,25 +25,78 @@
 //! Environment:
 //! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
 //! * `SUFS_BENCH_BROKER_OUT=path` — where to write the JSON (default
-//!   `BENCH_broker.json` in the working directory).
+//!   `BENCH_broker.json` in the working directory);
+//! * `SUFS_BENCH_GEN=profile=mesh,services=6,seed=3[,policies=deny+frame][,faults]`
+//!   — source the topology from the scenario generator (`sufs gen`)
+//!   instead of the inline mixed-responder builder; the scenario text
+//!   is published over the wire (services *and* policies) and the run
+//!   measures that single generated workload.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Instant;
 
-use sufs_bench::{mixed_responder_repo, multi_request_client};
+use sufs_bench::{gen_workload_from_env, mixed_responder_repo, multi_request_client, GenWorkload};
 use sufs_broker::{Broker, BrokerClient, BrokerConfig, Json};
 use sufs_core::{synthesize, SynthesisOptions};
 use sufs_policy::PolicyRegistry;
 
-/// One load configuration: `requests`-deep client over a repository of
-/// `good + bad` responders, driven by `clients` connections × `iters`
-/// queries each.
-struct Workload {
+/// What the broker serves: a client history over a repository, from
+/// either the inline mixed-responder builder or the scenario generator.
+struct Topology {
+    label: String,
     requests: usize,
-    good: usize,
-    bad: usize,
+    services: usize,
+    client: sufs_hexpr::Hist,
+    repo: sufs_net::Repository,
+    registry: PolicyRegistry,
+    /// Gen mode: the scenario text, published wholesale over the wire
+    /// so the broker installs the policies too.
+    scenario: Option<String>,
+    /// Provenance tag recorded in the JSON when gen-sourced.
+    source: Option<String>,
+}
+
+impl Topology {
+    /// `requests`-deep client over `good + bad` inline responders.
+    fn inline(requests: usize, good: usize, bad: usize) -> Topology {
+        Topology {
+            label: format!("r={requests} good={good} bad={bad}"),
+            requests,
+            services: good + bad,
+            client: multi_request_client(requests),
+            repo: mixed_responder_repo(good, bad),
+            registry: PolicyRegistry::new(),
+            scenario: None,
+            source: None,
+        }
+    }
+
+    fn from_gen(gen: GenWorkload) -> Topology {
+        Topology {
+            label: format!(
+                "gen({}) client={} r={} s={}",
+                gen.spec,
+                gen.client_name,
+                gen.requests,
+                gen.repo.len()
+            ),
+            requests: gen.requests,
+            services: gen.repo.len(),
+            client: gen.client,
+            repo: gen.repo,
+            registry: gen.registry,
+            scenario: Some(gen.scenario),
+            source: Some(format!("gen:{}", gen.spec)),
+        }
+    }
+}
+
+/// One load configuration: a topology driven by `clients` connections
+/// × `iters` queries each.
+struct Workload {
+    topo: Topology,
     clients: usize,
     iters: usize,
 }
@@ -71,14 +124,23 @@ fn run_engine(w: &Workload, engine: &str, expected: &[String], client_text: &str
     let addr = handle.addr().to_string();
 
     // Publish the repository over the wire so the service histories
-    // round-trip through the protocol, like a real deployment.
-    let repo = mixed_responder_repo(w.good, w.bad);
+    // round-trip through the protocol, like a real deployment. A
+    // gen-sourced topology ships as a whole scenario so the broker
+    // installs its policies alongside the services.
     let mut admin = BrokerClient::connect(&addr).expect("connect admin");
-    for (loc, service) in repo.iter() {
-        let reply = admin
-            .publish(loc.as_ref(), &service.to_string(), None)
-            .expect("publish");
-        assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
+    match &w.topo.scenario {
+        Some(text) => {
+            let reply = admin.publish_scenario(text).expect("publish scenario");
+            assert_eq!(reply.bool_field("ok"), Some(true), "scenario rejected");
+        }
+        None => {
+            for (loc, service) in w.topo.repo.iter() {
+                let reply = admin
+                    .publish(loc.as_ref(), &service.to_string(), None)
+                    .expect("publish");
+                assert_eq!(reply.bool_field("ok"), Some(true), "publish rejected");
+            }
+        }
     }
 
     // One untimed warm-up query: the compositional engine builds its
@@ -228,76 +290,75 @@ fn run_engine(w: &Workload, engine: &str, expected: &[String], client_text: &str
 /// Runs one workload under both engines. Returns the JSON row and the
 /// compositional throughput (for the cliff assertion).
 fn run_workload(w: &Workload) -> (Json, f64) {
-    let client_hist = multi_request_client(w.requests);
-    let repo = mixed_responder_repo(w.good, w.bad);
-    let registry = PolicyRegistry::new();
     let opts = SynthesisOptions::default();
 
     // The in-process baseline the daemon's replies must reproduce.
-    let baseline = synthesize(&client_hist, &repo, &registry, &opts).expect("workload verifies");
+    let baseline = synthesize(&w.topo.client, &w.topo.repo, &w.topo.registry, &opts)
+        .expect("workload verifies");
     let mut expected: Vec<String> = baseline
         .report
         .valid_plans()
         .map(|p| p.to_string())
         .collect();
     expected.sort();
+    assert!(!expected.is_empty(), "workload admits no valid plan");
 
-    let client_text = client_hist.to_string();
+    let client_text = w.topo.client.to_string();
     let (enumerative, _) = run_engine(w, "enumerative", &expected, &client_text);
     let (compositional, comp_rps) = run_engine(w, "compositional", &expected, &client_text);
     let enum_rps = enumerative.get("throughput_rps").and_then(Json::as_f64);
     let speedup = enum_rps.map(|e| comp_rps / e).unwrap_or(0.0);
 
-    let candidates = (w.good + w.bad).pow(w.requests as u32);
-    let row = Json::obj()
-        .with("requests", w.requests)
-        .with("services", w.good + w.bad)
+    let candidates = w.topo.services.pow(w.topo.requests as u32);
+    let mut row = Json::obj()
+        .with("requests", w.topo.requests)
+        .with("services", w.topo.services)
         .with("candidates", candidates)
         .with("valid_plans", expected.len())
         .with("clients", w.clients)
         .with("enumerative", enumerative)
         .with("compositional", compositional)
         .with("speedup_compositional", speedup);
+    if let Some(source) = &w.topo.source {
+        row.set("source", source.as_str());
+    }
     (row, comp_rps)
 }
 
 fn main() {
     let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-    let workloads: Vec<Workload> = if smoke {
+    let workloads: Vec<Workload> = if let Some(gen) = gen_workload_from_env() {
+        let (clients, iters) = if smoke { (2, 5) } else { (4, 50) };
         vec![Workload {
-            requests: 2,
-            good: 2,
-            bad: 2,
+            topo: Topology::from_gen(gen),
+            clients,
+            iters,
+        }]
+    } else if smoke {
+        vec![Workload {
+            topo: Topology::inline(2, 2, 2),
             clients: 2,
             iters: 5,
         }]
     } else {
         vec![
             Workload {
-                requests: 2,
-                good: 3,
-                bad: 3,
+                topo: Topology::inline(2, 3, 3),
                 clients: 4,
                 iters: 50,
             },
             Workload {
-                requests: 3,
-                good: 3,
-                bad: 3,
+                topo: Topology::inline(3, 3, 3),
                 clients: 4,
                 iters: 50,
             },
             Workload {
-                requests: 3,
-                good: 3,
-                bad: 3,
+                topo: Topology::inline(3, 3, 3),
                 clients: 8,
                 iters: 50,
             },
             Workload {
-                requests: 4,
-                good: 3,
-                bad: 3,
+                topo: Topology::inline(4, 3, 3),
                 clients: 4,
                 iters: 20,
             },
@@ -315,11 +376,11 @@ fn main() {
     let mut comp_rps: Vec<(usize, f64)> = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
         eprintln!(
-            "workload r={} good={} bad={} clients={} iters={}",
-            w.requests, w.good, w.bad, w.clients, w.iters
+            "workload {} clients={} iters={}",
+            w.topo.label, w.clients, w.iters
         );
         let (row, rps) = run_workload(w);
-        comp_rps.push(((w.good + w.bad).pow(w.requests as u32), rps));
+        comp_rps.push((w.topo.services.pow(w.topo.requests as u32), rps));
         if i > 0 {
             out.push_str(",\n");
         }
@@ -329,8 +390,9 @@ fn main() {
 
     // The headline claim, asserted where the cliff used to be: the
     // widest plan space must stay within 2× of the narrowest one's
-    // compositional throughput (same connection count).
-    if !smoke {
+    // compositional throughput (same connection count). Meaningless
+    // for a single gen-sourced workload, so it needs at least two.
+    if !smoke && workloads.len() > 1 {
         let narrow = comp_rps.first().expect("workloads not empty");
         let wide = comp_rps.last().expect("workloads not empty");
         eprintln!(

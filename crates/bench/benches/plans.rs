@@ -23,12 +23,16 @@
 //! Environment:
 //! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
 //! * `SUFS_BENCH_PLANS_OUT=path` — where to write the JSON (default
-//!   `BENCH_plans.json` in the working directory).
+//!   `BENCH_plans.json` in the working directory);
+//! * `SUFS_BENCH_GEN=profile=mesh,services=6,seed=3[,policies=deny+frame][,faults]`
+//!   — source the topology from the scenario generator (`sufs gen`)
+//!   instead of the inline synthetic builders; the run then measures
+//!   that single generated workload.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sufs_bench::{mixed_responder_repo, multi_request_client};
+use sufs_bench::{gen_workload_from_env, mixed_responder_repo, multi_request_client};
 use sufs_core::pool::default_jobs;
 use sufs_core::{synthesize, Engine, ProductStore, Synthesis, SynthesisOptions};
 use sufs_net::Plan;
@@ -91,16 +95,65 @@ fn json_mode(out: &mut String, name: &str, m: &ModeResult) {
     out.push('}');
 }
 
+/// One workload for the harness, from either source: the inline
+/// builders (with a closed-form valid-plan count) or the scenario
+/// generator (whose valid set is pinned by the replay corpus instead).
+struct Work {
+    label: String,
+    requests: usize,
+    services: usize,
+    client: sufs_hexpr::Hist,
+    repo: sufs_net::Repository,
+    registry: PolicyRegistry,
+    /// `goodʳ` for the inline cells; `None` for generated topologies.
+    exact_valid: Option<usize>,
+    good_services: Option<usize>,
+    /// Provenance tag recorded in the JSON when gen-sourced.
+    source: Option<String>,
+}
+
 fn main() {
     let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-    // (requests, good services, bad services): the candidate space is
-    // (good+bad)^requests, spanning 10²–10⁵ in the full configuration.
-    let workloads: &[(usize, usize, usize)] = if smoke {
-        &[(2, 2, 2), (3, 2, 2)]
+    let workloads: Vec<Work> = if let Some(gen) = gen_workload_from_env() {
+        let services = gen.repo.len();
+        vec![Work {
+            label: format!(
+                "gen({}) client={} r={} s={services}",
+                gen.spec, gen.client_name, gen.requests
+            ),
+            requests: gen.requests,
+            services,
+            client: gen.client,
+            repo: gen.repo,
+            registry: gen.registry,
+            exact_valid: None,
+            good_services: None,
+            source: Some(format!("gen:{}", gen.spec)),
+        }]
     } else {
-        &[(2, 5, 5), (3, 5, 5), (4, 5, 5), (5, 5, 5)]
+        // (requests, good services, bad services): the candidate space
+        // is (good+bad)^requests, spanning 10²–10⁵ in the full
+        // configuration.
+        let cells: &[(usize, usize, usize)] = if smoke {
+            &[(2, 2, 2), (3, 2, 2)]
+        } else {
+            &[(2, 5, 5), (3, 5, 5), (4, 5, 5), (5, 5, 5)]
+        };
+        cells
+            .iter()
+            .map(|&(r, good, bad)| Work {
+                label: format!("r={r} s={}", good + bad),
+                requests: r,
+                services: good + bad,
+                client: multi_request_client(r),
+                repo: mixed_responder_repo(good, bad),
+                registry: PolicyRegistry::new(),
+                exact_valid: Some(good.pow(r as u32)),
+                good_services: Some(good),
+                source: None,
+            })
+            .collect()
     };
-    let registry = PolicyRegistry::new();
     let jobs = default_jobs();
 
     let mut out = String::new();
@@ -112,12 +165,12 @@ fn main() {
     .unwrap();
     out.push_str("  \"workloads\": [\n");
 
-    for (wi, &(r, good, bad)) in workloads.iter().enumerate() {
-        let s = good + bad;
-        let candidates = s.pow(r as u32);
-        let client = multi_request_client(r);
-        let repo = mixed_responder_repo(good, bad);
-        eprintln!("workload r={r} s={s}: {candidates} candidates");
+    for (wi, w) in workloads.iter().enumerate() {
+        let candidates = w.services.pow(w.requests as u32);
+        let client = &w.client;
+        let repo = &w.repo;
+        let registry = &w.registry;
+        eprintln!("workload {}: {candidates} candidates", w.label);
 
         let base = SynthesisOptions::default();
         let sequential_opts = SynthesisOptions {
@@ -141,30 +194,30 @@ fn main() {
             (None, None, None, None);
         for _ in 0..reps {
             seq_synth = Some(run_once(
-                &client,
-                &repo,
-                &registry,
+                client,
+                repo,
+                registry,
                 &sequential_opts,
                 &mut walls[0],
             ));
             cached_synth = Some(run_once(
-                &client,
-                &repo,
-                &registry,
+                client,
+                repo,
+                registry,
                 &cached_opts,
                 &mut walls[1],
             ));
             pruned_synth = Some(run_once(
-                &client,
-                &repo,
-                &registry,
+                client,
+                repo,
+                registry,
                 &pruned_opts,
                 &mut walls[2],
             ));
             par_synth = Some(run_once(
-                &client,
-                &repo,
-                &registry,
+                client,
+                repo,
+                registry,
                 &parallel_opts,
                 &mut walls[3],
             ));
@@ -189,14 +242,14 @@ fn main() {
         let store = ProductStore::new();
         let start = Instant::now();
         let comp_synth = store
-            .synthesize(&client, &repo, &registry, &comp_opts, None)
+            .synthesize(client, repo, registry, &comp_opts, None)
             .expect("compositional build");
         let comp_build_ms = start.elapsed().as_secs_f64() * 1e3;
         let query_reps = if smoke { 3 } else { 10 };
         let start = Instant::now();
         for _ in 0..query_reps {
             store
-                .synthesize(&client, &repo, &registry, &comp_opts, None)
+                .synthesize(client, repo, registry, &comp_opts, None)
                 .expect("compositional query");
         }
         let comp_query_ms = start.elapsed().as_secs_f64() * 1e3 / query_reps as f64;
@@ -210,7 +263,21 @@ fn main() {
         );
         let valid = |s: &Synthesis| s.report.valid_plans().cloned().collect::<Vec<Plan>>();
         let expected = valid(&seq_synth);
-        assert_eq!(expected.len(), good.pow(r as u32));
+        assert_eq!(
+            seq_synth.report.len(),
+            candidates,
+            "candidate space does not match services^requests"
+        );
+        match w.exact_valid {
+            // The inline cells have a closed-form count.
+            Some(exact) => assert_eq!(expected.len(), exact),
+            // Generated topologies always admit the all-honest plan;
+            // their exact valid sets are pinned by the replay corpus.
+            None => assert!(
+                !expected.is_empty(),
+                "generated workload admits no valid plan"
+            ),
+        }
         assert_eq!(
             valid(&pruned_synth),
             expected,
@@ -245,7 +312,19 @@ fn main() {
         out.push_str("    {\n");
         write!(
             out,
-            "      \"requests\": {r}, \"services\": {s}, \"good_services\": {good},\n      \"candidates\": {candidates}, \"valid_plans\": {},\n",
+            "      \"requests\": {}, \"services\": {}",
+            w.requests, w.services
+        )
+        .unwrap();
+        if let Some(good) = w.good_services {
+            write!(out, ", \"good_services\": {good}").unwrap();
+        }
+        if let Some(source) = &w.source {
+            write!(out, ", \"source\": \"{source}\"").unwrap();
+        }
+        write!(
+            out,
+            ",\n      \"candidates\": {candidates}, \"valid_plans\": {},\n",
             expected.len()
         )
         .unwrap();

@@ -188,6 +188,99 @@ pub fn ping_pong_server() -> Hist {
     sufs_hexpr::parse_hist("mu h. ext[ping -> int[pong -> h]]").expect("static source parses")
 }
 
+/// A synthesis workload sourced from the scenario generator instead of
+/// the inline builders: the generated scenario's repository and policy
+/// registry, plus the client with the widest plan space.
+pub struct GenWorkload {
+    /// The `SUFS_BENCH_GEN` spec this workload was built from.
+    pub spec: String,
+    /// Name of the scenario client the benches plan for.
+    pub client_name: String,
+    /// That client's history expression.
+    pub client: Hist,
+    /// The generated repository.
+    pub repo: Repository,
+    /// The scenario's policy registry (frames reference it).
+    pub registry: sufs_policy::PolicyRegistry,
+    /// Requests the chosen client opens: the candidate plan space is
+    /// `repo.len()^requests`.
+    pub requests: usize,
+    /// The full scenario text, for benches that publish over the wire.
+    pub scenario: String,
+}
+
+/// Reads `SUFS_BENCH_GEN` and, when set, builds the described workload.
+/// The spec is comma-separated `key=value` pairs plus the bare `faults`
+/// switch — e.g. `profile=mesh,services=6,seed=3,policies=deny+frame` —
+/// mirroring the `sufs gen` flags (with `+` joining policy layers,
+/// since `,` separates pairs). Panics on a malformed spec: a bench
+/// silently falling back to the inline topology would mislabel its
+/// numbers.
+pub fn gen_workload_from_env() -> Option<GenWorkload> {
+    let spec = std::env::var("SUFS_BENCH_GEN")
+        .ok()
+        .filter(|v| !v.is_empty())?;
+    match gen_workload(&spec) {
+        Ok(w) => Some(w),
+        Err(e) => panic!("SUFS_BENCH_GEN `{spec}`: {e}"),
+    }
+}
+
+/// Builds a [`GenWorkload`] from a spec string (see
+/// [`gen_workload_from_env`]).
+pub fn gen_workload(spec: &str) -> Result<GenWorkload, String> {
+    use sufs_corpus::{generate, GenConfig, PolicyMix, Profile};
+
+    let mut cfg = GenConfig {
+        seed: 0,
+        services: 4,
+        profile: Profile::Mesh,
+        faults: false,
+        policies: PolicyMix::default(),
+    };
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part.split_once('=').unwrap_or((part, ""));
+        match key {
+            "profile" => {
+                cfg.profile =
+                    Profile::parse(value).ok_or_else(|| format!("bad profile `{value}`"))?;
+            }
+            "services" => {
+                cfg.services = value
+                    .parse()
+                    .map_err(|_| format!("bad services `{value}`"))?;
+            }
+            "seed" => {
+                cfg.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "policies" => {
+                cfg.policies = PolicyMix::parse(&value.replace('+', ","))?;
+            }
+            "faults" => cfg.faults = true,
+            other => return Err(format!("unknown spec key `{other}`")),
+        }
+    }
+    let generated = generate(&cfg);
+    let sc = sufs_core::scenario::parse_scenario(&generated.scenario)
+        .map_err(|e| format!("generated scenario does not parse: {e}"))?;
+    let (client_name, client) = sc
+        .clients
+        .iter()
+        .max_by_key(|(_, h)| sufs_hexpr::requests::requests(h).len())
+        .cloned()
+        .ok_or_else(|| "generated scenario has no clients".to_owned())?;
+    let requests = sufs_hexpr::requests::requests(&client).len();
+    Ok(GenWorkload {
+        spec: spec.to_owned(),
+        client_name,
+        client,
+        repo: sc.repository,
+        registry: sc.registry,
+        requests,
+        scenario: generated.scenario,
+    })
+}
+
 /// A λ-term of `n` chained event-emitting lets — the effect-inference
 /// workload (B6).
 pub fn lambda_chain(n: usize) -> Expr {
@@ -270,6 +363,27 @@ mod tests {
         .run(net, &mut sufs_rng::StdRng::seed_from_u64(1), 10_000)
         .unwrap();
         assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn gen_workload_specs_parse_and_synthesize() {
+        let w = gen_workload("profile=star,services=5,seed=2,policies=deny+cap").unwrap();
+        assert!(w.requests >= 1);
+        assert!(!w.repo.is_empty());
+        let synthesis = sufs_core::synthesize(
+            &w.client,
+            &w.repo,
+            &w.registry,
+            &sufs_core::SynthesisOptions::default(),
+        )
+        .expect("generated workload synthesizes");
+        assert!(
+            synthesis.report.valid_plans().next().is_some(),
+            "generated workloads always admit the all-honest plan"
+        );
+        assert!(gen_workload("profile=ring").is_err());
+        assert!(gen_workload("seeds=1").is_err());
+        assert!(gen_workload("policies=frmae").is_err());
     }
 
     #[test]

@@ -1,0 +1,605 @@
+//! Seeded scenario-topology generator.
+//!
+//! `generate` turns a [`GenConfig`] into a well-formed `.sufs` scenario
+//! text: a realistic microservice topology (fan-out call graphs with
+//! bounded fan-out, replicated providers, bounded capacities, layered
+//! request/deny/framing policies in the SafeTree style, optional fault
+//! schedules) that round-trips through the existing scenario parser.
+//!
+//! The generator is a pure function of its configuration: the same
+//! [`GenConfig`] always produces the same bytes, so a committed corpus
+//! is regenerable and every scenario embeds the exact `sufs gen`
+//! invocation that produced it as its first comment line.
+//!
+//! Four topology profiles are supported:
+//!
+//! * **pipeline** — a client calls tier 1, tier `i` calls tier `i+1`;
+//!   each tier is a group of interchangeable provider variants.
+//! * **tree** — a root request fans out to a bounded number of child
+//!   services, optionally one level deeper: the SafeTree-style
+//!   tree-shaped mesh.
+//! * **star** — a replicated hub service fans out to leaf groups.
+//! * **mesh** — several clients share a flat pool of replicated
+//!   provider groups, with optional capacity contention.
+//!
+//! Every group's variant 0 is an *honest* provider emitting no policed
+//! event, so the all-honest assignment is always a valid plan: no
+//! generated scenario ever lints at `error` level. Later variants may
+//! be *rogue* (emitting the `probe` event a deny policy forbids, or
+//! double-`wlog` inside a framing window), which carves a non-trivial
+//! valid/rejected structure into the plan space.
+
+use sufs_rng::{Rng, SeedableRng, StdRng};
+
+/// The topology family a generated scenario belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Several clients over a flat pool of replicated provider groups.
+    Mesh,
+    /// A root request fanning out into a bounded-degree service tree.
+    Tree,
+    /// A linear chain of tiers, each calling the next.
+    Pipeline,
+    /// A replicated hub fanning out to leaf groups.
+    Star,
+}
+
+/// Every profile, in the order the corpus enumerates them.
+pub const PROFILES: [Profile; 4] = [
+    Profile::Mesh,
+    Profile::Tree,
+    Profile::Pipeline,
+    Profile::Star,
+];
+
+impl Profile {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "mesh" => Some(Profile::Mesh),
+            "tree" => Some(Profile::Tree),
+            "pipeline" => Some(Profile::Pipeline),
+            "star" => Some(Profile::Star),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Mesh => "mesh",
+            Profile::Tree => "tree",
+            Profile::Pipeline => "pipeline",
+            Profile::Star => "star",
+        }
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Which policy layers the generated scenario carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyMix {
+    /// A `deny_probe` usage automaton guarding the root request: rogue
+    /// providers emitting `#probe` make their plans invalid.
+    pub deny: bool,
+    /// A `once_wlog` framing around each client body: at most one
+    /// `wlog` event per window.
+    pub frame: bool,
+    /// Bounded capacities (`cap N`) on some provider variants.
+    pub cap: bool,
+}
+
+impl PolicyMix {
+    /// Parses the CLI spelling: a comma-separated subset of
+    /// `deny`, `frame`, `cap` (empty/`none` for no policies).
+    pub fn parse(s: &str) -> Result<PolicyMix, String> {
+        let mut mix = PolicyMix::default();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            match part {
+                "deny" => mix.deny = true,
+                "frame" => mix.frame = true,
+                "cap" => mix.cap = true,
+                "none" => {}
+                other => {
+                    return Err(format!(
+                        "unknown policy layer `{other}` (expected a subset of `deny,frame,cap`)"
+                    ))
+                }
+            }
+        }
+        Ok(mix)
+    }
+
+    /// The CLI spelling (`none` when empty).
+    pub fn as_string(&self) -> String {
+        let mut parts = Vec::new();
+        if self.deny {
+            parts.push("deny");
+        }
+        if self.frame {
+            parts.push("frame");
+        }
+        if self.cap {
+            parts.push("cap");
+        }
+        if parts.is_empty() {
+            "none".to_owned()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+/// A full generator configuration: the identity of one corpus scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// The determinism seed.
+    pub seed: u64,
+    /// Target service count (clamped per profile to keep plan spaces
+    /// tractable; the emitted count is exact).
+    pub services: usize,
+    /// The topology family.
+    pub profile: Profile,
+    /// Arm a deterministic fault schedule (`faults { … }` block).
+    pub faults: bool,
+    /// The policy layers.
+    pub policies: PolicyMix,
+}
+
+impl GenConfig {
+    /// The exact `sufs gen` invocation reproducing this scenario. The
+    /// generator embeds it as the first comment line of the output and
+    /// CI replays it to prove the committed corpus is regenerable.
+    pub fn command_line(&self) -> String {
+        let mut cmd = format!(
+            "sufs gen --profile {} --services {} --seed {} --policies {}",
+            self.profile,
+            self.services,
+            self.seed,
+            self.policies.as_string()
+        );
+        if self.faults {
+            cmd.push_str(" --faults");
+        }
+        cmd
+    }
+}
+
+/// The standard corpus cell for `(profile, index)`: how `sufs gen
+/// --corpus` (and the regeneration check in CI) derives each scenario's
+/// knobs from its index. Pure and deterministic.
+pub fn corpus_config(profile: Profile, index: u64) -> GenConfig {
+    let policies = match index % 8 {
+        0 => PolicyMix::default(),
+        1 => PolicyMix {
+            deny: true,
+            ..Default::default()
+        },
+        2 => PolicyMix {
+            frame: true,
+            ..Default::default()
+        },
+        3 => PolicyMix {
+            cap: true,
+            ..Default::default()
+        },
+        4 => PolicyMix {
+            deny: true,
+            cap: true,
+            ..Default::default()
+        },
+        5 => PolicyMix {
+            deny: true,
+            frame: true,
+            ..Default::default()
+        },
+        6 => PolicyMix {
+            frame: true,
+            cap: true,
+            ..Default::default()
+        },
+        _ => PolicyMix {
+            deny: true,
+            frame: true,
+            cap: true,
+        },
+    };
+    GenConfig {
+        seed: index,
+        services: 3 + (index as usize % 6),
+        profile,
+        faults: index.is_multiple_of(5),
+        policies,
+    }
+}
+
+/// A generated scenario plus the structural facts the conformance
+/// harness needs to build a run file for it.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The `.sufs` scenario text.
+    pub scenario: String,
+    /// Client names, in declaration order.
+    pub clients: Vec<String>,
+    /// Emitted service count.
+    pub services: usize,
+    /// Emitted policy-definition count.
+    pub policies: usize,
+    /// Distinct request ids in the topology.
+    pub requests: usize,
+    /// Whether a `faults { … }` block was emitted.
+    pub has_faults: bool,
+}
+
+/// One request id served by a group of interchangeable variants.
+struct Group {
+    id: u32,
+    prefix: String,
+    children: Vec<u32>,
+    variants: usize,
+}
+
+/// What a client looks like before rendering: the request ids it opens.
+struct ClientSpec {
+    name: String,
+    opens: Vec<u32>,
+}
+
+/// Distributes `total` units over `groups` slots, each at least 1 and
+/// at most `cap`, round-robin from the front. Deterministic.
+fn distribute(total: usize, groups: usize, cap: usize) -> Vec<usize> {
+    let mut out = vec![1usize; groups];
+    let mut left = total.saturating_sub(groups);
+    let mut i = 0;
+    while left > 0 && out.iter().any(|&v| v < cap) {
+        if out[i] < cap {
+            out[i] += 1;
+            left -= 1;
+        }
+        i = (i + 1) % groups;
+    }
+    out
+}
+
+/// Generates the scenario text for `cfg`. Pure: byte-identical output
+/// for equal configurations.
+pub fn generate(cfg: &GenConfig) -> Generated {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f5_u64.wrapping_mul(cfg.profile as u64 + 1));
+    let (groups, clients) = build_topology(cfg, &mut rng);
+
+    // Rogue placement: the deny rogue is the last variant of the last
+    // group with at least two variants; the framing rogue is variant 1
+    // of the first such group (skipped if it would collide with the
+    // deny rogue). Variant 0 of every group stays honest, so the
+    // all-honest assignment is always a valid plan.
+    let deny_rogue: Option<(u32, usize)> = cfg
+        .policies
+        .deny
+        .then(|| {
+            groups
+                .iter()
+                .rev()
+                .find(|g| g.variants >= 2)
+                .map(|g| (g.id, g.variants - 1))
+        })
+        .flatten();
+    let frame_rogue: Option<(u32, usize)> = cfg
+        .policies
+        .frame
+        .then(|| {
+            groups
+                .iter()
+                .find(|g| g.variants >= 2)
+                .map(|g| (g.id, 1))
+                .filter(|slot| Some(*slot) != deny_rogue)
+        })
+        .flatten();
+
+    let mut text = String::new();
+    text.push_str(&format!("// Generated by `{}`.\n", cfg.command_line()));
+    text.push_str(&format!(
+        "// {} topology: {} service(s) in {} provider group(s) over {} request id(s).\n",
+        cfg.profile,
+        groups.iter().map(|g| g.variants).sum::<usize>(),
+        groups.len(),
+        groups.len(),
+    ));
+    text.push_str("// Deterministic: the same invocation reproduces this file byte for byte.\n\n");
+
+    let mut policies = 0;
+    if cfg.policies.deny {
+        text.push_str(
+            "policy deny_probe {\n  start q0;\n  offending bad;\n  q0 -- probe -> bad;\n}\n\n",
+        );
+        policies += 1;
+    }
+    if cfg.policies.frame {
+        text.push_str(
+            "policy once_wlog {\n  start q0;\n  offending bad;\n  q0 -- wlog -> w1;\n  \
+             w1 -- wlog -> bad;\n}\n\n",
+        );
+        policies += 1;
+    }
+
+    if cfg.faults {
+        text.push_str(&format!(
+            "faults {{\n  crash 0.01;\n  drop 0.05;\n  max_crashes 1;\n  timeout 12;\n  \
+             retries 2;\n  seed {};\n}}\n\n",
+            cfg.seed % 97 + 1
+        ));
+    }
+
+    for c in &clients {
+        text.push_str(&render_client(c, cfg));
+        text.push('\n');
+    }
+
+    let mut services = 0;
+    for g in &groups {
+        for v in 0..g.variants {
+            let rogue_probe = deny_rogue == Some((g.id, v));
+            let rogue_wlog = frame_rogue == Some((g.id, v));
+            text.push_str(&render_service(
+                cfg,
+                g,
+                v,
+                rogue_probe,
+                rogue_wlog,
+                &mut rng,
+            ));
+            text.push('\n');
+            services += 1;
+        }
+    }
+
+    Generated {
+        scenario: text,
+        clients: clients.iter().map(|c| c.name.clone()).collect(),
+        services,
+        policies,
+        requests: groups.len(),
+        has_faults: cfg.faults,
+    }
+}
+
+/// Builds the request-id graph and client list for a profile. Request
+/// ids are assigned 1..=K in group order.
+fn build_topology(cfg: &GenConfig, rng: &mut StdRng) -> (Vec<Group>, Vec<ClientSpec>) {
+    let n = cfg.services.clamp(3, 9);
+    match cfg.profile {
+        Profile::Pipeline => {
+            // Tiers t1 → t2 [→ t3]; tier i serves request i and opens
+            // request i+1.
+            let depth = if n >= 6 { 3 } else { 2 };
+            let variants = distribute(n, depth, 3);
+            let groups = (0..depth)
+                .map(|i| Group {
+                    id: i as u32 + 1,
+                    prefix: format!("t{}", i + 1),
+                    children: if i + 1 < depth {
+                        vec![i as u32 + 2]
+                    } else {
+                        vec![]
+                    },
+                    variants: variants[i],
+                })
+                .collect();
+            let clients = vec![ClientSpec {
+                name: "c0".to_owned(),
+                opens: vec![1],
+            }];
+            (groups, clients)
+        }
+        Profile::Tree => {
+            // A root with two children; a grandchild under the first
+            // child when the budget allows without blowing up the plan
+            // space (candidates = services^requests).
+            let grandchild = (5..=6).contains(&n);
+            let nodes = if grandchild { 4 } else { 3 };
+            let variants = distribute(n, nodes, 3);
+            let mut groups = vec![
+                Group {
+                    id: 1,
+                    prefix: "root".to_owned(),
+                    children: vec![2, 3],
+                    variants: variants[0],
+                },
+                Group {
+                    id: 2,
+                    prefix: "left".to_owned(),
+                    children: if grandchild { vec![4] } else { vec![] },
+                    variants: variants[1],
+                },
+                Group {
+                    id: 3,
+                    prefix: "right".to_owned(),
+                    children: vec![],
+                    variants: variants[2],
+                },
+            ];
+            if grandchild {
+                groups.push(Group {
+                    id: 4,
+                    prefix: "deep".to_owned(),
+                    children: vec![],
+                    variants: variants[3],
+                });
+            }
+            let clients = vec![ClientSpec {
+                name: "c0".to_owned(),
+                opens: vec![1],
+            }];
+            (groups, clients)
+        }
+        Profile::Star => {
+            // A hub serving request 1 fans out to two leaf groups.
+            let variants = distribute(n, 3, 3);
+            let groups = vec![
+                Group {
+                    id: 1,
+                    prefix: "hub".to_owned(),
+                    children: vec![2, 3],
+                    variants: variants[0],
+                },
+                Group {
+                    id: 2,
+                    prefix: "leaf1".to_owned(),
+                    children: vec![],
+                    variants: variants[1],
+                },
+                Group {
+                    id: 3,
+                    prefix: "leaf2".to_owned(),
+                    children: vec![],
+                    variants: variants[2],
+                },
+            ];
+            let clients = vec![ClientSpec {
+                name: "c0".to_owned(),
+                opens: vec![1],
+            }];
+            (groups, clients)
+        }
+        Profile::Mesh => {
+            // A flat pool of provider groups shared by several clients;
+            // plan spaces stay small because nothing nests.
+            let pool = (n / 3).clamp(2, 3);
+            let variants = distribute(n, pool, 3);
+            let groups: Vec<Group> = (0..pool)
+                .map(|i| Group {
+                    id: i as u32 + 1,
+                    prefix: format!("svc{}", i + 1),
+                    children: vec![],
+                    variants: variants[i],
+                })
+                .collect();
+            let nclients = 2 + (rng.gen_range(0..2usize));
+            let clients = (0..nclients)
+                .map(|i| {
+                    let first = (i % pool) as u32 + 1;
+                    let mut opens = vec![first];
+                    if rng.gen_bool(0.5) && pool > 1 {
+                        let second = (first as usize % pool) as u32 + 1;
+                        opens.push(second);
+                    }
+                    ClientSpec {
+                        name: format!("c{i}"),
+                        opens,
+                    }
+                })
+                .collect();
+            (groups, clients)
+        }
+    }
+}
+
+/// The client-side conversation of request `id`.
+fn conversation(id: u32) -> String {
+    format!("int[q{id} -> eps]; ext[ok{id} -> eps | no{id} -> eps]")
+}
+
+/// An `open` of request `id` with an optional `phi` policy.
+fn open_request(id: u32, phi: Option<&str>) -> String {
+    match phi {
+        Some(p) => format!("open {id} phi {p} {{ {} }}", conversation(id)),
+        None => format!("open {id} {{ {} }}", conversation(id)),
+    }
+}
+
+fn render_client(c: &ClientSpec, cfg: &GenConfig) -> String {
+    let mut opens = Vec::new();
+    for (i, &id) in c.opens.iter().enumerate() {
+        let phi = (cfg.policies.deny && i == 0).then_some("deny_probe");
+        opens.push(open_request(id, phi));
+    }
+    let body = opens.join(";\n    ");
+    if cfg.policies.frame {
+        format!(
+            "client {} {{\n  frame once_wlog [\n    {body}\n  ]\n}}\n",
+            c.name
+        )
+    } else {
+        format!("client {} {{\n  {body}\n}}\n", c.name)
+    }
+}
+
+/// Renders one provider variant of a group: receive the request, do
+/// some work (events, calls to child groups), reply.
+fn render_service(
+    cfg: &GenConfig,
+    g: &Group,
+    variant: usize,
+    rogue_probe: bool,
+    rogue_wlog: bool,
+    rng: &mut StdRng,
+) -> String {
+    let name = format!("{}_{}", g.prefix, (b'a' + variant as u8) as char);
+    let mut items: Vec<String> = vec![format!("ext[q{} -> eps]", g.id)];
+    // Work events. Variant 0 is always honest and silent on policed
+    // events; later variants draw a little noise from the seed stream.
+    if variant > 0 {
+        for ev in ["#step", "#audit"] {
+            if rng.gen_bool(0.4) {
+                items.push(ev.to_owned());
+            }
+        }
+        if cfg.policies.frame && !rogue_wlog && rng.gen_bool(0.3) {
+            items.push("#wlog".to_owned());
+        }
+    }
+    if rogue_probe {
+        items.push("#probe".to_owned());
+    }
+    if rogue_wlog {
+        items.push("#wlog".to_owned());
+        items.push("#wlog".to_owned());
+    }
+    for &child in &g.children {
+        items.push(open_request(child, None));
+    }
+    items.push(format!("int[ok{} -> eps | no{} -> eps]", g.id, g.id));
+    // Bounded capacity on some non-canonical variants.
+    let cap = if cfg.policies.cap && variant > 0 && rng.gen_bool(0.5) {
+        Some(1 + rng.gen_range(0..2usize))
+    } else {
+        None
+    };
+    let cap_txt = cap.map(|c| format!(" cap {c}")).unwrap_or_default();
+    format!(
+        "service {name}{cap_txt} {{\n  {}\n}}\n",
+        items.join(";\n  ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_config() {
+        for profile in PROFILES {
+            let cfg = corpus_config(profile, 11);
+            assert_eq!(generate(&cfg).scenario, generate(&cfg).scenario);
+        }
+    }
+
+    #[test]
+    fn distribute_respects_bounds() {
+        assert_eq!(distribute(7, 3, 3), vec![3, 2, 2]);
+        assert_eq!(distribute(3, 3, 3), vec![1, 1, 1]);
+        assert_eq!(distribute(20, 2, 3), vec![3, 3]);
+    }
+
+    #[test]
+    fn command_line_round_trips() {
+        let cfg = corpus_config(Profile::Star, 7);
+        let cmd = cfg.command_line();
+        assert!(cmd.starts_with("sufs gen --profile star"));
+        assert!(cmd.contains("--seed 7"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Scenario corpus at scale: a seeded topology **generator** plus a
+//! record/replay **conformance harness**.
+//!
+//! The crate has two halves, wired to the `sufs gen` and `sufs replay`
+//! subcommands:
+//!
+//! * [`gen`] derives well-formed `.sufs` scenario text from a seed and
+//!   a topology profile (`mesh`, `tree`, `pipeline`, `star`), with
+//!   optional policy layers and fault schedules — deterministically,
+//!   so a committed corpus is regenerable byte for byte.
+//! * [`runfile`] defines the `.sufsrun` JSON scenario-run format
+//!   (steps, expected verdicts, golden transcripts) and [`replay`]
+//!   executes it: in process for lint/plan/run steps, against a
+//!   lazily-spawned live broker for the broker leg, with every `plan`
+//!   step doubling as an enumerative-vs-compositional differential
+//!   check.
+//!
+//! See `docs/SCENARIOS.md` for the user-facing reference.
+
+pub mod gen;
+pub mod replay;
+pub mod runfile;
+
+pub use gen::{corpus_config, generate, GenConfig, Generated, PolicyMix, Profile, PROFILES};
+pub use replay::{replay_path, FileOutcome, ReplayOptions, ReplaySummary};
+pub use runfile::{Expect, Op, RunFile, RunFileError, Step, SCHEMA_VERSION};

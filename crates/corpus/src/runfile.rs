@@ -1,0 +1,539 @@
+//! The `.sufsrun` scenario-run format.
+//!
+//! A run file is a JSON document describing how one `.sufs` scenario is
+//! exercised end to end: a sequence of steps (lint, plan, run, broker
+//! publish/plan/run, wait-conditions), each with optional *expected
+//! verdicts* (error counts, valid-plan counts, secure/unfailing flags)
+//! and a *golden transcript* — the canonicalized output the step must
+//! reproduce byte for byte on replay.
+//!
+//! The schema is strict: unknown top-level keys, step keys, expectation
+//! keys, or operations are parse errors, so a typo in a hand-edited run
+//! file fails loudly instead of silently skipping an assertion. Files
+//! are written by a stable pretty-printer, so `--record` produces
+//! minimal diffs.
+
+use std::fmt;
+
+use sufs_broker::json::{self, escape, Json};
+
+/// The current `.sufsrun` schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A step operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Lint the scenario in process; transcript = canonical diagnostics.
+    Lint,
+    /// Synthesize plans for one client with *both* engines in process;
+    /// replay fails on any divergence. Transcript = valid-plan summary.
+    Plan,
+    /// Execute a seeded batch for one client; transcript = the
+    /// `BatchSummary` line plus the secure/unfailing verdict.
+    Run,
+    /// Publish the scenario's services and policies to the live broker.
+    BrokerPublish,
+    /// Wait-condition: poll the broker until its repository holds the
+    /// expected number of services.
+    Wait,
+    /// Synthesize remotely with both engines; replay fails if the
+    /// broker's answer diverges across engines *or* from the last
+    /// in-process `plan` transcript for the same client.
+    BrokerPlan,
+    /// A seeded single run on the live broker.
+    BrokerRun,
+}
+
+impl Op {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Lint => "lint",
+            Op::Plan => "plan",
+            Op::Run => "run",
+            Op::BrokerPublish => "broker_publish",
+            Op::Wait => "wait",
+            Op::BrokerPlan => "broker_plan",
+            Op::BrokerRun => "broker_run",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Op> {
+        match s {
+            "lint" => Some(Op::Lint),
+            "plan" => Some(Op::Plan),
+            "run" => Some(Op::Run),
+            "broker_publish" => Some(Op::BrokerPublish),
+            "wait" => Some(Op::Wait),
+            "broker_plan" => Some(Op::BrokerPlan),
+            "broker_run" => Some(Op::BrokerRun),
+            _ => None,
+        }
+    }
+
+    /// Whether the step needs a live broker.
+    pub fn is_broker(self) -> bool {
+        matches!(
+            self,
+            Op::BrokerPublish | Op::Wait | Op::BrokerPlan | Op::BrokerRun
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Expected verdicts for one step. All fields optional; absent fields
+/// assert nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Expect {
+    /// Exact error-severity diagnostic count (lint).
+    pub errors: Option<u64>,
+    /// Lower bound on error-severity diagnostics (lint; for
+    /// intentional-failure scenarios whose exact count may evolve).
+    pub min_errors: Option<u64>,
+    /// Exact valid-plan count (plan / broker_plan).
+    pub valid: Option<u64>,
+    /// Lower bound on valid plans (plan / broker_plan).
+    pub min_valid: Option<u64>,
+    /// `BatchSummary::is_secure` must equal this (run).
+    pub secure: Option<bool>,
+    /// `BatchSummary::is_unfailing` must equal this (run).
+    pub unfailing: Option<bool>,
+    /// The step must fail with a structured broker error of this kind
+    /// (e.g. `no_valid_plan`); success is then a replay failure.
+    pub error: Option<String>,
+}
+
+impl Expect {
+    pub fn is_empty(&self) -> bool {
+        *self == Expect::default()
+    }
+}
+
+/// One step of a run file.
+#[derive(Debug, Clone, Default)]
+pub struct Step {
+    pub op: Option<Op>,
+    /// Client name (plan / run / broker_plan / broker_run).
+    pub client: Option<String>,
+    /// Batch size (run); defaults to 8.
+    pub runs: Option<u64>,
+    /// Determinism seed (run / broker_run); defaults to 0.
+    pub seed: Option<u64>,
+    /// Committed (demonic) choice instead of angelic (run/broker_run).
+    pub committed: Option<bool>,
+    /// Arm plan failover from a recovery table (run).
+    pub recover: Option<bool>,
+    /// Wait target: broker repository size (wait).
+    pub services: Option<u64>,
+    pub expect: Expect,
+    /// The golden transcript; empty until recorded.
+    pub transcript: Vec<String>,
+}
+
+impl Step {
+    pub fn new(op: Op) -> Step {
+        Step {
+            op: Some(op),
+            ..Step::default()
+        }
+    }
+
+    /// The operation; run files always carry one (enforced at parse).
+    pub fn op(&self) -> Op {
+        self.op.expect("step without op")
+    }
+}
+
+/// A parsed `.sufsrun` document.
+#[derive(Debug, Clone)]
+pub struct RunFile {
+    pub schema_version: u64,
+    /// Path of the `.sufs` scenario, relative to the run file's
+    /// directory.
+    pub scenario: String,
+    /// Provenance: the exact `sufs gen` invocation for generated
+    /// scenarios, absent for hand-written ones.
+    pub generator: Option<String>,
+    pub steps: Vec<Step>,
+}
+
+/// A run-file parse/validation error.
+#[derive(Debug, Clone)]
+pub struct RunFileError(pub String);
+
+impl fmt::Display for RunFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RunFileError {}
+
+fn err(msg: impl Into<String>) -> RunFileError {
+    RunFileError(msg.into())
+}
+
+fn want_u64(v: &Json, key: &str) -> Result<u64, RunFileError> {
+    v.as_u64()
+        .ok_or_else(|| err(format!("`{key}` must be a non-negative integer")))
+}
+
+fn want_bool(v: &Json, key: &str) -> Result<bool, RunFileError> {
+    v.as_bool()
+        .ok_or_else(|| err(format!("`{key}` must be a boolean")))
+}
+
+fn want_str(v: &Json, key: &str) -> Result<String, RunFileError> {
+    v.as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| err(format!("`{key}` must be a string")))
+}
+
+impl RunFile {
+    /// Parses and validates a run-file document. Strict: unknown keys
+    /// and operations are errors.
+    pub fn parse(text: &str) -> Result<RunFile, RunFileError> {
+        let root = json::parse(text).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let Json::Obj(fields) = &root else {
+            return Err(err("run file must be a JSON object"));
+        };
+        let mut file = RunFile {
+            schema_version: 0,
+            scenario: String::new(),
+            generator: None,
+            steps: Vec::new(),
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "schema_version" => file.schema_version = want_u64(value, key)?,
+                "scenario" => file.scenario = want_str(value, key)?,
+                "generator" => file.generator = Some(want_str(value, key)?),
+                "steps" => {
+                    let arr = value
+                        .as_arr()
+                        .ok_or_else(|| err("`steps` must be an array"))?;
+                    for (i, step) in arr.iter().enumerate() {
+                        file.steps
+                            .push(parse_step(step).map_err(|e| err(format!("steps[{i}]: {e}")))?);
+                    }
+                }
+                other => return Err(err(format!("unknown run-file key `{other}`"))),
+            }
+        }
+        if file.schema_version != SCHEMA_VERSION {
+            return Err(err(format!(
+                "unsupported schema_version {} (this build understands {SCHEMA_VERSION})",
+                file.schema_version
+            )));
+        }
+        if file.scenario.is_empty() {
+            return Err(err("missing `scenario`"));
+        }
+        if file.steps.is_empty() {
+            return Err(err("`steps` must be a non-empty array"));
+        }
+        Ok(file)
+    }
+
+    /// Whether any step needs a live broker.
+    pub fn needs_broker(&self) -> bool {
+        self.steps.iter().any(|s| s.op().is_broker())
+    }
+
+    /// Serializes back to the canonical pretty-printed form `--record`
+    /// writes. `parse ∘ serialize` is the identity on the structure.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!(
+            "  \"scenario\": \"{}\",\n",
+            escape(&self.scenario)
+        ));
+        if let Some(g) = &self.generator {
+            out.push_str(&format!("  \"generator\": \"{}\",\n", escape(g)));
+        }
+        out.push_str("  \"steps\": [\n");
+        for (i, step) in self.steps.iter().enumerate() {
+            serialize_step(&mut out, step);
+            out.push_str(if i + 1 < self.steps.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn parse_step(value: &Json) -> Result<Step, RunFileError> {
+    let Json::Obj(fields) = value else {
+        return Err(err("step must be an object"));
+    };
+    let mut step = Step::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "op" => {
+                let name = want_str(v, key)?;
+                step.op =
+                    Some(Op::parse(&name).ok_or_else(|| err(format!("unknown op `{name}`")))?);
+            }
+            "client" => step.client = Some(want_str(v, key)?),
+            "runs" => step.runs = Some(want_u64(v, key)?),
+            "seed" => step.seed = Some(want_u64(v, key)?),
+            "committed" => step.committed = Some(want_bool(v, key)?),
+            "recover" => step.recover = Some(want_bool(v, key)?),
+            "services" => step.services = Some(want_u64(v, key)?),
+            "expect" => step.expect = parse_expect(v)?,
+            "transcript" => {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| err("`transcript` must be an array of strings"))?;
+                for line in arr {
+                    step.transcript.push(want_str(line, "transcript line")?);
+                }
+            }
+            other => return Err(err(format!("unknown step key `{other}`"))),
+        }
+    }
+    let op = step.op.ok_or_else(|| err("step missing `op`"))?;
+    let needs_client = matches!(op, Op::Plan | Op::Run | Op::BrokerPlan | Op::BrokerRun);
+    if needs_client && step.client.is_none() {
+        return Err(err(format!("op `{op}` requires a `client`")));
+    }
+    if op == Op::Wait && step.services.is_none() {
+        return Err(err("op `wait` requires `services`"));
+    }
+    Ok(step)
+}
+
+fn parse_expect(value: &Json) -> Result<Expect, RunFileError> {
+    let Json::Obj(fields) = value else {
+        return Err(err("`expect` must be an object"));
+    };
+    let mut expect = Expect::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "errors" => expect.errors = Some(want_u64(v, key)?),
+            "min_errors" => expect.min_errors = Some(want_u64(v, key)?),
+            "valid" => expect.valid = Some(want_u64(v, key)?),
+            "min_valid" => expect.min_valid = Some(want_u64(v, key)?),
+            "secure" => expect.secure = Some(want_bool(v, key)?),
+            "unfailing" => expect.unfailing = Some(want_bool(v, key)?),
+            "error" => expect.error = Some(want_str(v, key)?),
+            other => return Err(err(format!("unknown expect key `{other}`"))),
+        }
+    }
+    Ok(expect)
+}
+
+fn serialize_step(out: &mut String, step: &Step) {
+    out.push_str("    {\n");
+    let mut lines: Vec<String> = vec![format!("\"op\": \"{}\"", step.op())];
+    if let Some(c) = &step.client {
+        lines.push(format!("\"client\": \"{}\"", escape(c)));
+    }
+    if let Some(r) = step.runs {
+        lines.push(format!("\"runs\": {r}"));
+    }
+    if let Some(s) = step.seed {
+        lines.push(format!("\"seed\": {s}"));
+    }
+    if let Some(c) = step.committed {
+        lines.push(format!("\"committed\": {c}"));
+    }
+    if let Some(r) = step.recover {
+        lines.push(format!("\"recover\": {r}"));
+    }
+    if let Some(s) = step.services {
+        lines.push(format!("\"services\": {s}"));
+    }
+    if !step.expect.is_empty() {
+        lines.push(format!("\"expect\": {}", serialize_expect(&step.expect)));
+    }
+    if step.transcript.is_empty() {
+        lines.push("\"transcript\": []".to_owned());
+    } else {
+        let mut t = String::from("\"transcript\": [\n");
+        for (i, line) in step.transcript.iter().enumerate() {
+            t.push_str(&format!("        \"{}\"", escape(line)));
+            t.push_str(if i + 1 < step.transcript.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        t.push_str("      ]");
+        lines.push(t);
+    }
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("      ");
+        out.push_str(line);
+        out.push_str(if i + 1 < lines.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    }");
+}
+
+fn serialize_expect(expect: &Expect) -> String {
+    let mut parts = Vec::new();
+    if let Some(n) = expect.errors {
+        parts.push(format!("\"errors\": {n}"));
+    }
+    if let Some(n) = expect.min_errors {
+        parts.push(format!("\"min_errors\": {n}"));
+    }
+    if let Some(n) = expect.valid {
+        parts.push(format!("\"valid\": {n}"));
+    }
+    if let Some(n) = expect.min_valid {
+        parts.push(format!("\"min_valid\": {n}"));
+    }
+    if let Some(b) = expect.secure {
+        parts.push(format!("\"secure\": {b}"));
+    }
+    if let Some(b) = expect.unfailing {
+        parts.push(format!("\"unfailing\": {b}"));
+    }
+    if let Some(e) = &expect.error {
+        parts.push(format!("\"error\": \"{}\"", escape(e)));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Builds the standard run-file skeleton for a generated scenario: the
+/// step sequence every corpus entry is exercised with, expectations
+/// filled in from the generator's structural facts and transcripts left
+/// empty for `sufs replay --record` to fill.
+pub fn skeleton(scenario_rel: &str, gen: &crate::gen::Generated, cmd: &str, seed: u64) -> RunFile {
+    let mut steps = Vec::new();
+    let mut lint = Step::new(Op::Lint);
+    lint.expect.errors = Some(0);
+    steps.push(lint);
+    for client in &gen.clients {
+        let mut plan = Step::new(Op::Plan);
+        plan.client = Some(client.clone());
+        plan.expect.min_valid = Some(1);
+        steps.push(plan);
+    }
+    for client in &gen.clients {
+        let mut run = Step::new(Op::Run);
+        run.client = Some(client.clone());
+        run.runs = Some(8);
+        run.seed = Some(seed);
+        run.committed = Some(true);
+        run.recover = Some(gen.has_faults);
+        run.expect.secure = Some(true);
+        if !gen.has_faults {
+            run.expect.unfailing = Some(true);
+        }
+        steps.push(run);
+    }
+    steps.push(Step::new(Op::BrokerPublish));
+    let mut wait = Step::new(Op::Wait);
+    wait.services = Some(gen.services as u64);
+    steps.push(wait);
+    for client in &gen.clients {
+        let mut plan = Step::new(Op::BrokerPlan);
+        plan.client = Some(client.clone());
+        plan.expect.min_valid = Some(1);
+        steps.push(plan);
+    }
+    let mut run = Step::new(Op::BrokerRun);
+    run.client = Some(gen.clients[0].clone());
+    run.seed = Some(seed);
+    run.committed = Some(true);
+    steps.push(run);
+    RunFile {
+        schema_version: SCHEMA_VERSION,
+        scenario: scenario_rel.to_owned(),
+        generator: Some(cmd.to_owned()),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunFile {
+        RunFile {
+            schema_version: SCHEMA_VERSION,
+            scenario: "mesh_0001.sufs".to_owned(),
+            generator: Some("sufs gen --profile mesh --services 4 --seed 1".to_owned()),
+            steps: vec![
+                {
+                    let mut s = Step::new(Op::Lint);
+                    s.expect.errors = Some(0);
+                    s.transcript = vec!["errors=0 warnings=1 infos=0".to_owned()];
+                    s
+                },
+                {
+                    let mut s = Step::new(Op::Plan);
+                    s.client = Some("c0".to_owned());
+                    s.expect.min_valid = Some(1);
+                    s.transcript = vec!["valid=2".to_owned(), "✓ 1->svc1_a".to_owned()];
+                    s
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let file = sample();
+        let text = file.serialize();
+        let back = RunFile::parse(&text).expect("round-trip parse");
+        assert_eq!(back.scenario, file.scenario);
+        assert_eq!(back.generator, file.generator);
+        assert_eq!(back.steps.len(), file.steps.len());
+        assert_eq!(back.steps[0].expect, file.steps[0].expect);
+        assert_eq!(back.steps[1].transcript, file.steps[1].transcript);
+        // Serialization is stable: a second round trip is byte-identical.
+        assert_eq!(back.serialize(), text);
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let mut text = sample().serialize();
+        text = text.replace("\"scenario\"", "\"scenari0\"");
+        let e = RunFile::parse(&text).unwrap_err();
+        assert!(e.to_string().contains("unknown run-file key"), "{e}");
+
+        let bad_step = sample().serialize().replace("\"client\"", "\"cilent\"");
+        let e = RunFile::parse(&bad_step).unwrap_err();
+        assert!(e.to_string().contains("unknown step key"), "{e}");
+
+        let bad_expect = sample()
+            .serialize()
+            .replace("\"min_valid\"", "\"max_valid\"");
+        let e = RunFile::parse(&bad_expect).unwrap_err();
+        assert!(e.to_string().contains("unknown expect key"), "{e}");
+
+        let bad_op = sample()
+            .serialize()
+            .replace("\"op\": \"plan\"", "\"op\": \"pln\"");
+        let e = RunFile::parse(&bad_op).unwrap_err();
+        assert!(e.to_string().contains("unknown op"), "{e}");
+    }
+
+    #[test]
+    fn missing_required_fields_rejected() {
+        let e = RunFile::parse("{\"schema_version\": 1, \"scenario\": \"x\"}").unwrap_err();
+        assert!(e.to_string().contains("steps"), "{e}");
+        let e = RunFile::parse(
+            "{\"schema_version\": 1, \"scenario\": \"x\", \"steps\": [{\"op\": \"plan\"}]}",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("requires a `client`"), "{e}");
+        let e = RunFile::parse(
+            "{\"schema_version\": 2, \"scenario\": \"x\", \"steps\": [{\"op\": \"lint\"}]}",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("schema_version"), "{e}");
+    }
+}

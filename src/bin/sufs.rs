@@ -22,6 +22,11 @@
 //! sufs retract <location> --addr HOST:PORT
 //! sufs stats --addr HOST:PORT
 //! sufs shutdown --addr HOST:PORT
+//! sufs gen --profile mesh|tree|pipeline|star [--services N] [--seed S]
+//!          [--policies deny,frame,cap] [--faults] [--out FILE] [--runfile]
+//! sufs gen --corpus DIR [--count N]
+//! sufs replay <file|dir> [--record] [--filter SUB] [--jobs N]
+//!             [--no-broker] [--diff-out FILE]
 //! ```
 //!
 //! Flags accept both `--flag value` and `--flag=value`; flags a command
@@ -76,6 +81,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "retract" => done(cmd_retract(&args[1..])),
         "stats" => done(cmd_stats(&args[1..])),
         "shutdown" => done(cmd_shutdown(&args[1..])),
+        "gen" => done(cmd_gen(&args[1..])),
+        "replay" => done(cmd_replay(&args[1..])),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -112,7 +119,12 @@ fn usage() -> String {
      --addr HOST:PORT\n  \
      sufs retract <location> --addr HOST:PORT\n  \
      sufs stats --addr HOST:PORT\n  \
-     sufs shutdown --addr HOST:PORT"
+     sufs shutdown --addr HOST:PORT\n  \
+     sufs gen --profile mesh|tree|pipeline|star [--services N] [--seed S] \
+     [--policies deny,frame,cap] [--faults] [--out FILE] [--runfile]\n  \
+     sufs gen --corpus DIR [--count N]\n  \
+     sufs replay <file|dir> [--record] [--filter SUB] [--jobs N] \
+     [--no-broker] [--diff-out FILE]"
         .to_owned()
 }
 
@@ -951,6 +963,193 @@ fn cmd_shutdown(args: &[String]) -> Result<(), String> {
     let mut client = remote_client(&a)?;
     check_reply(client.shutdown().map_err(|e| e.to_string())?)?;
     println!("broker draining");
+    Ok(())
+}
+
+/// Generates a seeded scenario (or, with `--corpus`, the full standard
+/// corpus plus run-file skeletons).
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let a = parse_args(
+        args,
+        &[
+            "--profile",
+            "--services",
+            "--seed",
+            "--policies",
+            "--out",
+            "--corpus",
+            "--count",
+        ],
+        &["--faults", "--runfile"],
+    )?;
+    if !a.positional.is_empty() {
+        return Err(usage());
+    }
+
+    if let Some(dir) = a.value("--corpus") {
+        let count: u64 = a
+            .value("--count")
+            .map(|s| s.parse().map_err(|_| format!("bad count `{s}`")))
+            .transpose()?
+            .unwrap_or(130);
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let mut written = 0usize;
+        for profile in sufs_corpus::PROFILES {
+            for i in 0..count {
+                let cfg = sufs_corpus::corpus_config(profile, i);
+                let generated = sufs_corpus::generate(&cfg);
+                let stem = format!("{profile}_{i:04}");
+                let scenario_path = dir.join(format!("{stem}.sufs"));
+                std::fs::write(&scenario_path, &generated.scenario)
+                    .map_err(|e| format!("cannot write {}: {e}", scenario_path.display()))?;
+                let runfile = sufs_corpus::runfile::skeleton(
+                    &format!("{stem}.sufs"),
+                    &generated,
+                    &cfg.command_line(),
+                    cfg.seed,
+                );
+                let run_path = dir.join(format!("{stem}.sufsrun"));
+                std::fs::write(&run_path, runfile.serialize())
+                    .map_err(|e| format!("cannot write {}: {e}", run_path.display()))?;
+                written += 1;
+            }
+        }
+        println!(
+            "wrote {written} scenario(s) with run files under {} ({} per profile)",
+            dir.display(),
+            count
+        );
+        return Ok(());
+    }
+
+    let profile = match a.value("--profile") {
+        Some(s) => sufs_corpus::Profile::parse(s)
+            .ok_or_else(|| format!("bad profile `{s}` (expected mesh|tree|pipeline|star)"))?,
+        None => return Err("`sufs gen` needs --profile (or --corpus DIR)".to_owned()),
+    };
+    let services: usize = a
+        .value("--services")
+        .map(|s| s.parse().map_err(|_| format!("bad service count `{s}`")))
+        .transpose()?
+        .unwrap_or(4);
+    let seed: u64 = a
+        .value("--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let policies = sufs_corpus::PolicyMix::parse(a.value("--policies").unwrap_or(""))?;
+    let cfg = sufs_corpus::GenConfig {
+        seed,
+        services,
+        profile,
+        faults: a.has("--faults"),
+        policies,
+    };
+    let generated = sufs_corpus::generate(&cfg);
+
+    match a.value("--out") {
+        None => {
+            if a.has("--runfile") {
+                return Err(
+                    "`--runfile` needs `--out` (the run file is written next to it)".to_owned(),
+                );
+            }
+            print!("{}", generated.scenario);
+        }
+        Some(out) => {
+            let out = std::path::Path::new(out);
+            std::fs::write(out, &generated.scenario)
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            println!(
+                "wrote {} ({} service(s), {} client(s))",
+                out.display(),
+                generated.services,
+                generated.clients.len()
+            );
+            if a.has("--runfile") {
+                let scenario_rel = out
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .ok_or_else(|| format!("bad output path {}", out.display()))?;
+                let runfile = sufs_corpus::runfile::skeleton(
+                    scenario_rel,
+                    &generated,
+                    &cfg.command_line(),
+                    cfg.seed,
+                );
+                let run_path = out.with_extension("sufsrun");
+                std::fs::write(&run_path, runfile.serialize())
+                    .map_err(|e| format!("cannot write {}: {e}", run_path.display()))?;
+                println!(
+                    "wrote {} (record with `sufs replay --record`)",
+                    run_path.display()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays `.sufsrun` conformance files (or records their transcripts).
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let a = parse_args(
+        args,
+        &["--filter", "--jobs", "--diff-out"],
+        &["--record", "--no-broker"],
+    )?;
+    let [path] = a.positional.as_slice() else {
+        return Err(usage());
+    };
+    let jobs: usize = match a.value("--jobs") {
+        Some(s) => {
+            let n: usize = s.parse().map_err(|_| format!("bad job count `{s}`"))?;
+            if n == 0 {
+                sufs_core::pool::default_jobs()
+            } else {
+                n
+            }
+        }
+        None => 1,
+    };
+    let opts = sufs_corpus::ReplayOptions {
+        record: a.has("--record"),
+        no_broker: a.has("--no-broker"),
+        filter: a.value("--filter").map(str::to_owned),
+        jobs,
+    };
+    let summary = sufs_corpus::replay_path(std::path::Path::new(path), &opts)?;
+    for file in &summary.files {
+        if !file.passed() {
+            println!("FAIL {}", file.path.display());
+            for failure in &file.failures {
+                println!("  {failure}");
+            }
+        }
+    }
+    if let Some(out) = a.value("--diff-out") {
+        if summary.failed() > 0 {
+            std::fs::write(out, summary.diff_report())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("transcript diff written to {out}");
+        }
+    }
+    let updated = if opts.record {
+        format!(", {} recorded", summary.updated())
+    } else {
+        String::new()
+    };
+    println!(
+        "replayed {} file(s): {} passed, {} failed ({} step(s){updated})",
+        summary.files.len(),
+        summary.passed(),
+        summary.failed(),
+        summary.steps()
+    );
+    if summary.failed() > 0 {
+        return Err(format!("{} run file(s) failed", summary.failed()));
+    }
     Ok(())
 }
 

@@ -562,3 +562,62 @@ fn mermaid_flag_emits_a_sequence_diagram() {
     assert!(stdout.contains("sequenceDiagram"));
     assert!(stdout.contains("c1-->>br: open r1"));
 }
+
+#[test]
+fn gen_is_deterministic_and_parses_flags_strictly() {
+    // `--flag value` and `--flag=value` are interchangeable, and the
+    // output is a pure function of the configuration.
+    let (a, _, ok) = sufs(&["gen", "--profile", "star", "--services", "6", "--seed", "7"]);
+    assert!(ok);
+    let (b, _, ok) = sufs(&["gen", "--profile=star", "--services=6", "--seed=7"]);
+    assert!(ok);
+    assert_eq!(a, b, "flag spellings changed the scenario");
+    assert!(
+        a.starts_with("// Generated by `sufs gen --profile star"),
+        "{a}"
+    );
+    assert!(a.contains("service hub_a"), "{a}");
+
+    // Unknown flags are rejected, not ignored.
+    let (_, stderr, ok) = sufs(&["gen", "--profile", "star", "--sevrices", "6"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--sevrices`"), "{stderr}");
+
+    // Bad values are diagnosed.
+    let (_, stderr, ok) = sufs(&["gen", "--profile", "ring"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad profile `ring`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["gen", "--profile", "star", "--policies", "deny,frmae"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy layer `frmae`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["gen"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs --profile"), "{stderr}");
+}
+
+#[test]
+fn replay_parses_flags_strictly_and_reports_failures() {
+    let (_, stderr, ok) = sufs(&["replay", "scenarios/runs", "--recird"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--recird`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["replay", "scenarios/runs", "--jobs", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad job count `many`"), "{stderr}");
+    // `--record` is a switch: a value is an error.
+    let (_, stderr, ok) = sufs(&["replay", "scenarios/runs", "--record=yes"]);
+    assert!(!ok);
+    assert!(stderr.contains("takes no value"), "{stderr}");
+    // An empty selection is an error, not a silent pass.
+    let (_, stderr, ok) = sufs(&["replay", "scenarios/runs", "--filter", "no-such-file"]);
+    assert!(!ok);
+    assert!(stderr.contains("match `no-such-file`"), "{stderr}");
+
+    // A single legacy golden replays clean through the CLI (in-process
+    // legs only: the broker leg is covered by tests/replay.rs and CI).
+    let (stdout, stderr, ok) = sufs(&["replay", "scenarios/runs/lint_demo.sufsrun", "--no-broker"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("replayed 1 file(s): 1 passed, 0 failed"),
+        "{stdout}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Record/replay conformance harness tests: recording fills
+//! transcripts, replay is deterministic, mismatches are detected, and
+//! the committed corpus and legacy golden files replay clean — broker
+//! leg included.
+
+use std::path::{Path, PathBuf};
+
+use sufs_corpus::{corpus_config, generate, replay_path, Profile, ReplayOptions};
+
+/// A unique scratch directory for one test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("sufs-replay-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Generates a few corpus cells into `dir` with empty transcripts.
+fn seed_runfiles(dir: &Path, cells: &[(Profile, u64)]) {
+    for &(profile, index) in cells {
+        let cfg = corpus_config(profile, index);
+        let generated = generate(&cfg);
+        let stem = format!("{profile}_{index:04}");
+        std::fs::write(dir.join(format!("{stem}.sufs")), &generated.scenario).expect("write sufs");
+        let runfile = sufs_corpus::runfile::skeleton(
+            &format!("{stem}.sufs"),
+            &generated,
+            &cfg.command_line(),
+            cfg.seed,
+        );
+        std::fs::write(dir.join(format!("{stem}.sufsrun")), runfile.serialize())
+            .expect("write sufsrun");
+    }
+}
+
+#[test]
+fn record_then_replay_round_trips() {
+    let scratch = Scratch::new("roundtrip");
+    seed_runfiles(
+        scratch.path(),
+        &[
+            (Profile::Mesh, 1),
+            (Profile::Star, 5),
+            (Profile::Pipeline, 10),
+        ],
+    );
+
+    let record = ReplayOptions {
+        record: true,
+        ..ReplayOptions::default()
+    };
+    let summary = replay_path(scratch.path(), &record).expect("record pass");
+    assert_eq!(summary.failed(), 0, "{}", summary.diff_report());
+    assert_eq!(summary.updated(), 3, "every file gains transcripts");
+
+    // Replaying the recorded transcripts passes and rewrites nothing.
+    let replay = ReplayOptions::default();
+    let summary = replay_path(scratch.path(), &replay).expect("replay pass");
+    assert_eq!(summary.failed(), 0, "{}", summary.diff_report());
+    // Every file runs the full skeleton: 4 fixed steps plus 3 per
+    // client (plan, run, broker_plan), with at least one client each.
+    assert!(summary.steps() >= 3 * 7, "suspiciously few steps replayed");
+
+    // Recording again is idempotent: nothing changes on disk.
+    let summary = replay_path(scratch.path(), &record).expect("re-record pass");
+    assert_eq!(summary.updated(), 0, "recording diverged across runs");
+}
+
+#[test]
+fn tampered_transcripts_and_scenarios_fail_replay() {
+    let scratch = Scratch::new("tamper");
+    seed_runfiles(scratch.path(), &[(Profile::Tree, 5)]);
+    let record = ReplayOptions {
+        record: true,
+        ..ReplayOptions::default()
+    };
+    replay_path(scratch.path(), &record).expect("record pass");
+
+    // Corrupt one golden line: replay must fail with a diff naming it.
+    let run_path = scratch.path().join("tree_0005.sufsrun");
+    let golden = std::fs::read_to_string(&run_path).expect("read runfile");
+    let tampered = golden.replace("\"valid=", "\"valid=9");
+    assert_ne!(golden, tampered, "tamper target not found");
+    std::fs::write(&run_path, &tampered).expect("write tampered");
+    let summary = replay_path(&run_path, &ReplayOptions::default()).expect("replay runs");
+    assert_eq!(summary.failed(), 1);
+    let report = summary.diff_report();
+    assert!(report.contains("transcript mismatch"), "{report}");
+    assert!(report.contains("valid=9"), "{report}");
+
+    // A behavioural change to the scenario (dropping the rogue's probe
+    // event) shifts the valid-plan set: the recorded golden transcript
+    // must catch it.
+    std::fs::write(&run_path, &golden).expect("restore runfile");
+    let sufs_path = scratch.path().join("tree_0005.sufs");
+    let scenario = std::fs::read_to_string(&sufs_path).expect("read scenario");
+    let edited = scenario.replace("#probe;\n", "");
+    assert_ne!(scenario, edited, "scenario has no probe to drop");
+    std::fs::write(&sufs_path, edited).expect("write scenario");
+    let summary = replay_path(&run_path, &ReplayOptions::default()).expect("replay runs");
+    assert_eq!(summary.failed(), 1, "behavioural drift not detected");
+}
+
+#[test]
+fn expectations_fail_even_in_record_mode() {
+    let scratch = Scratch::new("expect");
+    seed_runfiles(scratch.path(), &[(Profile::Star, 3)]);
+    let run_path = scratch.path().join("star_0003.sufsrun");
+    let text = std::fs::read_to_string(&run_path).expect("read runfile");
+    // Demand an exact valid-plan count that cannot hold.
+    let bad = text.replace("{\"min_valid\": 1}", "{\"valid\": 424242}");
+    assert_ne!(text, bad);
+    std::fs::write(&run_path, bad).expect("write runfile");
+    let record = ReplayOptions {
+        record: true,
+        ..ReplayOptions::default()
+    };
+    let summary = replay_path(&run_path, &record).expect("replay runs");
+    assert_eq!(summary.failed(), 1);
+    assert!(
+        summary
+            .diff_report()
+            .contains("expected 424242 valid plan(s)"),
+        "{}",
+        summary.diff_report()
+    );
+    // A failing file is never rewritten, even under --record.
+    assert_eq!(summary.updated(), 0);
+}
+
+#[test]
+fn filter_and_no_broker_narrow_the_run() {
+    let scratch = Scratch::new("filter");
+    seed_runfiles(scratch.path(), &[(Profile::Mesh, 4), (Profile::Star, 4)]);
+    let record = ReplayOptions {
+        record: true,
+        no_broker: true,
+        filter: Some("star".to_owned()),
+        jobs: 1,
+    };
+    let summary = replay_path(scratch.path(), &record).expect("record pass");
+    assert_eq!(summary.files.len(), 1, "filter selects one file");
+    assert!(summary.files[0].path.ends_with("star_0004.sufsrun"));
+    assert!(summary.files[0].skipped > 0, "broker steps were skipped");
+    let unmatched = ReplayOptions {
+        filter: Some("nothing-matches-this".to_owned()),
+        ..ReplayOptions::default()
+    };
+    assert!(replay_path(scratch.path(), &unmatched).is_err());
+}
+
+/// A sample of the committed corpus replays byte-identically, broker
+/// leg included — the full sweep runs in CI's conformance job.
+#[test]
+fn committed_corpus_sample_replays_clean() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/corpus");
+    let opts = ReplayOptions {
+        filter: Some("_000".to_owned()), // *_0000 .. *_0009: 40 files
+        jobs: 4,
+        ..ReplayOptions::default()
+    };
+    let summary = replay_path(&corpus, &opts).expect("corpus sample replays");
+    assert_eq!(summary.files.len(), 40);
+    assert_eq!(summary.failed(), 0, "{}", summary.diff_report());
+}
+
+/// The legacy hand-written scenarios stay pinned by their golden run
+/// files (two of them replayed here; the rest in CI).
+#[test]
+fn legacy_goldens_replay_clean() {
+    let runs = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/runs");
+    for name in ["hotel", "faulty"] {
+        let summary = replay_path(
+            &runs.join(format!("{name}.sufsrun")),
+            &ReplayOptions::default(),
+        )
+        .expect("legacy golden replays");
+        assert_eq!(summary.failed(), 0, "{name}: {}", summary.diff_report());
+    }
+}
