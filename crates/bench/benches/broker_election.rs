@@ -1,0 +1,230 @@
+//! Election benchmark (B10): what self-healing costs when nobody is
+//! on call, emitted as machine-readable `BENCH_broker_election.json`.
+//!
+//! Each repetition spawns a fresh 3-node cluster with `--election
+//! auto`, waits until every follower's heartbeat-fed peer view holds
+//! the full membership, kills the primary with no operator anywhere,
+//! and times kill → first quorum-acknowledged write on the elected
+//! successor. That window is the paper's bounded-unavailability claim
+//! measured end to end: detection (4 missed heartbeat ticks), the
+//! randomized candidacy delay, the canvass, promotion, the survivors'
+//! re-point, and the client's redirect chase all land inside it.
+//!
+//! Environment:
+//! * `SUFS_BENCH_SMOKE=1` — tiny workloads, for CI;
+//! * `SUFS_BENCH_BROKER_ELECTION_OUT=path` — where to write the JSON
+//!   (default `BENCH_broker_election.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use sufs_broker::{
+    AckMode, Broker, BrokerClient, BrokerConfig, BrokerHandle, ElectionMode, Json, ReconnectPolicy,
+};
+use sufs_hexpr::builder::*;
+use sufs_hexpr::Hist;
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sufs-bench-elect-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn responder() -> Hist {
+    recv("req", choose([("ok", eps()), ("no", eps())]))
+}
+
+fn node_config(dir: &Path, follow: Option<String>, seed: u64) -> BrokerConfig {
+    BrokerConfig {
+        state_dir: Some(dir.to_path_buf()),
+        snapshot_every: 64,
+        follow,
+        ack: AckMode::Quorum,
+        cluster_size: 3,
+        ack_timeout: Duration::from_millis(500),
+        follow_retry: Duration::from_millis(10),
+        replication_tick: Duration::from_millis(25),
+        election: ElectionMode::Auto,
+        election_timeout: Duration::from_millis(150),
+        election_seed: seed,
+        ..BrokerConfig::default()
+    }
+}
+
+fn repl_section(stats: &Json) -> Json {
+    stats.get("replication").cloned().unwrap_or_else(Json::obj)
+}
+
+fn stats_at(addr: SocketAddr) -> Option<Json> {
+    let mut c = BrokerClient::connect(addr).ok()?;
+    c.stats().ok()
+}
+
+/// Spawns primary + two followers and blocks until both followers have
+/// bootstrapped *and* learned each other's address — the precondition
+/// for any two survivors to elect without the third.
+fn spawn_cluster(rep: usize, seed: u64) -> (Vec<PathBuf>, Vec<BrokerHandle>) {
+    let dirs: Vec<PathBuf> = (0..3).map(|i| state_dir(&format!("r{rep}-n{i}"))).collect();
+    let primary = Broker::spawn(node_config(&dirs[0], None, seed)).expect("primary spawns");
+    let upstream = primary.addr().to_string();
+    let mut handles = vec![primary];
+    for dir in dirs.iter().skip(1) {
+        handles
+            .push(Broker::spawn(node_config(dir, Some(upstream.clone()), seed)).expect("follower"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let converged = handles.iter().skip(1).all(|h| {
+            stats_at(h.addr()).is_some_and(|stats| {
+                repl_section(&stats)
+                    .get("peers")
+                    .and_then(Json::as_arr)
+                    .is_some_and(|p| p.len() >= 2)
+            })
+        });
+        if converged {
+            return (dirs, handles);
+        }
+        assert!(Instant::now() < deadline, "peer views never converged");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One repetition: kill the primary, no operator anywhere, and time
+/// until a quorum-acknowledged write lands on whoever got elected.
+fn run_failover(rep: usize, seed: u64, service: &str) -> Json {
+    let (dirs, mut handles) = spawn_cluster(rep, seed);
+    let mut conn = BrokerClient::connect(handles[0].addr()).expect("connect");
+    let reply = conn.publish("seed", service, None).expect("seed publish");
+    assert_eq!(reply.bool_field("quorum"), Some(true), "seed not settled");
+    drop(conn);
+
+    let survivors: Vec<String> = handles
+        .iter()
+        .skip(1)
+        .map(|h| h.addr().to_string())
+        .collect();
+    let t = Instant::now();
+    handles.remove(0).kill();
+    let client = BrokerClient::connect_any(&survivors).expect("survivors reachable");
+    let mut client = client.with_reconnect(
+        ReconnectPolicy {
+            max_retries: 12,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            ..ReconnectPolicy::default()
+        }
+        .with_addrs(survivors.clone()),
+    );
+    let req = Json::obj()
+        .with("cmd", "publish")
+        .with("location", format!("fo{rep}"))
+        .with("service", service)
+        .with("req_id", format!("b10-{rep:03}"));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "rep {rep}: write never settled");
+        match client.request_retrying(&req) {
+            Ok(reply)
+                if reply.bool_field("ok") == Some(true)
+                    && reply.bool_field("quorum") == Some(true) =>
+            {
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let window_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // The winner's own detection→promotion time, from its metrics.
+    let election_ms = survivors
+        .iter()
+        .filter_map(|a| {
+            let addr: SocketAddr = a.parse().ok()?;
+            let stats = stats_at(addr)?;
+            if repl_section(&stats).str_field("role") != Some("primary") {
+                return None;
+            }
+            stats
+                .get("stats")?
+                .get("replication")?
+                .u64_field("last_election_ms")
+        })
+        .next()
+        .unwrap_or(0);
+    eprintln!("  rep {rep} (seed {seed:#x}): first settled write at {window_ms:.1}ms, election {election_ms}ms");
+    for h in handles {
+        h.kill();
+    }
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Json::obj()
+        .with("rep", rep)
+        .with("seed", seed)
+        .with("first_settled_write_ms", window_ms)
+        .with("election_ms", election_ms)
+}
+
+fn main() {
+    let smoke = std::env::var("SUFS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let reps = if smoke { 3 } else { 15 };
+    let service = responder().to_string();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    write!(
+        out,
+        "  \"bench\": \"broker_election\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n"
+    )
+    .unwrap();
+
+    eprintln!("no-operator failover: kill the primary, time to first settled write ({reps} reps)");
+    out.push_str("  \"failover\": [\n");
+    let mut windows: Vec<u128> = Vec::new();
+    let mut elections: Vec<u128> = Vec::new();
+    for rep in 0..reps {
+        if rep > 0 {
+            out.push_str(",\n");
+        }
+        let sample = run_failover(rep, 0xB10_000 + rep as u64, &service);
+        if let Some(ms) = sample.get("first_settled_write_ms").and_then(Json::as_f64) {
+            windows.push((ms * 1000.0) as u128);
+        }
+        if let Some(ms) = sample.get("election_ms").and_then(Json::as_f64) {
+            elections.push((ms * 1000.0) as u128);
+        }
+        write!(out, "    {sample}").unwrap();
+    }
+    out.push_str("\n  ],\n");
+    windows.sort_unstable();
+    elections.sort_unstable();
+    write!(
+        out,
+        "  \"unavailability_p50_us\": {},\n  \"unavailability_p95_us\": {},\n  \
+         \"unavailability_max_us\": {},\n  \"election_p50_us\": {},\n  \
+         \"election_p95_us\": {}\n}}\n",
+        percentile(&windows, 50.0),
+        percentile(&windows, 95.0),
+        windows.last().copied().unwrap_or(0),
+        percentile(&elections, 50.0),
+        percentile(&elections, 95.0),
+    )
+    .unwrap();
+
+    let path = std::env::var("SUFS_BENCH_BROKER_ELECTION_OUT")
+        .unwrap_or_else(|_| "BENCH_broker_election.json".into());
+    std::fs::write(&path, &out).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

@@ -348,6 +348,7 @@ impl LinkControl {
 pub struct ChaosLink {
     addr: SocketAddr,
     control: Arc<LinkControl>,
+    upstream: Arc<Mutex<Option<SocketAddr>>>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
 }
@@ -360,11 +361,30 @@ impl ChaosLink {
     ///
     /// Propagates the bind failure.
     pub fn spawn(upstream: SocketAddr) -> io::Result<ChaosLink> {
+        let link = ChaosLink::spawn_floating()?;
+        link.set_upstream(upstream);
+        Ok(link)
+    }
+
+    /// Starts a link proxy with no upstream yet: its address is stable
+    /// from birth, and [`ChaosLink::set_upstream`] points (or
+    /// re-points) it later. Connections arriving before an upstream is
+    /// set are refused. This is what lets a cluster harness give every
+    /// node a *fixed* public address across restarts: the node behind
+    /// the link can be killed and respawned on a fresh ephemeral port,
+    /// and the link simply re-targets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn_floating() -> io::Result<ChaosLink> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let control = Arc::new(LinkControl::default());
+        let upstream: Arc<Mutex<Option<SocketAddr>>> = Arc::new(Mutex::new(None));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_control = Arc::clone(&control);
+        let accept_upstream = Arc::clone(&upstream);
         let accept_stop = Arc::clone(&stop);
         let acceptor = thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -376,10 +396,13 @@ impl ChaosLink {
                 if accept_control.is_partitioned() {
                     continue; // refused: dropping the stream closes it
                 }
+                let Some(target) = *accept_upstream.lock().expect("upstream lock") else {
+                    continue; // no upstream yet: refused like a partition
+                };
                 let control = Arc::clone(&accept_control);
                 workers.retain(|w| !w.is_finished());
                 workers.push(thread::spawn(move || {
-                    let _ = link_connection(client, upstream, &control);
+                    let _ = link_connection(client, target, &control);
                 }));
             }
             for w in workers {
@@ -389,9 +412,16 @@ impl ChaosLink {
         Ok(ChaosLink {
             addr,
             control,
+            upstream,
             stop,
             acceptor: Some(acceptor),
         })
+    }
+
+    /// Points the link at `upstream`. Live connections keep their old
+    /// target; new ones dial the new one.
+    pub fn set_upstream(&self, upstream: SocketAddr) {
+        *self.upstream.lock().expect("upstream lock") = Some(upstream);
     }
 
     /// The link's listening address — point the downstream node here.

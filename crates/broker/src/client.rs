@@ -225,6 +225,12 @@ impl BrokerClient {
     /// retried mutation exactly once even when the retry lands on a
     /// different node.
     ///
+    /// A structured `not_primary` rejection is chased rather than
+    /// rotated: when the follower's reply names its upstream, the
+    /// retry dials *that* address directly — across an election this
+    /// converges on the new primary in one hop per redirect instead of
+    /// blindly cycling the address list.
+    ///
     /// # Errors
     ///
     /// The final attempt's error once the retry budget is exhausted.
@@ -234,27 +240,42 @@ impl BrokerClient {
         };
         let mut attempt = 0u32;
         loop {
-            match self.request(request) {
-                Ok(reply) => return Ok(reply),
-                Err(e) if attempt < policy.max_retries => {
-                    let _ = e; // every transport failure is retriable
-                    std::thread::sleep(policy.delay(attempt, &mut self.rng));
-                    attempt += 1;
-                    let target = policy.addr_at(self.redials).map(str::to_owned);
-                    self.redials += 1;
-                    let dialled = match &target {
-                        Some(addr) => TcpStream::connect(addr.as_str()),
-                        None => TcpStream::connect(self.peer),
-                    };
-                    if let Ok(stream) = dialled {
-                        let _ = stream.set_nodelay(true);
-                        if let Ok(peer) = stream.peer_addr() {
-                            self.peer = peer;
-                        }
-                        self.stream = stream;
+            let hint = match self.request(request) {
+                Ok(reply) => {
+                    let redirect = reply.bool_field("ok") == Some(false)
+                        && reply.str_field("kind") == Some("not_primary")
+                        && attempt < policy.max_retries;
+                    match reply.str_field("primary").filter(|p| !p.is_empty()) {
+                        Some(primary) if redirect => Some(primary.to_owned()),
+                        _ => return Ok(reply),
                     }
                 }
+                Err(e) if attempt < policy.max_retries => {
+                    let _ = e; // every transport failure is retriable
+                    None
+                }
                 Err(e) => return Err(e),
+            };
+            std::thread::sleep(policy.delay(attempt, &mut self.rng));
+            attempt += 1;
+            let target = match hint {
+                Some(primary) => Some(primary),
+                None => {
+                    let rotated = policy.addr_at(self.redials).map(str::to_owned);
+                    self.redials += 1;
+                    rotated
+                }
+            };
+            let dialled = match &target {
+                Some(addr) => TcpStream::connect(addr.as_str()),
+                None => TcpStream::connect(self.peer),
+            };
+            if let Ok(stream) = dialled {
+                let _ = stream.set_nodelay(true);
+                if let Ok(peer) = stream.peer_addr() {
+                    self.peer = peer;
+                }
+                self.stream = stream;
             }
         }
     }

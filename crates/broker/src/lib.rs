@@ -34,5 +34,5 @@ pub use client::{BrokerClient, ReconnectPolicy};
 pub use json::{Json, JsonError};
 pub use metrics::Metrics;
 pub use proto::FrameError;
-pub use replication::{AckMode, Role};
+pub use replication::{AckMode, ElectionMode, Role};
 pub use server::{synth_stats_json, verdict_json, Broker, BrokerConfig, BrokerHandle};

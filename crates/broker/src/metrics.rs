@@ -75,9 +75,29 @@ pub struct Metrics {
     pub lint_passes_reused: AtomicU64,
     /// Client products rebuilt by the last recovery warm start.
     pub warmed_products: AtomicU64,
+    /// Candidacies this node started (upstream silent, random delay
+    /// elapsed, ballots sent).
+    pub elections_started: AtomicU64,
+    /// Candidacies this node won (promoted itself).
+    pub elections_won: AtomicU64,
+    /// Ballots this node granted to other candidates.
+    pub votes_granted: AtomicU64,
+    /// Primary↔follower role flips in either direction (promotions and
+    /// demotions both count; re-points between upstreams do not).
+    pub role_transitions: AtomicU64,
+    /// Replication streams re-pointed at a different upstream without a
+    /// restart (redirect chase, announce, or election loss).
+    pub repoints: AtomicU64,
+    /// Primary→follower demotions (stale primary fenced by a higher
+    /// epoch).
+    pub demotions: AtomicU64,
+    /// Wall time of the last election this node won, in milliseconds,
+    /// measured from detecting primary loss to promotion.
+    pub last_election_ms: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
     recovery_histogram: [AtomicU64; BUCKETS],
     replication_histogram: [AtomicU64; BUCKETS],
+    election_histogram: [AtomicU64; BUCKETS],
 }
 
 impl Default for Metrics {
@@ -116,9 +136,17 @@ impl Metrics {
             lint_passes_run: AtomicU64::new(0),
             lint_passes_reused: AtomicU64::new(0),
             warmed_products: AtomicU64::new(0),
+            elections_started: AtomicU64::new(0),
+            elections_won: AtomicU64::new(0),
+            votes_granted: AtomicU64::new(0),
+            role_transitions: AtomicU64::new(0),
+            repoints: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            last_election_ms: AtomicU64::new(0),
             histogram: Default::default(),
             recovery_histogram: Default::default(),
             replication_histogram: Default::default(),
+            election_histogram: Default::default(),
         }
     }
 
@@ -153,6 +181,18 @@ impl Metrics {
             .position(|&bound| ms <= bound)
             .unwrap_or(BUCKETS - 1);
         self.replication_histogram[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one won election's detect→promoted wall time: the
+    /// election histogram plus the `last_election_ms` gauge.
+    pub fn observe_election(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let idx = HISTOGRAM_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.election_histogram[idx].fetch_add(1, Ordering::Relaxed);
+        self.last_election_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Renders every counter, the histogram, and the uptime as a JSON
@@ -192,9 +232,20 @@ impl Metrics {
             .with("bootstraps_received", self.bootstraps_received.load(load))
             .with("promotions", self.promotions.load(load))
             .with("quorum_timeouts", self.quorum_timeouts.load(load))
+            .with("elections_started", self.elections_started.load(load))
+            .with("elections_won", self.elections_won.load(load))
+            .with("votes_granted", self.votes_granted.load(load))
+            .with("role_transitions", self.role_transitions.load(load))
+            .with("repoints", self.repoints.load(load))
+            .with("demotions", self.demotions.load(load))
+            .with("last_election_ms", self.last_election_ms.load(load))
             .with(
                 "replication_ms_histogram",
                 render_hist(&self.replication_histogram),
+            )
+            .with(
+                "election_ms_histogram",
+                render_hist(&self.election_histogram),
             );
         let passes_run = self.lint_passes_run.load(load);
         let passes_reused = self.lint_passes_reused.load(load);
@@ -264,6 +315,51 @@ mod tests {
         assert_eq!(snap.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
         let lint = snap.get("lint").unwrap();
         assert_eq!(lint.get("reuse_rate").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn replication_section_pins_election_schema() {
+        let m = Metrics::new();
+        m.elections_started.fetch_add(3, Ordering::Relaxed);
+        m.elections_won.fetch_add(1, Ordering::Relaxed);
+        m.votes_granted.fetch_add(2, Ordering::Relaxed);
+        m.role_transitions.fetch_add(2, Ordering::Relaxed);
+        m.repoints.fetch_add(4, Ordering::Relaxed);
+        m.demotions.fetch_add(1, Ordering::Relaxed);
+        m.observe_election(Duration::from_millis(42));
+        let snap = m.snapshot(0, 0);
+        let repl = snap.get("replication").unwrap();
+        assert_eq!(repl.u64_field("elections_started"), Some(3));
+        assert_eq!(repl.u64_field("elections_won"), Some(1));
+        assert_eq!(repl.u64_field("votes_granted"), Some(2));
+        assert_eq!(repl.u64_field("role_transitions"), Some(2));
+        assert_eq!(repl.u64_field("repoints"), Some(4));
+        assert_eq!(repl.u64_field("demotions"), Some(1));
+        assert_eq!(repl.u64_field("last_election_ms"), Some(42));
+        let hist = repl.get("election_ms_histogram").unwrap();
+        assert_eq!(hist.u64_field("le_50ms"), Some(1));
+        assert_eq!(hist.u64_field("inf"), Some(0));
+    }
+
+    #[test]
+    fn election_histogram_buckets_by_upper_bound() {
+        let m = Metrics::new();
+        m.observe_election(Duration::from_millis(0));
+        m.observe_election(Duration::from_millis(2000));
+        let snap = m.snapshot(0, 0);
+        let hist = snap
+            .get("replication")
+            .unwrap()
+            .get("election_ms_histogram")
+            .unwrap();
+        assert_eq!(hist.u64_field("le_1ms"), Some(1));
+        assert_eq!(hist.u64_field("inf"), Some(1));
+        assert_eq!(
+            snap.get("replication")
+                .unwrap()
+                .u64_field("last_election_ms"),
+            Some(2000)
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -80,7 +80,7 @@ use sufs_rng::{SeedableRng, StdRng};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::proto::{self, read_frame, write_frame, FrameError};
-use crate::replication::{self, AckMode, Replication};
+use crate::replication::{self, AckMode, ElectionMode, Replication};
 use crate::snapshot;
 use crate::wal::{ReplaySummary, Wal, WalRecord};
 
@@ -138,6 +138,22 @@ pub struct BrokerConfig {
     /// `--deny-lint error`, `Severity::Warning` for `--deny-lint
     /// warnings`). `None` (the default) disables gating.
     pub deny_lint: Option<Severity>,
+    /// Failover mode: `Manual` (the default) keeps promotion an
+    /// operator action; `Auto` lets followers elect a new primary when
+    /// the upstream heartbeat goes silent.
+    pub election: ElectionMode,
+    /// Upper bound of the seeded randomized candidacy delay — the
+    /// window simultaneous detectors spread their candidacies over.
+    pub election_timeout: Duration,
+    /// Seed for the per-node election RNG (perturbed by the advertise
+    /// address, so identically seeded nodes still draw distinct
+    /// delays).
+    pub election_seed: u64,
+    /// The address this node is reachable at by its *peers* — carried
+    /// in vote/announce traffic and heartbeat peer views. Defaults to
+    /// the bound listener address, which is only wrong when clients
+    /// reach the node through a proxy (the chaos harness does).
+    pub advertise: Option<String>,
 }
 
 impl Default for BrokerConfig {
@@ -156,6 +172,10 @@ impl Default for BrokerConfig {
             follow_retry: Duration::from_millis(250),
             replication_tick: Duration::from_millis(500),
             deny_lint: None,
+            election: ElectionMode::Manual,
+            election_timeout: Duration::from_secs(1),
+            election_seed: 0,
+            advertise: None,
         }
     }
 }
@@ -288,6 +308,18 @@ pub(crate) struct Shared {
     /// Role, follower registry, sequence marks; always present (a
     /// plain single node is a primary with no followers).
     pub(crate) repl: Replication,
+    /// Weak back-reference to this very `Arc<Shared>`, set right after
+    /// construction — lets handler threads (which only see `&Shared`)
+    /// spawn pull/announcer threads that need an owned clone.
+    pub(crate) self_ref: Mutex<Weak<Shared>>,
+}
+
+impl Shared {
+    /// Upgrades the self-reference; `None` only during the short
+    /// construction window before `Broker::spawn` stores it.
+    pub(crate) fn strong(&self) -> Option<Arc<Shared>> {
+        self.self_ref.lock().expect("self_ref lock").upgrade()
+    }
 }
 
 /// The broker daemon; see the module docs for the protocol and the
@@ -383,7 +415,16 @@ impl Broker {
             conns: Mutex::new(Vec::new()),
             durability,
             repl,
+            self_ref: Mutex::new(Weak::new()),
         });
+        *shared.self_ref.lock().expect("self_ref lock") = Arc::downgrade(&shared);
+        shared.repl.set_advertise(
+            config
+                .advertise
+                .clone()
+                .filter(|a| !a.is_empty())
+                .unwrap_or_else(|| addr.to_string()),
+        );
         if let Some(plan) = recovery {
             replay_journal(&shared, plan);
             warm_start(&shared);
@@ -394,8 +435,15 @@ impl Broker {
             let applied = d.wal.lock().expect("wal lock").next_seq().saturating_sub(1);
             shared.repl.applied_seq.store(applied, Ordering::SeqCst);
         }
+        // Persisted epoch/term/vote survive restarts — a rebooted voter
+        // must not double-vote in a term it already voted in.
+        replication::load_meta(&shared);
         if let Some(upstream) = config.follow.clone() {
             replication::spawn_puller(&shared, upstream);
+        } else if config.election == ElectionMode::Auto {
+            // A primary under automatic failover announces its epoch so
+            // healed stale nodes and re-started followers find it.
+            replication::spawn_announcer(&shared);
         }
         let accept_shared = Arc::clone(&shared);
         let max_clients = config.max_clients;
@@ -816,7 +864,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, addr: Option<SocketA
         // handler owns the socket until the follower drops or the
         // broker drains.
         if request.str_field("cmd") == Some("replicate") {
-            replication::serve_replica(&mut stream, shared);
+            replication::serve_replica(&mut stream, &request, shared);
             break;
         }
         let is_shutdown = request.str_field("cmd") == Some("shutdown");
@@ -863,6 +911,8 @@ pub(crate) fn handle_request_from(request: &Json, shared: &Shared, source: Sourc
         "lint" => crate::lint::cmd_lint(shared),
         "stats" => cmd_stats(shared),
         "promote" => replication::cmd_promote(shared),
+        "vote" => replication::cmd_vote(request, shared),
+        "announce" => replication::cmd_announce(request, shared),
         // `replicate` hijacks the whole connection and is intercepted
         // in `serve_connection`; reaching the dispatcher means it came
         // from a journal or replication stream, where it is nonsense.

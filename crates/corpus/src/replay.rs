@@ -26,14 +26,23 @@
 //! Runtime steps (`run`, `broker_run`) are seeded and use committed
 //! choices, so their `BatchSummary` counters are a pure function of
 //! the run file — fault schedules included.
+//!
+//! Run files containing failover steps (`broker_kill`,
+//! `broker_promote`) get a two-node durable cluster instead of the
+//! single in-process broker: a quorum-ack primary plus a live
+//! follower, each journaling into its own scratch directory.
+//! `broker_kill` waits for replication to drain and then fail-stops
+//! the primary, so every later step replays against the promoted
+//! survivor — the transcript *is* the proof that failover loses
+//! nothing.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sufs_broker::{Broker, BrokerClient, BrokerConfig, Json};
+use sufs_broker::{AckMode, Broker, BrokerClient, BrokerConfig, Json};
 use sufs_core::scenario::{parse_scenario, Scenario};
 use sufs_core::{synthesize, Engine, SynthesisOptions};
 use sufs_hexpr::{Hist, Location};
@@ -193,29 +202,111 @@ fn collect_runfiles(path: &Path, filter: Option<&str>) -> Result<Vec<PathBuf>, S
 /// A lazily-started in-process broker: one per run file, so broker
 /// steps see exactly this file's published repository and parallel
 /// workers never share state.
+///
+/// Run files with failover steps get a two-node durable cluster
+/// instead: a quorum-ack primary plus one live follower. `broker_kill`
+/// consumes the primary handle and re-points `client` at the survivor,
+/// so every later step transparently replays against it.
 struct BrokerSession {
     client: BrokerClient,
-    handle: Option<sufs_broker::BrokerHandle>,
+    primary: Option<sufs_broker::BrokerHandle>,
+    follower: Option<sufs_broker::BrokerHandle>,
+    dirs: Vec<PathBuf>,
 }
 
 impl BrokerSession {
-    fn start() -> Result<BrokerSession, String> {
-        let handle = Broker::spawn(BrokerConfig::default())
-            .map_err(|e| format!("cannot spawn broker: {e}"))?;
-        let client = BrokerClient::connect(handle.addr())
+    fn start(failover: bool) -> Result<BrokerSession, String> {
+        if !failover {
+            let handle = Broker::spawn(BrokerConfig::default())
+                .map_err(|e| format!("cannot spawn broker: {e}"))?;
+            let client = BrokerClient::connect(handle.addr())
+                .map_err(|e| format!("cannot connect to broker: {e}"))?;
+            return Ok(BrokerSession {
+                client,
+                primary: Some(handle),
+                follower: None,
+                dirs: Vec::new(),
+            });
+        }
+        // Scratch state dirs must be unique across the parallel file
+        // workers of one replay invocation *and* across invocations.
+        static SESSION: AtomicUsize = AtomicUsize::new(0);
+        let tag = SESSION.fetch_add(1, Ordering::Relaxed);
+        let dirs: Vec<PathBuf> = (0..2)
+            .map(|i| {
+                let mut p = std::env::temp_dir();
+                p.push(format!(
+                    "sufs-replay-failover-{}-{tag}-n{i}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&p);
+                p
+            })
+            .collect();
+        let node = |dir: &Path, follow: Option<String>| BrokerConfig {
+            state_dir: Some(dir.to_path_buf()),
+            follow,
+            ack: AckMode::Quorum,
+            cluster_size: 2,
+            ack_timeout: Duration::from_secs(2),
+            follow_retry: Duration::from_millis(10),
+            replication_tick: Duration::from_millis(25),
+            ..BrokerConfig::default()
+        };
+        let primary = Broker::spawn(node(&dirs[0], None))
+            .map_err(|e| format!("cannot spawn cluster primary: {e}"))?;
+        let follower = Broker::spawn(node(&dirs[1], Some(primary.addr().to_string())))
+            .map_err(|e| format!("cannot spawn cluster follower: {e}"))?;
+        let client = BrokerClient::connect(primary.addr())
             .map_err(|e| format!("cannot connect to broker: {e}"))?;
         Ok(BrokerSession {
             client,
-            handle: Some(handle),
+            primary: Some(primary),
+            follower: Some(follower),
+            dirs,
         })
+    }
+
+    /// Blocks until the follower has acknowledged every record the
+    /// primary has sent — the durability precondition that makes
+    /// killing the primary a loss-free event.
+    fn await_follower_sync(&mut self) -> Result<(), String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = self.client.stats().map_err(|e| e.to_string())?;
+            let repl = stats.get("replication").cloned().unwrap_or_else(Json::obj);
+            let synced = repl
+                .get("followers")
+                .and_then(Json::as_arr)
+                .is_some_and(|fs| {
+                    !fs.is_empty() && fs.iter().all(|f| f.u64_field("lag") == Some(0))
+                });
+            if synced {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err("follower never caught up with the primary".to_owned());
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }
 
 impl Drop for BrokerSession {
     fn drop(&mut self) {
         let _ = self.client.shutdown();
-        if let Some(handle) = self.handle.take() {
-            handle.wait();
+        if let Some(handle) = self.primary.take() {
+            if self.follower.is_some() {
+                handle.kill();
+            } else {
+                handle.wait();
+            }
+        }
+        if let Some(handle) = self.follower.take() {
+            handle.kill();
+        }
+        for dir in &self.dirs {
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -223,6 +314,9 @@ impl Drop for BrokerSession {
 struct Ctx {
     scenario: Scenario,
     text: String,
+    /// Whether this run file contains failover steps, decided before
+    /// the first broker step: the session must start as a cluster.
+    failover: bool,
     broker: Option<BrokerSession>,
     /// Last in-process `plan` transcript per client, for the broker-leg
     /// cross-check.
@@ -240,7 +334,7 @@ impl Ctx {
 
     fn broker(&mut self) -> Result<&mut BrokerSession, String> {
         if self.broker.is_none() {
-            self.broker = Some(BrokerSession::start()?);
+            self.broker = Some(BrokerSession::start(self.failover)?);
         }
         Ok(self.broker.as_mut().expect("just set"))
     }
@@ -293,6 +387,7 @@ fn replay_file(path: &Path, opts: &ReplayOptions) -> FileOutcome {
     let mut ctx = Ctx {
         scenario,
         text: scenario_text,
+        failover: file.steps.iter().any(|s| s.op().is_failover()),
         broker: None,
         plans: BTreeMap::new(),
     };
@@ -363,6 +458,8 @@ fn execute_step(ctx: &mut Ctx, step: &Step) -> Result<(Vec<String>, Vec<String>)
         Op::Wait => step_wait(ctx, step),
         Op::BrokerPlan => step_broker_plan(ctx, step),
         Op::BrokerRun => step_broker_run(ctx, step),
+        Op::BrokerKill => step_broker_kill(ctx),
+        Op::BrokerPromote => step_broker_promote(ctx),
     }
 }
 
@@ -642,6 +739,48 @@ fn step_broker_plan(ctx: &mut Ctx, step: &Step) -> Result<(Vec<String>, Vec<Stri
     let found = transcript.len().saturating_sub(1);
     check_valid_expectations(step, found, &mut failures);
     Ok((transcript, failures))
+}
+
+/// Fail-stops the cluster primary. Replication is drained first —
+/// killing before the follower has acked everything would test data
+/// loss, not failover — and the session's client re-points at the
+/// survivor, which still answers reads but refuses mutations until
+/// `broker_promote`.
+fn step_broker_kill(ctx: &mut Ctx) -> Result<(Vec<String>, Vec<String>), String> {
+    let session = ctx.broker()?;
+    if session.follower.is_none() {
+        return Err("no failover cluster in this session".to_owned());
+    }
+    if session.primary.is_none() {
+        return Err("the primary is already dead".to_owned());
+    }
+    session.await_follower_sync()?;
+    let survivor = session.follower.as_ref().expect("checked above").addr();
+    session.primary.take().expect("checked above").kill();
+    session.client = BrokerClient::connect(survivor)
+        .map_err(|e| format!("cannot connect to the survivor: {e}"))?;
+    Ok((vec!["killed=primary survivors=1".to_owned()], Vec::new()))
+}
+
+/// Promotes the surviving follower — the explicit operator action of
+/// `--election manual`. The transcript pins the post-promotion epoch,
+/// so an accidental extra epoch bump anywhere in the promotion path
+/// shows up as a golden-file diff.
+fn step_broker_promote(ctx: &mut Ctx) -> Result<(Vec<String>, Vec<String>), String> {
+    let session = ctx.broker()?;
+    if session.primary.is_some() {
+        return Err(
+            "the primary is still alive; `broker_promote` must follow `broker_kill`".to_owned(),
+        );
+    }
+    let reply = check_reply(session.client.promote().map_err(|e| e.to_string())?)?;
+    let transcript = vec![format!(
+        "role={} epoch={} changed={}",
+        reply.str_field("role").unwrap_or("?"),
+        reply.u64_field("epoch").unwrap_or(0),
+        reply.bool_field("changed").unwrap_or(false)
+    )];
+    Ok((transcript, Vec::new()))
 }
 
 fn step_broker_run(ctx: &mut Ctx, step: &Step) -> Result<(Vec<String>, Vec<String>), String> {

@@ -42,6 +42,12 @@ pub enum Op {
     BrokerPlan,
     /// A seeded single run on the live broker.
     BrokerRun,
+    /// Fail-stop the replay cluster's primary after replication has
+    /// drained; later broker steps talk to the surviving follower.
+    BrokerKill,
+    /// Manually promote the surviving follower to primary (the
+    /// operator action `broker_kill` sets the stage for).
+    BrokerPromote,
 }
 
 impl Op {
@@ -54,6 +60,8 @@ impl Op {
             Op::Wait => "wait",
             Op::BrokerPlan => "broker_plan",
             Op::BrokerRun => "broker_run",
+            Op::BrokerKill => "broker_kill",
+            Op::BrokerPromote => "broker_promote",
         }
     }
 
@@ -66,6 +74,8 @@ impl Op {
             "wait" => Some(Op::Wait),
             "broker_plan" => Some(Op::BrokerPlan),
             "broker_run" => Some(Op::BrokerRun),
+            "broker_kill" => Some(Op::BrokerKill),
+            "broker_promote" => Some(Op::BrokerPromote),
             _ => None,
         }
     }
@@ -74,8 +84,19 @@ impl Op {
     pub fn is_broker(self) -> bool {
         matches!(
             self,
-            Op::BrokerPublish | Op::Wait | Op::BrokerPlan | Op::BrokerRun
+            Op::BrokerPublish
+                | Op::Wait
+                | Op::BrokerPlan
+                | Op::BrokerRun
+                | Op::BrokerKill
+                | Op::BrokerPromote
         )
+    }
+
+    /// Whether the step needs the broker session upgraded to a
+    /// two-node failover cluster (primary + quorum-acked follower).
+    pub fn is_failover(self) -> bool {
+        matches!(self, Op::BrokerKill | Op::BrokerPromote)
     }
 }
 
@@ -519,6 +540,20 @@ mod tests {
             .replace("\"op\": \"plan\"", "\"op\": \"pln\"");
         let e = RunFile::parse(&bad_op).unwrap_err();
         assert!(e.to_string().contains("unknown op"), "{e}");
+    }
+
+    #[test]
+    fn failover_ops_parse_serialize_and_need_a_broker() {
+        let text = "{\"schema_version\": 1, \"scenario\": \"x.sufs\", \"steps\": [\
+                    {\"op\": \"broker_kill\"}, {\"op\": \"broker_promote\"}]}";
+        let file = RunFile::parse(text).expect("failover ops parse");
+        assert_eq!(file.steps[0].op(), Op::BrokerKill);
+        assert_eq!(file.steps[1].op(), Op::BrokerPromote);
+        assert!(file.needs_broker());
+        assert!(file.steps.iter().all(|s| s.op().is_failover()));
+        let back = RunFile::parse(&file.serialize()).expect("round-trip");
+        assert_eq!(back.steps[0].op(), Op::BrokerKill);
+        assert_eq!(back.serialize(), file.serialize());
     }
 
     #[test]

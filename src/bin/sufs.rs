@@ -14,7 +14,9 @@
 //! sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune]
 //!            [--state-dir DIR] [--snapshot-every N] [--follow HOST:PORT]
 //!            [--ack local|quorum] [--cluster-size N]
-//!            [--deny-lint error|warnings]
+//!            [--deny-lint error|warnings] [--election auto|manual]
+//!            [--election-timeout MS] [--election-seed N]
+//!            [--advertise HOST:PORT]
 //! sufs promote --addr HOST:PORT
 //! sufs publish <file> --addr HOST:PORT
 //! sufs plan <file> [--client NAME] [--engine ENGINE] --addr HOST:PORT
@@ -109,7 +111,8 @@ fn usage() -> String {
      sufs serve [--addr HOST:PORT] [--max-clients N] [--jobs N] [--prune] \
      [--plan-cap N] [--fuel N] [--state-dir DIR] [--snapshot-every N] \
      [--follow HOST:PORT] [--ack local|quorum] [--cluster-size N] \
-     [--deny-lint error|warnings]\n  \
+     [--deny-lint error|warnings] [--election auto|manual] \
+     [--election-timeout MS] [--election-seed N] [--advertise HOST:PORT]\n  \
      sufs promote --addr HOST:PORT\n  \
      sufs publish <file> --addr HOST:PORT\n  \
      sufs plan <file> [--client NAME] [--engine enumerative|compositional] \
@@ -702,6 +705,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--ack",
             "--cluster-size",
             "--deny-lint",
+            "--election",
+            "--election-timeout",
+            "--election-seed",
+            "--advertise",
         ],
         &["--prune"],
     )?;
@@ -743,6 +750,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = a.value("--deny-lint") {
         config.deny_lint = Some(sufs_broker::lint::parse_deny_level(s)?);
+    }
+    if let Some(s) = a.value("--election") {
+        config.election = sufs_broker::ElectionMode::parse(s)?;
+    }
+    if let Some(s) = a.value("--election-timeout") {
+        let ms: u64 = s
+            .parse()
+            .map_err(|_| format!("bad election timeout `{s}` (want milliseconds)"))?;
+        if ms == 0 {
+            return Err(format!("bad election timeout `{s}` (want milliseconds)"));
+        }
+        config.election_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(s) = a.value("--election-seed") {
+        config.election_seed = s.parse().map_err(|_| format!("bad election seed `{s}`"))?;
+    }
+    if let Some(addr) = a.value("--advertise") {
+        config.advertise = Some(addr.to_owned());
     }
     config.opts.prune = a.has("--prune");
     let handle = Broker::spawn(config).map_err(|e| format!("cannot start broker: {e}"))?;

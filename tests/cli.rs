@@ -365,6 +365,40 @@ fn lint_and_serve_parse_the_new_flags_strictly() {
 }
 
 #[test]
+fn serve_parses_election_flags_strictly() {
+    // The mode is validated before binding a socket.
+    let (_, stderr, ok) = sufs(&["serve", "--election", "raft"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown election mode `raft`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["serve", "--election"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    // The timeout is whole milliseconds, and zero is rejected.
+    let (_, stderr, ok) = sufs(&["serve", "--election-timeout", "fast"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad election timeout `fast`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["serve", "--election-timeout", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad election timeout `0`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["serve", "--election-timeout"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["serve", "--election-seed", "coin"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad election seed `coin`"), "{stderr}");
+    // The flags are declared by `serve` only.
+    let (_, stderr, ok) = sufs(&["promote", "--election", "auto"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--election`"), "{stderr}");
+    let (_, stderr, ok) = sufs(&["stats", "--election-timeout", "50"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown flag `--election-timeout`"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn faults_flag_injects_and_reports() {
     let (stdout, _, ok) = sufs(&[
         "run",
